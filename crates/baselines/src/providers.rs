@@ -1,0 +1,133 @@
+//! [`NeighborhoodProvider`] adapters: run the baseline greedy (Alg 1) on top
+//! of each comparator index, exactly as the paper's Fig 2(b)/5(i)/6(b)
+//! experiments do.
+
+use crate::ctree::CTree;
+use crate::matrix::MatrixIndex;
+use crate::mtree::MTree;
+use graphrep_core::NeighborhoodProvider;
+use graphrep_ged::DistanceOracle;
+use graphrep_graph::GraphId;
+use graphrep_metric::Bitset;
+
+fn filter_relevant(mut hits: Vec<GraphId>, relevant: &Bitset) -> Vec<GraphId> {
+    hits.retain(|&g| relevant.contains(g as usize));
+    hits
+}
+
+/// Builds the relevant-membership mask used by all providers.
+pub fn relevant_mask(n: usize, relevant: &[GraphId]) -> Bitset {
+    Bitset::from_indices(n, relevant.iter().map(|&g| g as usize))
+}
+
+/// θ-neighborhoods via M-tree range queries.
+pub struct MTreeProvider<'a> {
+    /// The index.
+    pub tree: &'a MTree,
+    /// The distance oracle.
+    pub oracle: &'a DistanceOracle,
+    /// Relevant membership by graph id.
+    pub relevant: Bitset,
+}
+
+impl NeighborhoodProvider for MTreeProvider<'_> {
+    fn neighborhood(&self, g: GraphId, theta: f64) -> Vec<GraphId> {
+        filter_relevant(self.tree.range_query(self.oracle, g, theta), &self.relevant)
+    }
+}
+
+/// θ-neighborhoods via C-tree range queries.
+pub struct CTreeProvider<'a> {
+    /// The index.
+    pub tree: &'a CTree,
+    /// The distance oracle.
+    pub oracle: &'a DistanceOracle,
+    /// Relevant membership by graph id.
+    pub relevant: Bitset,
+}
+
+impl NeighborhoodProvider for CTreeProvider<'_> {
+    fn neighborhood(&self, g: GraphId, theta: f64) -> Vec<GraphId> {
+        filter_relevant(self.tree.range_query(self.oracle, g, theta), &self.relevant)
+    }
+}
+
+/// θ-neighborhoods via the precomputed matrix.
+pub struct MatrixProvider<'a> {
+    /// The index.
+    pub matrix: &'a MatrixIndex,
+    /// Relevant membership by graph id.
+    pub relevant: Bitset,
+}
+
+impl NeighborhoodProvider for MatrixProvider<'_> {
+    fn neighborhood(&self, g: GraphId, theta: f64) -> Vec<GraphId> {
+        filter_relevant(self.matrix.range_query(g, theta), &self.relevant)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphrep_core::{baseline_greedy, BruteForceProvider};
+    use graphrep_datagen::{DatasetKind, DatasetSpec};
+    use graphrep_ged::GedConfig;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_providers_agree_with_brute_force_greedy() {
+        let data = DatasetSpec::new(DatasetKind::DudLike, 90, 41).generate();
+        let oracle = data.db.oracle(GedConfig::default());
+        let relevant = data.default_query().relevant_set(&data.db);
+        let theta = data.default_theta;
+        let k = 4;
+
+        let reference = baseline_greedy(
+            &BruteForceProvider::new(&oracle, &relevant),
+            &relevant,
+            theta,
+            k,
+        );
+
+        let mask = relevant_mask(oracle.len(), &relevant);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mtree = MTree::build(&oracle, &mut rng);
+        let a = baseline_greedy(
+            &MTreeProvider {
+                tree: &mtree,
+                oracle: &oracle,
+                relevant: mask.clone(),
+            },
+            &relevant,
+            theta,
+            k,
+        );
+        assert_eq!(a.ids, reference.ids);
+
+        let ctree = CTree::build(&oracle, &mut rng);
+        let b = baseline_greedy(
+            &CTreeProvider {
+                tree: &ctree,
+                oracle: &oracle,
+                relevant: mask.clone(),
+            },
+            &relevant,
+            theta,
+            k,
+        );
+        assert_eq!(b.ids, reference.ids);
+
+        let matrix = MatrixIndex::build(&oracle);
+        let c = baseline_greedy(
+            &MatrixProvider {
+                matrix: &matrix,
+                relevant: mask,
+            },
+            &relevant,
+            theta,
+            k,
+        );
+        assert_eq!(c.ids, reference.ids);
+    }
+}

@@ -1,0 +1,64 @@
+//! Traditional top-k by feature score (paper Sec 8.4, Fig 7): the
+//! no-diversity, no-representativeness strawman.
+
+use graphrep_core::{GraphDatabase, RelevanceQuery};
+use graphrep_graph::GraphId;
+
+/// Returns the `k` graphs with the highest feature-space scores, ties broken
+/// toward smaller ids.
+pub fn traditional_topk(db: &GraphDatabase, query: &RelevanceQuery, k: usize) -> Vec<GraphId> {
+    let mut ids: Vec<GraphId> = (0..db.len() as GraphId).collect();
+    ids.sort_by(|&a, &b| {
+        query
+            .score(db, b)
+            .total_cmp(&query.score(db, a))
+            .then(a.cmp(&b))
+    });
+    ids.truncate(k);
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphrep_core::Scorer;
+    use graphrep_graph::{GraphBuilder, LabelInterner};
+
+    fn db(scores: &[f64]) -> GraphDatabase {
+        let graphs = scores
+            .iter()
+            .map(|_| {
+                let mut b = GraphBuilder::new();
+                b.add_node(0);
+                b.build()
+            })
+            .collect();
+        let features = scores.iter().map(|&s| vec![s]).collect();
+        GraphDatabase::new(graphs, features, LabelInterner::new())
+    }
+
+    fn query() -> RelevanceQuery {
+        RelevanceQuery {
+            scorer: Scorer::MeanOfDims(vec![0]),
+            threshold: 0.0,
+        }
+    }
+
+    #[test]
+    fn returns_highest_scores_in_order() {
+        let db = db(&[0.1, 0.9, 0.5, 0.7]);
+        assert_eq!(traditional_topk(&db, &query(), 3), vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn ties_break_to_smaller_id() {
+        let db = db(&[0.5, 0.5, 0.5]);
+        assert_eq!(traditional_topk(&db, &query(), 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn k_larger_than_db() {
+        let db = db(&[0.2, 0.8]);
+        assert_eq!(traditional_topk(&db, &query(), 10), vec![1, 0]);
+    }
+}

@@ -1,0 +1,40 @@
+//! Criterion micro-benchmarks for the edit-distance stack: exact A*,
+//! bipartite bound, label lower bound, and θ-membership tests.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphrep_datagen::{DatasetKind, DatasetSpec};
+use graphrep_ged::{bipartite, bounds, ged_exact, CostModel};
+
+fn bench_ged(c: &mut Criterion) {
+    let data = DatasetSpec::new(DatasetKind::DudLike, 60, 1).generate();
+    let graphs = data.db.graphs();
+    let cost = CostModel::uniform();
+    // A same-family pair (close) and a cross-family pair (far).
+    let close = (&graphs[0], &graphs[1]);
+    let far = (&graphs[0], &graphs[55]);
+
+    let mut g = c.benchmark_group("ged");
+    g.bench_function("exact_same_family", |b| {
+        b.iter(|| ged_exact(close.0, close.1, &cost, f64::INFINITY, 1_000_000))
+    });
+    g.bench_function("exact_cross_family", |b| {
+        b.iter(|| ged_exact(far.0, far.1, &cost, f64::INFINITY, 1_000_000))
+    });
+    for theta in [2.0, 4.0, 8.0] {
+        g.bench_with_input(
+            BenchmarkId::new("within_cutoff", theta as u64),
+            &theta,
+            |b, &t| b.iter(|| ged_exact(far.0, far.1, &cost, t, 1_000_000)),
+        );
+    }
+    g.bench_function("bipartite_upper_bound", |b| {
+        b.iter(|| bipartite::bp_upper_bound(far.0, far.1, &cost))
+    });
+    g.bench_function("label_lower_bound", |b| {
+        b.iter(|| bounds::label_lower_bound(far.0, far.1, &cost))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ged);
+criterion_main!(benches);

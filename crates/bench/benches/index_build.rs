@@ -1,0 +1,54 @@
+//! Criterion benchmarks for index construction: NB-Index vs the comparator
+//! indexes at a fixed dataset size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphrep_baselines::{CTree, MTree, MatrixIndex};
+use graphrep_core::{NbIndex, NbIndexConfig};
+use graphrep_datagen::{DatasetKind, DatasetSpec};
+use graphrep_ged::GedConfig;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_build(c: &mut Criterion) {
+    let data = DatasetSpec::new(DatasetKind::DudLike, 80, 2).generate();
+
+    let mut g = c.benchmark_group("index_build");
+    g.sample_size(10);
+    g.bench_function("nb_index", |b| {
+        b.iter(|| {
+            let oracle = data.db.oracle(GedConfig::default());
+            NbIndex::build(
+                oracle,
+                NbIndexConfig {
+                    num_vps: 8,
+                    ladder: data.default_ladder.clone(),
+                    ..NbIndexConfig::default()
+                },
+            )
+        })
+    });
+    g.bench_function("mtree", |b| {
+        b.iter(|| {
+            let oracle = data.db.oracle(GedConfig::default());
+            let mut rng = SmallRng::seed_from_u64(3);
+            MTree::build(&oracle, &mut rng)
+        })
+    });
+    g.bench_function("ctree", |b| {
+        b.iter(|| {
+            let oracle = data.db.oracle(GedConfig::default());
+            let mut rng = SmallRng::seed_from_u64(3);
+            CTree::build(&oracle, &mut rng)
+        })
+    });
+    g.bench_function("distance_matrix", |b| {
+        b.iter(|| {
+            let oracle = data.db.oracle(GedConfig::default());
+            MatrixIndex::build(&oracle)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion benchmarks for query processing: NB-Index session runs and
+//! refinements vs the baseline greedy under comparator indexes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphrep_baselines::providers::{relevant_mask, CTreeProvider};
+use graphrep_baselines::CTree;
+use graphrep_core::{baseline_greedy, NbIndex, NbIndexConfig};
+use graphrep_datagen::{DatasetKind, DatasetSpec};
+use graphrep_ged::GedConfig;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_query(c: &mut Criterion) {
+    let data = DatasetSpec::new(DatasetKind::DudLike, 120, 5).generate();
+    let relevant = data.default_query().relevant_set(&data.db);
+    let theta = data.default_theta;
+    let k = 8;
+
+    let oracle = data.db.oracle(GedConfig::default());
+    let index = NbIndex::build(
+        oracle.clone(),
+        NbIndexConfig {
+            num_vps: 12,
+            ladder: data.default_ladder.clone(),
+            ..NbIndexConfig::default()
+        },
+    );
+    let session = index.start_session(relevant.clone());
+
+    let ct_oracle = data.db.oracle(GedConfig::default());
+    let mut rng = SmallRng::seed_from_u64(7);
+    let ctree = CTree::build(&ct_oracle, &mut rng);
+    let mask = relevant_mask(ct_oracle.len(), &relevant);
+
+    let mut g = c.benchmark_group("query");
+    g.sample_size(10);
+    g.bench_function("nb_session_run", |b| b.iter(|| session.run(theta, k)));
+    g.bench_function("nb_session_refine", |b| {
+        // Alternate θ ± 10% — the interactive zoom pattern.
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let t = if flip { theta * 0.9 } else { theta * 1.1 };
+            session.run(t, k)
+        })
+    });
+    g.bench_function("nb_full_query", |b| {
+        b.iter(|| index.query(relevant.clone(), theta, k))
+    });
+    g.bench_function("ctree_greedy", |b| {
+        b.iter(|| {
+            baseline_greedy(
+                &CTreeProvider {
+                    tree: &ctree,
+                    oracle: &ct_oracle,
+                    relevant: mask.clone(),
+                },
+                &relevant,
+                theta,
+                k,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Experiment runner: regenerates every table and figure of the paper.
+//!
+//! ```sh
+//! cargo run --release -p graphrep-bench --bin experiments -- all
+//! cargo run --release -p graphrep-bench --bin experiments -- table4 fig5time
+//! cargo run --release -p graphrep-bench --bin experiments -- --size 1200 fig6scale
+//! ```
+//!
+//! Results are printed as CSV and mirrored under `results/`.
+
+use graphrep_bench::experiments;
+use graphrep_bench::harness::Ctx;
+
+fn main() {
+    let mut ctx = Ctx::default();
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--size" => {
+                ctx.base_size = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--size needs a number"));
+            }
+            "--seed" => {
+                ctx.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs a number"));
+            }
+            "--out" => {
+                ctx.out_dir = args.next().unwrap_or_else(|| die("--out needs a path")).into();
+            }
+            "--help" | "-h" => {
+                usage();
+                return;
+            }
+            id => ids.push(id.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        usage();
+        std::process::exit(2);
+    }
+    for id in &ids {
+        if !experiments::run(&ctx, id) {
+            eprintln!("unknown experiment id: {id}");
+            usage();
+            std::process::exit(2);
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage: experiments [--size N] [--seed S] [--out DIR] <id>...");
+    eprintln!("ids: all {}", experiments::ALL.join(" "));
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,86 @@
+//! Fig 6(k)–(l): index construction cost and memory footprint against
+//! dataset size, versus computing the full distance matrix.
+
+use super::standard_specs;
+use crate::harness::{f, Ctx, Row};
+use graphrep_baselines::MatrixIndex;
+use graphrep_core::{NbIndex, NbIndexConfig};
+use graphrep_datagen::{Dataset, DatasetSpec};
+
+/// Fig 6(k)+(l): NB-Index build time / #distances / memory vs the matrix.
+pub fn fig6build(ctx: &Ctx) {
+    let mut rows: Vec<Row> = Vec::new();
+    let top = ctx.base_size;
+    let sizes: Vec<usize> = [top / 6, top / 3, 2 * top / 3, top]
+        .into_iter()
+        .filter(|&s| s >= 40)
+        .collect();
+    for spec in standard_specs(top, ctx.seed) {
+        let full = spec.generate();
+        for &n in &sizes {
+            let data = Dataset {
+                db: full.db.prefix(n),
+                family: full.family[..n].to_vec(),
+                spec: DatasetSpec { size: n, ..spec },
+                default_theta: full.default_theta,
+                default_ladder: full.default_ladder.clone(),
+            };
+            // NB-Index build.
+            let oracle = ctx.oracle(&data.db);
+            let index = NbIndex::build(
+                oracle,
+                NbIndexConfig {
+                    num_vps: 16,
+                    ladder: data.default_ladder.clone(),
+                    seed: ctx.seed,
+                    ..NbIndexConfig::default()
+                },
+            );
+            let b = index.build_stats();
+            // Session memory (π̂-vectors) for the default query, as the paper
+            // includes them in the reported footprint.
+            let relevant = data.default_query().relevant_set(&data.db);
+            let session = index.start_session(relevant);
+            let nb_mem = index.memory_bytes() + session.memory_bytes();
+            drop(session);
+
+            // Full distance matrix (only at small n — it is quadratic).
+            let (mx_s, mx_calls, mx_mem) = if n <= 300 {
+                let oracle = ctx.oracle(&data.db);
+                let m = MatrixIndex::build(&oracle);
+                (
+                    f(m.build_wall.as_secs_f64()),
+                    m.build_calls.to_string(),
+                    m.memory_bytes().to_string(),
+                )
+            } else {
+                (String::new(), String::new(), String::new())
+            };
+
+            rows.push(vec![
+                spec.kind.name().into(),
+                n.to_string(),
+                f(b.wall.as_secs_f64()),
+                b.distance_calls.to_string(),
+                nb_mem.to_string(),
+                mx_s,
+                mx_calls,
+                mx_mem,
+            ]);
+        }
+    }
+    ctx.emit(
+        "fig6kl_build",
+        &[
+            "dataset",
+            "db_size",
+            "nb_build_s",
+            "nb_build_calls",
+            "nb_memory_bytes",
+            "matrix_build_s",
+            "matrix_build_calls",
+            "matrix_memory_bytes",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,122 @@
+//! Fig 2: the motivating pathologies — DisC's unbounded answer growth and
+//! the non-scalability of baseline greedy under NN-indexes.
+
+use super::standard_specs;
+use crate::harness::{f, timed, Ctx, Row};
+use graphrep_baselines::{greedy_disc, CTree, MTree};
+use graphrep_baselines::providers::{relevant_mask, CTreeProvider, MTreeProvider};
+use graphrep_core::{baseline_greedy, BruteForceProvider, RelevanceQuery, Scorer};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Fig 2(a): DisC answer-set size vs number of relevant objects (DUD/AChE).
+pub fn fig2a(ctx: &Ctx) {
+    let spec = standard_specs(ctx.base_size, ctx.seed)[0];
+    let data = spec.generate();
+    let oracle = ctx.oracle(&data.db);
+    let theta = data.default_theta;
+    let mut rows: Vec<Row> = Vec::new();
+    // Sweep the relevance quantile to grow |L_q| (the paper varies the
+    // number of relevant molecules directly).
+    for q in [0.95, 0.9, 0.85, 0.8, 0.75, 0.65, 0.55] {
+        let query = RelevanceQuery::top_quantile(&data.db, Scorer::MeanOfDims(vec![0]), q);
+        let relevant = query.relevant_set(&data.db);
+        let provider = BruteForceProvider::new(&oracle, &relevant);
+        let r = greedy_disc(&provider, &relevant, theta, None);
+        rows.push(vec![
+            relevant.len().to_string(),
+            r.ids.len().to_string(),
+            f(relevant.len() as f64 / r.ids.len().max(1) as f64),
+        ]);
+    }
+    ctx.emit("fig2a", &["relevant", "disc_answer_size", "compression"], &rows);
+}
+
+/// Fig 2(b): baseline-greedy running time against database size under
+/// C-tree, M-tree (DisC's index), and no index at all.
+pub fn fig2b(ctx: &Ctx) {
+    let spec = standard_specs(ctx.base_size, ctx.seed)[0];
+    let data = spec.generate();
+    let theta = data.default_theta;
+    let k = 10;
+    let mut rows: Vec<Row> = Vec::new();
+    let top = ctx.base_size;
+    let sizes: Vec<usize> = [top / 4, top / 2, 3 * top / 4, top]
+        .into_iter()
+        .filter(|&s| s >= 50)
+        .collect();
+    for &n in &sizes {
+        let db = data.db.prefix(n);
+        let query = RelevanceQuery::top_quantile(&db, Scorer::MeanOfDims(vec![0]), 0.75);
+        let relevant = query.relevant_set(&db);
+        let mut rng = SmallRng::seed_from_u64(ctx.seed);
+
+        // No index: brute force neighborhoods.
+        let o = ctx.oracle(&db);
+        let (_, brute_t) = timed(|| {
+            baseline_greedy(&BruteForceProvider::new(&o, &relevant), &relevant, theta, k)
+        });
+        let brute_calls = o.engine_calls();
+
+        // C-tree backed (build offline, query measured).
+        let o = ctx.oracle(&db);
+        let ctree = CTree::build(&o, &mut rng);
+        o.reset_stats();
+        let mask = relevant_mask(o.len(), &relevant);
+        let (_, ctree_t) = timed(|| {
+            baseline_greedy(
+                &CTreeProvider {
+                    tree: &ctree,
+                    oracle: &o,
+                    relevant: mask.clone(),
+                },
+                &relevant,
+                theta,
+                k,
+            )
+        });
+        let ctree_calls = o.engine_calls();
+
+        // M-tree backed (DisC's index).
+        let o = ctx.oracle(&db);
+        let mtree = MTree::build(&o, &mut rng);
+        o.reset_stats();
+        let mask = relevant_mask(o.len(), &relevant);
+        let (_, mtree_t) = timed(|| {
+            baseline_greedy(
+                &MTreeProvider {
+                    tree: &mtree,
+                    oracle: &o,
+                    relevant: mask,
+                },
+                &relevant,
+                theta,
+                k,
+            )
+        });
+        let mtree_calls = o.engine_calls();
+
+        rows.push(vec![
+            n.to_string(),
+            f(brute_t),
+            brute_calls.to_string(),
+            f(ctree_t),
+            ctree_calls.to_string(),
+            f(mtree_t),
+            mtree_calls.to_string(),
+        ]);
+    }
+    ctx.emit(
+        "fig2b",
+        &[
+            "db_size",
+            "noindex_s",
+            "noindex_calls",
+            "ctree_s",
+            "ctree_calls",
+            "mtree_s",
+            "mtree_calls",
+        ],
+        &rows,
+    );
+}

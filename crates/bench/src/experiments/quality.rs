@@ -1,0 +1,144 @@
+//! Table 3 (dataset statistics), Table 4 (compression ratio and π across
+//! models), and Fig 7 (qualitative traditional-vs-representative compare).
+
+use super::standard_specs;
+use crate::harness::{f, Ctx, Row};
+use graphrep_baselines::{div_topk, greedy_disc, traditional_topk, DivVariant};
+use graphrep_core::{evaluate_answer, BruteForceProvider, NeighborhoodProvider};
+use graphrep_graph::stats::DatasetStats;
+
+/// Table 3: structural statistics of the three datasets.
+pub fn table3(ctx: &Ctx) {
+    let mut rows: Vec<Row> = Vec::new();
+    for spec in standard_specs(ctx.base_size, ctx.seed) {
+        let data = spec.generate();
+        let s = DatasetStats::compute(data.db.graphs());
+        rows.push(vec![
+            spec.kind.name().into(),
+            f(s.avg_nodes),
+            f(s.avg_edges),
+            s.graphs.to_string(),
+            s.node_label_count.to_string(),
+            s.edge_label_count.to_string(),
+        ]);
+    }
+    ctx.emit(
+        "table3",
+        &["dataset", "avg_nodes", "avg_edges", "graphs", "node_labels", "edge_labels"],
+        &rows,
+    );
+}
+
+/// Table 4: CR and π(A) for REP vs DIV(θ) vs DIV(2θ) at k ∈ {10,25,50,100},
+/// plus the DisC row (full-coverage answer).
+pub fn table4(ctx: &Ctx) {
+    let mut rows: Vec<Row> = Vec::new();
+    for spec in standard_specs(ctx.base_size, ctx.seed) {
+        let data = spec.generate();
+        let oracle = ctx.oracle(&data.db);
+        let theta = data.default_theta;
+        let query = data.default_query();
+        let relevant = query.relevant_set(&data.db);
+        let provider = BruteForceProvider::new(&oracle, &relevant);
+        let index = ctx.nb_index(&data, oracle.clone());
+
+        for k in [10usize, 25, 50, 100] {
+            if k > relevant.len() {
+                continue;
+            }
+            let (rep, _) = index.query(relevant.clone(), theta, k);
+            let divt = div_topk(&provider, &relevant, theta, k, DivVariant::Theta);
+            let div2 = div_topk(&provider, &relevant, theta, k, DivVariant::TwoTheta);
+            let eval = |ids: &[u32]| {
+                evaluate_answer(ids, &relevant, |g| provider.neighborhood(g, theta))
+            };
+            let (dte, d2e) = (eval(&divt.ids), eval(&div2.ids));
+            rows.push(vec![
+                spec.kind.name().into(),
+                k.to_string(),
+                f(rep.compression_ratio()),
+                f(rep.pi()),
+                f(dte.compression_ratio()),
+                f(dte.pi()),
+                f(d2e.compression_ratio()),
+                f(d2e.pi()),
+            ]);
+        }
+        // DisC row: full covering answer.
+        let disc = greedy_disc(&provider, &relevant, theta, None);
+        rows.push(vec![
+            spec.kind.name().into(),
+            "disc-full".into(),
+            f(disc.covered as f64 / disc.ids.len().max(1) as f64),
+            "1.0000".into(),
+            String::new(),
+            String::new(),
+            disc.ids.len().to_string(),
+            String::new(),
+        ]);
+    }
+    ctx.emit(
+        "table4",
+        &[
+            "dataset", "k", "rep_cr", "rep_pi", "div_theta_cr", "div_theta_pi", "div_2theta_cr",
+            "div_2theta_pi",
+        ],
+        &rows,
+    );
+}
+
+/// Fig 7: traditional top-5 vs representative top-5, with scaffold-family
+/// ground truth and intra-answer structural distances.
+pub fn fig7(ctx: &Ctx) {
+    let spec = standard_specs(ctx.base_size, ctx.seed)[0];
+    let data = spec.generate();
+    let oracle = ctx.oracle(&data.db);
+    let theta = data.default_theta;
+    let query = data.default_query();
+    let relevant = query.relevant_set(&data.db);
+    let k = 5;
+
+    let trad = traditional_topk(&data.db, &query, k);
+    let index = ctx.nb_index(&data, oracle.clone());
+    let (rep, _) = index.query(relevant.clone(), theta, k);
+
+    let provider = BruteForceProvider::new(&oracle, &relevant);
+    let avg_pairwise = |ids: &[u32]| {
+        let mut tot = 0.0;
+        let mut cnt = 0.0;
+        for (i, &a) in ids.iter().enumerate() {
+            for &b in &ids[i + 1..] {
+                tot += oracle.distance(a, b);
+                cnt += 1.0;
+            }
+        }
+        if cnt == 0.0 {
+            0.0
+        } else {
+            tot / cnt
+        }
+    };
+    let fams = |ids: &[u32]| {
+        let mut v: Vec<u32> = ids.iter().map(|&g| data.family[g as usize]).collect();
+        v.sort_unstable();
+        v.dedup();
+        v.len()
+    };
+    let mut rows: Vec<Row> = Vec::new();
+    for (name, ids) in [("traditional", &trad), ("representative", &rep.ids)] {
+        let e = evaluate_answer(ids, &relevant, |g| provider.neighborhood(g, theta));
+        rows.push(vec![
+            name.into(),
+            format!("{ids:?}").replace(',', ";"),
+            fams(ids).to_string(),
+            f(avg_pairwise(ids)),
+            f(e.pi()),
+            f(e.compression_ratio()),
+        ]);
+    }
+    ctx.emit(
+        "fig7",
+        &["answer_set", "ids", "distinct_families", "avg_pairwise_ged", "pi", "cr"],
+        &rows,
+    );
+}

@@ -1,0 +1,182 @@
+//! Fig 6(i)–(j): interactive θ refinement (zoom-in / zoom-out).
+
+use super::standard_specs;
+use crate::harness::{f, timed, Ctx, Row};
+use graphrep_baselines::providers::{relevant_mask, CTreeProvider, MTreeProvider};
+use graphrep_baselines::{greedy_disc, CTree, MTree};
+use graphrep_core::baseline_greedy;
+use graphrep_datagen::{Dataset, DatasetSpec};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Runs the paper's refinement protocol: query at the default θ, then 20
+/// re-queries at ±10%, alternating zoom-in and zoom-out. Returns the average
+/// per-refinement wall time.
+fn refinement_protocol(mut run_at: impl FnMut(f64) -> f64, theta0: f64) -> (f64, f64) {
+    let _first = run_at(theta0);
+    let mut theta = theta0;
+    let mut zoom_in = 0.0;
+    let mut zoom_out = 0.0;
+    for i in 0..20 {
+        if i % 2 == 0 {
+            theta *= 0.9;
+            zoom_in += run_at(theta);
+        } else {
+            theta *= 1.1;
+            zoom_out += run_at(theta);
+        }
+    }
+    (zoom_in / 10.0, zoom_out / 10.0)
+}
+
+/// Fig 6(i): average zoom-in / zoom-out times per technique.
+pub fn fig6i(ctx: &Ctx) {
+    let mut rows: Vec<Row> = Vec::new();
+    for spec in standard_specs(ctx.base_size, ctx.seed) {
+        let data = spec.generate();
+        let relevant = data.default_query().relevant_set(&data.db);
+        let theta0 = data.default_theta;
+        let k = 10;
+
+        // NB-Index: initialization once; refinements re-run search-and-update.
+        let oracle = ctx.oracle(&data.db);
+        let index = ctx.nb_index(&data, oracle.clone());
+        let session = index.start_session(relevant.clone());
+        let (nb_in, nb_out) =
+            refinement_protocol(|t| timed(|| session.run(t, k)).1, theta0);
+
+        // C-tree: every refinement is a brand-new greedy query.
+        let oracle = ctx.oracle(&data.db);
+        let mut rng = SmallRng::seed_from_u64(ctx.seed);
+        let ctree = CTree::build(&oracle, &mut rng);
+        let mask = relevant_mask(oracle.len(), &relevant);
+        let (ct_in, ct_out) = refinement_protocol(
+            |t| {
+                timed(|| {
+                    baseline_greedy(
+                        &CTreeProvider {
+                            tree: &ctree,
+                            oracle: &oracle,
+                            relevant: mask.clone(),
+                        },
+                        &relevant,
+                        t,
+                        k,
+                    )
+                })
+                .1
+            },
+            theta0,
+        );
+
+        // DisC over its M-tree, truncated at k.
+        let oracle = ctx.oracle(&data.db);
+        let mtree = MTree::build(&oracle, &mut rng);
+        let mask = relevant_mask(oracle.len(), &relevant);
+        let (dc_in, dc_out) = refinement_protocol(
+            |t| {
+                timed(|| {
+                    greedy_disc(
+                        &MTreeProvider {
+                            tree: &mtree,
+                            oracle: &oracle,
+                            relevant: mask.clone(),
+                        },
+                        &relevant,
+                        t,
+                        Some(k),
+                    )
+                })
+                .1
+            },
+            theta0,
+        );
+
+        rows.push(vec![
+            spec.kind.name().into(),
+            f(nb_in),
+            f(nb_out),
+            f(ct_in),
+            f(ct_out),
+            f(dc_in),
+            f(dc_out),
+        ]);
+    }
+    ctx.emit(
+        "fig6i_refinement",
+        &[
+            "dataset",
+            "nb_zoom_in_s",
+            "nb_zoom_out_s",
+            "ctree_zoom_in_s",
+            "ctree_zoom_out_s",
+            "disc_zoom_in_s",
+            "disc_zoom_out_s",
+        ],
+        &rows,
+    );
+}
+
+/// Fig 6(j): refinement time against dataset size (NB-Index vs C-tree).
+pub fn fig6j(ctx: &Ctx) {
+    let spec = standard_specs(ctx.base_size, ctx.seed)[0];
+    let full = spec.generate();
+    let mut rows: Vec<Row> = Vec::new();
+    let top = ctx.base_size;
+    let sizes: Vec<usize> = [top / 4, top / 2, 3 * top / 4, top]
+        .into_iter()
+        .filter(|&s| s >= 50)
+        .collect();
+    for &n in &sizes {
+        let data = Dataset {
+            db: full.db.prefix(n),
+            family: full.family[..n].to_vec(),
+            spec: DatasetSpec { size: n, ..spec },
+            default_theta: full.default_theta,
+            default_ladder: full.default_ladder.clone(),
+        };
+        let relevant = data.default_query().relevant_set(&data.db);
+        let theta0 = data.default_theta;
+        let k = 10;
+
+        let oracle = ctx.oracle(&data.db);
+        let index = ctx.nb_index(&data, oracle.clone());
+        let session = index.start_session(relevant.clone());
+        let (nb_in, nb_out) =
+            refinement_protocol(|t| timed(|| session.run(t, k)).1, theta0);
+
+        let oracle = ctx.oracle(&data.db);
+        let mut rng = SmallRng::seed_from_u64(ctx.seed);
+        let ctree = CTree::build(&oracle, &mut rng);
+        let mask = relevant_mask(oracle.len(), &relevant);
+        let (ct_in, ct_out) = refinement_protocol(
+            |t| {
+                timed(|| {
+                    baseline_greedy(
+                        &CTreeProvider {
+                            tree: &ctree,
+                            oracle: &oracle,
+                            relevant: mask.clone(),
+                        },
+                        &relevant,
+                        t,
+                        k,
+                    )
+                })
+                .1
+            },
+            theta0,
+        );
+
+        rows.push(vec![
+            n.to_string(),
+            f((nb_in + nb_out) / 2.0),
+            f((ct_in + ct_out) / 2.0),
+        ]);
+    }
+    ctx.emit(
+        "fig6j_refine_scale",
+        &["db_size", "nb_refine_s", "ctree_refine_s"],
+        &rows,
+    );
+}

@@ -1,0 +1,159 @@
+//! Post-processing: digest the results CSVs into the headline numbers
+//! EXPERIMENTS.md reports (speedup ranges, call reductions, shape checks).
+
+use crate::harness::{f, Ctx, Row};
+use std::collections::BTreeMap;
+use std::fs;
+
+/// A loaded CSV: header plus rows.
+pub struct Csv {
+    /// Column names.
+    pub header: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Csv {
+    /// Loads `results/<name>.csv` if present.
+    pub fn load(ctx: &Ctx, name: &str) -> Option<Csv> {
+        let text = fs::read_to_string(ctx.out_dir.join(format!("{name}.csv"))).ok()?;
+        let mut lines = text.lines();
+        let header = lines.next()?.split(',').map(str::to_owned).collect();
+        let rows = lines
+            .filter(|l| !l.trim().is_empty())
+            .map(|l| l.split(',').map(str::to_owned).collect())
+            .collect();
+        Some(Csv { header, rows })
+    }
+
+    /// Column index by name.
+    pub fn col(&self, name: &str) -> Option<usize> {
+        self.header.iter().position(|h| h == name)
+    }
+
+    /// Parses cell `(row, col-name)` as f64.
+    pub fn num(&self, row: &[String], name: &str) -> Option<f64> {
+        let c = self.col(name)?;
+        row.get(c)?.parse().ok()
+    }
+}
+
+/// Min/max speedup of NB over the best competing technique per dataset.
+fn speedups(csv: &Csv, group_col: &str, nb_col: &str, others: &[&str]) -> Vec<(String, f64, f64)> {
+    let mut by_group: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    let Some(gc) = csv.col(group_col) else {
+        return vec![];
+    };
+    for row in &csv.rows {
+        let Some(nb) = csv.num(row, nb_col) else { continue };
+        if nb <= 0.0 {
+            continue;
+        }
+        let best_other = others
+            .iter()
+            .filter_map(|o| csv.num(row, o))
+            .fold(f64::INFINITY, f64::min);
+        if best_other.is_finite() {
+            by_group
+                .entry(row[gc].clone())
+                .or_default()
+                .push(best_other / nb);
+        }
+    }
+    by_group
+        .into_iter()
+        .filter(|(_, v)| !v.is_empty())
+        .map(|(g, v)| {
+            let lo = v.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = v.iter().copied().fold(0.0f64, f64::max);
+            (g, lo, hi)
+        })
+        .collect()
+}
+
+/// Emits the summary table.
+pub fn summary(ctx: &Ctx) {
+    let mut rows: Vec<Row> = Vec::new();
+    let sources = [
+        ("fig5ik_time_vs_theta", "dataset"),
+        ("fig6bd_scale", "dataset"),
+        ("fig6eg_k", "dataset"),
+    ];
+    for (name, group) in sources {
+        let Some(csv) = Csv::load(ctx, name) else {
+            eprintln!("summary: {name}.csv missing — run the experiment first");
+            continue;
+        };
+        for (dataset, lo, hi) in speedups(&csv, group, "nb_s", &["disc_s", "ctree_s", "div_s"]) {
+            rows.push(vec![
+                name.into(),
+                dataset.clone(),
+                "wall".into(),
+                f(lo),
+                f(hi),
+            ]);
+        }
+        for (dataset, lo, hi) in speedups(
+            &csv,
+            group,
+            "nb_calls",
+            &["disc_calls", "ctree_calls", "div_calls"],
+        ) {
+            rows.push(vec![name.into(), dataset, "edit-distances".into(), f(lo), f(hi)]);
+        }
+    }
+    ctx.emit(
+        "summary_speedups",
+        &["experiment", "dataset", "metric", "nb_speedup_min", "nb_speedup_max"],
+        &rows,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_with(name: &str, content: &str) -> Ctx {
+        let dir = std::env::temp_dir().join(format!("graphrep-summary-{}", std::process::id()));
+        let _ = fs::create_dir_all(&dir);
+        fs::write(dir.join(format!("{name}.csv")), content).unwrap();
+        Ctx {
+            out_dir: dir,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn csv_load_and_lookup() {
+        let ctx = ctx_with("unit_src", "a,b\n1,2\n3,4\n");
+        let csv = Csv::load(&ctx, "unit_src").unwrap();
+        assert_eq!(csv.header, vec!["a", "b"]);
+        assert_eq!(csv.rows.len(), 2);
+        assert_eq!(csv.num(&csv.rows[1], "b"), Some(4.0));
+        assert_eq!(csv.col("missing"), None);
+    }
+
+    #[test]
+    fn speedups_compute_ratio_ranges() {
+        let ctx = ctx_with(
+            "unit_sp",
+            "dataset,nb_s,disc_s,ctree_s,div_s\nD,1.0,10.0,5.0,8.0\nD,2.0,4.0,40.0,40.0\n",
+        );
+        let csv = Csv::load(&ctx, "unit_sp").unwrap();
+        let s = speedups(&csv, "dataset", "nb_s", &["disc_s", "ctree_s", "div_s"]);
+        assert_eq!(s.len(), 1);
+        let (g, lo, hi) = &s[0];
+        assert_eq!(g, "D");
+        assert!((lo - 2.0).abs() < 1e-9, "{lo}"); // min(4/2, 5/1) = 2
+        assert!((hi - 5.0).abs() < 1e-9, "{hi}");
+    }
+
+    #[test]
+    fn missing_file_is_none() {
+        let ctx = Ctx {
+            out_dir: std::path::PathBuf::from("/nonexistent-summary-dir"),
+            ..Default::default()
+        };
+        assert!(Csv::load(&ctx, "nope").is_none());
+    }
+}

@@ -1,0 +1,107 @@
+//! Timing, CSV emission, and common experiment setup.
+
+use graphrep_core::{GraphDatabase, NbIndex, NbIndexConfig};
+use graphrep_datagen::Dataset;
+use graphrep_ged::{DistanceOracle, GedConfig};
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A CSV row: already-formatted cells.
+pub type Row = Vec<String>;
+
+/// Experiment context: where results are mirrored, scale factor, seed.
+pub struct Ctx {
+    /// Output directory (`results/` by default).
+    pub out_dir: PathBuf,
+    /// Base dataset size for non-sweep experiments.
+    pub base_size: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Ctx {
+    fn default() -> Self {
+        Self {
+            out_dir: PathBuf::from("results"),
+            base_size: 400,
+            seed: 20140622, // SIGMOD'14 opening day
+        }
+    }
+}
+
+impl Ctx {
+    /// Emits a CSV table to stdout and mirrors it to `results/<name>.csv`.
+    pub fn emit(&self, name: &str, header: &[&str], rows: &[Row]) {
+        let mut text = String::new();
+        let _ = writeln!(text, "{}", header.join(","));
+        for r in rows {
+            let _ = writeln!(text, "{}", r.join(","));
+        }
+        println!("# {name}");
+        print!("{text}");
+        println!();
+        let _ = fs::create_dir_all(&self.out_dir);
+        let path = self.out_dir.join(format!("{name}.csv"));
+        if fs::write(&path, &text).is_err() {
+            eprintln!("warning: could not write {}", path.display());
+        }
+    }
+
+    /// Standard oracle over a database (exact GED, uniform costs).
+    pub fn oracle(&self, db: &GraphDatabase) -> Arc<DistanceOracle> {
+        db.oracle(GedConfig::default())
+    }
+
+    /// Standard NB-Index build for a dataset (paper-style parameters scaled
+    /// to our datasets: Sec 8.2.2).
+    pub fn nb_index(&self, data: &Dataset, oracle: Arc<DistanceOracle>) -> NbIndex {
+        NbIndex::build(
+            oracle,
+            NbIndexConfig {
+                num_vps: 16,
+                ladder: data.default_ladder.clone(),
+                seed: self.seed,
+                ..NbIndexConfig::default()
+            },
+        )
+    }
+}
+
+/// Times a closure, returning `(result, seconds)`.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64())
+}
+
+/// Formats a float with 4 significant decimals for CSV cells.
+pub fn f(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_returns_value_and_positive_time() {
+        let (v, t) = timed(|| (0..1000).sum::<u64>());
+        assert_eq!(v, 499_500);
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn emit_writes_file() {
+        let dir = std::env::temp_dir().join("graphrep-bench-test");
+        let ctx = Ctx {
+            out_dir: dir.clone(),
+            ..Default::default()
+        };
+        ctx.emit("unit", &["a", "b"], &[vec!["1".into(), "2".into()]]);
+        let text = std::fs::read_to_string(dir.join("unit.csv")).unwrap();
+        assert_eq!(text, "a,b\n1,2\n");
+    }
+}

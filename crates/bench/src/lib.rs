@@ -1,0 +1,10 @@
+//! Experiment harness shared code: dataset/index setup, timing, CSV output.
+//!
+//! Each experiment binary subcommand regenerates one table or figure of the
+//! paper (see DESIGN.md §5 for the index). Output goes to stdout as CSV and
+//! is mirrored under `results/`.
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{Ctx, Row};

@@ -1,0 +1,84 @@
+//! Smoke tests: every experiment function runs at a tiny scale and writes
+//! its CSV. Keeps the harness honest without the cost of a full run.
+
+use graphrep_bench::experiments;
+use graphrep_bench::harness::Ctx;
+use std::fs;
+
+fn tiny_ctx(tag: &str) -> Ctx {
+    let dir = std::env::temp_dir().join(format!("graphrep-smoke-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    Ctx {
+        out_dir: dir,
+        base_size: 60,
+        seed: 7,
+    }
+}
+
+fn csv_exists(ctx: &Ctx, name: &str) -> bool {
+    ctx.out_dir.join(format!("{name}.csv")).exists()
+}
+
+#[test]
+fn quality_experiments_smoke() {
+    let ctx = tiny_ctx("quality");
+    assert!(experiments::run(&ctx, "table3"));
+    assert!(experiments::run(&ctx, "table4"));
+    assert!(experiments::run(&ctx, "fig7"));
+    for f in ["table3", "table4", "fig7"] {
+        assert!(csv_exists(&ctx, f), "{f}.csv missing");
+    }
+    let _ = fs::remove_dir_all(&ctx.out_dir);
+}
+
+#[test]
+fn distance_experiments_smoke() {
+    let ctx = tiny_ctx("dist");
+    assert!(experiments::run(&ctx, "fig5dist"));
+    assert!(experiments::run(&ctx, "fig5fpr"));
+    for f in ["fig5ab_cdf", "fig5ce_hist", "fig5_dist_stats", "fig5fh_fpr"] {
+        assert!(csv_exists(&ctx, f), "{f}.csv missing");
+    }
+    let _ = fs::remove_dir_all(&ctx.out_dir);
+}
+
+#[test]
+fn scalability_experiments_smoke() {
+    let ctx = tiny_ctx("scale");
+    assert!(experiments::run(&ctx, "fig6a"));
+    assert!(experiments::run(&ctx, "fig6h"));
+    for f in ["fig6a_ladder_gap", "fig6h_dims"] {
+        assert!(csv_exists(&ctx, f), "{f}.csv missing");
+    }
+    let _ = fs::remove_dir_all(&ctx.out_dir);
+}
+
+#[test]
+fn ablation_and_summary_smoke() {
+    let ctx = tiny_ctx("abl");
+    assert!(experiments::run(&ctx, "ablation-bounds"));
+    assert!(csv_exists(&ctx, "ablation_bounds"));
+    // Summary needs the sweep CSVs; make a fake minimal one.
+    fs::write(
+        ctx.out_dir.join("fig5ik_time_vs_theta.csv"),
+        "dataset,theta,nb_s,nb_calls,disc_s,disc_calls,ctree_s,ctree_calls,div_s,div_calls,matrix_s\nD,4,0.1,10,1.0,100,0.5,50,0.4,40,0.01\n",
+    )
+    .unwrap();
+    assert!(experiments::run(&ctx, "summary"));
+    assert!(csv_exists(&ctx, "summary_speedups"));
+    let _ = fs::remove_dir_all(&ctx.out_dir);
+}
+
+#[test]
+fn unknown_experiment_rejected() {
+    let ctx = tiny_ctx("bogus");
+    assert!(!experiments::run(&ctx, "not-an-experiment"));
+}
+
+#[test]
+fn motivation_smoke() {
+    let ctx = tiny_ctx("motiv");
+    assert!(experiments::run(&ctx, "fig2a"));
+    assert!(csv_exists(&ctx, "fig2a"));
+    let _ = fs::remove_dir_all(&ctx.out_dir);
+}

@@ -1,0 +1,22 @@
+//! The `graphrep` command-line tool.
+
+use graphrep_cli::{parse, run};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match parse(&argv) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", graphrep_cli::commands::HELP);
+            std::process::exit(2);
+        }
+    };
+    match run(&cmd) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! Subcommand implementations. Each returns its textual output so the
+//! integration tests can assert on it.
+
+use crate::args::Command;
+use crate::CliError;
+use graphrep_baselines::traditional_topk;
+use graphrep_core::{GraphDatabase, NbIndex, NbIndexConfig, NbTreeConfig, RelevanceQuery, Scorer};
+use graphrep_datagen::{store, Dataset, DatasetSpec};
+use graphrep_ged::{DistanceOracle, GedConfig, GedMode};
+use graphrep_graph::stats::DatasetStats;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Dispatches a parsed command, returning its output.
+pub fn run(cmd: &Command) -> Result<String, CliError> {
+    match cmd.name.as_str() {
+        "generate" => generate(cmd),
+        "stats" => stats(cmd),
+        "index" => index(cmd),
+        "query" => query(cmd),
+        "refine" => refine(cmd),
+        "topk" => topk(cmd),
+        "compare" => compare(cmd),
+        "help" | "--help" | "-h" => Ok(HELP.to_owned()),
+        other => Err(CliError(format!(
+            "unknown subcommand `{other}`; try `graphrep help`"
+        ))),
+    }
+}
+
+/// Usage text.
+pub const HELP: &str = "\
+graphrep — top-k representative queries on graph databases (SIGMOD'14)
+
+subcommands:
+  generate --kind dud|dblp|amazon --size N [--seed S] --out DIR
+  stats    --data DIR
+  index    --data DIR [--vps N] [--branching B] [--ladder a,b,c] [--out FILE]
+  query    --data DIR --theta T --k K [--index FILE] [--quantile Q] [--hybrid MAXN]
+  refine   --data DIR --theta T --k K --steps t1,t2,... [--index FILE]
+  topk     --data DIR --k K
+  compare  --data DIR --theta T --k K     (REP vs DIV vs DisC vs top-k)
+";
+
+fn load_dataset(cmd: &Command) -> Result<Dataset, CliError> {
+    let dir = cmd.req("data")?;
+    store::load(Path::new(dir)).map_err(|e| CliError(format!("loading {dir}: {e}")))
+}
+
+fn make_oracle(cmd: &Command, db: &GraphDatabase) -> Result<Arc<DistanceOracle>, CliError> {
+    let mut config = GedConfig::default();
+    if let Some(maxn) = cmd.opt("hybrid") {
+        let exact_max_nodes = maxn
+            .parse()
+            .map_err(|_| CliError(format!("--hybrid: bad node count `{maxn}`")))?;
+        config.mode = GedMode::Hybrid { exact_max_nodes };
+    }
+    Ok(db.oracle(config))
+}
+
+fn build_or_load_index(
+    cmd: &Command,
+    data: &Dataset,
+    oracle: Arc<DistanceOracle>,
+) -> Result<NbIndex, CliError> {
+    if let Some(path) = cmd.opt("index") {
+        if Path::new(path).exists() {
+            let json = std::fs::read_to_string(path)
+                .map_err(|e| CliError(format!("reading {path}: {e}")))?;
+            return NbIndex::load_json(&json, oracle)
+                .map_err(|e| CliError(format!("loading index {path}: {e}")));
+        }
+    }
+    Ok(NbIndex::build(
+        oracle,
+        NbIndexConfig {
+            num_vps: cmd.parsed_or("vps", 16usize)?,
+            tree: NbTreeConfig {
+                branching: cmd.parsed_or("branching", 8usize)?,
+                ..NbTreeConfig::default()
+            },
+            ladder: cmd
+                .float_list("ladder")?
+                .unwrap_or_else(|| data.default_ladder.clone()),
+            seed: cmd.parsed_or("seed", 0x5eedu64)?,
+        },
+    ))
+}
+
+fn default_query(cmd: &Command, data: &Dataset) -> Result<RelevanceQuery, CliError> {
+    let q: f64 = cmd.parsed_or("quantile", 0.75)?;
+    let scorer = Scorer::MeanOfDims((0..data.db.dims().max(1)).collect());
+    Ok(RelevanceQuery::top_quantile(&data.db, scorer, q))
+}
+
+fn generate(cmd: &Command) -> Result<String, CliError> {
+    let kind = store::kind_from_str(cmd.req("kind")?)
+        .ok_or_else(|| CliError("--kind must be dud, dblp or amazon".into()))?;
+    let size: usize = cmd.parsed("size")?;
+    let seed: u64 = cmd.parsed_or("seed", 42u64)?;
+    let out = cmd.req("out")?;
+    let data = DatasetSpec::new(kind, size, seed).generate();
+    store::save(&data, Path::new(out)).map_err(|e| CliError(format!("writing {out}: {e}")))?;
+    Ok(format!(
+        "wrote {} graphs ({}) to {out} — default θ = {}\n",
+        data.db.len(),
+        kind.name(),
+        data.default_theta
+    ))
+}
+
+fn stats(cmd: &Command) -> Result<String, CliError> {
+    let data = load_dataset(cmd)?;
+    let s = DatasetStats::compute(data.db.graphs());
+    let mut out = String::new();
+    let _ = writeln!(out, "dataset: {} ({})", cmd.req("data")?, data.spec.kind.name());
+    let _ = writeln!(out, "{s}");
+    let _ = writeln!(out, "feature dims: {}", data.db.dims());
+    let _ = writeln!(out, "default θ: {}", data.default_theta);
+    let _ = writeln!(out, "default ladder: {:?}", data.default_ladder);
+    Ok(out)
+}
+
+fn index(cmd: &Command) -> Result<String, CliError> {
+    let data = load_dataset(cmd)?;
+    let oracle = make_oracle(cmd, &data.db)?;
+    let index = build_or_load_index(cmd, &data, oracle)?;
+    let b = index.build_stats();
+    let mut out = format!(
+        "index built in {:.2?}: {} edit distances, {} tree nodes, {} VPs, {} bytes\n",
+        b.wall,
+        b.distance_calls,
+        index.tree().nodes().len(),
+        index.vantage().num_vps(),
+        index.memory_bytes(),
+    );
+    if let Some(path) = cmd.opt("out") {
+        std::fs::write(path, index.save_json())
+            .map_err(|e| CliError(format!("writing {path}: {e}")))?;
+        let _ = writeln!(out, "saved to {path}");
+    }
+    Ok(out)
+}
+
+fn query(cmd: &Command) -> Result<String, CliError> {
+    let data = load_dataset(cmd)?;
+    let theta: f64 = cmd.parsed("theta")?;
+    let k: usize = cmd.parsed("k")?;
+    let oracle = make_oracle(cmd, &data.db)?;
+    let index = build_or_load_index(cmd, &data, oracle)?;
+    let rq = default_query(cmd, &data)?;
+    let relevant = rq.relevant_set(&data.db);
+    let (answer, stats) = index.query(relevant.clone(), theta, k);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "|L_q| = {}, θ = {theta}, k = {k} → {} answers in {:.2?} ({} edit distances)",
+        relevant.len(),
+        answer.len(),
+        stats.wall,
+        stats.distance_calls
+    );
+    for (i, &g) in answer.ids.iter().enumerate() {
+        let graph = data.db.graph(g);
+        let _ = writeln!(
+            out,
+            "  {:>2}. graph {g:>5}  {} nodes / {} edges  score {:.3}  π so far {:.3}",
+            i + 1,
+            graph.node_count(),
+            graph.edge_count(),
+            rq.score(&data.db, g),
+            answer.pi_trajectory[i]
+        );
+    }
+    let _ = writeln!(
+        out,
+        "π(A) = {:.3}, compression ratio = {:.1}",
+        answer.pi(),
+        answer.compression_ratio()
+    );
+    Ok(out)
+}
+
+fn refine(cmd: &Command) -> Result<String, CliError> {
+    let data = load_dataset(cmd)?;
+    let theta: f64 = cmd.parsed("theta")?;
+    let k: usize = cmd.parsed("k")?;
+    let steps = cmd
+        .float_list("steps")?
+        .ok_or_else(|| CliError("--steps is required (comma-separated θ values)".into()))?;
+    let oracle = make_oracle(cmd, &data.db)?;
+    let index = build_or_load_index(cmd, &data, oracle)?;
+    let rq = default_query(cmd, &data)?;
+    let relevant = rq.relevant_set(&data.db);
+    let session = index.start_session(relevant);
+    let mut out = format!("initialization: {:.2?}\n", session.init_wall());
+    for t in std::iter::once(theta).chain(steps) {
+        let (answer, stats) = session.run(t, k);
+        let _ = writeln!(
+            out,
+            "θ = {t:>6.2}: π = {:.3}, CR = {:>6.1}, {} edit distances, {:.2?}",
+            answer.pi(),
+            answer.compression_ratio(),
+            stats.distance_calls,
+            stats.wall
+        );
+    }
+    Ok(out)
+}
+
+fn topk(cmd: &Command) -> Result<String, CliError> {
+    let data = load_dataset(cmd)?;
+    let k: usize = cmd.parsed("k")?;
+    let rq = default_query(cmd, &data)?;
+    let ids = traditional_topk(&data.db, &rq, k);
+    let mut out = format!("traditional top-{k} by score:\n");
+    for &g in &ids {
+        let _ = writeln!(out, "  graph {g:>5}  score {:.3}", rq.score(&data.db, g));
+    }
+    Ok(out)
+}
+
+fn compare(cmd: &Command) -> Result<String, CliError> {
+    use graphrep_baselines::{div_topk, greedy_disc, DivVariant};
+    use graphrep_core::{baseline_greedy, evaluate_answer, BruteForceProvider, NeighborhoodProvider};
+    let data = load_dataset(cmd)?;
+    let theta: f64 = cmd.parsed("theta")?;
+    let k: usize = cmd.parsed("k")?;
+    let oracle = make_oracle(cmd, &data.db)?;
+    let rq = default_query(cmd, &data)?;
+    let relevant = rq.relevant_set(&data.db);
+    let provider = BruteForceProvider::new(&oracle, &relevant);
+
+    let rep = baseline_greedy(&provider, &relevant, theta, k);
+    let divt = div_topk(&provider, &relevant, theta, k, DivVariant::Theta);
+    let div2 = div_topk(&provider, &relevant, theta, k, DivVariant::TwoTheta);
+    let disc = greedy_disc(&provider, &relevant, theta, None);
+    let trad = traditional_topk(&data.db, &rq, k);
+
+    let eval = |ids: &[u32]| evaluate_answer(ids, &relevant, |g| provider.neighborhood(g, theta));
+    let mut out = format!(
+        "|L_q| = {}, θ = {theta}, k = {k}\n{:<14} {:>6} {:>8} {:>8}\n",
+        relevant.len(),
+        "model",
+        "|A|",
+        "π(A)",
+        "CR"
+    );
+    let mut line = |name: &str, ids: &[u32]| {
+        let e = eval(ids);
+        let _ = writeln!(
+            out,
+            "{name:<14} {:>6} {:>8.3} {:>8.1}",
+            ids.len(),
+            e.pi(),
+            e.compression_ratio()
+        );
+    };
+    let typ = graphrep_baselines::topk_typicality(&oracle, &relevant, theta, k);
+    line("REP (greedy)", &rep.ids);
+    line("DIV(theta)", &divt.ids);
+    line("DIV(2theta)", &div2.ids);
+    line("DisC (full)", &disc.ids);
+    line("typicality", &typ.ids);
+    line("top-k", &trad);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn run_args(parts: &[&str]) -> Result<String, CliError> {
+        let argv: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
+        run(&parse(&argv).unwrap())
+    }
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("graphrep-cli-{name}-{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn full_cli_workflow() {
+        let dir = tmp("flow");
+        let out = run_args(&[
+            "generate", "--kind", "dud", "--size", "60", "--seed", "3", "--out", &dir,
+        ])
+        .unwrap();
+        assert!(out.contains("wrote 60 graphs"));
+
+        let out = run_args(&["stats", "--data", &dir]).unwrap();
+        assert!(out.contains("60 graphs"));
+
+        let idx = format!("{dir}/index.json");
+        let out = run_args(&["index", "--data", &dir, "--vps", "4", "--out", &idx]).unwrap();
+        assert!(out.contains("index built"));
+        assert!(std::path::Path::new(&idx).exists());
+
+        let out = run_args(&[
+            "query", "--data", &dir, "--index", &idx, "--theta", "4", "--k", "5",
+        ])
+        .unwrap();
+        assert!(out.contains("π(A)"), "{out}");
+
+        let out = run_args(&[
+            "refine", "--data", &dir, "--index", &idx, "--theta", "4", "--k", "5", "--steps",
+            "3.6,4.4",
+        ])
+        .unwrap();
+        assert!(out.matches("θ =").count() == 3, "{out}");
+
+        let out = run_args(&["topk", "--data", &dir, "--k", "3"]).unwrap();
+        assert!(out.contains("traditional top-3"));
+
+        let out = run_args(&["compare", "--data", &dir, "--theta", "4", "--k", "5"]).unwrap();
+        assert!(out.contains("REP (greedy)"), "{out}");
+        assert!(out.contains("DisC (full)"));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_subcommand_errors() {
+        assert!(run_args(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_args(&["help"]).unwrap();
+        assert!(out.contains("generate"));
+        assert!(out.contains("refine"));
+    }
+
+    #[test]
+    fn generate_rejects_bad_kind() {
+        let err = run_args(&["generate", "--kind", "zzz", "--size", "5", "--out", "/tmp/x"])
+            .unwrap_err();
+        assert!(err.0.contains("dud"));
+    }
+
+    #[test]
+    fn query_missing_data_errors() {
+        assert!(run_args(&["query", "--theta", "4", "--k", "3"]).is_err());
+    }
+}

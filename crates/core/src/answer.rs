@@ -1,0 +1,136 @@
+//! Answer sets and the representative-power objective (paper Eq. 3).
+
+use graphrep_graph::GraphId;
+use graphrep_metric::Bitset;
+
+/// The result of a top-k representative query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnswerSet {
+    /// Chosen graphs, in selection order.
+    pub ids: Vec<GraphId>,
+    /// Relevant graphs covered by the union of θ-neighborhoods.
+    pub covered: usize,
+    /// Size of the relevant set `|L_q|`.
+    pub relevant: usize,
+    /// Representative power after each greedy iteration (monotone).
+    pub pi_trajectory: Vec<f64>,
+}
+
+impl AnswerSet {
+    /// Representative power `π(A) = covered / |L_q|` (Eq. 3).
+    pub fn pi(&self) -> f64 {
+        if self.relevant == 0 {
+            0.0
+        } else {
+            self.covered as f64 / self.relevant as f64
+        }
+    }
+
+    /// Compression ratio `|N_θ(A)| / |A|` (Sec 8.3.1).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.ids.is_empty() {
+            0.0
+        } else {
+            self.covered as f64 / self.ids.len() as f64
+        }
+    }
+
+    /// Number of answers.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the answer set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+/// Evaluates `π` and the coverage of an arbitrary answer set against a
+/// ground-truth neighborhood function. Used to score baseline answer sets
+/// (DIV, DisC, traditional top-k) under the paper's objective.
+pub fn evaluate_answer(
+    ids: &[GraphId],
+    relevant: &[GraphId],
+    mut neighborhood: impl FnMut(GraphId) -> Vec<GraphId>,
+) -> AnswerSet {
+    let cap = relevant
+        .iter()
+        .copied()
+        .max()
+        .map_or(0, |m| m as usize + 1)
+        .max(ids.iter().copied().max().map_or(0, |m| m as usize + 1));
+    let rel_set = Bitset::from_indices(cap, relevant.iter().map(|&r| r as usize));
+    let mut covered = Bitset::new(cap);
+    let mut pi_trajectory = Vec::with_capacity(ids.len());
+    for &g in ids {
+        for n in neighborhood(g) {
+            if (n as usize) < cap && rel_set.contains(n as usize) {
+                covered.insert(n as usize);
+            }
+        }
+        pi_trajectory.push(if relevant.is_empty() {
+            0.0
+        } else {
+            covered.count() as f64 / relevant.len() as f64
+        });
+    }
+    AnswerSet {
+        ids: ids.to_vec(),
+        covered: covered.count(),
+        relevant: relevant.len(),
+        pi_trajectory,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pi_and_cr() {
+        let a = AnswerSet {
+            ids: vec![1, 2],
+            covered: 10,
+            relevant: 40,
+            pi_trajectory: vec![0.15, 0.25],
+        };
+        assert!((a.pi() - 0.25).abs() < 1e-12);
+        assert!((a.compression_ratio() - 5.0).abs() < 1e-12);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn empty_answer() {
+        let a = AnswerSet {
+            ids: vec![],
+            covered: 0,
+            relevant: 0,
+            pi_trajectory: vec![],
+        };
+        assert_eq!(a.pi(), 0.0);
+        assert_eq!(a.compression_ratio(), 0.0);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn evaluate_counts_unique_relevant_coverage() {
+        // Neighborhoods on a line: g covers {g−1, g, g+1} ∩ relevant.
+        let relevant = vec![0, 1, 2, 3, 4, 8];
+        let nbr = |g: GraphId| vec![g.saturating_sub(1), g, g + 1];
+        let a = evaluate_answer(&[1, 2], &relevant, nbr);
+        // 1 covers {0,1,2}; 2 covers {1,2,3} → union {0,1,2,3}.
+        assert_eq!(a.covered, 4);
+        assert_eq!(a.relevant, 6);
+        assert_eq!(a.pi_trajectory.len(), 2);
+        assert!(a.pi_trajectory[0] <= a.pi_trajectory[1]);
+    }
+
+    #[test]
+    fn evaluate_ignores_irrelevant_neighbors() {
+        let relevant = vec![5];
+        let a = evaluate_answer(&[5], &relevant, |_| vec![4, 5, 6]);
+        assert_eq!(a.covered, 1);
+        assert!((a.pi() - 1.0).abs() < 1e-12);
+    }
+}

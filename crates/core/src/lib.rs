@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! Top-k representative queries on graph databases — the core library.
+//!
+//! Implements the SIGMOD'14 paper's contribution end to end:
+//!
+//! * the problem model — [`GraphDatabase`], query-time [`RelevanceQuery`]
+//!   functions, and the representative-power objective ([`AnswerSet`]),
+//! * the `1 − 1/e` [`greedy`] approximation (Alg 1) over pluggable
+//!   θ-neighborhood providers,
+//! * the **NB-Index** ([`NbIndex`]): vantage orderings, the [`nbtree`]
+//!   hierarchical clustering, π̂-vectors over an indexed threshold ladder,
+//!   the Alg 2 best-first search, Thm 6–8 batch updates, and interactive
+//!   θ refinement via [`session::QuerySession`].
+//!
+//! The NB-Index path returns *exactly* the baseline greedy answer (ties
+//! broken toward smaller graph ids on both paths) while computing orders of
+//! magnitude fewer NP-hard edit distances.
+
+pub mod answer;
+pub mod celf;
+pub mod db;
+pub mod greedy;
+pub mod nbindex;
+pub mod nbtree;
+pub mod persist;
+pub mod pihat;
+pub mod relevance;
+pub mod session;
+
+pub use answer::{evaluate_answer, AnswerSet};
+pub use celf::{lazy_greedy, weighted_greedy, LazyStats, WeightedAnswer};
+pub use db::GraphDatabase;
+pub use greedy::{baseline_greedy, BruteForceProvider, NeighborhoodProvider};
+pub use nbindex::{BuildStats, NbIndex, NbIndexConfig};
+pub use nbtree::{NbTree, NbTreeConfig, TreeNode};
+pub use pihat::{PiHatVectors, ThresholdLadder};
+pub use relevance::{RelevanceQuery, Scorer};
+pub use session::{QuerySession, RunStats};

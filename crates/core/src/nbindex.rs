@@ -1,0 +1,191 @@
+//! The NB-Index (paper Sec 6.4): vantage orderings + NB-Tree + threshold
+//! ladder, unified behind one build/query interface.
+
+use crate::answer::AnswerSet;
+use crate::nbtree::{NbTree, NbTreeConfig};
+use crate::pihat::ThresholdLadder;
+use crate::session::{QuerySession, RunStats};
+use graphrep_ged::DistanceOracle;
+use graphrep_graph::GraphId;
+use graphrep_metric::VantageTable;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Construction parameters for the NB-Index.
+#[derive(Debug, Clone)]
+pub struct NbIndexConfig {
+    /// Number of vantage points `|V|` (Sec 6.2.1).
+    pub num_vps: usize,
+    /// NB-Tree clustering parameters.
+    pub tree: NbTreeConfig,
+    /// Distance thresholds indexed in π̂-vectors (Sec 7.1). May be empty, in
+    /// which case every run computes fresh bounds at its exact θ.
+    pub ladder: Vec<f64>,
+    /// RNG seed (VP choice, pivot sampling).
+    pub seed: u64,
+}
+
+impl Default for NbIndexConfig {
+    fn default() -> Self {
+        Self {
+            num_vps: 16,
+            tree: NbTreeConfig::default(),
+            ladder: vec![],
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Costs incurred while building the index (Fig 6(k)).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BuildStats {
+    /// Wall time of the build.
+    pub wall: Duration,
+    /// Edit-distance engine calls during the build.
+    pub distance_calls: u64,
+}
+
+/// The NB-Index over one graph database.
+#[derive(Debug)]
+pub struct NbIndex {
+    oracle: Arc<DistanceOracle>,
+    vantage: VantageTable,
+    tree: NbTree,
+    ladder: ThresholdLadder,
+    build_stats: BuildStats,
+}
+
+impl NbIndex {
+    /// Assembles an index from pre-built parts (used by persistence).
+    pub(crate) fn from_parts(
+        oracle: Arc<DistanceOracle>,
+        vantage: VantageTable,
+        tree: NbTree,
+        ladder: ThresholdLadder,
+        build_stats: BuildStats,
+    ) -> Self {
+        Self {
+            oracle,
+            vantage,
+            tree,
+            ladder,
+            build_stats,
+        }
+    }
+
+    /// Builds the index: vantage orderings first (they accelerate the
+    /// NB-Tree's pivot assignments), then the hierarchical clustering.
+    ///
+    /// The `|V| × n` vantage distances — the bulk of the build's NP-hard
+    /// work — are computed in parallel, one thread per available core; the
+    /// oracle's cache then serves them to the table construction.
+    pub fn build(oracle: Arc<DistanceOracle>, config: NbIndexConfig) -> Self {
+        let t0 = Instant::now();
+        let calls0 = oracle.engine_calls();
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let n = oracle.len();
+        let mut vp_ids: Vec<u32> = (0..n as u32).collect();
+        {
+            use rand::seq::SliceRandom;
+            vp_ids.shuffle(&mut rng);
+        }
+        vp_ids.truncate(config.num_vps.min(n));
+        warm_vp_distances(&oracle, &vp_ids);
+        let vantage = VantageTable::build_with_vps(n, vp_ids, &mut |a, b| oracle.distance(a, b));
+        let tree = NbTree::build(&oracle, Some(&vantage), config.tree, &mut rng);
+        let ladder = ThresholdLadder::new(config.ladder);
+        let build_stats = BuildStats {
+            wall: t0.elapsed(),
+            distance_calls: oracle.engine_calls() - calls0,
+        };
+        Self {
+            oracle,
+            vantage,
+            tree,
+            ladder,
+            build_stats,
+        }
+    }
+
+    /// The underlying distance oracle.
+    pub fn oracle(&self) -> &DistanceOracle {
+        &self.oracle
+    }
+
+    /// The vantage orderings.
+    pub fn vantage(&self) -> &VantageTable {
+        &self.vantage
+    }
+
+    /// The NB-Tree.
+    pub fn tree(&self) -> &NbTree {
+        &self.tree
+    }
+
+    /// The indexed threshold ladder.
+    pub fn ladder(&self) -> &ThresholdLadder {
+        &self.ladder
+    }
+
+    /// Replaces the threshold ladder (the vantage orderings and tree are
+    /// unchanged — ladder choice is an orthogonal, cheap re-indexing used by
+    /// the Fig 6(a) experiment). Sessions created afterwards use the new
+    /// ladder.
+    pub fn set_ladder(&mut self, thetas: Vec<f64>) {
+        self.ladder = ThresholdLadder::new(thetas);
+    }
+
+    /// Build-time costs.
+    pub fn build_stats(&self) -> BuildStats {
+        self.build_stats
+    }
+
+    /// Index memory footprint in bytes (vantage orderings + tree), Fig 6(l).
+    /// Session π̂-vectors are accounted by [`QuerySession::memory_bytes`].
+    pub fn memory_bytes(&self) -> usize {
+        self.vantage.memory_bytes() + self.tree.memory_bytes()
+    }
+
+    /// Initialization phase for a relevance function: computes π̂-vectors
+    /// once; the returned session answers any number of `(θ, k)` runs.
+    pub fn start_session(&self, relevant: Vec<GraphId>) -> QuerySession<'_> {
+        QuerySession::new(self, relevant)
+    }
+
+    /// One-shot top-k representative query.
+    pub fn query(&self, relevant: Vec<GraphId>, theta: f64, k: usize) -> (AnswerSet, RunStats) {
+        self.start_session(relevant).run(theta, k)
+    }
+}
+
+/// Computes all `vp × item` distances in parallel into the oracle's cache.
+/// Work is sliced round-robin over the item axis so threads stay balanced
+/// even when one VP's distances are much harder than another's.
+fn warm_vp_distances(oracle: &Arc<DistanceOracle>, vp_ids: &[u32]) {
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(vp_ids.len().max(1) * 2);
+    if threads <= 1 || oracle.len() < 64 {
+        return; // the sequential build will compute them on demand
+    }
+    crossbeam::thread::scope(|s| {
+        for t in 0..threads {
+            let oracle = Arc::clone(oracle);
+            let vp_ids = vp_ids.to_vec();
+            s.spawn(move |_| {
+                let n = oracle.len() as u32;
+                for &v in &vp_ids {
+                    let mut i = t as u32;
+                    while i < n {
+                        let _ = oracle.distance(v, i);
+                        i += threads as u32;
+                    }
+                }
+            });
+        }
+    })
+    .expect("vantage warm-up threads");
+}

@@ -1,0 +1,516 @@
+//! The NB-Tree: top-down hierarchical clustering of the database
+//! (paper Sec 6.4).
+//!
+//! Disjoint clusters are formed recursively: `b` pivots are chosen
+//! farthest-first, every graph is assigned to its closest pivot — using the
+//! vantage-point lower bound to skip most NP-hard distance computations —
+//! and the process recurses until clusters have at most `b` members. Each
+//! node stores its centroid, radius, and a diameter upper bound (sum of the
+//! two largest centroid distances), which power the Thm 6–8 batch updates.
+//!
+//! Graph ids are permuted DFS-wise into `leaf_order`, so every node owns a
+//! contiguous *position* range and cluster∩coverage counts are O(words)
+//! bitset range operations.
+
+use graphrep_ged::DistanceOracle;
+use graphrep_graph::GraphId;
+use graphrep_metric::VantageTable;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Serde adapter for the root's infinite radius/diameter: JSON has no
+/// `Infinity`, so non-finite values round-trip through `-1.0`.
+mod serde_radius {
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(v: &f64, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f64(if v.is_finite() { *v } else { -1.0 })
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<f64, D::Error> {
+        let v = f64::deserialize(d)?;
+        Ok(if v < 0.0 { f64::INFINITY } else { v })
+    }
+}
+
+/// One cluster node of the NB-Tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TreeNode {
+    /// The pivot graph acting as cluster centroid.
+    pub centroid: GraphId,
+    /// Max distance from the centroid to any member (∞ at the root).
+    #[serde(with = "serde_radius")]
+    pub radius: f64,
+    /// Upper bound on the pairwise diameter (∞ at the root).
+    #[serde(with = "serde_radius")]
+    pub diameter: f64,
+    /// Child node indices; empty for bottom clusters whose children are the
+    /// individual graphs in `start..end`.
+    pub children: Vec<u32>,
+    /// First leaf position owned by this node.
+    pub start: u32,
+    /// One past the last leaf position owned by this node.
+    pub end: u32,
+}
+
+impl TreeNode {
+    /// Number of graphs in this cluster.
+    pub fn size(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Whether this node's children are individual graphs.
+    pub fn is_bottom(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+/// The NB-Tree over a whole database.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NbTree {
+    nodes: Vec<TreeNode>,
+    /// `leaf_order[pos]` = graph id at leaf position `pos`.
+    leaf_order: Vec<GraphId>,
+    /// `pos_of[graph id]` = leaf position.
+    pos_of: Vec<u32>,
+    branching: usize,
+}
+
+/// Construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct NbTreeConfig {
+    /// Maximum fan-out `b` (also the bottom-cluster capacity).
+    pub branching: usize,
+    /// Sample size cap for farthest-first pivot selection.
+    pub pivot_sample: usize,
+}
+
+impl Default for NbTreeConfig {
+    fn default() -> Self {
+        Self {
+            branching: 8,
+            pivot_sample: 64,
+        }
+    }
+}
+
+struct Builder<'a> {
+    oracle: &'a DistanceOracle,
+    vt: Option<&'a VantageTable>,
+    cfg: NbTreeConfig,
+    nodes: Vec<TreeNode>,
+    leaf_order: Vec<GraphId>,
+}
+
+impl Builder<'_> {
+    /// Exact distance, as cached by the oracle.
+    fn dist(&self, i: GraphId, j: GraphId) -> f64 {
+        self.oracle.distance(i, j)
+    }
+
+    /// Chooses up to `b` pivots farthest-first from a sample of `members`.
+    fn choose_pivots<R: Rng + ?Sized>(&self, members: &[GraphId], rng: &mut R) -> Vec<GraphId> {
+        let b = self.cfg.branching;
+        let mut pool: Vec<GraphId> = members.to_vec();
+        pool.shuffle(rng);
+        pool.truncate(self.cfg.pivot_sample.max(b).min(members.len()));
+        let mut pivots = vec![pool[0]];
+        let mut mindist: Vec<f64> = pool.iter().map(|&g| self.dist(g, pivots[0])).collect();
+        while pivots.len() < b.min(pool.len()) {
+            let (best_i, &best_d) = mindist
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .expect("non-empty pool");
+            if best_d <= 0.0 {
+                break; // every remaining candidate coincides with a pivot
+            }
+            let p = pool[best_i];
+            pivots.push(p);
+            for (i, &g) in pool.iter().enumerate() {
+                let d = self.dist(g, p);
+                if d < mindist[i] {
+                    mindist[i] = d;
+                }
+            }
+        }
+        pivots
+    }
+
+    /// Closest pivot to `g`, pruning exact computations with the VP lower
+    /// bound (paper Sec 6.4). Returns `(pivot index, exact distance)`.
+    fn assign(&self, g: GraphId, pivots: &[GraphId]) -> (usize, f64) {
+        match self.vt {
+            Some(vt) => {
+                let mut order: Vec<(f64, usize)> = pivots
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &p)| (vt.lower_bound(g, p), i))
+                    .collect();
+                order.sort_by(|a, b| a.0.total_cmp(&b.0));
+                let mut best = f64::INFINITY;
+                let mut best_i = order[0].1;
+                for &(lb, i) in &order {
+                    if lb >= best {
+                        break; // ascending lbs: no remaining pivot can win
+                    }
+                    let d = self.dist(g, pivots[i]);
+                    if d < best {
+                        best = d;
+                        best_i = i;
+                    }
+                }
+                (best_i, best)
+            }
+            None => {
+                let mut best = f64::INFINITY;
+                let mut best_i = 0;
+                for (i, &p) in pivots.iter().enumerate() {
+                    let d = self.dist(g, p);
+                    if d < best {
+                        best = d;
+                        best_i = i;
+                    }
+                }
+                (best_i, best)
+            }
+        }
+    }
+
+    /// Builds the node for `members` with the given centroid and exact
+    /// centroid distances; returns its index.
+    fn build_cluster<R: Rng + ?Sized>(
+        &mut self,
+        members: Vec<GraphId>,
+        centroid: GraphId,
+        cent_dists: Vec<f64>,
+        rng: &mut R,
+    ) -> u32 {
+        let (radius, diameter) = radius_diameter(&cent_dists);
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(TreeNode {
+            centroid,
+            radius,
+            diameter,
+            children: vec![],
+            start: 0,
+            end: 0,
+        });
+        if members.len() <= self.cfg.branching {
+            let start = self.leaf_order.len() as u32;
+            self.leaf_order.extend(&members);
+            let end = self.leaf_order.len() as u32;
+            self.nodes[idx as usize].start = start;
+            self.nodes[idx as usize].end = end;
+            return idx;
+        }
+        let pivots = self.choose_pivots(&members, rng);
+        let mut parts: Vec<Vec<GraphId>> = vec![vec![]; pivots.len()];
+        let mut part_dists: Vec<Vec<f64>> = vec![vec![]; pivots.len()];
+        for &g in &members {
+            let (pi, d) = self.assign(g, &pivots);
+            parts[pi].push(g);
+            part_dists[pi].push(d);
+        }
+        // Degenerate split (duplicate-heavy data): fall back to a flat bottom
+        // cluster to guarantee termination.
+        if parts.iter().filter(|p| !p.is_empty()).count() <= 1 {
+            let start = self.leaf_order.len() as u32;
+            self.leaf_order.extend(&members);
+            let end = self.leaf_order.len() as u32;
+            self.nodes[idx as usize].start = start;
+            self.nodes[idx as usize].end = end;
+            return idx;
+        }
+        let start = self.leaf_order.len() as u32;
+        let mut children = Vec::new();
+        for (pi, (part, dists)) in parts.into_iter().zip(part_dists).enumerate() {
+            if part.is_empty() {
+                continue;
+            }
+            children.push(self.build_cluster(part, pivots[pi], dists, rng));
+        }
+        let end = self.leaf_order.len() as u32;
+        let n = &mut self.nodes[idx as usize];
+        n.children = children;
+        n.start = start;
+        n.end = end;
+        idx
+    }
+}
+
+/// Radius (max) and diameter bound (sum of two largest) from centroid
+/// distances.
+fn radius_diameter(cent_dists: &[f64]) -> (f64, f64) {
+    let (mut r1, mut r2) = (0.0f64, 0.0f64);
+    for &d in cent_dists {
+        if d > r1 {
+            r2 = r1;
+            r1 = d;
+        } else if d > r2 {
+            r2 = d;
+        }
+    }
+    (r1, r1 + r2)
+}
+
+impl NbTree {
+    /// Builds the tree over every graph the oracle holds.
+    pub fn build<R: Rng + ?Sized>(
+        oracle: &DistanceOracle,
+        vt: Option<&VantageTable>,
+        cfg: NbTreeConfig,
+        rng: &mut R,
+    ) -> Self {
+        assert!(cfg.branching >= 2, "branching factor must be at least 2");
+        let n = oracle.len();
+        let mut b = Builder {
+            oracle,
+            vt,
+            cfg,
+            nodes: Vec::new(),
+            leaf_order: Vec::with_capacity(n),
+        };
+        if n > 0 {
+            let members: Vec<GraphId> = (0..n as GraphId).collect();
+            let centroid = members[rng.gen_range(0..n)];
+            // Root: whole database; radius/diameter are left unbounded so the
+            // root is always traversed (it cannot be pruned anyway).
+            let idx = b.build_cluster(members, centroid, vec![], rng);
+            debug_assert_eq!(idx, 0);
+            b.nodes[0].radius = f64::INFINITY;
+            b.nodes[0].diameter = f64::INFINITY;
+        }
+        let mut pos_of = vec![0u32; n];
+        for (pos, &g) in b.leaf_order.iter().enumerate() {
+            pos_of[g as usize] = pos as u32;
+        }
+        NbTree {
+            nodes: b.nodes,
+            leaf_order: b.leaf_order,
+            pos_of,
+            branching: cfg.branching,
+        }
+    }
+
+    /// All nodes (index 0 is the root).
+    pub fn nodes(&self) -> &[TreeNode] {
+        &self.nodes
+    }
+
+    /// The node at `idx`.
+    pub fn node(&self, idx: u32) -> &TreeNode {
+        &self.nodes[idx as usize]
+    }
+
+    /// Root index (0), if the tree is non-empty.
+    pub fn root(&self) -> Option<u32> {
+        (!self.nodes.is_empty()).then_some(0)
+    }
+
+    /// Number of graphs indexed.
+    pub fn len(&self) -> usize {
+        self.leaf_order.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.leaf_order.is_empty()
+    }
+
+    /// The configured fan-out.
+    pub fn branching(&self) -> usize {
+        self.branching
+    }
+
+    /// Graph id at leaf position `pos`.
+    pub fn graph_at(&self, pos: u32) -> GraphId {
+        self.leaf_order[pos as usize]
+    }
+
+    /// Leaf position of graph `id`.
+    pub fn pos_of(&self, id: GraphId) -> u32 {
+        self.pos_of[id as usize]
+    }
+
+    /// The DFS leaf ordering.
+    pub fn leaf_order(&self) -> &[GraphId] {
+        &self.leaf_order
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| std::mem::size_of::<TreeNode>() + n.children.len() * 4)
+            .sum::<usize>()
+            + self.leaf_order.len() * 4
+            + self.pos_of.len() * 4
+    }
+
+    /// Checks structural invariants; exact radius/diameter containment is
+    /// verified against the oracle. Intended for tests.
+    pub fn validate(&self, oracle: &DistanceOracle) -> Result<(), String> {
+        if self.nodes.is_empty() {
+            return Ok(());
+        }
+        if self.leaf_order.len() != oracle.len() {
+            return Err("leaf order must cover the database".into());
+        }
+        let mut seen = vec![false; self.leaf_order.len()];
+        for &g in &self.leaf_order {
+            if seen[g as usize] {
+                return Err(format!("graph {g} appears twice"));
+            }
+            seen[g as usize] = true;
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.start > n.end || n.end as usize > self.leaf_order.len() {
+                return Err(format!("node {i} has bad range"));
+            }
+            // Children must tile the parent's range.
+            if !n.children.is_empty() {
+                let mut cursor = n.start;
+                for &c in &n.children {
+                    let cn = &self.nodes[c as usize];
+                    if cn.start != cursor {
+                        return Err(format!("node {i}: children not contiguous"));
+                    }
+                    cursor = cn.end;
+                }
+                if cursor != n.end {
+                    return Err(format!("node {i}: children do not tile range"));
+                }
+            }
+            if i != 0 {
+                for p in n.start..n.end {
+                    let g = self.leaf_order[p as usize];
+                    let d = oracle.distance(n.centroid, g);
+                    if d > n.radius + 1e-6 {
+                        return Err(format!("node {i}: member {g} outside radius"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphrep_ged::{GedConfig, GedEngine};
+    use graphrep_graph::generate::{mutate, random_connected};
+    use graphrep_graph::Graph;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn family_oracle(n_families: usize, per: usize, seed: u64) -> DistanceOracle {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut graphs: Vec<Graph> = Vec::new();
+        for _ in 0..n_families {
+            let base = random_connected(&mut rng, 7, 2, &[0, 1, 2, 3], &[8, 9]);
+            for _ in 0..per {
+                graphs.push(mutate(&mut rng, &base, 1, &[0, 1, 2, 3], &[8, 9]));
+            }
+        }
+        DistanceOracle::new(Arc::new(graphs), GedEngine::new(GedConfig::default()))
+    }
+
+    #[test]
+    fn build_and_validate() {
+        let oracle = family_oracle(4, 8, 5);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let tree = NbTree::build(
+            &oracle,
+            None,
+            NbTreeConfig {
+                branching: 4,
+                pivot_sample: 16,
+            },
+            &mut rng,
+        );
+        assert_eq!(tree.len(), 32);
+        tree.validate(&oracle).unwrap();
+    }
+
+    #[test]
+    fn positions_round_trip() {
+        let oracle = family_oracle(3, 6, 6);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let tree = NbTree::build(&oracle, None, NbTreeConfig::default(), &mut rng);
+        for g in 0..tree.len() as GraphId {
+            assert_eq!(tree.graph_at(tree.pos_of(g)), g);
+        }
+    }
+
+    #[test]
+    fn vp_assisted_build_matches_validation() {
+        let oracle = family_oracle(3, 8, 7);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let vt = VantageTable::build(oracle.len(), 6, &mut rng, |a, b| oracle.distance(a, b));
+        let tree = NbTree::build(&oracle, Some(&vt), NbTreeConfig::default(), &mut rng);
+        tree.validate(&oracle).unwrap();
+    }
+
+    #[test]
+    fn vp_pruning_saves_distance_computations() {
+        let oracle_a = family_oracle(4, 10, 8);
+        let oracle_b = family_oracle(4, 10, 8);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let cfg = NbTreeConfig {
+            branching: 5,
+            pivot_sample: 20,
+        };
+        // Without VPs.
+        let _ = NbTree::build(&oracle_a, None, cfg, &mut rng);
+        let plain = oracle_a.stats().distance_computations;
+        // With VPs (VP construction distances counted too).
+        let mut rng = SmallRng::seed_from_u64(4);
+        let vt = VantageTable::build(oracle_b.len(), 6, &mut rng, |a, b| oracle_b.distance(a, b));
+        let _ = NbTree::build(&oracle_b, Some(&vt), cfg, &mut rng);
+        let pruned = oracle_b.stats().distance_computations;
+        // The pruned build must not do *more* pairwise work than brute
+        // assignment; typically it does far less.
+        assert!(pruned <= plain + oracle_b.len() as u64 * 6);
+    }
+
+    #[test]
+    fn duplicate_heavy_data_terminates() {
+        // All graphs identical: recursion must bottom out via the degenerate
+        // split guard.
+        let mut rng = SmallRng::seed_from_u64(9);
+        let g = random_connected(&mut rng, 5, 2, &[0], &[1]);
+        let graphs: Vec<Graph> = (0..20).map(|_| g.clone()).collect();
+        let oracle = DistanceOracle::new(Arc::new(graphs), GedEngine::new(GedConfig::default()));
+        let tree = NbTree::build(
+            &oracle,
+            None,
+            NbTreeConfig {
+                branching: 3,
+                pivot_sample: 8,
+            },
+            &mut rng,
+        );
+        tree.validate(&oracle).unwrap();
+    }
+
+    #[test]
+    fn empty_database() {
+        let oracle = DistanceOracle::new(Arc::new(vec![]), GedEngine::new(GedConfig::default()));
+        let mut rng = SmallRng::seed_from_u64(10);
+        let tree = NbTree::build(&oracle, None, NbTreeConfig::default(), &mut rng);
+        assert!(tree.is_empty());
+        assert!(tree.root().is_none());
+        tree.validate(&oracle).unwrap();
+    }
+
+    #[test]
+    fn radius_diameter_helper() {
+        assert_eq!(radius_diameter(&[]), (0.0, 0.0));
+        assert_eq!(radius_diameter(&[3.0]), (3.0, 3.0));
+        assert_eq!(radius_diameter(&[1.0, 5.0, 4.0]), (5.0, 9.0));
+    }
+}

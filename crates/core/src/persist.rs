@@ -1,0 +1,157 @@
+//! Index persistence: save the offline-built NB-Index parts and reattach a
+//! distance oracle on load.
+//!
+//! The vantage orderings, NB-Tree, and threshold ladder are pure data; the
+//! oracle (graphs + engine) is reconstructed by the caller — typically from
+//! the same database files — so a saved index skips the entire NP-hard build
+//! phase on restart.
+
+use crate::nbindex::{BuildStats, NbIndex, NbIndexConfig};
+use crate::nbtree::NbTree;
+use crate::pihat::ThresholdLadder;
+use graphrep_ged::DistanceOracle;
+use graphrep_metric::VantageTable;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// The serializable portion of an NB-Index.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PersistedIndex {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// Number of graphs the index was built over.
+    pub graphs: usize,
+    vantage: VantageTable,
+    tree: NbTree,
+    ladder: ThresholdLadder,
+}
+
+/// Errors raised when loading a persisted index.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The JSON payload could not be parsed.
+    Format(serde_json::Error),
+    /// The index was built over a different number of graphs.
+    GraphCountMismatch {
+        /// Count recorded in the persisted index.
+        expected: usize,
+        /// Count held by the supplied oracle.
+        got: usize,
+    },
+    /// Unsupported format version.
+    Version(u32),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Format(e) => write!(f, "bad index payload: {e}"),
+            PersistError::GraphCountMismatch { expected, got } => {
+                write!(f, "index built over {expected} graphs, oracle has {got}")
+            }
+            PersistError::Version(v) => write!(f, "unsupported index version {v}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+const VERSION: u32 = 1;
+
+impl NbIndex {
+    /// Serializes the index structure (not the oracle) to JSON.
+    pub fn save_json(&self) -> String {
+        let p = PersistedIndex {
+            version: VERSION,
+            graphs: self.tree().len(),
+            vantage: self.vantage().clone(),
+            tree: self.tree().clone(),
+            ladder: self.ladder().clone(),
+        };
+        serde_json::to_string(&p).expect("index parts are serializable")
+    }
+
+    /// Restores an index from [`NbIndex::save_json`] output, attaching
+    /// `oracle` (which must hold the same database, in the same order).
+    pub fn load_json(json: &str, oracle: Arc<DistanceOracle>) -> Result<Self, PersistError> {
+        let p: PersistedIndex = serde_json::from_str(json).map_err(PersistError::Format)?;
+        if p.version != VERSION {
+            return Err(PersistError::Version(p.version));
+        }
+        if p.graphs != oracle.len() {
+            return Err(PersistError::GraphCountMismatch {
+                expected: p.graphs,
+                got: oracle.len(),
+            });
+        }
+        Ok(Self::from_parts(
+            oracle,
+            p.vantage,
+            p.tree,
+            p.ladder,
+            BuildStats::default(),
+        ))
+    }
+
+    /// A default config whose documentation points here: persisted indexes
+    /// carry their own parameters, so the config is not stored.
+    pub fn persisted_config_hint() -> NbIndexConfig {
+        NbIndexConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphrep_datagen::{DatasetKind, DatasetSpec};
+    use graphrep_ged::GedConfig;
+
+    #[test]
+    fn save_load_round_trip_preserves_answers() {
+        let data = DatasetSpec::new(DatasetKind::DudLike, 60, 901).generate();
+        let oracle = data.db.oracle(GedConfig::default());
+        let index = NbIndex::build(
+            oracle,
+            NbIndexConfig {
+                num_vps: 4,
+                ladder: data.default_ladder.clone(),
+                ..Default::default()
+            },
+        );
+        let relevant = data.default_query().relevant_set(&data.db);
+        let (want, _) = index.query(relevant.clone(), data.default_theta, 4);
+
+        let json = index.save_json();
+        let fresh_oracle = data.db.oracle(GedConfig::default());
+        let loaded = NbIndex::load_json(&json, fresh_oracle).unwrap();
+        let (got, _) = loaded.query(relevant, data.default_theta, 4);
+        assert_eq!(got.ids, want.ids);
+        assert_eq!(got.pi_trajectory, want.pi_trajectory);
+    }
+
+    #[test]
+    fn graph_count_mismatch_rejected() {
+        let data = DatasetSpec::new(DatasetKind::DudLike, 40, 902).generate();
+        let oracle = data.db.oracle(GedConfig::default());
+        let index = NbIndex::build(oracle, NbIndexConfig::default());
+        let json = index.save_json();
+        let smaller = data.db.prefix(10).oracle(GedConfig::default());
+        match NbIndex::load_json(&json, smaller) {
+            Err(PersistError::GraphCountMismatch { expected, got }) => {
+                assert_eq!(expected, 40);
+                assert_eq!(got, 10);
+            }
+            other => panic!("expected mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_payload_rejected() {
+        let data = DatasetSpec::new(DatasetKind::DudLike, 10, 903).generate();
+        let oracle = data.db.oracle(GedConfig::default());
+        assert!(matches!(
+            NbIndex::load_json("{not json", oracle),
+            Err(PersistError::Format(_))
+        ));
+    }
+}

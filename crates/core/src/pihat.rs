@@ -1,0 +1,234 @@
+//! π̂-vectors and the indexed threshold ladder (paper Sec 7, Def 6, Sec 7.1).
+//!
+//! During a session's initialization phase, every relevant graph gets a
+//! vector of upper bounds on its representative power — one per indexed
+//! threshold — computed purely from the vantage orderings (Thm 5, no edit
+//! distances). The vectors are propagated up the NB-Tree as ceilings so that
+//! any tree node bounds the gain of every graph in its subtree (Eq. 14).
+//! Bounds are stored as *relevant-graph counts* (integers), not fractions.
+
+use crate::nbtree::NbTree;
+use graphrep_graph::GraphId;
+use graphrep_metric::{Bitset, DistanceDistribution, VantageTable};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+const EPS: f64 = 1e-6;
+
+/// The sorted set of distance thresholds indexed in π̂-vectors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdLadder {
+    thetas: Vec<f64>,
+}
+
+impl ThresholdLadder {
+    /// Creates a ladder (sorted, deduplicated, non-negative).
+    pub fn new(mut thetas: Vec<f64>) -> Self {
+        thetas.retain(|t| t.is_finite() && *t >= 0.0);
+        thetas.sort_by(f64::total_cmp);
+        thetas.dedup_by(|a, b| (*a - *b).abs() < EPS);
+        Self { thetas }
+    }
+
+    /// The indexed thresholds, ascending.
+    pub fn thetas(&self) -> &[f64] {
+        &self.thetas
+    }
+
+    /// Number of indexed thresholds.
+    pub fn len(&self) -> usize {
+        self.thetas.len()
+    }
+
+    /// Whether the ladder is empty.
+    pub fn is_empty(&self) -> bool {
+        self.thetas.is_empty()
+    }
+
+    /// Index of the smallest `θ_i ≥ θ` (binary search, Def 6), or `None`
+    /// when `θ` exceeds every indexed threshold.
+    pub fn slot_for(&self, theta: f64) -> Option<usize> {
+        let i = self.thetas.partition_point(|&t| t < theta - EPS);
+        (i < self.thetas.len()).then_some(i)
+    }
+
+    /// Sec 7.1 scheme 1: sample `count` thresholds (without replacement)
+    /// from a log of previously queried θ values.
+    pub fn from_query_log<R: Rng + ?Sized>(log: &[f64], count: usize, rng: &mut R) -> Self {
+        let mut pool = log.to_vec();
+        pool.shuffle(rng);
+        pool.truncate(count);
+        Self::new(pool)
+    }
+
+    /// Sec 7.1 scheme 2: no prior information — place thresholds where the
+    /// sampled distance CDF is steep by taking equal-probability quantiles
+    /// (equivalently, density-proportional placement).
+    pub fn from_distribution(dist: &DistanceDistribution, count: usize) -> Self {
+        if dist.is_empty() || count == 0 {
+            return Self::new(vec![]);
+        }
+        let thetas = (1..=count)
+            .map(|i| dist.quantile(i as f64 / count as f64))
+            .collect();
+        Self::new(thetas)
+    }
+}
+
+/// Per-graph and per-node π̂ counts at every ladder slot, plus static
+/// per-node relevant counts.
+#[derive(Debug, Clone)]
+pub struct PiHatVectors {
+    slots: usize,
+    /// `graph_counts[pos * slots + i]` — π̂ of the graph at leaf position
+    /// `pos` at ladder slot `i` (zero for irrelevant graphs).
+    graph_counts: Vec<u32>,
+    /// `node_counts[node * slots + i]` — ceiling over the node's relevant
+    /// descendants.
+    node_counts: Vec<u32>,
+    /// Number of relevant graphs in each node's subtree.
+    node_rel: Vec<u32>,
+}
+
+impl PiHatVectors {
+    /// Initialization phase: computes π̂-vectors for every relevant graph
+    /// from the vantage orderings and propagates ceilings up the tree.
+    ///
+    /// `relevant_by_id` is indexed by graph id; counts are of *relevant*
+    /// candidates (Thm 5 applied within `L_q`).
+    pub fn initialize(
+        vt: &VantageTable,
+        tree: &NbTree,
+        relevant: &[GraphId],
+        relevant_by_id: &Bitset,
+        ladder: &ThresholdLadder,
+    ) -> Self {
+        let slots = ladder.len();
+        let n = tree.len();
+        let mut graph_counts = vec![0u32; n * slots];
+        let theta_max = ladder.thetas().last().copied().unwrap_or(0.0);
+        let mut cand_buf = Vec::new();
+        let mut band = Vec::new();
+        for &g in relevant {
+            vt.candidates_into(g, theta_max, &mut cand_buf);
+            band.clear();
+            band.extend(
+                cand_buf
+                    .iter()
+                    .filter(|&&c| relevant_by_id.contains(c as usize))
+                    .map(|&c| vt.lower_bound(g, c)),
+            );
+            band.sort_by(f64::total_cmp);
+            let pos = tree.pos_of(g) as usize;
+            for (i, &t) in ladder.thetas().iter().enumerate() {
+                graph_counts[pos * slots + i] = band.partition_point(|&d| d <= t + EPS) as u32;
+            }
+        }
+        let mut node_counts = vec![0u32; tree.nodes().len() * slots];
+        let mut node_rel = vec![0u32; tree.nodes().len()];
+        let rel_pos = Bitset::from_indices(n, relevant.iter().map(|&g| tree.pos_of(g) as usize));
+        for (ni, node) in tree.nodes().iter().enumerate() {
+            node_rel[ni] = rel_pos.count_range(node.start as usize, node.end as usize) as u32;
+            for pos in node.start as usize..node.end as usize {
+                if !rel_pos.contains(pos) {
+                    continue;
+                }
+                for i in 0..slots {
+                    let v = graph_counts[pos * slots + i];
+                    let slot = &mut node_counts[ni * slots + i];
+                    if v > *slot {
+                        *slot = v;
+                    }
+                }
+            }
+        }
+        Self {
+            slots,
+            graph_counts,
+            node_counts,
+            node_rel,
+        }
+    }
+
+    /// Number of ladder slots.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// π̂ count of the graph at leaf position `pos` at ladder slot `i`.
+    pub fn graph_count(&self, pos: u32, slot: usize) -> u32 {
+        self.graph_counts[pos as usize * self.slots + slot]
+    }
+
+    /// π̂ ceiling of tree node `node` at ladder slot `i`.
+    pub fn node_count(&self, node: u32, slot: usize) -> u32 {
+        self.node_counts[node as usize * self.slots + slot]
+    }
+
+    /// Number of relevant graphs under `node`.
+    pub fn node_relevant(&self, node: u32) -> u32 {
+        self.node_rel[node as usize]
+    }
+
+    /// Approximate heap footprint in bytes (Fig 6(l) accounting).
+    pub fn memory_bytes(&self) -> usize {
+        (self.graph_counts.len() + self.node_counts.len() + self.node_rel.len()) * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ladder_sorts_and_dedupes() {
+        let l = ThresholdLadder::new(vec![5.0, 1.0, 5.0, 3.0, -2.0, f64::NAN]);
+        assert_eq!(l.thetas(), &[1.0, 3.0, 5.0]);
+        assert_eq!(l.len(), 3);
+    }
+
+    #[test]
+    fn slot_for_picks_smallest_geq() {
+        let l = ThresholdLadder::new(vec![1.0, 3.0, 5.0]);
+        assert_eq!(l.slot_for(0.5), Some(0));
+        assert_eq!(l.slot_for(1.0), Some(0));
+        assert_eq!(l.slot_for(1.1), Some(1));
+        assert_eq!(l.slot_for(3.0), Some(1));
+        assert_eq!(l.slot_for(5.0), Some(2));
+        assert_eq!(l.slot_for(5.1), None);
+    }
+
+    #[test]
+    fn from_query_log_samples_without_replacement() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let log = vec![2.0, 4.0, 6.0, 8.0];
+        let l = ThresholdLadder::from_query_log(&log, 3, &mut rng);
+        assert_eq!(l.len(), 3);
+        for t in l.thetas() {
+            assert!(log.contains(t));
+        }
+    }
+
+    #[test]
+    fn from_distribution_tracks_density() {
+        // Dense mass around 10, sparse tail to 100: most thresholds should
+        // land near 10.
+        let mut vals: Vec<f64> = (0..90).map(|i| 10.0 + (i % 10) as f64 * 0.1).collect();
+        vals.extend((0..10).map(|i| 20.0 + i as f64 * 8.0));
+        let dist = DistanceDistribution::new(vals);
+        let l = ThresholdLadder::from_distribution(&dist, 8);
+        assert!(!l.is_empty());
+        let near_ten = l.thetas().iter().filter(|&&t| t < 12.0).count();
+        assert!(near_ten >= l.len() / 2, "thetas: {:?}", l.thetas());
+    }
+
+    #[test]
+    fn empty_distribution_gives_empty_ladder() {
+        let l = ThresholdLadder::from_distribution(&DistanceDistribution::new(vec![]), 5);
+        assert!(l.is_empty());
+        assert_eq!(l.slot_for(1.0), None);
+    }
+}

@@ -1,0 +1,426 @@
+//! Query processing (paper Sec 7): initialization phase, Alg 2 search, and
+//! the Thm 6–8 batch update step, with interactive θ refinement.
+//!
+//! A [`QuerySession`] is created once per relevance function `q`: the
+//! initialization phase computes π̂-vectors from the vantage orderings alone
+//! (no edit distances). Each [`QuerySession::run`] then executes the
+//! search-and-update phase for one `(θ, k)` — rerunning with a refined θ
+//! reuses the same initialization, which is exactly the paper's interactive
+//! zoom scenario (Fig 6(i)–(j)).
+//!
+//! ## Exactness
+//!
+//! The search accepts a graph only when its *verified* marginal gain is at
+//! least every upper bound left in the priority queue, with ties broken
+//! toward the smaller graph id — so a run returns precisely the Alg 1 greedy
+//! answer. Upper bounds are only ever lowered when Thms 6–8 license it,
+//! pushed down the tree lazily (segment-tree style).
+
+use crate::answer::AnswerSet;
+use crate::nbindex::NbIndex;
+use crate::pihat::{PiHatVectors, ThresholdLadder};
+use graphrep_graph::GraphId;
+use graphrep_metric::Bitset;
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+const EPS: f64 = 1e-6;
+
+/// Statistics of one search-and-update run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunStats {
+    /// Edit-distance engine calls made during the run.
+    pub distance_calls: u64,
+    /// Graphs whose exact θ-neighborhood was verified.
+    pub verified_graphs: u64,
+    /// Tree nodes expanded by the best-first search.
+    pub nodes_expanded: u64,
+    /// Ladder slot used, or `None` if fresh bounds were computed at θ.
+    pub ladder_slot: Option<usize>,
+    /// Wall time of the run.
+    pub wall: Duration,
+}
+
+/// A per-query-function session: initialization phase output plus a handle
+/// to the index.
+pub struct QuerySession<'a> {
+    index: &'a NbIndex,
+    relevant: Vec<GraphId>,
+    /// Relevant membership by graph id.
+    relevant_by_id: Bitset,
+    /// Relevant membership by leaf position.
+    rel_pos: Bitset,
+    pihat: PiHatVectors,
+    init_wall: Duration,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Node(u32),
+    Graph { pos: u32, verified: bool },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    bound: i64,
+    /// Tie-break key: graphs (by ascending id) come before nodes.
+    tie: u64,
+    kind: Kind,
+}
+
+impl Entry {
+    fn node(bound: i64, ni: u32) -> Self {
+        // Nodes after all graphs at equal bound (graphs carry smaller keys).
+        Entry {
+            bound,
+            tie: (1 << 33) | ni as u64,
+            kind: Kind::Node(ni),
+        }
+    }
+    fn graph(bound: i64, pos: u32, id: GraphId, verified: bool) -> Self {
+        let v = if verified { 0u64 } else { 1 << 32 };
+        Entry {
+            bound,
+            tie: v | id as u64,
+            kind: Kind::Graph { pos, verified },
+        }
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: larger bound first; then smaller tie key first.
+        self.bound
+            .cmp(&other.bound)
+            .then_with(|| other.tie.cmp(&self.tie))
+    }
+}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<'a> QuerySession<'a> {
+    pub(crate) fn new(index: &'a NbIndex, relevant: Vec<GraphId>) -> Self {
+        let t0 = Instant::now();
+        let n = index.tree().len();
+        let relevant_by_id = Bitset::from_indices(n, relevant.iter().map(|&g| g as usize));
+        let rel_pos = Bitset::from_indices(
+            n,
+            relevant.iter().map(|&g| index.tree().pos_of(g) as usize),
+        );
+        let pihat = PiHatVectors::initialize(
+            index.vantage(),
+            index.tree(),
+            &relevant,
+            &relevant_by_id,
+            index.ladder(),
+        );
+        Self {
+            index,
+            relevant,
+            relevant_by_id,
+            rel_pos,
+            pihat,
+            init_wall: t0.elapsed(),
+        }
+    }
+
+    /// The relevant set `L_q`.
+    pub fn relevant(&self) -> &[GraphId] {
+        &self.relevant
+    }
+
+    /// Wall time of the initialization phase.
+    pub fn init_wall(&self) -> Duration {
+        self.init_wall
+    }
+
+    /// Session memory footprint (π̂-vectors and masks), Fig 6(l).
+    pub fn memory_bytes(&self) -> usize {
+        self.pihat.memory_bytes() + self.relevant_by_id.memory_bytes() + self.rel_pos.memory_bytes()
+    }
+
+    /// Executes the search-and-update phase for one `(θ, k)`.
+    pub fn run(&self, theta: f64, k: usize) -> (AnswerSet, RunStats) {
+        let t0 = Instant::now();
+        let calls0 = self.index.oracle().engine_calls();
+        let tree = self.index.tree();
+        let n = tree.len();
+        let mut stats = RunStats::default();
+
+        // Working upper bounds at the ladder slot covering θ, or fresh
+        // single-slot bounds when θ exceeds the ladder.
+        let slot = self.index.ladder().slot_for(theta);
+        stats.ladder_slot = slot;
+        let fresh;
+        let (pihat, use_slot): (&PiHatVectors, usize) = match slot {
+            Some(s) => (&self.pihat, s),
+            None => {
+                fresh = PiHatVectors::initialize(
+                    self.index.vantage(),
+                    tree,
+                    &self.relevant,
+                    &self.relevant_by_id,
+                    &ThresholdLadder::new(vec![theta]),
+                );
+                (&fresh, 0)
+            }
+        };
+        let mut graph_bound: Vec<i64> = (0..n as u32)
+            .map(|pos| pihat.graph_count(pos, use_slot) as i64)
+            .collect();
+        let mut node_bound: Vec<i64> = (0..tree.nodes().len() as u32)
+            .map(|ni| pihat.node_count(ni, use_slot) as i64)
+            .collect();
+        let mut node_lazy: Vec<i64> = vec![0; tree.nodes().len()];
+
+        let mut covered = Bitset::new(n);
+        let mut in_answer = Bitset::new(n);
+        let mut neigh: HashMap<u32, Bitset> = HashMap::new();
+
+        let mut ids = Vec::new();
+        let mut pi_trajectory = Vec::new();
+        let budget = k.min(self.relevant.len());
+        for _ in 0..budget {
+            let Some(pos_star) = self.next_graph(
+                theta,
+                &mut graph_bound,
+                &mut node_bound,
+                &mut node_lazy,
+                &covered,
+                &in_answer,
+                &mut neigh,
+                &mut stats,
+            ) else {
+                break;
+            };
+            if graph_bound[pos_star as usize] == 0 {
+                // Verified zero marginal gain: coverage is saturated (same
+                // early-stop rule as the baseline greedy).
+                break;
+            }
+            ids.push(tree.graph_at(pos_star));
+            self.apply_update(
+                theta,
+                pos_star,
+                &mut node_bound,
+                &mut node_lazy,
+                &mut covered,
+                &mut in_answer,
+                &neigh,
+            );
+            pi_trajectory.push(if self.relevant.is_empty() {
+                0.0
+            } else {
+                covered.count() as f64 / self.relevant.len() as f64
+            });
+        }
+        stats.distance_calls = self.index.oracle().engine_calls() - calls0;
+        stats.wall = t0.elapsed();
+        (
+            AnswerSet {
+                ids,
+                covered: covered.count(),
+                relevant: self.relevant.len(),
+                pi_trajectory,
+            },
+            stats,
+        )
+    }
+
+    /// Exact θ-neighborhood of the graph at `pos` as a position bitset,
+    /// memoized in `neigh`.
+    fn neighborhood(
+        &self,
+        theta: f64,
+        pos: u32,
+        neigh: &mut HashMap<u32, Bitset>,
+        stats: &mut RunStats,
+    ) -> Bitset {
+        if let Some(nb) = neigh.get(&pos) {
+            return nb.clone();
+        }
+        let tree = self.index.tree();
+        let vt = self.index.vantage();
+        let oracle = self.index.oracle();
+        let g = tree.graph_at(pos);
+        let mut nb = Bitset::new(tree.len());
+        for c in vt.candidates(g, theta) {
+            if self.relevant_by_id.contains(c as usize) && oracle.within(g, c, theta).is_some() {
+                nb.insert(tree.pos_of(c) as usize);
+            }
+        }
+        stats.verified_graphs += 1;
+        neigh.insert(pos, nb.clone());
+        nb
+    }
+
+    /// Alg 2: best-first search for the next maximum-marginal-gain graph.
+    #[allow(clippy::too_many_arguments)]
+    fn next_graph(
+        &self,
+        theta: f64,
+        graph_bound: &mut [i64],
+        node_bound: &mut [i64],
+        node_lazy: &mut [i64],
+        covered: &Bitset,
+        in_answer: &Bitset,
+        neigh: &mut HashMap<u32, Bitset>,
+        stats: &mut RunStats,
+    ) -> Option<u32> {
+        let tree = self.index.tree();
+        let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
+        let root = tree.root()?;
+        if self.pihat.node_relevant(root) > 0 {
+            heap.push(Entry::node(node_bound[root as usize], root));
+        }
+        let mut best: Option<(i64, GraphId, u32)> = None;
+        while let Some(e) = heap.pop() {
+            if let Some((bg, _, _)) = best {
+                if e.bound < bg {
+                    break;
+                }
+            }
+            match e.kind {
+                Kind::Node(ni) => {
+                    let cur = node_bound[ni as usize];
+                    if e.bound > cur {
+                        heap.push(Entry::node(cur, ni));
+                        continue;
+                    }
+                    stats.nodes_expanded += 1;
+                    let node = tree.node(ni);
+                    let lazy = std::mem::take(&mut node_lazy[ni as usize]);
+                    if node.is_bottom() {
+                        for pos in node.start..node.end {
+                            if !self.rel_pos.contains(pos as usize) {
+                                continue;
+                            }
+                            if lazy > 0 {
+                                graph_bound[pos as usize] =
+                                    (graph_bound[pos as usize] - lazy).max(0);
+                            }
+                            if in_answer.contains(pos as usize) {
+                                continue;
+                            }
+                            heap.push(Entry::graph(
+                                graph_bound[pos as usize],
+                                pos,
+                                tree.graph_at(pos),
+                                false,
+                            ));
+                        }
+                    } else {
+                        for &c in &node.children {
+                            if lazy > 0 {
+                                node_bound[c as usize] = (node_bound[c as usize] - lazy).max(0);
+                                node_lazy[c as usize] += lazy;
+                            }
+                            if self.pihat.node_relevant(c) > 0 {
+                                heap.push(Entry::node(node_bound[c as usize], c));
+                            }
+                        }
+                    }
+                }
+                Kind::Graph {
+                    pos,
+                    verified: false,
+                } => {
+                    let cur = graph_bound[pos as usize];
+                    if e.bound > cur {
+                        heap.push(Entry::graph(cur, pos, tree.graph_at(pos), false));
+                        continue;
+                    }
+                    let nb = self.neighborhood(theta, pos, neigh, stats);
+                    let gain = nb.difference_count(covered) as i64;
+                    debug_assert!(
+                        gain <= e.bound,
+                        "verified gain must not exceed its upper bound"
+                    );
+                    graph_bound[pos as usize] = gain;
+                    heap.push(Entry::graph(gain, pos, tree.graph_at(pos), true));
+                }
+                Kind::Graph {
+                    pos,
+                    verified: true,
+                } => {
+                    let id = tree.graph_at(pos);
+                    let better = match best {
+                        None => true,
+                        Some((bg, bid, _)) => e.bound > bg || (e.bound == bg && id < bid),
+                    };
+                    if better {
+                        best = Some((e.bound, id, pos));
+                    }
+                }
+            }
+        }
+        best.map(|(_, _, pos)| pos)
+    }
+
+    /// The update step: Thm 6 prunes unaffected clusters, Thms 7–8 subtract
+    /// newly covered members from whole subtrees via lazy deltas.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_update(
+        &self,
+        theta: f64,
+        pos_star: u32,
+        node_bound: &mut [i64],
+        node_lazy: &mut [i64],
+        covered: &mut Bitset,
+        in_answer: &mut Bitset,
+        neigh: &HashMap<u32, Bitset>,
+    ) {
+        let tree = self.index.tree();
+        let vt = self.index.vantage();
+        let oracle = self.index.oracle();
+        let g_star = tree.graph_at(pos_star);
+        let nb = neigh
+            .get(&pos_star)
+            .expect("selected graph was verified")
+            .clone();
+        let mut new_c = nb.clone();
+        new_c.subtract(covered);
+        covered.union_with(&nb);
+        in_answer.insert(pos_star as usize);
+        if new_c.is_empty() {
+            return;
+        }
+        let Some(root) = tree.root() else { return };
+        let mut stack = vec![root];
+        while let Some(ni) = stack.pop() {
+            let node = tree.node(ni);
+            if node.radius.is_finite() {
+                // Vantage lower bound first: d ≥ vlb, so the Thm 6 test can
+                // often prune without an edit distance.
+                let vlb = vt.lower_bound(g_star, node.centroid);
+                if vlb - node.radius > 2.0 * theta + EPS {
+                    continue;
+                }
+                let d = oracle.distance(g_star, node.centroid);
+                if d - node.radius > 2.0 * theta + EPS {
+                    continue; // Thm 6: no neighborhood in c can overlap N(g*).
+                }
+                if node.diameter <= theta + EPS {
+                    // Thms 7–8: every member g' of c has N(g') ⊇ c, hence
+                    // N(g') ∩ N(g*) ⊇ c ∩ N(g*); its uncovered part is
+                    // exactly the newly covered members of c.
+                    let sub = new_c.count_range(node.start as usize, node.end as usize) as i64;
+                    if sub > 0 {
+                        node_bound[ni as usize] = (node_bound[ni as usize] - sub).max(0);
+                        node_lazy[ni as usize] += sub;
+                    }
+                    continue;
+                }
+            }
+            for &c in &node.children {
+                if self.pihat.node_relevant(c) > 0 {
+                    stack.push(c);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Failure injection: the system must degrade gracefully — no panics, sane
+//! answers — when the distance engine is starved (tiny A* budgets forcing
+//! bipartite fallbacks) or runs in hybrid approximate mode.
+
+use graphrep_core::{NbIndex, NbIndexConfig};
+use graphrep_datagen::{DatasetKind, DatasetSpec};
+use graphrep_ged::{GedConfig, GedMode};
+
+#[test]
+fn starved_budget_still_produces_valid_answers() {
+    let data = DatasetSpec::new(DatasetKind::DudLike, 80, 1001).generate();
+    // Budget of 1 expansion: nearly every exact search falls back to the
+    // bipartite upper bound.
+    let oracle = data.db.oracle(GedConfig {
+        budget: 1,
+        ..GedConfig::default()
+    });
+    let relevant = data.default_query().relevant_set(&data.db);
+    let index = NbIndex::build(
+        oracle.clone(),
+        NbIndexConfig {
+            num_vps: 4,
+            ladder: data.default_ladder.clone(),
+            ..Default::default()
+        },
+    );
+    let (answer, _) = index.query(relevant.clone(), data.default_theta, 5);
+    assert!(answer.len() <= 5);
+    for &g in &answer.ids {
+        assert!(relevant.contains(&g));
+    }
+    // Fallbacks must have been recorded, proving the injection worked.
+    assert!(
+        oracle.engine().counters().snapshot().budget_fallbacks > 0,
+        "expected budget fallbacks under a starved engine"
+    );
+}
+
+#[test]
+fn hybrid_mode_runs_on_paper_scale_graphs() {
+    // Graphs at the paper's true scale (~26 nodes) are far beyond exact GED;
+    // hybrid mode routes them through the bipartite approximation.
+    use graphrep_datagen::molecules::{self, MoleculeParams};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    let mut rng = SmallRng::seed_from_u64(7);
+    let m = molecules::generate(
+        &mut rng,
+        MoleculeParams {
+            size: 60,
+            scaffold_nodes: (22, 28),
+            ..Default::default()
+        },
+    );
+    let db = graphrep_core::GraphDatabase::new(m.graphs, m.features, m.labels);
+    let oracle = db.oracle(GedConfig {
+        mode: GedMode::Hybrid { exact_max_nodes: 12 },
+        ..GedConfig::default()
+    });
+    let index = NbIndex::build(
+        oracle,
+        NbIndexConfig {
+            num_vps: 4,
+            ladder: vec![4.0, 8.0, 12.0, 20.0, 40.0],
+            ..Default::default()
+        },
+    );
+    let relevant: Vec<u32> = (0..60).collect();
+    let (answer, _) = index.query(relevant, 8.0, 5);
+    assert!(!answer.is_empty());
+    assert!(answer.pi() > 0.0);
+    for w in answer.pi_trajectory.windows(2) {
+        assert!(w[1] >= w[0]);
+    }
+}
+
+#[test]
+fn starved_within_never_claims_false_membership_certificates() {
+    // Even starved, `within` answers that return Some(d) must satisfy d ≤ τ.
+    let data = DatasetSpec::new(DatasetKind::DblpLike, 40, 1002).generate();
+    let oracle = data.db.oracle(GedConfig {
+        budget: 2,
+        ..GedConfig::default()
+    });
+    for i in 0..10u32 {
+        for j in 0..10u32 {
+            if let Some(d) = oracle.within(i, j, 3.0) {
+                assert!(d <= 3.0 + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Randomized equivalence: across random datasets, thresholds, budgets and
+//! index parameters, the NB-Index search must reproduce the baseline greedy
+//! π trajectory exactly.
+
+use graphrep_core::{baseline_greedy, BruteForceProvider, NbIndex, NbIndexConfig, NbTreeConfig};
+use graphrep_datagen::{DatasetKind, DatasetSpec};
+use graphrep_ged::GedConfig;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn nbindex_equals_greedy_on_random_configs(
+        seed in 0u64..10_000,
+        kind_pick in 0usize..3,
+        theta_steps in 1u32..8,
+        k in 1usize..8,
+        num_vps in 1usize..10,
+        branching in 2usize..12,
+    ) {
+        let kind = [DatasetKind::DudLike, DatasetKind::DblpLike, DatasetKind::AmazonLike][kind_pick];
+        let data = DatasetSpec::new(kind, 60, seed).generate();
+        let theta = theta_steps as f64;
+        let oracle = data.db.oracle(GedConfig::default());
+        let relevant = data.default_query().relevant_set(&data.db);
+        prop_assume!(!relevant.is_empty());
+
+        let reference = baseline_greedy(
+            &BruteForceProvider::new(&oracle, &relevant),
+            &relevant,
+            theta,
+            k,
+        );
+        let index = NbIndex::build(
+            oracle,
+            NbIndexConfig {
+                num_vps,
+                tree: NbTreeConfig { branching, pivot_sample: 4 * branching },
+                ladder: data.default_ladder.clone(),
+                seed,
+            },
+        );
+        let (answer, _) = index.query(relevant, theta, k);
+        prop_assert_eq!(answer.pi_trajectory, reference.pi_trajectory);
+        prop_assert_eq!(answer.covered, reference.covered);
+    }
+}

@@ -1,0 +1,178 @@
+//! NB-Index exactness: the indexed search must return precisely the Alg 1
+//! baseline greedy answer — same ids for positive-gain picks, identical
+//! π trajectory throughout — on every dataset regime.
+
+use graphrep_core::{baseline_greedy, BruteForceProvider, NbIndex, NbIndexConfig};
+use graphrep_datagen::{DatasetKind, DatasetSpec};
+use graphrep_ged::GedConfig;
+
+fn check_dataset(kind: DatasetKind, size: usize, seed: u64, k: usize) {
+    let data = DatasetSpec::new(kind, size, seed).generate();
+    let oracle = data.db.oracle(GedConfig::default());
+    let relevant = data.default_query().relevant_set(&data.db);
+    assert!(!relevant.is_empty(), "dataset must have relevant graphs");
+    let theta = data.default_theta;
+
+    let reference = baseline_greedy(
+        &BruteForceProvider::new(&oracle, &relevant),
+        &relevant,
+        theta,
+        k,
+    );
+
+    let index = NbIndex::build(
+        oracle,
+        NbIndexConfig {
+            num_vps: 8,
+            ladder: data.default_ladder.clone(),
+            ..NbIndexConfig::default()
+        },
+    );
+    let (answer, stats) = index.query(relevant.clone(), theta, k);
+
+    assert_eq!(
+        answer.pi_trajectory, reference.pi_trajectory,
+        "{}: π trajectory must match baseline greedy",
+        kind.name()
+    );
+    assert_eq!(answer.covered, reference.covered, "{}", kind.name());
+    // Ids must match exactly wherever the pick had positive marginal gain
+    // (zero-gain picks are arbitrary on both sides).
+    let mut prev = 0.0;
+    for (i, &pi) in reference.pi_trajectory.iter().enumerate() {
+        if pi > prev {
+            assert_eq!(
+                answer.ids[i], reference.ids[i],
+                "{}: pick {i} diverged",
+                kind.name()
+            );
+        }
+        prev = pi;
+    }
+    assert!(stats.verified_graphs as usize >= answer.len());
+}
+
+#[test]
+fn dud_like_matches_baseline() {
+    check_dataset(DatasetKind::DudLike, 120, 101, 6);
+}
+
+#[test]
+fn dblp_like_matches_baseline() {
+    check_dataset(DatasetKind::DblpLike, 120, 102, 6);
+}
+
+#[test]
+fn amazon_like_matches_baseline() {
+    check_dataset(DatasetKind::AmazonLike, 100, 103, 5);
+}
+
+#[test]
+fn multiple_seeds_and_ks() {
+    for (seed, k) in [(7u64, 1usize), (8, 3), (9, 10)] {
+        check_dataset(DatasetKind::DudLike, 80, seed, k);
+    }
+}
+
+#[test]
+fn refinement_matches_fresh_runs() {
+    // A session refined across θ values must give the same answers as
+    // one-shot queries at each θ.
+    let data = DatasetSpec::new(DatasetKind::DudLike, 100, 104).generate();
+    let oracle = data.db.oracle(GedConfig::default());
+    let relevant = data.default_query().relevant_set(&data.db);
+    let index = NbIndex::build(
+        oracle.clone(),
+        NbIndexConfig {
+            num_vps: 8,
+            ladder: data.default_ladder.clone(),
+            ..NbIndexConfig::default()
+        },
+    );
+    let session = index.start_session(relevant.clone());
+    for theta in [2.0, 4.0, 5.0, 3.5] {
+        let (refined, _) = session.run(theta, 5);
+        let reference = baseline_greedy(
+            &BruteForceProvider::new(&oracle, &relevant),
+            &relevant,
+            theta,
+            5,
+        );
+        assert_eq!(
+            refined.pi_trajectory, reference.pi_trajectory,
+            "θ = {theta}"
+        );
+    }
+}
+
+#[test]
+fn theta_beyond_ladder_still_exact() {
+    let data = DatasetSpec::new(DatasetKind::DudLike, 80, 105).generate();
+    let oracle = data.db.oracle(GedConfig::default());
+    let relevant = data.default_query().relevant_set(&data.db);
+    let index = NbIndex::build(
+        oracle.clone(),
+        NbIndexConfig {
+            num_vps: 8,
+            ladder: vec![2.0, 3.0], // deliberately short ladder
+            ..NbIndexConfig::default()
+        },
+    );
+    let theta = 6.0; // beyond the ladder → fresh bounds path
+    let (answer, stats) = index.query(relevant.clone(), theta, 4);
+    assert_eq!(stats.ladder_slot, None);
+    let reference = baseline_greedy(
+        &BruteForceProvider::new(&oracle, &relevant),
+        &relevant,
+        theta,
+        4,
+    );
+    assert_eq!(answer.pi_trajectory, reference.pi_trajectory);
+}
+
+#[test]
+fn empty_ladder_works() {
+    let data = DatasetSpec::new(DatasetKind::DblpLike, 60, 106).generate();
+    let oracle = data.db.oracle(GedConfig::default());
+    let relevant = data.default_query().relevant_set(&data.db);
+    let index = NbIndex::build(oracle, NbIndexConfig::default());
+    let (answer, stats) = index.query(relevant, 4.0, 3);
+    assert_eq!(stats.ladder_slot, None);
+    assert!(answer.len() <= 3);
+}
+
+#[test]
+fn index_saves_distance_computations_vs_brute_force() {
+    let data = DatasetSpec::new(DatasetKind::DudLike, 150, 107).generate();
+    let relevant = data.default_query().relevant_set(&data.db);
+    let theta = data.default_theta;
+
+    // Brute-force query cost (neighborhood initialization dominates).
+    let oracle_a = data.db.oracle(GedConfig::default());
+    let _ = baseline_greedy(
+        &BruteForceProvider::new(&oracle_a, &relevant),
+        &relevant,
+        theta,
+        5,
+    );
+    let brute_calls = oracle_a.engine_calls();
+
+    // NB-Index query cost (index build excluded — it is offline).
+    let oracle_b = data.db.oracle(GedConfig::default());
+    let index = NbIndex::build(
+        oracle_b.clone(),
+        NbIndexConfig {
+            num_vps: 10,
+            ladder: data.default_ladder.clone(),
+            ..NbIndexConfig::default()
+        },
+    );
+    oracle_b.reset_stats();
+    let session = index.start_session(relevant.clone());
+    let (_, stats) = session.run(theta, 5);
+    assert!(
+        stats.distance_calls < brute_calls / 2,
+        "NB-Index used {} engine calls, brute force used {brute_calls}",
+        stats.distance_calls
+    );
+}

@@ -1,0 +1,192 @@
+//! Information-cascade generator (paper Table 1, Example 2).
+//!
+//! Cascades are tree-shaped propagation structures whose nodes carry the
+//! community of the participating user; the feature vector is a binary topic
+//! incidence vector, so the Jaccard relevance function of Table 1 applies
+//! directly. Used by the `cascade_explorer` example application.
+
+use graphrep_graph::{Graph, GraphBuilder, LabelInterner, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Output of the cascade generator.
+pub struct CascadeSet {
+    /// Tree-shaped cascade graphs.
+    pub graphs: Vec<Graph>,
+    /// Binary topic incidence vectors (dimension = `topics`).
+    pub features: Vec<Vec<f64>>,
+    /// Ground-truth community of each cascade.
+    pub family: Vec<u32>,
+    /// Community labels.
+    pub labels: LabelInterner,
+}
+
+/// Tuning knobs for [`generate`].
+#[derive(Debug, Clone, Copy)]
+pub struct CascadeParams {
+    /// Number of cascades.
+    pub size: usize,
+    /// Number of user communities (families).
+    pub communities: usize,
+    /// Number of topics in the universe.
+    pub topics: usize,
+    /// Topics per community profile.
+    pub topics_per_community: usize,
+    /// Cascade node count range.
+    pub nodes: (usize, usize),
+    /// Preferential-attachment skew: higher → more star-like cascades.
+    pub hub_bias: f64,
+}
+
+impl Default for CascadeParams {
+    fn default() -> Self {
+        Self {
+            size: 600,
+            communities: 12,
+            topics: 16,
+            topics_per_community: 4,
+            nodes: (5, 9),
+            hub_bias: 1.0,
+        }
+    }
+}
+
+/// Generates a cascade set.
+pub fn generate<R: Rng + ?Sized>(rng: &mut R, p: CascadeParams) -> CascadeSet {
+    let mut labels = LabelInterner::new();
+    let communities: Vec<u32> = (0..p.communities)
+        .map(|i| labels.intern(&format!("community-{i}")))
+        .collect();
+    let spread = labels.intern("spread");
+    // Each community prefers a subset of topics and a reshare style.
+    let profiles: Vec<Vec<usize>> = (0..p.communities)
+        .map(|_| {
+            let mut t: Vec<usize> = (0..p.topics).collect();
+            t.shuffle(rng);
+            t.truncate(p.topics_per_community);
+            t
+        })
+        .collect();
+    let mut graphs = Vec::with_capacity(p.size);
+    let mut feats = Vec::with_capacity(p.size);
+    let mut family = Vec::with_capacity(p.size);
+    for _ in 0..p.size {
+        let comm = rng.gen_range(0..p.communities);
+        let n = rng.gen_range(p.nodes.0..=p.nodes.1);
+        let mut b = GraphBuilder::with_capacity(n, n - 1);
+        let mut degree = vec![0usize; n];
+        b.add_node(communities[comm]);
+        for i in 1..n {
+            // Preferential attachment biased by hub_bias.
+            let mut weights: Vec<f64> = (0..i)
+                .map(|j| 1.0 + p.hub_bias * degree[j] as f64)
+                .collect();
+            let total: f64 = weights.iter().sum();
+            let mut pick = rng.gen_range(0.0..total);
+            let mut parent = 0usize;
+            for (j, w) in weights.iter_mut().enumerate() {
+                if pick < *w {
+                    parent = j;
+                    break;
+                }
+                pick -= *w;
+            }
+            // Mostly same community, occasionally a cross-community reshare.
+            let c = if rng.gen_bool(0.85) {
+                communities[comm]
+            } else {
+                *communities.choose(rng).expect("non-empty")
+            };
+            b.add_node(c);
+            b.add_edge(parent as NodeId, i as NodeId, spread)
+                .expect("tree edge");
+            degree[parent] += 1;
+            degree[i] += 1;
+        }
+        graphs.push(b.build());
+        let mut f = vec![0.0; p.topics];
+        for &t in &profiles[comm] {
+            if rng.gen_bool(0.8) {
+                f[t] = 1.0;
+            }
+        }
+        // Occasional off-profile topic.
+        if rng.gen_bool(0.3) {
+            f[rng.gen_range(0..p.topics)] = 1.0;
+        }
+        feats.push(f);
+        family.push(comm as u32);
+    }
+    CascadeSet {
+        graphs,
+        features: feats,
+        family,
+        labels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cascades_are_trees() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let s = generate(&mut rng, CascadeParams {
+            size: 50,
+            ..Default::default()
+        });
+        for g in &s.graphs {
+            assert!(g.is_connected());
+            assert_eq!(g.edge_count(), g.node_count() - 1, "a cascade is a tree");
+        }
+    }
+
+    #[test]
+    fn features_are_binary_topic_vectors() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let s = generate(&mut rng, CascadeParams {
+            size: 40,
+            ..Default::default()
+        });
+        for f in &s.features {
+            assert_eq!(f.len(), 16);
+            assert!(f.iter().all(|&v| v == 0.0 || v == 1.0));
+        }
+    }
+
+    #[test]
+    fn same_community_shares_topics() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let s = generate(&mut rng, CascadeParams {
+            size: 300,
+            communities: 4,
+            ..Default::default()
+        });
+        // Average within-community topic overlap should beat cross-community.
+        let jac = |a: &[f64], b: &[f64]| {
+            let inter = a.iter().zip(b).filter(|(x, y)| **x > 0.5 && **y > 0.5).count() as f64;
+            let uni = a.iter().zip(b).filter(|(x, y)| **x > 0.5 || **y > 0.5).count() as f64;
+            if uni == 0.0 {
+                0.0
+            } else {
+                inter / uni
+            }
+        };
+        let mut same = (0.0, 0.0);
+        let mut cross = (0.0, 0.0);
+        for i in 0..100 {
+            for j in (i + 1)..100 {
+                let v = jac(&s.features[i], &s.features[j]);
+                if s.family[i] == s.family[j] {
+                    same = (same.0 + v, same.1 + 1.0);
+                } else {
+                    cross = (cross.0 + v, cross.1 + 1.0);
+                }
+            }
+        }
+        assert!(same.0 / same.1 > cross.0 / cross.1);
+    }
+}

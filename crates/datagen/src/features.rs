@@ -1,0 +1,119 @@
+//! Feature-vector helpers shared by the generators.
+
+use rand::Rng;
+use rand_distr_shim::normal;
+
+/// A tiny Box–Muller normal sampler so we don't pull in `rand_distr`.
+mod rand_distr_shim {
+    use rand::Rng;
+
+    /// One sample from `N(0, 1)`.
+    pub fn normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+/// Samples `N(mu, sigma²)`.
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    mu + sigma * normal(rng)
+}
+
+/// A family base vector in `[0, 1]^dims`.
+pub fn base_vector<R: Rng + ?Sized>(rng: &mut R, dims: usize) -> Vec<f64> {
+    (0..dims).map(|_| rng.gen_range(0.0..1.0)).collect()
+}
+
+/// A member's features: the family base plus Gaussian noise, clamped to
+/// `[0, 1]`. The shared base is what correlates feature and structural
+/// space — members of one structural family score alike.
+pub fn jitter<R: Rng + ?Sized>(rng: &mut R, base: &[f64], sigma: f64) -> Vec<f64> {
+    base.iter()
+        .map(|&b| (b + gaussian(rng, 0.0, sigma)).clamp(0.0, 1.0))
+        .collect()
+}
+
+/// A skewed (harmonic / Zipf-like) family-size schedule summing to `total`:
+/// `size_i ∝ largest / i^skew`, floored at 1.
+///
+/// Real graph repositories are not uniformly clustered — a few scaffold
+/// families dominate and a long tail of rare structures (the paper's
+/// "relevant outliers", Fig 1(b)) trails off. This schedule reproduces that
+/// regime, which drives both DisC's linear answer growth (Fig 2a) and the
+/// sub-linear growth of π with k (Table 4).
+pub fn family_sizes(total: usize, largest: usize, skew: f64) -> Vec<usize> {
+    assert!(largest >= 1);
+    let mut sizes = Vec::new();
+    let mut remaining = total;
+    let mut i = 1u32;
+    while remaining > 0 {
+        let s = ((largest as f64 / (i as f64).powf(skew)).floor() as usize)
+            .clamp(1, remaining);
+        sizes.push(s);
+        remaining -= s;
+        i += 1;
+    }
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let samples: Vec<f64> = (0..20_000).map(|_| gaussian(&mut rng, 5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>()
+            / samples.len() as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn jitter_stays_in_unit_box_and_close_to_base() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let base = base_vector(&mut rng, 10);
+        for _ in 0..100 {
+            let f = jitter(&mut rng, &base, 0.05);
+            assert_eq!(f.len(), 10);
+            for (a, b) in f.iter().zip(&base) {
+                assert!((0.0..=1.0).contains(a));
+                assert!((a - b).abs() < 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn base_vectors_differ() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let a = base_vector(&mut rng, 8);
+        let b = base_vector(&mut rng, 8);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn family_sizes_sum_and_skew() {
+        let s = family_sizes(400, 50, 1.0);
+        assert_eq!(s.iter().sum::<usize>(), 400);
+        assert_eq!(s[0], 50);
+        assert!(s[1] <= 25 + 1);
+        // Long tail of singletons.
+        assert!(s.iter().filter(|&&x| x <= 2).count() > 5);
+        // Non-increasing until the final remainder-capped entry.
+        for w in s.windows(2).take(s.len().saturating_sub(2)) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn family_sizes_edge_cases() {
+        assert_eq!(family_sizes(0, 10, 1.0), Vec::<usize>::new());
+        assert_eq!(family_sizes(5, 1, 1.0), vec![1; 5]);
+        assert_eq!(family_sizes(3, 100, 1.0), vec![3]);
+    }
+}

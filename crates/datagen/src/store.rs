@@ -1,0 +1,193 @@
+//! Dataset persistence: write a generated dataset to a directory and read
+//! it back. Used by the `graphrep` CLI so expensive index builds and
+//! experiments can run against a fixed on-disk database.
+//!
+//! Layout:
+//! ```text
+//! <dir>/graphs.txt     # the compact text format of graphrep-graph::io
+//! <dir>/features.csv   # one row per graph
+//! <dir>/meta.json      # labels, family ids, defaults
+//! ```
+
+use crate::spec::{Dataset, DatasetKind, DatasetSpec};
+use graphrep_core::GraphDatabase;
+use graphrep_graph::{io as gio, LabelInterner};
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::path::Path;
+
+/// Errors raised by dataset load/save.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// graphs.txt could not be parsed.
+    Graphs(gio::ParseError),
+    /// features.csv malformed.
+    Features(String),
+    /// meta.json malformed.
+    Meta(serde_json::Error),
+    /// Component lengths disagree.
+    Inconsistent(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "io: {e}"),
+            StoreError::Graphs(e) => write!(f, "graphs.txt: {e}"),
+            StoreError::Features(e) => write!(f, "features.csv: {e}"),
+            StoreError::Meta(e) => write!(f, "meta.json: {e}"),
+            StoreError::Inconsistent(e) => write!(f, "inconsistent dataset: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct Meta {
+    kind: String,
+    seed: u64,
+    labels: LabelInterner,
+    family: Vec<u32>,
+    default_theta: f64,
+    default_ladder: Vec<f64>,
+}
+
+fn kind_to_str(kind: DatasetKind) -> &'static str {
+    match kind {
+        DatasetKind::DudLike => "dud",
+        DatasetKind::DblpLike => "dblp",
+        DatasetKind::AmazonLike => "amazon",
+    }
+}
+
+/// Parses a dataset kind name (`dud`, `dblp`, `amazon`).
+pub fn kind_from_str(s: &str) -> Option<DatasetKind> {
+    match s {
+        "dud" => Some(DatasetKind::DudLike),
+        "dblp" => Some(DatasetKind::DblpLike),
+        "amazon" => Some(DatasetKind::AmazonLike),
+        _ => None,
+    }
+}
+
+/// Writes `data` under `dir` (created if missing).
+pub fn save(data: &Dataset, dir: &Path) -> Result<(), StoreError> {
+    fs::create_dir_all(dir)?;
+    fs::write(dir.join("graphs.txt"), gio::write_graphs(data.db.graphs()))?;
+    let mut csv = String::new();
+    for f in data.db.all_features() {
+        let row: Vec<String> = f.iter().map(|v| format!("{v}")).collect();
+        csv.push_str(&row.join(","));
+        csv.push('\n');
+    }
+    fs::write(dir.join("features.csv"), csv)?;
+    let meta = Meta {
+        kind: kind_to_str(data.spec.kind).to_owned(),
+        seed: data.spec.seed,
+        labels: data.db.labels().clone(),
+        family: data.family.clone(),
+        default_theta: data.default_theta,
+        default_ladder: data.default_ladder.clone(),
+    };
+    let json = serde_json::to_string_pretty(&meta).map_err(StoreError::Meta)?;
+    fs::write(dir.join("meta.json"), json)?;
+    Ok(())
+}
+
+/// Reads a dataset previously written by [`save`].
+pub fn load(dir: &Path) -> Result<Dataset, StoreError> {
+    let graphs =
+        gio::read_graphs(&fs::read_to_string(dir.join("graphs.txt"))?).map_err(StoreError::Graphs)?;
+    let mut features = Vec::new();
+    for (lineno, line) in fs::read_to_string(dir.join("features.csv"))?.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let row: Result<Vec<f64>, _> = line.split(',').map(str::parse::<f64>).collect();
+        features
+            .push(row.map_err(|e| StoreError::Features(format!("line {lineno}: {e}")))?);
+    }
+    let meta: Meta = serde_json::from_str(&fs::read_to_string(dir.join("meta.json"))?)
+        .map_err(StoreError::Meta)?;
+    if graphs.len() != features.len() || graphs.len() != meta.family.len() {
+        return Err(StoreError::Inconsistent(format!(
+            "{} graphs, {} feature rows, {} family ids",
+            graphs.len(),
+            features.len(),
+            meta.family.len()
+        )));
+    }
+    let kind = kind_from_str(&meta.kind)
+        .ok_or_else(|| StoreError::Inconsistent(format!("unknown kind {}", meta.kind)))?;
+    let mut labels = meta.labels;
+    labels.rebuild_index();
+    let size = graphs.len();
+    Ok(Dataset {
+        db: GraphDatabase::new(graphs, features, labels),
+        family: meta.family,
+        spec: DatasetSpec::new(kind, size, meta.seed),
+        default_theta: meta.default_theta,
+        default_ladder: meta.default_ladder,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("graphrep-store-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let data = DatasetSpec::new(DatasetKind::DudLike, 40, 11).generate();
+        let dir = tmpdir("rt");
+        save(&data, &dir).unwrap();
+        let back = load(&dir).unwrap();
+        assert_eq!(back.db.graphs(), data.db.graphs());
+        assert_eq!(back.db.all_features(), data.db.all_features());
+        assert_eq!(back.family, data.family);
+        assert_eq!(back.default_theta, data.default_theta);
+        assert_eq!(back.default_ladder, data.default_ladder);
+        assert_eq!(back.spec.kind, data.spec.kind);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_dir_errors() {
+        assert!(matches!(
+            load(Path::new("/nonexistent/graphrep-nowhere")),
+            Err(StoreError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn inconsistent_lengths_detected() {
+        let data = DatasetSpec::new(DatasetKind::DblpLike, 10, 12).generate();
+        let dir = tmpdir("bad");
+        save(&data, &dir).unwrap();
+        fs::write(dir.join("features.csv"), "1.0\n2.0\n").unwrap();
+        assert!(matches!(load(&dir), Err(StoreError::Inconsistent(_))));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in [DatasetKind::DudLike, DatasetKind::DblpLike, DatasetKind::AmazonLike] {
+            assert_eq!(kind_from_str(kind_to_str(kind)), Some(kind));
+        }
+        assert_eq!(kind_from_str("bogus"), None);
+    }
+}

@@ -1,0 +1,226 @@
+//! Minimum-cost assignment (Hungarian / Kuhn–Munkres algorithm).
+//!
+//! Used by the bipartite graph-edit-distance approximation (Riesen & Bunke
+//! style): matching the node sets of two graphs under a local cost matrix is
+//! an `O(n³)` assignment problem. Implemented with the shortest augmenting
+//! path formulation and dual potentials.
+
+/// A dense square cost matrix in row-major order.
+#[derive(Debug, Clone)]
+pub struct CostMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl CostMatrix {
+    /// Creates an `n × n` matrix filled with `fill`.
+    pub fn filled(n: usize, fill: f64) -> Self {
+        Self {
+            n,
+            data: vec![fill; n * n],
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Reads entry `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Writes entry `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n + j] = v;
+    }
+}
+
+/// Solution of an assignment problem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// `row_to_col[i]` is the column assigned to row `i`.
+    pub row_to_col: Vec<usize>,
+    /// Total cost of the assignment.
+    pub cost: f64,
+}
+
+/// Solves the minimum-cost assignment problem on a square matrix.
+///
+/// Runs in `O(n³)` time. Costs may be any finite `f64` (including negative);
+/// `f64::INFINITY` marks forbidden pairs, which must leave at least one
+/// feasible perfect matching.
+pub fn solve(m: &CostMatrix) -> Assignment {
+    let n = m.n();
+    if n == 0 {
+        return Assignment {
+            row_to_col: vec![],
+            cost: 0.0,
+        };
+    }
+    // 1-based shortest-augmenting-path Hungarian (e-maxx formulation).
+    let inf = f64::INFINITY;
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[j] = row matched to column j (0 = none)
+    let mut way = vec![0usize; n + 1];
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![inf; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = inf;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = m.get(i0 - 1, j - 1) - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            debug_assert!(delta.is_finite(), "no feasible assignment");
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+    let mut row_to_col = vec![0usize; n];
+    for j in 1..=n {
+        if p[j] != 0 {
+            row_to_col[p[j] - 1] = j - 1;
+        }
+    }
+    let cost = (0..n).map(|i| m.get(i, row_to_col[i])).sum();
+    Assignment { row_to_col, cost }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_rows(rows: &[&[f64]]) -> CostMatrix {
+        let n = rows.len();
+        let mut m = CostMatrix::filled(n, 0.0);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), n);
+            for (j, &c) in r.iter().enumerate() {
+                m.set(i, j, c);
+            }
+        }
+        m
+    }
+
+    /// Brute-force optimum by permutation enumeration.
+    fn brute(m: &CostMatrix) -> f64 {
+        fn rec(m: &CostMatrix, i: usize, used: &mut Vec<bool>, acc: f64, best: &mut f64) {
+            if i == m.n() {
+                *best = best.min(acc);
+                return;
+            }
+            for j in 0..m.n() {
+                if !used[j] && m.get(i, j).is_finite() {
+                    used[j] = true;
+                    rec(m, i + 1, used, acc + m.get(i, j), best);
+                    used[j] = false;
+                }
+            }
+        }
+        let mut best = f64::INFINITY;
+        let mut used = vec![false; m.n()];
+        rec(m, 0, &mut used, 0.0, &mut best);
+        best
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a = solve(&CostMatrix::filled(0, 0.0));
+        assert_eq!(a.cost, 0.0);
+        assert!(a.row_to_col.is_empty());
+    }
+
+    #[test]
+    fn single_cell() {
+        let a = solve(&from_rows(&[&[7.5]]));
+        assert_eq!(a.cost, 7.5);
+        assert_eq!(a.row_to_col, vec![0]);
+    }
+
+    #[test]
+    fn classic_3x3() {
+        // Optimal = 1 + 2 + 3 picking the off-diagonal.
+        let m = from_rows(&[&[4.0, 1.0, 3.0], &[2.0, 0.0, 5.0], &[3.0, 2.0, 2.0]]);
+        let a = solve(&m);
+        assert_eq!(a.cost, 5.0);
+        // Verify it is a permutation.
+        let mut seen = [false; 3];
+        for &c in &a.row_to_col {
+            assert!(!seen[c]);
+            seen[c] = true;
+        }
+    }
+
+    #[test]
+    fn handles_infinity_forbidden_pairs() {
+        let inf = f64::INFINITY;
+        let m = from_rows(&[&[inf, 1.0], &[1.0, inf]]);
+        let a = solve(&m);
+        assert_eq!(a.cost, 2.0);
+        assert_eq!(a.row_to_col, vec![1, 0]);
+    }
+
+    #[test]
+    fn negative_costs_supported() {
+        let m = from_rows(&[&[-5.0, 0.0], &[0.0, -5.0]]);
+        assert_eq!(solve(&m).cost, -10.0);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(99);
+        for n in 1..=7usize {
+            for _ in 0..30 {
+                let mut m = CostMatrix::filled(n, 0.0);
+                for i in 0..n {
+                    for j in 0..n {
+                        m.set(i, j, (rng.gen_range(0..100) as f64) / 10.0);
+                    }
+                }
+                let a = solve(&m);
+                let b = brute(&m);
+                assert!((a.cost - b).abs() < 1e-9, "n={n} got {} want {b}", a.cost);
+            }
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Bipartite graph-edit-distance approximation (Riesen & Bunke style).
+//!
+//! A square assignment problem over node sets augmented with ε rows/columns
+//! produces a complete node mapping in `O(n³)`; the exact cost of the edit
+//! path *induced* by that mapping is a valid **upper bound** on GED. This is
+//! the workhorse for large graphs (hybrid mode) and for seeding the exact
+//! search with a good cutoff.
+
+use crate::assignment::{solve, CostMatrix};
+use crate::bounds::multiset_bound;
+use crate::cost::CostModel;
+use graphrep_graph::{Graph, NodeId};
+
+/// A complete node mapping from `g1` to `g2`: `map1[i]` is the image of node
+/// `i` (or `None` for deletion), `unmatched2` are the inserted `g2` nodes.
+#[derive(Debug, Clone)]
+pub struct NodeMapping {
+    /// Image of each `g1` node.
+    pub map1: Vec<Option<NodeId>>,
+    /// `g2` nodes not covered by the mapping (inserted).
+    pub unmatched2: Vec<NodeId>,
+}
+
+/// Builds the `(n1+n2) × (n1+n2)` Riesen–Bunke cost matrix.
+///
+/// The upper-left block holds substitution estimates (node substitution plus
+/// half the incident-edge multiset bound — each edge is seen from both of its
+/// endpoints); the diagonal blocks hold deletions/insertions including
+/// incident edges; the lower-right block is zero.
+#[allow(clippy::needless_range_loop)] // indexed loops mirror the block matrix
+fn bp_matrix(g1: &Graph, g2: &Graph, cost: &CostModel) -> CostMatrix {
+    let n1 = g1.node_count();
+    let n2 = g2.node_count();
+    let n = n1 + n2;
+    let inf = f64::INFINITY;
+    let mut m = CostMatrix::filled(n, 0.0);
+
+    let star = |g: &Graph, u: NodeId| -> Vec<u32> {
+        let mut v: Vec<u32> = g.neighbors(u).iter().map(|&(_, l)| l).collect();
+        v.sort_unstable();
+        v
+    };
+    let stars1: Vec<Vec<u32>> = (0..n1 as NodeId).map(|u| star(g1, u)).collect();
+    let stars2: Vec<Vec<u32>> = (0..n2 as NodeId).map(|u| star(g2, u)).collect();
+    // (indexed loops below intentionally mirror the matrix block structure)
+
+    for i in 0..n1 {
+        for j in 0..n2 {
+            let node = cost.node_subst(g1.node_label(i as NodeId), g2.node_label(j as NodeId));
+            let edges =
+                multiset_bound(&stars1[i], &stars2[j], cost.edge_sub, cost.edge_indel) / 2.0;
+            m.set(i, j, node + edges);
+        }
+        // i -> ε (delete node i and its incident edges, half-charged).
+        for j in n2..n {
+            let v = if j - n2 == i {
+                cost.node_indel + g1.degree(i as NodeId) as f64 * cost.edge_indel / 2.0
+            } else {
+                inf
+            };
+            m.set(i, j, v);
+        }
+    }
+    for i in n1..n {
+        for j in 0..n2 {
+            let v = if i - n1 == j {
+                cost.node_indel + g2.degree(j as NodeId) as f64 * cost.edge_indel / 2.0
+            } else {
+                inf
+            };
+            m.set(i, j, v);
+        }
+        // ε -> ε block stays 0.
+    }
+    m
+}
+
+/// Runs the bipartite heuristic and returns the induced node mapping.
+pub fn bp_mapping(g1: &Graph, g2: &Graph, cost: &CostModel) -> NodeMapping {
+    let n1 = g1.node_count();
+    let n2 = g2.node_count();
+    let a = solve(&bp_matrix(g1, g2, cost));
+    let mut map1 = vec![None; n1];
+    let mut used2 = vec![false; n2];
+    for (i, &c) in a.row_to_col.iter().take(n1).enumerate() {
+        if c < n2 {
+            map1[i] = Some(c as NodeId);
+            used2[c] = true;
+        }
+    }
+    let unmatched2 = (0..n2 as NodeId).filter(|&j| !used2[j as usize]).collect();
+    NodeMapping { map1, unmatched2 }
+}
+
+/// Exact cost of the edit path induced by a complete node mapping.
+///
+/// This is an upper bound on the true GED for *any* mapping, and the basis
+/// of [`bp_upper_bound`].
+pub fn induced_cost(g1: &Graph, g2: &Graph, mapping: &NodeMapping, cost: &CostModel) -> f64 {
+    let mut total = 0.0;
+    // Node operations.
+    for (i, img) in mapping.map1.iter().enumerate() {
+        match img {
+            Some(j) => total += cost.node_subst(g1.node_label(i as NodeId), g2.node_label(*j)),
+            None => total += cost.node_indel,
+        }
+    }
+    total += mapping.unmatched2.len() as f64 * cost.node_indel;
+
+    // g1 edges: substituted when both endpoints map and the image edge
+    // exists, deleted otherwise.
+    let mut matched_g2_edges = 0usize;
+    for e in g1.edges() {
+        match (mapping.map1[e.u as usize], mapping.map1[e.v as usize]) {
+            (Some(a), Some(b)) => match g2.edge_label(a, b) {
+                Some(l2) => {
+                    total += cost.edge_subst(e.label, l2);
+                    matched_g2_edges += 1;
+                }
+                None => total += cost.edge_indel,
+            },
+            _ => total += cost.edge_indel,
+        }
+    }
+    // Remaining g2 edges are insertions.
+    total += (g2.edge_count() - matched_g2_edges) as f64 * cost.edge_indel;
+    total
+}
+
+/// Upper bound on GED from the bipartite heuristic: symmetric by
+/// construction (runs both directions and keeps the smaller).
+pub fn bp_upper_bound(g1: &Graph, g2: &Graph, cost: &CostModel) -> f64 {
+    let a = induced_cost(g1, g2, &bp_mapping(g1, g2, cost), cost);
+    let b = induced_cost(g2, g1, &bp_mapping(g2, g1, cost), cost);
+    a.min(b)
+}
+
+/// Assignment-based **lower bound** (Riesen-style): the optimal cost of the
+/// bipartite matrix itself.
+///
+/// Sound because any true edit path induces a complete node assignment
+/// whose matrix cost it dominates: node operations are charged identically,
+/// and every edge operation of the path is charged to its two endpoints at
+/// half cost each (edges to deleted/inserted partners included), while
+/// substitution entries use the *admissible* half-star multiset bound.
+/// Stronger than the label bound whenever local structure disagrees.
+pub fn bp_lower_bound(g1: &Graph, g2: &Graph, cost: &CostModel) -> f64 {
+    solve(&bp_matrix(g1, g2, cost)).cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::label_lower_bound;
+    use crate::exact::ged_exact_full;
+    use graphrep_graph::generate::{mutate, random_connected};
+    use graphrep_graph::GraphBuilder;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn build(nodes: &[u32], edges: &[(u16, u16, u32)]) -> Graph {
+        let mut b = GraphBuilder::new();
+        for &l in nodes {
+            b.add_node(l);
+        }
+        for &(u, v, l) in edges {
+            b.add_edge(u, v, l).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn identical_graphs_bound_zero() {
+        let g = build(&[0, 1, 2], &[(0, 1, 5), (1, 2, 6)]);
+        assert_eq!(bp_upper_bound(&g, &g, &CostModel::uniform()), 0.0);
+    }
+
+    #[test]
+    fn empty_graph_bound_is_exact() {
+        let e = build(&[], &[]);
+        let g = build(&[0, 1], &[(0, 1, 3)]);
+        assert_eq!(bp_upper_bound(&e, &g, &CostModel::uniform()), 3.0);
+    }
+
+    #[test]
+    fn mapping_shape() {
+        let g1 = build(&[0, 1], &[(0, 1, 3)]);
+        let g2 = build(&[0, 1, 2], &[(0, 1, 3), (1, 2, 4)]);
+        let m = bp_mapping(&g1, &g2, &CostModel::uniform());
+        assert_eq!(m.map1.len(), 2);
+        let mapped = m.map1.iter().flatten().count();
+        assert_eq!(m.unmatched2.len(), 3 - mapped);
+    }
+
+    #[test]
+    fn upper_bound_sandwiches_exact_on_random_pairs() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        let c = CostModel::uniform();
+        for trial in 0..25 {
+            let g1 = random_connected(&mut rng, 5, 2, &[0, 1, 2], &[9, 8]);
+            let g2 = if trial % 2 == 0 {
+                mutate(&mut rng, &g1, 2, &[0, 1, 2], &[9, 8])
+            } else {
+                random_connected(&mut rng, 6, 2, &[0, 1, 2], &[9, 8])
+            };
+            let exact = ged_exact_full(&g1, &g2, &c, 2_000_000).unwrap().0;
+            let ub = bp_upper_bound(&g1, &g2, &c);
+            let lb = label_lower_bound(&g1, &g2, &c);
+            assert!(ub >= exact - 1e-9, "ub {ub} < exact {exact} (trial {trial})");
+            assert!(lb <= exact + 1e-9, "lb {lb} > exact {exact} (trial {trial})");
+        }
+    }
+
+    #[test]
+    fn upper_bound_is_symmetric() {
+        let mut rng = SmallRng::seed_from_u64(31);
+        let c = CostModel::uniform();
+        for _ in 0..10 {
+            let g1 = random_connected(&mut rng, 6, 3, &[0, 1], &[5, 6]);
+            let g2 = random_connected(&mut rng, 7, 3, &[0, 1], &[5, 6]);
+            assert_eq!(bp_upper_bound(&g1, &g2, &c), bp_upper_bound(&g2, &g1, &c));
+        }
+    }
+
+    #[test]
+    fn bp_lower_bound_is_admissible_on_random_pairs() {
+        let mut rng = SmallRng::seed_from_u64(47);
+        let c = CostModel::uniform();
+        for trial in 0..40 {
+            let g1 = random_connected(&mut rng, 4 + trial % 4, 2, &[0, 1, 2], &[9, 8]);
+            let g2 = if trial % 3 == 0 {
+                mutate(&mut rng, &g1, 2, &[0, 1, 2], &[9, 8])
+            } else {
+                random_connected(&mut rng, 5 + trial % 3, 2, &[0, 1, 2], &[9, 8])
+            };
+            let exact = ged_exact_full(&g1, &g2, &c, 2_000_000).unwrap().0;
+            let lb = bp_lower_bound(&g1, &g2, &c);
+            assert!(lb <= exact + 1e-9, "bp lb {lb} > exact {exact} (trial {trial})");
+        }
+    }
+
+    #[test]
+    fn bp_lower_bound_zero_on_identical() {
+        let g = build(&[0, 1, 2], &[(0, 1, 5), (1, 2, 6)]);
+        assert_eq!(bp_lower_bound(&g, &g, &CostModel::uniform()), 0.0);
+    }
+
+    #[test]
+    fn bp_lower_bound_sees_structural_mismatch_label_bound_misses() {
+        // Same node/edge label multisets, different local structure:
+        // a path vs a star over identical labels.
+        let path = build(&[0, 0, 0, 0], &[(0, 1, 1), (1, 2, 1), (2, 3, 1)]);
+        let star = build(&[0, 0, 0, 0], &[(0, 1, 1), (0, 2, 1), (0, 3, 1)]);
+        let c = CostModel::uniform();
+        assert_eq!(label_lower_bound(&path, &star, &c), 0.0);
+        assert!(bp_lower_bound(&path, &star, &c) > 0.0);
+    }
+
+    #[test]
+    fn induced_cost_of_identity_mapping_is_zero() {
+        let g = build(&[0, 1, 2], &[(0, 1, 5), (1, 2, 6)]);
+        let m = NodeMapping {
+            map1: vec![Some(0), Some(1), Some(2)],
+            unmatched2: vec![],
+        };
+        assert_eq!(induced_cost(&g, &g, &m, &CostModel::uniform()), 0.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Cheap admissible lower bounds on graph edit distance.
+//!
+//! These run in near-linear time and are used to (a) avoid exact searches
+//! whose answer is certainly above θ and (b) seed the A* heuristic.
+
+use crate::cost::CostModel;
+use graphrep_graph::Graph;
+use std::cmp::Ordering;
+
+/// Size of the intersection of two sorted multisets.
+pub fn multiset_overlap(a: &[u32], b: &[u32]) -> usize {
+    let (mut i, mut j, mut k) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            Ordering::Less => i += 1,
+            Ordering::Greater => j += 1,
+            Ordering::Equal => {
+                k += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    k
+}
+
+/// Admissible lower bound on the cost of reconciling two label multisets,
+/// where unequal paired labels cost `sub` (capped by `2·indel`) and the count
+/// difference costs `indel` each.
+pub fn multiset_bound(a: &[u32], b: &[u32], sub: f64, indel: f64) -> f64 {
+    let overlap = multiset_overlap(a, b);
+    let (r1, r2) = (a.len(), b.len());
+    let pairs = r1.min(r2).saturating_sub(overlap);
+    pairs as f64 * sub.min(2.0 * indel) + r1.abs_diff(r2) as f64 * indel
+}
+
+/// Label lower bound: node-label multiset bound + edge-label multiset bound.
+///
+/// Valid because any edit path must reconcile both multisets, and node and
+/// edge operations are charged separately.
+pub fn label_lower_bound(g1: &Graph, g2: &Graph, cost: &CostModel) -> f64 {
+    let n1 = g1.sorted_node_labels();
+    let n2 = g2.sorted_node_labels();
+    let e1 = g1.sorted_edge_labels();
+    let e2 = g2.sorted_edge_labels();
+    multiset_bound(&n1, &n2, cost.node_sub, cost.node_indel)
+        + multiset_bound(&e1, &e2, cost.edge_sub, cost.edge_indel)
+}
+
+/// Size lower bound: count differences only (weaker than the label bound,
+/// provided for completeness and tests).
+pub fn size_lower_bound(g1: &Graph, g2: &Graph, cost: &CostModel) -> f64 {
+    g1.node_count().abs_diff(g2.node_count()) as f64 * cost.node_indel
+        + g1.edge_count().abs_diff(g2.edge_count()) as f64 * cost.edge_indel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ged_exact_full;
+    use graphrep_graph::generate::random_connected;
+    use graphrep_graph::GraphBuilder;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn build(nodes: &[u32], edges: &[(u16, u16, u32)]) -> Graph {
+        let mut b = GraphBuilder::new();
+        for &l in nodes {
+            b.add_node(l);
+        }
+        for &(u, v, l) in edges {
+            b.add_edge(u, v, l).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn overlap_counts_multiplicity() {
+        assert_eq!(multiset_overlap(&[1, 1, 2], &[1, 2, 2]), 2);
+        assert_eq!(multiset_overlap(&[], &[1]), 0);
+        assert_eq!(multiset_overlap(&[3, 3, 3], &[3, 3]), 2);
+    }
+
+    #[test]
+    fn bound_zero_for_identical() {
+        let g = build(&[0, 1], &[(0, 1, 2)]);
+        assert_eq!(label_lower_bound(&g, &g, &CostModel::uniform()), 0.0);
+        assert_eq!(size_lower_bound(&g, &g, &CostModel::uniform()), 0.0);
+    }
+
+    #[test]
+    fn bounds_are_admissible_on_random_pairs() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let c = CostModel::uniform();
+        for _ in 0..20 {
+            let g1 = random_connected(&mut rng, 5, 2, &[0, 1, 2], &[9, 8]);
+            let g2 = random_connected(&mut rng, 6, 2, &[0, 1, 2], &[9, 8]);
+            let exact = ged_exact_full(&g1, &g2, &c, 1_000_000).unwrap().0;
+            let lb = label_lower_bound(&g1, &g2, &c);
+            let sb = size_lower_bound(&g1, &g2, &c);
+            assert!(lb <= exact + 1e-9, "label lb {lb} > exact {exact}");
+            assert!(sb <= exact + 1e-9, "size lb {sb} > exact {exact}");
+            assert!(sb <= lb + 1e-9, "size bound should not beat label bound");
+        }
+    }
+
+    #[test]
+    fn label_bound_sees_relabels_size_bound_does_not() {
+        let g1 = build(&[0, 0], &[(0, 1, 1)]);
+        let g2 = build(&[5, 5], &[(0, 1, 1)]);
+        let c = CostModel::uniform();
+        assert_eq!(size_lower_bound(&g1, &g2, &c), 0.0);
+        assert_eq!(label_lower_bound(&g1, &g2, &c), 2.0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Database-level distance oracle with caching and call accounting.
+//!
+//! Everything above the raw engine — the greedy algorithms, the NB-Index,
+//! every baseline — talks to a [`DistanceOracle`]: distances are addressed by
+//! [`GraphId`], results are memoized, and the number of *engine* calls (the
+//! paper's cost unit) is tracked.
+
+use crate::engine::GedEngine;
+use graphrep_graph::{Graph, GraphId};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Statistics of oracle usage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OracleStats {
+    /// Engine invocations that produced an exact cached distance.
+    pub distance_computations: u64,
+    /// `within` engine invocations that only produced a lower-bound fact.
+    pub within_rejections: u64,
+    /// Requests answered from cache.
+    pub cache_hits: u64,
+}
+
+#[inline]
+fn key(i: GraphId, j: GraphId) -> u64 {
+    let (a, b) = if i <= j { (i, j) } else { (j, i) };
+    ((a as u64) << 32) | b as u64
+}
+
+/// Caching, counting distance oracle over a fixed graph collection.
+pub struct DistanceOracle {
+    graphs: Arc<Vec<Graph>>,
+    engine: GedEngine,
+    exact: RwLock<HashMap<u64, f64>>,
+    /// Known strict lower bounds: `d(i, j) > lower[key]`.
+    lower: RwLock<HashMap<u64, f64>>,
+    computations: AtomicU64,
+    rejections: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl std::fmt::Debug for DistanceOracle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistanceOracle")
+            .field("graphs", &self.graphs.len())
+            .field("cached_exact", &self.exact.read().len())
+            .field("cached_lower", &self.lower.read().len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl DistanceOracle {
+    /// Creates an oracle over `graphs` backed by `engine`.
+    pub fn new(graphs: Arc<Vec<Graph>>, engine: GedEngine) -> Self {
+        Self {
+            graphs,
+            engine,
+            exact: RwLock::new(HashMap::new()),
+            lower: RwLock::new(HashMap::new()),
+            computations: AtomicU64::new(0),
+            rejections: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying graphs.
+    pub fn graphs(&self) -> &[Graph] {
+        &self.graphs
+    }
+
+    /// Shared handle to the underlying graphs.
+    pub fn graphs_arc(&self) -> Arc<Vec<Graph>> {
+        Arc::clone(&self.graphs)
+    }
+
+    /// Number of graphs.
+    pub fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// Whether the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.graphs.is_empty()
+    }
+
+    /// The engine (for counter access).
+    pub fn engine(&self) -> &GedEngine {
+        &self.engine
+    }
+
+    /// Exact distance between graphs `i` and `j` (cached).
+    pub fn distance(&self, i: GraphId, j: GraphId) -> f64 {
+        if i == j {
+            return 0.0;
+        }
+        let k = key(i, j);
+        if let Some(&d) = self.exact.read().get(&k) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return d;
+        }
+        let d = self
+            .engine
+            .distance(&self.graphs[i as usize], &self.graphs[j as usize]);
+        self.computations.fetch_add(1, Ordering::Relaxed);
+        self.exact.write().insert(k, d);
+        d
+    }
+
+    /// Returns `Some(d)` iff `d(i, j) = d ≤ tau`, consulting the caches
+    /// before the engine.
+    pub fn within(&self, i: GraphId, j: GraphId, tau: f64) -> Option<f64> {
+        if i == j {
+            return Some(0.0);
+        }
+        let k = key(i, j);
+        if let Some(&d) = self.exact.read().get(&k) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (d <= tau + 1e-9).then_some(d);
+        }
+        if let Some(&lb) = self.lower.read().get(&k) {
+            if lb >= tau - 1e-9 {
+                // d > lb ≥ tau: certainly outside.
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        }
+        match self.engine.distance_within(
+            &self.graphs[i as usize],
+            &self.graphs[j as usize],
+            tau,
+        ) {
+            Some(d) => {
+                self.computations.fetch_add(1, Ordering::Relaxed);
+                self.exact.write().insert(k, d);
+                Some(d)
+            }
+            None => {
+                self.rejections.fetch_add(1, Ordering::Relaxed);
+                let mut lw = self.lower.write();
+                let e = lw.entry(k).or_insert(tau);
+                if *e < tau {
+                    *e = tau;
+                }
+                None
+            }
+        }
+    }
+
+    /// Usage statistics.
+    pub fn stats(&self) -> OracleStats {
+        OracleStats {
+            distance_computations: self.computations.load(Ordering::Relaxed),
+            within_rejections: self.rejections.load(Ordering::Relaxed),
+            cache_hits: self.hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Total engine invocations (computations + rejections).
+    pub fn engine_calls(&self) -> u64 {
+        self.computations.load(Ordering::Relaxed) + self.rejections.load(Ordering::Relaxed)
+    }
+
+    /// Clears counters (the caches are kept).
+    pub fn reset_stats(&self) {
+        self.computations.store(0, Ordering::Relaxed);
+        self.rejections.store(0, Ordering::Relaxed);
+        self.hits.store(0, Ordering::Relaxed);
+    }
+
+    /// Clears the memoized distances *and* counters.
+    pub fn clear(&self) {
+        self.exact.write().clear();
+        self.lower.write().clear();
+        self.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::GedConfig;
+    use graphrep_graph::generate::random_connected;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn oracle(n: usize, seed: u64) -> DistanceOracle {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let graphs: Vec<Graph> = (0..n)
+            .map(|_| random_connected(&mut rng, 5, 2, &[0, 1, 2], &[3, 4]))
+            .collect();
+        DistanceOracle::new(Arc::new(graphs), GedEngine::new(GedConfig::default()))
+    }
+
+    #[test]
+    fn self_distance_is_zero_and_free() {
+        let o = oracle(3, 1);
+        assert_eq!(o.distance(1, 1), 0.0);
+        assert_eq!(o.stats().distance_computations, 0);
+    }
+
+    #[test]
+    fn distance_is_cached() {
+        let o = oracle(3, 2);
+        let d1 = o.distance(0, 1);
+        let d2 = o.distance(1, 0);
+        assert_eq!(d1, d2);
+        let s = o.stats();
+        assert_eq!(s.distance_computations, 1);
+        assert_eq!(s.cache_hits, 1);
+    }
+
+    #[test]
+    fn within_uses_exact_cache() {
+        let o = oracle(3, 3);
+        let d = o.distance(0, 2);
+        assert_eq!(o.within(0, 2, d), Some(d));
+        assert_eq!(o.within(0, 2, d - 0.5), None);
+        assert_eq!(o.stats().distance_computations, 1);
+    }
+
+    #[test]
+    fn within_rejection_cached_as_lower_bound() {
+        let o = oracle(4, 4);
+        let d = o.distance(1, 2);
+        o.clear();
+        if d > 1.0 {
+            assert_eq!(o.within(1, 2, 1.0), None);
+            let before = o.engine_calls();
+            // A second query at the same or smaller tau is answered from the
+            // lower-bound cache.
+            assert_eq!(o.within(1, 2, 0.5), None);
+            assert_eq!(o.engine_calls(), before);
+        }
+    }
+
+    #[test]
+    fn stats_reset() {
+        let o = oracle(3, 5);
+        let _ = o.distance(0, 1);
+        o.reset_stats();
+        assert_eq!(o.stats(), OracleStats::default());
+        // Cache retained: next call is a hit.
+        let _ = o.distance(0, 1);
+        assert_eq!(o.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn len_and_graph_access() {
+        let o = oracle(5, 6);
+        assert_eq!(o.len(), 5);
+        assert!(!o.is_empty());
+        assert_eq!(o.graphs().len(), 5);
+    }
+}

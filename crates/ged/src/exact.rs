@@ -1,0 +1,483 @@
+//! Exact graph edit distance via best-first (A*) search.
+//!
+//! The classical formulation [Zeng et al. 2009; He & Singh 2006]: states are
+//! partial mappings of the first graph's nodes — in a fixed order — onto
+//! nodes of the second graph or onto ε (deletion). Each expansion pays the
+//! exactly attributable node and edge costs; an admissible label-multiset
+//! heuristic prunes the search. With symmetric costs the result is a metric,
+//! which the NB-Index theorems require.
+//!
+//! Computing GED is NP-hard, so the search takes both a `cutoff` (for
+//! θ-membership tests, Sec 5–6 of the paper) and an expansion `budget`
+//! (so index construction can fall back to the bipartite upper bound).
+
+use crate::bounds::multiset_bound;
+use crate::cost::CostModel;
+use graphrep_graph::{Graph, NodeId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Sentinel meaning "mapped to ε" (node deleted).
+const EPS: u8 = 0xFF;
+/// Sentinel meaning "not yet processed".
+const UNPROC: u8 = 0xFE;
+
+/// Result of an exact GED search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Outcome {
+    /// The exact distance (≤ cutoff).
+    Distance(f64),
+    /// The distance is certainly greater than the cutoff.
+    ExceedsCutoff,
+    /// The expansion budget ran out before a certificate was found.
+    BudgetExhausted,
+}
+
+/// Search statistics returned along with the outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExactResult {
+    /// What the search concluded.
+    pub outcome: Outcome,
+    /// Number of node expansions performed.
+    pub expansions: u64,
+}
+
+#[derive(Clone, Copy)]
+struct Node {
+    parent: u32,
+    g: f64,
+    used: u32,
+    depth: u8,
+    j: u8,
+}
+
+struct HeapEntry {
+    f: f64,
+    depth: u8,
+    idx: u32,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.f == other.f && self.depth == other.depth
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert f (prefer small), prefer deep ties.
+        other
+            .f
+            .total_cmp(&self.f)
+            .then_with(|| self.depth.cmp(&other.depth))
+    }
+}
+
+/// Precomputed, depth-indexed views of the first graph.
+pub(crate) struct G1View {
+    /// Processing order: `order[d]` is the g1 node handled at depth `d`.
+    pub(crate) order: Vec<NodeId>,
+    /// Sorted labels of nodes not yet processed at each depth.
+    suffix_node_labels: Vec<Vec<u32>>,
+    /// Sorted labels of edges still pending (≥ one endpoint unprocessed).
+    pending_edge_labels: Vec<Vec<u32>>,
+}
+
+impl G1View {
+    pub(crate) fn build(g: &Graph) -> Self {
+        let n = g.node_count();
+        // Degree-descending order: high-degree nodes first constrain more.
+        let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+        order.sort_by_key(|&u| std::cmp::Reverse(g.degree(u)));
+        let mut rank = vec![0usize; n];
+        for (d, &u) in order.iter().enumerate() {
+            rank[u as usize] = d;
+        }
+        let mut suffix_node_labels = Vec::with_capacity(n + 1);
+        let mut pending_edge_labels = Vec::with_capacity(n + 1);
+        for d in 0..=n {
+            let mut nl: Vec<u32> = order[d..].iter().map(|&u| g.node_label(u)).collect();
+            nl.sort_unstable();
+            suffix_node_labels.push(nl);
+            let mut el: Vec<u32> = g
+                .edges()
+                .iter()
+                .filter(|e| rank[e.u as usize] >= d || rank[e.v as usize] >= d)
+                .map(|e| e.label)
+                .collect();
+            el.sort_unstable();
+            pending_edge_labels.push(el);
+        }
+        Self {
+            order,
+            suffix_node_labels,
+            pending_edge_labels,
+        }
+    }
+}
+
+/// Exact GED between `g1` and `g2` under `cost`, searching only edit paths of
+/// cost ≤ `cutoff` and at most `budget` expansions.
+///
+/// Symmetric in its graph arguments. Graphs must have ≤ 250 nodes; the search
+/// additionally requires the *smaller* side to have ≤ 32 nodes (bitmask
+/// state) — our datasets are far below both.
+pub fn ged_exact(g1: &Graph, g2: &Graph, cost: &CostModel, cutoff: f64, budget: u64) -> ExactResult {
+    // Map the smaller graph onto the larger: fewer levels, same distance
+    // (costs are symmetric).
+    let (a, b) = if g1.node_count() <= g2.node_count() {
+        (g1, g2)
+    } else {
+        (g2, g1)
+    };
+    assert!(b.node_count() <= 250, "graph too large for exact GED");
+    assert!(
+        b.node_count() <= 32,
+        "exact GED bitmask supports ≤ 32 nodes; use hybrid mode"
+    );
+    let n1 = a.node_count();
+    let n2 = b.node_count();
+    let e2_total = b.edge_count();
+    let eps = 1e-9;
+    if n1 == 0 {
+        // Pure insertion: every node and edge of the larger graph.
+        let d = n2 as f64 * cost.node_indel + e2_total as f64 * cost.edge_indel;
+        let outcome = if d <= cutoff + eps {
+            Outcome::Distance(d)
+        } else {
+            Outcome::ExceedsCutoff
+        };
+        return ExactResult {
+            outcome,
+            expansions: 0,
+        };
+    }
+    let view = G1View::build(a);
+
+    let mut arena: Vec<Node> = Vec::with_capacity(1024);
+    let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
+    arena.push(Node {
+        parent: u32::MAX,
+        g: 0.0,
+        used: 0,
+        depth: 0,
+        j: UNPROC,
+    });
+    let h0 = heuristic(a, b, &view, 0, 0, cost);
+    if h0 > cutoff + eps {
+        return ExactResult {
+            outcome: Outcome::ExceedsCutoff,
+            expansions: 0,
+        };
+    }
+    heap.push(HeapEntry {
+        f: h0,
+        depth: 0,
+        idx: 0,
+    });
+
+    let mut expansions = 0u64;
+    let mut map_buf = vec![UNPROC; n1.max(1)];
+
+    while let Some(entry) = heap.pop() {
+        let node = arena[entry.idx as usize];
+        if node.depth as usize == n1 {
+            return ExactResult {
+                outcome: Outcome::Distance(node.g),
+                expansions,
+            };
+        }
+        if expansions >= budget {
+            return ExactResult {
+                outcome: Outcome::BudgetExhausted,
+                expansions,
+            };
+        }
+        expansions += 1;
+
+        // Reconstruct the partial map (g1 node -> g2 node / EPS).
+        for m in map_buf.iter_mut() {
+            *m = UNPROC;
+        }
+        {
+            let mut cur = entry.idx as usize;
+            while arena[cur].parent != u32::MAX {
+                let nd = arena[cur];
+                let g1_node = view.order[nd.depth as usize - 1];
+                map_buf[g1_node as usize] = nd.j;
+                cur = arena[cur].parent as usize;
+            }
+        }
+
+        let depth = node.depth as usize;
+        let k = view.order[depth]; // g1 node to map next
+        let child_depth = (depth + 1) as u8;
+
+        // Children: map k -> each unused j of b, plus k -> ε.
+        for j in 0..n2 as u8 {
+            if node.used & (1u32 << j) != 0 {
+                continue;
+            }
+            let mut step = cost.node_subst(a.node_label(k), b.node_label(j as NodeId));
+            // Edge costs against all previously processed g1 nodes.
+            for d in 0..depth {
+                let p = view.order[d];
+                let e1 = a.edge_label(k, p);
+                let pm = map_buf[p as usize];
+                let e2 = if pm == EPS {
+                    None
+                } else {
+                    b.edge_label(j as NodeId, pm as NodeId)
+                };
+                step += match (e1, e2) {
+                    (Some(l1), Some(l2)) => cost.edge_subst(l1, l2),
+                    (Some(_), None) | (None, Some(_)) => cost.edge_indel,
+                    (None, None) => 0.0,
+                };
+            }
+            push_child(
+                a, b, &view, cost, cutoff, eps, &mut arena, &mut heap, entry.idx, node.g + step,
+                node.used | (1u32 << j), child_depth, j, n1, e2_total,
+            );
+        }
+        // k -> ε: delete the node and its edges to processed g1 nodes.
+        {
+            let mut step = cost.node_indel;
+            for d in 0..depth {
+                let p = view.order[d];
+                if a.edge_label(k, p).is_some() {
+                    step += cost.edge_indel;
+                }
+            }
+            push_child(
+                a, b, &view, cost, cutoff, eps, &mut arena, &mut heap, entry.idx, node.g + step,
+                node.used, child_depth, EPS, n1, e2_total,
+            );
+        }
+    }
+    ExactResult {
+        outcome: Outcome::ExceedsCutoff,
+        expansions,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_child(
+    a: &Graph,
+    b: &Graph,
+    view: &G1View,
+    cost: &CostModel,
+    cutoff: f64,
+    eps: f64,
+    arena: &mut Vec<Node>,
+    heap: &mut BinaryHeap<HeapEntry>,
+    parent: u32,
+    mut g: f64,
+    used: u32,
+    depth: u8,
+    j: u8,
+    n1: usize,
+    e2_total: usize,
+) {
+    let h = if depth as usize == n1 {
+        // Completion: insert all unused b nodes and every b edge not fully
+        // inside the used set (edges among used nodes were paid pairwise).
+        let unused = b.node_count() - (used.count_ones() as usize);
+        let e2_internal = b
+            .edges()
+            .iter()
+            .filter(|e| used & (1 << e.u) != 0 && used & (1 << e.v) != 0)
+            .count();
+        g += unused as f64 * cost.node_indel + (e2_total - e2_internal) as f64 * cost.edge_indel;
+        0.0
+    } else {
+        heuristic(a, b, view, depth as usize, used, cost)
+    };
+    let f = g + h;
+    if f > cutoff + eps {
+        return;
+    }
+    let idx = arena.len() as u32;
+    arena.push(Node {
+        parent,
+        g,
+        used,
+        depth,
+        j,
+    });
+    heap.push(HeapEntry { f, depth, idx });
+}
+
+/// Admissible heuristic: label-multiset bound on remaining nodes plus a
+/// pending-edge-multiset bound.
+pub(crate) fn heuristic(_a: &Graph, b: &Graph, view: &G1View, depth: usize, used: u32, cost: &CostModel) -> f64 {
+    // Remaining node labels.
+    let rem1 = &view.suffix_node_labels[depth];
+    let mut rem2: Vec<u32> = (0..b.node_count())
+        .filter(|&j| used & (1 << j) == 0)
+        .map(|j| b.node_label(j as NodeId))
+        .collect();
+    rem2.sort_unstable();
+    let h_nodes = multiset_bound(rem1, &rem2, cost.node_sub, cost.node_indel);
+
+    // Pending edges: a-side is precomputed per depth; b-side depends on mask.
+    let pend1 = &view.pending_edge_labels[depth];
+    let mut pend2: Vec<u32> = b
+        .edges()
+        .iter()
+        .filter(|e| used & (1 << e.u) == 0 || used & (1 << e.v) == 0)
+        .map(|e| e.label)
+        .collect();
+    pend2.sort_unstable();
+    let h_edges = multiset_bound(pend1, &pend2, cost.edge_sub, cost.edge_indel);
+    h_nodes + h_edges
+}
+
+/// Convenience wrapper: unbounded exact distance (still budgeted).
+///
+/// Returns `None` if the budget is exhausted first.
+pub fn ged_exact_full(g1: &Graph, g2: &Graph, cost: &CostModel, budget: u64) -> Option<(f64, u64)> {
+    let r = ged_exact(g1, g2, cost, f64::INFINITY, budget);
+    match r.outcome {
+        Outcome::Distance(d) => Some((d, r.expansions)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphrep_graph::GraphBuilder;
+
+    fn build(nodes: &[u32], edges: &[(u16, u16, u32)]) -> Graph {
+        let mut b = GraphBuilder::new();
+        for &l in nodes {
+            b.add_node(l);
+        }
+        for &(u, v, l) in edges {
+            b.add_edge(u, v, l).unwrap();
+        }
+        b.build()
+    }
+
+    fn d(g1: &Graph, g2: &Graph) -> f64 {
+        ged_exact_full(g1, g2, &CostModel::uniform(), 1_000_000)
+            .expect("budget")
+            .0
+    }
+
+    #[test]
+    fn identical_graphs_are_distance_zero() {
+        let g = build(&[0, 1, 2], &[(0, 1, 5), (1, 2, 5)]);
+        assert_eq!(d(&g, &g), 0.0);
+    }
+
+    #[test]
+    fn empty_vs_graph_counts_everything() {
+        let e = build(&[], &[]);
+        let g = build(&[0, 1], &[(0, 1, 3)]);
+        assert_eq!(d(&e, &g), 3.0); // 2 node inserts + 1 edge insert
+        assert_eq!(d(&g, &e), 3.0);
+    }
+
+    #[test]
+    fn single_relabel() {
+        let g1 = build(&[0, 1], &[(0, 1, 3)]);
+        let g2 = build(&[0, 2], &[(0, 1, 3)]);
+        assert_eq!(d(&g1, &g2), 1.0);
+    }
+
+    #[test]
+    fn edge_relabel() {
+        let g1 = build(&[0, 1], &[(0, 1, 3)]);
+        let g2 = build(&[0, 1], &[(0, 1, 4)]);
+        assert_eq!(d(&g1, &g2), 1.0);
+    }
+
+    #[test]
+    fn leaf_addition_costs_two() {
+        let g1 = build(&[0, 1], &[(0, 1, 3)]);
+        let g2 = build(&[0, 1, 2], &[(0, 1, 3), (1, 2, 3)]);
+        assert_eq!(d(&g1, &g2), 2.0); // node insert + edge insert
+    }
+
+    #[test]
+    fn isomorphic_relabeled_ordering() {
+        // Same structure, nodes listed in different order.
+        let g1 = build(&[7, 8, 9], &[(0, 1, 1), (1, 2, 2)]);
+        let g2 = build(&[9, 8, 7], &[(2, 1, 1), (1, 0, 2)]);
+        assert_eq!(d(&g1, &g2), 0.0);
+    }
+
+    #[test]
+    fn triangle_vs_path() {
+        let tri = build(&[0, 0, 0], &[(0, 1, 1), (1, 2, 1), (0, 2, 1)]);
+        let path = build(&[0, 0, 0], &[(0, 1, 1), (1, 2, 1)]);
+        assert_eq!(d(&tri, &path), 1.0); // delete one edge
+    }
+
+    #[test]
+    fn cutoff_exceeded_detected() {
+        let g1 = build(&[0; 4], &[(0, 1, 1), (1, 2, 1), (2, 3, 1)]);
+        let g2 = build(&[5; 4], &[(0, 1, 2), (1, 2, 2), (2, 3, 2)]);
+        let r = ged_exact(&g1, &g2, &CostModel::uniform(), 2.0, 1_000_000);
+        assert_eq!(r.outcome, Outcome::ExceedsCutoff);
+        // True distance is 7 (4 node relabels + 3 edge relabels).
+        assert_eq!(d(&g1, &g2), 7.0);
+    }
+
+    #[test]
+    fn cutoff_equal_to_distance_succeeds() {
+        let g1 = build(&[0, 1], &[(0, 1, 3)]);
+        let g2 = build(&[0, 2], &[(0, 1, 3)]);
+        let r = ged_exact(&g1, &g2, &CostModel::uniform(), 1.0, 1_000_000);
+        assert_eq!(r.outcome, Outcome::Distance(1.0));
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let g1 = build(&[0; 6], &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1), (4, 5, 1)]);
+        let g2 = build(&[1; 6], &[(0, 1, 2), (1, 2, 2), (2, 3, 2), (3, 4, 2), (4, 5, 2)]);
+        let r = ged_exact(&g1, &g2, &CostModel::uniform(), f64::INFINITY, 1);
+        assert_eq!(r.outcome, Outcome::BudgetExhausted);
+    }
+
+    #[test]
+    fn symmetry_on_random_pairs() {
+        use graphrep_graph::generate::random_connected;
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(4);
+        let c = CostModel::uniform();
+        for _ in 0..10 {
+            let g1 = random_connected(&mut rng, 5, 2, &[0, 1, 2], &[9, 8]);
+            let g2 = random_connected(&mut rng, 6, 2, &[0, 1, 2], &[9, 8]);
+            let d12 = ged_exact_full(&g1, &g2, &c, 500_000).unwrap().0;
+            let d21 = ged_exact_full(&g2, &g1, &c, 500_000).unwrap().0;
+            assert_eq!(d12, d21);
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_on_random_triples() {
+        use graphrep_graph::generate::random_connected;
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(21);
+        let c = CostModel::uniform();
+        for _ in 0..8 {
+            let a = random_connected(&mut rng, 4, 1, &[0, 1], &[7]);
+            let b = random_connected(&mut rng, 5, 2, &[0, 1], &[7]);
+            let g = random_connected(&mut rng, 5, 1, &[0, 1], &[7]);
+            let dab = ged_exact_full(&a, &b, &c, 500_000).unwrap().0;
+            let dbg = ged_exact_full(&b, &g, &c, 500_000).unwrap().0;
+            let dag = ged_exact_full(&a, &g, &c, 500_000).unwrap().0;
+            assert!(dag <= dab + dbg + 1e-9, "{dag} > {dab} + {dbg}");
+        }
+    }
+}

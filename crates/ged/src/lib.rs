@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! Graph edit distance for `graphrep`.
+//!
+//! The paper's distance function `d(g, g')` is the classical graph edit
+//! distance (GED), which is NP-hard to compute. This crate provides the full
+//! stack the rest of the workspace builds on:
+//!
+//! * [`cost::CostModel`] — symmetric edit-operation costs (metric-validated),
+//! * [`exact`] — A\* exact GED with an admissible label-multiset heuristic,
+//!   cutoff support (for θ-membership tests) and an expansion budget,
+//! * [`bipartite`] — Riesen–Bunke style `O(n³)` upper bound via the
+//!   [`assignment`] (Hungarian) solver,
+//! * [`bounds`] — near-linear admissible lower bounds,
+//! * [`GedEngine`] — the policy layer combining all of the above,
+//! * [`DistanceOracle`] — database-level memoization plus the call counters
+//!   every experiment reports.
+
+pub mod assignment;
+pub mod bipartite;
+pub mod bounds;
+pub mod cache;
+pub mod cost;
+pub mod counter;
+pub mod depthfirst;
+pub mod engine;
+pub mod exact;
+
+pub use cache::{DistanceOracle, OracleStats};
+pub use cost::CostModel;
+pub use depthfirst::{ged_depth_first, DfResult};
+pub use counter::{CounterSnapshot, GedCounters};
+pub use engine::{GedConfig, GedEngine, GedMode};
+pub use exact::{ged_exact, ged_exact_full, ExactResult, Outcome};

@@ -1,0 +1,40 @@
+//! Timing probe (ignored by default): how expensive are full exact
+//! distances at various graph sizes? Run with:
+//! `cargo test -p graphrep-ged --test timing_probe -- --ignored --nocapture`
+
+use graphrep_ged::{ged_exact, CostModel, Outcome};
+use graphrep_graph::generate::random_connected;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+#[test]
+#[ignore]
+fn probe_full_distance_cost_by_size() {
+    let cost = CostModel::uniform();
+    for n in [6usize, 7, 8, 9, 10] {
+        let mut rng = SmallRng::seed_from_u64(n as u64);
+        let mut total = 0.0;
+        let mut worst = 0.0f64;
+        let mut fallbacks = 0;
+        let trials = 12;
+        for t in 0..trials {
+            let a = random_connected(&mut rng, n, 2, &[0, 1, 2, 3], &[7, 8]);
+            let b = random_connected(&mut rng, n, 2, &[0, 1, 2, 3], &[7, 8]);
+            let t0 = Instant::now();
+            let r = ged_exact(&a, &b, &cost, f64::INFINITY, 400_000);
+            let dt = t0.elapsed().as_secs_f64();
+            total += dt;
+            worst = worst.max(dt);
+            if !matches!(r.outcome, Outcome::Distance(_)) {
+                fallbacks += 1;
+            }
+            let _ = t;
+        }
+        println!(
+            "n={n}: avg {:.4}s worst {:.4}s fallbacks {fallbacks}/{trials}",
+            total / trials as f64,
+            worst
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! Validated incremental graph construction.
+
+use crate::graph::{EdgeRef, Graph, NodeId};
+use crate::labels::Label;
+use std::collections::HashSet;
+
+/// Errors raised while building a graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildError {
+    /// An edge endpoint refers to a node that does not exist.
+    UnknownNode(NodeId),
+    /// Self loops are not allowed.
+    SelfLoop(NodeId),
+    /// The edge `{u, v}` was added twice.
+    DuplicateEdge(NodeId, NodeId),
+    /// More nodes than `NodeId` can address.
+    TooManyNodes,
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::UnknownNode(u) => write!(f, "edge endpoint {u} does not exist"),
+            BuildError::SelfLoop(u) => write!(f, "self loop on node {u}"),
+            BuildError::DuplicateEdge(u, v) => write!(f, "duplicate edge {{{u}, {v}}}"),
+            BuildError::TooManyNodes => write!(f, "node count exceeds NodeId range"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Incrementally builds a [`Graph`], validating structure as it goes.
+#[derive(Debug, Default, Clone)]
+pub struct GraphBuilder {
+    node_labels: Vec<Label>,
+    edges: Vec<EdgeRef>,
+    seen: HashSet<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder pre-sized for `nodes` vertices and `edges` edges.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        Self {
+            node_labels: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+            seen: HashSet::with_capacity(edges),
+        }
+    }
+
+    /// Adds a node with `label`, returning its id.
+    ///
+    /// # Panics
+    /// Panics if more than `NodeId::MAX` nodes are added; graphs in this
+    /// workspace are small by construction.
+    pub fn add_node(&mut self, label: Label) -> NodeId {
+        let id = self.node_labels.len();
+        assert!(id <= NodeId::MAX as usize, "{}", BuildError::TooManyNodes);
+        self.node_labels.push(label);
+        id as NodeId
+    }
+
+    /// Adds the undirected edge `{u, v}` with `label`.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, label: Label) -> Result<(), BuildError> {
+        let n = self.node_labels.len();
+        if (u as usize) >= n {
+            return Err(BuildError::UnknownNode(u));
+        }
+        if (v as usize) >= n {
+            return Err(BuildError::UnknownNode(v));
+        }
+        if u == v {
+            return Err(BuildError::SelfLoop(u));
+        }
+        let key = (u.min(v), u.max(v));
+        if !self.seen.insert(key) {
+            return Err(BuildError::DuplicateEdge(key.0, key.1));
+        }
+        self.edges.push(EdgeRef {
+            u: key.0,
+            v: key.1,
+            label,
+        });
+        Ok(())
+    }
+
+    /// Whether the edge `{u, v}` has already been added.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.seen.contains(&(u.min(v), u.max(v)))
+    }
+
+    /// Current node count.
+    pub fn node_count(&self) -> usize {
+        self.node_labels.len()
+    }
+
+    /// Current edge count.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes the graph.
+    pub fn build(self) -> Graph {
+        Graph::from_parts(self.node_labels, self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_node(0);
+        assert_eq!(b.add_edge(u, u, 0), Err(BuildError::SelfLoop(u)));
+    }
+
+    #[test]
+    fn rejects_unknown_endpoint() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_node(0);
+        assert_eq!(b.add_edge(u, 5, 0), Err(BuildError::UnknownNode(5)));
+        assert_eq!(b.add_edge(9, u, 0), Err(BuildError::UnknownNode(9)));
+    }
+
+    #[test]
+    fn rejects_duplicate_in_either_direction() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_node(0);
+        let v = b.add_node(1);
+        b.add_edge(u, v, 0).unwrap();
+        assert_eq!(b.add_edge(v, u, 3), Err(BuildError::DuplicateEdge(u, v)));
+        assert!(b.has_edge(v, u));
+    }
+
+    #[test]
+    fn builds_normalized_edges() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_node(0);
+        let v = b.add_node(1);
+        b.add_edge(v, u, 4).unwrap();
+        let g = b.build();
+        assert_eq!(g.edges()[0].u, u);
+        assert_eq!(g.edges()[0].v, v);
+        assert_eq!(g.edges()[0].label, 4);
+    }
+
+    #[test]
+    fn with_capacity_counts() {
+        let mut b = GraphBuilder::with_capacity(4, 2);
+        assert_eq!(b.node_count(), 0);
+        b.add_node(0);
+        b.add_node(0);
+        b.add_edge(0, 1, 0).unwrap();
+        assert_eq!(b.node_count(), 2);
+        assert_eq!(b.edge_count(), 1);
+    }
+
+    #[test]
+    fn error_messages_render() {
+        assert!(BuildError::SelfLoop(3).to_string().contains("3"));
+        assert!(BuildError::DuplicateEdge(1, 2).to_string().contains("1"));
+        assert!(BuildError::UnknownNode(7).to_string().contains("7"));
+    }
+}

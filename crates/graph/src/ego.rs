@@ -1,0 +1,120 @@
+//! k-hop ego-network extraction from a large graph.
+//!
+//! The paper builds its DBLP and Amazon databases by extracting "the
+//! complete 2-hop neighborhood subgraph around each node" of one large
+//! network. This module implements that preprocessing step.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, NodeId};
+
+/// Extracts the `hops`-hop ego network around `center`: the induced
+/// subgraph on all nodes within `hops` edges of `center`, with node ids
+/// compacted (the center becomes node 0; BFS order after that).
+pub fn ego_subgraph(g: &Graph, center: NodeId, hops: usize) -> Graph {
+    let n = g.node_count();
+    assert!((center as usize) < n, "center out of range");
+    let mut dist = vec![usize::MAX; n];
+    let mut order: Vec<NodeId> = vec![center];
+    dist[center as usize] = 0;
+    let mut head = 0;
+    while head < order.len() {
+        let u = order[head];
+        head += 1;
+        if dist[u as usize] == hops {
+            continue;
+        }
+        for &(v, _) in g.neighbors(u) {
+            if dist[v as usize] == usize::MAX {
+                dist[v as usize] = dist[u as usize] + 1;
+                order.push(v);
+            }
+        }
+    }
+    let mut new_id = vec![u16::MAX; n];
+    for (i, &u) in order.iter().enumerate() {
+        new_id[u as usize] = i as u16;
+    }
+    let mut b = GraphBuilder::with_capacity(order.len(), order.len() * 2);
+    for &u in &order {
+        b.add_node(g.node_label(u));
+    }
+    for &u in &order {
+        for &(v, l) in g.neighbors(u) {
+            let (nu, nv) = (new_id[u as usize], new_id[v as usize]);
+            if nv != u16::MAX && nu < nv {
+                b.add_edge(nu, nv, l).expect("induced edges are fresh");
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        for i in 0..n {
+            b.add_node(i as u32);
+        }
+        for i in 1..n {
+            b.add_edge((i - 1) as u16, i as u16, 0).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn zero_hops_is_just_the_center() {
+        let g = path(5);
+        let e = ego_subgraph(&g, 2, 0);
+        assert_eq!(e.node_count(), 1);
+        assert_eq!(e.edge_count(), 0);
+        assert_eq!(e.node_label(0), 2);
+    }
+
+    #[test]
+    fn one_hop_on_a_path() {
+        let g = path(5);
+        let e = ego_subgraph(&g, 2, 1);
+        assert_eq!(e.node_count(), 3); // 1, 2, 3
+        assert_eq!(e.edge_count(), 2);
+        assert_eq!(e.node_label(0), 2); // center first
+    }
+
+    #[test]
+    fn two_hops_cover_the_whole_small_path() {
+        let g = path(5);
+        let e = ego_subgraph(&g, 2, 2);
+        assert_eq!(e.node_count(), 5);
+        assert_eq!(e.edge_count(), 4);
+        assert!(e.is_connected());
+    }
+
+    #[test]
+    fn induced_edges_between_ring_nodes_are_kept() {
+        // Triangle 0-1-2 plus a pendant 3 on node 0: 1-hop ego of 0 must
+        // include the 1–2 edge (both are 1-hop neighbors).
+        let mut b = GraphBuilder::new();
+        for i in 0..4 {
+            b.add_node(i);
+        }
+        b.add_edge(0, 1, 9).unwrap();
+        b.add_edge(1, 2, 9).unwrap();
+        b.add_edge(0, 2, 9).unwrap();
+        b.add_edge(0, 3, 9).unwrap();
+        let g = b.build();
+        let e = ego_subgraph(&g, 0, 1);
+        assert_eq!(e.node_count(), 4);
+        assert_eq!(e.edge_count(), 4);
+    }
+
+    #[test]
+    fn ego_preserves_labels() {
+        let g = path(4);
+        let e = ego_subgraph(&g, 3, 1);
+        let mut labels = e.sorted_node_labels();
+        labels.sort_unstable();
+        assert_eq!(labels, vec![2, 3]);
+    }
+}

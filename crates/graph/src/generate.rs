@@ -1,0 +1,243 @@
+//! Random graph primitives used by the dataset generators.
+//!
+//! These are deliberately low level: `graphrep-datagen` composes them into
+//! domain-shaped families (molecule scaffolds, ego-nets, …).
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, NodeId};
+use crate::labels::Label;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Generates a random connected graph with `n` nodes.
+///
+/// A random spanning tree guarantees connectivity; `extra_edges` additional
+/// non-tree edges are then inserted where capacity allows. Node and edge
+/// labels are drawn uniformly from the provided alphabets.
+pub fn random_connected<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    extra_edges: usize,
+    node_alphabet: &[Label],
+    edge_alphabet: &[Label],
+) -> Graph {
+    assert!(n > 0, "graph must have at least one node");
+    assert!(!node_alphabet.is_empty() && !edge_alphabet.is_empty());
+    let mut b = GraphBuilder::with_capacity(n, n - 1 + extra_edges);
+    for _ in 0..n {
+        let l = *node_alphabet.choose(rng).expect("non-empty alphabet");
+        b.add_node(l);
+    }
+    // Random spanning tree: attach node i to a uniformly random earlier node.
+    for i in 1..n {
+        let j = rng.gen_range(0..i);
+        let l = *edge_alphabet.choose(rng).expect("non-empty alphabet");
+        b.add_edge(i as NodeId, j as NodeId, l)
+            .expect("tree edge is always fresh");
+    }
+    let max_edges = n * (n - 1) / 2;
+    let budget = extra_edges.min(max_edges - (n - 1));
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < budget && attempts < budget * 20 + 64 {
+        attempts += 1;
+        let u = rng.gen_range(0..n) as NodeId;
+        let v = rng.gen_range(0..n) as NodeId;
+        if u == v || b.has_edge(u, v) {
+            continue;
+        }
+        let l = *edge_alphabet.choose(rng).expect("non-empty alphabet");
+        b.add_edge(u, v, l).expect("checked fresh");
+        added += 1;
+    }
+    b.build()
+}
+
+/// Kinds of local edits applied by [`mutate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EditKind {
+    /// Relabel a random node.
+    RelabelNode,
+    /// Relabel a random edge.
+    RelabelEdge,
+    /// Attach a fresh leaf node to a random node.
+    AddLeaf,
+    /// Remove a random leaf node (degree 1), if any.
+    RemoveLeaf,
+    /// Add a random non-tree edge, if capacity allows.
+    AddEdge,
+}
+
+/// Applies `edits` random local edits to `g`, preserving connectivity.
+///
+/// This is how dataset generators produce *families*: a scaffold plus a small
+/// number of edits yields graphs within a controlled edit distance of the
+/// scaffold, giving the clustered metric structure the paper's evaluation
+/// depends on.
+pub fn mutate<R: Rng + ?Sized>(
+    rng: &mut R,
+    g: &Graph,
+    edits: usize,
+    node_alphabet: &[Label],
+    edge_alphabet: &[Label],
+) -> Graph {
+    let mut node_labels: Vec<Label> = g.node_labels().to_vec();
+    let mut edges: Vec<(NodeId, NodeId, Label)> =
+        g.edges().iter().map(|e| (e.u, e.v, e.label)).collect();
+    for _ in 0..edits {
+        let kind = match rng.gen_range(0..5) {
+            0 => EditKind::RelabelNode,
+            1 => EditKind::RelabelEdge,
+            2 => EditKind::AddLeaf,
+            3 => EditKind::RemoveLeaf,
+            _ => EditKind::AddEdge,
+        };
+        apply_edit(rng, kind, &mut node_labels, &mut edges, node_alphabet, edge_alphabet);
+    }
+    let mut b = GraphBuilder::with_capacity(node_labels.len(), edges.len());
+    for &l in &node_labels {
+        b.add_node(l);
+    }
+    for &(u, v, l) in &edges {
+        b.add_edge(u, v, l).expect("edit list stays consistent");
+    }
+    b.build()
+}
+
+fn apply_edit<R: Rng + ?Sized>(
+    rng: &mut R,
+    kind: EditKind,
+    node_labels: &mut Vec<Label>,
+    edges: &mut Vec<(NodeId, NodeId, Label)>,
+    node_alphabet: &[Label],
+    edge_alphabet: &[Label],
+) {
+    let n = node_labels.len();
+    match kind {
+        EditKind::RelabelNode => {
+            if n > 0 {
+                let u = rng.gen_range(0..n);
+                node_labels[u] = *node_alphabet.choose(rng).expect("non-empty");
+            }
+        }
+        EditKind::RelabelEdge => {
+            if !edges.is_empty() {
+                let i = rng.gen_range(0..edges.len());
+                edges[i].2 = *edge_alphabet.choose(rng).expect("non-empty");
+            }
+        }
+        EditKind::AddLeaf => {
+            if n > 0 && n < NodeId::MAX as usize {
+                let anchor = rng.gen_range(0..n) as NodeId;
+                let id = n as NodeId;
+                node_labels.push(*node_alphabet.choose(rng).expect("non-empty"));
+                edges.push((
+                    anchor.min(id),
+                    anchor.max(id),
+                    *edge_alphabet.choose(rng).expect("non-empty"),
+                ));
+            }
+        }
+        EditKind::RemoveLeaf => {
+            if n > 2 {
+                let mut deg = vec![0usize; n];
+                for &(u, v, _) in edges.iter() {
+                    deg[u as usize] += 1;
+                    deg[v as usize] += 1;
+                }
+                let leaves: Vec<usize> = (0..n).filter(|&u| deg[u] == 1).collect();
+                if let Some(&leaf) = leaves.as_slice().choose(rng) {
+                    let last = n - 1;
+                    // Swap-remove the leaf, rewiring ids that pointed at `last`.
+                    node_labels.swap_remove(leaf);
+                    edges.retain(|&(u, v, _)| u as usize != leaf && v as usize != leaf);
+                    if leaf != last {
+                        for e in edges.iter_mut() {
+                            if e.0 as usize == last {
+                                e.0 = leaf as NodeId;
+                            }
+                            if e.1 as usize == last {
+                                e.1 = leaf as NodeId;
+                            }
+                            if e.0 > e.1 {
+                                std::mem::swap(&mut e.0, &mut e.1);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        EditKind::AddEdge => {
+            if n >= 2 {
+                for _ in 0..8 {
+                    let u = rng.gen_range(0..n) as NodeId;
+                    let v = rng.gen_range(0..n) as NodeId;
+                    if u == v {
+                        continue;
+                    }
+                    let key = (u.min(v), u.max(v));
+                    if edges.iter().any(|&(a, b, _)| (a, b) == key) {
+                        continue;
+                    }
+                    edges.push((key.0, key.1, *edge_alphabet.choose(rng).expect("non-empty")));
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    const NODES: &[Label] = &[0, 1, 2, 3];
+    const EDGES: &[Label] = &[10, 11];
+
+    #[test]
+    fn random_connected_is_connected() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for n in [1usize, 2, 5, 12, 30] {
+            let g = random_connected(&mut rng, n, 4, NODES, EDGES);
+            assert_eq!(g.node_count(), n);
+            assert!(g.is_connected(), "n={n}");
+            assert!(g.edge_count() >= n.saturating_sub(1));
+        }
+    }
+
+    #[test]
+    fn extra_edges_respect_capacity() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = random_connected(&mut rng, 3, 100, NODES, EDGES);
+        assert!(g.edge_count() <= 3);
+    }
+
+    #[test]
+    fn mutate_preserves_connectivity() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let base = random_connected(&mut rng, 10, 3, NODES, EDGES);
+        for edits in [0usize, 1, 3, 8] {
+            let m = mutate(&mut rng, &base, edits, NODES, EDGES);
+            assert!(m.is_connected(), "edits={edits}");
+            assert!(m.node_count() >= 2);
+        }
+    }
+
+    #[test]
+    fn mutate_zero_edits_is_identity() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let base = random_connected(&mut rng, 8, 2, NODES, EDGES);
+        let m = mutate(&mut rng, &base, 0, NODES, EDGES);
+        assert_eq!(base, m);
+    }
+
+    #[test]
+    fn mutate_changes_graphs_eventually() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let base = random_connected(&mut rng, 8, 2, NODES, EDGES);
+        let changed = (0..16).any(|_| mutate(&mut rng, &base, 4, NODES, EDGES) != base);
+        assert!(changed);
+    }
+}

@@ -1,0 +1,164 @@
+//! Text serialization for graphs and graph collections.
+//!
+//! The format is a minimal line-oriented exchange format (one graph per
+//! block), chosen over JSON for the hot path of persisting large synthetic
+//! databases. Serde (JSON etc.) also works on [`Graph`] directly for
+//! interoperability; this module is the compact native format:
+//!
+//! ```text
+//! t <node_count> <edge_count>
+//! v <node_id> <label>
+//! e <u> <v> <label>
+//! ```
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, NodeId};
+use std::fmt::Write as _;
+
+/// Errors raised while parsing the text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// A line did not match any of `t`/`v`/`e`.
+    BadLine(usize),
+    /// Counts in the `t` header disagreed with the body.
+    CountMismatch,
+    /// The structural validation of the builder failed.
+    Structure(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadLine(n) => write!(f, "unparseable line {n}"),
+            ParseError::CountMismatch => write!(f, "header counts disagree with body"),
+            ParseError::Structure(s) => write!(f, "invalid structure: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serializes one graph into the text format, appending to `out`.
+pub fn write_graph(g: &Graph, out: &mut String) {
+    let _ = writeln!(out, "t {} {}", g.node_count(), g.edge_count());
+    for u in g.node_ids() {
+        let _ = writeln!(out, "v {} {}", u, g.node_label(u));
+    }
+    for e in g.edges() {
+        let _ = writeln!(out, "e {} {} {}", e.u, e.v, e.label);
+    }
+}
+
+/// Serializes a collection of graphs.
+pub fn write_graphs(gs: &[Graph]) -> String {
+    let mut out = String::new();
+    for g in gs {
+        write_graph(g, &mut out);
+    }
+    out
+}
+
+/// Parses a collection of graphs from the text format.
+pub fn read_graphs(text: &str) -> Result<Vec<Graph>, ParseError> {
+    let mut graphs = Vec::new();
+    let mut builder: Option<(GraphBuilder, usize, usize)> = None;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_ascii_whitespace();
+        let tag = parts.next().ok_or(ParseError::BadLine(lineno))?;
+        let nums: Vec<u64> = parts
+            .map(|p| p.parse::<u64>().map_err(|_| ParseError::BadLine(lineno)))
+            .collect::<Result<_, _>>()?;
+        match (tag, nums.as_slice()) {
+            ("t", [n, m]) => {
+                if let Some(b) = builder.take() {
+                    graphs.push(finish(b)?);
+                }
+                builder = Some((
+                    GraphBuilder::with_capacity(*n as usize, *m as usize),
+                    *n as usize,
+                    *m as usize,
+                ));
+            }
+            ("v", [id, label]) => {
+                let (b, ..) = builder.as_mut().ok_or(ParseError::BadLine(lineno))?;
+                let got = b.add_node(*label as u32);
+                if got as u64 != *id {
+                    return Err(ParseError::BadLine(lineno));
+                }
+            }
+            ("e", [u, v, label]) => {
+                let (b, ..) = builder.as_mut().ok_or(ParseError::BadLine(lineno))?;
+                b.add_edge(*u as NodeId, *v as NodeId, *label as u32)
+                    .map_err(|e| ParseError::Structure(e.to_string()))?;
+            }
+            _ => return Err(ParseError::BadLine(lineno)),
+        }
+    }
+    if let Some(b) = builder.take() {
+        graphs.push(finish(b)?);
+    }
+    Ok(graphs)
+}
+
+fn finish((b, n, m): (GraphBuilder, usize, usize)) -> Result<Graph, ParseError> {
+    if b.node_count() != n || b.edge_count() != m {
+        return Err(ParseError::CountMismatch);
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::random_connected;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_trip_many() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let gs: Vec<Graph> = (0..10)
+            .map(|i| random_connected(&mut rng, 3 + i, 2, &[0, 1, 2], &[5, 6]))
+            .collect();
+        let text = write_graphs(&gs);
+        let back = read_graphs(&text).unwrap();
+        assert_eq!(gs, back);
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert_eq!(read_graphs("").unwrap(), vec![]);
+        assert_eq!(read_graphs("\n# comment\n").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn bad_line_reports_position() {
+        let err = read_graphs("t 1 0\nv 0 0\nx 1 2\n").unwrap_err();
+        assert_eq!(err, ParseError::BadLine(2));
+    }
+
+    #[test]
+    fn count_mismatch_detected() {
+        let err = read_graphs("t 2 0\nv 0 0\n").unwrap_err();
+        assert_eq!(err, ParseError::CountMismatch);
+    }
+
+    #[test]
+    fn structural_error_detected() {
+        let err = read_graphs("t 2 2\nv 0 0\nv 1 0\ne 0 1 0\ne 1 0 0\n").unwrap_err();
+        assert!(matches!(err, ParseError::Structure(_)));
+    }
+
+    #[test]
+    fn serde_json_round_trip() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = random_connected(&mut rng, 6, 3, &[0, 1], &[2]);
+        let json = serde_json::to_string(&g).unwrap();
+        let back: Graph = serde_json::from_str(&json).unwrap();
+        assert_eq!(g, back);
+    }
+}

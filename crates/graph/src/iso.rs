@@ -1,0 +1,193 @@
+//! Label-preserving graph isomorphism (VF2-style backtracking).
+//!
+//! Used by tests and dataset tooling (e.g. deduplicating generated graphs,
+//! asserting that GED = 0 coincides with isomorphism). Graphs in this
+//! workspace are small, so a straightforward backtracking matcher with
+//! degree/label pruning is entirely adequate.
+
+use crate::graph::{Graph, NodeId};
+
+/// Whether `a` and `b` are isomorphic, respecting node and edge labels.
+pub fn isomorphic(a: &Graph, b: &Graph) -> bool {
+    if a.node_count() != b.node_count() || a.edge_count() != b.edge_count() {
+        return false;
+    }
+    if a.sorted_node_labels() != b.sorted_node_labels()
+        || a.sorted_edge_labels() != b.sorted_edge_labels()
+    {
+        return false;
+    }
+    // Degree sequences must match too.
+    let mut da: Vec<usize> = a.node_ids().map(|u| a.degree(u)).collect();
+    let mut db: Vec<usize> = b.node_ids().map(|u| b.degree(u)).collect();
+    da.sort_unstable();
+    db.sort_unstable();
+    if da != db {
+        return false;
+    }
+    let n = a.node_count();
+    if n == 0 {
+        return true;
+    }
+    // Match a's nodes in degree-descending order (most constrained first).
+    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+    order.sort_by_key(|&u| std::cmp::Reverse(a.degree(u)));
+    let mut map = vec![u16::MAX; n]; // a node -> b node
+    let mut used = vec![false; n];
+    backtrack(a, b, &order, 0, &mut map, &mut used)
+}
+
+fn feasible(a: &Graph, b: &Graph, order: &[NodeId], depth: usize, map: &[u16], u: NodeId, v: NodeId) -> bool {
+    if a.node_label(u) != b.node_label(v) || a.degree(u) != b.degree(v) {
+        return false;
+    }
+    // Edges between u and already-mapped nodes must exist identically in b.
+    for &p in &order[..depth] {
+        let e1 = a.edge_label(u, p);
+        let e2 = b.edge_label(v, map[p as usize] as NodeId);
+        if e1 != e2 {
+            return false;
+        }
+    }
+    true
+}
+
+fn backtrack(
+    a: &Graph,
+    b: &Graph,
+    order: &[NodeId],
+    depth: usize,
+    map: &mut Vec<u16>,
+    used: &mut Vec<bool>,
+) -> bool {
+    if depth == order.len() {
+        return true;
+    }
+    let u = order[depth];
+    for v in 0..b.node_count() as NodeId {
+        if used[v as usize] || !feasible(a, b, order, depth, map, u, v) {
+            continue;
+        }
+        map[u as usize] = v;
+        used[v as usize] = true;
+        if backtrack(a, b, order, depth + 1, map, used) {
+            return true;
+        }
+        used[v as usize] = false;
+        map[u as usize] = u16::MAX;
+    }
+    false
+}
+
+/// Deduplicates a collection up to isomorphism, keeping first occurrences.
+/// Quadratic — intended for dataset tooling, not hot paths.
+pub fn dedup_isomorphic(graphs: &[Graph]) -> Vec<usize> {
+    let mut keep: Vec<usize> = Vec::new();
+    for (i, g) in graphs.iter().enumerate() {
+        if !keep.iter().any(|&j| isomorphic(g, &graphs[j])) {
+            keep.push(i);
+        }
+    }
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::generate::random_connected;
+    use rand::rngs::SmallRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    fn build(nodes: &[u32], edges: &[(u16, u16, u32)]) -> Graph {
+        let mut b = GraphBuilder::new();
+        for &l in nodes {
+            b.add_node(l);
+        }
+        for &(u, v, l) in edges {
+            b.add_edge(u, v, l).unwrap();
+        }
+        b.build()
+    }
+
+    /// Relabels node ids by a random permutation — isomorphic by
+    /// construction.
+    fn permute(g: &Graph, seed: u64) -> Graph {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = g.node_count();
+        let mut perm: Vec<u16> = (0..n as u16).collect();
+        perm.shuffle(&mut rng);
+        let mut b = GraphBuilder::new();
+        let mut labels = vec![0u32; n];
+        for u in g.node_ids() {
+            labels[perm[u as usize] as usize] = g.node_label(u);
+        }
+        for &l in &labels {
+            b.add_node(l);
+        }
+        for e in g.edges() {
+            b.add_edge(perm[e.u as usize], perm[e.v as usize], e.label)
+                .unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn permutations_are_isomorphic() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for trial in 0..20 {
+            let g = random_connected(&mut rng, 8, 3, &[0, 1, 2], &[5, 6]);
+            let h = permute(&g, trial);
+            assert!(isomorphic(&g, &h), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn label_differences_break_isomorphism() {
+        let g = build(&[0, 1], &[(0, 1, 5)]);
+        let h = build(&[0, 2], &[(0, 1, 5)]);
+        assert!(!isomorphic(&g, &h));
+        let h = build(&[0, 1], &[(0, 1, 6)]);
+        assert!(!isomorphic(&g, &h));
+    }
+
+    #[test]
+    fn same_multiset_different_structure() {
+        // A path and a star share label multisets and degree sums but not
+        // degree sequences / structure.
+        let path = build(&[0, 0, 0, 0], &[(0, 1, 1), (1, 2, 1), (2, 3, 1)]);
+        let star = build(&[0, 0, 0, 0], &[(0, 1, 1), (0, 2, 1), (0, 3, 1)]);
+        assert!(!isomorphic(&path, &star));
+    }
+
+    #[test]
+    fn structure_beyond_degrees() {
+        // 6-cycle vs two triangles: identical degree sequences and labels.
+        let cycle = build(
+            &[0; 6],
+            &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1), (4, 5, 1), (0, 5, 1)],
+        );
+        let triangles = build(
+            &[0; 6],
+            &[(0, 1, 1), (1, 2, 1), (0, 2, 1), (3, 4, 1), (4, 5, 1), (3, 5, 1)],
+        );
+        assert!(!isomorphic(&cycle, &triangles));
+    }
+
+    #[test]
+    fn empty_graphs_isomorphic() {
+        let e1 = GraphBuilder::new().build();
+        let e2 = GraphBuilder::new().build();
+        assert!(isomorphic(&e1, &e2));
+    }
+
+    #[test]
+    fn dedup_keeps_one_per_class() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = random_connected(&mut rng, 6, 2, &[0, 1], &[5]);
+        let h = random_connected(&mut rng, 7, 2, &[0, 1], &[5]);
+        let graphs = vec![g.clone(), permute(&g, 9), h.clone(), permute(&h, 10), g.clone()];
+        assert_eq!(dedup_isomorphic(&graphs), vec![0, 2]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests of the graph data model and its I/O.
+
+use graphrep_graph::{generate, io, Graph, GraphBuilder};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (1usize..12).prop_flat_map(|n| {
+        let labels = proptest::collection::vec(0u32..5, n);
+        let parents = proptest::collection::vec(0usize..n.max(1), n.saturating_sub(1));
+        let extra = proptest::collection::vec((0usize..n, 0usize..n, 0u32..4), 0..6);
+        (labels, parents, extra).prop_map(move |(labels, parents, extra)| {
+            let mut b = GraphBuilder::new();
+            for &l in &labels {
+                b.add_node(l);
+            }
+            for (i, &p) in parents.iter().enumerate() {
+                b.add_edge((i + 1) as u16, (p % (i + 1)) as u16, 9).unwrap();
+            }
+            for &(u, v, l) in &extra {
+                let (u, v) = (u as u16, v as u16);
+                if u != v && !b.has_edge(u, v) {
+                    b.add_edge(u, v, l).unwrap();
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn adjacency_is_symmetric(g in arb_graph()) {
+        for u in g.node_ids() {
+            for &(v, l) in g.neighbors(u) {
+                prop_assert_eq!(g.edge_label(v, u), Some(l));
+            }
+        }
+    }
+
+    #[test]
+    fn degree_sums_to_twice_edges(g in arb_graph()) {
+        let total: usize = g.node_ids().map(|u| g.degree(u)).sum();
+        prop_assert_eq!(total, 2 * g.edge_count());
+    }
+
+    #[test]
+    fn neighbor_lists_are_sorted_and_loop_free(g in arb_graph()) {
+        for u in g.node_ids() {
+            let nbrs = g.neighbors(u);
+            for w in nbrs.windows(2) {
+                prop_assert!(w[0].0 < w[1].0, "unsorted or duplicate neighbor");
+            }
+            prop_assert!(nbrs.iter().all(|&(v, _)| v != u), "self loop");
+        }
+    }
+
+    #[test]
+    fn text_io_round_trips(g in arb_graph()) {
+        let mut s = String::new();
+        io::write_graph(&g, &mut s);
+        let back = io::read_graphs(&s).unwrap();
+        prop_assert_eq!(back.len(), 1);
+        prop_assert_eq!(&back[0], &g);
+    }
+
+    #[test]
+    fn label_multisets_have_right_cardinality(g in arb_graph()) {
+        prop_assert_eq!(g.sorted_node_labels().len(), g.node_count());
+        prop_assert_eq!(g.sorted_edge_labels().len(), g.edge_count());
+    }
+
+    #[test]
+    fn spanning_tree_construction_is_connected(
+        n in 1usize..25, extra in 0usize..8, seed in 0u64..1000
+    ) {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = generate::random_connected(&mut rng, n, extra, &[0, 1], &[2, 3]);
+        prop_assert!(g.is_connected());
+        prop_assert_eq!(g.node_count(), n);
+    }
+
+    #[test]
+    fn mutate_never_disconnects(
+        n in 2usize..12, edits in 0usize..6, seed in 0u64..500
+    ) {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let base = generate::random_connected(&mut rng, n, 2, &[0, 1, 2], &[5]);
+        let m = generate::mutate(&mut rng, &base, edits, &[0, 1, 2], &[5]);
+        prop_assert!(m.is_connected());
+    }
+}

@@ -1,0 +1,257 @@
+//! Vantage points and vantage orderings (paper Sec 6.2).
+//!
+//! A [`VantageTable`] is the Lipschitz embedding of a finite metric space on
+//! `|V|` randomly chosen vantage points: every item is represented by its
+//! distance to each VP. Theorem 4 (`d_v(g, g') > θ ⇒ g' ∉ N(g)`) makes each
+//! coordinate a band filter; Theorem 5 makes their intersection `N̂_θ(g)` a
+//! superset of the true θ-neighborhood, computable with binary searches and
+//! O(|V|) float comparisons per candidate — no edit distances.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+const EPS: f64 = 1e-6;
+
+/// The vantage orderings of a database: per-VP distances and sorted orders.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VantageTable {
+    n: usize,
+    vp_ids: Vec<u32>,
+    /// `dists[v][i]` = distance from VP `v` to item `i`.
+    dists: Vec<Vec<f32>>,
+    /// `orders[v]` = item ids sorted by distance to VP `v`.
+    orders: Vec<Vec<u32>>,
+}
+
+impl VantageTable {
+    /// Builds a table over items `0..n` with `num_vps` randomly chosen VPs,
+    /// using `dist` to compute `d(vp, item)`.
+    pub fn build<R: Rng + ?Sized>(
+        n: usize,
+        num_vps: usize,
+        rng: &mut R,
+        mut dist: impl FnMut(u32, u32) -> f64,
+    ) -> Self {
+        let mut ids: Vec<u32> = (0..n as u32).collect();
+        ids.shuffle(rng);
+        ids.truncate(num_vps.min(n));
+        Self::build_with_vps(n, ids, &mut dist)
+    }
+
+    /// Builds a table with explicitly chosen vantage points.
+    pub fn build_with_vps(
+        n: usize,
+        vp_ids: Vec<u32>,
+        dist: &mut impl FnMut(u32, u32) -> f64,
+    ) -> Self {
+        let mut dists = Vec::with_capacity(vp_ids.len());
+        let mut orders = Vec::with_capacity(vp_ids.len());
+        for &v in &vp_ids {
+            let d: Vec<f32> = (0..n as u32).map(|i| dist(v, i) as f32).collect();
+            let mut ord: Vec<u32> = (0..n as u32).collect();
+            ord.sort_by(|&a, &b| d[a as usize].total_cmp(&d[b as usize]));
+            dists.push(d);
+            orders.push(ord);
+        }
+        Self {
+            n,
+            vp_ids,
+            dists,
+            orders,
+        }
+    }
+
+    /// Number of vantage points.
+    pub fn num_vps(&self) -> usize {
+        self.vp_ids.len()
+    }
+
+    /// Ids of the vantage points.
+    pub fn vp_ids(&self) -> &[u32] {
+        &self.vp_ids
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the table is empty (no VPs or no items).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Distance from VP index `v` (not id) to item `i`.
+    #[inline]
+    pub fn vp_dist(&self, v: usize, i: u32) -> f64 {
+        self.dists[v][i as usize] as f64
+    }
+
+    /// Lipschitz lower bound `max_v |d(v,i) − d(v,j)| ≤ d(i,j)`.
+    pub fn lower_bound(&self, i: u32, j: u32) -> f64 {
+        self.dists
+            .iter()
+            .map(|d| (d[i as usize] - d[j as usize]).abs() as f64)
+            .fold(0.0, f64::max)
+    }
+
+    /// Triangle upper bound `min_v (d(v,i) + d(v,j)) ≥ d(i,j)`.
+    pub fn upper_bound(&self, i: u32, j: u32) -> f64 {
+        self.dists
+            .iter()
+            .map(|d| (d[i as usize] + d[j as usize]) as f64)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Whether `d_v(i, j) ≤ θ` for every VP (the Thm 5 candidate test).
+    #[inline]
+    pub fn passes_all_bands(&self, i: u32, j: u32, theta: f64) -> bool {
+        self.dists
+            .iter()
+            .all(|d| ((d[i as usize] - d[j as usize]).abs() as f64) <= theta + EPS)
+    }
+
+    /// Index range (into `orders[v]`) of items whose VP-distance lies within
+    /// `[d(v,i) − θ, d(v,i) + θ]`.
+    fn band_range(&self, v: usize, i: u32, theta: f64) -> (usize, usize) {
+        let center = self.dists[v][i as usize] as f64;
+        let lo = (center - theta - EPS) as f32;
+        let hi = (center + theta + EPS) as f32;
+        let ord = &self.orders[v];
+        let d = &self.dists[v];
+        let start = ord.partition_point(|&id| d[id as usize] < lo);
+        let end = ord.partition_point(|&id| d[id as usize] <= hi);
+        (start, end)
+    }
+
+    /// Computes the candidate neighborhood `N̂_θ(i)` (Theorem 5), appending
+    /// item ids to `out`. Includes `i` itself. Scans the VP with the smallest
+    /// band and verifies every candidate against the remaining VPs.
+    pub fn candidates_into(&self, i: u32, theta: f64, out: &mut Vec<u32>) {
+        out.clear();
+        if self.vp_ids.is_empty() {
+            out.extend(0..self.len() as u32);
+            return;
+        }
+        let mut best_v = 0usize;
+        let mut best = usize::MAX;
+        let mut best_range = (0, 0);
+        for v in 0..self.num_vps() {
+            let (s, e) = self.band_range(v, i, theta);
+            if e - s < best {
+                best = e - s;
+                best_v = v;
+                best_range = (s, e);
+            }
+        }
+        let ord = &self.orders[best_v];
+        for &cand in &ord[best_range.0..best_range.1] {
+            if self.passes_all_bands(i, cand, theta) {
+                out.push(cand);
+            }
+        }
+    }
+
+    /// Allocating variant of [`Self::candidates_into`].
+    pub fn candidates(&self, i: u32, theta: f64) -> Vec<u32> {
+        let mut v = Vec::new();
+        self.candidates_into(i, theta, &mut v);
+        v
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.vp_ids.len() * 4
+            + self.dists.iter().map(|d| d.len() * 4).sum::<usize>()
+            + self.orders.iter().map(|o| o.len() * 4).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// 1-D line metric: items at positions 0, 1, 2, …, n−1.
+    fn line_table(n: usize, vps: usize, seed: u64) -> VantageTable {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        VantageTable::build(n, vps, &mut rng, |a, b| (a as f64 - b as f64).abs())
+    }
+
+    #[test]
+    fn bounds_sandwich_true_distance_on_line() {
+        let t = line_table(50, 5, 1);
+        for i in 0..50u32 {
+            for j in 0..50u32 {
+                let d = (i as f64 - j as f64).abs();
+                assert!(t.lower_bound(i, j) <= d + 1e-6);
+                assert!(t.upper_bound(i, j) >= d - 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn on_a_line_one_vp_lower_bound_is_often_exact() {
+        // For collinear points on the same side of the VP the bound is exact.
+        let mut d = |a: u32, b: u32| (a as f64 - b as f64).abs();
+        let t = VantageTable::build_with_vps(10, vec![0], &mut d);
+        assert_eq!(t.lower_bound(3, 7), 4.0);
+    }
+
+    #[test]
+    fn candidates_superset_of_true_neighborhood() {
+        let t = line_table(100, 3, 2);
+        for i in (0..100u32).step_by(17) {
+            let cands = t.candidates(i, 5.0);
+            for j in 0..100u32 {
+                let d = (i as f64 - j as f64).abs();
+                if d <= 5.0 {
+                    assert!(cands.contains(&j), "true neighbor {j} of {i} missing");
+                }
+            }
+            assert!(cands.contains(&i));
+        }
+    }
+
+    #[test]
+    fn more_vps_never_grow_candidates() {
+        let mut d = |a: u32, b: u32| {
+            // 2-D grid metric (L1): decouples coordinates so one VP is weak.
+            let (ax, ay) = ((a % 10) as f64, (a / 10) as f64);
+            let (bx, by) = ((b % 10) as f64, (b / 10) as f64);
+            (ax - bx).abs() + (ay - by).abs()
+        };
+        let t1 = VantageTable::build_with_vps(100, vec![0], &mut d);
+        let t3 = VantageTable::build_with_vps(100, vec![0, 9, 90], &mut d);
+        for i in (0..100u32).step_by(13) {
+            let c1 = t1.candidates(i, 3.0).len();
+            let c3 = t3.candidates(i, 3.0).len();
+            assert!(c3 <= c1, "i={i}: {c3} > {c1}");
+        }
+    }
+
+    #[test]
+    fn empty_vp_set_returns_everything() {
+        let mut d = |a: u32, b: u32| (a as f64 - b as f64).abs();
+        let t = VantageTable::build_with_vps(5, vec![], &mut d);
+        assert_eq!(t.candidates(2, 1.0), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn memory_accounting_scales() {
+        let t1 = line_table(100, 2, 3);
+        let t2 = line_table(100, 8, 3);
+        assert!(t2.memory_bytes() > t1.memory_bytes());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = line_table(20, 3, 4);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: VantageTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.num_vps(), t.num_vps());
+        assert_eq!(back.candidates(5, 2.0), t.candidates(5, 2.0));
+    }
+}

@@ -1,0 +1,60 @@
+//! Interactive θ refinement (paper Sec 7 goal 2, Fig 6(i)): finding the
+//! right "zoom level" by re-running the search-and-update phase against one
+//! initialization, like adjusting zoom in a map application.
+//!
+//! ```sh
+//! cargo run --release --example interactive_zoom
+//! ```
+
+use graphrep::core::{NbIndex, NbIndexConfig};
+use graphrep::datagen::{DatasetKind, DatasetSpec};
+use graphrep::ged::GedConfig;
+
+fn main() {
+    let data = DatasetSpec::new(DatasetKind::DblpLike, 400, 11).generate();
+    let oracle = data.db.oracle(GedConfig::default());
+    let index = NbIndex::build(
+        oracle,
+        NbIndexConfig {
+            num_vps: 12,
+            ladder: data.default_ladder.clone(),
+            ..NbIndexConfig::default()
+        },
+    );
+    let relevant = data.default_query().relevant_set(&data.db);
+    println!(
+        "indexed ladder: {:?}",
+        index.ladder().thetas()
+    );
+
+    // The initialization phase runs once per relevance function.
+    let session = index.start_session(relevant);
+    println!(
+        "initialization phase: {:.2?} (no edit distances — vantage orderings only)\n",
+        session.init_wall()
+    );
+
+    // Zoom: start at the default θ, then refine in and out. Each refinement
+    // repeats only the search-and-update phase.
+    let k = 6;
+    let mut theta = data.default_theta;
+    for step in 0..6 {
+        let (answer, stats) = session.run(theta, k);
+        println!(
+            "θ = {theta:>5.2}  π(A) = {:.3}  CR = {:>5.1}  slot {:?}  {} edit distances, {:.2?}",
+            answer.pi(),
+            answer.compression_ratio(),
+            stats.ladder_slot,
+            stats.distance_calls,
+            stats.wall,
+        );
+        // A plausible analyst loop: too little coverage → zoom out (+10%);
+        // plenty of coverage → zoom in (−10%) for tighter exemplars.
+        theta = if answer.pi() < 0.3 {
+            theta * 1.1
+        } else {
+            theta * 0.9
+        };
+        let _ = step;
+    }
+}

@@ -1,0 +1,186 @@
+//! Cross-crate end-to-end tests: dataset generation → distance oracle →
+//! NB-Index → query → answer quality, compared against every baseline.
+
+use graphrep::baselines::{div_topk, greedy_disc, traditional_topk, DivVariant};
+use graphrep::core::{evaluate_answer, BruteForceProvider, NeighborhoodProvider};
+use graphrep::datagen::{DatasetKind, DatasetSpec};
+use graphrep::ged::GedConfig;
+
+fn kinds() -> [DatasetKind; 3] {
+    [
+        DatasetKind::DudLike,
+        DatasetKind::DblpLike,
+        DatasetKind::AmazonLike,
+    ]
+}
+
+#[test]
+fn rep_beats_div_on_representative_power() {
+    for kind in kinds() {
+        let data = DatasetSpec::new(kind, 150, 501).generate();
+        let oracle = data.db.oracle(GedConfig::default());
+        let relevant = data.default_query().relevant_set(&data.db);
+        let theta = data.default_theta;
+        let k = 8.min(relevant.len());
+        let provider = BruteForceProvider::new(&oracle, &relevant);
+
+        let index = graphrep::core::NbIndex::build(
+            oracle.clone(),
+            graphrep::core::NbIndexConfig {
+                num_vps: 8,
+                ladder: data.default_ladder.clone(),
+                ..Default::default()
+            },
+        );
+        let (rep, _) = index.query(relevant.clone(), theta, k);
+
+        for variant in [DivVariant::Theta, DivVariant::TwoTheta] {
+            let div = div_topk(&provider, &relevant, theta, k, variant);
+            let div_eval =
+                evaluate_answer(&div.ids, &relevant, |g| provider.neighborhood(g, theta));
+            assert!(
+                rep.pi() >= div_eval.pi() - 1e-9,
+                "{}: REP π {} < DIV π {} ({variant:?})",
+                kind.name(),
+                rep.pi(),
+                div_eval.pi()
+            );
+        }
+    }
+}
+
+#[test]
+fn rep_beats_traditional_topk_on_coverage() {
+    let data = DatasetSpec::new(DatasetKind::DudLike, 200, 502).generate();
+    let oracle = data.db.oracle(GedConfig::default());
+    let query = data.default_query();
+    let relevant = query.relevant_set(&data.db);
+    let theta = data.default_theta;
+    let provider = BruteForceProvider::new(&oracle, &relevant);
+
+    let index = graphrep::core::NbIndex::build(
+        oracle.clone(),
+        graphrep::core::NbIndexConfig {
+            num_vps: 8,
+            ladder: data.default_ladder.clone(),
+            ..Default::default()
+        },
+    );
+    let k = 5;
+    let (rep, _) = index.query(relevant.clone(), theta, k);
+    let trad = traditional_topk(&data.db, &query, k);
+    let trad_eval = evaluate_answer(&trad, &relevant, |g| provider.neighborhood(g, theta));
+    assert!(
+        rep.pi() >= trad_eval.pi(),
+        "REP π {} < traditional π {}",
+        rep.pi(),
+        trad_eval.pi()
+    );
+}
+
+#[test]
+fn disc_covers_everything_but_needs_more_answers() {
+    let data = DatasetSpec::new(DatasetKind::DudLike, 150, 503).generate();
+    let oracle = data.db.oracle(GedConfig::default());
+    let relevant = data.default_query().relevant_set(&data.db);
+    let theta = data.default_theta;
+    let provider = BruteForceProvider::new(&oracle, &relevant);
+    let disc = greedy_disc(&provider, &relevant, theta, None);
+    assert_eq!(disc.covered, relevant.len(), "DisC must cover all relevant");
+    // The budgeted REP answer at k = |DisC|/2 should still cover most of
+    // what DisC needs its full answer for (the compression argument).
+    let k = (disc.ids.len() / 2).max(1);
+    let index = graphrep::core::NbIndex::build(
+        oracle.clone(),
+        graphrep::core::NbIndexConfig {
+            num_vps: 8,
+            ladder: data.default_ladder.clone(),
+            ..Default::default()
+        },
+    );
+    let (rep, _) = index.query(relevant.clone(), theta, k);
+    // Greedy picks the biggest clusters first, so half of DisC's budget
+    // covers disproportionately more than the tail half would (the family
+    // sizes are heavily skewed; the exact share varies with the seed).
+    assert!(
+        rep.pi() > 0.4,
+        "half of DisC's budget should cover well over |A|/2 singletons (got {})",
+        rep.pi()
+    );
+}
+
+#[test]
+fn answer_members_are_relevant_and_distinct() {
+    for kind in kinds() {
+        let data = DatasetSpec::new(kind, 120, 504).generate();
+        let oracle = data.db.oracle(GedConfig::default());
+        let relevant = data.default_query().relevant_set(&data.db);
+        let index = graphrep::core::NbIndex::build(
+            oracle,
+            graphrep::core::NbIndexConfig {
+                num_vps: 6,
+                ladder: data.default_ladder.clone(),
+                ..Default::default()
+            },
+        );
+        let (answer, _) = index.query(relevant.clone(), data.default_theta, 6);
+        let mut seen = std::collections::HashSet::new();
+        for &g in &answer.ids {
+            assert!(relevant.contains(&g), "{}: {g} not relevant", kind.name());
+            assert!(seen.insert(g), "{}: duplicate answer {g}", kind.name());
+        }
+        // Trajectory is monotone and consistent with the final π.
+        for w in answer.pi_trajectory.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12);
+        }
+        if let Some(&last) = answer.pi_trajectory.last() {
+            assert!((last - answer.pi()).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn network_extracted_egonets_work_end_to_end() {
+    // The paper's actual DBLP pipeline: one big community network → 2-hop
+    // ego-nets → top-k representative query. Ego sizes vary, so the hybrid
+    // engine guards against occasional large egos.
+    use graphrep::datagen::network::{self, NetworkParams};
+    use graphrep::ged::{GedConfig, GedMode};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    let mut rng = SmallRng::seed_from_u64(77);
+    let set = network::generate(
+        &mut rng,
+        NetworkParams {
+            size: 80,
+            network_nodes: 900,
+            communities: 15,
+            ..Default::default()
+        },
+    );
+    let db = graphrep::core::GraphDatabase::new(set.graphs, set.features, set.labels);
+    let oracle = db.oracle(GedConfig {
+        mode: GedMode::Hybrid { exact_max_nodes: 12 },
+        ..GedConfig::default()
+    });
+    let index = graphrep::core::NbIndex::build(
+        oracle,
+        graphrep::core::NbIndexConfig {
+            num_vps: 6,
+            ladder: vec![2.0, 4.0, 6.0, 10.0, 16.0],
+            ..Default::default()
+        },
+    );
+    let relevant: Vec<u32> = (0..80).collect();
+    let (answer, _) = index.query(relevant, 4.0, 6);
+    assert!(!answer.is_empty());
+    assert!(answer.pi() > 0.0);
+}
+
+#[test]
+fn text_io_round_trips_generated_datasets() {
+    let data = DatasetSpec::new(DatasetKind::AmazonLike, 50, 505).generate();
+    let text = graphrep::graph::io::write_graphs(data.db.graphs());
+    let back = graphrep::graph::io::read_graphs(&text).unwrap();
+    assert_eq!(back.as_slice(), data.db.graphs());
+}
