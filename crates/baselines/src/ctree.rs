@@ -144,7 +144,10 @@ impl CTree {
         members: Vec<GraphId>,
         rng: &mut R,
     ) -> u32 {
-        let graphs: Vec<&Graph> = members.iter().map(|&g| &oracle.graphs()[g as usize]).collect();
+        let graphs: Vec<&Graph> = members
+            .iter()
+            .map(|&g| &oracle.graphs()[g as usize])
+            .collect();
         let closure = Closure::of(&graphs);
         let idx = self.nodes.len() as u32;
         self.nodes.push(Node {

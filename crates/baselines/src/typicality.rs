@@ -55,7 +55,11 @@ pub fn topk_typicality(
 ) -> TypicalityResult {
     let scores = typicality_scores(oracle, relevant, bandwidth);
     let mut order: Vec<usize> = (0..relevant.len()).collect();
-    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(relevant[a].cmp(&relevant[b])));
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .total_cmp(&scores[a])
+            .then(relevant[a].cmp(&relevant[b]))
+    });
     order.truncate(k);
     TypicalityResult {
         ids: order.iter().map(|&i| relevant[i]).collect(),

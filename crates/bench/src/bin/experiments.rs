@@ -30,7 +30,19 @@ fn main() {
                     .unwrap_or_else(|| die("--seed needs a number"));
             }
             "--out" => {
-                ctx.out_dir = args.next().unwrap_or_else(|| die("--out needs a path")).into();
+                ctx.out_dir = args
+                    .next()
+                    .unwrap_or_else(|| die("--out needs a path"))
+                    .into();
+            }
+            "--threads" => {
+                let n: usize = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--threads needs a number (0 = auto)"));
+                let _ = rayon::ThreadPoolBuilder::new()
+                    .num_threads(n)
+                    .build_global();
             }
             "--help" | "-h" => {
                 usage();
@@ -53,7 +65,7 @@ fn main() {
 }
 
 fn usage() {
-    eprintln!("usage: experiments [--size N] [--seed S] [--out DIR] <id>...");
+    eprintln!("usage: experiments [--size N] [--seed S] [--out DIR] [--threads N] <id>...");
     eprintln!("ids: all {}", experiments::ALL.join(" "));
 }
 

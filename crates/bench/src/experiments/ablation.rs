@@ -45,7 +45,13 @@ pub fn vp_sweep(ctx: &Ctx) {
     }
     ctx.emit(
         "ablation_vp",
-        &["num_vps", "observed_fpr", "query_s", "query_calls", "index_bytes"],
+        &[
+            "num_vps",
+            "observed_fpr",
+            "query_s",
+            "query_calls",
+            "index_bytes",
+        ],
         &rows,
     );
 }
@@ -84,7 +90,13 @@ pub fn branching_sweep(ctx: &Ctx) {
     }
     ctx.emit(
         "ablation_branching",
-        &["branching", "build_s", "build_calls", "query_s", "query_calls"],
+        &[
+            "branching",
+            "build_s",
+            "build_calls",
+            "query_s",
+            "query_calls",
+        ],
         &rows,
     );
 }
@@ -103,8 +115,7 @@ impl NeighborhoodProvider for VoProvider<'_> {
             .candidates(g, theta)
             .into_iter()
             .filter(|&c| {
-                self.relevant_mask.contains(c as usize)
-                    && self.oracle.within(g, c, theta).is_some()
+                self.relevant_mask.contains(c as usize) && self.oracle.within(g, c, theta).is_some()
             })
             .collect()
     }
@@ -172,7 +183,12 @@ pub fn bounds_ablation(ctx: &Ctx) {
     ctx.emit(
         "ablation_bounds",
         &[
-            "dataset", "full_s", "full_calls", "vo_only_s", "vo_only_calls", "clusters_only_s",
+            "dataset",
+            "full_s",
+            "full_calls",
+            "vo_only_s",
+            "vo_only_calls",
+            "clusters_only_s",
             "clusters_only_calls",
         ],
         &rows,

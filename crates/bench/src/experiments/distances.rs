@@ -11,11 +11,7 @@ use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
 /// Samples `pairs` random pairwise distances.
-pub fn sample_distances(
-    oracle: &DistanceOracle,
-    pairs: usize,
-    seed: u64,
-) -> DistanceDistribution {
+pub fn sample_distances(oracle: &DistanceOracle, pairs: usize, seed: u64) -> DistanceDistribution {
     let mut rng = SmallRng::seed_from_u64(seed);
     let n = oracle.len() as u32;
     let mut vals = Vec::with_capacity(pairs);
@@ -122,12 +118,7 @@ pub fn fig5fpr(ctx: &Ctx) {
         for theta in thetas {
             let obs = observed_fpr(&oracle, &vt, theta, 40, ctx.seed);
             let bound = fpr::fpr_normal_bound(theta, mu, sigma, num_vps);
-            rows.push(vec![
-                spec.kind.name().into(),
-                f(theta),
-                f(obs),
-                f(bound),
-            ]);
+            rows.push(vec![spec.kind.name().into(), f(theta), f(obs), f(bound)]);
         }
     }
     ctx.emit(

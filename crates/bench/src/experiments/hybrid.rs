@@ -30,7 +30,9 @@ pub fn hybrid_scale(ctx: &Ctx) {
         );
         let db = GraphDatabase::new(m.graphs, m.features, m.labels);
         let oracle = db.oracle(GedConfig {
-            mode: GedMode::Hybrid { exact_max_nodes: 12 },
+            mode: GedMode::Hybrid {
+                exact_max_nodes: 12,
+            },
             ..GedConfig::default()
         });
         let ((index, relevant), build_s) = timed(|| {

@@ -12,14 +12,33 @@ pub mod quality;
 pub mod refinement;
 pub mod scalability;
 pub mod summary;
+pub mod threads;
 
 use crate::harness::Ctx;
 
 /// All experiment ids, in suggested execution order.
 pub const ALL: &[&str] = &[
-    "table3", "fig2a", "fig2b", "fig5dist", "fig5fpr", "table4", "fig7", "fig5time", "fig6a",
-    "fig6scale", "fig6k", "fig6h", "fig6i", "fig6j", "fig6build", "ablation-vp", "ablation-b",
-    "ablation-bounds", "hybrid", "summary",
+    "table3",
+    "fig2a",
+    "fig2b",
+    "fig5dist",
+    "fig5fpr",
+    "table4",
+    "fig7",
+    "fig5time",
+    "fig6a",
+    "fig6scale",
+    "fig6k",
+    "fig6h",
+    "fig6i",
+    "fig6j",
+    "fig6build",
+    "ablation-vp",
+    "ablation-b",
+    "ablation-bounds",
+    "hybrid",
+    "threads",
+    "summary",
 ];
 
 /// Runs the experiment `id`; returns false if unknown.
@@ -44,6 +63,7 @@ pub fn run(ctx: &Ctx, id: &str) -> bool {
         "ablation-b" => ablation::branching_sweep(ctx),
         "ablation-bounds" => ablation::bounds_ablation(ctx),
         "hybrid" => hybrid::hybrid_scale(ctx),
+        "threads" => threads::thread_scaling(ctx),
         "summary" => summary::summary(ctx),
         "all" => {
             for id in ALL {

@@ -3,8 +3,8 @@
 
 use super::standard_specs;
 use crate::harness::{f, timed, Ctx, Row};
-use graphrep_baselines::{greedy_disc, CTree, MTree};
 use graphrep_baselines::providers::{relevant_mask, CTreeProvider, MTreeProvider};
+use graphrep_baselines::{greedy_disc, CTree, MTree};
 use graphrep_core::{baseline_greedy, BruteForceProvider, RelevanceQuery, Scorer};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -29,7 +29,11 @@ pub fn fig2a(ctx: &Ctx) {
             f(relevant.len() as f64 / r.ids.len().max(1) as f64),
         ]);
     }
-    ctx.emit("fig2a", &["relevant", "disc_answer_size", "compression"], &rows);
+    ctx.emit(
+        "fig2a",
+        &["relevant", "disc_answer_size", "compression"],
+        &rows,
+    );
 }
 
 /// Fig 2(b): baseline-greedy running time against database size under
@@ -53,9 +57,8 @@ pub fn fig2b(ctx: &Ctx) {
 
         // No index: brute force neighborhoods.
         let o = ctx.oracle(&db);
-        let (_, brute_t) = timed(|| {
-            baseline_greedy(&BruteForceProvider::new(&o, &relevant), &relevant, theta, k)
-        });
+        let (_, brute_t) =
+            timed(|| baseline_greedy(&BruteForceProvider::new(&o, &relevant), &relevant, theta, k));
         let brute_calls = o.engine_calls();
 
         // C-tree backed (build offline, query measured).

@@ -24,7 +24,14 @@ pub fn table3(ctx: &Ctx) {
     }
     ctx.emit(
         "table3",
-        &["dataset", "avg_nodes", "avg_edges", "graphs", "node_labels", "edge_labels"],
+        &[
+            "dataset",
+            "avg_nodes",
+            "avg_edges",
+            "graphs",
+            "node_labels",
+            "edge_labels",
+        ],
         &rows,
     );
 }
@@ -49,9 +56,8 @@ pub fn table4(ctx: &Ctx) {
             let (rep, _) = index.query(relevant.clone(), theta, k);
             let divt = div_topk(&provider, &relevant, theta, k, DivVariant::Theta);
             let div2 = div_topk(&provider, &relevant, theta, k, DivVariant::TwoTheta);
-            let eval = |ids: &[u32]| {
-                evaluate_answer(ids, &relevant, |g| provider.neighborhood(g, theta))
-            };
+            let eval =
+                |ids: &[u32]| evaluate_answer(ids, &relevant, |g| provider.neighborhood(g, theta));
             let (dte, d2e) = (eval(&divt.ids), eval(&div2.ids));
             rows.push(vec![
                 spec.kind.name().into(),
@@ -80,7 +86,13 @@ pub fn table4(ctx: &Ctx) {
     ctx.emit(
         "table4",
         &[
-            "dataset", "k", "rep_cr", "rep_pi", "div_theta_cr", "div_theta_pi", "div_2theta_cr",
+            "dataset",
+            "k",
+            "rep_cr",
+            "rep_pi",
+            "div_theta_cr",
+            "div_theta_pi",
+            "div_2theta_cr",
             "div_2theta_pi",
         ],
         &rows,
@@ -138,7 +150,14 @@ pub fn fig7(ctx: &Ctx) {
     }
     ctx.emit(
         "fig7",
-        &["answer_set", "ids", "distinct_families", "avg_pairwise_ged", "pi", "cr"],
+        &[
+            "answer_set",
+            "ids",
+            "distinct_families",
+            "avg_pairwise_ged",
+            "pi",
+            "cr",
+        ],
         &rows,
     );
 }

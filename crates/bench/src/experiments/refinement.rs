@@ -42,8 +42,7 @@ pub fn fig6i(ctx: &Ctx) {
         let oracle = ctx.oracle(&data.db);
         let index = ctx.nb_index(&data, oracle.clone());
         let session = index.start_session(relevant.clone());
-        let (nb_in, nb_out) =
-            refinement_protocol(|t| timed(|| session.run(t, k)).1, theta0);
+        let (nb_in, nb_out) = refinement_protocol(|t| timed(|| session.run(t, k)).1, theta0);
 
         // C-tree: every refinement is a brand-new greedy query.
         let oracle = ctx.oracle(&data.db);
@@ -142,8 +141,7 @@ pub fn fig6j(ctx: &Ctx) {
         let oracle = ctx.oracle(&data.db);
         let index = ctx.nb_index(&data, oracle.clone());
         let session = index.start_session(relevant.clone());
-        let (nb_in, nb_out) =
-            refinement_protocol(|t| timed(|| session.run(t, k)).1, theta0);
+        let (nb_in, nb_out) = refinement_protocol(|t| timed(|| session.run(t, k)).1, theta0);
 
         let oracle = ctx.oracle(&data.db);
         let mut rng = SmallRng::seed_from_u64(ctx.seed);

@@ -145,14 +145,24 @@ fn push_measures(rows: &mut Vec<Row>, label: Vec<String>, ms: &[Measure]) {
 }
 
 const TECH_HEADER: &[&str] = &[
-    "nb_s", "nb_calls", "disc_s", "disc_calls", "ctree_s", "ctree_calls", "div_s", "div_calls",
+    "nb_s",
+    "nb_calls",
+    "disc_s",
+    "disc_calls",
+    "ctree_s",
+    "ctree_calls",
+    "div_s",
+    "div_calls",
 ];
 
 /// Fig 5(i)–(k): query time against θ, all techniques. The distance-matrix
 /// inset runs on the DUD-like dataset only, exactly as in the paper.
 pub fn fig5time(ctx: &Ctx) {
     let mut rows: Vec<Row> = Vec::new();
-    for (di, spec) in standard_specs(ctx.base_size, ctx.seed).into_iter().enumerate() {
+    for (di, spec) in standard_specs(ctx.base_size, ctx.seed)
+        .into_iter()
+        .enumerate()
+    {
         let data = spec.generate();
         let relevant = data.default_query().relevant_set(&data.db);
         let k = 10;
@@ -308,7 +318,14 @@ pub fn fig6h(ctx: &Ctx) {
     }
     ctx.emit(
         "fig6h_dims",
-        &["dims", "relevant", "nb_s", "nb_calls", "ctree_s", "ctree_calls"],
+        &[
+            "dims",
+            "relevant",
+            "nb_s",
+            "nb_calls",
+            "ctree_s",
+            "ctree_calls",
+        ],
         &rows,
     );
 }

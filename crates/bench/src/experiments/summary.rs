@@ -45,7 +45,9 @@ fn speedups(csv: &Csv, group_col: &str, nb_col: &str, others: &[&str]) -> Vec<(S
         return vec![];
     };
     for row in &csv.rows {
-        let Some(nb) = csv.num(row, nb_col) else { continue };
+        let Some(nb) = csv.num(row, nb_col) else {
+            continue;
+        };
         if nb <= 0.0 {
             continue;
         }
@@ -99,12 +101,24 @@ pub fn summary(ctx: &Ctx) {
             "nb_calls",
             &["disc_calls", "ctree_calls", "div_calls"],
         ) {
-            rows.push(vec![name.into(), dataset, "edit-distances".into(), f(lo), f(hi)]);
+            rows.push(vec![
+                name.into(),
+                dataset,
+                "edit-distances".into(),
+                f(lo),
+                f(hi),
+            ]);
         }
     }
     ctx.emit(
         "summary_speedups",
-        &["experiment", "dataset", "metric", "nb_speedup_min", "nb_speedup_max"],
+        &[
+            "experiment",
+            "dataset",
+            "metric",
+            "nb_speedup_min",
+            "nb_speedup_max",
+        ],
         &rows,
     );
 }

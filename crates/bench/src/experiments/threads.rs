@@ -1,0 +1,75 @@
+//! Thread-scaling experiment for the parallel GED execution layer.
+//!
+//! Builds the NB-Index and answers one representative query at 1, 2, 4, …
+//! rayon workers over the same dataset and seed. Reports wall-clock speedup
+//! for the build and the query phases and checks that the answer set — ids,
+//! coverage, and the full π trajectory — is byte-identical to the
+//! single-threaded run, which is the determinism contract of every parallel
+//! phase (index build, candidate verification, π̂ batch updates).
+
+use crate::harness::{f, timed, Ctx, Row};
+use graphrep_core::{RelevanceQuery, Scorer};
+use graphrep_datagen::{DatasetKind, DatasetSpec};
+
+/// Minimum dataset size for the scaling run: small databases finish before
+/// the workers amortize their startup.
+const MIN_SIZE: usize = 500;
+
+/// Wall-clock speedup at 1..=max_threads workers, identical answers required.
+pub fn thread_scaling(ctx: &Ctx) {
+    let size = ctx.base_size.max(MIN_SIZE);
+    let data = DatasetSpec::new(DatasetKind::DudLike, size, ctx.seed).generate();
+    let scorer = Scorer::MeanOfDims((0..data.db.dims().max(1)).collect());
+    let rq = RelevanceQuery::top_quantile(&data.db, scorer, 0.5);
+    let relevant = rq.relevant_set(&data.db);
+    let theta = data.default_theta;
+    let k = 10;
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let counts: Vec<usize> = [1usize, 2, 4, 8]
+        .into_iter()
+        .filter(|&t| t == 1 || t <= cores.max(4))
+        .collect();
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut base: Option<(f64, f64, String)> = None;
+    for &t in &counts {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(t)
+            .build()
+            .unwrap();
+        let oracle = ctx.oracle(&data.db);
+        let (index, build_wall) = timed(|| pool.install(|| ctx.nb_index(&data, oracle.clone())));
+        oracle.clear();
+        let ((answer, _), query_wall) =
+            timed(|| pool.install(|| index.query(relevant.clone(), theta, k)));
+        // The full answer — selection order, coverage, π trajectory — must
+        // not depend on the worker count.
+        let fingerprint = format!("{answer:?}");
+        let (b0, q0, fp0) = base.get_or_insert((build_wall, query_wall, fingerprint.clone()));
+        let identical = fingerprint == *fp0;
+        assert!(identical, "answers diverged at {t} threads");
+        rows.push(vec![
+            t.to_string(),
+            f(build_wall),
+            f(query_wall),
+            f(*b0 / build_wall),
+            f(*q0 / query_wall),
+            identical.to_string(),
+        ]);
+    }
+    ctx.emit(
+        "threads",
+        &[
+            "threads",
+            "build_s",
+            "query_s",
+            "build_speedup",
+            "query_speedup",
+            "answers_identical",
+        ],
+        &rows,
+    );
+}

@@ -14,6 +14,7 @@ use std::sync::Arc;
 
 /// Dispatches a parsed command, returning its output.
 pub fn run(cmd: &Command) -> Result<String, CliError> {
+    configure_threads(cmd)?;
     match cmd.name.as_str() {
         "generate" => generate(cmd),
         "stats" => stats(cmd),
@@ -41,7 +42,21 @@ subcommands:
   refine   --data DIR --theta T --k K --steps t1,t2,... [--index FILE]
   topk     --data DIR --k K
   compare  --data DIR --theta T --k K     (REP vs DIV vs DisC vs top-k)
+
+every subcommand accepts --threads N to set the worker count for the
+parallel GED phases (0 or omitted = one worker per core); answers are
+identical at any thread count.
 ";
+
+/// Applies the global `--threads N` flag (0 = auto). Parallel phases use the
+/// configured rayon worker count; results are thread-count-independent.
+fn configure_threads(cmd: &Command) -> Result<(), CliError> {
+    let threads: usize = cmd.parsed_or("threads", 0)?;
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build_global()
+        .map_err(|e| CliError(format!("--threads: {e}")))
+}
 
 fn load_dataset(cmd: &Command) -> Result<Dataset, CliError> {
     let dir = cmd.req("data")?;
@@ -114,7 +129,12 @@ fn stats(cmd: &Command) -> Result<String, CliError> {
     let data = load_dataset(cmd)?;
     let s = DatasetStats::compute(data.db.graphs());
     let mut out = String::new();
-    let _ = writeln!(out, "dataset: {} ({})", cmd.req("data")?, data.spec.kind.name());
+    let _ = writeln!(
+        out,
+        "dataset: {} ({})",
+        cmd.req("data")?,
+        data.spec.kind.name()
+    );
     let _ = writeln!(out, "{s}");
     let _ = writeln!(out, "feature dims: {}", data.db.dims());
     let _ = writeln!(out, "default θ: {}", data.default_theta);
@@ -223,7 +243,9 @@ fn topk(cmd: &Command) -> Result<String, CliError> {
 
 fn compare(cmd: &Command) -> Result<String, CliError> {
     use graphrep_baselines::{div_topk, greedy_disc, DivVariant};
-    use graphrep_core::{baseline_greedy, evaluate_answer, BruteForceProvider, NeighborhoodProvider};
+    use graphrep_core::{
+        baseline_greedy, evaluate_answer, BruteForceProvider, NeighborhoodProvider,
+    };
     let data = load_dataset(cmd)?;
     let theta: f64 = cmd.parsed("theta")?;
     let k: usize = cmd.parsed("k")?;
@@ -325,6 +347,60 @@ mod tests {
     }
 
     #[test]
+    fn threads_flag_accepted_and_answers_thread_independent() {
+        let dir = tmp("threads");
+        run_args(&[
+            "generate", "--kind", "dud", "--size", "60", "--seed", "3", "--out", &dir,
+        ])
+        .unwrap();
+        // Keep only the timing-free answer lines.
+        let answers = |out: String| -> Vec<String> {
+            out.lines()
+                .filter(|l| l.contains(". graph") || l.contains("π(A)"))
+                .map(str::to_owned)
+                .collect()
+        };
+        let one = run_args(&[
+            "query",
+            "--data",
+            &dir,
+            "--theta",
+            "4",
+            "--k",
+            "5",
+            "--threads",
+            "1",
+        ])
+        .unwrap();
+        let four = run_args(&[
+            "query",
+            "--data",
+            &dir,
+            "--theta",
+            "4",
+            "--k",
+            "5",
+            "--threads",
+            "4",
+        ])
+        .unwrap();
+        assert_eq!(answers(one), answers(four));
+        assert!(run_args(&[
+            "query",
+            "--data",
+            &dir,
+            "--theta",
+            "4",
+            "--k",
+            "5",
+            "--threads",
+            "x"
+        ])
+        .is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn unknown_subcommand_errors() {
         assert!(run_args(&["frobnicate"]).is_err());
     }
@@ -338,8 +414,10 @@ mod tests {
 
     #[test]
     fn generate_rejects_bad_kind() {
-        let err = run_args(&["generate", "--kind", "zzz", "--size", "5", "--out", "/tmp/x"])
-            .unwrap_err();
+        let err = run_args(&[
+            "generate", "--kind", "zzz", "--size", "5", "--out", "/tmp/x",
+        ])
+        .unwrap_err();
         assert!(err.0.contains("dud"));
     }
 

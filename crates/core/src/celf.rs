@@ -55,16 +55,20 @@ pub struct LazyStats {
     pub eager_evaluations: u64,
 }
 
-/// CELF lazy greedy over precomputed θ-neighborhoods.
+/// CELF lazy greedy over precomputed θ-neighborhoods. The neighborhood
+/// precomputation (the GED-heavy phase) runs across rayon workers and
+/// collects in relevant-set order; the lazy selection loop is sequential, so
+/// answers are thread-count-independent.
 pub fn lazy_greedy(
-    provider: &impl NeighborhoodProvider,
+    provider: &(impl NeighborhoodProvider + Sync),
     relevant: &[GraphId],
     theta: f64,
     k: usize,
 ) -> (AnswerSet, LazyStats) {
+    use rayon::prelude::*;
     let cap = relevant.iter().copied().max().map_or(0, |m| m as usize + 1);
     let neigh: Vec<Bitset> = relevant
-        .iter()
+        .par_iter()
         .map(|&g| {
             Bitset::from_indices(
                 cap,
@@ -159,12 +163,13 @@ impl WeightedAnswer {
 /// `relevant[i]` and must be non-negative; the objective stays monotone
 /// submodular, so the `1 − 1/e` guarantee carries over.
 pub fn weighted_greedy(
-    provider: &impl NeighborhoodProvider,
+    provider: &(impl NeighborhoodProvider + Sync),
     relevant: &[GraphId],
     weight: &[f64],
     theta: f64,
     k: usize,
 ) -> WeightedAnswer {
+    use rayon::prelude::*;
     assert_eq!(relevant.len(), weight.len());
     assert!(weight.iter().all(|w| *w >= 0.0), "weights must be ≥ 0");
     let cap = relevant.iter().copied().max().map_or(0, |m| m as usize + 1);
@@ -174,7 +179,7 @@ pub fn weighted_greedy(
         w_by_id[g as usize] = w;
     }
     let neigh: Vec<Vec<usize>> = relevant
-        .iter()
+        .par_iter()
         .map(|&g| {
             provider
                 .neighborhood(g, theta)

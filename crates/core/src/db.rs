@@ -88,7 +88,10 @@ impl GraphDatabase {
     /// Restricts the database to the graphs at `ids` (in order), rebasing ids
     /// to `0..ids.len()`. Used for dataset-size sweeps in the experiments.
     pub fn subset(&self, ids: &[GraphId]) -> GraphDatabase {
-        let graphs = ids.iter().map(|&i| self.graphs[i as usize].clone()).collect();
+        let graphs = ids
+            .iter()
+            .map(|&i| self.graphs[i as usize].clone())
+            .collect();
         let features = ids
             .iter()
             .map(|&i| self.features[i as usize].clone())

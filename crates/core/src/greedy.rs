@@ -47,17 +47,21 @@ impl NeighborhoodProvider for BruteForceProvider<'_> {
 ///
 /// Ties break toward the smaller graph id, which makes the output
 /// deterministic and lets the NB-Index implementation be checked for exact
-/// answer equality.
+/// answer equality. The neighborhood-initialization phase — the quadratic
+/// GED-dominated part the paper indexes — fans out across rayon workers; the
+/// per-graph neighborhoods are pure and collected in relevant-set order, so
+/// the answer is identical at any thread count.
 pub fn baseline_greedy(
-    provider: &impl NeighborhoodProvider,
+    provider: &(impl NeighborhoodProvider + Sync),
     relevant: &[GraphId],
     theta: f64,
     k: usize,
 ) -> AnswerSet {
+    use rayon::prelude::*;
     let cap = relevant.iter().copied().max().map_or(0, |m| m as usize + 1);
     // Neighborhood initialization: the quadratic phase the paper indexes.
     let mut neigh: Vec<Bitset> = relevant
-        .iter()
+        .par_iter()
         .map(|&g| {
             Bitset::from_indices(
                 cap,

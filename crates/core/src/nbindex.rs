@@ -79,8 +79,9 @@ impl NbIndex {
     /// NB-Tree's pivot assignments), then the hierarchical clustering.
     ///
     /// The `|V| × n` vantage distances — the bulk of the build's NP-hard
-    /// work — are computed in parallel, one thread per available core; the
-    /// oracle's cache then serves them to the table construction.
+    /// work — are evaluated across rayon workers, as are the NB-Tree's
+    /// child-assignment distances; both phases collect in index order, so
+    /// the built index is identical at any thread count.
     pub fn build(oracle: Arc<DistanceOracle>, config: NbIndexConfig) -> Self {
         let t0 = Instant::now();
         let calls0 = oracle.engine_calls();
@@ -92,8 +93,7 @@ impl NbIndex {
             vp_ids.shuffle(&mut rng);
         }
         vp_ids.truncate(config.num_vps.min(n));
-        warm_vp_distances(&oracle, &vp_ids);
-        let vantage = VantageTable::build_with_vps(n, vp_ids, &mut |a, b| oracle.distance(a, b));
+        let vantage = VantageTable::build_with_vps_par(n, vp_ids, &|a, b| oracle.distance(a, b));
         let tree = NbTree::build(&oracle, Some(&vantage), config.tree, &mut rng);
         let ladder = ThresholdLadder::new(config.ladder);
         let build_stats = BuildStats {
@@ -158,34 +158,4 @@ impl NbIndex {
     pub fn query(&self, relevant: Vec<GraphId>, theta: f64, k: usize) -> (AnswerSet, RunStats) {
         self.start_session(relevant).run(theta, k)
     }
-}
-
-/// Computes all `vp × item` distances in parallel into the oracle's cache.
-/// Work is sliced round-robin over the item axis so threads stay balanced
-/// even when one VP's distances are much harder than another's.
-fn warm_vp_distances(oracle: &Arc<DistanceOracle>, vp_ids: &[u32]) {
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(vp_ids.len().max(1) * 2);
-    if threads <= 1 || oracle.len() < 64 {
-        return; // the sequential build will compute them on demand
-    }
-    crossbeam::thread::scope(|s| {
-        for t in 0..threads {
-            let oracle = Arc::clone(oracle);
-            let vp_ids = vp_ids.to_vec();
-            s.spawn(move |_| {
-                let n = oracle.len() as u32;
-                for &v in &vp_ids {
-                    let mut i = t as u32;
-                    while i < n {
-                        let _ = oracle.distance(v, i);
-                        i += threads as u32;
-                    }
-                }
-            });
-        }
-    })
-    .expect("vantage warm-up threads");
 }

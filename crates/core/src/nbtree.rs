@@ -22,15 +22,15 @@ use serde::{Deserialize, Serialize};
 /// Serde adapter for the root's infinite radius/diameter: JSON has no
 /// `Infinity`, so non-finite values round-trip through `-1.0`.
 mod serde_radius {
-    use serde::{Deserialize, Deserializer, Serializer};
+    use serde::{DeError, Value};
 
-    pub fn serialize<S: Serializer>(v: &f64, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_f64(if v.is_finite() { *v } else { -1.0 })
+    pub fn serialize(v: &f64) -> Value {
+        serde::Serialize::to_value(&if v.is_finite() { *v } else { -1.0 })
     }
 
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<f64, D::Error> {
-        let v = f64::deserialize(d)?;
-        Ok(if v < 0.0 { f64::INFINITY } else { v })
+    pub fn deserialize(v: &Value) -> Result<f64, DeError> {
+        let f = <f64 as serde::Deserialize>::from_value(v)?;
+        Ok(if f < 0.0 { f64::INFINITY } else { f })
     }
 }
 
@@ -110,13 +110,19 @@ impl Builder<'_> {
     }
 
     /// Chooses up to `b` pivots farthest-first from a sample of `members`.
+    ///
+    /// The RNG (sample shuffle) runs on the sequential control path; only
+    /// the pure pool→pivot distance sweeps fan out over rayon workers, and
+    /// the farthest-first argmax folds their results in pool order — so the
+    /// chosen pivots are independent of thread count.
     fn choose_pivots<R: Rng + ?Sized>(&self, members: &[GraphId], rng: &mut R) -> Vec<GraphId> {
+        use rayon::prelude::*;
         let b = self.cfg.branching;
         let mut pool: Vec<GraphId> = members.to_vec();
         pool.shuffle(rng);
         pool.truncate(self.cfg.pivot_sample.max(b).min(members.len()));
         let mut pivots = vec![pool[0]];
-        let mut mindist: Vec<f64> = pool.iter().map(|&g| self.dist(g, pivots[0])).collect();
+        let mut mindist: Vec<f64> = pool.par_iter().map(|&g| self.dist(g, pivots[0])).collect();
         while pivots.len() < b.min(pool.len()) {
             let (best_i, &best_d) = mindist
                 .iter()
@@ -128,8 +134,8 @@ impl Builder<'_> {
             }
             let p = pool[best_i];
             pivots.push(p);
-            for (i, &g) in pool.iter().enumerate() {
-                let d = self.dist(g, p);
+            let to_p: Vec<f64> = pool.par_iter().map(|&g| self.dist(g, p)).collect();
+            for (i, d) in to_p.into_iter().enumerate() {
                 if d < mindist[i] {
                     mindist[i] = d;
                 }
@@ -208,8 +214,18 @@ impl Builder<'_> {
         let pivots = self.choose_pivots(&members, rng);
         let mut parts: Vec<Vec<GraphId>> = vec![vec![]; pivots.len()];
         let mut part_dists: Vec<Vec<f64>> = vec![vec![]; pivots.len()];
-        for &g in &members {
-            let (pi, d) = self.assign(g, &pivots);
+        // Each member's closest-pivot search is pure and independent; fan it
+        // out and partition sequentially in member order afterwards, so the
+        // resulting clusters never depend on thread interleaving.
+        let assignments: Vec<(usize, f64)> = {
+            use rayon::prelude::*;
+            let builder = &*self;
+            members
+                .par_iter()
+                .map(|&g| builder.assign(g, &pivots))
+                .collect()
+        };
+        for (&g, (pi, d)) in members.iter().zip(assignments) {
             parts[pi].push(g);
             part_dists[pi].push(d);
         }

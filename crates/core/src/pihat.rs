@@ -97,6 +97,11 @@ impl PiHatVectors {
     ///
     /// `relevant_by_id` is indexed by graph id; counts are of *relevant*
     /// candidates (Thm 5 applied within `L_q`).
+    ///
+    /// The per-graph π̂ rows are independent pure functions of the vantage
+    /// orderings, so the batch update over `L_q` fans out across rayon
+    /// workers; rows are written back in relevant-set order, making the
+    /// vectors identical at any thread count.
     pub fn initialize(
         vt: &VantageTable,
         tree: &NbTree,
@@ -104,26 +109,32 @@ impl PiHatVectors {
         relevant_by_id: &Bitset,
         ladder: &ThresholdLadder,
     ) -> Self {
+        use rayon::prelude::*;
         let slots = ladder.len();
         let n = tree.len();
         let mut graph_counts = vec![0u32; n * slots];
         let theta_max = ladder.thetas().last().copied().unwrap_or(0.0);
-        let mut cand_buf = Vec::new();
-        let mut band = Vec::new();
-        for &g in relevant {
-            vt.candidates_into(g, theta_max, &mut cand_buf);
-            band.clear();
-            band.extend(
-                cand_buf
+        let rows: Vec<(usize, Vec<u32>)> = relevant
+            .par_iter()
+            .map(|&g| {
+                let mut cand_buf = Vec::new();
+                vt.candidates_into(g, theta_max, &mut cand_buf);
+                let mut band: Vec<f64> = cand_buf
                     .iter()
                     .filter(|&&c| relevant_by_id.contains(c as usize))
-                    .map(|&c| vt.lower_bound(g, c)),
-            );
-            band.sort_by(f64::total_cmp);
-            let pos = tree.pos_of(g) as usize;
-            for (i, &t) in ladder.thetas().iter().enumerate() {
-                graph_counts[pos * slots + i] = band.partition_point(|&d| d <= t + EPS) as u32;
-            }
+                    .map(|&c| vt.lower_bound(g, c))
+                    .collect();
+                band.sort_by(f64::total_cmp);
+                let row = ladder
+                    .thetas()
+                    .iter()
+                    .map(|&t| band.partition_point(|&d| d <= t + EPS) as u32)
+                    .collect();
+                (tree.pos_of(g) as usize, row)
+            })
+            .collect();
+        for (pos, row) in rows {
+            graph_counts[pos * slots..pos * slots + slots].copy_from_slice(&row);
         }
         let mut node_counts = vec![0u32; tree.nodes().len() * slots];
         let mut node_rel = vec![0u32; tree.nodes().len()];

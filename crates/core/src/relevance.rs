@@ -58,7 +58,13 @@ impl Scorer {
             }
             Scorer::Intersection(areas) => areas
                 .iter()
-                .map(|&d| if f.get(d).copied().unwrap_or(0.0) > 0.5 { 1.0 } else { 0.0 })
+                .map(|&d| {
+                    if f.get(d).copied().unwrap_or(0.0) > 0.5 {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                })
                 .sum(),
         }
     }

@@ -107,10 +107,8 @@ impl<'a> QuerySession<'a> {
         let t0 = Instant::now();
         let n = index.tree().len();
         let relevant_by_id = Bitset::from_indices(n, relevant.iter().map(|&g| g as usize));
-        let rel_pos = Bitset::from_indices(
-            n,
-            relevant.iter().map(|&g| index.tree().pos_of(g) as usize),
-        );
+        let rel_pos =
+            Bitset::from_indices(n, relevant.iter().map(|&g| index.tree().pos_of(g) as usize));
         let pihat = PiHatVectors::initialize(
             index.vantage(),
             index.tree(),
@@ -233,6 +231,13 @@ impl<'a> QuerySession<'a> {
 
     /// Exact θ-neighborhood of the graph at `pos` as a position bitset,
     /// memoized in `neigh`.
+    ///
+    /// Verifying the `N̂_θ` candidate superset is the run's GED-dominated
+    /// step, so the per-candidate `within` tests fan out across rayon
+    /// workers. Each test is an independent pure distance evaluation against
+    /// the sharded oracle; the accepted candidates are folded into the bitset
+    /// sequentially in candidate order, so the result — and the oracle's
+    /// engine-call count — is identical at any thread count.
     fn neighborhood(
         &self,
         theta: f64,
@@ -240,6 +245,7 @@ impl<'a> QuerySession<'a> {
         neigh: &mut HashMap<u32, Bitset>,
         stats: &mut RunStats,
     ) -> Bitset {
+        use rayon::prelude::*;
         if let Some(nb) = neigh.get(&pos) {
             return nb.clone();
         }
@@ -247,11 +253,17 @@ impl<'a> QuerySession<'a> {
         let vt = self.index.vantage();
         let oracle = self.index.oracle();
         let g = tree.graph_at(pos);
+        let candidates = vt.candidates(g, theta);
+        let verified: Vec<Option<u32>> = candidates
+            .par_iter()
+            .map(|&c| {
+                (self.relevant_by_id.contains(c as usize) && oracle.within(g, c, theta).is_some())
+                    .then_some(c)
+            })
+            .collect();
         let mut nb = Bitset::new(tree.len());
-        for c in vt.candidates(g, theta) {
-            if self.relevant_by_id.contains(c as usize) && oracle.within(g, c, theta).is_some() {
-                nb.insert(tree.pos_of(c) as usize);
-            }
+        for c in verified.into_iter().flatten() {
+            nb.insert(tree.pos_of(c) as usize);
         }
         stats.verified_graphs += 1;
         neigh.insert(pos, nb.clone());

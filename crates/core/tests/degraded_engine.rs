@@ -54,7 +54,9 @@ fn hybrid_mode_runs_on_paper_scale_graphs() {
     );
     let db = graphrep_core::GraphDatabase::new(m.graphs, m.features, m.labels);
     let oracle = db.oracle(GedConfig {
-        mode: GedMode::Hybrid { exact_max_nodes: 12 },
+        mode: GedMode::Hybrid {
+            exact_max_nodes: 12,
+        },
         ..GedConfig::default()
     });
     let index = NbIndex::build(

@@ -31,7 +31,8 @@ fn check_dataset(kind: DatasetKind, size: usize, seed: u64, k: usize) {
     let (answer, stats) = index.query(relevant.clone(), theta, k);
 
     assert_eq!(
-        answer.pi_trajectory, reference.pi_trajectory,
+        answer.pi_trajectory,
+        reference.pi_trajectory,
         "{}: π trajectory must match baseline greedy",
         kind.name()
     );
@@ -42,7 +43,8 @@ fn check_dataset(kind: DatasetKind, size: usize, seed: u64, k: usize) {
     for (i, &pi) in reference.pi_trajectory.iter().enumerate() {
         if pi > prev {
             assert_eq!(
-                answer.ids[i], reference.ids[i],
+                answer.ids[i],
+                reference.ids[i],
                 "{}: pick {i} diverged",
                 kind.name()
             );

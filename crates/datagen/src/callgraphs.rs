@@ -74,7 +74,8 @@ pub fn generate<R: Rng + ?Sized>(rng: &mut R, p: CallGraphParams) -> CallGraphSe
             b.add_node(f);
         }
         for i in 1..n {
-            b.add_edge((i - 1) as NodeId, i as NodeId, call).expect("chain");
+            b.add_edge((i - 1) as NodeId, i as NodeId, call)
+                .expect("chain");
         }
         // One back edge (recursion / callback) sometimes.
         if n > 3 && rng.gen_bool(0.5) {
@@ -83,7 +84,13 @@ pub fn generate<R: Rng + ?Sized>(rng: &mut R, p: CallGraphParams) -> CallGraphSe
         cores.push(b.build());
         // A bug is "hot" on some days.
         let day_profile: Vec<f64> = (0..p.days)
-            .map(|_| if rng.gen_bool(0.4) { rng.gen_range(0.4..1.0) } else { rng.gen_range(0.0..0.15) })
+            .map(|_| {
+                if rng.gen_bool(0.4) {
+                    rng.gen_range(0.4..1.0)
+                } else {
+                    rng.gen_range(0.0..0.15)
+                }
+            })
             .collect();
         freq_base.push(day_profile);
     }
@@ -114,10 +121,13 @@ mod tests {
     #[test]
     fn generates_connected_call_graphs() {
         let mut rng = SmallRng::seed_from_u64(1);
-        let s = generate(&mut rng, CallGraphParams {
-            size: 40,
-            ..Default::default()
-        });
+        let s = generate(
+            &mut rng,
+            CallGraphParams {
+                size: 40,
+                ..Default::default()
+            },
+        );
         assert_eq!(s.graphs.len(), 40);
         assert!(s.graphs.iter().all(|g| g.is_connected()));
         assert!(s.features.iter().all(|f| f.len() == 7));

@@ -134,10 +134,13 @@ mod tests {
     #[test]
     fn cascades_are_trees() {
         let mut rng = SmallRng::seed_from_u64(1);
-        let s = generate(&mut rng, CascadeParams {
-            size: 50,
-            ..Default::default()
-        });
+        let s = generate(
+            &mut rng,
+            CascadeParams {
+                size: 50,
+                ..Default::default()
+            },
+        );
         for g in &s.graphs {
             assert!(g.is_connected());
             assert_eq!(g.edge_count(), g.node_count() - 1, "a cascade is a tree");
@@ -147,10 +150,13 @@ mod tests {
     #[test]
     fn features_are_binary_topic_vectors() {
         let mut rng = SmallRng::seed_from_u64(2);
-        let s = generate(&mut rng, CascadeParams {
-            size: 40,
-            ..Default::default()
-        });
+        let s = generate(
+            &mut rng,
+            CascadeParams {
+                size: 40,
+                ..Default::default()
+            },
+        );
         for f in &s.features {
             assert_eq!(f.len(), 16);
             assert!(f.iter().all(|&v| v == 0.0 || v == 1.0));
@@ -160,15 +166,26 @@ mod tests {
     #[test]
     fn same_community_shares_topics() {
         let mut rng = SmallRng::seed_from_u64(3);
-        let s = generate(&mut rng, CascadeParams {
-            size: 300,
-            communities: 4,
-            ..Default::default()
-        });
+        let s = generate(
+            &mut rng,
+            CascadeParams {
+                size: 300,
+                communities: 4,
+                ..Default::default()
+            },
+        );
         // Average within-community topic overlap should beat cross-community.
         let jac = |a: &[f64], b: &[f64]| {
-            let inter = a.iter().zip(b).filter(|(x, y)| **x > 0.5 && **y > 0.5).count() as f64;
-            let uni = a.iter().zip(b).filter(|(x, y)| **x > 0.5 || **y > 0.5).count() as f64;
+            let inter = a
+                .iter()
+                .zip(b)
+                .filter(|(x, y)| **x > 0.5 && **y > 0.5)
+                .count() as f64;
+            let uni = a
+                .iter()
+                .zip(b)
+                .filter(|(x, y)| **x > 0.5 || **y > 0.5)
+                .count() as f64;
             if uni == 0.0 {
                 0.0
             } else {

@@ -133,9 +133,10 @@ pub fn generate<R: Rng + ?Sized>(rng: &mut R, p: EgonetParams) -> EgonetSet {
     let mut prev: Option<(Graph, Vec<u32>)> = None;
     for (f, &members) in sizes.iter().enumerate() {
         let (base, profile) = match &prev {
-            Some((tpl, prof)) if rng.gen_bool(p.chain_prob) => {
-                (mutate(rng, tpl, p.drift_edits, prof, &[edge_label]), prof.clone())
-            }
+            Some((tpl, prof)) if rng.gen_bool(p.chain_prob) => (
+                mutate(rng, tpl, p.drift_edits, prof, &[edge_label]),
+                prof.clone(),
+            ),
             _ => {
                 let mut profile = universe.clone();
                 profile.shuffle(rng);
@@ -147,9 +148,9 @@ pub fn generate<R: Rng + ?Sized>(rng: &mut R, p: EgonetParams) -> EgonetSet {
         for _ in 0..members {
             let edits = rng.gen_range(0..=p.member_edits);
             graphs.push(mutate(rng, &base, edits, &profile, &[edge_label]));
-            feats.push(vec![
-                (activity + features::gaussian(rng, 0.0, p.feature_noise)).clamp(0.0, 1.0),
-            ]);
+            feats.push(vec![(activity
+                + features::gaussian(rng, 0.0, p.feature_noise))
+            .clamp(0.0, 1.0)]);
             family.push(f as u32);
         }
         prev = Some((base, profile));

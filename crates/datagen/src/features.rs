@@ -48,8 +48,7 @@ pub fn family_sizes(total: usize, largest: usize, skew: f64) -> Vec<usize> {
     let mut remaining = total;
     let mut i = 1u32;
     while remaining > 0 {
-        let s = ((largest as f64 / (i as f64).powf(skew)).floor() as usize)
-            .clamp(1, remaining);
+        let s = ((largest as f64 / (i as f64).powf(skew)).floor() as usize).clamp(1, remaining);
         sizes.push(s);
         remaining -= s;
         i += 1;
@@ -68,8 +67,8 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         let samples: Vec<f64> = (0..20_000).map(|_| gaussian(&mut rng, 5.0, 2.0)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>()
-            / samples.len() as f64;
+        let var =
+            samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / samples.len() as f64;
         assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
         assert!((var - 4.0).abs() < 0.3, "var {var}");
     }

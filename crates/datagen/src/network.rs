@@ -69,7 +69,11 @@ fn planted_partition<R: Rng + ?Sized>(
         guard += 1;
         let c = rng.gen_range(0..p.communities);
         let base = c * per_comm;
-        let top = if c == p.communities - 1 { n } else { base + per_comm };
+        let top = if c == p.communities - 1 {
+            n
+        } else {
+            base + per_comm
+        };
         if top - base < 2 {
             continue;
         }
@@ -199,7 +203,7 @@ mod tests {
             .zip(&s.features)
             .map(|(g, f)| (g.node_count(), f[0]))
             .collect();
-        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        pairs.sort_by_key(|p| p.0);
         for w in pairs.windows(2) {
             if w[0].0 < w[1].0 {
                 assert!(w[0].1 <= w[1].1 + 1e-9);

@@ -144,16 +144,17 @@ mod tests {
 
     #[test]
     fn all_kinds_generate() {
-        for kind in [DatasetKind::DudLike, DatasetKind::DblpLike, DatasetKind::AmazonLike] {
+        for kind in [
+            DatasetKind::DudLike,
+            DatasetKind::DblpLike,
+            DatasetKind::AmazonLike,
+        ] {
             let d = DatasetSpec::new(kind, 60, 1).generate();
             assert_eq!(d.db.len(), 60, "{:?}", kind);
             assert_eq!(d.family.len(), 60);
             assert!(d.default_theta > 0.0);
             assert!(!d.default_ladder.is_empty());
-            assert!(d
-                .default_ladder
-                .iter()
-                .any(|&t| t >= d.default_theta));
+            assert!(d.default_ladder.iter().any(|&t| t >= d.default_theta));
         }
     }
 

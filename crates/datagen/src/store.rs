@@ -105,16 +105,18 @@ pub fn save(data: &Dataset, dir: &Path) -> Result<(), StoreError> {
 
 /// Reads a dataset previously written by [`save`].
 pub fn load(dir: &Path) -> Result<Dataset, StoreError> {
-    let graphs =
-        gio::read_graphs(&fs::read_to_string(dir.join("graphs.txt"))?).map_err(StoreError::Graphs)?;
+    let graphs = gio::read_graphs(&fs::read_to_string(dir.join("graphs.txt"))?)
+        .map_err(StoreError::Graphs)?;
     let mut features = Vec::new();
-    for (lineno, line) in fs::read_to_string(dir.join("features.csv"))?.lines().enumerate() {
+    for (lineno, line) in fs::read_to_string(dir.join("features.csv"))?
+        .lines()
+        .enumerate()
+    {
         if line.trim().is_empty() {
             continue;
         }
         let row: Result<Vec<f64>, _> = line.split(',').map(str::parse::<f64>).collect();
-        features
-            .push(row.map_err(|e| StoreError::Features(format!("line {lineno}: {e}")))?);
+        features.push(row.map_err(|e| StoreError::Features(format!("line {lineno}: {e}")))?);
     }
     let meta: Meta = serde_json::from_str(&fs::read_to_string(dir.join("meta.json"))?)
         .map_err(StoreError::Meta)?;
@@ -185,7 +187,11 @@ mod tests {
 
     #[test]
     fn kind_names_round_trip() {
-        for kind in [DatasetKind::DudLike, DatasetKind::DblpLike, DatasetKind::AmazonLike] {
+        for kind in [
+            DatasetKind::DudLike,
+            DatasetKind::DblpLike,
+            DatasetKind::AmazonLike,
+        ] {
             assert_eq!(kind_from_str(kind_to_str(kind)), Some(kind));
         }
         assert_eq!(kind_from_str("bogus"), None);

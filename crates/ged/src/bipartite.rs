@@ -206,8 +206,14 @@ mod tests {
             let exact = ged_exact_full(&g1, &g2, &c, 2_000_000).unwrap().0;
             let ub = bp_upper_bound(&g1, &g2, &c);
             let lb = label_lower_bound(&g1, &g2, &c);
-            assert!(ub >= exact - 1e-9, "ub {ub} < exact {exact} (trial {trial})");
-            assert!(lb <= exact + 1e-9, "lb {lb} > exact {exact} (trial {trial})");
+            assert!(
+                ub >= exact - 1e-9,
+                "ub {ub} < exact {exact} (trial {trial})"
+            );
+            assert!(
+                lb <= exact + 1e-9,
+                "lb {lb} > exact {exact} (trial {trial})"
+            );
         }
     }
 
@@ -235,7 +241,10 @@ mod tests {
             };
             let exact = ged_exact_full(&g1, &g2, &c, 2_000_000).unwrap().0;
             let lb = bp_lower_bound(&g1, &g2, &c);
-            assert!(lb <= exact + 1e-9, "bp lb {lb} > exact {exact} (trial {trial})");
+            assert!(
+                lb <= exact + 1e-9,
+                "bp lb {lb} > exact {exact} (trial {trial})"
+            );
         }
     }
 

@@ -4,13 +4,22 @@
 //! every baseline — talks to a [`DistanceOracle`]: distances are addressed by
 //! [`GraphId`], results are memoized, and the number of *engine* calls (the
 //! paper's cost unit) is tracked.
+//!
+//! The caches are sharded 64 ways by pair key so concurrent distance
+//! evaluation (the rayon-parallel index build and verification phases)
+//! doesn't serialize on a global lock. Exact distances live in per-pair
+//! [`OnceLock`] cells: when many threads race on the same uncached pair,
+//! exactly one runs the NP-hard engine computation and the rest block on the
+//! cell, so engine-call accounting stays exact under any interleaving —
+//! every non-self request increments exactly one of
+//! `distance_computations` / `within_rejections` / `cache_hits`.
 
 use crate::engine::GedEngine;
 use graphrep_graph::{Graph, GraphId};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Statistics of oracle usage.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -29,24 +38,68 @@ fn key(i: GraphId, j: GraphId) -> u64 {
     ((a as u64) << 32) | b as u64
 }
 
+/// Number of cache shards. Pair keys hash-spread across shards so parallel
+/// phases rarely contend on a lock; 64 comfortably exceeds any realistic
+/// worker count while keeping the per-oracle footprint trivial.
+const NUM_SHARDS: usize = 64;
+
+#[inline]
+fn shard_of(key: u64) -> usize {
+    // Fibonacci multiplicative hash: consecutive pair keys (the common
+    // access pattern in matrix-style phases) land on different shards.
+    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 58) as usize
+}
+
+/// One cache shard: exact distances plus known strict lower bounds.
+#[derive(Default)]
+struct Shard {
+    /// Exact distances. Each pair owns a [`OnceLock`] cell so that racing
+    /// threads agree on a single engine computation.
+    exact: RwLock<HashMap<u64, Arc<OnceLock<f64>>>>,
+    /// Known strict lower bounds: `d(i, j) > lower[key]`.
+    lower: RwLock<HashMap<u64, f64>>,
+}
+
+impl Shard {
+    /// The pair's exact-distance cell, creating an empty one if absent.
+    fn cell(&self, key: u64) -> Arc<OnceLock<f64>> {
+        if let Some(cell) = self.exact.read().get(&key) {
+            return Arc::clone(cell);
+        }
+        Arc::clone(self.exact.write().entry(key).or_default())
+    }
+
+    /// The pair's exact distance, if already computed.
+    fn exact_get(&self, key: u64) -> Option<f64> {
+        self.exact
+            .read()
+            .get(&key)
+            .and_then(|cell| cell.get().copied())
+    }
+}
+
 /// Caching, counting distance oracle over a fixed graph collection.
 pub struct DistanceOracle {
     graphs: Arc<Vec<Graph>>,
     engine: GedEngine,
-    exact: RwLock<HashMap<u64, f64>>,
-    /// Known strict lower bounds: `d(i, j) > lower[key]`.
-    lower: RwLock<HashMap<u64, f64>>,
+    shards: [Shard; NUM_SHARDS],
     computations: AtomicU64,
     rejections: AtomicU64,
     hits: AtomicU64,
 }
 
+/// The oracle is shared across rayon workers by reference.
+const fn _assert_send_sync<T: Send + Sync>() {}
+const _: () = _assert_send_sync::<DistanceOracle>();
+
 impl std::fmt::Debug for DistanceOracle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let exact: usize = self.shards.iter().map(|s| s.exact.read().len()).sum();
+        let lower: usize = self.shards.iter().map(|s| s.lower.read().len()).sum();
         f.debug_struct("DistanceOracle")
             .field("graphs", &self.graphs.len())
-            .field("cached_exact", &self.exact.read().len())
-            .field("cached_lower", &self.lower.read().len())
+            .field("cached_exact", &exact)
+            .field("cached_lower", &lower)
             .field("stats", &self.stats())
             .finish()
     }
@@ -58,8 +111,7 @@ impl DistanceOracle {
         Self {
             graphs,
             engine,
-            exact: RwLock::new(HashMap::new()),
-            lower: RwLock::new(HashMap::new()),
+            shards: std::array::from_fn(|_| Shard::default()),
             computations: AtomicU64::new(0),
             rejections: AtomicU64::new(0),
             hits: AtomicU64::new(0),
@@ -92,20 +144,26 @@ impl DistanceOracle {
     }
 
     /// Exact distance between graphs `i` and `j` (cached).
+    ///
+    /// Concurrent calls on the same uncached pair run the engine exactly
+    /// once: the winner counts a computation, everyone else blocks on the
+    /// pair's cell and counts a cache hit.
     pub fn distance(&self, i: GraphId, j: GraphId) -> f64 {
         if i == j {
             return 0.0;
         }
         let k = key(i, j);
-        if let Some(&d) = self.exact.read().get(&k) {
+        let cell = self.shards[shard_of(k)].cell(k);
+        let mut computed = false;
+        let d = *cell.get_or_init(|| {
+            computed = true;
+            self.computations.fetch_add(1, Ordering::Relaxed);
+            self.engine
+                .distance(&self.graphs[i as usize], &self.graphs[j as usize])
+        });
+        if !computed {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return d;
         }
-        let d = self
-            .engine
-            .distance(&self.graphs[i as usize], &self.graphs[j as usize]);
-        self.computations.fetch_add(1, Ordering::Relaxed);
-        self.exact.write().insert(k, d);
         d
     }
 
@@ -116,30 +174,32 @@ impl DistanceOracle {
             return Some(0.0);
         }
         let k = key(i, j);
-        if let Some(&d) = self.exact.read().get(&k) {
+        let shard = &self.shards[shard_of(k)];
+        if let Some(d) = shard.exact_get(k) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return (d <= tau + 1e-9).then_some(d);
         }
-        if let Some(&lb) = self.lower.read().get(&k) {
+        if let Some(&lb) = shard.lower.read().get(&k) {
             if lb >= tau - 1e-9 {
                 // d > lb ≥ tau: certainly outside.
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return None;
             }
         }
-        match self.engine.distance_within(
-            &self.graphs[i as usize],
-            &self.graphs[j as usize],
-            tau,
-        ) {
+        match self
+            .engine
+            .distance_within(&self.graphs[i as usize], &self.graphs[j as usize], tau)
+        {
             Some(d) => {
                 self.computations.fetch_add(1, Ordering::Relaxed);
-                self.exact.write().insert(k, d);
+                // A concurrent `distance` may have filled the cell with the
+                // same exact value already; the failed set is harmless.
+                let _ = shard.cell(k).set(d);
                 Some(d)
             }
             None => {
                 self.rejections.fetch_add(1, Ordering::Relaxed);
-                let mut lw = self.lower.write();
+                let mut lw = shard.lower.write();
                 let e = lw.entry(k).or_insert(tau);
                 if *e < tau {
                     *e = tau;
@@ -172,8 +232,10 @@ impl DistanceOracle {
 
     /// Clears the memoized distances *and* counters.
     pub fn clear(&self) {
-        self.exact.write().clear();
-        self.lower.write().clear();
+        for shard in &self.shards {
+            shard.exact.write().clear();
+            shard.lower.write().clear();
+        }
         self.reset_stats();
     }
 }

@@ -34,7 +34,12 @@ impl CostModel {
 
     /// Checks the metric conditions (non-negative, `sub ≤ 2·indel`).
     pub fn validate(&self) -> Result<(), String> {
-        let vals = [self.node_sub, self.node_indel, self.edge_sub, self.edge_indel];
+        let vals = [
+            self.node_sub,
+            self.node_indel,
+            self.edge_sub,
+            self.edge_indel,
+        ];
         if vals.iter().any(|v| !v.is_finite() || *v < 0.0) {
             return Err("costs must be finite and non-negative".into());
         }

@@ -55,7 +55,9 @@ impl Dfs<'_> {
     fn step_cost(&self, depth: usize, k: NodeId, j: Option<NodeId>) -> f64 {
         match j {
             Some(j) => {
-                let mut step = self.cost.node_subst(self.a.node_label(k), self.b.node_label(j));
+                let mut step = self
+                    .cost
+                    .node_subst(self.a.node_label(k), self.b.node_label(j));
                 for d in 0..depth {
                     let p = self.view.order[d];
                     let e1 = self.a.edge_label(k, p);

@@ -127,7 +127,13 @@ impl G1View {
 /// Symmetric in its graph arguments. Graphs must have ≤ 250 nodes; the search
 /// additionally requires the *smaller* side to have ≤ 32 nodes (bitmask
 /// state) — our datasets are far below both.
-pub fn ged_exact(g1: &Graph, g2: &Graph, cost: &CostModel, cutoff: f64, budget: u64) -> ExactResult {
+pub fn ged_exact(
+    g1: &Graph,
+    g2: &Graph,
+    cost: &CostModel,
+    cutoff: f64,
+    budget: u64,
+) -> ExactResult {
     // Map the smaller graph onto the larger: fewer levels, same distance
     // (costs are symmetric).
     let (a, b) = if g1.node_count() <= g2.node_count() {
@@ -241,8 +247,21 @@ pub fn ged_exact(g1: &Graph, g2: &Graph, cost: &CostModel, cutoff: f64, budget: 
                 };
             }
             push_child(
-                a, b, &view, cost, cutoff, eps, &mut arena, &mut heap, entry.idx, node.g + step,
-                node.used | (1u32 << j), child_depth, j, n1, e2_total,
+                a,
+                b,
+                &view,
+                cost,
+                cutoff,
+                eps,
+                &mut arena,
+                &mut heap,
+                entry.idx,
+                node.g + step,
+                node.used | (1u32 << j),
+                child_depth,
+                j,
+                n1,
+                e2_total,
             );
         }
         // k -> ε: delete the node and its edges to processed g1 nodes.
@@ -255,8 +274,21 @@ pub fn ged_exact(g1: &Graph, g2: &Graph, cost: &CostModel, cutoff: f64, budget: 
                 }
             }
             push_child(
-                a, b, &view, cost, cutoff, eps, &mut arena, &mut heap, entry.idx, node.g + step,
-                node.used, child_depth, EPS, n1, e2_total,
+                a,
+                b,
+                &view,
+                cost,
+                cutoff,
+                eps,
+                &mut arena,
+                &mut heap,
+                entry.idx,
+                node.g + step,
+                node.used,
+                child_depth,
+                EPS,
+                n1,
+                e2_total,
             );
         }
     }
@@ -315,7 +347,14 @@ fn push_child(
 
 /// Admissible heuristic: label-multiset bound on remaining nodes plus a
 /// pending-edge-multiset bound.
-pub(crate) fn heuristic(_a: &Graph, b: &Graph, view: &G1View, depth: usize, used: u32, cost: &CostModel) -> f64 {
+pub(crate) fn heuristic(
+    _a: &Graph,
+    b: &Graph,
+    view: &G1View,
+    depth: usize,
+    used: u32,
+    cost: &CostModel,
+) -> f64 {
     // Remaining node labels.
     let rem1 = &view.suffix_node_labels[depth];
     let mut rem2: Vec<u32> = (0..b.node_count())
@@ -441,8 +480,14 @@ mod tests {
 
     #[test]
     fn budget_exhaustion_reported() {
-        let g1 = build(&[0; 6], &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1), (4, 5, 1)]);
-        let g2 = build(&[1; 6], &[(0, 1, 2), (1, 2, 2), (2, 3, 2), (3, 4, 2), (4, 5, 2)]);
+        let g1 = build(
+            &[0; 6],
+            &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1), (4, 5, 1)],
+        );
+        let g2 = build(
+            &[1; 6],
+            &[(0, 1, 2), (1, 2, 2), (2, 3, 2), (3, 4, 2), (4, 5, 2)],
+        );
         let r = ged_exact(&g1, &g2, &CostModel::uniform(), f64::INFINITY, 1);
         assert_eq!(r.outcome, Outcome::BudgetExhausted);
     }

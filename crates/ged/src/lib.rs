@@ -28,7 +28,7 @@ pub mod exact;
 
 pub use cache::{DistanceOracle, OracleStats};
 pub use cost::CostModel;
-pub use depthfirst::{ged_depth_first, DfResult};
 pub use counter::{CounterSnapshot, GedCounters};
+pub use depthfirst::{ged_depth_first, DfResult};
 pub use engine::{GedConfig, GedEngine, GedMode};
 pub use exact::{ged_exact, ged_exact_full, ExactResult, Outcome};

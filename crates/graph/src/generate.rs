@@ -92,7 +92,14 @@ pub fn mutate<R: Rng + ?Sized>(
             3 => EditKind::RemoveLeaf,
             _ => EditKind::AddEdge,
         };
-        apply_edit(rng, kind, &mut node_labels, &mut edges, node_alphabet, edge_alphabet);
+        apply_edit(
+            rng,
+            kind,
+            &mut node_labels,
+            &mut edges,
+            node_alphabet,
+            edge_alphabet,
+        );
     }
     let mut b = GraphBuilder::with_capacity(node_labels.len(), edges.len());
     for &l in &node_labels {

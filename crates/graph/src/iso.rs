@@ -37,7 +37,15 @@ pub fn isomorphic(a: &Graph, b: &Graph) -> bool {
     backtrack(a, b, &order, 0, &mut map, &mut used)
 }
 
-fn feasible(a: &Graph, b: &Graph, order: &[NodeId], depth: usize, map: &[u16], u: NodeId, v: NodeId) -> bool {
+fn feasible(
+    a: &Graph,
+    b: &Graph,
+    order: &[NodeId],
+    depth: usize,
+    map: &[u16],
+    u: NodeId,
+    v: NodeId,
+) -> bool {
     if a.node_label(u) != b.node_label(v) || a.degree(u) != b.degree(v) {
         return false;
     }
@@ -166,11 +174,25 @@ mod tests {
         // 6-cycle vs two triangles: identical degree sequences and labels.
         let cycle = build(
             &[0; 6],
-            &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1), (4, 5, 1), (0, 5, 1)],
+            &[
+                (0, 1, 1),
+                (1, 2, 1),
+                (2, 3, 1),
+                (3, 4, 1),
+                (4, 5, 1),
+                (0, 5, 1),
+            ],
         );
         let triangles = build(
             &[0; 6],
-            &[(0, 1, 1), (1, 2, 1), (0, 2, 1), (3, 4, 1), (4, 5, 1), (3, 5, 1)],
+            &[
+                (0, 1, 1),
+                (1, 2, 1),
+                (0, 2, 1),
+                (3, 4, 1),
+                (4, 5, 1),
+                (3, 5, 1),
+            ],
         );
         assert!(!isomorphic(&cycle, &triangles));
     }
@@ -187,7 +209,13 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(3);
         let g = random_connected(&mut rng, 6, 2, &[0, 1], &[5]);
         let h = random_connected(&mut rng, 7, 2, &[0, 1], &[5]);
-        let graphs = vec![g.clone(), permute(&g, 9), h.clone(), permute(&h, 10), g.clone()];
+        let graphs = vec![
+            g.clone(),
+            permute(&g, 9),
+            h.clone(),
+            permute(&h, 10),
+            g.clone(),
+        ];
         assert_eq!(dedup_isomorphic(&graphs), vec![0, 2]);
     }
 }

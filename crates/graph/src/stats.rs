@@ -58,7 +58,11 @@ impl std::fmt::Display for DatasetStats {
         write!(
             f,
             "{} graphs, avg nodes {:.1}, avg edges {:.1}, {} node labels, {} edge labels",
-            self.graphs, self.avg_nodes, self.avg_edges, self.node_label_count, self.edge_label_count
+            self.graphs,
+            self.avg_nodes,
+            self.avg_edges,
+            self.node_label_count,
+            self.edge_label_count
         )
     }
 }

@@ -46,14 +46,47 @@ impl VantageTable {
         dist: &mut impl FnMut(u32, u32) -> f64,
     ) -> Self {
         let mut dists = Vec::with_capacity(vp_ids.len());
-        let mut orders = Vec::with_capacity(vp_ids.len());
         for &v in &vp_ids {
-            let d: Vec<f32> = (0..n as u32).map(|i| dist(v, i) as f32).collect();
-            let mut ord: Vec<u32> = (0..n as u32).collect();
-            ord.sort_by(|&a, &b| d[a as usize].total_cmp(&d[b as usize]));
-            dists.push(d);
-            orders.push(ord);
+            dists.push((0..n as u32).map(|i| dist(v, i) as f32).collect());
         }
+        Self::from_dists(n, vp_ids, dists)
+    }
+
+    /// Builds a table with explicitly chosen vantage points, evaluating the
+    /// `|V| × n` distance matrix — the NP-hard bulk of index construction —
+    /// across rayon workers.
+    ///
+    /// Every matrix cell is an independent pure computation and results are
+    /// collected in index order, so the table is identical to the sequential
+    /// [`VantageTable::build_with_vps`] at any thread count.
+    pub fn build_with_vps_par(
+        n: usize,
+        vp_ids: Vec<u32>,
+        dist: &(impl Fn(u32, u32) -> f64 + Sync),
+    ) -> Self {
+        use rayon::prelude::*;
+        let num_vps = vp_ids.len();
+        let flat: Vec<f32> = (0..num_vps * n)
+            .into_par_iter()
+            .map(|cell| {
+                let (v, i) = (vp_ids[cell / n.max(1)], (cell % n.max(1)) as u32);
+                dist(v, i) as f32
+            })
+            .collect();
+        let dists = flat.chunks(n.max(1)).map(<[f32]>::to_vec).collect();
+        Self::from_dists(n, vp_ids, dists)
+    }
+
+    /// Shared tail of the builders: derives the per-VP sorted orders.
+    fn from_dists(n: usize, vp_ids: Vec<u32>, dists: Vec<Vec<f32>>) -> Self {
+        let orders = dists
+            .iter()
+            .map(|d| {
+                let mut ord: Vec<u32> = (0..n as u32).collect();
+                ord.sort_by(|&a, &b| d[a as usize].total_cmp(&d[b as usize]));
+                ord
+            })
+            .collect();
         Self {
             n,
             vp_ids,

@@ -32,7 +32,11 @@ fn main() {
     let weights: Vec<f64> = (0..params.days).map(|d| (d + 1) as f64).collect();
     let query = RelevanceQuery::top_quantile(&db, Scorer::Weighted(weights), 0.75);
     let relevant = query.relevant_set(&db);
-    println!("{} crashes, {} currently-hot (top quartile by weighted frequency)", db.len(), relevant.len());
+    println!(
+        "{} crashes, {} currently-hot (top quartile by weighted frequency)",
+        db.len(),
+        relevant.len()
+    );
 
     let oracle = db.oracle(GedConfig::default());
     let index = NbIndex::build(

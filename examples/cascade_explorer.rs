@@ -37,7 +37,10 @@ fn main() {
 
     // Two different query-time topic sets against ONE index build — the
     // dynamic-relevance scenario of Sec 3.1.
-    for (label, topics) in [("sports-ish", vec![0, 1, 2]), ("politics-ish", vec![8, 9, 10, 11])] {
+    for (label, topics) in [
+        ("sports-ish", vec![0, 1, 2]),
+        ("politics-ish", vec![8, 9, 10, 11]),
+    ] {
         let query = RelevanceQuery {
             scorer: Scorer::Jaccard(topics.clone()),
             threshold: 0.25,
@@ -55,11 +58,7 @@ fn main() {
         );
         for &g in &answer.ids {
             let graph = db.graph(g);
-            let depthish = graph
-                .node_ids()
-                .map(|u| graph.degree(u))
-                .max()
-                .unwrap_or(0);
+            let depthish = graph.node_ids().map(|u| graph.degree(u)).max().unwrap_or(0);
             println!(
                 "  cascade {g:>4}: {} reshares, max fan-out {}, community {}, jaccard {:.2}",
                 graph.node_count() - 1,
@@ -68,6 +67,10 @@ fn main() {
                 query.score(&db, g)
             );
         }
-        println!("  π = {:.3}, CR = {:.1}\n", answer.pi(), answer.compression_ratio());
+        println!(
+            "  π = {:.3}, CR = {:.1}\n",
+            answer.pi(),
+            answer.compression_ratio()
+        );
     }
 }

@@ -53,9 +53,15 @@ fn main() {
     };
 
     println!("\ntraditional top-{k} groups: {trad:?}");
-    println!("  pairs within θ of each other: {}", overlapping_pairs(&trad));
+    println!(
+        "  pairs within θ of each other: {}",
+        overlapping_pairs(&trad)
+    );
     println!("\nrepresentative top-{k} groups: {:?}", rep.ids);
-    println!("  pairs within θ of each other: {}", overlapping_pairs(&rep.ids));
+    println!(
+        "  pairs within θ of each other: {}",
+        overlapping_pairs(&rep.ids)
+    );
     println!(
         "  coverage of active groups: {:.0}% (π = {:.3}), compression ratio {:.1}",
         100.0 * rep.pi(),

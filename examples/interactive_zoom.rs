@@ -22,10 +22,7 @@ fn main() {
         },
     );
     let relevant = data.default_query().relevant_set(&data.db);
-    println!(
-        "indexed ladder: {:?}",
-        index.ladder().thetas()
-    );
+    println!("indexed ladder: {:?}", index.ladder().thetas());
 
     // The initialization phase runs once per relevance function.
     let session = index.start_session(relevant);

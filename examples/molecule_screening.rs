@@ -62,7 +62,11 @@ fn main() {
         "  distinct scaffold families: {}",
         distinct_families(&data.family, &trad)
     );
-    println!("  π = {:.3}, CR = {:.1}", trad_eval.pi(), trad_eval.compression_ratio());
+    println!(
+        "  π = {:.3}, CR = {:.1}",
+        trad_eval.pi(),
+        trad_eval.compression_ratio()
+    );
 
     println!("\ntop-{k} representative query (θ = {theta}):");
     describe(&rep.ids);

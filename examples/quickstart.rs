@@ -13,7 +13,11 @@ fn main() {
     // 1. A graph database: 300 DUD-like molecules, each tagged with a
     //    10-dimensional binding-affinity feature vector.
     let data = DatasetSpec::new(DatasetKind::DudLike, 300, 42).generate();
-    println!("database: {} graphs, {} feature dims", data.db.len(), data.db.dims());
+    println!(
+        "database: {} graphs, {} feature dims",
+        data.db.len(),
+        data.db.dims()
+    );
 
     // 2. Offline: a distance oracle (exact graph edit distance, cached) and
     //    the NB-Index over it.
@@ -62,5 +66,8 @@ fn main() {
         answer.pi(),
         100.0 * answer.pi()
     );
-    println!("compression ratio |N_θ(A)|/|A| = {:.1}", answer.compression_ratio());
+    println!(
+        "compression ratio |N_θ(A)|/|A| = {:.1}",
+        answer.compression_ratio()
+    );
 }

@@ -160,7 +160,9 @@ fn network_extracted_egonets_work_end_to_end() {
     );
     let db = graphrep::core::GraphDatabase::new(set.graphs, set.features, set.labels);
     let oracle = db.oracle(GedConfig {
-        mode: GedMode::Hybrid { exact_max_nodes: 12 },
+        mode: GedMode::Hybrid {
+            exact_max_nodes: 12,
+        },
         ..GedConfig::default()
     });
     let index = graphrep::core::NbIndex::build(

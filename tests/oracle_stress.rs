@@ -1,0 +1,177 @@
+//! Concurrency stress tests for the sharded [`DistanceOracle`] cache: many
+//! threads hammering overlapping pairs must agree on every distance, run the
+//! engine exactly once per unique `distance()` pair, and keep the
+//! [`OracleStats`] counters exact — every non-self request increments
+//! exactly one of computations / rejections / hits.
+
+use graphrep::ged::{DistanceOracle, GedConfig, GedEngine};
+use graphrep::graph::generate::random_connected;
+use graphrep::graph::Graph;
+use std::sync::Arc;
+
+const THREADS: usize = 8;
+
+fn oracle(n: usize, seed: u64) -> Arc<DistanceOracle> {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let graphs: Vec<Graph> = (0..n)
+        .map(|_| random_connected(&mut rng, 6, 2, &[0, 1, 2], &[3, 4]))
+        .collect();
+    Arc::new(DistanceOracle::new(
+        Arc::new(graphs),
+        GedEngine::new(GedConfig::default()),
+    ))
+}
+
+/// All unordered non-self pairs over `n` graphs.
+fn pairs(n: u32) -> Vec<(u32, u32)> {
+    (0..n)
+        .flat_map(|i| (i + 1..n).map(move |j| (i, j)))
+        .collect()
+}
+
+#[test]
+fn concurrent_distance_computes_each_pair_exactly_once() {
+    let o = oracle(16, 1);
+    let pairs = pairs(16);
+    let rounds = 3;
+    let reference: Vec<f64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let o = Arc::clone(&o);
+                let pairs = pairs.clone();
+                s.spawn(move || {
+                    let mut seen = Vec::new();
+                    for r in 0..rounds {
+                        // Different traversal order per thread and round
+                        // maximizes same-pair races.
+                        let mut order = pairs.clone();
+                        if (t + r) % 2 == 1 {
+                            order.reverse();
+                        }
+                        let shift = (t * 17) % order.len();
+                        order.rotate_left(shift);
+                        for &(i, j) in &order {
+                            // Mix argument orders: (i,j) and (j,i) share a key.
+                            let d = if t % 2 == 0 {
+                                o.distance(i, j)
+                            } else {
+                                o.distance(j, i)
+                            };
+                            seen.push(((i, j), d));
+                        }
+                    }
+                    seen
+                })
+            })
+            .collect();
+        let all: Vec<Vec<((u32, u32), f64)>> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Every thread observed the same value for every pair.
+        let mut reference = vec![f64::NAN; pairs.len()];
+        for obs in &all {
+            for &((i, j), d) in obs {
+                let idx = pairs.iter().position(|&p| p == (i, j)).unwrap();
+                if reference[idx].is_nan() {
+                    reference[idx] = d;
+                }
+                assert_eq!(
+                    d.to_bits(),
+                    reference[idx].to_bits(),
+                    "pair ({i},{j}) disagreed"
+                );
+            }
+        }
+        reference
+    });
+    assert!(reference.iter().all(|d| !d.is_nan()));
+
+    let s = o.stats();
+    let total_requests = (THREADS * rounds * pairs.len()) as u64;
+    // Exactly one engine run per unique pair, no lost counter updates.
+    assert_eq!(s.distance_computations, pairs.len() as u64);
+    assert_eq!(s.within_rejections, 0);
+    assert_eq!(s.cache_hits, total_requests - pairs.len() as u64);
+    assert_eq!(o.engine_calls(), pairs.len() as u64);
+}
+
+#[test]
+fn concurrent_within_counters_sum_exactly() {
+    let o = oracle(12, 2);
+    let pairs = pairs(12);
+    // Pre-resolve every pair so the within() calls below are all answerable
+    // from the exact cache: with a warm cache the counter invariant is exact
+    // even under arbitrary interleaving.
+    for &(i, j) in &pairs {
+        o.distance(i, j);
+    }
+    o.reset_stats();
+    let taus = [0.5, 2.0, 8.0];
+    let per_thread = pairs.len() * taus.len();
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let o = Arc::clone(&o);
+            let pairs = pairs.clone();
+            s.spawn(move || {
+                for &(i, j) in &pairs {
+                    for &tau in &taus {
+                        let verdict = o.within(i, j, tau);
+                        // Warm cache: the verdict must equal the exact test.
+                        let d = o.distance(i, j);
+                        assert_eq!(
+                            verdict.is_some(),
+                            d <= tau + 1e-9,
+                            "pair ({i},{j}) τ={tau} t={t}"
+                        );
+                    }
+                }
+            });
+        }
+    });
+    let s = o.stats();
+    // Every request hit the exact cache: within() + the re-check distance().
+    assert_eq!(s.distance_computations, 0);
+    assert_eq!(s.within_rejections, 0);
+    assert_eq!(s.cache_hits, (THREADS * per_thread * 2) as u64);
+}
+
+#[test]
+fn mixed_distance_within_requests_account_every_call() {
+    // Cold-cache mixed workload: each thread works a disjoint pair slice, so
+    // no two threads race on one pair and the per-request accounting is
+    // exact: every non-self request increments exactly one counter.
+    let o = oracle(14, 3);
+    let pairs = pairs(14);
+    let chunk = pairs.len().div_ceil(THREADS);
+    let issued: u64 = std::thread::scope(|s| {
+        let handles: Vec<_> = pairs
+            .chunks(chunk)
+            .map(|slice| {
+                let o = Arc::clone(&o);
+                let slice = slice.to_vec();
+                s.spawn(move || {
+                    let mut n = 0u64;
+                    for &(i, j) in &slice {
+                        if (i + j) % 2 == 0 {
+                            o.distance(i, j);
+                        } else {
+                            o.within(i, j, 2.0);
+                        }
+                        n += 1;
+                        // A self-request must stay free of charge.
+                        assert_eq!(o.distance(i, i), 0.0);
+                    }
+                    n
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    let s = o.stats();
+    assert_eq!(
+        s.distance_computations + s.within_rejections + s.cache_hits,
+        issued,
+        "counters must sum to the number of non-self requests"
+    );
+}

@@ -154,7 +154,10 @@ fn vantage_bounds_hold_on_real_ged_space() {
         let cands = vt.candidates(i, theta);
         for j in 0..60u32 {
             if oracle.within(i, j, theta).is_some() {
-                assert!(cands.contains(&j), "true neighbor {j} of {i} missing from N̂");
+                assert!(
+                    cands.contains(&j),
+                    "true neighbor {j} of {i} missing from N̂"
+                );
             }
         }
     }

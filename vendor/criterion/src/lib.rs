@@ -1,0 +1,208 @@
+//! Vendored offline stand-in for the `criterion` crate.
+//!
+//! Provides the API the workspace's `harness = false` benches use —
+//! `criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function` / `bench_with_input` / `BenchmarkId`, `sample_size`,
+//! and `Bencher::iter` — backed by a simple wall-clock loop: a short
+//! calibration pass picks an iteration count, then `sample_size` samples
+//! are timed and min/median/mean are printed per benchmark.
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level benchmark context.
+pub struct Criterion {
+    /// Target time per sample; calibration aims each sample at about this.
+    sample_target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_target: Duration::from_millis(50),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            samples: 10,
+        }
+    }
+
+    /// Registers a stand-alone benchmark (group of one).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let mut g = BenchmarkGroup {
+            criterion: self,
+            samples: 10,
+        };
+        g.bench_function(name, f);
+        self
+    }
+}
+
+/// A named group sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Times `f`, which should call [`Bencher::iter`] exactly once.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            target: self.criterion.sample_target,
+            samples: self.samples,
+            report: Vec::new(),
+        };
+        f(&mut b);
+        b.print(name);
+        self
+    }
+
+    /// Times `f` with an auxiliary input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            target: self.criterion.sample_target,
+            samples: self.samples,
+            report: Vec::new(),
+        };
+        f(&mut b, input);
+        b.print(&id.to_string());
+        self
+    }
+
+    /// Ends the group (printing is already done per-benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// Identifies one parameterized benchmark.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// An id `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Runs and times one closure.
+pub struct Bencher {
+    target: Duration,
+    samples: usize,
+    report: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Benchmarks `routine`: calibrates an iteration count, then records
+    /// `samples` timed samples of per-iteration cost.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibration: run once to estimate cost, then pick iterations so a
+        // sample takes roughly `target`.
+        let start = Instant::now();
+        std_black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std_black_box(routine());
+            }
+            self.report.push(start.elapsed() / iters as u32);
+        }
+    }
+
+    fn print(&self, name: &str) {
+        if self.report.is_empty() {
+            println!("  {name}: no samples recorded");
+            return;
+        }
+        let mut sorted = self.report.clone();
+        sorted.sort();
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+        println!(
+            "  {name}: min {min:.2?}  median {median:.2?}  mean {mean:.2?}  ({} samples)",
+            sorted.len()
+        );
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_reports() {
+        let mut c = Criterion {
+            sample_target: Duration::from_micros(200),
+        };
+        let mut g = c.benchmark_group("test");
+        g.sample_size(3);
+        let mut calls = 0u64;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("param", 4), &4u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+        assert!(calls > 3);
+    }
+}

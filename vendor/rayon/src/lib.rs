@@ -1,0 +1,341 @@
+//! Vendored offline stand-in for the `rayon` crate.
+//!
+//! Implements the indexed-parallel-map subset the workspace's parallel GED
+//! layer uses: `into_par_iter()` over ranges, `par_iter()` over slices,
+//! `.map(..).collect()/for_each(..)`, plus `ThreadPoolBuilder` /
+//! `ThreadPool::install` / `current_num_threads` for thread-count control.
+//!
+//! Execution model: `run_indexed(len, f)` spawns scoped `std::thread`
+//! workers that pull indices from a shared atomic cursor (work-stealing by
+//! index), accumulate `(index, value)` pairs, and merge them back in index
+//! order. Output ordering therefore never depends on thread interleaving —
+//! the property the workspace's determinism guarantees rest on.
+//!
+//! Unlike real rayon, the global thread count may be reconfigured at any
+//! time (`build_global` never errors on reuse); tests rely on this to
+//! compare threads=1 and threads=N runs inside one process.
+
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Global thread count; 0 means "auto" (`available_parallelism`).
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Per-thread override installed by [`ThreadPool::install`].
+    static SCOPED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of threads parallel calls on this thread will use.
+pub fn current_num_threads() -> usize {
+    let configured = SCOPED_THREADS
+        .with(Cell::get)
+        .unwrap_or_else(|| GLOBAL_THREADS.load(Ordering::Relaxed));
+    if configured == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        configured
+    }
+}
+
+/// Error type for pool construction (never produced by this shim, kept for
+/// API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool construction failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Configures thread counts.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with automatic thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests `n` threads; 0 means automatic.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Sets the process-global thread count. Reconfigurable at any time.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Builds a scoped pool handle.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A handle scoping a thread count over a region of code.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count in effect on this thread.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = SCOPED_THREADS.with(|c| c.replace(Some(self.num_threads)));
+        let result = f();
+        SCOPED_THREADS.with(|c| c.set(prev));
+        result
+    }
+
+    /// This pool's effective thread count.
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        }
+    }
+}
+
+/// Evaluates `f(0..len)` across worker threads, returning results in index
+/// order regardless of scheduling.
+fn run_indexed<T: Send, F: Fn(usize) -> T + Sync>(len: usize, f: F) -> Vec<T> {
+    let threads = current_num_threads().min(len);
+    if threads <= 1 || len <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut parts: Vec<Vec<(usize, T)>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            handles.push(scope.spawn(|| {
+                let mut local = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= len {
+                        break;
+                    }
+                    local.push((i, f(i)));
+                }
+                local
+            }));
+        }
+        for h in handles {
+            // A worker panic propagates here, matching rayon's behavior of
+            // poisoning the join.
+            parts.push(h.join().expect("parallel worker panicked"));
+        }
+    });
+    let mut slots: Vec<Option<T>> = (0..len).map(|_| None).collect();
+    for (i, v) in parts.into_iter().flatten() {
+        slots[i] = Some(v);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index is produced exactly once"))
+        .collect()
+}
+
+/// An indexed parallel pipeline: `len` items produced by `f(index)`.
+pub struct IndexedPar<F, T> {
+    len: usize,
+    f: F,
+    _t: PhantomData<fn() -> T>,
+}
+
+impl<T: Send, F: Fn(usize) -> T + Sync> IndexedPar<F, T> {
+    /// Chains a per-item transformation.
+    pub fn map<U: Send, G: Fn(T) -> U + Sync>(
+        self,
+        g: G,
+    ) -> IndexedPar<impl Fn(usize) -> U + Sync, U> {
+        let f = self.f;
+        IndexedPar {
+            len: self.len,
+            f: move |i| g(f(i)),
+            _t: PhantomData,
+        }
+    }
+
+    /// Runs the pipeline, collecting results in index order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        run_indexed(self.len, self.f).into_iter().collect()
+    }
+
+    /// Runs the pipeline for its effects.
+    pub fn for_each<G: Fn(T) + Sync>(self, g: G) {
+        let f = self.f;
+        run_indexed(self.len, move |i| g(f(i)));
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the pipeline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Starts an indexed pipeline over `0..len`, mapping each index with `f`.
+pub fn par_indexed<T: Send, F: Fn(usize) -> T + Sync>(len: usize, f: F) -> IndexedPar<F, T> {
+    IndexedPar {
+        len,
+        f,
+        _t: PhantomData,
+    }
+}
+
+/// `par_iter()` over slices.
+pub trait ParallelSlice<T: Sync> {
+    /// A pipeline yielding `&T` in index order.
+    fn par_iter<'a>(&'a self) -> IndexedPar<impl Fn(usize) -> &'a T + Sync, &'a T>
+    where
+        T: 'a;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter<'a>(&'a self) -> IndexedPar<impl Fn(usize) -> &'a T + Sync, &'a T>
+    where
+        T: 'a,
+    {
+        par_indexed(self.len(), move |i| &self[i])
+    }
+}
+
+/// `into_par_iter()` over integer ranges.
+pub trait ParallelRange {
+    /// The integer type.
+    type Item: Send;
+
+    /// A pipeline yielding the range's values in order.
+    fn into_par_iter(self) -> IndexedPar<impl Fn(usize) -> Self::Item + Sync, Self::Item>;
+}
+
+macro_rules! impl_parallel_range {
+    ($($t:ty),*) => {$(
+        impl ParallelRange for core::ops::Range<$t> {
+            type Item = $t;
+
+            fn into_par_iter(
+                self,
+            ) -> IndexedPar<impl Fn(usize) -> $t + Sync, $t> {
+                let start = self.start;
+                let len = if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                };
+                par_indexed(len, move |i| start + i as $t)
+            }
+        }
+    )*};
+}
+impl_parallel_range!(u32, u64, usize);
+
+/// The glob import mirroring `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IndexedPar, ParallelRange, ParallelSlice};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn collect_preserves_index_order() {
+        let out: Vec<usize> = (0usize..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn slice_par_iter_borrows_in_order() {
+        let data: Vec<String> = (0..100).map(|i| format!("v{i}")).collect();
+        let lens: Vec<usize> = data.par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens, data.iter().map(|s| s.len()).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let work = |threads: usize| -> Vec<u64> {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            pool.install(|| {
+                (0u64..500)
+                    .into_par_iter()
+                    .map(|i| i.wrapping_mul(0x9e3779b97f4a7c15).rotate_left(17))
+                    .collect()
+            })
+        };
+        let one = work(1);
+        for &n in &[2, 4, 8] {
+            assert_eq!(work(n), one, "results differ at {n} threads");
+        }
+    }
+
+    #[test]
+    fn install_scopes_and_restores() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let before = current_num_threads();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(current_num_threads(), before);
+    }
+
+    #[test]
+    fn build_global_is_reconfigurable() {
+        // Scoped installs shield this test from the global it sets.
+        let pool1 = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let pool2 = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+        assert_eq!(pool1.install(current_num_threads), 2);
+        assert_eq!(pool2.install(current_num_threads), 5);
+        assert!(ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build_global()
+            .is_ok());
+        assert!(ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .is_ok());
+    }
+
+    #[test]
+    fn for_each_visits_every_index() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let sum = AtomicU64::new(0);
+        (0u64..100).into_par_iter().for_each(|i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    }
+
+    #[test]
+    fn empty_and_single_domains() {
+        let empty: Vec<u32> = (5u32..5).into_par_iter().collect();
+        assert!(empty.is_empty());
+        let one: Vec<u32> = (7u32..8).into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![8]);
+    }
+}

@@ -1,0 +1,407 @@
+//! Vendored offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the shim `serde::Serialize` / `serde::Deserialize`
+//! traits (the `Value`-tree model) without syn or quote: the input item is
+//! walked as raw `proc_macro` token trees and the impl is emitted as a
+//! string, then re-parsed into a `TokenStream`.
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//! * structs with named fields (any visibility, no generics);
+//! * enums with unit and tuple variants;
+//! * field attributes `#[serde(skip)]` and `#[serde(with = "module")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+/// Derives the shim `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Serialize)
+}
+
+/// Derives the shim `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Which {
+    Serialize,
+    Deserialize,
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+    with: Option<String>,
+}
+
+struct Variant {
+    name: String,
+    arity: usize,
+}
+
+enum Shape {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+fn expand(input: TokenStream, which: Which) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let code = match (&shape, which) {
+        (Shape::Struct(fields), Which::Serialize) => gen_struct_ser(&name, fields),
+        (Shape::Struct(fields), Which::Deserialize) => gen_struct_de(&name, fields),
+        (Shape::Enum(variants), Which::Serialize) => gen_enum_ser(&name, variants),
+        (Shape::Enum(variants), Which::Deserialize) => gen_enum_de(&name, variants),
+    };
+    code.parse()
+        .unwrap_or_else(|e| panic!("serde_derive generated invalid code for {name}: {e}"))
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> (String, Shape) {
+    let mut toks = input.into_iter().peekable();
+    // Item-level attributes and visibility.
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    // No generic types are derived in this workspace; scan to the brace body.
+    let body = loop {
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                panic!("serde_derive: tuple/unit struct `{name}` is not supported")
+            }
+            Some(_) => continue,
+            None => panic!("serde_derive: no body found for `{name}`"),
+        }
+    };
+    let shape = match kind.as_str() {
+        "struct" => Shape::Struct(parse_fields(body.stream())),
+        "enum" => Shape::Enum(parse_variants(body.stream())),
+        other => panic!("serde_derive: cannot derive on `{other}` items"),
+    };
+    (name, shape)
+}
+
+/// Parses serde field/variant attributes out of one `#[...]` group body.
+fn parse_serde_attr(group: TokenStream, skip: &mut bool, with: &mut Option<String>) {
+    let mut toks = group.into_iter();
+    match toks.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return, // doc comment or unrelated attribute
+    }
+    let Some(TokenTree::Group(args)) = toks.next() else {
+        return;
+    };
+    let mut inner = args.stream().into_iter();
+    while let Some(tok) = inner.next() {
+        if let TokenTree::Ident(i) = &tok {
+            match i.to_string().as_str() {
+                "skip" => *skip = true,
+                "with" => {
+                    // `with = "module::path"`
+                    inner.next(); // `=`
+                    if let Some(TokenTree::Literal(lit)) = inner.next() {
+                        let raw = lit.to_string();
+                        *with = Some(raw.trim_matches('"').to_string());
+                    }
+                }
+                other => panic!("serde_derive: unsupported attribute `{other}`"),
+            }
+        }
+    }
+}
+
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        let mut skip = false;
+        let mut with = None;
+        // Attributes.
+        while let Some(TokenTree::Punct(p)) = toks.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            toks.next();
+            if let Some(TokenTree::Group(g)) = toks.next() {
+                parse_serde_attr(g.stream(), &mut skip, &mut with);
+            }
+        }
+        // Visibility.
+        if let Some(TokenTree::Ident(i)) = toks.peek() {
+            if i.to_string() == "pub" {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next();
+                    }
+                }
+            }
+        }
+        let Some(TokenTree::Ident(name)) = toks.next() else {
+            break; // trailing comma or end of body
+        };
+        fields.push(Field {
+            name: name.to_string(),
+            skip,
+            with,
+        });
+        toks.next(); // `:`
+                     // Skip the type: everything up to a comma outside angle brackets.
+        let mut angle = 0i32;
+        for tok in toks.by_ref() {
+            if let TokenTree::Punct(p) = &tok {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        // Attributes (doc comments).
+        while let Some(TokenTree::Punct(p)) = toks.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            toks.next();
+            toks.next();
+        }
+        let Some(TokenTree::Ident(name)) = toks.next() else {
+            break;
+        };
+        let mut arity = 0usize;
+        if let Some(TokenTree::Group(g)) = toks.peek() {
+            if g.delimiter() == Delimiter::Parenthesis {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if !inner.is_empty() {
+                    let mut angle = 0i32;
+                    arity = 1;
+                    for tok in &inner {
+                        if let TokenTree::Punct(p) = tok {
+                            match p.as_char() {
+                                '<' => angle += 1,
+                                '>' => angle -= 1,
+                                ',' if angle == 0 => arity += 1,
+                                _ => {}
+                            }
+                        }
+                    }
+                    // A trailing comma inside the parens is not a new field.
+                    if matches!(inner.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                        arity -= 1;
+                    }
+                }
+                toks.next();
+            } else {
+                panic!("serde_derive: struct-like enum variant `{name}` is not supported");
+            }
+        }
+        // Skip to the comma separating variants.
+        for tok in toks.by_ref() {
+            if let TokenTree::Punct(p) = &tok {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+        variants.push(Variant {
+            name: name.to_string(),
+            arity,
+        });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_struct_ser(name: &str, fields: &[Field]) -> String {
+    let mut body = String::new();
+    for f in fields.iter().filter(|f| !f.skip) {
+        let expr = match &f.with {
+            Some(path) => format!("{path}::serialize(&self.{})", f.name),
+            None => format!("serde::Serialize::to_value(&self.{})", f.name),
+        };
+        let _ = writeln!(
+            body,
+            "        __fields.push((\"{}\".to_string(), {expr}));",
+            f.name
+        );
+    }
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         \x20   fn to_value(&self) -> serde::Value {{\n\
+         \x20       let mut __fields: Vec<(String, serde::Value)> = Vec::new();\n\
+         {body}\
+         \x20       serde::Value::Obj(__fields)\n\
+         \x20   }}\n\
+         }}\n"
+    )
+}
+
+fn gen_struct_de(name: &str, fields: &[Field]) -> String {
+    let mut body = String::new();
+    for f in fields {
+        let expr = if f.skip {
+            "::core::default::Default::default()".to_string()
+        } else {
+            match &f.with {
+                Some(path) => format!(
+                    "{path}::deserialize(serde::field(__obj, \"{}\", \"{name}\")?)?",
+                    f.name
+                ),
+                None => format!(
+                    "serde::Deserialize::from_value(serde::field(__obj, \"{}\", \"{name}\")?)?",
+                    f.name
+                ),
+            }
+        };
+        let _ = writeln!(body, "            {}: {expr},", f.name);
+    }
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+         \x20   fn from_value(__v: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+         \x20       let __obj = __v.as_obj()\n\
+         \x20           .ok_or_else(|| serde::DeError::expected(\"object\", \"{name}\"))?;\n\
+         \x20       Ok({name} {{\n\
+         {body}\
+         \x20       }})\n\
+         \x20   }}\n\
+         }}\n"
+    )
+}
+
+fn gen_enum_ser(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        if v.arity == 0 {
+            let _ = writeln!(
+                arms,
+                "            {name}::{v} => serde::Value::Str(\"{v}\".to_string()),",
+                v = v.name
+            );
+        } else {
+            let binds: Vec<String> = (0..v.arity).map(|i| format!("__f{i}")).collect();
+            let inner = if v.arity == 1 {
+                "serde::Serialize::to_value(__f0)".to_string()
+            } else {
+                let elems: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("serde::Serialize::to_value({b})"))
+                    .collect();
+                format!("serde::Value::Arr(vec![{}])", elems.join(", "))
+            };
+            let _ = writeln!(
+                arms,
+                "            {name}::{v}({binds}) => serde::Value::Obj(vec![(\"{v}\".to_string(), {inner})]),",
+                v = v.name,
+                binds = binds.join(", ")
+            );
+        }
+    }
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         \x20   fn to_value(&self) -> serde::Value {{\n\
+         \x20       match self {{\n\
+         {arms}\
+         \x20       }}\n\
+         \x20   }}\n\
+         }}\n"
+    )
+}
+
+fn gen_enum_de(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for v in variants {
+        if v.arity == 0 {
+            let _ = writeln!(
+                unit_arms,
+                "                \"{v}\" => return Ok({name}::{v}),",
+                v = v.name
+            );
+        } else if v.arity == 1 {
+            let _ = writeln!(
+                tagged_arms,
+                "                \"{v}\" => Ok({name}::{v}(serde::Deserialize::from_value(__inner)?)),",
+                v = v.name
+            );
+        } else {
+            let elems: Vec<String> = (0..v.arity)
+                .map(|i| format!("serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            let _ = writeln!(
+                tagged_arms,
+                "                \"{v}\" => {{\n\
+                 \x20                   let __items = __inner.as_arr()\n\
+                 \x20                       .ok_or_else(|| serde::DeError::expected(\"array\", \"{name}::{v}\"))?;\n\
+                 \x20                   if __items.len() != {arity} {{\n\
+                 \x20                       return Err(serde::DeError::expected(\"{arity} elements\", \"{name}::{v}\"));\n\
+                 \x20                   }}\n\
+                 \x20                   Ok({name}::{v}({elems}))\n\
+                 \x20               }}",
+                v = v.name,
+                arity = v.arity,
+                elems = elems.join(", ")
+            );
+        }
+    }
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+         \x20   fn from_value(__v: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+         \x20       if let Some(__s) = __v.as_str() {{\n\
+         \x20           match __s {{\n\
+         {unit_arms}\
+         \x20               __other => return Err(serde::DeError(format!(\n\
+         \x20                   \"unknown variant `{{__other}}` of {name}\"))),\n\
+         \x20           }}\n\
+         \x20       }}\n\
+         \x20       let __obj = __v.as_obj()\n\
+         \x20           .ok_or_else(|| serde::DeError::expected(\"object\", \"{name}\"))?;\n\
+         \x20       if __obj.len() != 1 {{\n\
+         \x20           return Err(serde::DeError::expected(\"single-key object\", \"{name}\"));\n\
+         \x20       }}\n\
+         \x20       let (__tag, __inner) = &__obj[0];\n\
+         \x20       match __tag.as_str() {{\n\
+         {tagged_arms}\
+         \x20           __other => Err(serde::DeError(format!(\n\
+         \x20               \"unknown variant `{{__other}}` of {name}\"))),\n\
+         \x20       }}\n\
+         \x20   }}\n\
+         }}\n"
+    )
+}
