@@ -8,7 +8,8 @@
 //! The caches are sharded 64 ways by pair key so concurrent distance
 //! evaluation (the rayon-parallel index build and verification phases)
 //! doesn't serialize on a global lock. Exact distances live in per-pair
-//! [`OnceLock`] cells: when many threads race on the same uncached pair,
+//! [`OnceLock`] cells, and `within` misses rendezvous on per-`(pair, τ)`
+//! verdict cells: when many threads race on the same uncached request,
 //! exactly one runs the NP-hard engine computation and the rest block on the
 //! cell, so engine-call accounting stays exact under any interleaving —
 //! every non-self request increments exactly one of
@@ -50,6 +51,10 @@ fn shard_of(key: u64) -> usize {
     (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 58) as usize
 }
 
+/// A shared `within` verdict: `Some(d)` accepts with the exact distance,
+/// `None` rejects (`d > τ`).
+type WithinCell = Arc<OnceLock<Option<f64>>>;
+
 /// One cache shard: exact distances plus known strict lower bounds.
 #[derive(Default)]
 struct Shard {
@@ -58,6 +63,10 @@ struct Shard {
     exact: RwLock<HashMap<u64, Arc<OnceLock<f64>>>>,
     /// Known strict lower bounds: `d(i, j) > lower[key]`.
     lower: RwLock<HashMap<u64, f64>>,
+    /// `within` verdicts keyed by `(pair, τ bits)`. Threads racing the same
+    /// uncached threshold test rendezvous here so only one runs the engine;
+    /// `Some(d)` means `d(i, j) = d ≤ τ`, `None` means `d(i, j) > τ`.
+    within: RwLock<HashMap<(u64, u64), WithinCell>>,
 }
 
 impl Shard {
@@ -75,6 +84,15 @@ impl Shard {
             .read()
             .get(&key)
             .and_then(|cell| cell.get().copied())
+    }
+
+    /// The `(pair, τ)` within-verdict cell, creating an empty one if absent.
+    fn within_cell(&self, key: u64, tau: f64) -> WithinCell {
+        let k = (key, tau.to_bits());
+        if let Some(cell) = self.within.read().get(&k) {
+            return Arc::clone(cell);
+        }
+        Arc::clone(self.within.write().entry(k).or_default())
     }
 }
 
@@ -169,6 +187,10 @@ impl DistanceOracle {
 
     /// Returns `Some(d)` iff `d(i, j) = d ≤ tau`, consulting the caches
     /// before the engine.
+    ///
+    /// Concurrent calls on the same uncached `(pair, tau)` run the engine
+    /// exactly once: the winner counts a computation or rejection, everyone
+    /// else blocks on the verdict cell and counts a cache hit.
     pub fn within(&self, i: GraphId, j: GraphId, tau: f64) -> Option<f64> {
         if i == j {
             return Some(0.0);
@@ -186,27 +208,44 @@ impl DistanceOracle {
                 return None;
             }
         }
-        match self
-            .engine
-            .distance_within(&self.graphs[i as usize], &self.graphs[j as usize], tau)
-        {
-            Some(d) => {
-                self.computations.fetch_add(1, Ordering::Relaxed);
-                // A concurrent `distance` may have filled the cell with the
-                // same exact value already; the failed set is harmless.
-                let _ = shard.cell(k).set(d);
-                Some(d)
+        let cell = shard.within_cell(k, tau);
+        let mut ran_engine = false;
+        let verdict = *cell.get_or_init(|| {
+            // A concurrent `distance` may have resolved the pair between the
+            // cache probe above and winning this cell; re-check before
+            // paying for the engine.
+            if let Some(d) = shard.exact_get(k) {
+                return (d <= tau + 1e-9).then_some(d);
             }
-            None => {
-                self.rejections.fetch_add(1, Ordering::Relaxed);
-                let mut lw = shard.lower.write();
-                let e = lw.entry(k).or_insert(tau);
-                if *e < tau {
-                    *e = tau;
+            ran_engine = true;
+            match self.engine.distance_within(
+                &self.graphs[i as usize],
+                &self.graphs[j as usize],
+                tau,
+            ) {
+                Some(d) => {
+                    self.computations.fetch_add(1, Ordering::Relaxed);
+                    // A concurrent `distance` may have filled the cell with
+                    // the same exact value already; the failed set is
+                    // harmless.
+                    let _ = shard.cell(k).set(d);
+                    Some(d)
                 }
-                None
+                None => {
+                    self.rejections.fetch_add(1, Ordering::Relaxed);
+                    let mut lw = shard.lower.write();
+                    let e = lw.entry(k).or_insert(tau);
+                    if *e < tau {
+                        *e = tau;
+                    }
+                    None
+                }
             }
+        });
+        if !ran_engine {
+            self.hits.fetch_add(1, Ordering::Relaxed);
         }
+        verdict
     }
 
     /// Usage statistics.
@@ -235,6 +274,7 @@ impl DistanceOracle {
         for shard in &self.shards {
             shard.exact.write().clear();
             shard.lower.write().clear();
+            shard.within.write().clear();
         }
         self.reset_stats();
     }

@@ -1,6 +1,7 @@
 //! Concurrency stress tests for the sharded [`DistanceOracle`] cache: many
 //! threads hammering overlapping pairs must agree on every distance, run the
-//! engine exactly once per unique `distance()` pair, and keep the
+//! engine exactly once per unique `distance()` pair and once per unique
+//! uncached `within()` `(pair, τ)` request, and keep the
 //! [`OracleStats`] counters exact — every non-self request increments
 //! exactly one of computations / rejections / hits.
 
@@ -23,6 +24,10 @@ fn oracle(n: usize, seed: u64) -> Arc<DistanceOracle> {
         GedEngine::new(GedConfig::default()),
     ))
 }
+
+/// One thread's observations: the pair queried and the verdict's bit
+/// pattern (`None` = rejected).
+type Observations = Vec<((u32, u32), Option<u64>)>;
 
 /// All unordered non-self pairs over `n` graphs.
 fn pairs(n: u32) -> Vec<(u32, u32)> {
@@ -94,6 +99,97 @@ fn concurrent_distance_computes_each_pair_exactly_once() {
     assert_eq!(s.within_rejections, 0);
     assert_eq!(s.cache_hits, total_requests - pairs.len() as u64);
     assert_eq!(o.engine_calls(), pairs.len() as u64);
+}
+
+#[test]
+fn concurrent_within_cold_pairs_run_engine_once() {
+    // The racy path: every thread hammers within() on the SAME uncached
+    // pairs at the same τ, in different orders. The per-(pair, τ) rendezvous
+    // must let exactly one racer run the engine per pair — at quiescence the
+    // engine-call counters equal the number of unique pairs, independent of
+    // thread count, and every other request is a cache hit.
+    // Larger graphs than the other tests and a τ above the cheap
+    // label-count lower bound: each engine call must reach the expensive
+    // search, so it is slow enough (≫ thread wake-up skew) that
+    // barrier-released threads really overlap on uncached pairs instead of
+    // trailing a warm cache. Several fresh-oracle repetitions amplify the
+    // chance of catching a lost race.
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    let tau = 8.0;
+    let rounds = 2;
+    let pairs = pairs(10);
+    for seed in [7, 8, 9] {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let graphs: Vec<Graph> = (0..10)
+            .map(|_| random_connected(&mut rng, 9, 4, &[0, 1, 2], &[3, 4]))
+            .collect();
+        let o = Arc::new(DistanceOracle::new(
+            Arc::new(graphs),
+            GedEngine::new(GedConfig::default()),
+        ));
+        // All threads release from a barrier and walk the pairs in the SAME
+        // order (half forward, half reverse), so every uncached pair is
+        // reached by several threads at once — without the rendezvous each
+        // racer would run the engine and the equality assertions below fail.
+        let barrier = Arc::new(std::sync::Barrier::new(THREADS));
+        let verdicts: Vec<Observations> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|t| {
+                    let o = Arc::clone(&o);
+                    let pairs = pairs.clone();
+                    let barrier = Arc::clone(&barrier);
+                    s.spawn(move || {
+                        let mut seen = Vec::new();
+                        for r in 0..rounds {
+                            let mut order = pairs.clone();
+                            if (t + r) % 2 == 1 {
+                                order.reverse();
+                            }
+                            barrier.wait();
+                            for &(i, j) in &order {
+                                let v = if t % 2 == 0 {
+                                    o.within(i, j, tau)
+                                } else {
+                                    o.within(j, i, tau)
+                                };
+                                seen.push(((i, j), v.map(f64::to_bits)));
+                            }
+                        }
+                        seen
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Every thread observed the same verdict for every pair.
+        let mut reference: Vec<Option<Option<u64>>> = vec![None; pairs.len()];
+        for obs in &verdicts {
+            for &((i, j), v) in obs {
+                let idx = pairs.iter().position(|&p| p == (i, j)).unwrap();
+                match reference[idx] {
+                    None => reference[idx] = Some(v),
+                    Some(r) => assert_eq!(v, r, "seed {seed} pair ({i},{j}) disagreed"),
+                }
+            }
+        }
+
+        let s = o.stats();
+        let total_requests = (THREADS * rounds * pairs.len()) as u64;
+        // Exactly one engine call per unique pair — accepted pairs count a
+        // computation, rejected pairs a rejection — and nothing
+        // double-counted.
+        assert_eq!(
+            s.distance_computations + s.within_rejections,
+            pairs.len() as u64,
+            "seed {seed}: engine calls must equal unique pairs \
+             (computations {} + rejections {})",
+            s.distance_computations,
+            s.within_rejections
+        );
+        assert_eq!(s.cache_hits, total_requests - pairs.len() as u64);
+        assert_eq!(o.engine_calls(), pairs.len() as u64);
+    }
 }
 
 #[test]

@@ -13,7 +13,12 @@
 //!
 //! Unlike real rayon, the global thread count may be reconfigured at any
 //! time (`build_global` never errors on reuse); tests rely on this to
-//! compare threads=1 and threads=N runs inside one process.
+//! compare threads=1 and threads=N runs inside one process. Workers are
+//! scoped `std::thread`s spawned per call rather than a persistent pool —
+//! acceptable here because every parallel region in the workspace wraps an
+//! NP-hard GED batch that dwarfs thread spawn cost. Workers inherit the
+//! caller's scoped thread-count override, so nested parallel calls respect
+//! `ThreadPool::install` (e.g. threads=1 pinning) like real rayon would.
 
 use std::cell::Cell;
 use std::marker::PhantomData;
@@ -120,12 +125,19 @@ fn run_indexed<T: Send, F: Fn(usize) -> T + Sync>(len: usize, f: F) -> Vec<T> {
     if threads <= 1 || len <= 1 {
         return (0..len).map(f).collect();
     }
+    // Workers inherit the caller's scoped thread-count override so a nested
+    // parallel call inside `f` respects the same `ThreadPool::install` /
+    // global configuration as the calling thread (real rayon runs nested
+    // work on the same pool). Workers are fresh scoped threads, so there is
+    // nothing to restore.
+    let scoped = SCOPED_THREADS.with(Cell::get);
     let cursor = AtomicUsize::new(0);
     let mut parts: Vec<Vec<(usize, T)>> = Vec::new();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for _ in 0..threads {
             handles.push(scope.spawn(|| {
+                SCOPED_THREADS.with(|c| c.set(scoped));
                 let mut local = Vec::new();
                 loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -319,6 +331,38 @@ mod tests {
             .num_threads(0)
             .build_global()
             .is_ok());
+    }
+
+    #[test]
+    fn workers_inherit_scoped_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let counts: Vec<usize> = pool.install(|| {
+            (0usize..64)
+                .into_par_iter()
+                .map(|_| current_num_threads())
+                .collect()
+        });
+        assert!(
+            counts.iter().all(|&c| c == 4),
+            "workers saw thread counts {counts:?}, expected all 4"
+        );
+        // A nested parallel call inside a worker also respects the install.
+        let pinned = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let nested: Vec<Vec<usize>> = pinned.install(|| {
+            (0usize..8)
+                .into_par_iter()
+                .map(|_| {
+                    (0usize..8)
+                        .into_par_iter()
+                        .map(|_| current_num_threads())
+                        .collect()
+                })
+                .collect()
+        });
+        assert!(
+            nested.iter().flatten().all(|&c| c == 2),
+            "nested workers saw {nested:?}, expected all 2"
+        );
     }
 
     #[test]
