@@ -109,6 +109,7 @@ impl Closure {
     }
 }
 
+#[derive(Debug)]
 struct Node {
     closure: Closure,
     children: Vec<u32>,
@@ -116,6 +117,7 @@ struct Node {
 }
 
 /// The closure tree.
+#[derive(Debug)]
 pub struct CTree {
     nodes: Vec<Node>,
     len: usize,

@@ -8,6 +8,7 @@ use graphrep_metric::DistanceMatrix;
 use std::time::{Duration, Instant};
 
 /// A fully materialized pairwise distance matrix.
+#[derive(Debug)]
 pub struct MatrixIndex {
     matrix: DistanceMatrix,
     /// Wall time spent computing all pairs.

@@ -13,6 +13,7 @@ use graphrep_graph::GraphId;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
+#[derive(Debug)]
 struct Node {
     routing: GraphId,
     radius: f64,
@@ -22,6 +23,7 @@ struct Node {
 }
 
 /// Bulk-loaded metric tree over all graphs of an oracle.
+#[derive(Debug)]
 pub struct MTree {
     nodes: Vec<Node>,
     len: usize,

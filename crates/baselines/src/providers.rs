@@ -21,6 +21,7 @@ pub fn relevant_mask(n: usize, relevant: &[GraphId]) -> Bitset {
 }
 
 /// θ-neighborhoods via M-tree range queries.
+#[derive(Debug)]
 pub struct MTreeProvider<'a> {
     /// The index.
     pub tree: &'a MTree,
@@ -37,6 +38,7 @@ impl NeighborhoodProvider for MTreeProvider<'_> {
 }
 
 /// θ-neighborhoods via C-tree range queries.
+#[derive(Debug)]
 pub struct CTreeProvider<'a> {
     /// The index.
     pub tree: &'a CTree,
@@ -53,6 +55,7 @@ impl NeighborhoodProvider for CTreeProvider<'_> {
 }
 
 /// θ-neighborhoods via the precomputed matrix.
+#[derive(Debug)]
 pub struct MatrixProvider<'a> {
     /// The index.
     pub matrix: &'a MatrixIndex,

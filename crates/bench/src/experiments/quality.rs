@@ -117,17 +117,17 @@ pub fn fig7(ctx: &Ctx) {
     let provider = BruteForceProvider::new(&oracle, &relevant);
     let avg_pairwise = |ids: &[u32]| {
         let mut tot = 0.0;
-        let mut cnt = 0.0;
+        let mut cnt = 0usize;
         for (i, &a) in ids.iter().enumerate() {
             for &b in &ids[i + 1..] {
                 tot += oracle.distance(a, b);
-                cnt += 1.0;
+                cnt += 1;
             }
         }
-        if cnt == 0.0 {
+        if cnt == 0 {
             0.0
         } else {
-            tot / cnt
+            tot / cnt as f64
         }
     };
     let fams = |ids: &[u32]| {

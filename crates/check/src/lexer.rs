@@ -1,0 +1,502 @@
+//! A small handwritten Rust lexer — just enough syntax awareness for the
+//! `graphrep-check` lint rules.
+//!
+//! The lexer produces a flat token stream (identifiers, numbers, strings,
+//! chars, lifetimes, single-character punctuation) plus a separate list of
+//! comments with line spans and doc-comment classification. It understands
+//! the token-level constructs that would otherwise produce false positives:
+//! nested block comments, raw strings (`r#"…"#`), byte strings, raw
+//! identifiers (`r#type`), char literals vs. lifetimes, and float literals
+//! (including exponents and `f32`/`f64` suffixes).
+//!
+//! It deliberately does **not** parse: the rules in [`crate::rules`] work on
+//! token patterns, which is robust against formatting and cheap to maintain.
+
+/// Kinds of tokens the rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`pub`, `fn`, `unwrap`, …).
+    Ident,
+    /// Integer literal (`42`, `0xff`, `1_000u64`).
+    Int,
+    /// Float literal (`0.0`, `1e-6`, `2f64`).
+    Float,
+    /// String literal of any flavor (regular, raw, byte).
+    Str,
+    /// Character literal (`'a'`, `'\n'`).
+    Char,
+    /// Lifetime (`'a` in `&'a T`).
+    Lifetime,
+    /// Single punctuation character (`.`, `=`, `!`, `(`, …).
+    Punct(char),
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// The token text (empty for strings, whose content is irrelevant here).
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: usize,
+}
+
+/// One comment (line or block) with its line span.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// 1-based line the comment ends on (same as `line` for `//` comments).
+    pub end_line: usize,
+    /// Whether this is a doc comment (`///`, `//!`, `/** */`, `/*! */`).
+    pub doc: bool,
+    /// Raw comment text, including the comment markers.
+    pub text: String,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The significant tokens, in source order.
+    pub tokens: Vec<Token>,
+    /// All comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src` into tokens and comments. Unknown bytes are skipped; the
+/// lexer never fails (a lint driver must degrade gracefully on odd input).
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let n = b.len();
+
+    let is_ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comments, including doc comments.
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i;
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+            let text: String = b[start..i].iter().collect();
+            let doc =
+                (text.starts_with("///") && !text.starts_with("////")) || text.starts_with("//!");
+            out.comments.push(Comment {
+                line,
+                end_line: line,
+                doc,
+                text,
+            });
+            continue;
+        }
+        // Block comments (nested, possibly doc).
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if b[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            let text: String = b[start..i.min(n)].iter().collect();
+            let doc =
+                (text.starts_with("/**") && !text.starts_with("/***")) || text.starts_with("/*!");
+            out.comments.push(Comment {
+                line: start_line,
+                end_line: line,
+                doc,
+                text,
+            });
+            continue;
+        }
+        // Raw identifiers and raw/byte strings: r#ident, r"…", r#"…"#, b"…",
+        // br#"…"#. A prefix only counts when the quote/hash actually follows;
+        // otherwise `relevant`/`break` lex as plain identifiers below.
+        if c == 'r' || c == 'b' {
+            // Position just past the r/b/br prefix, if this is a special form.
+            let mut j = i + 1;
+            if c == 'b' && j < n && b[j] == 'r' {
+                j += 1;
+            }
+            let raw = c == 'r' || (c == 'b' && j == i + 2);
+            let mut hashes = 0;
+            let mut k = j;
+            if raw {
+                while k < n && b[k] == '#' {
+                    hashes += 1;
+                    k += 1;
+                }
+            }
+            if raw && hashes > 0 && k < n && is_ident_start(b[k]) && c == 'r' && hashes == 1 {
+                // Raw identifier r#type.
+                let start = k;
+                let mut e = k;
+                while e < n && is_ident(b[e]) {
+                    e += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: b[start..e].iter().collect(),
+                    line,
+                });
+                i = e;
+                continue;
+            }
+            if k < n && b[k] == '"' && (raw || c == 'b') {
+                let tok_line = line;
+                let mut e = k + 1;
+                if hashes > 0 || raw {
+                    // Raw (byte) string: scan for `"` followed by `hashes` #s.
+                    loop {
+                        if e >= n {
+                            break;
+                        }
+                        if b[e] == '\n' {
+                            line += 1;
+                            e += 1;
+                            continue;
+                        }
+                        if b[e] == '"' {
+                            let mut h = 0;
+                            while h < hashes && e + 1 + h < n && b[e + 1 + h] == '#' {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                e += 1 + hashes;
+                                break;
+                            }
+                        }
+                        e += 1;
+                    }
+                } else {
+                    // b"…" byte string with escapes.
+                    while e < n {
+                        if b[e] == '\\' {
+                            e += 2;
+                            continue;
+                        }
+                        if b[e] == '\n' {
+                            line += 1;
+                        }
+                        if b[e] == '"' {
+                            e += 1;
+                            break;
+                        }
+                        e += 1;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text: String::new(),
+                    line: tok_line,
+                });
+                i = e;
+                continue;
+            }
+            // Fall through: plain identifier starting with r/b.
+        }
+        // String literals.
+        if c == '"' {
+            let tok_line = line;
+            i += 1;
+            while i < n {
+                if b[i] == '\\' {
+                    i += 2;
+                    continue;
+                }
+                if b[i] == '\n' {
+                    line += 1;
+                }
+                if b[i] == '"' {
+                    i += 1;
+                    break;
+                }
+                i += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Str,
+                text: String::new(),
+                line: tok_line,
+            });
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            if i + 1 < n && (is_ident_start(b[i + 1])) && b[i + 1] != '\\' {
+                // Could be 'a' (char) or 'a (lifetime): a char literal has a
+                // closing quote right after one ident char.
+                if i + 2 < n && b[i + 2] == '\'' {
+                    out.tokens.push(Token {
+                        kind: TokenKind::Char,
+                        text: String::new(),
+                        line,
+                    });
+                    i += 3;
+                    continue;
+                }
+                let start = i + 1;
+                let mut j = i + 1;
+                while j < n && is_ident(b[j]) {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Lifetime,
+                    text: b[start..j].iter().collect(),
+                    line,
+                });
+                i = j;
+                continue;
+            }
+            // Escaped or non-ident char literal: '\n', '\'', '{', …
+            let tok_line = line;
+            let mut j = i + 1;
+            if j < n && b[j] == '\\' {
+                j += 2;
+                // \u{…}
+                while j < n && b[j] != '\'' {
+                    j += 1;
+                }
+            } else if j < n {
+                j += 1;
+            }
+            if j < n && b[j] == '\'' {
+                j += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Char,
+                text: String::new(),
+                line: tok_line,
+            });
+            i = j;
+            continue;
+        }
+        // Identifiers and keywords.
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident(b[i]) {
+                i += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Numbers, including float detection.
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut float = false;
+            i += 1;
+            if c == '0' && i < n && (b[i] == 'x' || b[i] == 'o' || b[i] == 'b') {
+                // Radix literal: never a float.
+                i += 1;
+                while i < n && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+            } else {
+                while i < n && (b[i].is_ascii_digit() || b[i] == '_') {
+                    i += 1;
+                }
+                // Fractional part: `1.5`, or trailing `1.` (but not `1..2`
+                // ranges or `1.method()` calls).
+                if i < n && b[i] == '.' {
+                    let after = b.get(i + 1).copied();
+                    match after {
+                        Some(d) if d.is_ascii_digit() => {
+                            float = true;
+                            i += 1;
+                            while i < n && (b[i].is_ascii_digit() || b[i] == '_') {
+                                i += 1;
+                            }
+                        }
+                        Some('.') => {}
+                        Some(a) if is_ident_start(a) => {}
+                        _ => {
+                            float = true;
+                            i += 1;
+                        }
+                    }
+                }
+                // Exponent.
+                if i < n && (b[i] == 'e' || b[i] == 'E') {
+                    let mut j = i + 1;
+                    if j < n && (b[j] == '+' || b[j] == '-') {
+                        j += 1;
+                    }
+                    if j < n && b[j].is_ascii_digit() {
+                        float = true;
+                        i = j;
+                        while i < n && (b[i].is_ascii_digit() || b[i] == '_') {
+                            i += 1;
+                        }
+                    }
+                }
+                // Type suffix: `1f64` is a float, `1u32` is not.
+                if i < n && is_ident_start(b[i]) {
+                    let sstart = i;
+                    while i < n && is_ident(b[i]) {
+                        i += 1;
+                    }
+                    let suffix: String = b[sstart..i].iter().collect();
+                    if suffix == "f32" || suffix == "f64" {
+                        float = true;
+                    }
+                }
+            }
+            out.tokens.push(Token {
+                kind: if float {
+                    TokenKind::Float
+                } else {
+                    TokenKind::Int
+                },
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Everything else: single punctuation character.
+        out.tokens.push(Token {
+            kind: TokenKind::Punct(c),
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).tokens.into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        let l = lex("foo.unwrap()");
+        let texts: Vec<&str> = l.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["foo", ".", "unwrap", "(", ")"]);
+    }
+
+    #[test]
+    fn float_vs_int() {
+        assert_eq!(kinds("1"), vec![TokenKind::Int]);
+        assert_eq!(kinds("1.5"), vec![TokenKind::Float]);
+        assert_eq!(kinds("1e-6"), vec![TokenKind::Float]);
+        assert_eq!(kinds("2f64"), vec![TokenKind::Float]);
+        assert_eq!(kinds("3u32"), vec![TokenKind::Int]);
+        assert_eq!(kinds("0xff"), vec![TokenKind::Int]);
+        // Ranges and method calls on ints are not floats.
+        assert_eq!(
+            kinds("1..2"),
+            vec![
+                TokenKind::Int,
+                TokenKind::Punct('.'),
+                TokenKind::Punct('.'),
+                TokenKind::Int
+            ]
+        );
+        assert_eq!(
+            kinds("x.0"),
+            vec![TokenKind::Ident, TokenKind::Punct('.'), TokenKind::Int]
+        );
+    }
+
+    #[test]
+    fn comments_classified() {
+        let l = lex("/// doc\n// plain\n//! inner\n/* block */\n/** docblock */");
+        let docs: Vec<bool> = l.comments.iter().map(|c| c.doc).collect();
+        assert_eq!(docs, vec![true, false, true, false, true]);
+    }
+
+    #[test]
+    fn strings_and_chars_opaque() {
+        // `unwrap` inside a string must not produce an Ident token.
+        let l = lex("let s = \".unwrap() panic!\"; let c = '\\n'; let r = r#\"panic!\"#;");
+        assert!(l
+            .tokens
+            .iter()
+            .all(|t| t.text != "unwrap" && t.text != "panic"));
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokenKind::Str).count(),
+            2
+        );
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Char)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; }");
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Char)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let l = lex("a\nb\n\nc");
+        let lines: Vec<usize> = l.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let l = lex("/* outer /* inner */ still */ ident");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(l.tokens.len(), 1);
+        assert_eq!(l.tokens[0].text, "ident");
+    }
+
+    #[test]
+    fn raw_ident() {
+        let l = lex("r#type");
+        assert_eq!(l.tokens[0].text, "type");
+        assert_eq!(l.tokens[0].kind, TokenKind::Ident);
+    }
+}

@@ -1,0 +1,94 @@
+//! CLI entry point: `cargo run -p graphrep-check --release -- lint|audit|all`.
+
+#![deny(unsafe_code)]
+
+use graphrep_check::{lint_workspace, workspace_root};
+use std::process::{Command, ExitCode};
+
+const USAGE: &str = "usage: graphrep-check <lint|audit|all> [--json]
+
+  lint    run the G001-G005 lint rules over all workspace sources
+  audit   run the invariant-audit test suite (cargo test --features invariant-audit)
+  all     lint, then audit
+  --json  (lint) emit the machine-readable JSON report instead of text
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let cmd = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str);
+    match cmd {
+        Some("lint") => run_lint(json),
+        Some("audit") => run_audit(),
+        Some("all") => {
+            let lint = run_lint(json);
+            let audit = run_audit();
+            if lint == ExitCode::SUCCESS && audit == ExitCode::SUCCESS {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        _ => {
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_lint(json: bool) -> ExitCode {
+    let root = workspace_root();
+    match lint_workspace(&root) {
+        Ok(report) => {
+            if json {
+                print!("{}", report.to_json());
+            } else {
+                print!("{}", report.to_text());
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("lint failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_audit() -> ExitCode {
+    let root = workspace_root();
+    eprintln!("running invariant-audit suite (cargo test --features invariant-audit)...");
+    let status = Command::new(env!("CARGO"))
+        .args([
+            "test",
+            "-p",
+            "graphrep",
+            "--features",
+            "invariant-audit",
+            "--test",
+            "invariant_audit",
+            "-q",
+        ])
+        .current_dir(&root)
+        .status();
+    match status {
+        Ok(s) if s.success() => {
+            eprintln!("invariant-audit suite passed");
+            ExitCode::SUCCESS
+        }
+        Ok(s) => {
+            eprintln!("invariant-audit suite failed: {s}");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("failed to launch cargo: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Report assembly and hand-rolled JSON serialisation.
+//!
+//! The JSON writer is deliberately tiny (objects, arrays, strings, integers)
+//! so the check crate stays dependency-free and safe to run before the rest
+//! of the workspace even compiles.
+
+use crate::rules::{Finding, Suppressed};
+
+/// Aggregated lint results over the walked workspace files.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Number of `.rs` files actually linted.
+    pub checked_files: usize,
+    /// Surviving violations, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Directive-suppressed violations, for auditability.
+    pub suppressed: Vec<Suppressed>,
+}
+
+impl Report {
+    /// True when the lint pass found no violations.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Sorts findings and suppressions into a stable order.
+    pub fn normalize(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+        self.suppressed
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    }
+
+    /// Machine-readable report for CI.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256 + self.findings.len() * 128);
+        s.push_str("{\n  \"version\": 1,\n  \"checked_files\": ");
+        s.push_str(&self.checked_files.to_string());
+        s.push_str(",\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    {\"rule\": ");
+            json_str(&mut s, f.rule);
+            s.push_str(", \"file\": ");
+            json_str(&mut s, &f.file);
+            s.push_str(", \"line\": ");
+            s.push_str(&f.line.to_string());
+            s.push_str(", \"message\": ");
+            json_str(&mut s, &f.message);
+            s.push('}');
+        }
+        if !self.findings.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("],\n  \"suppressed\": [");
+        for (i, f) in self.suppressed.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    {\"rule\": ");
+            json_str(&mut s, f.rule);
+            s.push_str(", \"file\": ");
+            json_str(&mut s, &f.file);
+            s.push_str(", \"line\": ");
+            s.push_str(&f.line.to_string());
+            s.push_str(", \"reason\": ");
+            json_str(&mut s, &f.reason);
+            s.push('}');
+        }
+        if !self.suppressed.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+
+    /// Human-readable listing, one finding per line.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        for f in &self.findings {
+            s.push_str(&format!(
+                "{}:{}: [{}] {}\n",
+                f.file, f.line, f.rule, f.message
+            ));
+        }
+        s.push_str(&format!(
+            "checked {} files: {} finding(s), {} suppressed\n",
+            self.checked_files,
+            self.findings.len(),
+            self.suppressed.len()
+        ));
+        s
+    }
+}
+
+fn json_str(out: &mut String, v: &str) {
+    out.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_shape() {
+        let mut r = Report {
+            checked_files: 2,
+            findings: vec![Finding {
+                rule: "G001",
+                file: "a\\b.rs".into(),
+                line: 3,
+                message: "say \"no\"".into(),
+            }],
+            suppressed: vec![],
+        };
+        r.normalize();
+        let j = r.to_json();
+        assert!(j.contains("\"checked_files\": 2"));
+        assert!(j.contains("\"a\\\\b.rs\""));
+        assert!(j.contains("say \\\"no\\\""));
+        assert!(j.contains("\"suppressed\": []"));
+    }
+}

@@ -1,0 +1,553 @@
+//! The five project lint rules (G001–G005) over the token stream.
+//!
+//! Rules are purely lexical: no type information, no macro expansion. That is
+//! enough for the project conventions they enforce, and it keeps the driver
+//! dependency-free. Each rule can be suppressed at a single site with
+//!
+//! ```text
+//! // graphrep: allow(G001, reason why this site is fine)
+//! ```
+//!
+//! which covers the directive's own line and the following line. A directive
+//! with an empty reason is itself reported (rule `G000`).
+
+use crate::lexer::{lex, Comment, Token, TokenKind};
+
+/// Where a source file sits in the workspace, which decides rule applicability.
+#[derive(Debug, Clone)]
+pub struct Scope {
+    /// Short crate name: `graph`, `ged`, `metric`, `core`, `baselines`,
+    /// `datagen`, `cli`, `bench`, `check`, or `root` for the root package.
+    pub crate_name: String,
+    /// True for files under `tests/`, `benches/`, or `examples/` — all rules
+    /// skip those entirely (inline `#[cfg(test)]` modules are detected
+    /// separately, per region).
+    pub is_test_file: bool,
+}
+
+/// A single rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (`G001`..`G005`, or `G000` for malformed directives).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// A violation that an allow-directive suppressed, kept for the report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppressed {
+    /// Rule identifier that was suppressed.
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line of the suppressed violation.
+    pub line: usize,
+    /// The justification given in the directive.
+    pub reason: String,
+}
+
+/// Crates where G001 (no unwrap/expect/panic!/todo!) applies.
+const G001_CRATES: &[&str] = &["graph", "ged", "metric", "core", "baselines"];
+/// Crates exempt from G003 (println!/dbg!/eprintln! allowed).
+const G003_EXEMPT: &[&str] = &["cli", "bench", "check"];
+/// Crates where G005 (doc comments on `pub fn`) applies.
+const G005_CRATES: &[&str] = &["core", "ged"];
+/// Atomic memory orderings that G002 requires a justification comment for.
+/// Restricting to these avoids flagging `std::cmp::Ordering::{Less,…}`.
+const ATOMIC_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+struct AllowDirective {
+    rule: String,
+    reason: String,
+    /// Directive line; suppression covers `line..=last_covered`.
+    line: usize,
+    last_covered: usize,
+}
+
+/// Lints one file's source text under the given scope.
+///
+/// Returns surviving findings plus the list of directive-suppressed ones.
+pub fn lint_source(file: &str, src: &str, scope: &Scope) -> (Vec<Finding>, Vec<Suppressed>) {
+    if scope.is_test_file {
+        return (Vec::new(), Vec::new());
+    }
+    let lexed = lex(src);
+    let toks = &lexed.tokens;
+    let comments = &lexed.comments;
+
+    let (allows, mut findings) = parse_allow_directives(file, comments);
+    let test_regions = test_regions(toks);
+    let in_test = |line: usize| test_regions.iter().any(|&(a, b)| a <= line && line <= b);
+
+    if G001_CRATES.iter().any(|c| c == &scope.crate_name) {
+        rule_g001(file, toks, &in_test, &mut findings);
+    }
+    rule_g002(file, toks, comments, &in_test, &mut findings);
+    if !G003_EXEMPT.iter().any(|c| c == &scope.crate_name) {
+        rule_g003(file, toks, &in_test, &mut findings);
+    }
+    rule_g004(file, toks, &in_test, &mut findings);
+    if G005_CRATES.iter().any(|c| c == &scope.crate_name) {
+        rule_g005(file, toks, comments, &in_test, &mut findings);
+    }
+
+    // Apply allow-directives: a finding survives unless a directive with the
+    // matching rule id covers its line.
+    let mut kept = Vec::new();
+    let mut suppressed = Vec::new();
+    for f in findings {
+        let hit = allows
+            .iter()
+            .find(|a| a.rule == f.rule && a.line <= f.line && f.line <= a.last_covered);
+        match hit {
+            Some(a) => suppressed.push(Suppressed {
+                rule: f.rule,
+                file: f.file,
+                line: f.line,
+                reason: a.reason.clone(),
+            }),
+            None => kept.push(f),
+        }
+    }
+    kept.sort_by_key(|f| (f.line, f.rule));
+    (kept, suppressed)
+}
+
+fn parse_allow_directives(file: &str, comments: &[Comment]) -> (Vec<AllowDirective>, Vec<Finding>) {
+    let mut allows = Vec::new();
+    let mut findings = Vec::new();
+    for c in comments {
+        let Some(pos) = c.text.find("graphrep: allow(") else {
+            continue;
+        };
+        let rest = &c.text[pos + "graphrep: allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            findings.push(Finding {
+                rule: "G000",
+                file: file.to_string(),
+                line: c.line,
+                message: "malformed allow directive: missing closing parenthesis".into(),
+            });
+            continue;
+        };
+        let inner = &rest[..close];
+        let (rule, reason) = match inner.split_once(',') {
+            Some((r, why)) => (r.trim(), why.trim()),
+            None => (inner.trim(), ""),
+        };
+        if reason.is_empty() || !rule.starts_with('G') {
+            findings.push(Finding {
+                rule: "G000",
+                file: file.to_string(),
+                line: c.line,
+                message: format!(
+                    "allow directive needs a rule id and a non-empty reason: `allow({inner})`"
+                ),
+            });
+            continue;
+        }
+        allows.push(AllowDirective {
+            rule: rule.to_string(),
+            reason: reason.to_string(),
+            line: c.line,
+            last_covered: c.end_line + 1,
+        });
+    }
+    (allows, findings)
+}
+
+/// Line spans of items gated behind `#[cfg(test)]`-style attributes.
+///
+/// Recognised shape: `#` `[` … `cfg` … `test` … `]`, followed by optional
+/// further attributes, then an item whose body is the next brace-matched
+/// block (or nothing, if a `;` comes first).
+fn test_regions(toks: &[Token]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if !(is_punct(&toks[i], '#') && is_punct(&toks[i + 1], '[')) {
+            i += 1;
+            continue;
+        }
+        // Bracket-match the attribute body.
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        let mut saw_cfg = false;
+        let mut test_at = None;
+        while j < toks.len() {
+            match toks[j].kind {
+                TokenKind::Punct('[') => depth += 1,
+                TokenKind::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokenKind::Ident => {
+                    if toks[j].text == "cfg" {
+                        saw_cfg = true;
+                    }
+                    if toks[j].text == "test" && test_at.is_none() {
+                        test_at = Some(j);
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let attr_end = j;
+        // `#[cfg(not(test))]` gates *non*-test code: reject when the `test`
+        // ident is directly wrapped in `not(…)`.
+        let negated = test_at
+            .is_some_and(|t| t >= 2 && is_punct(&toks[t - 1], '(') && toks[t - 2].text == "not");
+        if !(saw_cfg && test_at.is_some() && !negated) {
+            i = attr_end + 1;
+            continue;
+        }
+        // Skip any further attributes, then find the gated item's body.
+        let mut k = attr_end + 1;
+        while k + 1 < toks.len() && is_punct(&toks[k], '#') && is_punct(&toks[k + 1], '[') {
+            let mut d = 0usize;
+            while k < toks.len() {
+                match toks[k].kind {
+                    TokenKind::Punct('[') => d += 1,
+                    TokenKind::Punct(']') => {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            k += 1;
+        }
+        // Scan to the item body `{` (or give up at `;`, e.g. `mod tests;`).
+        while k < toks.len() && !is_punct(&toks[k], '{') && !is_punct(&toks[k], ';') {
+            k += 1;
+        }
+        if k < toks.len() && is_punct(&toks[k], '{') {
+            let start_line = toks[i].line;
+            let mut d = 0usize;
+            while k < toks.len() {
+                match toks[k].kind {
+                    TokenKind::Punct('{') => d += 1,
+                    TokenKind::Punct('}') => {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            let end_line = toks.get(k).map_or(usize::MAX, |t| t.line);
+            regions.push((start_line, end_line));
+        }
+        i = k + 1;
+    }
+    regions
+}
+
+/// G001: no `.unwrap()` / `.expect(` / `panic!` / `todo!` in library crates.
+fn rule_g001(file: &str, toks: &[Token], in_test: &dyn Fn(usize) -> bool, out: &mut Vec<Finding>) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident || in_test(t.line) {
+            continue;
+        }
+        let name = t.text.as_str();
+        let flagged = match name {
+            "unwrap" | "expect" => {
+                i > 0
+                    && is_punct(&toks[i - 1], '.')
+                    && toks.get(i + 1).is_some_and(|n| is_punct(n, '('))
+            }
+            "panic" | "todo" => toks.get(i + 1).is_some_and(|n| is_punct(n, '!')),
+            _ => false,
+        };
+        if flagged {
+            out.push(Finding {
+                rule: "G001",
+                file: file.to_string(),
+                line: t.line,
+                message: format!(
+                    "`{name}` in a library crate: return a Result or justify with an allow"
+                ),
+            });
+        }
+    }
+}
+
+/// G002: atomic `Ordering::X` uses need a justification comment on the same
+/// line or the line directly above.
+fn rule_g002(
+    file: &str,
+    toks: &[Token],
+    comments: &[Comment],
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident
+            || !ATOMIC_ORDERINGS.contains(&t.text.as_str())
+            || in_test(t.line)
+        {
+            continue;
+        }
+        // Require the `Ordering::` qualifier so bare idents named `Release`
+        // etc. in unrelated code do not trip the rule.
+        let qualified = i >= 3
+            && is_punct(&toks[i - 1], ':')
+            && is_punct(&toks[i - 2], ':')
+            && toks[i - 3].text == "Ordering";
+        if !qualified {
+            continue;
+        }
+        let justified = comments
+            .iter()
+            .any(|c| !c.text.trim().is_empty() && (c.line == t.line || c.end_line + 1 == t.line));
+        if !justified {
+            out.push(Finding {
+                rule: "G002",
+                file: file.to_string(),
+                line: t.line,
+                message: format!(
+                    "`Ordering::{}` without a justification comment on this or the previous line",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// G003: no `println!` / `dbg!` / `eprintln!` outside cli/bench.
+fn rule_g003(file: &str, toks: &[Token], in_test: &dyn Fn(usize) -> bool, out: &mut Vec<Finding>) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident || in_test(t.line) {
+            continue;
+        }
+        let name = t.text.as_str();
+        if matches!(name, "println" | "dbg" | "eprintln")
+            && toks.get(i + 1).is_some_and(|n| is_punct(n, '!'))
+        {
+            out.push(Finding {
+                rule: "G003",
+                file: file.to_string(),
+                line: t.line,
+                message: format!("`{name}!` outside cli/bench: route output through the caller"),
+            });
+        }
+    }
+}
+
+/// G004: `==` / `!=` with a float-literal operand.
+fn rule_g004(file: &str, toks: &[Token], in_test: &dyn Fn(usize) -> bool, out: &mut Vec<Finding>) {
+    for i in 0..toks.len().saturating_sub(1) {
+        let (a, b) = (&toks[i], &toks[i + 1]);
+        let eq = is_punct(a, '=') && is_punct(b, '=');
+        let ne = is_punct(a, '!') && is_punct(b, '=');
+        if !(eq || ne) || a.line != b.line || in_test(a.line) {
+            continue;
+        }
+        // `<=`, `>=`, `+=`, … all have a punct directly before the `=`; a
+        // genuine `==` starts fresh after an operand or opening delimiter.
+        if eq && i > 0 {
+            if let TokenKind::Punct(p) = toks[i - 1].kind {
+                if "<>=!+-*/%&|^".contains(p) {
+                    continue;
+                }
+            }
+        }
+        let lhs_float = i > 0 && toks[i - 1].kind == TokenKind::Float;
+        let rhs = toks.get(i + 2);
+        let rhs_float = match rhs.map(|t| &t.kind) {
+            Some(TokenKind::Float) => true,
+            Some(TokenKind::Punct('-')) => {
+                toks.get(i + 3).is_some_and(|t| t.kind == TokenKind::Float)
+            }
+            _ => false,
+        };
+        if lhs_float || rhs_float {
+            out.push(Finding {
+                rule: "G004",
+                file: file.to_string(),
+                line: a.line,
+                message: "float literal compared with ==/!=: use an epsilon or integer guard"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// G005: every plain `pub fn` in core/ged carries a doc comment.
+fn rule_g005(
+    file: &str,
+    toks: &[Token],
+    comments: &[Comment],
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident || t.text != "pub" || in_test(t.line) {
+            continue;
+        }
+        // `pub(crate)` / `pub(super)` are internal API: exempt.
+        if toks.get(i + 1).is_some_and(|n| is_punct(n, '(')) {
+            continue;
+        }
+        // Skip qualifiers between `pub` and `fn`: const/async/unsafe/extern "C".
+        let mut j = i + 1;
+        while toks.get(j).is_some_and(|n| {
+            matches!(n.text.as_str(), "const" | "async" | "unsafe" | "extern")
+                || n.kind == TokenKind::Str
+        }) {
+            j += 1;
+        }
+        if toks.get(j).is_none_or(|n| n.text != "fn") {
+            continue;
+        }
+        let fn_name = toks.get(j + 1).map(|n| n.text.clone()).unwrap_or_default();
+        // Walk backwards over any attributes to find the last token of the
+        // previous item; a doc comment anywhere between that and `pub`
+        // (attributes included) satisfies the rule, as does a `#[doc…]` attr.
+        let mut k = i;
+        let mut has_doc_attr = false;
+        while k >= 1 && is_punct(&toks[k - 1], ']') {
+            let mut d = 0usize;
+            let mut m = k - 1;
+            loop {
+                match toks[m].kind {
+                    TokenKind::Punct(']') => d += 1,
+                    TokenKind::Punct('[') => {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    TokenKind::Ident if toks[m].text == "doc" => has_doc_attr = true,
+                    _ => {}
+                }
+                if m == 0 {
+                    break;
+                }
+                m -= 1;
+            }
+            // Expect the `#` that opens the attribute.
+            if m >= 1 && is_punct(&toks[m - 1], '#') {
+                k = m - 1;
+            } else {
+                break;
+            }
+        }
+        let prev_line = if k == 0 { 0 } else { toks[k - 1].line };
+        let has_doc = has_doc_attr
+            || comments
+                .iter()
+                .any(|c| c.doc && c.end_line < t.line && c.end_line >= prev_line);
+        if !has_doc {
+            out.push(Finding {
+                rule: "G005",
+                file: file.to_string(),
+                line: t.line,
+                message: format!("`pub fn {fn_name}` is missing a doc comment"),
+            });
+        }
+    }
+}
+
+fn is_punct(t: &Token, c: char) -> bool {
+    t.kind == TokenKind::Punct(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core_scope() -> Scope {
+        Scope {
+            crate_name: "core".into(),
+            is_test_file: false,
+        }
+    }
+
+    fn rules_of(src: &str) -> Vec<&'static str> {
+        let (f, _) = lint_source("t.rs", src, &core_scope());
+        f.into_iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn g001_flags_unwrap_and_panic() {
+        assert_eq!(rules_of("fn f() { x.unwrap(); }"), vec!["G001"]);
+        assert_eq!(rules_of("fn f() { panic!(\"no\"); }"), vec!["G001"]);
+        assert_eq!(rules_of("fn f() { x.unwrap_or(0); }"), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn g001_exempt_in_cfg_test_module() {
+        let src = "#[cfg(test)]\nmod tests {\n fn f() { x.unwrap(); }\n}\n";
+        assert_eq!(rules_of(src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn g002_requires_comment() {
+        assert_eq!(
+            rules_of("fn f() { c.load(Ordering::Relaxed); }"),
+            vec!["G002"]
+        );
+        assert_eq!(
+            rules_of("fn f() { c.load(Ordering::Relaxed); // counters are independent\n }"),
+            Vec::<&str>::new()
+        );
+        // std::cmp::Ordering variants are not atomic orderings.
+        assert_eq!(
+            rules_of("fn f() -> Ordering { Ordering::Less }"),
+            Vec::<&str>::new()
+        );
+    }
+
+    #[test]
+    fn g004_flags_float_literal_compares() {
+        assert_eq!(rules_of("fn f() { if x == 0.0 {} }"), vec!["G004"]);
+        assert_eq!(rules_of("fn f() { if 1.5 != y {} }"), vec!["G004"]);
+        assert_eq!(rules_of("fn f() { if x == -2.0 {} }"), vec!["G004"]);
+        assert_eq!(rules_of("fn f() { if x <= 2.0 {} }"), Vec::<&str>::new());
+        assert_eq!(rules_of("fn f() { if x == 0 {} }"), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn g005_requires_doc() {
+        assert_eq!(rules_of("pub fn f() {}"), vec!["G005"]);
+        assert_eq!(rules_of("/// Docs.\npub fn f() {}"), Vec::<&str>::new());
+        assert_eq!(
+            rules_of("/// Docs.\n#[inline]\npub fn f() {}"),
+            Vec::<&str>::new()
+        );
+        assert_eq!(rules_of("pub(crate) fn f() {}"), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn allow_directive_suppresses_and_records() {
+        let src = "fn f() {\n // graphrep: allow(G001, startup contract)\n x.unwrap();\n}\n";
+        let (f, s) = lint_source("t.rs", src, &core_scope());
+        assert!(f.is_empty());
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].rule, "G001");
+        assert_eq!(s[0].reason, "startup contract");
+    }
+
+    #[test]
+    fn allow_without_reason_is_g000() {
+        let src = "fn f() {\n // graphrep: allow(G001)\n x.unwrap();\n}\n";
+        let (f, _) = lint_source("t.rs", src, &core_scope());
+        let rules: Vec<_> = f.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&"G000"));
+        assert!(rules.contains(&"G001"));
+    }
+}

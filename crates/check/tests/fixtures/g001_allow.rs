@@ -1,0 +1,4 @@
+fn parse(x: Option<u32>) -> u32 {
+    // graphrep: allow(G001, fixture: emptiness was checked by the caller)
+    x.unwrap()
+}

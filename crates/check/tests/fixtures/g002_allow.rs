@@ -1,0 +1,6 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn bump(c: &AtomicU64) {
+    // graphrep: allow(G002, fixture: the directive doubles as the justification)
+    c.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,4 @@
+fn trace(v: u64) {
+    // graphrep: allow(G003, fixture: operator-facing progress line)
+    println!("v = {v}");
+}

@@ -1,0 +1,3 @@
+fn trace(v: u64) -> String {
+    format!("v = {v}")
+}

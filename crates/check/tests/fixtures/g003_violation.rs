@@ -1,0 +1,3 @@
+fn trace(v: u64) {
+    println!("v = {v}");
+}

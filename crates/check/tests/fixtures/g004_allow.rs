@@ -1,0 +1,4 @@
+fn is_sentinel(x: f64) -> bool {
+    // graphrep: allow(G004, fixture: sentinel value is assigned, never computed)
+    x == -1.0
+}

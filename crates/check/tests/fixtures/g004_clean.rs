@@ -1,0 +1,3 @@
+fn is_zero(x: f64) -> bool {
+    x.abs() < 1e-12
+}

@@ -1,0 +1,4 @@
+// graphrep: allow(G005, fixture: internal hook pending stabilisation)
+pub fn undocumented() -> u32 {
+    7
+}

@@ -1,0 +1,4 @@
+/// Returns the documented constant.
+pub fn documented() -> u32 {
+    7
+}

@@ -1,0 +1,3 @@
+pub fn undocumented() -> u32 {
+    7
+}

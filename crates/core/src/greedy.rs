@@ -20,6 +20,7 @@ pub trait NeighborhoodProvider {
 }
 
 /// Brute-force provider: one `within` test per relevant graph.
+#[derive(Debug)]
 pub struct BruteForceProvider<'a> {
     oracle: &'a DistanceOracle,
     relevant: &'a [GraphId],
@@ -73,6 +74,8 @@ pub fn baseline_greedy(
     let mut covered = Bitset::new(cap);
     let mut ids = Vec::with_capacity(k.min(relevant.len()));
     let mut pi_trajectory = Vec::with_capacity(k.min(relevant.len()));
+    #[cfg(feature = "invariant-audit")]
+    let mut prev_gain = usize::MAX;
     for _ in 0..k.min(relevant.len()) {
         // arg max marginal gain; |N(g) \ covered| with N pre-shrunk each round.
         let mut best: Option<(usize, usize)> = None; // (gain, index)
@@ -87,6 +90,14 @@ pub fn baseline_greedy(
             }
         }
         let Some((gain, bi)) = best else { break };
+        #[cfg(feature = "invariant-audit")]
+        {
+            graphrep_ged::audit_invariant!(
+                gain <= prev_gain,
+                "submodularity (Thm 2): greedy marginal gain rose from {prev_gain} to {gain}"
+            );
+            prev_gain = gain;
+        }
         if gain == 0 {
             // Nothing left to cover: additional answers cannot raise π and
             // only dilute the compression ratio — stop early.

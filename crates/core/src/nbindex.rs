@@ -100,14 +100,27 @@ impl NbIndex {
             wall: t0.elapsed(),
             distance_calls: oracle.engine_calls() - calls0,
         };
-        Self {
+        let this = Self {
             oracle,
             vantage,
             tree,
             ladder,
             build_stats,
-        }
+        };
+        this.audit_build();
+        this
     }
+
+    /// Post-build audit: oracle counter conservation across the whole build
+    /// (the tree's own audit runs inside [`NbTree::build`]).
+    #[cfg(feature = "invariant-audit")]
+    fn audit_build(&self) {
+        self.oracle.audit_counter_conservation();
+    }
+
+    #[cfg(not(feature = "invariant-audit"))]
+    #[inline(always)]
+    fn audit_build(&self) {}
 
     /// The underlying distance oracle.
     pub fn oracle(&self) -> &DistanceOracle {

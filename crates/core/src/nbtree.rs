@@ -24,10 +24,12 @@ use serde::{Deserialize, Serialize};
 mod serde_radius {
     use serde::{DeError, Value};
 
+    /// Maps non-finite radii to the `-1.0` sentinel.
     pub fn serialize(v: &f64) -> Value {
         serde::Serialize::to_value(&if v.is_finite() { *v } else { -1.0 })
     }
 
+    /// Restores the `-1.0` sentinel back to `+inf`.
     pub fn deserialize(v: &Value) -> Result<f64, DeError> {
         let f = <f64 as serde::Deserialize>::from_value(v)?;
         Ok(if f < 0.0 { f64::INFINITY } else { f })
@@ -128,6 +130,7 @@ impl Builder<'_> {
                 .iter()
                 .enumerate()
                 .max_by(|a, b| a.1.total_cmp(b.1))
+                // graphrep: allow(G001, pool is non-empty: members is non-empty and truncation keeps at least one)
                 .expect("non-empty pool");
             if best_d <= 0.0 {
                 break; // every remaining candidate coincides with a pivot
@@ -302,12 +305,14 @@ impl NbTree {
         for (pos, &g) in b.leaf_order.iter().enumerate() {
             pos_of[g as usize] = pos as u32;
         }
-        NbTree {
+        let tree = NbTree {
             nodes: b.nodes,
             leaf_order: b.leaf_order,
             pos_of,
             branching: cfg.branching,
-        }
+        };
+        tree.audit(oracle);
+        tree
     }
 
     /// All nodes (index 0 is the root).
@@ -364,6 +369,55 @@ impl NbTree {
             + self.leaf_order.len() * 4
             + self.pos_of.len() * 4
     }
+
+    /// Audits the metric facts behind the Thm 6–8 batch updates: structure
+    /// and radius containment (via [`NbTree::validate`]), radius ≤ diameter
+    /// bound on every non-root node, and pairwise member distances within
+    /// the diameter bound on bottom clusters. Panics on violation.
+    ///
+    /// Compiled only under the `invariant-audit` feature; the default build
+    /// gets the no-op twin below.
+    #[cfg(feature = "invariant-audit")]
+    pub fn audit(&self, oracle: &DistanceOracle) {
+        use graphrep_ged::audit_invariant;
+        let v = self.validate(oracle);
+        audit_invariant!(
+            v.is_ok(),
+            "NB-Tree validation failed: {}",
+            v.as_ref().err().map(String::as_str).unwrap_or("?")
+        );
+        for (i, n) in self.nodes.iter().enumerate() {
+            if i == 0 {
+                continue;
+            }
+            audit_invariant!(
+                n.radius <= n.diameter + 1e-9,
+                "node {i}: radius {} exceeds diameter bound {}",
+                n.radius,
+                n.diameter
+            );
+            // The diameter bound rests on the triangle inequality, which
+            // approximate or budget-starved engines do not guarantee.
+            if n.is_bottom() && n.diameter.is_finite() && oracle.audit_distances_exact() {
+                for p in n.start..n.end {
+                    for q in (p + 1)..n.end {
+                        let (a, b) = (self.leaf_order[p as usize], self.leaf_order[q as usize]);
+                        let d = oracle.distance(a, b);
+                        audit_invariant!(
+                            d <= n.diameter + 1e-6,
+                            "node {i}: member pair ({a}, {b}) distance {d} exceeds diameter bound {}",
+                            n.diameter
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// No-op twin of the audit hook for builds without `invariant-audit`.
+    #[cfg(not(feature = "invariant-audit"))]
+    #[inline(always)]
+    pub fn audit(&self, _oracle: &DistanceOracle) {}
 
     /// Checks structural invariants; exact radius/diameter containment is
     /// verified against the oracle. Intended for tests.

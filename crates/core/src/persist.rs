@@ -68,6 +68,7 @@ impl NbIndex {
             tree: self.tree().clone(),
             ladder: self.ladder().clone(),
         };
+        // graphrep: allow(G001, persisted struct is plain owned data; serialization cannot fail)
         serde_json::to_string(&p).expect("index parts are serializable")
     }
 

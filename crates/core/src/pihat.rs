@@ -154,12 +154,77 @@ impl PiHatVectors {
                 }
             }
         }
-        Self {
+        let this = Self {
             slots,
             graph_counts,
             node_counts,
             node_rel,
+        };
+        this.audit(tree, &rel_pos);
+        this
+    }
+
+    /// Audits the Def 6 / Eq. 14 structure: every π̂ row (graph and node) is
+    /// monotone non-decreasing along the ascending threshold ladder, and
+    /// every node ceiling dominates the π̂ of each relevant graph in its
+    /// subtree. Panics on violation.
+    ///
+    /// Compiled only under the `invariant-audit` feature; the default build
+    /// gets the no-op twin below.
+    #[cfg(feature = "invariant-audit")]
+    pub fn audit(&self, tree: &NbTree, rel_pos: &Bitset) {
+        use graphrep_ged::audit_invariant;
+        for pos in 0..tree.len() {
+            for i in 1..self.slots {
+                let (a, b) = (
+                    self.graph_counts[pos * self.slots + i - 1],
+                    self.graph_counts[pos * self.slots + i],
+                );
+                audit_invariant!(
+                    a <= b,
+                    "π̂ monotonicity: graph at pos {pos} drops from {a} (slot {}) to {b} (slot {i})",
+                    i - 1
+                );
+            }
         }
+        for (ni, node) in tree.nodes().iter().enumerate() {
+            for i in 0..self.slots {
+                if i > 0 {
+                    let (a, b) = (
+                        self.node_counts[ni * self.slots + i - 1],
+                        self.node_counts[ni * self.slots + i],
+                    );
+                    audit_invariant!(
+                        a <= b,
+                        "π̂ monotonicity: node {ni} drops from {a} (slot {}) to {b} (slot {i})",
+                        i - 1
+                    );
+                }
+                let ceil = self.node_counts[ni * self.slots + i];
+                for pos in node.start as usize..node.end as usize {
+                    if rel_pos.contains(pos) {
+                        let v = self.graph_counts[pos * self.slots + i];
+                        audit_invariant!(
+                            v <= ceil,
+                            "Eq. 14: node {ni} ceiling {ceil} at slot {i} below member π̂ {v} at pos {pos}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// No-op twin of the audit hook for builds without `invariant-audit`.
+    #[cfg(not(feature = "invariant-audit"))]
+    #[inline(always)]
+    pub fn audit(&self, _tree: &NbTree, _rel_pos: &Bitset) {}
+
+    /// Test-only corruption hook: overwrites one per-graph π̂ entry so audit
+    /// tests can prove the checks are not vacuous. Exists only in audit
+    /// builds.
+    #[cfg(feature = "invariant-audit")]
+    pub fn audit_corrupt_graph_count(&mut self, pos: u32, slot: usize, value: u32) {
+        self.graph_counts[pos as usize * self.slots + slot] = value;
     }
 
     /// Number of ladder slots.

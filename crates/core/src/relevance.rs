@@ -50,7 +50,7 @@ impl Scorer {
                         }
                     }
                 }
-                if union == 0.0 {
+                if union <= 0.0 {
                     0.0
                 } else {
                     inter / union

@@ -44,6 +44,7 @@ pub struct RunStats {
 
 /// A per-query-function session: initialization phase output plus a handle
 /// to the index.
+#[derive(Debug)]
 pub struct QuerySession<'a> {
     index: &'a NbIndex,
     relevant: Vec<GraphId>,
@@ -182,6 +183,8 @@ impl<'a> QuerySession<'a> {
         let mut ids = Vec::new();
         let mut pi_trajectory = Vec::new();
         let budget = k.min(self.relevant.len());
+        #[cfg(feature = "invariant-audit")]
+        let mut prev_gain = i64::MAX;
         for _ in 0..budget {
             let Some(pos_star) = self.next_graph(
                 theta,
@@ -195,6 +198,15 @@ impl<'a> QuerySession<'a> {
             ) else {
                 break;
             };
+            #[cfg(feature = "invariant-audit")]
+            {
+                let gain = graph_bound[pos_star as usize];
+                graphrep_ged::audit_invariant!(
+                    gain <= prev_gain,
+                    "submodularity (Thm 2): search marginal gain rose from {prev_gain} to {gain}"
+                );
+                prev_gain = gain;
+            }
             if graph_bound[pos_star as usize] == 0 {
                 // Verified zero marginal gain: coverage is saturated (same
                 // early-stop rule as the baseline greedy).
@@ -210,12 +222,16 @@ impl<'a> QuerySession<'a> {
                 &mut in_answer,
                 &neigh,
             );
+            // Thm 6–8 preconditions are metric facts about the (immutable)
+            // tree; re-checking after each batch update costs only cache hits.
+            self.audit_tree();
             pi_trajectory.push(if self.relevant.is_empty() {
                 0.0
             } else {
                 covered.count() as f64 / self.relevant.len() as f64
             });
         }
+        self.audit_run_end();
         stats.distance_calls = self.index.oracle().engine_calls() - calls0;
         stats.wall = t0.elapsed();
         (
@@ -254,11 +270,20 @@ impl<'a> QuerySession<'a> {
         let oracle = self.index.oracle();
         let g = tree.graph_at(pos);
         let candidates = vt.candidates(g, theta);
+        self.audit_thm5(g, &candidates, theta);
         let verified: Vec<Option<u32>> = candidates
             .par_iter()
             .map(|&c| {
-                (self.relevant_by_id.contains(c as usize) && oracle.within(g, c, theta).is_some())
-                    .then_some(c)
+                if !self.relevant_by_id.contains(c as usize) {
+                    return None;
+                }
+                match oracle.within(g, c, theta) {
+                    Some(d) => {
+                        self.audit_thm4(g, c, d);
+                        Some(c)
+                    }
+                    None => None,
+                }
             })
             .collect();
         let mut nb = Bitset::new(tree.len());
@@ -392,6 +417,7 @@ impl<'a> QuerySession<'a> {
         let g_star = tree.graph_at(pos_star);
         let nb = neigh
             .get(&pos_star)
+            // graphrep: allow(G001, search contract: next_graph only returns verified graphs, which are memoized)
             .expect("selected graph was verified")
             .clone();
         let mut new_c = nb.clone();
@@ -435,4 +461,76 @@ impl<'a> QuerySession<'a> {
             }
         }
     }
+
+    /// Thm 4 audit: the vantage lower bound never exceeds the exact distance
+    /// of a verified candidate. Compiled only under `invariant-audit`.
+    #[cfg(feature = "invariant-audit")]
+    fn audit_thm4(&self, g: GraphId, c: GraphId, d: f64) {
+        // Thm 4 presumes metric (exact) distances.
+        if !self.index.oracle().audit_distances_exact() {
+            return;
+        }
+        let lb = self.index.vantage().lower_bound(g, c);
+        graphrep_ged::audit_invariant!(
+            lb <= d + EPS,
+            "Thm 4: vantage lower bound {lb} exceeds exact distance {d} for pair ({g}, {c})"
+        );
+    }
+
+    #[cfg(not(feature = "invariant-audit"))]
+    #[inline(always)]
+    fn audit_thm4(&self, _g: GraphId, _c: GraphId, _d: f64) {}
+
+    /// Thm 5 audit: `N̂_θ` is a candidate superset — every relevant graph
+    /// excluded from it must have a vantage lower bound strictly above θ
+    /// (hence exact distance above θ). Compiled only under `invariant-audit`.
+    #[cfg(feature = "invariant-audit")]
+    fn audit_thm5(&self, g: GraphId, candidates: &[GraphId], theta: f64) {
+        // Thm 5 presumes metric (exact) distances.
+        if !self.index.oracle().audit_distances_exact() {
+            return;
+        }
+        let in_cand = Bitset::from_indices(
+            self.index.tree().len(),
+            candidates.iter().map(|&c| c as usize),
+        );
+        for &r in &self.relevant {
+            if r == g || in_cand.contains(r as usize) {
+                continue;
+            }
+            let lb = self.index.vantage().lower_bound(g, r);
+            graphrep_ged::audit_invariant!(
+                lb > theta,
+                "Thm 5: relevant graph {r} excluded from the candidate set of {g} \
+                 but its lower bound {lb} does not exceed θ = {theta}"
+            );
+        }
+    }
+
+    #[cfg(not(feature = "invariant-audit"))]
+    #[inline(always)]
+    fn audit_thm5(&self, _g: GraphId, _candidates: &[GraphId], _theta: f64) {}
+
+    /// Re-audits the NB-Tree's metric facts (Thm 6–8 preconditions).
+    /// Compiled only under `invariant-audit`.
+    #[cfg(feature = "invariant-audit")]
+    fn audit_tree(&self) {
+        self.index.tree().audit(self.index.oracle());
+    }
+
+    #[cfg(not(feature = "invariant-audit"))]
+    #[inline(always)]
+    fn audit_tree(&self) {}
+
+    /// End-of-run audit: tree containment plus oracle counter conservation
+    /// at a quiescent point. Compiled only under `invariant-audit`.
+    #[cfg(feature = "invariant-audit")]
+    fn audit_run_end(&self) {
+        self.audit_tree();
+        self.index.oracle().audit_counter_conservation();
+    }
+
+    #[cfg(not(feature = "invariant-audit"))]
+    #[inline(always)]
+    fn audit_run_end(&self) {}
 }

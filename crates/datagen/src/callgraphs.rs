@@ -12,6 +12,7 @@ use graphrep_graph::{Graph, GraphBuilder, LabelInterner, NodeId};
 use rand::Rng;
 
 /// Output of the call-graph generator.
+#[derive(Debug)]
 pub struct CallGraphSet {
     /// Call graphs of crashing executions.
     pub graphs: Vec<Graph>,

@@ -10,6 +10,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 
 /// Output of the cascade generator.
+#[derive(Debug)]
 pub struct CascadeSet {
     /// Tree-shaped cascade graphs.
     pub graphs: Vec<Graph>,

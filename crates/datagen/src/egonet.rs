@@ -16,6 +16,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 
 /// Output of the ego-net generator.
+#[derive(Debug)]
 pub struct EgonetSet {
     /// The ego-net graphs.
     pub graphs: Vec<Graph>,

@@ -19,6 +19,7 @@ const ATOMS: &[&str] = &["C", "N", "O", "S", "P", "F", "Cl", "Br"];
 const BONDS: &[&str] = &["single", "double", "aromatic"];
 
 /// Output of the molecule generator.
+#[derive(Debug)]
 pub struct MoleculeSet {
     /// The molecules.
     pub graphs: Vec<Graph>,

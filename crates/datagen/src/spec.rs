@@ -46,6 +46,7 @@ pub struct DatasetSpec {
 }
 
 /// A generated dataset with its evaluation defaults.
+#[derive(Debug)]
 pub struct Dataset {
     /// The database (graphs + features).
     pub db: GraphDatabase,

@@ -22,7 +22,7 @@ pub enum StoreError {
     /// Filesystem failure.
     Io(std::io::Error),
     /// graphs.txt could not be parsed.
-    Graphs(gio::ParseError),
+    Graphs(gio::GraphIoError),
     /// features.csv malformed.
     Features(String),
     /// meta.json malformed.

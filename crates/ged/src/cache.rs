@@ -104,6 +104,10 @@ pub struct DistanceOracle {
     computations: AtomicU64,
     rejections: AtomicU64,
     hits: AtomicU64,
+    /// Total non-self requests, tallied only in audit builds to check the
+    /// conservation identity `computations + rejections + hits == requests`.
+    #[cfg(feature = "invariant-audit")]
+    requests: AtomicU64,
 }
 
 /// The oracle is shared across rayon workers by reference.
@@ -133,6 +137,8 @@ impl DistanceOracle {
             computations: AtomicU64::new(0),
             rejections: AtomicU64::new(0),
             hits: AtomicU64::new(0),
+            #[cfg(feature = "invariant-audit")]
+            requests: AtomicU64::new(0),
         }
     }
 
@@ -171,15 +177,18 @@ impl DistanceOracle {
             return 0.0;
         }
         let k = key(i, j);
+        self.note_request();
         let cell = self.shards[shard_of(k)].cell(k);
         let mut computed = false;
         let d = *cell.get_or_init(|| {
             computed = true;
+            // Independent event tally; no cross-counter ordering is consumed.
             self.computations.fetch_add(1, Ordering::Relaxed);
             self.engine
                 .distance(&self.graphs[i as usize], &self.graphs[j as usize])
         });
         if !computed {
+            // Independent event tally; no cross-counter ordering is consumed.
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
         d
@@ -196,14 +205,16 @@ impl DistanceOracle {
             return Some(0.0);
         }
         let k = key(i, j);
+        self.note_request();
         let shard = &self.shards[shard_of(k)];
         if let Some(d) = shard.exact_get(k) {
+            // Independent event tally; no cross-counter ordering is consumed.
             self.hits.fetch_add(1, Ordering::Relaxed);
             return (d <= tau + 1e-9).then_some(d);
         }
         if let Some(&lb) = shard.lower.read().get(&k) {
             if lb >= tau - 1e-9 {
-                // d > lb ≥ tau: certainly outside.
+                // d > lb ≥ tau: certainly outside. Independent event tally.
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return None;
             }
@@ -224,6 +235,7 @@ impl DistanceOracle {
                 tau,
             ) {
                 Some(d) => {
+                    // Independent event tally; the verdict cell publishes.
                     self.computations.fetch_add(1, Ordering::Relaxed);
                     // A concurrent `distance` may have filled the cell with
                     // the same exact value already; the failed set is
@@ -232,6 +244,7 @@ impl DistanceOracle {
                     Some(d)
                 }
                 None => {
+                    // Independent event tally; the verdict cell publishes.
                     self.rejections.fetch_add(1, Ordering::Relaxed);
                     let mut lw = shard.lower.write();
                     let e = lw.entry(k).or_insert(tau);
@@ -243,6 +256,7 @@ impl DistanceOracle {
             }
         });
         if !ran_engine {
+            // Independent event tally; no cross-counter ordering is consumed.
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
         verdict
@@ -251,22 +265,80 @@ impl DistanceOracle {
     /// Usage statistics.
     pub fn stats(&self) -> OracleStats {
         OracleStats {
+            // Counters are independent tallies read at quiescent points.
             distance_computations: self.computations.load(Ordering::Relaxed),
-            within_rejections: self.rejections.load(Ordering::Relaxed),
-            cache_hits: self.hits.load(Ordering::Relaxed),
+            within_rejections: self.rejections.load(Ordering::Relaxed), // see above
+            cache_hits: self.hits.load(Ordering::Relaxed),              // see above
         }
     }
 
     /// Total engine invocations (computations + rejections).
     pub fn engine_calls(&self) -> u64 {
+        // Counters are independent tallies read at quiescent points.
         self.computations.load(Ordering::Relaxed) + self.rejections.load(Ordering::Relaxed)
     }
 
     /// Clears counters (the caches are kept).
     pub fn reset_stats(&self) {
+        // Counters are independent tallies; resets happen at quiescent points.
         self.computations.store(0, Ordering::Relaxed);
-        self.rejections.store(0, Ordering::Relaxed);
-        self.hits.store(0, Ordering::Relaxed);
+        self.rejections.store(0, Ordering::Relaxed); // see above
+        self.hits.store(0, Ordering::Relaxed); // see above
+        self.reset_request_tally();
+    }
+
+    /// Tallies one non-self request for conservation checking (audit builds).
+    #[cfg(feature = "invariant-audit")]
+    #[inline]
+    fn note_request(&self) {
+        // Audit-only tally; read quiescently by the conservation audit.
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[cfg(not(feature = "invariant-audit"))]
+    #[inline(always)]
+    fn note_request(&self) {}
+
+    #[cfg(feature = "invariant-audit")]
+    fn reset_request_tally(&self) {
+        // Audit-only tally; reset at the same quiescent points as the stats.
+        self.requests.store(0, Ordering::Relaxed);
+    }
+
+    #[cfg(not(feature = "invariant-audit"))]
+    fn reset_request_tally(&self) {}
+
+    /// True when every distance this oracle has produced is exact: the
+    /// engine runs in `Exact` mode and has recorded no budget fallbacks.
+    ///
+    /// Metric-dependent audits (triangle-inequality facts, Thm 4/5 bound
+    /// admissibility) only hold for exact distances, so they consult this
+    /// before asserting. Compiled only under the `invariant-audit` feature.
+    #[cfg(feature = "invariant-audit")]
+    pub fn audit_distances_exact(&self) -> bool {
+        matches!(self.engine.config().mode, crate::engine::GedMode::Exact)
+            && self.engine.counters().snapshot().budget_fallbacks == 0
+    }
+
+    /// Checks the accounting identity behind the concurrency layer's
+    /// determinism guarantees: every non-self request increments exactly one
+    /// of `distance_computations` / `within_rejections` / `cache_hits`.
+    ///
+    /// Only meaningful at a quiescent point (no concurrent oracle traffic).
+    /// Compiled only under the `invariant-audit` feature.
+    #[cfg(feature = "invariant-audit")]
+    pub fn audit_counter_conservation(&self) {
+        let s = self.stats();
+        // Audit-only tally read at a quiescent point.
+        let q = self.requests.load(Ordering::Relaxed);
+        crate::audit_invariant!(
+            s.distance_computations + s.within_rejections + s.cache_hits == q,
+            "oracle counter conservation: {} computations + {} rejections + {} hits != {} requests",
+            s.distance_computations,
+            s.within_rejections,
+            s.cache_hits,
+            q
+        );
     }
 
     /// Clears the memoized distances *and* counters.

@@ -40,24 +40,27 @@ impl GedCounters {
     /// Takes a snapshot of all counters.
     pub fn snapshot(&self) -> CounterSnapshot {
         CounterSnapshot {
+            // Counters are independent tallies read at quiescent points.
             exact_searches: self.exact_searches.load(Ordering::Relaxed),
-            expansions: self.expansions.load(Ordering::Relaxed),
-            bp_calls: self.bp_calls.load(Ordering::Relaxed),
-            budget_fallbacks: self.budget_fallbacks.load(Ordering::Relaxed),
-            lb_prunes: self.lb_prunes.load(Ordering::Relaxed),
+            expansions: self.expansions.load(Ordering::Relaxed), // see above
+            bp_calls: self.bp_calls.load(Ordering::Relaxed),     // see above
+            budget_fallbacks: self.budget_fallbacks.load(Ordering::Relaxed), // see above
+            lb_prunes: self.lb_prunes.load(Ordering::Relaxed),   // see above
         }
     }
 
     /// Resets all counters to zero.
     pub fn reset(&self) {
+        // Counters are independent tallies; resets happen at quiescent points.
         self.exact_searches.store(0, Ordering::Relaxed);
-        self.expansions.store(0, Ordering::Relaxed);
-        self.bp_calls.store(0, Ordering::Relaxed);
-        self.budget_fallbacks.store(0, Ordering::Relaxed);
-        self.lb_prunes.store(0, Ordering::Relaxed);
+        self.expansions.store(0, Ordering::Relaxed); // see above
+        self.bp_calls.store(0, Ordering::Relaxed); // see above
+        self.budget_fallbacks.store(0, Ordering::Relaxed); // see above
+        self.lb_prunes.store(0, Ordering::Relaxed); // see above
     }
 
     pub(crate) fn add(&self, field: &AtomicU64, v: u64) {
+        // Independent event tally; no cross-counter ordering is consumed.
         field.fetch_add(v, Ordering::Relaxed);
     }
 }

@@ -54,6 +54,7 @@ pub struct GedEngine {
 impl GedEngine {
     /// Creates an engine with the given configuration.
     pub fn new(config: GedConfig) -> Self {
+        // graphrep: allow(G001, constructor contract: a bad cost model is a programming error caught at startup)
         config.cost.validate().expect("invalid cost model");
         Self {
             config,

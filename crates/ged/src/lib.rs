@@ -1,4 +1,6 @@
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
+#![deny(missing_debug_implementations)]
 
 //! Graph edit distance for `graphrep`.
 //!
@@ -27,6 +29,43 @@ pub mod engine;
 pub mod exact;
 
 pub use cache::{DistanceOracle, OracleStats};
+
+/// Asserts a paper-derived runtime invariant when the *consuming* crate is
+/// compiled with its `invariant-audit` cargo feature; expands to nothing
+/// otherwise.
+///
+/// Because `cfg` is resolved after macro expansion, the feature gate is
+/// evaluated against the crate where the macro is used — each crate that
+/// audits (this one, `graphrep-core`, the root package) declares its own
+/// `invariant-audit` feature and forwards it down the dependency chain. When
+/// the feature is off the condition tokens are stripped before name
+/// resolution, so audits may reference audit-only fields and be arbitrarily
+/// expensive.
+///
+/// ```
+/// use graphrep_ged::audit_invariant;
+/// let (lb, d) = (2.0_f64, 3.0_f64);
+/// audit_invariant!(lb <= d + 1e-9, "Thm 4: lower bound {lb} exceeds exact {d}");
+/// ```
+#[macro_export]
+macro_rules! audit_invariant {
+    ($cond:expr, $($fmt:tt)+) => {
+        match () {
+            #[cfg(feature = "invariant-audit")]
+            () => {
+                if !($cond) {
+                    // graphrep: allow(G001, audit violations must abort the process)
+                    panic!(
+                        "invariant-audit violation: {}",
+                        format_args!($($fmt)+)
+                    );
+                }
+            }
+            #[cfg(not(feature = "invariant-audit"))]
+            () => {}
+        }
+    };
+}
 pub use cost::CostModel;
 pub use counter::{CounterSnapshot, GedCounters};
 pub use depthfirst::{ged_depth_first, DfResult};

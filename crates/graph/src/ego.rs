@@ -42,7 +42,8 @@ pub fn ego_subgraph(g: &Graph, center: NodeId, hops: usize) -> Graph {
         for &(v, l) in g.neighbors(u) {
             let (nu, nv) = (new_id[u as usize], new_id[v as usize]);
             if nv != u16::MAX && nu < nv {
-                b.add_edge(nu, nv, l).expect("induced edges are fresh");
+                let fresh = b.add_edge(nu, nv, l).is_ok();
+                debug_assert!(fresh, "nu < nv visits each induced edge once");
             }
         }
     }

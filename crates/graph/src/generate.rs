@@ -9,6 +9,12 @@ use crate::labels::Label;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
+/// Uniform draw from an alphabet. Emptiness is rejected at the public API
+/// boundary, so indexing here is total.
+fn pick<R: Rng + ?Sized>(rng: &mut R, alphabet: &[Label]) -> Label {
+    alphabet[rng.gen_range(0..alphabet.len())]
+}
+
 /// Generates a random connected graph with `n` nodes.
 ///
 /// A random spanning tree guarantees connectivity; `extra_edges` additional
@@ -25,15 +31,15 @@ pub fn random_connected<R: Rng + ?Sized>(
     assert!(!node_alphabet.is_empty() && !edge_alphabet.is_empty());
     let mut b = GraphBuilder::with_capacity(n, n - 1 + extra_edges);
     for _ in 0..n {
-        let l = *node_alphabet.choose(rng).expect("non-empty alphabet");
-        b.add_node(l);
+        b.add_node(pick(rng, node_alphabet));
     }
     // Random spanning tree: attach node i to a uniformly random earlier node.
     for i in 1..n {
         let j = rng.gen_range(0..i);
-        let l = *edge_alphabet.choose(rng).expect("non-empty alphabet");
-        b.add_edge(i as NodeId, j as NodeId, l)
-            .expect("tree edge is always fresh");
+        let fresh = b
+            .add_edge(i as NodeId, j as NodeId, pick(rng, edge_alphabet))
+            .is_ok();
+        debug_assert!(fresh, "tree edge connects node {i} to an earlier node");
     }
     let max_edges = n * (n - 1) / 2;
     let budget = extra_edges.min(max_edges - (n - 1));
@@ -46,8 +52,8 @@ pub fn random_connected<R: Rng + ?Sized>(
         if u == v || b.has_edge(u, v) {
             continue;
         }
-        let l = *edge_alphabet.choose(rng).expect("non-empty alphabet");
-        b.add_edge(u, v, l).expect("checked fresh");
+        let fresh = b.add_edge(u, v, pick(rng, edge_alphabet)).is_ok();
+        debug_assert!(fresh, "has_edge was checked above");
         added += 1;
     }
     b.build()
@@ -81,6 +87,7 @@ pub fn mutate<R: Rng + ?Sized>(
     node_alphabet: &[Label],
     edge_alphabet: &[Label],
 ) -> Graph {
+    assert!(!node_alphabet.is_empty() && !edge_alphabet.is_empty());
     let mut node_labels: Vec<Label> = g.node_labels().to_vec();
     let mut edges: Vec<(NodeId, NodeId, Label)> =
         g.edges().iter().map(|e| (e.u, e.v, e.label)).collect();
@@ -106,7 +113,8 @@ pub fn mutate<R: Rng + ?Sized>(
         b.add_node(l);
     }
     for &(u, v, l) in &edges {
-        b.add_edge(u, v, l).expect("edit list stays consistent");
+        let consistent = b.add_edge(u, v, l).is_ok();
+        debug_assert!(consistent, "edit list stays duplicate-free and in range");
     }
     b.build()
 }
@@ -124,25 +132,21 @@ fn apply_edit<R: Rng + ?Sized>(
         EditKind::RelabelNode => {
             if n > 0 {
                 let u = rng.gen_range(0..n);
-                node_labels[u] = *node_alphabet.choose(rng).expect("non-empty");
+                node_labels[u] = pick(rng, node_alphabet);
             }
         }
         EditKind::RelabelEdge => {
             if !edges.is_empty() {
                 let i = rng.gen_range(0..edges.len());
-                edges[i].2 = *edge_alphabet.choose(rng).expect("non-empty");
+                edges[i].2 = pick(rng, edge_alphabet);
             }
         }
         EditKind::AddLeaf => {
             if n > 0 && n < NodeId::MAX as usize {
                 let anchor = rng.gen_range(0..n) as NodeId;
                 let id = n as NodeId;
-                node_labels.push(*node_alphabet.choose(rng).expect("non-empty"));
-                edges.push((
-                    anchor.min(id),
-                    anchor.max(id),
-                    *edge_alphabet.choose(rng).expect("non-empty"),
-                ));
+                node_labels.push(pick(rng, node_alphabet));
+                edges.push((anchor.min(id), anchor.max(id), pick(rng, edge_alphabet)));
             }
         }
         EditKind::RemoveLeaf => {
@@ -186,7 +190,7 @@ fn apply_edit<R: Rng + ?Sized>(
                     if edges.iter().any(|&(a, b, _)| (a, b) == key) {
                         continue;
                     }
-                    edges.push((key.0, key.1, *edge_alphabet.choose(rng).expect("non-empty")));
+                    edges.push((key.0, key.1, pick(rng, edge_alphabet)));
                     break;
                 }
             }

@@ -14,29 +14,78 @@
 use crate::builder::GraphBuilder;
 use crate::graph::{Graph, NodeId};
 use std::fmt::Write as _;
+use std::path::Path;
 
-/// Errors raised while parsing the text format.
+/// Errors raised while reading or parsing the text format.
+///
+/// Every variant carries enough context (1-based line numbers, offending
+/// content, expected-vs-found counts, file paths) for the CLI to print an
+/// actionable message without additional lookups.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ParseError {
-    /// A line did not match any of `t`/`v`/`e`.
-    BadLine(usize),
+pub enum GraphIoError {
+    /// A line did not match any of `t`/`v`/`e`, or its fields were malformed.
+    BadLine {
+        /// 1-based line number within the input.
+        line: usize,
+        /// The offending line, verbatim (trimmed).
+        content: String,
+    },
     /// Counts in the `t` header disagreed with the body.
-    CountMismatch,
-    /// The structural validation of the builder failed.
-    Structure(String),
+    CountMismatch {
+        /// 1-based line number of the `t` header.
+        line: usize,
+        /// Node count the header promised.
+        expected_nodes: usize,
+        /// Edge count the header promised.
+        expected_edges: usize,
+        /// Nodes actually present in the block.
+        found_nodes: usize,
+        /// Edges actually present in the block.
+        found_edges: usize,
+    },
+    /// The structural validation of the builder failed (e.g. a duplicate or
+    /// out-of-range edge).
+    Structure {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// Builder-level description of the violation.
+        detail: String,
+    },
+    /// A filesystem read or write failed.
+    Io {
+        /// The path involved.
+        path: String,
+        /// Stringified OS error.
+        detail: String,
+    },
 }
 
-impl std::fmt::Display for ParseError {
+impl std::fmt::Display for GraphIoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ParseError::BadLine(n) => write!(f, "unparseable line {n}"),
-            ParseError::CountMismatch => write!(f, "header counts disagree with body"),
-            ParseError::Structure(s) => write!(f, "invalid structure: {s}"),
+            GraphIoError::BadLine { line, content } => {
+                write!(f, "line {line}: unparseable record `{content}`")
+            }
+            GraphIoError::CountMismatch {
+                line,
+                expected_nodes,
+                expected_edges,
+                found_nodes,
+                found_edges,
+            } => write!(
+                f,
+                "line {line}: header promised {expected_nodes} nodes / {expected_edges} edges \
+                 but the block has {found_nodes} nodes / {found_edges} edges"
+            ),
+            GraphIoError::Structure { line, detail } => {
+                write!(f, "line {line}: invalid structure: {detail}")
+            }
+            GraphIoError::Io { path, detail } => write!(f, "{path}: {detail}"),
         }
     }
 }
 
-impl std::error::Error for ParseError {}
+impl std::error::Error for GraphIoError {}
 
 /// Serializes one graph into the text format, appending to `out`.
 pub fn write_graph(g: &Graph, out: &mut String) {
@@ -58,57 +107,101 @@ pub fn write_graphs(gs: &[Graph]) -> String {
     out
 }
 
+/// Writes a collection of graphs to `path` in the text format.
+pub fn write_graphs_path(path: &Path, gs: &[Graph]) -> Result<(), GraphIoError> {
+    std::fs::write(path, write_graphs(gs)).map_err(|e| GraphIoError::Io {
+        path: path.display().to_string(),
+        detail: e.to_string(),
+    })
+}
+
+/// Reads a collection of graphs from the text file at `path`.
+pub fn read_graphs_path(path: &Path) -> Result<Vec<Graph>, GraphIoError> {
+    let text = std::fs::read_to_string(path).map_err(|e| GraphIoError::Io {
+        path: path.display().to_string(),
+        detail: e.to_string(),
+    })?;
+    read_graphs(&text)
+}
+
+/// One in-progress block: builder plus the `t` header's promises.
+struct Block {
+    builder: GraphBuilder,
+    header_line: usize,
+    nodes: usize,
+    edges: usize,
+}
+
 /// Parses a collection of graphs from the text format.
-pub fn read_graphs(text: &str) -> Result<Vec<Graph>, ParseError> {
+///
+/// Line numbers in errors are 1-based; blank lines and `#` comments are
+/// skipped.
+pub fn read_graphs(text: &str) -> Result<Vec<Graph>, GraphIoError> {
     let mut graphs = Vec::new();
-    let mut builder: Option<(GraphBuilder, usize, usize)> = None;
-    for (lineno, line) in text.lines().enumerate() {
-        let line = line.trim();
+    let mut block: Option<Block> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
+        let bad = || GraphIoError::BadLine {
+            line: lineno,
+            content: line.to_string(),
+        };
         let mut parts = line.split_ascii_whitespace();
-        let tag = parts.next().ok_or(ParseError::BadLine(lineno))?;
+        let tag = parts.next().ok_or_else(bad)?;
         let nums: Vec<u64> = parts
-            .map(|p| p.parse::<u64>().map_err(|_| ParseError::BadLine(lineno)))
+            .map(|p| p.parse::<u64>().map_err(|_| bad()))
             .collect::<Result<_, _>>()?;
         match (tag, nums.as_slice()) {
             ("t", [n, m]) => {
-                if let Some(b) = builder.take() {
+                if let Some(b) = block.take() {
                     graphs.push(finish(b)?);
                 }
-                builder = Some((
-                    GraphBuilder::with_capacity(*n as usize, *m as usize),
-                    *n as usize,
-                    *m as usize,
-                ));
+                block = Some(Block {
+                    builder: GraphBuilder::with_capacity(*n as usize, *m as usize),
+                    header_line: lineno,
+                    nodes: *n as usize,
+                    edges: *m as usize,
+                });
             }
             ("v", [id, label]) => {
-                let (b, ..) = builder.as_mut().ok_or(ParseError::BadLine(lineno))?;
-                let got = b.add_node(*label as u32);
+                let b = block.as_mut().ok_or_else(bad)?;
+                let got = b.builder.add_node(*label as u32);
                 if got as u64 != *id {
-                    return Err(ParseError::BadLine(lineno));
+                    return Err(bad());
                 }
             }
             ("e", [u, v, label]) => {
-                let (b, ..) = builder.as_mut().ok_or(ParseError::BadLine(lineno))?;
-                b.add_edge(*u as NodeId, *v as NodeId, *label as u32)
-                    .map_err(|e| ParseError::Structure(e.to_string()))?;
+                let b = block.as_mut().ok_or_else(bad)?;
+                b.builder
+                    .add_edge(*u as NodeId, *v as NodeId, *label as u32)
+                    .map_err(|e| GraphIoError::Structure {
+                        line: lineno,
+                        detail: e.to_string(),
+                    })?;
             }
-            _ => return Err(ParseError::BadLine(lineno)),
+            _ => return Err(bad()),
         }
     }
-    if let Some(b) = builder.take() {
+    if let Some(b) = block.take() {
         graphs.push(finish(b)?);
     }
     Ok(graphs)
 }
 
-fn finish((b, n, m): (GraphBuilder, usize, usize)) -> Result<Graph, ParseError> {
-    if b.node_count() != n || b.edge_count() != m {
-        return Err(ParseError::CountMismatch);
+fn finish(b: Block) -> Result<Graph, GraphIoError> {
+    if b.builder.node_count() != b.nodes || b.builder.edge_count() != b.edges {
+        return Err(GraphIoError::CountMismatch {
+            line: b.header_line,
+            expected_nodes: b.nodes,
+            expected_edges: b.edges,
+            found_nodes: b.builder.node_count(),
+            found_edges: b.builder.edge_count(),
+        });
     }
-    Ok(b.build())
+    Ok(b.builder.build())
 }
 
 #[cfg(test)]
@@ -136,21 +229,57 @@ mod tests {
     }
 
     #[test]
-    fn bad_line_reports_position() {
+    fn bad_line_reports_position_and_content() {
         let err = read_graphs("t 1 0\nv 0 0\nx 1 2\n").unwrap_err();
-        assert_eq!(err, ParseError::BadLine(2));
+        assert_eq!(
+            err,
+            GraphIoError::BadLine {
+                line: 3,
+                content: "x 1 2".into()
+            }
+        );
+        assert!(err.to_string().contains("line 3"));
+        assert!(err.to_string().contains("x 1 2"));
     }
 
     #[test]
-    fn count_mismatch_detected() {
+    fn count_mismatch_reports_expected_and_found() {
         let err = read_graphs("t 2 0\nv 0 0\n").unwrap_err();
-        assert_eq!(err, ParseError::CountMismatch);
+        assert_eq!(
+            err,
+            GraphIoError::CountMismatch {
+                line: 1,
+                expected_nodes: 2,
+                expected_edges: 0,
+                found_nodes: 1,
+                found_edges: 0,
+            }
+        );
+        assert!(err.to_string().contains("promised 2 nodes"));
     }
 
     #[test]
-    fn structural_error_detected() {
+    fn structural_error_detected_with_line() {
         let err = read_graphs("t 2 2\nv 0 0\nv 1 0\ne 0 1 0\ne 1 0 0\n").unwrap_err();
-        assert!(matches!(err, ParseError::Structure(_)));
+        assert!(matches!(err, GraphIoError::Structure { line: 5, .. }));
+    }
+
+    #[test]
+    fn path_helpers_round_trip_and_report_paths() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let gs: Vec<Graph> = (0..3)
+            .map(|_| random_connected(&mut rng, 4, 1, &[0, 1], &[2]))
+            .collect();
+        let dir = std::env::temp_dir().join(format!("graphrep-io-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let file = dir.join("gs.txt");
+        write_graphs_path(&file, &gs).unwrap();
+        assert_eq!(read_graphs_path(&file).unwrap(), gs);
+        let missing = dir.join("nope.txt");
+        let err = read_graphs_path(&missing).unwrap_err();
+        assert!(matches!(err, GraphIoError::Io { .. }));
+        assert!(err.to_string().contains("nope.txt"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

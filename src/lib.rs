@@ -1,4 +1,6 @@
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
+#![deny(missing_debug_implementations)]
 
 //! # graphrep — top-k representative queries on graph databases
 //!
