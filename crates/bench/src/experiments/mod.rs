@@ -13,6 +13,7 @@ pub mod refinement;
 pub mod scalability;
 pub mod summary;
 pub mod threads;
+pub mod tiers;
 
 use crate::harness::Ctx;
 
@@ -38,6 +39,7 @@ pub const ALL: &[&str] = &[
     "ablation-bounds",
     "hybrid",
     "threads",
+    "ged_tiers",
     "summary",
 ];
 
@@ -64,6 +66,7 @@ pub fn run(ctx: &Ctx, id: &str) -> bool {
         "ablation-bounds" => ablation::bounds_ablation(ctx),
         "hybrid" => hybrid::hybrid_scale(ctx),
         "threads" => threads::thread_scaling(ctx),
+        "ged_tiers" => tiers::ged_tiers(ctx),
         "summary" => summary::summary(ctx),
         "all" => {
             for id in ALL {

@@ -3,7 +3,7 @@
 //! Two subsystems share this crate:
 //!
 //! 1. A **lint driver** ([`lint_workspace`]) — a handwritten lexer plus five
-//!    lexical rules (G001–G005, see [`rules`]) enforcing project conventions
+//!    lexical rules (G001–G006, see [`rules`]) enforcing project conventions
 //!    that clippy cannot express, with an inline per-site allow-directive
 //!    escape hatch (syntax in [`rules`]) and a JSON report mode for CI.
 //! 2. An **invariant-audit runner** (the `audit` subcommand in the binary)

@@ -1,4 +1,4 @@
-//! The five project lint rules (G001–G005) over the token stream.
+//! The six project lint rules (G001–G006) over the token stream.
 //!
 //! Rules are purely lexical: no type information, no macro expansion. That is
 //! enough for the project conventions they enforce, and it keeps the driver
@@ -28,7 +28,7 @@ pub struct Scope {
 /// A single rule violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule identifier (`G001`..`G005`, or `G000` for malformed directives).
+    /// Rule identifier (`G001`..`G006`, or `G000` for malformed directives).
     pub rule: &'static str,
     /// Workspace-relative path.
     pub file: String,
@@ -95,6 +95,7 @@ pub fn lint_source(file: &str, src: &str, scope: &Scope) -> (Vec<Finding>, Vec<S
     if G005_CRATES.iter().any(|c| c == &scope.crate_name) {
         rule_g005(file, toks, comments, &in_test, &mut findings);
     }
+    rule_g006(file, toks, comments, &in_test, &mut findings);
 
     // Apply allow-directives: a finding survives unless a directive with the
     // matching rule id covers its line.
@@ -462,6 +463,89 @@ fn rule_g005(
     }
 }
 
+/// G006: no fresh heap allocation inside functions marked hot-path.
+///
+/// A `// graphrep: hot-path` comment marks the next `fn` as part of the
+/// zero-allocation GED search path: its body must reuse the per-thread
+/// scratch buffers, so `Vec::new()` and `.collect(...)` (including
+/// turbofish `collect::<...>(...)`) are flagged anywhere inside it.
+fn rule_g006(
+    file: &str,
+    toks: &[Token],
+    comments: &[Comment],
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    for c in comments {
+        if !c.text.contains("graphrep: hot-path") || in_test(c.line) {
+            continue;
+        }
+        // The marked function: first `fn` token at or after the marker.
+        let Some(fn_idx) = toks
+            .iter()
+            .position(|t| t.kind == TokenKind::Ident && t.text == "fn" && t.line >= c.end_line)
+        else {
+            continue;
+        };
+        // Scan to the body's opening brace; a `;` first means a body-less
+        // declaration (trait method, extern) — nothing to check.
+        let mut k = fn_idx + 1;
+        while k < toks.len() && !is_punct(&toks[k], '{') && !is_punct(&toks[k], ';') {
+            k += 1;
+        }
+        if k >= toks.len() || is_punct(&toks[k], ';') {
+            continue;
+        }
+        let body_start = k;
+        let mut depth = 0usize;
+        while k < toks.len() {
+            match toks[k].kind {
+                TokenKind::Punct('{') => depth += 1,
+                TokenKind::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let body = &toks[body_start..k.min(toks.len())];
+        for (i, t) in body.iter().enumerate() {
+            if t.kind != TokenKind::Ident {
+                continue;
+            }
+            let alloc = match t.text.as_str() {
+                // `Vec::new(` — a fresh vector where a scratch buffer belongs.
+                "Vec" => {
+                    body.get(i + 1).is_some_and(|n| is_punct(n, ':'))
+                        && body.get(i + 2).is_some_and(|n| is_punct(n, ':'))
+                        && body.get(i + 3).is_some_and(|n| n.text == "new")
+                }
+                // `.collect(` / `.collect::<…>(` — an allocating adaptor.
+                "collect" => i > 0 && is_punct(&body[i - 1], '.'),
+                _ => false,
+            };
+            if alloc {
+                out.push(Finding {
+                    rule: "G006",
+                    file: file.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "`{}` inside a `graphrep: hot-path` function: reuse a scratch buffer",
+                        if t.text == "Vec" {
+                            "Vec::new"
+                        } else {
+                            ".collect"
+                        }
+                    ),
+                });
+            }
+        }
+    }
+}
+
 fn is_punct(t: &Token, c: char) -> bool {
     t.kind == TokenKind::Punct(c)
 }
@@ -540,6 +624,43 @@ mod tests {
         assert_eq!(s.len(), 1);
         assert_eq!(s[0].rule, "G001");
         assert_eq!(s[0].reason, "startup contract");
+    }
+
+    #[test]
+    fn g006_flags_allocation_in_hot_path_fn() {
+        // Fixture: violating hot-path function (both alloc shapes).
+        let src = "// graphrep: hot-path\nfn f(out: &mut Vec<u32>) {\n let v = Vec::new();\n let w: Vec<u32> = x.iter().collect();\n}\n";
+        assert_eq!(rules_of(src), vec!["G006", "G006"]);
+        // Turbofish collect is still an allocation.
+        let src = "// graphrep: hot-path\nfn f() { let v = it.collect::<Vec<_>>(); }\n";
+        assert_eq!(rules_of(src), vec!["G006"]);
+    }
+
+    #[test]
+    fn g006_clean_hot_path_and_unmarked_fns_pass() {
+        // Fixture: clean hot-path function reusing its scratch buffer.
+        let src = "// graphrep: hot-path\nfn f(buf: &mut Vec<u32>) { buf.clear(); buf.push(1); }\n";
+        assert_eq!(rules_of(src), Vec::<&str>::new());
+        // Unmarked functions may allocate freely.
+        let src = "fn g() { let v = Vec::new(); let w: Vec<_> = x.iter().collect(); }\n";
+        assert_eq!(rules_of(src), Vec::<&str>::new());
+        // The marker only covers the *next* fn, not later ones.
+        let src = "// graphrep: hot-path\nfn f(b: &mut Vec<u32>) { b.clear(); }\nfn g() { let v = Vec::new(); }\n";
+        assert_eq!(rules_of(src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn g006_suppressed_by_allow_directive() {
+        // Fixture: suppressed violation with a recorded reason.
+        let src = "// graphrep: hot-path\nfn f() {\n // graphrep: allow(G006, one-time warm-up allocation before the search loop)\n let v = Vec::new();\n}\n";
+        let (f, s) = lint_source("t.rs", src, &core_scope());
+        assert!(f.is_empty());
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].rule, "G006");
+        assert_eq!(
+            s[0].reason,
+            "one-time warm-up allocation before the search loop"
+        );
     }
 
     #[test]

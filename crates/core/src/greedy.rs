@@ -19,7 +19,9 @@ pub trait NeighborhoodProvider {
     fn neighborhood(&self, g: GraphId, theta: f64) -> Vec<GraphId>;
 }
 
-/// Brute-force provider: one `within` test per relevant graph.
+/// Brute-force provider: one θ-membership test per relevant graph, routed
+/// through the oracle's tiered [`DistanceOracle::within_verdict`] ladder so
+/// cheap bounds answer most tests without an edit-distance computation.
 #[derive(Debug)]
 pub struct BruteForceProvider<'a> {
     oracle: &'a DistanceOracle,
@@ -38,7 +40,7 @@ impl NeighborhoodProvider for BruteForceProvider<'_> {
         self.relevant
             .iter()
             .copied()
-            .filter(|&r| self.oracle.within(g, r, theta).is_some())
+            .filter(|&r| self.oracle.within_verdict(g, r, theta))
             .collect()
     }
 }

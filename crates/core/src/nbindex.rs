@@ -5,7 +5,7 @@ use crate::answer::AnswerSet;
 use crate::nbtree::{NbTree, NbTreeConfig};
 use crate::pihat::ThresholdLadder;
 use crate::session::{QuerySession, RunStats};
-use graphrep_ged::DistanceOracle;
+use graphrep_ged::{DistanceOracle, MetricHints};
 use graphrep_graph::GraphId;
 use graphrep_metric::VantageTable;
 use rand::rngs::SmallRng;
@@ -47,18 +47,34 @@ pub struct BuildStats {
     pub distance_calls: u64,
 }
 
+/// The vantage table's margin-adjusted Lipschitz/triangle bounds, exposed to
+/// the oracle's [`MetricHints`] tier: the same embedding that generates
+/// candidates also helps *verify* them without an engine call.
+#[derive(Debug)]
+struct VantageHints(Arc<VantageTable>);
+
+impl MetricHints for VantageHints {
+    fn lower_bound(&self, i: GraphId, j: GraphId) -> f64 {
+        self.0.hint_bounds(i, j).0
+    }
+    fn upper_bound(&self, i: GraphId, j: GraphId) -> f64 {
+        self.0.hint_bounds(i, j).1
+    }
+}
+
 /// The NB-Index over one graph database.
 #[derive(Debug)]
 pub struct NbIndex {
     oracle: Arc<DistanceOracle>,
-    vantage: VantageTable,
+    vantage: Arc<VantageTable>,
     tree: NbTree,
     ladder: ThresholdLadder,
     build_stats: BuildStats,
 }
 
 impl NbIndex {
-    /// Assembles an index from pre-built parts (used by persistence).
+    /// Assembles an index from pre-built parts (used by persistence),
+    /// installing the vantage bounds as the oracle's hint tier.
     pub(crate) fn from_parts(
         oracle: Arc<DistanceOracle>,
         vantage: VantageTable,
@@ -66,6 +82,8 @@ impl NbIndex {
         ladder: ThresholdLadder,
         build_stats: BuildStats,
     ) -> Self {
+        let vantage = Arc::new(vantage);
+        oracle.set_hints(Arc::new(VantageHints(Arc::clone(&vantage))));
         Self {
             oracle,
             vantage,
@@ -100,6 +118,10 @@ impl NbIndex {
             wall: t0.elapsed(),
             distance_calls: oracle.engine_calls() - calls0,
         };
+        let vantage = Arc::new(vantage);
+        // From here on the oracle can certify θ-verdicts straight from the
+        // embedding (Lipschitz lower / triangle upper bounds) — no engine.
+        oracle.set_hints(Arc::new(VantageHints(Arc::clone(&vantage))));
         let this = Self {
             oracle,
             vantage,

@@ -249,11 +249,17 @@ impl<'a> QuerySession<'a> {
     /// memoized in `neigh`.
     ///
     /// Verifying the `N̂_θ` candidate superset is the run's GED-dominated
-    /// step, so the per-candidate `within` tests fan out across rayon
-    /// workers. Each test is an independent pure distance evaluation against
-    /// the sharded oracle; the accepted candidates are folded into the bitset
-    /// sequentially in candidate order, so the result — and the oracle's
-    /// engine-call count — is identical at any thread count.
+    /// step, so the per-candidate θ-membership tests fan out across rayon
+    /// workers, in ascending Lipschitz-lower-bound order: near candidates
+    /// (small lower bound) are the likeliest triangle-upper-bound accepts,
+    /// so their exact distances — the costliest ones the tier ladder might
+    /// otherwise compute — are attempted only after the cheap certificates
+    /// have had first refusal, and far candidates arrive with the strongest
+    /// evidence for a bound-only rejection. Each test is an independent pure
+    /// evaluation against the sharded oracle; the accepted candidates are
+    /// folded into the bitset as a set, so the result — and the tiered
+    /// oracle's verdicts — is identical at any thread count and with tiers
+    /// on or off.
     fn neighborhood(
         &self,
         theta: f64,
@@ -271,18 +277,24 @@ impl<'a> QuerySession<'a> {
         let g = tree.graph_at(pos);
         let candidates = vt.candidates(g, theta);
         self.audit_thm5(g, &candidates, theta);
-        let verified: Vec<Option<u32>> = candidates
+        let mut keyed: Vec<(f64, u32)> = candidates
+            .into_iter()
+            .filter(|&c| self.relevant_by_id.contains(c as usize))
+            .map(|c| (vt.lower_bound(g, c), c))
+            .collect();
+        keyed.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let verified: Vec<Option<u32>> = keyed
             .par_iter()
-            .map(|&c| {
-                if !self.relevant_by_id.contains(c as usize) {
-                    return None;
-                }
-                match oracle.within(g, c, theta) {
-                    Some(d) => {
+            .map(|&(_, c)| {
+                if oracle.within_verdict(g, c, theta) {
+                    // Upper-bound-certified accepts carry no exact distance;
+                    // the Thm 4 audit checks whichever pairs have one.
+                    if let Some(d) = oracle.cached_distance(g, c) {
                         self.audit_thm4(g, c, d);
-                        Some(c)
                     }
-                    None => None,
+                    Some(c)
+                } else {
+                    None
                 }
             })
             .collect();

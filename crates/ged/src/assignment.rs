@@ -6,7 +6,7 @@
 //! path formulation and dual potentials.
 
 /// A dense square cost matrix in row-major order.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct CostMatrix {
     n: usize,
     data: Vec<f64>,
@@ -37,6 +37,14 @@ impl CostMatrix {
     pub fn set(&mut self, i: usize, j: usize, v: f64) {
         self.data[i * self.n + j] = v;
     }
+
+    /// Re-dimensions the matrix to `n × n` filled with `fill`, reusing the
+    /// existing allocation whenever capacity allows.
+    pub fn reset(&mut self, n: usize, fill: f64) {
+        self.n = n;
+        self.data.clear();
+        self.data.resize(n * n, fill);
+    }
 }
 
 /// Solution of an assignment problem.
@@ -48,80 +56,112 @@ pub struct Assignment {
     pub cost: f64,
 }
 
+/// Reusable working memory for [`solve_into`]: dual potentials, matching
+/// arrays, and the output permutation. Lives in the per-thread
+/// [`crate::scratch::SearchScratch`] so repeated solves allocate nothing
+/// after warm-up.
+#[derive(Debug, Default)]
+pub struct AssignScratch {
+    u: Vec<f64>,
+    v: Vec<f64>,
+    p: Vec<usize>,
+    way: Vec<usize>,
+    minv: Vec<f64>,
+    used: Vec<bool>,
+    /// `row_to_col[i]` is the column assigned to row `i` after a solve.
+    pub row_to_col: Vec<usize>,
+}
+
 /// Solves the minimum-cost assignment problem on a square matrix.
 ///
 /// Runs in `O(n³)` time. Costs may be any finite `f64` (including negative);
 /// `f64::INFINITY` marks forbidden pairs, which must leave at least one
 /// feasible perfect matching.
 pub fn solve(m: &CostMatrix) -> Assignment {
+    let mut s = AssignScratch::default();
+    let cost = solve_into(m, &mut s);
+    Assignment {
+        row_to_col: s.row_to_col,
+        cost,
+    }
+}
+
+/// [`solve`] into caller-provided scratch: the assignment lands in
+/// `s.row_to_col` and the total cost is returned. Allocation-free once the
+/// scratch buffers have grown to the largest `n` seen.
+// graphrep: hot-path
+pub fn solve_into(m: &CostMatrix, s: &mut AssignScratch) -> f64 {
     let n = m.n();
+    s.row_to_col.clear();
     if n == 0 {
-        return Assignment {
-            row_to_col: vec![],
-            cost: 0.0,
-        };
+        return 0.0;
     }
     // 1-based shortest-augmenting-path Hungarian (e-maxx formulation).
     let inf = f64::INFINITY;
-    let mut u = vec![0.0f64; n + 1];
-    let mut v = vec![0.0f64; n + 1];
-    let mut p = vec![0usize; n + 1]; // p[j] = row matched to column j (0 = none)
-    let mut way = vec![0usize; n + 1];
+    s.u.clear();
+    s.u.resize(n + 1, 0.0);
+    s.v.clear();
+    s.v.resize(n + 1, 0.0);
+    s.p.clear();
+    s.p.resize(n + 1, 0); // p[j] = row matched to column j (0 = none)
+    s.way.clear();
+    s.way.resize(n + 1, 0);
     for i in 1..=n {
-        p[0] = i;
+        s.p[0] = i;
         let mut j0 = 0usize;
-        let mut minv = vec![inf; n + 1];
-        let mut used = vec![false; n + 1];
+        s.minv.clear();
+        s.minv.resize(n + 1, inf);
+        s.used.clear();
+        s.used.resize(n + 1, false);
         loop {
-            used[j0] = true;
-            let i0 = p[j0];
+            s.used[j0] = true;
+            let i0 = s.p[j0];
             let mut delta = inf;
             let mut j1 = 0usize;
             for j in 1..=n {
-                if used[j] {
+                if s.used[j] {
                     continue;
                 }
-                let cur = m.get(i0 - 1, j - 1) - u[i0] - v[j];
-                if cur < minv[j] {
-                    minv[j] = cur;
-                    way[j] = j0;
+                let cur = m.get(i0 - 1, j - 1) - s.u[i0] - s.v[j];
+                if cur < s.minv[j] {
+                    s.minv[j] = cur;
+                    s.way[j] = j0;
                 }
-                if minv[j] < delta {
-                    delta = minv[j];
+                if s.minv[j] < delta {
+                    delta = s.minv[j];
                     j1 = j;
                 }
             }
             debug_assert!(delta.is_finite(), "no feasible assignment");
             for j in 0..=n {
-                if used[j] {
-                    u[p[j]] += delta;
-                    v[j] -= delta;
+                if s.used[j] {
+                    s.u[s.p[j]] += delta;
+                    s.v[j] -= delta;
                 } else {
-                    minv[j] -= delta;
+                    s.minv[j] -= delta;
                 }
             }
             j0 = j1;
-            if p[j0] == 0 {
+            if s.p[j0] == 0 {
                 break;
             }
         }
         loop {
-            let j1 = way[j0];
-            p[j0] = p[j1];
+            let j1 = s.way[j0];
+            s.p[j0] = s.p[j1];
             j0 = j1;
             if j0 == 0 {
                 break;
             }
         }
     }
-    let mut row_to_col = vec![0usize; n];
+    s.row_to_col.resize(n, 0);
     for j in 1..=n {
-        if p[j] != 0 {
-            row_to_col[p[j] - 1] = j - 1;
+        if s.p[j] != 0 {
+            s.row_to_col[s.p[j] - 1] = j - 1;
         }
     }
-    let cost = (0..n).map(|i| m.get(i, row_to_col[i])).sum();
-    Assignment { row_to_col, cost }
+    (0..n).map(|i| m.get(i, s.row_to_col[i])).sum()
 }
 
 #[cfg(test)]

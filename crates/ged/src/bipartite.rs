@@ -6,10 +6,23 @@
 //! the workhorse for large graphs (hybrid mode) and for seeding the exact
 //! search with a good cutoff.
 
-use crate::assignment::{solve, CostMatrix};
+use crate::assignment::{solve, solve_into, AssignScratch, CostMatrix};
 use crate::bounds::multiset_bound;
 use crate::cost::CostModel;
 use graphrep_graph::{Graph, NodeId};
+
+/// Reusable buffers for the bipartite bounds: the cost matrix, flattened
+/// per-node star label multisets, and the Hungarian solver's scratch. Lives
+/// in the per-thread [`crate::scratch::SearchScratch`].
+#[derive(Debug, Default)]
+pub(crate) struct BpBufs {
+    m: CostMatrix,
+    stars1: Vec<u32>,
+    stars1_off: Vec<usize>,
+    stars2: Vec<u32>,
+    stars2_off: Vec<usize>,
+    assign: AssignScratch,
+}
 
 /// A complete node mapping from `g1` to `g2`: `map1[i]` is the image of node
 /// `i` (or `None` for deletion), `unmatched2` are the inserted `g2` nodes.
@@ -21,34 +34,48 @@ pub struct NodeMapping {
     pub unmatched2: Vec<NodeId>,
 }
 
-/// Builds the `(n1+n2) × (n1+n2)` Riesen–Bunke cost matrix.
+/// Fills `flat`/`off` with the sorted neighbor-label multiset of every node
+/// of `g`, reusing the buffers.
+// graphrep: hot-path
+fn stars_into(g: &Graph, flat: &mut Vec<u32>, off: &mut Vec<usize>) {
+    flat.clear();
+    off.clear();
+    for u in 0..g.node_count() as NodeId {
+        let start = flat.len();
+        off.push(start);
+        for &(_, l) in g.neighbors(u) {
+            flat.push(l);
+        }
+        flat[start..].sort_unstable();
+    }
+    off.push(flat.len());
+}
+
+/// Builds the `(n1+n2) × (n1+n2)` Riesen–Bunke cost matrix into `bufs.m`.
 ///
 /// The upper-left block holds substitution estimates (node substitution plus
 /// half the incident-edge multiset bound — each edge is seen from both of its
 /// endpoints); the diagonal blocks hold deletions/insertions including
 /// incident edges; the lower-right block is zero.
 #[allow(clippy::needless_range_loop)] // indexed loops mirror the block matrix
-fn bp_matrix(g1: &Graph, g2: &Graph, cost: &CostModel) -> CostMatrix {
+                                      // graphrep: hot-path
+fn bp_matrix_into(g1: &Graph, g2: &Graph, cost: &CostModel, bufs: &mut BpBufs) {
     let n1 = g1.node_count();
     let n2 = g2.node_count();
     let n = n1 + n2;
     let inf = f64::INFINITY;
-    let mut m = CostMatrix::filled(n, 0.0);
-
-    let star = |g: &Graph, u: NodeId| -> Vec<u32> {
-        let mut v: Vec<u32> = g.neighbors(u).iter().map(|&(_, l)| l).collect();
-        v.sort_unstable();
-        v
-    };
-    let stars1: Vec<Vec<u32>> = (0..n1 as NodeId).map(|u| star(g1, u)).collect();
-    let stars2: Vec<Vec<u32>> = (0..n2 as NodeId).map(|u| star(g2, u)).collect();
+    bufs.m.reset(n, 0.0);
+    stars_into(g1, &mut bufs.stars1, &mut bufs.stars1_off);
+    stars_into(g2, &mut bufs.stars2, &mut bufs.stars2_off);
+    let m = &mut bufs.m;
     // (indexed loops below intentionally mirror the matrix block structure)
 
     for i in 0..n1 {
+        let s1 = &bufs.stars1[bufs.stars1_off[i]..bufs.stars1_off[i + 1]];
         for j in 0..n2 {
+            let s2 = &bufs.stars2[bufs.stars2_off[j]..bufs.stars2_off[j + 1]];
             let node = cost.node_subst(g1.node_label(i as NodeId), g2.node_label(j as NodeId));
-            let edges =
-                multiset_bound(&stars1[i], &stars2[j], cost.edge_sub, cost.edge_indel) / 2.0;
+            let edges = multiset_bound(s1, s2, cost.edge_sub, cost.edge_indel) / 2.0;
             m.set(i, j, node + edges);
         }
         // i -> ε (delete node i and its incident edges, half-charged).
@@ -72,14 +99,16 @@ fn bp_matrix(g1: &Graph, g2: &Graph, cost: &CostModel) -> CostMatrix {
         }
         // ε -> ε block stays 0.
     }
-    m
 }
 
 /// Runs the bipartite heuristic and returns the induced node mapping.
 pub fn bp_mapping(g1: &Graph, g2: &Graph, cost: &CostModel) -> NodeMapping {
     let n1 = g1.node_count();
     let n2 = g2.node_count();
-    let a = solve(&bp_matrix(g1, g2, cost));
+    let a = crate::scratch::with_scratch(|s| {
+        bp_matrix_into(g1, g2, cost, &mut s.bp);
+        solve(&s.bp.m)
+    });
     let mut map1 = vec![None; n1];
     let mut used2 = vec![false; n2];
     for (i, &c) in a.row_to_col.iter().take(n1).enumerate() {
@@ -127,11 +156,69 @@ pub fn induced_cost(g1: &Graph, g2: &Graph, mapping: &NodeMapping, cost: &CostMo
     total
 }
 
+/// Exact induced-path cost straight from the solver's `row_to_col` output,
+/// without materializing a [`NodeMapping`]. Same value as [`induced_cost`].
+// graphrep: hot-path
+fn induced_from_rows(g1: &Graph, g2: &Graph, row_to_col: &[usize], cost: &CostModel) -> f64 {
+    let n1 = g1.node_count();
+    let n2 = g2.node_count();
+    let mut total = 0.0;
+    // Node operations.
+    let mut matched = 0usize;
+    for (i, &c) in row_to_col.iter().take(n1).enumerate() {
+        if c < n2 {
+            total += cost.node_subst(g1.node_label(i as NodeId), g2.node_label(c as NodeId));
+            matched += 1;
+        } else {
+            total += cost.node_indel;
+        }
+    }
+    total += (n2 - matched) as f64 * cost.node_indel;
+
+    // g1 edges: substituted when both endpoints map and the image edge
+    // exists, deleted otherwise.
+    let mut matched_g2_edges = 0usize;
+    for e in g1.edges() {
+        let cu = row_to_col[e.u as usize];
+        let cv = row_to_col[e.v as usize];
+        if cu < n2 && cv < n2 {
+            match g2.edge_label(cu as NodeId, cv as NodeId) {
+                Some(l2) => {
+                    total += cost.edge_subst(e.label, l2);
+                    matched_g2_edges += 1;
+                }
+                None => total += cost.edge_indel,
+            }
+        } else {
+            total += cost.edge_indel;
+        }
+    }
+    // Remaining g2 edges are insertions.
+    total += (g2.edge_count() - matched_g2_edges) as f64 * cost.edge_indel;
+    total
+}
+
 /// Upper bound on GED from the bipartite heuristic: symmetric by
 /// construction (runs both directions and keeps the smaller).
 pub fn bp_upper_bound(g1: &Graph, g2: &Graph, cost: &CostModel) -> f64 {
-    let a = induced_cost(g1, g2, &bp_mapping(g1, g2, cost), cost);
-    let b = induced_cost(g2, g1, &bp_mapping(g2, g1, cost), cost);
+    crate::scratch::with_scratch(|s| bp_upper_bound_in(g1, g2, cost, &mut s.bp))
+}
+
+/// [`bp_upper_bound`] over caller-provided scratch; allocation-free after
+/// warm-up.
+// graphrep: hot-path
+pub(crate) fn bp_upper_bound_in(
+    g1: &Graph,
+    g2: &Graph,
+    cost: &CostModel,
+    bufs: &mut BpBufs,
+) -> f64 {
+    bp_matrix_into(g1, g2, cost, bufs);
+    let _ = solve_into(&bufs.m, &mut bufs.assign);
+    let a = induced_from_rows(g1, g2, &bufs.assign.row_to_col, cost);
+    bp_matrix_into(g2, g1, cost, bufs);
+    let _ = solve_into(&bufs.m, &mut bufs.assign);
+    let b = induced_from_rows(g2, g1, &bufs.assign.row_to_col, cost);
     a.min(b)
 }
 
@@ -145,7 +232,20 @@ pub fn bp_upper_bound(g1: &Graph, g2: &Graph, cost: &CostModel) -> f64 {
 /// substitution entries use the *admissible* half-star multiset bound.
 /// Stronger than the label bound whenever local structure disagrees.
 pub fn bp_lower_bound(g1: &Graph, g2: &Graph, cost: &CostModel) -> f64 {
-    solve(&bp_matrix(g1, g2, cost)).cost
+    crate::scratch::with_scratch(|s| bp_lower_bound_in(g1, g2, cost, &mut s.bp))
+}
+
+/// [`bp_lower_bound`] over caller-provided scratch; allocation-free after
+/// warm-up.
+// graphrep: hot-path
+pub(crate) fn bp_lower_bound_in(
+    g1: &Graph,
+    g2: &Graph,
+    cost: &CostModel,
+    bufs: &mut BpBufs,
+) -> f64 {
+    bp_matrix_into(g1, g2, cost, bufs);
+    solve_into(&bufs.m, &mut bufs.assign)
 }
 
 #[cfg(test)]

@@ -4,6 +4,7 @@
 //! whose answer is certainly above θ and (b) seed the A* heuristic.
 
 use crate::cost::CostModel;
+use crate::profile::GraphProfile;
 use graphrep_graph::Graph;
 use std::cmp::Ordering;
 
@@ -52,6 +53,54 @@ pub fn label_lower_bound(g1: &Graph, g2: &Graph, cost: &CostModel) -> f64 {
 pub fn size_lower_bound(g1: &Graph, g2: &Graph, cost: &CostModel) -> f64 {
     g1.node_count().abs_diff(g2.node_count()) as f64 * cost.node_indel
         + g1.edge_count().abs_diff(g2.edge_count()) as f64 * cost.edge_indel
+}
+
+/// [`label_lower_bound`] over precomputed profiles: identical value, but an
+/// O(n) merge over cached sorted arrays instead of four per-call sorts.
+pub fn label_lower_bound_profiled(p1: &GraphProfile, p2: &GraphProfile, cost: &CostModel) -> f64 {
+    multiset_bound(
+        &p1.node_labels,
+        &p2.node_labels,
+        cost.node_sub,
+        cost.node_indel,
+    ) + multiset_bound(
+        &p1.edge_labels,
+        &p2.edge_labels,
+        cost.edge_sub,
+        cost.edge_indel,
+    )
+}
+
+/// [`size_lower_bound`] over precomputed profiles (identical value).
+pub fn size_lower_bound_profiled(p1: &GraphProfile, p2: &GraphProfile, cost: &CostModel) -> f64 {
+    p1.node_count.abs_diff(p2.node_count) as f64 * cost.node_indel
+        + p1.edge_count.abs_diff(p2.edge_count) as f64 * cost.edge_indel
+}
+
+/// Degree-sequence lower bound: half the L1 distance between the zero-padded
+/// sorted degree sequences, charged at the edge-indel cost.
+///
+/// Admissible because node substitutions and edge substitutions leave every
+/// degree unchanged, deleting or inserting one edge changes the sorted
+/// sequence's minimal-matching L1 distance by at most 2 (one unit at each
+/// endpoint), and a node indel only adds or removes a zero entry of the
+/// padded sequence (its incident edges are charged as edge indels first).
+/// Any edit path therefore performs at least `⌈W1 / 2⌉` edge indels, each
+/// costing `edge_indel`. Orthogonal to the label bound (which can miss
+/// structural disagreement entirely); the tiers combine bounds with `max`,
+/// never by summing, because the two may charge the same edit.
+pub fn degree_sequence_bound(p1: &GraphProfile, p2: &GraphProfile, cost: &CostModel) -> f64 {
+    // Both sequences sorted ascending; the shorter is implicitly padded with
+    // leading zeros, which aligns with matching the largest degrees first.
+    let (a, b) = (&p1.degrees, &p2.degrees);
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let pad = long.len() - short.len();
+    let mut w1: u64 = 0;
+    for (i, &d) in long.iter().enumerate() {
+        let other = if i < pad { 0 } else { short[i - pad] };
+        w1 += u64::from(d.abs_diff(other));
+    }
+    (w1.div_ceil(2)) as f64 * cost.edge_indel
 }
 
 #[cfg(test)]

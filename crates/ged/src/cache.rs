@@ -13,13 +13,22 @@
 //! exactly one runs the NP-hard engine computation and the rest block on the
 //! cell, so engine-call accounting stays exact under any interleaving —
 //! every non-self request increments exactly one of
-//! `distance_computations` / `within_rejections` / `cache_hits`.
+//! `distance_computations` / `within_rejections` / `cache_hits` /
+//! `ub_accepts`.
+//!
+//! [`DistanceOracle::within_verdict`] additionally runs a ladder of cheap
+//! filter tiers (size → profiled label → degree sequence → metric hints)
+//! before falling back to the engine; every tier is verdict-identical to the
+//! engine, so answers are byte-for-byte independent of tiering and thread
+//! count.
 
-use crate::engine::GedEngine;
+use crate::bounds::{degree_sequence_bound, label_lower_bound_profiled, size_lower_bound_profiled};
+use crate::engine::{GedEngine, GedMode};
+use crate::profile::{profiles_for, GraphProfile};
 use graphrep_graph::{Graph, GraphId};
 use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// Statistics of oracle usage.
@@ -27,10 +36,52 @@ use std::sync::{Arc, OnceLock};
 pub struct OracleStats {
     /// Engine invocations that produced an exact cached distance.
     pub distance_computations: u64,
-    /// `within` engine invocations that only produced a lower-bound fact.
+    /// Rejected verdicts: `within`/`within_verdict` decisions of "outside τ",
+    /// whether decided by the engine or by a cheap filter tier.
     pub within_rejections: u64,
     /// Requests answered from cache.
     pub cache_hits: u64,
+    /// Accepted `within_verdict` decisions certified by a metric upper bound
+    /// with no engine call and no exact distance produced.
+    pub ub_accepts: u64,
+}
+
+/// Per-tier attribution of [`DistanceOracle::within_verdict`] decisions made
+/// without invoking the distance engine. Diagnostics only: the conservation
+/// identity is carried by [`OracleStats`], of which these are a breakdown
+/// (`size + label + degree + vantage_lb ≤ within_rejections`,
+/// `vantage_ub == ub_accepts`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierStats {
+    /// Rejections by the size lower bound.
+    pub size_rejects: u64,
+    /// Rejections by the profiled label lower bound.
+    pub label_rejects: u64,
+    /// Rejections by the degree-sequence lower bound.
+    pub degree_rejects: u64,
+    /// Rejections by the metric-hint (Lipschitz) lower bound.
+    pub vantage_lb_rejects: u64,
+    /// Acceptances by the metric-hint (triangle) upper bound.
+    pub vantage_ub_accepts: u64,
+}
+
+/// Cheap per-pair metric bounds supplied by an index structure — in practice
+/// the VantageTable's Lipschitz embedding (paper Sec 6.2), whose pivot rows
+/// give both `max_v |d(v,i) − d(v,j)| ≤ d(i,j)` and
+/// `d(i,j) ≤ min_v (d(v,i) + d(v,j))`.
+///
+/// Contract: both methods must already account for any storage rounding —
+/// [`MetricHints::lower_bound`] never exceeds and [`MetricHints::upper_bound`]
+/// never undercuts the value the engine would certify, *provided the pivot
+/// distances are exact*. The oracle additionally gates every hint use on the
+/// engine being in exact mode with zero budget fallbacks, so a degraded
+/// engine silently disables the hint tier rather than risking a verdict that
+/// differs from the engine's.
+pub trait MetricHints: Send + Sync + std::fmt::Debug {
+    /// A sound lower bound on `d(i, j)`.
+    fn lower_bound(&self, i: GraphId, j: GraphId) -> f64;
+    /// A sound upper bound on `d(i, j)` (may be `f64::INFINITY`).
+    fn upper_bound(&self, i: GraphId, j: GraphId) -> f64;
 }
 
 #[inline]
@@ -55,6 +106,9 @@ fn shard_of(key: u64) -> usize {
 /// `None` rejects (`d > τ`).
 type WithinCell = Arc<OnceLock<Option<f64>>>;
 
+/// A shared boolean θ-membership verdict for [`DistanceOracle::within_verdict`].
+type VerdictCell = Arc<OnceLock<bool>>;
+
 /// One cache shard: exact distances plus known strict lower bounds.
 #[derive(Default)]
 struct Shard {
@@ -63,10 +117,16 @@ struct Shard {
     exact: RwLock<HashMap<u64, Arc<OnceLock<f64>>>>,
     /// Known strict lower bounds: `d(i, j) > lower[key]`.
     lower: RwLock<HashMap<u64, f64>>,
+    /// Known upper bounds: `d(i, j) ≤ upper[key]`, from hint-certified
+    /// accepts that never produced an exact distance.
+    upper: RwLock<HashMap<u64, f64>>,
     /// `within` verdicts keyed by `(pair, τ bits)`. Threads racing the same
     /// uncached threshold test rendezvous here so only one runs the engine;
     /// `Some(d)` means `d(i, j) = d ≤ τ`, `None` means `d(i, j) > τ`.
     within: RwLock<HashMap<(u64, u64), WithinCell>>,
+    /// Boolean verdicts of the tiered `within_verdict` path, keyed the same
+    /// way; the winner evaluates the tier ladder exactly once per `(pair, τ)`.
+    verdict: RwLock<HashMap<(u64, u64), VerdictCell>>,
 }
 
 impl Shard {
@@ -94,18 +154,60 @@ impl Shard {
         }
         Arc::clone(self.within.write().entry(k).or_default())
     }
+
+    /// The `(pair, τ)` boolean verdict cell, creating an empty one if absent.
+    fn verdict_cell(&self, key: u64, tau: f64) -> VerdictCell {
+        let k = (key, tau.to_bits());
+        if let Some(cell) = self.verdict.read().get(&k) {
+            return Arc::clone(cell);
+        }
+        Arc::clone(self.verdict.write().entry(k).or_default())
+    }
+
+    /// Records the lower-bound fact `d > lb`, keeping the strongest.
+    fn note_lower(&self, key: u64, lb: f64) {
+        let mut lw = self.lower.write();
+        let e = lw.entry(key).or_insert(lb);
+        if *e < lb {
+            *e = lb;
+        }
+    }
+
+    /// Records the upper-bound fact `d ≤ ub`, keeping the strongest.
+    fn note_upper(&self, key: u64, ub: f64) {
+        let mut uw = self.upper.write();
+        let e = uw.entry(key).or_insert(ub);
+        if *e > ub {
+            *e = ub;
+        }
+    }
 }
 
 /// Caching, counting distance oracle over a fixed graph collection.
 pub struct DistanceOracle {
     graphs: Arc<Vec<Graph>>,
+    /// Per-graph sorted invariants, index-aligned with `graphs`; computed
+    /// once here so every bound tier is an O(n) merge.
+    profiles: Vec<GraphProfile>,
     engine: GedEngine,
     shards: [Shard; NUM_SHARDS],
+    /// Index-supplied metric bounds (Lipschitz embedding); installed after
+    /// the vantage table is built, absent before.
+    hints: RwLock<Option<Arc<dyn MetricHints>>>,
+    /// Whether `within_verdict` may use the cheap filter tiers at all;
+    /// disabled only for baseline comparison runs.
+    tiers_enabled: AtomicBool,
     computations: AtomicU64,
     rejections: AtomicU64,
     hits: AtomicU64,
+    ub_accepts: AtomicU64,
+    tier_size: AtomicU64,
+    tier_label: AtomicU64,
+    tier_degree: AtomicU64,
+    tier_vlb: AtomicU64,
     /// Total non-self requests, tallied only in audit builds to check the
-    /// conservation identity `computations + rejections + hits == requests`.
+    /// conservation identity
+    /// `computations + rejections + hits + ub_accepts == requests`.
     #[cfg(feature = "invariant-audit")]
     requests: AtomicU64,
 }
@@ -130,13 +232,22 @@ impl std::fmt::Debug for DistanceOracle {
 impl DistanceOracle {
     /// Creates an oracle over `graphs` backed by `engine`.
     pub fn new(graphs: Arc<Vec<Graph>>, engine: GedEngine) -> Self {
+        let profiles = profiles_for(&graphs);
         Self {
             graphs,
+            profiles,
             engine,
             shards: std::array::from_fn(|_| Shard::default()),
+            hints: RwLock::new(None),
+            tiers_enabled: AtomicBool::new(true),
             computations: AtomicU64::new(0),
             rejections: AtomicU64::new(0),
             hits: AtomicU64::new(0),
+            ub_accepts: AtomicU64::new(0),
+            tier_size: AtomicU64::new(0),
+            tier_label: AtomicU64::new(0),
+            tier_degree: AtomicU64::new(0),
+            tier_vlb: AtomicU64::new(0),
             #[cfg(feature = "invariant-audit")]
             requests: AtomicU64::new(0),
         }
@@ -184,8 +295,12 @@ impl DistanceOracle {
             computed = true;
             // Independent event tally; no cross-counter ordering is consumed.
             self.computations.fetch_add(1, Ordering::Relaxed);
-            self.engine
-                .distance(&self.graphs[i as usize], &self.graphs[j as usize])
+            self.engine.distance_profiled(
+                &self.graphs[i as usize],
+                &self.graphs[j as usize],
+                &self.profiles[i as usize],
+                &self.profiles[j as usize],
+            )
         });
         if !computed {
             // Independent event tally; no cross-counter ordering is consumed.
@@ -229,9 +344,11 @@ impl DistanceOracle {
                 return (d <= tau + 1e-9).then_some(d);
             }
             ran_engine = true;
-            match self.engine.distance_within(
+            match self.engine.distance_within_profiled(
                 &self.graphs[i as usize],
                 &self.graphs[j as usize],
+                &self.profiles[i as usize],
+                &self.profiles[j as usize],
                 tau,
             ) {
                 Some(d) => {
@@ -246,11 +363,7 @@ impl DistanceOracle {
                 None => {
                     // Independent event tally; the verdict cell publishes.
                     self.rejections.fetch_add(1, Ordering::Relaxed);
-                    let mut lw = shard.lower.write();
-                    let e = lw.entry(k).or_insert(tau);
-                    if *e < tau {
-                        *e = tau;
-                    }
+                    shard.note_lower(k, tau);
                     None
                 }
             }
@@ -262,6 +375,194 @@ impl DistanceOracle {
         verdict
     }
 
+    /// Returns `true` iff `d(i, j) ≤ tau`, deciding through the tiered filter
+    /// ladder: caches, then size / profiled-label / degree-sequence lower
+    /// bounds, then the installed [`MetricHints`] (Lipschitz lower bound and
+    /// triangle upper bound), and only then the engine.
+    ///
+    /// The verdict is identical to `self.within(i, j, tau).is_some()` in every
+    /// case — each lower-bound tier is sound (`bound > τ` implies the true
+    /// distance exceeds `τ`) and the upper-bound tier only accepts when the
+    /// true distance is certainly within `τ` — but unlike [`Self::within`] an
+    /// upper-bound acceptance produces no exact distance, so callers that
+    /// need the value afterwards should consult [`Self::cached_distance`].
+    ///
+    /// Hint tiers are additionally gated on the engine being in exact mode
+    /// with zero budget fallbacks: a degraded engine certifies verdicts about
+    /// its bipartite bound rather than the true distance, and only the
+    /// engine's own verdict is authoritative then.
+    ///
+    /// Accounting: concurrent calls on the same uncached `(pair, tau)`
+    /// evaluate the ladder exactly once; the winner increments exactly one of
+    /// `distance_computations` / `within_rejections` / `ub_accepts`, everyone
+    /// else counts a cache hit.
+    pub fn within_verdict(&self, i: GraphId, j: GraphId, tau: f64) -> bool {
+        if i == j {
+            return true;
+        }
+        let k = key(i, j);
+        self.note_request();
+        let shard = &self.shards[shard_of(k)];
+        if let Some(d) = shard.exact_get(k) {
+            // Independent event tally; no cross-counter ordering is consumed.
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return d <= tau + 1e-9;
+        }
+        if let Some(&lb) = shard.lower.read().get(&k) {
+            if lb >= tau - 1e-9 {
+                // d > lb ≥ tau: certainly outside. Independent event tally.
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+        }
+        if let Some(&ub) = shard.upper.read().get(&k) {
+            if ub <= tau + 1e-9 {
+                // d ≤ ub ≤ tau: certainly inside. Independent event tally.
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+        }
+        let cell = shard.verdict_cell(k, tau);
+        let mut counted = false;
+        let verdict = *cell.get_or_init(|| {
+            // A concurrent call may have resolved the pair between the cache
+            // probes above and winning this cell; re-check before paying for
+            // any tier.
+            if let Some(d) = shard.exact_get(k) {
+                return d <= tau + 1e-9;
+            }
+            let p1 = &self.profiles[i as usize];
+            let p2 = &self.profiles[j as usize];
+            // Tier gating reads are config-style flags, not synchronization.
+            if self.tiers_enabled.load(Ordering::Relaxed) {
+                let c = &self.engine.config().cost;
+                if size_lower_bound_profiled(p1, p2, c) > tau + 1e-9 {
+                    counted = true;
+                    // Independent event tallies; the verdict cell publishes.
+                    self.rejections.fetch_add(1, Ordering::Relaxed);
+                    self.tier_size.fetch_add(1, Ordering::Relaxed); // see above
+                    shard.note_lower(k, tau);
+                    return false;
+                }
+                if label_lower_bound_profiled(p1, p2, c) > tau + 1e-9 {
+                    counted = true;
+                    // Independent event tallies; the verdict cell publishes.
+                    self.rejections.fetch_add(1, Ordering::Relaxed);
+                    self.tier_label.fetch_add(1, Ordering::Relaxed); // see above
+                    shard.note_lower(k, tau);
+                    return false;
+                }
+                if degree_sequence_bound(p1, p2, c) > tau + 1e-9 {
+                    counted = true;
+                    // Independent event tallies; the verdict cell publishes.
+                    self.rejections.fetch_add(1, Ordering::Relaxed);
+                    self.tier_degree.fetch_add(1, Ordering::Relaxed); // see above
+                    shard.note_lower(k, tau);
+                    return false;
+                }
+                let hints = self.hints.read().as_ref().map(Arc::clone);
+                if let Some(h) = hints {
+                    if self.hints_sound() {
+                        let hub = h.upper_bound(i, j);
+                        if hub <= tau + 1e-9 {
+                            counted = true;
+                            // Independent event tally; the verdict cell
+                            // publishes.
+                            self.ub_accepts.fetch_add(1, Ordering::Relaxed);
+                            shard.note_upper(k, hub);
+                            return true;
+                        }
+                        let hlb = h.lower_bound(i, j);
+                        if hlb > tau + 1e-9 {
+                            counted = true;
+                            // Independent event tallies; the verdict cell
+                            // publishes.
+                            self.rejections.fetch_add(1, Ordering::Relaxed);
+                            self.tier_vlb.fetch_add(1, Ordering::Relaxed); // see above
+                            shard.note_lower(k, tau);
+                            return false;
+                        }
+                    }
+                }
+            }
+            counted = true;
+            match self.engine.distance_within_profiled(
+                &self.graphs[i as usize],
+                &self.graphs[j as usize],
+                p1,
+                p2,
+                tau,
+            ) {
+                Some(d) => {
+                    // Independent event tally; the verdict cell publishes.
+                    self.computations.fetch_add(1, Ordering::Relaxed);
+                    // A concurrent `distance` may have filled the cell with
+                    // the same exact value already; the failed set is
+                    // harmless.
+                    let _ = shard.cell(k).set(d);
+                    true
+                }
+                None => {
+                    // Independent event tally; the verdict cell publishes.
+                    self.rejections.fetch_add(1, Ordering::Relaxed);
+                    shard.note_lower(k, tau);
+                    false
+                }
+            }
+        });
+        if !counted {
+            // Independent event tally; no cross-counter ordering is consumed.
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        verdict
+    }
+
+    /// Whether hint bounds about the *true* distance may substitute for the
+    /// engine's verdict: requires exact mode and zero budget fallbacks so
+    /// far, because a budget-degraded engine certifies its bipartite bound
+    /// rather than the true distance.
+    fn hints_sound(&self) -> bool {
+        matches!(self.engine.config().mode, GedMode::Exact)
+            && self.engine.counters().snapshot().budget_fallbacks == 0
+    }
+
+    /// The exact distance between `i` and `j` if it is already known without
+    /// any engine work: `Some(0.0)` for `i == j`, otherwise the pair's
+    /// exact-cache entry. Never counts a request, a hit, or an engine call.
+    pub fn cached_distance(&self, i: GraphId, j: GraphId) -> Option<f64> {
+        if i == j {
+            return Some(0.0);
+        }
+        let k = key(i, j);
+        self.shards[shard_of(k)].exact_get(k)
+    }
+
+    /// Installs index-supplied metric bounds for [`Self::within_verdict`]'s
+    /// hint tier (replacing any previous hints).
+    pub fn set_hints(&self, hints: Arc<dyn MetricHints>) {
+        *self.hints.write() = Some(hints);
+    }
+
+    /// Enables or disables the cheap filter tiers of
+    /// [`Self::within_verdict`]; verdicts are identical either way, only the
+    /// cost of reaching them changes. Intended for baseline comparison runs.
+    pub fn set_tiers_enabled(&self, enabled: bool) {
+        // Config-style flag, not synchronization.
+        self.tiers_enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Per-tier attribution of engine-free [`Self::within_verdict`] decisions.
+    pub fn tier_stats(&self) -> TierStats {
+        TierStats {
+            // Counters are independent tallies read at quiescent points.
+            size_rejects: self.tier_size.load(Ordering::Relaxed),
+            label_rejects: self.tier_label.load(Ordering::Relaxed), // see above
+            degree_rejects: self.tier_degree.load(Ordering::Relaxed), // see above
+            vantage_lb_rejects: self.tier_vlb.load(Ordering::Relaxed), // see above
+            vantage_ub_accepts: self.ub_accepts.load(Ordering::Relaxed), // see above
+        }
+    }
+
     /// Usage statistics.
     pub fn stats(&self) -> OracleStats {
         OracleStats {
@@ -269,6 +570,7 @@ impl DistanceOracle {
             distance_computations: self.computations.load(Ordering::Relaxed),
             within_rejections: self.rejections.load(Ordering::Relaxed), // see above
             cache_hits: self.hits.load(Ordering::Relaxed),              // see above
+            ub_accepts: self.ub_accepts.load(Ordering::Relaxed),        // see above
         }
     }
 
@@ -284,6 +586,11 @@ impl DistanceOracle {
         self.computations.store(0, Ordering::Relaxed);
         self.rejections.store(0, Ordering::Relaxed); // see above
         self.hits.store(0, Ordering::Relaxed); // see above
+        self.ub_accepts.store(0, Ordering::Relaxed); // see above
+        self.tier_size.store(0, Ordering::Relaxed); // see above
+        self.tier_label.store(0, Ordering::Relaxed); // see above
+        self.tier_degree.store(0, Ordering::Relaxed); // see above
+        self.tier_vlb.store(0, Ordering::Relaxed); // see above
         self.reset_request_tally();
     }
 
@@ -322,7 +629,8 @@ impl DistanceOracle {
 
     /// Checks the accounting identity behind the concurrency layer's
     /// determinism guarantees: every non-self request increments exactly one
-    /// of `distance_computations` / `within_rejections` / `cache_hits`.
+    /// of `distance_computations` / `within_rejections` / `cache_hits` /
+    /// `ub_accepts`, and the tier breakdown never exceeds the rejection total.
     ///
     /// Only meaningful at a quiescent point (no concurrent oracle traffic).
     /// Compiled only under the `invariant-audit` feature.
@@ -332,12 +640,21 @@ impl DistanceOracle {
         // Audit-only tally read at a quiescent point.
         let q = self.requests.load(Ordering::Relaxed);
         crate::audit_invariant!(
-            s.distance_computations + s.within_rejections + s.cache_hits == q,
-            "oracle counter conservation: {} computations + {} rejections + {} hits != {} requests",
+            s.distance_computations + s.within_rejections + s.cache_hits + s.ub_accepts == q,
+            "oracle counter conservation: {} computations + {} rejections + {} hits + {} ub accepts != {} requests",
             s.distance_computations,
             s.within_rejections,
             s.cache_hits,
+            s.ub_accepts,
             q
+        );
+        let t = self.tier_stats();
+        crate::audit_invariant!(
+            t.size_rejects + t.label_rejects + t.degree_rejects + t.vantage_lb_rejects
+                <= s.within_rejections,
+            "oracle tier attribution: {:?} exceeds {} rejections",
+            t,
+            s.within_rejections
         );
     }
 
@@ -346,7 +663,9 @@ impl DistanceOracle {
         for shard in &self.shards {
             shard.exact.write().clear();
             shard.lower.write().clear();
+            shard.upper.write().clear();
             shard.within.write().clear();
+            shard.verdict.write().clear();
         }
         self.reset_stats();
     }
@@ -427,5 +746,107 @@ mod tests {
         assert_eq!(o.len(), 5);
         assert!(!o.is_empty());
         assert_eq!(o.graphs().len(), 5);
+    }
+
+    #[test]
+    fn within_verdict_agrees_with_within() {
+        let tiered = oracle(6, 7);
+        let plain = oracle(6, 7);
+        for i in 0..6u32 {
+            for j in 0..6u32 {
+                for tau in [0.5, 2.0, 4.0, 8.0] {
+                    assert_eq!(
+                        tiered.within_verdict(i, j, tau),
+                        plain.within(i, j, tau).is_some(),
+                        "pair ({i}, {j}) at tau {tau}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn within_verdict_tiers_off_agrees() {
+        let on = oracle(6, 7);
+        let off = oracle(6, 7);
+        off.set_tiers_enabled(false);
+        for i in 0..6u32 {
+            for j in 0..6u32 {
+                for tau in [0.5, 2.0, 4.0] {
+                    assert_eq!(on.within_verdict(i, j, tau), off.within_verdict(i, j, tau));
+                }
+            }
+        }
+        assert_eq!(off.tier_stats(), TierStats::default());
+    }
+
+    #[test]
+    fn cached_distance_reports_only_known_values() {
+        let o = oracle(3, 8);
+        assert_eq!(o.cached_distance(1, 1), Some(0.0));
+        assert_eq!(o.cached_distance(0, 1), None);
+        let before = o.stats();
+        assert_eq!(o.cached_distance(0, 1), None);
+        assert_eq!(o.stats(), before);
+        let d = o.distance(0, 1);
+        assert_eq!(o.cached_distance(0, 1), Some(d));
+        assert_eq!(o.cached_distance(1, 0), Some(d));
+    }
+
+    #[derive(Debug)]
+    struct PerfectHints(Vec<Vec<f64>>);
+
+    impl MetricHints for PerfectHints {
+        fn lower_bound(&self, i: GraphId, j: GraphId) -> f64 {
+            self.0[i as usize][j as usize]
+        }
+        fn upper_bound(&self, i: GraphId, j: GraphId) -> f64 {
+            self.0[i as usize][j as usize]
+        }
+    }
+
+    #[test]
+    fn hint_tier_decides_without_engine() {
+        let o = oracle(5, 9);
+        let n = o.len();
+        let mut m = vec![vec![0.0_f64; n]; n];
+        for (i, row) in m.iter_mut().enumerate() {
+            for (j, d) in row.iter_mut().enumerate() {
+                *d = o.distance(i as GraphId, j as GraphId);
+            }
+        }
+        o.clear();
+        o.set_hints(Arc::new(PerfectHints(m.clone())));
+        for i in 0..n as GraphId {
+            for j in 0..n as GraphId {
+                for tau in [1.0, 3.0, 6.0] {
+                    assert_eq!(
+                        o.within_verdict(i, j, tau),
+                        m[i as usize][j as usize] <= tau + 1e-9
+                    );
+                }
+            }
+        }
+        // Perfect hints decide every first evaluation that reaches the hint
+        // tier; the engine's exact search never runs after the clear.
+        assert_eq!(o.stats().distance_computations, 0);
+        assert!(o.tier_stats().vantage_ub_accepts > 0);
+        assert_eq!(o.stats().ub_accepts, o.tier_stats().vantage_ub_accepts);
+    }
+
+    #[test]
+    fn ub_accept_is_reused_from_upper_cache() {
+        let o = oracle(4, 10);
+        let d = o.distance(0, 1);
+        o.clear();
+        let m = vec![vec![0.0, d, 9.0, 9.0]; 4];
+        o.set_hints(Arc::new(PerfectHints(m)));
+        assert!(o.within_verdict(0, 1, d + 1.0));
+        let accepts = o.stats().ub_accepts;
+        assert_eq!(accepts, 1);
+        // Looser tau on the same pair: answered by the upper-bound cache.
+        assert!(o.within_verdict(0, 1, d + 2.0));
+        assert_eq!(o.stats().ub_accepts, accepts);
+        assert_eq!(o.stats().cache_hits, 1);
     }
 }

@@ -8,10 +8,19 @@
 //! memory is the binding constraint. Cross-validated against A\* in tests —
 //! both must return the same distances.
 
-use crate::bipartite::bp_upper_bound;
+use crate::bipartite::bp_upper_bound_in;
 use crate::cost::CostModel;
-use crate::exact::{heuristic, G1View};
+use crate::exact::{heuristic, G1View, HeurBufs};
 use graphrep_graph::{Graph, NodeId};
+
+/// Reusable DF-GED buffers: the current partial map and the shared
+/// child-ordering stack (sliced per recursion level). Lives in the
+/// per-thread [`crate::scratch::SearchScratch`].
+#[derive(Debug, Default)]
+pub(crate) struct DfBufs {
+    map: Vec<u8>,
+    children: Vec<(f64, u8)>,
+}
 
 /// Outcome of a DF-GED run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -31,7 +40,11 @@ struct Dfs<'a> {
     n2: usize,
     e2_total: usize,
     /// map[g1 node] = g2 node or EPS.
-    map: Vec<u8>,
+    map: &'a mut Vec<u8>,
+    /// Shared child-ordering stack; each recursion level uses the slice it
+    /// pushed and truncates back before returning.
+    children: &'a mut Vec<(f64, u8)>,
+    heur: &'a mut HeurBufs,
     best: f64,
     visited: u64,
 }
@@ -52,6 +65,7 @@ impl Dfs<'_> {
             + (self.e2_total - e2_internal) as f64 * self.cost.edge_indel
     }
 
+    // graphrep: hot-path
     fn step_cost(&self, depth: usize, k: NodeId, j: Option<NodeId>) -> f64 {
         match j {
             Some(j) => {
@@ -59,7 +73,7 @@ impl Dfs<'_> {
                     .cost
                     .node_subst(self.a.node_label(k), self.b.node_label(j));
                 for d in 0..depth {
-                    let p = self.view.order[d];
+                    let p = self.view.order(d);
                     let e1 = self.a.edge_label(k, p);
                     let pm = self.map[p as usize];
                     let e2 = if pm == EPS_NODE {
@@ -78,7 +92,7 @@ impl Dfs<'_> {
             None => {
                 let mut step = self.cost.node_indel;
                 for d in 0..depth {
-                    if self.a.edge_label(k, self.view.order[d]).is_some() {
+                    if self.a.edge_label(k, self.view.order(d)).is_some() {
                         step += self.cost.edge_indel;
                     }
                 }
@@ -87,6 +101,7 @@ impl Dfs<'_> {
         }
     }
 
+    // graphrep: hot-path
     fn rec(&mut self, depth: usize, used: u32, g: f64) {
         self.visited += 1;
         if depth == self.n1 {
@@ -96,21 +111,27 @@ impl Dfs<'_> {
             }
             return;
         }
-        if g + heuristic(self.a, self.b, self.view, depth, used, self.cost) >= self.best - TOL {
+        if g + heuristic(self.b, self.view, depth, used, self.cost, self.heur) >= self.best - TOL {
             return;
         }
-        let k = self.view.order[depth];
+        let k = self.view.order(depth);
         // Order children by step cost (cheapest first) to find good complete
-        // paths early and tighten the bound.
-        let mut children: Vec<(f64, u8)> = Vec::with_capacity(self.n2 + 1);
+        // paths early and tighten the bound. This level's slice of the shared
+        // stack is `start..end`; recursion pushes beyond `end` and truncates
+        // back, so the slice stays valid across the loop.
+        let start = self.children.len();
         for j in 0..self.n2 as u8 {
             if used & (1 << j) == 0 {
-                children.push((self.step_cost(depth, k, Some(j as NodeId)), j));
+                let c = self.step_cost(depth, k, Some(j as NodeId));
+                self.children.push((c, j));
             }
         }
-        children.push((self.step_cost(depth, k, None), EPS_NODE));
-        children.sort_by(|a, b| a.0.total_cmp(&b.0));
-        for (step, j) in children {
+        let c_eps = self.step_cost(depth, k, None);
+        self.children.push((c_eps, EPS_NODE));
+        self.children[start..].sort_by(|a, b| a.0.total_cmp(&b.0));
+        let end = self.children.len();
+        for ci in start..end {
+            let (step, j) = self.children[ci];
             if g + step >= self.best - TOL {
                 continue;
             }
@@ -119,6 +140,7 @@ impl Dfs<'_> {
             self.rec(depth + 1, used2, g + step);
             self.map[k as usize] = 0xFE;
         }
+        self.children.truncate(start);
     }
 }
 
@@ -141,29 +163,40 @@ pub fn ged_depth_first(g1: &Graph, g2: &Graph, cost: &CostModel, cutoff: f64) ->
             visited: 1,
         };
     }
-    let view = G1View::build(a);
-    // Seed with the bipartite upper bound: a tight initial best prunes hard.
-    let seed = bp_upper_bound(a, b, cost);
-    let mut dfs = Dfs {
-        a,
-        b,
-        view: &view,
-        cost,
-        n1,
-        n2,
-        e2_total,
-        map: vec![0xFE; n1],
-        // +TOL so a complete path *equal* to the seed is still recorded.
-        best: seed.min(cutoff) + 2.0 * TOL,
-        visited: 0,
-    };
-    dfs.rec(0, 0, 0.0);
-    let found = dfs.best;
-    let distance = (found <= cutoff + TOL && found.is_finite()).then_some(found);
-    DfResult {
-        distance,
-        visited: dfs.visited,
-    }
+    crate::scratch::with_scratch(|s| {
+        let crate::scratch::SearchScratch {
+            view, heur, bp, df, ..
+        } = s;
+        view.rebuild(a);
+        // Seed with the bipartite upper bound: a tight initial best prunes
+        // hard.
+        let seed = bp_upper_bound_in(a, b, cost, bp);
+        df.map.clear();
+        df.map.resize(n1, 0xFE);
+        df.children.clear();
+        let mut dfs = Dfs {
+            a,
+            b,
+            view,
+            cost,
+            n1,
+            n2,
+            e2_total,
+            map: &mut df.map,
+            children: &mut df.children,
+            heur,
+            // +TOL so a complete path *equal* to the seed is still recorded.
+            best: seed.min(cutoff) + 2.0 * TOL,
+            visited: 0,
+        };
+        dfs.rec(0, 0, 0.0);
+        let found = dfs.best;
+        let distance = (found <= cutoff + TOL && found.is_finite()).then_some(found);
+        DfResult {
+            distance,
+            visited: dfs.visited,
+        }
+    })
 }
 
 #[cfg(test)]

@@ -1,10 +1,13 @@
 //! The distance engine: policy around exact search, bounds, and fallbacks.
 
 use crate::bipartite::{bp_lower_bound, bp_upper_bound};
-use crate::bounds::label_lower_bound;
+use crate::bounds::{
+    degree_sequence_bound, label_lower_bound, label_lower_bound_profiled, size_lower_bound_profiled,
+};
 use crate::cost::CostModel;
 use crate::counter::GedCounters;
 use crate::exact::{ged_exact, Outcome};
+use crate::profile::GraphProfile;
 use graphrep_graph::Graph;
 
 /// How distances are computed.
@@ -119,6 +122,77 @@ impl GedEngine {
     pub fn distance_within(&self, g1: &Graph, g2: &Graph, tau: f64) -> Option<f64> {
         let c = &self.config.cost;
         let lb = label_lower_bound(g1, g2, c);
+        self.distance_within_from_lb(g1, g2, tau, lb)
+    }
+
+    /// [`GedEngine::distance`] with precomputed [`GraphProfile`]s: identical
+    /// result, but the label lower bound is an O(n) merge over the cached
+    /// sorted arrays instead of four per-call sorts.
+    pub fn distance_profiled(
+        &self,
+        g1: &Graph,
+        g2: &Graph,
+        p1: &GraphProfile,
+        p2: &GraphProfile,
+    ) -> f64 {
+        let c = &self.config.cost;
+        let lb = label_lower_bound_profiled(p1, p2, c);
+        self.counters.add(&self.counters.bp_calls, 1);
+        let ub = bp_upper_bound(g1, g2, c);
+        if (ub - lb).abs() <= 1e-9 {
+            return ub;
+        }
+        if !self.use_exact(g1, g2) {
+            return ub;
+        }
+        self.counters.add(&self.counters.exact_searches, 1);
+        let r = ged_exact(g1, g2, c, ub, self.config.budget);
+        self.counters.add(&self.counters.expansions, r.expansions);
+        match r.outcome {
+            Outcome::Distance(d) => d,
+            // The true distance is ≤ ub; with cutoff = ub the search can only
+            // fail by budget, where ub is the best certificate we hold.
+            Outcome::ExceedsCutoff | Outcome::BudgetExhausted => {
+                self.counters.add(&self.counters.budget_fallbacks, 1);
+                ub
+            }
+        }
+    }
+
+    /// [`GedEngine::distance_within`] with precomputed [`GraphProfile`]s:
+    /// identical verdicts and values, prefixed by the cheap profile tiers
+    /// (size, profiled label, degree sequence) which can only turn an
+    /// expensive rejection into a free one — each is a sound lower bound on
+    /// the true distance, so `bound > τ` implies the engine would reject too.
+    pub fn distance_within_profiled(
+        &self,
+        g1: &Graph,
+        g2: &Graph,
+        p1: &GraphProfile,
+        p2: &GraphProfile,
+        tau: f64,
+    ) -> Option<f64> {
+        let c = &self.config.cost;
+        if size_lower_bound_profiled(p1, p2, c) > tau + 1e-9 {
+            self.counters.add(&self.counters.lb_prunes, 1);
+            return None;
+        }
+        let lb = label_lower_bound_profiled(p1, p2, c);
+        if lb > tau + 1e-9 {
+            self.counters.add(&self.counters.lb_prunes, 1);
+            return None;
+        }
+        if degree_sequence_bound(p1, p2, c) > tau + 1e-9 {
+            self.counters.add(&self.counters.lb_prunes, 1);
+            return None;
+        }
+        self.distance_within_from_lb(g1, g2, tau, lb)
+    }
+
+    /// Shared tail of the `within` paths, entered with a label lower bound
+    /// already known to be ≤ `tau`.
+    fn distance_within_from_lb(&self, g1: &Graph, g2: &Graph, tau: f64, lb: f64) -> Option<f64> {
+        let c = &self.config.cost;
         if lb > tau + 1e-9 {
             self.counters.add(&self.counters.lb_prunes, 1);
             return None;

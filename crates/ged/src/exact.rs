@@ -42,7 +42,7 @@ pub struct ExactResult {
     pub expansions: u64,
 }
 
-#[derive(Clone, Copy)]
+#[derive(Debug, Clone, Copy)]
 struct Node {
     parent: u32,
     g: f64,
@@ -51,6 +51,7 @@ struct Node {
     j: u8,
 }
 
+#[derive(Debug)]
 struct HeapEntry {
     f: f64,
     depth: u8,
@@ -79,46 +80,98 @@ impl Ord for HeapEntry {
 }
 
 /// Precomputed, depth-indexed views of the first graph.
+///
+/// Stored as flat arrays with per-depth offsets so a reusable instance (in
+/// the per-thread [`crate::scratch::SearchScratch`]) can be rebuilt for each
+/// pair without allocating once its buffers have warmed up.
+#[derive(Debug, Default)]
 pub(crate) struct G1View {
     /// Processing order: `order[d]` is the g1 node handled at depth `d`.
-    pub(crate) order: Vec<NodeId>,
-    /// Sorted labels of nodes not yet processed at each depth.
-    suffix_node_labels: Vec<Vec<u32>>,
+    order: Vec<NodeId>,
+    /// `rank[u]` is the depth at which node `u` is processed.
+    rank: Vec<usize>,
+    /// Sorted labels of nodes not yet processed, flattened over depths.
+    suffix_node_labels: Vec<u32>,
+    /// `suffix_node_labels` slice offsets, one per depth `0..=n`, plus end.
+    suffix_off: Vec<usize>,
     /// Sorted labels of edges still pending (≥ one endpoint unprocessed).
-    pending_edge_labels: Vec<Vec<u32>>,
+    pending_edge_labels: Vec<u32>,
+    /// `pending_edge_labels` slice offsets, one per depth `0..=n`, plus end.
+    pending_off: Vec<usize>,
 }
 
 impl G1View {
-    pub(crate) fn build(g: &Graph) -> Self {
+    /// Recomputes the view for `g`, reusing all buffers.
+    // graphrep: hot-path
+    pub(crate) fn rebuild(&mut self, g: &Graph) {
         let n = g.node_count();
         // Degree-descending order: high-degree nodes first constrain more.
-        let mut order: Vec<NodeId> = (0..n as NodeId).collect();
-        order.sort_by_key(|&u| std::cmp::Reverse(g.degree(u)));
-        let mut rank = vec![0usize; n];
-        for (d, &u) in order.iter().enumerate() {
-            rank[u as usize] = d;
+        self.order.clear();
+        self.order.extend(0..n as NodeId);
+        self.order.sort_by_key(|&u| std::cmp::Reverse(g.degree(u)));
+        self.rank.clear();
+        self.rank.resize(n, 0);
+        for (d, &u) in self.order.iter().enumerate() {
+            self.rank[u as usize] = d;
         }
-        let mut suffix_node_labels = Vec::with_capacity(n + 1);
-        let mut pending_edge_labels = Vec::with_capacity(n + 1);
+        self.suffix_node_labels.clear();
+        self.suffix_off.clear();
+        self.pending_edge_labels.clear();
+        self.pending_off.clear();
         for d in 0..=n {
-            let mut nl: Vec<u32> = order[d..].iter().map(|&u| g.node_label(u)).collect();
-            nl.sort_unstable();
-            suffix_node_labels.push(nl);
-            let mut el: Vec<u32> = g
-                .edges()
-                .iter()
-                .filter(|e| rank[e.u as usize] >= d || rank[e.v as usize] >= d)
-                .map(|e| e.label)
-                .collect();
-            el.sort_unstable();
-            pending_edge_labels.push(el);
+            let nstart = self.suffix_node_labels.len();
+            self.suffix_off.push(nstart);
+            for i in d..n {
+                let u = self.order[i];
+                self.suffix_node_labels.push(g.node_label(u));
+            }
+            self.suffix_node_labels[nstart..].sort_unstable();
+            let estart = self.pending_edge_labels.len();
+            self.pending_off.push(estart);
+            for e in g.edges() {
+                if self.rank[e.u as usize] >= d || self.rank[e.v as usize] >= d {
+                    self.pending_edge_labels.push(e.label);
+                }
+            }
+            self.pending_edge_labels[estart..].sort_unstable();
         }
-        Self {
-            order,
-            suffix_node_labels,
-            pending_edge_labels,
-        }
+        self.suffix_off.push(self.suffix_node_labels.len());
+        self.pending_off.push(self.pending_edge_labels.len());
     }
+
+    /// The g1 node processed at depth `d`.
+    #[inline]
+    pub(crate) fn order(&self, d: usize) -> NodeId {
+        self.order[d]
+    }
+
+    /// Sorted labels of g1 nodes not yet processed at depth `d`.
+    #[inline]
+    fn suffix(&self, d: usize) -> &[u32] {
+        &self.suffix_node_labels[self.suffix_off[d]..self.suffix_off[d + 1]]
+    }
+
+    /// Sorted labels of g1 edges with an unprocessed endpoint at depth `d`.
+    #[inline]
+    fn pending(&self, d: usize) -> &[u32] {
+        &self.pending_edge_labels[self.pending_off[d]..self.pending_off[d + 1]]
+    }
+}
+
+/// Reusable buffers for the admissible heuristic's b-side multisets.
+#[derive(Debug, Default)]
+pub(crate) struct HeurBufs {
+    rem2: Vec<u32>,
+    pend2: Vec<u32>,
+}
+
+/// Reusable A* state: the node arena, the frontier heap, and the partial-map
+/// reconstruction buffer.
+#[derive(Debug, Default)]
+pub(crate) struct AstarBufs {
+    arena: Vec<Node>,
+    heap: BinaryHeap<HeapEntry>,
+    map: Vec<u8>,
 }
 
 /// Exact GED between `g1` and `g2` under `cost`, searching only edit paths of
@@ -133,6 +186,28 @@ pub fn ged_exact(
     cost: &CostModel,
     cutoff: f64,
     budget: u64,
+) -> ExactResult {
+    crate::scratch::with_scratch(|s| {
+        let crate::scratch::SearchScratch {
+            view, heur, astar, ..
+        } = s;
+        ged_exact_in(g1, g2, cost, cutoff, budget, view, heur, astar)
+    })
+}
+
+/// [`ged_exact`] over caller-provided scratch buffers; allocation-free once
+/// the buffers have warmed up to the largest instance seen on this thread.
+#[allow(clippy::too_many_arguments)] // internal: the wrapper owns the API
+                                     // graphrep: hot-path
+pub(crate) fn ged_exact_in(
+    g1: &Graph,
+    g2: &Graph,
+    cost: &CostModel,
+    cutoff: f64,
+    budget: u64,
+    view: &mut G1View,
+    hb: &mut HeurBufs,
+    ab: &mut AstarBufs,
 ) -> ExactResult {
     // Map the smaller graph onto the larger: fewer levels, same distance
     // (costs are symmetric).
@@ -163,35 +238,36 @@ pub fn ged_exact(
             expansions: 0,
         };
     }
-    let view = G1View::build(a);
+    view.rebuild(a);
 
-    let mut arena: Vec<Node> = Vec::with_capacity(1024);
-    let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
-    arena.push(Node {
+    ab.arena.clear();
+    ab.heap.clear();
+    ab.arena.push(Node {
         parent: u32::MAX,
         g: 0.0,
         used: 0,
         depth: 0,
         j: UNPROC,
     });
-    let h0 = heuristic(a, b, &view, 0, 0, cost);
+    let h0 = heuristic(b, view, 0, 0, cost, hb);
     if h0 > cutoff + eps {
         return ExactResult {
             outcome: Outcome::ExceedsCutoff,
             expansions: 0,
         };
     }
-    heap.push(HeapEntry {
+    ab.heap.push(HeapEntry {
         f: h0,
         depth: 0,
         idx: 0,
     });
 
     let mut expansions = 0u64;
-    let mut map_buf = vec![UNPROC; n1.max(1)];
+    ab.map.clear();
+    ab.map.resize(n1.max(1), UNPROC);
 
-    while let Some(entry) = heap.pop() {
-        let node = arena[entry.idx as usize];
+    while let Some(entry) = ab.heap.pop() {
+        let node = ab.arena[entry.idx as usize];
         if node.depth as usize == n1 {
             return ExactResult {
                 outcome: Outcome::Distance(node.g),
@@ -207,21 +283,21 @@ pub fn ged_exact(
         expansions += 1;
 
         // Reconstruct the partial map (g1 node -> g2 node / EPS).
-        for m in map_buf.iter_mut() {
+        for m in ab.map.iter_mut() {
             *m = UNPROC;
         }
         {
             let mut cur = entry.idx as usize;
-            while arena[cur].parent != u32::MAX {
-                let nd = arena[cur];
-                let g1_node = view.order[nd.depth as usize - 1];
-                map_buf[g1_node as usize] = nd.j;
-                cur = arena[cur].parent as usize;
+            while ab.arena[cur].parent != u32::MAX {
+                let nd = ab.arena[cur];
+                let g1_node = view.order(nd.depth as usize - 1);
+                ab.map[g1_node as usize] = nd.j;
+                cur = ab.arena[cur].parent as usize;
             }
         }
 
         let depth = node.depth as usize;
-        let k = view.order[depth]; // g1 node to map next
+        let k = view.order(depth); // g1 node to map next
         let child_depth = (depth + 1) as u8;
 
         // Children: map k -> each unused j of b, plus k -> ε.
@@ -232,9 +308,9 @@ pub fn ged_exact(
             let mut step = cost.node_subst(a.node_label(k), b.node_label(j as NodeId));
             // Edge costs against all previously processed g1 nodes.
             for d in 0..depth {
-                let p = view.order[d];
+                let p = view.order(d);
                 let e1 = a.edge_label(k, p);
-                let pm = map_buf[p as usize];
+                let pm = ab.map[p as usize];
                 let e2 = if pm == EPS {
                     None
                 } else {
@@ -247,14 +323,14 @@ pub fn ged_exact(
                 };
             }
             push_child(
-                a,
                 b,
-                &view,
+                view,
                 cost,
                 cutoff,
                 eps,
-                &mut arena,
-                &mut heap,
+                &mut ab.arena,
+                &mut ab.heap,
+                hb,
                 entry.idx,
                 node.g + step,
                 node.used | (1u32 << j),
@@ -268,20 +344,20 @@ pub fn ged_exact(
         {
             let mut step = cost.node_indel;
             for d in 0..depth {
-                let p = view.order[d];
+                let p = view.order(d);
                 if a.edge_label(k, p).is_some() {
                     step += cost.edge_indel;
                 }
             }
             push_child(
-                a,
                 b,
-                &view,
+                view,
                 cost,
                 cutoff,
                 eps,
-                &mut arena,
-                &mut heap,
+                &mut ab.arena,
+                &mut ab.heap,
+                hb,
                 entry.idx,
                 node.g + step,
                 node.used,
@@ -299,8 +375,8 @@ pub fn ged_exact(
 }
 
 #[allow(clippy::too_many_arguments)]
+// graphrep: hot-path
 fn push_child(
-    a: &Graph,
     b: &Graph,
     view: &G1View,
     cost: &CostModel,
@@ -308,6 +384,7 @@ fn push_child(
     eps: f64,
     arena: &mut Vec<Node>,
     heap: &mut BinaryHeap<HeapEntry>,
+    hb: &mut HeurBufs,
     parent: u32,
     mut g: f64,
     used: u32,
@@ -328,7 +405,7 @@ fn push_child(
         g += unused as f64 * cost.node_indel + (e2_total - e2_internal) as f64 * cost.edge_indel;
         0.0
     } else {
-        heuristic(a, b, view, depth as usize, used, cost)
+        heuristic(b, view, depth as usize, used, cost, hb)
     };
     let f = g + h;
     if f > cutoff + eps {
@@ -347,33 +424,36 @@ fn push_child(
 
 /// Admissible heuristic: label-multiset bound on remaining nodes plus a
 /// pending-edge-multiset bound.
+// graphrep: hot-path
 pub(crate) fn heuristic(
-    _a: &Graph,
     b: &Graph,
     view: &G1View,
     depth: usize,
     used: u32,
     cost: &CostModel,
+    bufs: &mut HeurBufs,
 ) -> f64 {
     // Remaining node labels.
-    let rem1 = &view.suffix_node_labels[depth];
-    let mut rem2: Vec<u32> = (0..b.node_count())
-        .filter(|&j| used & (1 << j) == 0)
-        .map(|j| b.node_label(j as NodeId))
-        .collect();
-    rem2.sort_unstable();
-    let h_nodes = multiset_bound(rem1, &rem2, cost.node_sub, cost.node_indel);
+    let rem1 = view.suffix(depth);
+    bufs.rem2.clear();
+    for j in 0..b.node_count() {
+        if used & (1 << j) == 0 {
+            bufs.rem2.push(b.node_label(j as NodeId));
+        }
+    }
+    bufs.rem2.sort_unstable();
+    let h_nodes = multiset_bound(rem1, &bufs.rem2, cost.node_sub, cost.node_indel);
 
     // Pending edges: a-side is precomputed per depth; b-side depends on mask.
-    let pend1 = &view.pending_edge_labels[depth];
-    let mut pend2: Vec<u32> = b
-        .edges()
-        .iter()
-        .filter(|e| used & (1 << e.u) == 0 || used & (1 << e.v) == 0)
-        .map(|e| e.label)
-        .collect();
-    pend2.sort_unstable();
-    let h_edges = multiset_bound(pend1, &pend2, cost.edge_sub, cost.edge_indel);
+    let pend1 = view.pending(depth);
+    bufs.pend2.clear();
+    for e in b.edges() {
+        if used & (1 << e.u) == 0 || used & (1 << e.v) == 0 {
+            bufs.pend2.push(e.label);
+        }
+    }
+    bufs.pend2.sort_unstable();
+    let h_edges = multiset_bound(pend1, &bufs.pend2, cost.edge_sub, cost.edge_indel);
     h_nodes + h_edges
 }
 

@@ -27,8 +27,11 @@ pub mod counter;
 pub mod depthfirst;
 pub mod engine;
 pub mod exact;
+pub mod profile;
+pub(crate) mod scratch;
 
-pub use cache::{DistanceOracle, OracleStats};
+pub use cache::{DistanceOracle, MetricHints, OracleStats, TierStats};
+pub use profile::GraphProfile;
 
 /// Asserts a paper-derived runtime invariant when the *consuming* crate is
 /// compiled with its `invariant-audit` cargo feature; expands to nothing

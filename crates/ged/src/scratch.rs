@@ -1,0 +1,43 @@
+//! Per-thread reusable search state for the GED hot path.
+//!
+//! Every public GED entry point (`ged_exact`, `bp_upper_bound`,
+//! `bp_lower_bound`, `ged_depth_first`) borrows this thread's
+//! [`SearchScratch`] exactly once, for the duration of one call, and runs an
+//! internal `*_in` variant against its buffers. Buffers are `clear()`ed —
+//! never shrunk — between calls, so after a few calls have warmed them up to
+//! the largest instance seen, repeated `within(τ)` verification does zero
+//! heap allocation.
+//!
+//! Borrow discipline: the public wrappers never nest (an `*_in` function
+//! takes `&mut` buffer parts and cannot re-enter [`with_scratch`]), so the
+//! `RefCell` borrow is provably exclusive and panic-free.
+
+use crate::bipartite::BpBufs;
+use crate::depthfirst::DfBufs;
+use crate::exact::{AstarBufs, G1View, HeurBufs};
+use std::cell::RefCell;
+
+/// All reusable buffers of one worker thread, grouped so internal search
+/// routines can borrow disjoint parts simultaneously.
+#[derive(Debug, Default)]
+pub(crate) struct SearchScratch {
+    /// Depth-indexed g1 view for A* / DF-GED.
+    pub(crate) view: G1View,
+    /// Heuristic-side multiset buffers.
+    pub(crate) heur: HeurBufs,
+    /// A* arena, frontier heap, and map-reconstruction buffer.
+    pub(crate) astar: AstarBufs,
+    /// Bipartite matrix, star multisets, and Hungarian solver scratch.
+    pub(crate) bp: BpBufs,
+    /// DF-GED partial map and child-ordering stack.
+    pub(crate) df: DfBufs,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<SearchScratch> = RefCell::new(SearchScratch::default());
+}
+
+/// Runs `f` with exclusive access to this thread's scratch buffers.
+pub(crate) fn with_scratch<R>(f: impl FnOnce(&mut SearchScratch) -> R) -> R {
+    SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}

@@ -13,6 +13,25 @@ use serde::{Deserialize, Serialize};
 
 const EPS: f64 = 1e-6;
 
+/// The single-band test `|dᵢ − dⱼ| ≤ θ` on two *stored* (f32) coordinates,
+/// with the shared storage tolerance. The difference is taken in f64, where
+/// it is exact for f32 inputs, so every band decision in this module rounds
+/// the same way.
+#[inline]
+fn band_pass(di: f32, dj: f32, theta: f64) -> bool {
+    (f64::from(di) - f64::from(dj)).abs() <= theta + EPS
+}
+
+/// f32 scan edges of the band `[center − θ − EPS, center + θ + EPS]`, widened
+/// by one ULP on each side so truncating the f64 edges to storage precision
+/// can never exclude a coordinate that [`band_pass`] accepts.
+#[inline]
+fn band_edges(center: f32, theta: f64) -> (f32, f32) {
+    let lo = ((f64::from(center) - theta - EPS) as f32).next_down();
+    let hi = ((f64::from(center) + theta + EPS) as f32).next_up();
+    (lo, hi)
+}
+
 /// The vantage orderings of a database: per-VP distances and sorted orders.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct VantageTable {
@@ -66,14 +85,20 @@ impl VantageTable {
     ) -> Self {
         use rayon::prelude::*;
         let num_vps = vp_ids.len();
+        if n == 0 {
+            // No items: the matrix is `|V|` empty rows. Guarded explicitly so
+            // the flat-index arithmetic below never divides by zero (and so a
+            // non-empty `vp_ids` cannot be silently dropped by `chunks`).
+            return Self::from_dists(0, vp_ids, vec![Vec::new(); num_vps]);
+        }
         let flat: Vec<f32> = (0..num_vps * n)
             .into_par_iter()
             .map(|cell| {
-                let (v, i) = (vp_ids[cell / n.max(1)], (cell % n.max(1)) as u32);
+                let (v, i) = (vp_ids[cell / n], (cell % n) as u32);
                 dist(v, i) as f32
             })
             .collect();
-        let dists = flat.chunks(n.max(1)).map(<[f32]>::to_vec).collect();
+        let dists = flat.chunks(n).map(<[f32]>::to_vec).collect();
         Self::from_dists(n, vp_ids, dists)
     }
 
@@ -142,20 +167,38 @@ impl VantageTable {
     pub fn passes_all_bands(&self, i: u32, j: u32, theta: f64) -> bool {
         self.dists
             .iter()
-            .all(|d| ((d[i as usize] - d[j as usize]).abs() as f64) <= theta + EPS)
+            .all(|d| band_pass(d[i as usize], d[j as usize], theta))
     }
 
     /// Index range (into `orders[v]`) of items whose VP-distance lies within
-    /// `[d(v,i) − θ, d(v,i) + θ]`.
+    /// `[d(v,i) − θ, d(v,i) + θ]`. Uses [`band_edges`], whose widened f32
+    /// edges guarantee the range covers every item [`band_pass`] accepts.
     fn band_range(&self, v: usize, i: u32, theta: f64) -> (usize, usize) {
-        let center = self.dists[v][i as usize] as f64;
-        let lo = (center - theta - EPS) as f32;
-        let hi = (center + theta + EPS) as f32;
+        let (lo, hi) = band_edges(self.dists[v][i as usize], theta);
         let ord = &self.orders[v];
         let d = &self.dists[v];
         let start = ord.partition_point(|&id| d[id as usize] < lo);
         let end = ord.partition_point(|&id| d[id as usize] <= hi);
         (start, end)
+    }
+
+    /// One-pass margin-adjusted metric bounds for the pair `(i, j)`: a
+    /// Lipschitz lower bound and triangle upper bound on `d(i, j)` that stay
+    /// sound under the f32 storage rounding of the per-VP distances (each
+    /// stored coordinate carries relative error ≤ 2⁻²⁴ ≪ the `EPS = 1e-6`
+    /// margin applied here, which scales with the coordinate magnitudes —
+    /// not with their difference, where cancellation would make a
+    /// difference-relative margin unsound). Returns `(0.0, f64::INFINITY)`
+    /// when there are no vantage points.
+    pub fn hint_bounds(&self, i: u32, j: u32) -> (f64, f64) {
+        let mut lb = 0.0_f64;
+        let mut ub = f64::INFINITY;
+        for d in &self.dists {
+            let (di, dj) = (f64::from(d[i as usize]), f64::from(d[j as usize]));
+            lb = lb.max((di - dj).abs() - EPS * (di + dj));
+            ub = ub.min((di + dj) * (1.0 + EPS));
+        }
+        (lb.max(0.0), ub)
     }
 
     /// Computes the candidate neighborhood `N̂_θ(i)` (Theorem 5), appending
@@ -270,6 +313,75 @@ mod tests {
         let mut d = |a: u32, b: u32| (a as f64 - b as f64).abs();
         let t = VantageTable::build_with_vps(5, vec![], &mut d);
         assert_eq!(t.candidates(2, 1.0), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn par_build_on_empty_database() {
+        // Regression: the flat-index arithmetic used `n.max(1)`, which on an
+        // empty database produced a dists/vp_ids length mismatch instead of
+        // `|V|` empty rows.
+        let t = VantageTable::build_with_vps_par(0, vec![], &|_, _| 0.0);
+        assert!(t.is_empty());
+        assert_eq!(t.num_vps(), 0);
+        assert!(t.candidates(0, 1.0).is_empty());
+        let t2 = VantageTable::build_with_vps_par(0, vec![7, 9], &|_, _| 0.0);
+        assert_eq!(t2.num_vps(), 2);
+        assert_eq!(t2.len(), 0);
+        assert_eq!(t2.memory_bytes(), 8);
+    }
+
+    #[test]
+    fn band_scan_covers_band_pass_near_f32_boundaries() {
+        // Coordinates engineered so the band edge `center ± θ` falls within
+        // one f32 ULP of stored values: the scan range must still cover
+        // everything `passes_all_bands` accepts, or candidate generation
+        // would silently drop true neighbors.
+        let base = 16_384.0_f64; // f32 ULP here is 2⁻³Q·2¹⁴ = 1/512
+        let ulp = (16_384.0_f32.next_up() - 16_384.0_f32) as f64;
+        let pos = [0.0, base, base + ulp, base + 2.0 * ulp, base + 1000.0];
+        let dist = |a: u32, b: u32| (pos[a as usize] - pos[b as usize]).abs();
+        let t = VantageTable::build_with_vps(pos.len(), vec![0], &mut { dist });
+        for theta in [ulp, 2.0 * ulp, ulp / 2.0, 1000.0 - ulp] {
+            for i in 0..pos.len() as u32 {
+                let cands = t.candidates(i, theta);
+                for j in 0..pos.len() as u32 {
+                    if t.passes_all_bands(i, j, theta) {
+                        assert!(
+                            cands.contains(&j),
+                            "θ={theta}: {j} passes all bands of {i} but was not scanned"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hint_bounds_sandwich_true_distance_despite_f32_storage() {
+        // Large, nearly equal coordinates: the f32 rounding error of each
+        // stored distance can exceed the true difference, so an unadjusted
+        // |dᵢ − dⱼ| would overshoot d(i, j). The margins must absorb it.
+        let pos = [0.0_f64, 1.0e6, 1.0e6 + 0.01, 1.0e6 + 0.5, 2.0e6];
+        let dist = |a: u32, b: u32| (pos[a as usize] - pos[b as usize]).abs();
+        let t = VantageTable::build_with_vps(pos.len(), vec![0, 4], &mut { dist });
+        for i in 0..pos.len() as u32 {
+            for j in 0..pos.len() as u32 {
+                let d = dist(i, j);
+                let (lb, ub) = t.hint_bounds(i, j);
+                assert!(lb <= d + 1e-9, "({i},{j}): lb {lb} > d {d}");
+                assert!(ub >= d - 1e-9, "({i},{j}): ub {ub} < d {d}");
+            }
+        }
+        let (lb, ub) = t.hint_bounds(0, 4);
+        assert!(lb > 0.0 && ub.is_finite());
+    }
+
+    #[test]
+    fn hint_bounds_empty_vps_are_vacuous() {
+        let t = VantageTable::build_with_vps(3, vec![], &mut |a: u32, b: u32| {
+            (a as f64 - b as f64).abs()
+        });
+        assert_eq!(t.hint_bounds(0, 2), (0.0, f64::INFINITY));
     }
 
     #[test]

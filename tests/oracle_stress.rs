@@ -3,11 +3,16 @@
 //! engine exactly once per unique `distance()` pair and once per unique
 //! uncached `within()` `(pair, τ)` request, and keep the
 //! [`OracleStats`] counters exact — every non-self request increments
-//! exactly one of computations / rejections / hits.
+//! exactly one of computations / rejections / hits / ub-accepts.
+//!
+//! The tiered `within_verdict` ladder gets the same treatment: under
+//! 8-thread racing its verdicts must equal the engine-only oracle's on every
+//! `(pair, τ)`, and the counters must still conserve.
 
-use graphrep::ged::{DistanceOracle, GedConfig, GedEngine};
+use graphrep::ged::{DistanceOracle, GedConfig, GedEngine, MetricHints};
 use graphrep::graph::generate::random_connected;
 use graphrep::graph::Graph;
+use graphrep::graph::GraphId;
 use std::sync::Arc;
 
 const THREADS: usize = 8;
@@ -269,5 +274,160 @@ fn mixed_distance_within_requests_account_every_call() {
         s.distance_computations + s.within_rejections + s.cache_hits,
         issued,
         "counters must sum to the number of non-self requests"
+    );
+}
+
+/// Hints built from precomputed true distances with multiplicative slack:
+/// sound (`0.9·d ≤ d ≤ 1.1·d` for non-negative `d`) but loose enough that
+/// requests spread across the ub-accept, lb-reject, and engine tiers.
+#[derive(Debug)]
+struct SlackHints(Vec<Vec<f64>>);
+
+impl MetricHints for SlackHints {
+    fn lower_bound(&self, i: GraphId, j: GraphId) -> f64 {
+        self.0[i as usize][j as usize] * 0.9
+    }
+    fn upper_bound(&self, i: GraphId, j: GraphId) -> f64 {
+        self.0[i as usize][j as usize] * 1.1
+    }
+}
+
+#[test]
+fn tiered_verdicts_agree_with_engine_only_under_racing() {
+    // Property test for the filter ladder: a tiered oracle (cheap bounds +
+    // metric hints + engine) must return the SAME verdict as an engine-only
+    // oracle for every (pair, τ), even while 8 threads race overlapping
+    // pairs in different orders — and at quiescence its counters must still
+    // conserve: hits + computations + rejections + ub_accepts == issued
+    // non-self requests.
+    let n = 12u32;
+    let taus = [0.5, 2.0, 4.0, 8.0];
+    let pairs = pairs(n);
+
+    // Engine-only reference: tiers disabled, no hints. Pre-resolve every
+    // pair so the in-thread re-checks below are warm reads.
+    let reference = oracle(n as usize, 4);
+    reference.set_tiers_enabled(false);
+    let mut dist = vec![vec![0.0_f64; n as usize]; n as usize];
+    for &(i, j) in &pairs {
+        let d = reference.distance(i, j);
+        dist[i as usize][j as usize] = d;
+        dist[j as usize][i as usize] = d;
+    }
+
+    // Tiered oracle over the same graphs (same seed), hints installed.
+    let tiered = oracle(n as usize, 4);
+    tiered.set_hints(Arc::new(SlackHints(dist)));
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let tiered = Arc::clone(&tiered);
+            let reference = Arc::clone(&reference);
+            let pairs = pairs.clone();
+            s.spawn(move || {
+                // Different traversal order per thread maximizes same-pair
+                // races inside the verdict cells.
+                let mut order = pairs.clone();
+                if t % 2 == 1 {
+                    order.reverse();
+                }
+                let shift = (t * 13) % order.len();
+                order.rotate_left(shift);
+                for &(i, j) in &order {
+                    for &tau in &taus {
+                        // Mix argument orders: (i,j) and (j,i) share a key.
+                        let v = if t % 2 == 0 {
+                            tiered.within_verdict(i, j, tau)
+                        } else {
+                            tiered.within_verdict(j, i, tau)
+                        };
+                        assert_eq!(
+                            v,
+                            reference.within(i, j, tau).is_some(),
+                            "tiered verdict diverged on pair ({i},{j}) τ={tau}"
+                        );
+                        // Self-verdicts stay free of charge and true.
+                        assert!(tiered.within_verdict(i, i, tau));
+                    }
+                }
+            });
+        }
+    });
+
+    let s = tiered.stats();
+    let issued = (THREADS * pairs.len() * taus.len()) as u64;
+    assert_eq!(
+        s.cache_hits + s.distance_computations + s.within_rejections + s.ub_accepts,
+        issued,
+        "tiered counters must conserve: hits {} + computations {} + \
+         rejections {} + ub_accepts {}",
+        s.cache_hits,
+        s.distance_computations,
+        s.within_rejections,
+        s.ub_accepts
+    );
+    // The slack hints are tight enough that at least one request is settled
+    // by the triangle upper bound alone; the breakdown must attribute no
+    // more rejections to tiers than were counted in total.
+    let tier = tiered.tier_stats();
+    assert!(s.ub_accepts > 0, "expected at least one ub-accept");
+    assert_eq!(tier.vantage_ub_accepts, s.ub_accepts);
+    assert!(
+        tier.size_rejects + tier.label_rejects + tier.degree_rejects + tier.vantage_lb_rejects
+            <= s.within_rejections
+    );
+    #[cfg(feature = "invariant-audit")]
+    tiered.audit_counter_conservation();
+}
+
+#[test]
+fn tiers_never_change_cold_racing_verdicts() {
+    // Same racing workload on two fresh oracles over identical graphs — one
+    // tiered (without hints: size/label/degree bounds only), one engine-only
+    // — both COLD, so the ladder itself races concurrent misses. Collected
+    // verdicts must be identical maps.
+    let taus = [1.0, 3.0, 6.0];
+    let pairs = pairs(10);
+    // One observed verdict: pair, τ, accept/reject.
+    type Verdict = ((u32, u32), f64, bool);
+    let run = |tiers: bool| -> Vec<Verdict> {
+        let o = oracle(10, 5);
+        o.set_tiers_enabled(tiers);
+        let barrier = Arc::new(std::sync::Barrier::new(THREADS));
+        let all: Vec<Vec<Verdict>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|t| {
+                    let o = Arc::clone(&o);
+                    let pairs = pairs.clone();
+                    let barrier = Arc::clone(&barrier);
+                    s.spawn(move || {
+                        let mut order = pairs.clone();
+                        if t % 2 == 1 {
+                            order.reverse();
+                        }
+                        barrier.wait();
+                        let mut seen = Vec::new();
+                        for &(i, j) in &order {
+                            for &tau in &taus {
+                                seen.push(((i, j), tau, o.within_verdict(i, j, tau)));
+                            }
+                        }
+                        seen
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        #[cfg(feature = "invariant-audit")]
+        o.audit_counter_conservation();
+        let mut verdicts: Vec<_> = all.into_iter().flatten().collect();
+        verdicts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        verdicts.dedup();
+        verdicts
+    };
+    assert_eq!(
+        run(true),
+        run(false),
+        "tiered and engine-only oracles disagreed on some (pair, τ)"
     );
 }
