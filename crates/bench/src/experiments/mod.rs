@@ -11,6 +11,7 @@ pub mod motivation;
 pub mod quality;
 pub mod refinement;
 pub mod scalability;
+pub mod serve_load;
 pub mod summary;
 pub mod threads;
 pub mod tiers;
@@ -40,6 +41,7 @@ pub const ALL: &[&str] = &[
     "hybrid",
     "threads",
     "ged_tiers",
+    "serve_load",
     "summary",
 ];
 
@@ -67,6 +69,7 @@ pub fn run(ctx: &Ctx, id: &str) -> bool {
         "hybrid" => hybrid::hybrid_scale(ctx),
         "threads" => threads::thread_scaling(ctx),
         "ged_tiers" => tiers::ged_tiers(ctx),
+        "serve_load" => serve_load::serve_load(ctx),
         "summary" => summary::summary(ctx),
         "all" => {
             for id in ALL {

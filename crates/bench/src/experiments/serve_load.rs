@@ -1,0 +1,95 @@
+//! Serving-layer throughput experiment for `graphrep-serve`.
+//!
+//! Starts an in-process TCP server over one warm dataset at 1, 4, and 8
+//! worker threads and drives it with the deterministic load harness (fixed
+//! seed, fixed per-connection `(θ, k)` schedules). Reports wall time,
+//! throughput, and client-observed latency quantiles per worker count, and
+//! checks the end-to-end determinism contract: every served answer must be
+//! byte-identical to an offline [`graphrep_core::QuerySession::run`] replay
+//! of the same queries, at every pool size.
+
+use crate::harness::{f, timed, Ctx, Row};
+use graphrep_datagen::{DatasetKind, DatasetSpec};
+use graphrep_serve::{offline_reference, registry, run_load, verify_against_offline, LoadSpec};
+
+/// Worker-pool sizes to sweep: the determinism contract must hold from a
+/// fully serialized pool to a contended one.
+const WORKER_COUNTS: &[usize] = &[1, 4, 8];
+
+/// Served-vs-offline determinism and throughput at 1/4/8 server workers.
+pub fn serve_load(ctx: &Ctx) {
+    let size = ctx.base_size.clamp(80, 200);
+    // `Dataset` is not `Clone`; the spec is deterministic, so regenerating
+    // yields byte-identical data for the reference and every server start.
+    let gen = DatasetSpec::new(DatasetKind::DudLike, size, ctx.seed);
+    let data = gen.generate();
+    let spec = LoadSpec {
+        dataset: "bench".to_owned(),
+        connections: 4,
+        requests_per_conn: 10,
+        thetas: vec![
+            data.default_theta * 0.8,
+            data.default_theta,
+            data.default_theta * 1.2,
+        ],
+        ks: vec![3, 5],
+        quantile: 0.75,
+        seed: ctx.seed,
+    };
+
+    // Ground truth once: the offline session replays every unique (θ, k).
+    let ds = registry::load_in_memory("bench", data);
+    let reference = offline_reference(&ds, &spec);
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &workers in WORKER_COUNTS {
+        let cfg = graphrep_serve::ServeConfig {
+            workers,
+            ..graphrep_serve::ServeConfig::default()
+        };
+        let handle = graphrep_serve::start_in_memory(cfg, "bench", gen.generate())
+            .unwrap_or_else(|e| panic!("server failed to start at {workers} workers: {e}"));
+        let addr = handle.addr().to_string();
+        let (report, wall) = timed(|| {
+            run_load(&addr, &spec)
+                .unwrap_or_else(|e| panic!("load run failed at {workers} workers: {e}"))
+        });
+        handle.shutdown();
+        assert!(
+            report.errors.is_empty(),
+            "load errors at {workers} workers: {:?}",
+            report.errors
+        );
+        let verified = verify_against_offline(&report, &reference)
+            .unwrap_or_else(|e| panic!("determinism violation at {workers} workers: {e}"));
+        assert_eq!(
+            verified,
+            spec.connections * spec.requests_per_conn,
+            "incomplete run at {workers} workers"
+        );
+        rows.push(vec![
+            workers.to_string(),
+            spec.connections.to_string(),
+            (spec.connections * spec.requests_per_conn).to_string(),
+            f(wall),
+            f(report.throughput_rps()),
+            f(report.latency_quantile_ms(0.50)),
+            f(report.latency_quantile_ms(0.99)),
+            "true".to_owned(),
+        ]);
+    }
+    ctx.emit(
+        "serve_load",
+        &[
+            "workers",
+            "connections",
+            "requests",
+            "wall_s",
+            "rps",
+            "p50_ms",
+            "p99_ms",
+            "answers_identical",
+        ],
+        &rows,
+    );
+}

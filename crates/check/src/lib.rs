@@ -2,8 +2,8 @@
 //!
 //! Two subsystems share this crate:
 //!
-//! 1. A **lint driver** ([`lint_workspace`]) — a handwritten lexer plus five
-//!    lexical rules (G001–G006, see [`rules`]) enforcing project conventions
+//! 1. A **lint driver** ([`lint_workspace`]) — a handwritten lexer plus seven
+//!    lexical rules (G001–G007, see [`rules`]) enforcing project conventions
 //!    that clippy cannot express, with an inline per-site allow-directive
 //!    escape hatch (syntax in [`rules`]) and a JSON report mode for CI.
 //! 2. An **invariant-audit runner** (the `audit` subcommand in the binary)

@@ -7,7 +7,7 @@ use std::process::{Command, ExitCode};
 
 const USAGE: &str = "usage: graphrep-check <lint|audit|all> [--json]
 
-  lint    run the G001-G006 lint rules over all workspace sources
+  lint    run the G001-G007 lint rules over all workspace sources
   audit   run the invariant-audit test suite (cargo test --features invariant-audit)
   all     lint, then audit
   --json  (lint) emit the machine-readable JSON report instead of text

@@ -1,4 +1,4 @@
-//! The six project lint rules (G001–G006) over the token stream.
+//! The seven project lint rules (G001–G007) over the token stream.
 //!
 //! Rules are purely lexical: no type information, no macro expansion. That is
 //! enough for the project conventions they enforce, and it keeps the driver
@@ -17,7 +17,8 @@ use crate::lexer::{lex, Comment, Token, TokenKind};
 #[derive(Debug, Clone)]
 pub struct Scope {
     /// Short crate name: `graph`, `ged`, `metric`, `core`, `baselines`,
-    /// `datagen`, `cli`, `bench`, `check`, or `root` for the root package.
+    /// `datagen`, `serve`, `cli`, `bench`, `check`, or `root` for the root
+    /// package.
     pub crate_name: String,
     /// True for files under `tests/`, `benches/`, or `examples/` — all rules
     /// skip those entirely (inline `#[cfg(test)]` modules are detected
@@ -28,7 +29,7 @@ pub struct Scope {
 /// A single rule violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule identifier (`G001`..`G006`, or `G000` for malformed directives).
+    /// Rule identifier (`G001`..`G007`, or `G000` for malformed directives).
     pub rule: &'static str,
     /// Workspace-relative path.
     pub file: String,
@@ -52,11 +53,15 @@ pub struct Suppressed {
 }
 
 /// Crates where G001 (no unwrap/expect/panic!/todo!) applies.
-const G001_CRATES: &[&str] = &["graph", "ged", "metric", "core", "baselines"];
+const G001_CRATES: &[&str] = &["graph", "ged", "metric", "core", "baselines", "serve"];
 /// Crates exempt from G003 (println!/dbg!/eprintln! allowed).
 const G003_EXEMPT: &[&str] = &["cli", "bench", "check"];
 /// Crates where G005 (doc comments on `pub fn`) applies.
-const G005_CRATES: &[&str] = &["core", "ged"];
+const G005_CRATES: &[&str] = &["core", "ged", "serve"];
+/// Crates exempt from G007 (raw sockets and blocking sleeps allowed): the
+/// serving layer owns all network I/O and shutdown-poll timing, and the CLI
+/// fronts it.
+const G007_EXEMPT: &[&str] = &["serve", "cli"];
 /// Atomic memory orderings that G002 requires a justification comment for.
 /// Restricting to these avoids flagging `std::cmp::Ordering::{Less,…}`.
 const ATOMIC_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
@@ -96,6 +101,9 @@ pub fn lint_source(file: &str, src: &str, scope: &Scope) -> (Vec<Finding>, Vec<S
         rule_g005(file, toks, comments, &in_test, &mut findings);
     }
     rule_g006(file, toks, comments, &in_test, &mut findings);
+    if !G007_EXEMPT.iter().any(|c| c == &scope.crate_name) {
+        rule_g007(file, toks, &in_test, &mut findings);
+    }
 
     // Apply allow-directives: a finding survives unless a directive with the
     // matching rule id covers its line.
@@ -546,6 +554,43 @@ fn rule_g006(
     }
 }
 
+/// G007: no `std::net` or `std::thread::sleep` outside serve/cli.
+///
+/// Network I/O lives in `crates/serve` (fronted by `crates/cli`); blocking
+/// sleeps are a serving-layer shutdown-poll idiom. Anywhere else, a socket
+/// or a sleep is almost always a test-harness leftover or a latency bug in
+/// disguise. Matched token shapes: `std :: net` (imports and fully
+/// qualified paths alike) and `thread :: sleep` (which also covers
+/// `std::thread::sleep` call sites and `use std::thread::sleep`).
+fn rule_g007(file: &str, toks: &[Token], in_test: &dyn Fn(usize) -> bool, out: &mut Vec<Finding>) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident || in_test(t.line) {
+            continue;
+        }
+        let path_next = |name: &str| {
+            toks.get(i + 1).is_some_and(|n| is_punct(n, ':'))
+                && toks.get(i + 2).is_some_and(|n| is_punct(n, ':'))
+                && toks.get(i + 3).is_some_and(|n| n.text == name)
+        };
+        let flagged = match t.text.as_str() {
+            "std" => path_next("net").then_some("std::net"),
+            "thread" => path_next("sleep").then_some("std::thread::sleep"),
+            _ => None,
+        };
+        if let Some(what) = flagged {
+            out.push(Finding {
+                rule: "G007",
+                file: file.to_string(),
+                line: t.line,
+                message: format!(
+                    "`{what}` outside crates/serve and crates/cli: sockets and blocking \
+                     sleeps belong in the serving layer"
+                ),
+            });
+        }
+    }
+}
+
 fn is_punct(t: &Token, c: char) -> bool {
     t.kind == TokenKind::Punct(c)
 }
@@ -661,6 +706,47 @@ mod tests {
             s[0].reason,
             "one-time warm-up allocation before the search loop"
         );
+    }
+
+    #[test]
+    fn g007_flags_sockets_and_sleeps_outside_serving_layer() {
+        assert_eq!(
+            rules_of("use std::net::TcpStream;\nfn f() {}"),
+            vec!["G007"]
+        );
+        assert_eq!(rules_of("fn f() { std::thread::sleep(d); }"), vec!["G007"]);
+        assert_eq!(
+            rules_of("use std::thread;\nfn f() { thread::sleep(d); }"),
+            vec!["G007"]
+        );
+        // Non-sleep thread APIs and unrelated std modules stay clean.
+        assert_eq!(
+            rules_of("fn f() { std::thread::spawn(|| {}); }"),
+            Vec::<&str>::new()
+        );
+        assert_eq!(
+            rules_of("use std::time::Duration;\nfn f() {}"),
+            Vec::<&str>::new()
+        );
+    }
+
+    #[test]
+    fn g007_exempt_in_serve_and_cli_scopes() {
+        let src = "use std::net::TcpListener;\nfn f() { std::thread::sleep(d); }";
+        for name in ["serve", "cli"] {
+            let scope = Scope {
+                crate_name: name.into(),
+                is_test_file: false,
+            };
+            let (f, _) = lint_source("t.rs", src, &scope);
+            assert!(f.is_empty(), "{name}: {f:?}");
+        }
+    }
+
+    #[test]
+    fn g007_exempt_in_cfg_test_module() {
+        let src = "#[cfg(test)]\nmod tests {\n fn f() { std::thread::sleep(d); }\n}\n";
+        assert_eq!(rules_of(src), Vec::<&str>::new());
     }
 
     #[test]

@@ -1,0 +1,5 @@
+//! Fixture: suppressed blocking sleep with a recorded reason.
+fn settle() {
+    // graphrep: allow(G007, fixture: one-shot settle delay in a diagnostic tool)
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}

@@ -1,0 +1,5 @@
+//! Fixture: clean rewrite — timing budgets without sockets or blocking
+//! sleeps; the serving layer owns the actual waiting.
+fn backoff_budget(attempt: u32) -> std::time::Duration {
+    std::time::Duration::from_millis(10 * u64::from(attempt.min(8)))
+}

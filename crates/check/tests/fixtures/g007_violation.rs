@@ -1,0 +1,4 @@
+//! Fixture: opens a raw socket outside the serving layer.
+fn probe_port() -> bool {
+    std::net::TcpStream::connect("127.0.0.1:9").is_ok()
+}

@@ -9,8 +9,8 @@ use graphrep_check::report::Report;
 use graphrep_check::rules::{lint_source, Finding, Scope, Suppressed};
 use std::path::Path;
 
-/// Fixtures are linted as if they lived in `crates/core/src/`, the scope
-/// where all five rules are active.
+/// Fixtures are linted as if they lived in `crates/core/src/`, a scope
+/// where every scoped rule (G001, G005, G007 included) is active.
 fn core_scope() -> Scope {
     Scope {
         crate_name: "core".into(),
@@ -121,6 +121,29 @@ fn g005_fixtures() {
     assert_violation("g005_violation.rs", "G005", 1);
     assert_clean("g005_clean.rs");
     assert_suppressed("g005_allow.rs", "G005", 2);
+}
+
+#[test]
+fn g007_fixtures() {
+    assert_violation("g007_violation.rs", "G007", 3);
+    assert_clean("g007_clean.rs");
+    assert_suppressed("g007_allow.rs", "G007", 4);
+}
+
+/// G007 is scoped: the same socket fixture is fine inside the serving layer
+/// and the CLI that fronts it.
+#[test]
+fn g007_exempt_in_serve_and_cli_scopes() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/g007_violation.rs");
+    let src = std::fs::read_to_string(path).unwrap();
+    for name in ["serve", "cli"] {
+        let scope = Scope {
+            crate_name: name.into(),
+            is_test_file: false,
+        };
+        let (findings, _) = lint_source("g007_violation.rs", &src, &scope);
+        assert!(findings.is_empty(), "{name}: {findings:?}");
+    }
 }
 
 /// G003 is scoped: the same `println!` fixture is fine inside the cli crate.

@@ -23,6 +23,8 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
         "refine" => refine(cmd),
         "topk" => topk(cmd),
         "compare" => compare(cmd),
+        "serve" => serve(cmd),
+        "load" => load(cmd),
         "help" | "--help" | "-h" => Ok(HELP.to_owned()),
         other => Err(CliError(format!(
             "unknown subcommand `{other}`; try `graphrep help`"
@@ -42,6 +44,14 @@ subcommands:
   refine   --data DIR --theta T --k K --steps t1,t2,... [--index FILE]
   topk     --data DIR --k K
   compare  --data DIR --theta T --k K     (REP vs DIV vs DisC vs top-k)
+  serve    --data DIR [--name NAME] [--addr HOST:PORT] [--workers N]
+           [--max-queue N] [--deadline-ms MS] [--idle-secs S]
+  load     --addr HOST:PORT [--name NAME] [--connections N] [--requests M]
+           [--theta t1,t2,...] [--k k1,k2,...] [--quantile Q] [--seed S]
+           [--verify-data DIR] [--shutdown true]
+
+`query`/`refine` reuse `<DIR>/index.json` automatically when present (and
+write it after building), so only the first invocation pays the build.
 
 every subcommand accepts --threads N to set the worker count for the
 parallel GED phases (0 or omitted = one worker per core); answers are
@@ -74,20 +84,37 @@ fn make_oracle(cmd: &Command, db: &GraphDatabase) -> Result<Arc<DistanceOracle>,
     Ok(db.oracle(config))
 }
 
+/// Loads or builds the index, returning it with a provenance line for the
+/// command output. Resolution order: an explicit `--index FILE`, then the
+/// dataset-local `<data>/index.json` written by an earlier build (the warm
+/// path that makes one-shot `query` skip the whole NP-hard build phase),
+/// then a fresh build — which is persisted to `<data>/index.json` so the
+/// *next* invocation starts warm.
 fn build_or_load_index(
     cmd: &Command,
     data: &Dataset,
     oracle: Arc<DistanceOracle>,
-) -> Result<NbIndex, CliError> {
+) -> Result<(NbIndex, String), CliError> {
+    let implicit = Path::new(cmd.req("data")?).join("index.json");
     if let Some(path) = cmd.opt("index") {
         if Path::new(path).exists() {
             let json = std::fs::read_to_string(path)
                 .map_err(|e| CliError(format!("reading {path}: {e}")))?;
-            return NbIndex::load_json(&json, oracle)
-                .map_err(|e| CliError(format!("loading index {path}: {e}")));
+            let index = NbIndex::load_json(&json, oracle)
+                .map_err(|e| CliError(format!("loading index {path}: {e}")))?;
+            return Ok((index, format!("index: loaded {path} (0 build distances)\n")));
+        }
+    } else if let Ok(json) = std::fs::read_to_string(&implicit) {
+        // A stale persisted index (version bump, regenerated dataset) is not
+        // fatal on the implicit path: fall through and rebuild.
+        if let Ok(index) = NbIndex::load_json(&json, Arc::clone(&oracle)) {
+            return Ok((
+                index,
+                format!("index: loaded {} (0 build distances)\n", implicit.display()),
+            ));
         }
     }
-    Ok(NbIndex::build(
+    let index = NbIndex::build(
         oracle,
         NbIndexConfig {
             num_vps: cmd.parsed_or("vps", 16usize)?,
@@ -100,6 +127,18 @@ fn build_or_load_index(
                 .unwrap_or_else(|| data.default_ladder.clone()),
             seed: cmd.parsed_or("seed", 0x5eedu64)?,
         },
+    );
+    if cmd.opt("index").is_none() {
+        // Best effort: a read-only dataset directory must not fail the query.
+        let _ = std::fs::write(&implicit, index.save_json());
+    }
+    let b = index.build_stats();
+    Ok((
+        index,
+        format!(
+            "index: built ({} edit distances, {:.2?})\n",
+            b.distance_calls, b.wall
+        ),
     ))
 }
 
@@ -145,10 +184,12 @@ fn stats(cmd: &Command) -> Result<String, CliError> {
 fn index(cmd: &Command) -> Result<String, CliError> {
     let data = load_dataset(cmd)?;
     let oracle = make_oracle(cmd, &data.db)?;
-    let index = build_or_load_index(cmd, &data, oracle)?;
+    let (index, provenance) = build_or_load_index(cmd, &data, oracle)?;
     let b = index.build_stats();
-    let mut out = format!(
-        "index built in {:.2?}: {} edit distances, {} tree nodes, {} VPs, {} bytes\n",
+    let mut out = provenance;
+    let _ = writeln!(
+        out,
+        "index built in {:.2?}: {} edit distances, {} tree nodes, {} VPs, {} bytes",
         b.wall,
         b.distance_calls,
         index.tree().nodes().len(),
@@ -168,11 +209,11 @@ fn query(cmd: &Command) -> Result<String, CliError> {
     let theta: f64 = cmd.parsed("theta")?;
     let k: usize = cmd.parsed("k")?;
     let oracle = make_oracle(cmd, &data.db)?;
-    let index = build_or_load_index(cmd, &data, oracle)?;
+    let (index, provenance) = build_or_load_index(cmd, &data, oracle)?;
     let rq = default_query(cmd, &data)?;
     let relevant = rq.relevant_set(&data.db);
     let (answer, stats) = index.query(relevant.clone(), theta, k);
-    let mut out = String::new();
+    let mut out = provenance;
     let _ = writeln!(
         out,
         "|L_q| = {}, θ = {theta}, k = {k} → {} answers in {:.2?} ({} edit distances)",
@@ -210,11 +251,12 @@ fn refine(cmd: &Command) -> Result<String, CliError> {
         .float_list("steps")?
         .ok_or_else(|| CliError("--steps is required (comma-separated θ values)".into()))?;
     let oracle = make_oracle(cmd, &data.db)?;
-    let index = build_or_load_index(cmd, &data, oracle)?;
+    let (index, provenance) = build_or_load_index(cmd, &data, oracle)?;
     let rq = default_query(cmd, &data)?;
     let relevant = rq.relevant_set(&data.db);
     let session = index.start_session(relevant);
-    let mut out = format!("initialization: {:.2?}\n", session.init_wall());
+    let mut out = provenance;
+    let _ = writeln!(out, "initialization: {:.2?}", session.init_wall());
     for t in std::iter::once(theta).chain(steps) {
         let (answer, stats) = session.run(t, k);
         let _ = writeln!(
@@ -286,6 +328,142 @@ fn compare(cmd: &Command) -> Result<String, CliError> {
     line("DisC (full)", &disc.ids);
     line("typicality", &typ.ids);
     line("top-k", &trad);
+    Ok(out)
+}
+
+/// Starts the TCP query server on one dataset directory and blocks until a
+/// wire `Shutdown` request arrives. The bound address is printed (and
+/// flushed) before blocking so scripts can scrape the chosen port.
+fn serve(cmd: &Command) -> Result<String, CliError> {
+    use graphrep_serve::{DatasetRegistry, ServeConfig};
+    let dir = cmd.req("data")?;
+    let name = cmd.opt("name").unwrap_or("default").to_owned();
+    let cfg = ServeConfig {
+        addr: cmd.opt("addr").unwrap_or("127.0.0.1:0").to_owned(),
+        workers: cmd.parsed_or("workers", 4usize)?,
+        max_queue: cmd.parsed_or("max-queue", 64usize)?,
+        default_deadline_ms: match cmd.opt("deadline-ms") {
+            Some(ms) => Some(
+                ms.parse()
+                    .map_err(|_| CliError(format!("--deadline-ms: bad value `{ms}`")))?,
+            ),
+            None => None,
+        },
+        idle_session_ttl: std::time::Duration::from_secs(cmd.parsed_or("idle-secs", 900u64)?),
+        ..ServeConfig::default()
+    };
+    let mut registry = DatasetRegistry::new();
+    registry
+        .load_dir(&name, Path::new(dir), true)
+        .map_err(|e| CliError(e.to_string()))?;
+    let handle = graphrep_serve::start(cfg, registry).map_err(|e| CliError(e.to_string()))?;
+    let addr = handle.addr();
+    println!("graphrep-serve listening on {addr} (dataset `{name}`)");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    handle.wait();
+    Ok(format!("server on {addr} shut down cleanly\n"))
+}
+
+/// Drives a deterministic load profile against a running server and, with
+/// `--verify-data DIR`, proves the served answers byte-identical to offline
+/// `QuerySession::run` on the same dataset.
+fn load(cmd: &Command) -> Result<String, CliError> {
+    use graphrep_serve::{
+        offline_reference_from_dir, run_load, verify_against_offline, Client, LoadSpec,
+    };
+    let addr = cmd.req("addr")?;
+    let verify_dir = cmd.opt("verify-data");
+    let thetas = match cmd.float_list("theta")? {
+        Some(t) => t,
+        None => {
+            let dir = verify_dir.ok_or_else(|| {
+                CliError("--theta t1,t2,... is required unless --verify-data is given".into())
+            })?;
+            let data =
+                store::load(Path::new(dir)).map_err(|e| CliError(format!("loading {dir}: {e}")))?;
+            vec![
+                data.default_theta * 0.8,
+                data.default_theta,
+                data.default_theta * 1.2,
+            ]
+        }
+    };
+    let ks: Vec<usize> = match cmd.opt("k") {
+        Some(s) => s
+            .split(',')
+            .map(|p| {
+                p.trim()
+                    .parse()
+                    .map_err(|_| CliError(format!("--k: bad value `{p}`")))
+            })
+            .collect::<Result<_, _>>()?,
+        None => vec![3, 5],
+    };
+    let spec = LoadSpec {
+        dataset: cmd.opt("name").unwrap_or("default").to_owned(),
+        connections: cmd.parsed_or("connections", 4usize)?,
+        requests_per_conn: cmd.parsed_or("requests", 25usize)?,
+        thetas,
+        ks,
+        quantile: cmd.parsed_or("quantile", 0.75f64)?,
+        seed: cmd.parsed_or("seed", 42u64)?,
+    };
+    let report = run_load(addr, &spec).map_err(|e| CliError(e.to_string()))?;
+    let mut out = format!(
+        "load: {} connections x {} requests against {addr}\n",
+        spec.connections, spec.requests_per_conn
+    );
+    let _ = writeln!(
+        out,
+        "completed: {}, errors: {}",
+        report.completed(),
+        report.errors.len()
+    );
+    let _ = writeln!(
+        out,
+        "wall: {:.2?}, throughput: {:.1} req/s, p50 {:.2} ms, p99 {:.2} ms",
+        report.wall,
+        report.throughput_rps(),
+        report.latency_quantile_ms(0.50),
+        report.latency_quantile_ms(0.99),
+    );
+    let verification = match verify_dir {
+        Some(dir) => {
+            let reference = offline_reference_from_dir(Path::new(dir), &spec)
+                .map_err(|e| CliError(e.to_string()))?;
+            Some(verify_against_offline(&report, &reference))
+        }
+        None => None,
+    };
+    if let Some(Ok(n)) = &verification {
+        let _ = writeln!(
+            out,
+            "verified: {n} answers byte-identical to offline QuerySession::run"
+        );
+    }
+    if cmd.opt("shutdown") == Some("true") {
+        let mut client = Client::connect(addr).map_err(|e| CliError(e.to_string()))?;
+        client.shutdown().map_err(|e| CliError(e.to_string()))?;
+        let _ = writeln!(out, "shutdown requested");
+    }
+    if !report.errors.is_empty() {
+        return Err(CliError(format!(
+            "{} load errors; first: {}",
+            report.errors.len(),
+            report.errors[0]
+        )));
+    }
+    if let Some(Err(e)) = verification {
+        return Err(CliError(format!("verification failed: {e}")));
+    }
+    let expected = spec.connections * spec.requests_per_conn;
+    if report.completed() != expected {
+        return Err(CliError(format!(
+            "expected {expected} answers, got {}",
+            report.completed()
+        )));
+    }
     Ok(out)
 }
 
@@ -397,6 +575,80 @@ mod tests {
             "x"
         ])
         .is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Cold-start satellite: the first one-shot `query` builds (and
+    /// persists) the index; the second invocation must take the
+    /// persisted-index path and report a zero-cost build phase.
+    #[test]
+    fn second_query_invocation_skips_the_build() {
+        let dir = tmp("warm");
+        let _ = std::fs::remove_dir_all(&dir);
+        run_args(&[
+            "generate", "--kind", "dud", "--size", "40", "--seed", "7", "--out", &dir,
+        ])
+        .unwrap();
+        let answers = |out: &str| -> Vec<String> {
+            out.lines()
+                .filter(|l| l.contains(". graph") || l.contains("π(A)"))
+                .map(str::to_owned)
+                .collect()
+        };
+        let first = run_args(&["query", "--data", &dir, "--theta", "4", "--k", "3"]).unwrap();
+        assert!(first.contains("index: built"), "{first}");
+        assert!(
+            std::path::Path::new(&format!("{dir}/index.json")).exists(),
+            "query must persist the built index next to the dataset"
+        );
+        let second = run_args(&["query", "--data", &dir, "--theta", "4", "--k", "3"]).unwrap();
+        assert!(second.contains("index: loaded"), "{second}");
+        assert!(second.contains("0 build distances"), "{second}");
+        assert_eq!(answers(&first), answers(&second));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// End-to-end `load` against an in-process server, including offline
+    /// verification and wire-initiated shutdown.
+    #[test]
+    fn load_command_verifies_against_offline_run() {
+        let dir = tmp("serveload");
+        let _ = std::fs::remove_dir_all(&dir);
+        run_args(&[
+            "generate", "--kind", "dud", "--size", "50", "--seed", "11", "--out", &dir,
+        ])
+        .unwrap();
+        let mut registry = graphrep_serve::DatasetRegistry::new();
+        registry
+            .load_dir("default", std::path::Path::new(&dir), true)
+            .unwrap();
+        let handle = graphrep_serve::start(
+            graphrep_serve::ServeConfig {
+                workers: 2,
+                ..Default::default()
+            },
+            registry,
+        )
+        .unwrap();
+        let addr = handle.addr().to_string();
+        let out = run_args(&[
+            "load",
+            "--addr",
+            &addr,
+            "--connections",
+            "3",
+            "--requests",
+            "4",
+            "--verify-data",
+            &dir,
+            "--shutdown",
+            "true",
+        ])
+        .unwrap();
+        assert!(out.contains("errors: 0"), "{out}");
+        assert!(out.contains("verified: 12 answers"), "{out}");
+        assert!(out.contains("shutdown requested"), "{out}");
+        handle.wait();
         let _ = std::fs::remove_dir_all(&dir);
     }
 

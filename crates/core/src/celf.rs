@@ -12,6 +12,7 @@
 //!   reduces to Alg 1.
 
 use crate::answer::AnswerSet;
+use crate::cancel::{CancelToken, Cancelled};
 use crate::greedy::NeighborhoodProvider;
 use graphrep_graph::GraphId;
 use graphrep_metric::Bitset;
@@ -65,7 +66,25 @@ pub fn lazy_greedy(
     theta: f64,
     k: usize,
 ) -> (AnswerSet, LazyStats) {
+    match lazy_greedy_cancellable(provider, relevant, theta, k, &CancelToken::never()) {
+        Ok(r) => r,
+        // A never-token has no trigger; this arm cannot be reached.
+        Err(Cancelled) => unreachable!("CancelToken::never() fired"),
+    }
+}
+
+/// [`lazy_greedy`] with a cooperative cancellation token, polled between
+/// CELF heap pops (before the neighborhood precomputation and before each
+/// gain refresh). On cancellation the partial answer is discarded.
+pub fn lazy_greedy_cancellable(
+    provider: &(impl NeighborhoodProvider + Sync),
+    relevant: &[GraphId],
+    theta: f64,
+    k: usize,
+    cancel: &CancelToken,
+) -> Result<(AnswerSet, LazyStats), Cancelled> {
     use rayon::prelude::*;
+    cancel.check()?;
     let cap = relevant.iter().copied().max().map_or(0, |m| m as usize + 1);
     let neigh: Vec<Bitset> = relevant
         .par_iter()
@@ -96,6 +115,7 @@ pub fn lazy_greedy(
     let mut pi_trajectory = Vec::new();
     let mut round = 0usize;
     while ids.len() < k.min(relevant.len()) {
+        cancel.check()?;
         let Some(top) = heap.pop() else { break };
         if in_answer[top.idx] {
             continue;
@@ -126,7 +146,7 @@ pub fn lazy_greedy(
             covered.count() as f64 / relevant.len() as f64
         });
     }
-    (
+    Ok((
         AnswerSet {
             ids,
             covered: covered.count(),
@@ -134,7 +154,7 @@ pub fn lazy_greedy(
             pi_trajectory,
         },
         stats,
-    )
+    ))
 }
 
 /// Result of a weighted greedy run.

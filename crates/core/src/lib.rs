@@ -20,6 +20,7 @@
 //! magnitude fewer NP-hard edit distances.
 
 pub mod answer;
+pub mod cancel;
 pub mod celf;
 pub mod db;
 pub mod greedy;
@@ -31,7 +32,8 @@ pub mod relevance;
 pub mod session;
 
 pub use answer::{evaluate_answer, AnswerSet};
-pub use celf::{lazy_greedy, weighted_greedy, LazyStats, WeightedAnswer};
+pub use cancel::{CancelToken, Cancelled};
+pub use celf::{lazy_greedy, lazy_greedy_cancellable, weighted_greedy, LazyStats, WeightedAnswer};
 pub use db::GraphDatabase;
 pub use greedy::{baseline_greedy, BruteForceProvider, NeighborhoodProvider};
 pub use nbindex::{BuildStats, NbIndex, NbIndexConfig};

@@ -185,8 +185,16 @@ impl NbIndex {
 
     /// Initialization phase for a relevance function: computes π̂-vectors
     /// once; the returned session answers any number of `(θ, k)` runs.
-    pub fn start_session(&self, relevant: Vec<GraphId>) -> QuerySession<'_> {
+    pub fn start_session(&self, relevant: Vec<GraphId>) -> QuerySession<&NbIndex> {
         QuerySession::new(self, relevant)
+    }
+
+    /// [`Self::start_session`] over a shared handle: the returned session is
+    /// `'static + Send + Sync`, so it can outlive the calling stack frame and
+    /// serve concurrent runs — the shape the serving layer's session registry
+    /// needs.
+    pub fn start_session_shared(self: Arc<Self>, relevant: Vec<GraphId>) -> QuerySession {
+        QuerySession::shared(self, relevant)
     }
 
     /// One-shot top-k representative query.

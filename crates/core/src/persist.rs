@@ -130,6 +130,55 @@ mod tests {
         assert_eq!(got.pi_trajectory, want.pi_trajectory);
     }
 
+    /// Save → load → save must reproduce the exact payload bytes, and the
+    /// loaded index must answer a fixed query byte-identically (the full
+    /// `AnswerSet` debug form covers ids, coverage, and the π trajectory).
+    #[test]
+    fn round_trip_is_byte_identical() {
+        let data = DatasetSpec::new(DatasetKind::DudLike, 50, 904).generate();
+        let oracle = data.db.oracle(GedConfig::default());
+        let index = NbIndex::build(
+            oracle,
+            NbIndexConfig {
+                num_vps: 4,
+                ladder: data.default_ladder.clone(),
+                ..Default::default()
+            },
+        );
+        let relevant = data.default_query().relevant_set(&data.db);
+        let (want, _) = index.query(relevant.clone(), data.default_theta, 5);
+
+        let json = index.save_json();
+        let loaded = NbIndex::load_json(&json, data.db.oracle(GedConfig::default())).unwrap();
+        assert_eq!(
+            loaded.save_json(),
+            json,
+            "re-serializing a loaded index must be byte-identical"
+        );
+        let (got, _) = loaded.query(relevant, data.default_theta, 5);
+        assert_eq!(
+            format!("{got:?}"),
+            format!("{want:?}"),
+            "loaded index must answer byte-identically"
+        );
+    }
+
+    /// A bumped `version` field must surface as the typed
+    /// [`PersistError::Version`] — never a panic or a silent misread.
+    #[test]
+    fn version_mismatch_is_typed_error() {
+        let data = DatasetSpec::new(DatasetKind::DudLike, 12, 905).generate();
+        let oracle = data.db.oracle(GedConfig::default());
+        let index = NbIndex::build(oracle, NbIndexConfig::default());
+        let json = index.save_json();
+        let bumped = json.replacen("\"version\":1", "\"version\":999", 1);
+        assert_ne!(bumped, json, "fixture must actually bump the version");
+        match NbIndex::load_json(&bumped, data.db.oracle(GedConfig::default())) {
+            Err(PersistError::Version(v)) => assert_eq!(v, 999),
+            other => panic!("expected Version error, got {other:?}"),
+        }
+    }
+
     #[test]
     fn graph_count_mismatch_rejected() {
         let data = DatasetSpec::new(DatasetKind::DudLike, 40, 902).generate();

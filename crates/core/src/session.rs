@@ -17,12 +17,15 @@
 //! pushed down the tree lazily (segment-tree style).
 
 use crate::answer::AnswerSet;
+use crate::cancel::{CancelToken, Cancelled};
 use crate::nbindex::NbIndex;
 use crate::pihat::{PiHatVectors, ThresholdLadder};
 use graphrep_graph::GraphId;
 use graphrep_metric::Bitset;
 use std::collections::BinaryHeap;
 use std::collections::HashMap;
+use std::ops::Deref;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const EPS: f64 = 1e-6;
@@ -44,9 +47,17 @@ pub struct RunStats {
 
 /// A per-query-function session: initialization phase output plus a handle
 /// to the index.
+///
+/// The handle is generic over how the index is held: [`NbIndex::start_session`]
+/// borrows (`I = &NbIndex`, the classic single-process shape), while
+/// [`QuerySession::shared`] owns an `Arc<NbIndex>` — an `'static`, `Send +
+/// Sync` session that a server can store in a registry and run from many
+/// worker threads at once. [`QuerySession::run`] takes `&self` and keeps all
+/// run state on the stack, so concurrent runs of the same session are safe
+/// and each returns exactly its single-threaded answer.
 #[derive(Debug)]
-pub struct QuerySession<'a> {
-    index: &'a NbIndex,
+pub struct QuerySession<I: Deref<Target = NbIndex> = Arc<NbIndex>> {
+    index: I,
     relevant: Vec<GraphId>,
     /// Relevant membership by graph id.
     relevant_by_id: Bitset,
@@ -103,8 +114,23 @@ impl PartialOrd for Entry {
     }
 }
 
-impl<'a> QuerySession<'a> {
-    pub(crate) fn new(index: &'a NbIndex, relevant: Vec<GraphId>) -> Self {
+/// Sessions over a shared index handle cross thread boundaries: the serving
+/// layer stores them in a registry and runs them from pooled workers.
+const fn _assert_send_sync<T: Send + Sync>() {}
+const _: () = _assert_send_sync::<QuerySession<Arc<NbIndex>>>();
+
+impl QuerySession<Arc<NbIndex>> {
+    /// Initialization phase over a shared index handle: the returned session
+    /// is `'static + Send + Sync`, suitable for a long-lived session registry
+    /// serving concurrent `(θ, k)` runs (paper Sec 7's interactive model as a
+    /// server-side workload).
+    pub fn shared(index: Arc<NbIndex>, relevant: Vec<GraphId>) -> Self {
+        Self::new(index, relevant)
+    }
+}
+
+impl<I: Deref<Target = NbIndex> + Sync> QuerySession<I> {
+    pub(crate) fn new(index: I, relevant: Vec<GraphId>) -> Self {
         let t0 = Instant::now();
         let n = index.tree().len();
         let relevant_by_id = Bitset::from_indices(n, relevant.iter().map(|&g| g as usize));
@@ -144,7 +170,30 @@ impl<'a> QuerySession<'a> {
 
     /// Executes the search-and-update phase for one `(θ, k)`.
     pub fn run(&self, theta: f64, k: usize) -> (AnswerSet, RunStats) {
+        match self.run_cancellable(theta, k, &CancelToken::never()) {
+            Ok(r) => r,
+            // A never-token has no trigger; this arm cannot be reached.
+            Err(Cancelled) => unreachable!("CancelToken::never() fired"),
+        }
+    }
+
+    /// [`Self::run`] with a cooperative cancellation token, polled between
+    /// best-first-search pops (the same boundary CELF uses) and between
+    /// greedy iterations. On cancellation the partial answer is discarded
+    /// and the session stays fully usable — π̂-vectors and the index are
+    /// never mutated by a run.
+    pub fn run_cancellable(
+        &self,
+        theta: f64,
+        k: usize,
+        cancel: &CancelToken,
+    ) -> Result<(AnswerSet, RunStats), Cancelled> {
         let t0 = Instant::now();
+        // Checked up front so an already-expired deadline (e.g. a request
+        // that waited out its budget in a server queue) aborts before the
+        // off-ladder π̂ initialization, which is the run's priciest
+        // distance-free step.
+        cancel.check()?;
         let calls0 = self.index.oracle().engine_calls();
         let tree = self.index.tree();
         let n = tree.len();
@@ -186,6 +235,7 @@ impl<'a> QuerySession<'a> {
         #[cfg(feature = "invariant-audit")]
         let mut prev_gain = i64::MAX;
         for _ in 0..budget {
+            cancel.check()?;
             let Some(pos_star) = self.next_graph(
                 theta,
                 &mut graph_bound,
@@ -195,7 +245,9 @@ impl<'a> QuerySession<'a> {
                 &in_answer,
                 &mut neigh,
                 &mut stats,
-            ) else {
+                cancel,
+            )?
+            else {
                 break;
             };
             #[cfg(feature = "invariant-audit")]
@@ -234,7 +286,7 @@ impl<'a> QuerySession<'a> {
         self.audit_run_end();
         stats.distance_calls = self.index.oracle().engine_calls() - calls0;
         stats.wall = t0.elapsed();
-        (
+        Ok((
             AnswerSet {
                 ids,
                 covered: covered.count(),
@@ -242,7 +294,7 @@ impl<'a> QuerySession<'a> {
                 pi_trajectory,
             },
             stats,
-        )
+        ))
     }
 
     /// Exact θ-neighborhood of the graph at `pos` as a position bitset,
@@ -308,6 +360,10 @@ impl<'a> QuerySession<'a> {
     }
 
     /// Alg 2: best-first search for the next maximum-marginal-gain graph.
+    ///
+    /// The cancellation token is polled between heap pops — the loop's only
+    /// unbounded dimension; everything inside one pop is bounded work plus
+    /// at most one candidate-set verification.
     #[allow(clippy::too_many_arguments)]
     fn next_graph(
         &self,
@@ -319,15 +375,19 @@ impl<'a> QuerySession<'a> {
         in_answer: &Bitset,
         neigh: &mut HashMap<u32, Bitset>,
         stats: &mut RunStats,
-    ) -> Option<u32> {
+        cancel: &CancelToken,
+    ) -> Result<Option<u32>, Cancelled> {
         let tree = self.index.tree();
         let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
-        let root = tree.root()?;
+        let Some(root) = tree.root() else {
+            return Ok(None);
+        };
         if self.pihat.node_relevant(root) > 0 {
             heap.push(Entry::node(node_bound[root as usize], root));
         }
         let mut best: Option<(i64, GraphId, u32)> = None;
         while let Some(e) = heap.pop() {
+            cancel.check()?;
             if let Some((bg, _, _)) = best {
                 if e.bound < bg {
                     break;
@@ -407,7 +467,7 @@ impl<'a> QuerySession<'a> {
                 }
             }
         }
-        best.map(|(_, _, pos)| pos)
+        Ok(best.map(|(_, _, pos)| pos))
     }
 
     /// The update step: Thm 6 prunes unaffected clusters, Thms 7–8 subtract

@@ -1,0 +1,444 @@
+//! Client side: a blocking request/response client plus the deterministic
+//! load harness (`N` connections × `M` requests on a fixed seed) and its
+//! offline verifier — the tool that proves server answers are byte-identical
+//! to [`graphrep_core::QuerySession::run`].
+
+use crate::protocol::{
+    self, AnswerBody, CloseBody, FrameRead, OpenBody, OpenedBody, PingBody, Request, Response,
+    RunBody, ServeError, StatsBody,
+};
+use crate::registry::LoadedDataset;
+use graphrep_core::AnswerSet;
+use std::collections::HashMap;
+use std::net::TcpStream;
+use std::path::Path;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// A blocking protocol client over one TCP connection.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    /// Upper bound on waiting for any single response.
+    reply_timeout: Duration,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: &str) -> Result<Self, ServeError> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| ServeError::new(format!("connect {addr}: {e}")))?;
+        let _ = stream.set_nodelay(true);
+        // Short read timeout + a bounded retry loop in `read_response`: a
+        // wedged server turns into an error, not a hung client.
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+        Ok(Self {
+            stream,
+            reply_timeout: Duration::from_secs(120),
+        })
+    }
+
+    /// Replaces the per-response timeout (default two minutes).
+    pub fn set_reply_timeout(&mut self, t: Duration) {
+        self.reply_timeout = t;
+    }
+
+    /// Sends one request and waits for its response.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ServeError> {
+        protocol::write_frame(&mut self.stream, req)?;
+        let deadline = Instant::now() + self.reply_timeout;
+        loop {
+            match protocol::read_frame::<Response>(&mut self.stream, Duration::from_secs(10))? {
+                FrameRead::Frame(resp) => return Ok(resp),
+                FrameRead::Closed => {
+                    return Err(ServeError::new("server closed the connection mid-request"))
+                }
+                FrameRead::Idle => {
+                    if Instant::now() > deadline {
+                        return Err(ServeError::new("timed out waiting for a response"));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Opens a session on `dataset` with the given relevance quantile.
+    pub fn open(&mut self, dataset: &str, quantile: f64) -> Result<OpenedBody, ServeError> {
+        match self.request(&Request::Open(OpenBody {
+            dataset: dataset.to_owned(),
+            quantile,
+        }))? {
+            Response::Opened(b) => Ok(b),
+            other => Err(unexpected("Opened", &other)),
+        }
+    }
+
+    /// Executes one `(θ, k)` run. Returns the raw [`Response`] so callers
+    /// can distinguish answers from `deadline_exceeded`/`overloaded`.
+    pub fn run(
+        &mut self,
+        session: u64,
+        theta: f64,
+        k: usize,
+        deadline_ms: Option<u64>,
+    ) -> Result<Response, ServeError> {
+        self.request(&Request::Run(RunBody {
+            session,
+            theta,
+            k,
+            deadline_ms,
+        }))
+    }
+
+    /// Like [`Client::run`] but demands a successful answer.
+    pub fn run_answer(
+        &mut self,
+        session: u64,
+        theta: f64,
+        k: usize,
+    ) -> Result<AnswerBody, ServeError> {
+        match self.run(session, theta, k, None)? {
+            Response::Answer(b) => Ok(b),
+            other => Err(unexpected("Answer", &other)),
+        }
+    }
+
+    /// Closes a session.
+    pub fn close(&mut self, session: u64) -> Result<(), ServeError> {
+        match self.request(&Request::Close(CloseBody { session }))? {
+            Response::Closed => Ok(()),
+            other => Err(unexpected("Closed", &other)),
+        }
+    }
+
+    /// Fetches the live metrics snapshot.
+    pub fn stats(&mut self) -> Result<StatsBody, ServeError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(b) => Ok(b),
+            other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// Liveness probe; `wait_ms` occupies a worker that long.
+    pub fn ping(&mut self, wait_ms: u64) -> Result<Response, ServeError> {
+        self.request(&Request::Ping(PingBody { wait_ms }))
+    }
+
+    /// Requests graceful shutdown.
+    pub fn shutdown(&mut self) -> Result<(), ServeError> {
+        match self.request(&Request::Shutdown)? {
+            Response::ShutdownAck => Ok(()),
+            other => Err(unexpected("ShutdownAck", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ServeError {
+    ServeError::new(format!("expected {wanted}, got {got:?}"))
+}
+
+/// A deterministic load profile: every `(connection, request)` slot maps to
+/// a fixed `(θ, k)` via seed mixing, so two executions of the same spec —
+/// or an offline replay — exercise exactly the same queries.
+#[derive(Debug, Clone)]
+pub struct LoadSpec {
+    /// Registry name of the dataset to load-test.
+    pub dataset: String,
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Requests issued per connection.
+    pub requests_per_conn: usize,
+    /// θ values drawn from per request.
+    pub thetas: Vec<f64>,
+    /// k values drawn from per request.
+    pub ks: Vec<usize>,
+    /// Relevance quantile for the per-connection session.
+    pub quantile: f64,
+    /// Mixing seed.
+    pub seed: u64,
+}
+
+/// SplitMix64 finalizer: a cheap, high-quality deterministic mixer.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl LoadSpec {
+    /// The fixed `(θ, k)` sequence of connection `conn`. Empty when either
+    /// value pool is empty.
+    pub fn schedule(&self, conn: usize) -> Vec<(f64, usize)> {
+        if self.thetas.is_empty() || self.ks.is_empty() {
+            return Vec::new();
+        }
+        (0..self.requests_per_conn)
+            .map(|r| {
+                let h = mix(self.seed ^ ((conn as u64) << 32) ^ (r as u64));
+                let theta = self.thetas[(h % self.thetas.len().max(1) as u64) as usize];
+                let k = self.ks[((h >> 32) % self.ks.len().max(1) as u64) as usize];
+                (theta, k)
+            })
+            .collect()
+    }
+
+    /// Every distinct `(θ, k)` the spec will issue, keyed by `θ.to_bits()`.
+    pub fn unique_queries(&self) -> Vec<(f64, usize)> {
+        let mut seen: HashMap<(u64, usize), ()> = HashMap::new();
+        let mut out = Vec::new();
+        for conn in 0..self.connections {
+            for (theta, k) in self.schedule(conn) {
+                if seen.insert((theta.to_bits(), k), ()).is_none() {
+                    out.push((theta, k));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One successful load-test answer.
+#[derive(Debug, Clone)]
+pub struct LoadAnswer {
+    /// Connection index.
+    pub conn: usize,
+    /// Request index within the connection.
+    pub req: usize,
+    /// θ issued.
+    pub theta: f64,
+    /// k issued.
+    pub k: usize,
+    /// The server's answer.
+    pub body: AnswerBody,
+}
+
+/// Aggregate result of a load run.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// Successful answers, ordered by `(conn, req)`.
+    pub answers: Vec<LoadAnswer>,
+    /// Error descriptions (empty on a clean run).
+    pub errors: Vec<String>,
+    /// End-to-end wall time of the whole run.
+    pub wall: Duration,
+    /// Client-observed per-request latencies in milliseconds.
+    pub latencies_ms: Vec<f64>,
+}
+
+impl LoadReport {
+    /// Total requests that produced an answer.
+    pub fn completed(&self) -> usize {
+        self.answers.len()
+    }
+
+    /// Requests per second over the whole run.
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.answers.len() as f64 / secs
+        }
+    }
+
+    /// Latency quantile `p` in `[0, 1]` (exact over the recorded samples).
+    pub fn latency_quantile_ms(&self, p: f64) -> f64 {
+        if self.latencies_ms.is_empty() {
+            return 0.0;
+        }
+        let mut v = self.latencies_ms.clone();
+        v.sort_by(|a, b| a.total_cmp(b));
+        let idx = ((p.clamp(0.0, 1.0) * (v.len() - 1) as f64).round()) as usize;
+        v[idx.min(v.len() - 1)]
+    }
+}
+
+/// Runs the load profile against a live server: each connection opens its
+/// own session, issues its schedule, and closes. Answers come back ordered
+/// by `(conn, req)` regardless of interleaving, so the report itself is
+/// deterministic when the server is.
+pub fn run_load(addr: &str, spec: &LoadSpec) -> Result<LoadReport, ServeError> {
+    struct ConnResult {
+        answers: Vec<LoadAnswer>,
+        errors: Vec<String>,
+        latencies_ms: Vec<f64>,
+    }
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for conn in 0..spec.connections {
+        let addr = addr.to_owned();
+        let spec = spec.clone();
+        let spawned = thread::Builder::new()
+            .name(format!("graphrep-load-{conn}"))
+            .spawn(move || -> ConnResult {
+                let mut out = ConnResult {
+                    answers: Vec::new(),
+                    errors: Vec::new(),
+                    latencies_ms: Vec::new(),
+                };
+                let mut client = match Client::connect(&addr) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        out.errors.push(format!("conn {conn}: {e}"));
+                        return out;
+                    }
+                };
+                let opened = match client.open(&spec.dataset, spec.quantile) {
+                    Ok(o) => o,
+                    Err(e) => {
+                        out.errors.push(format!("conn {conn} open: {e}"));
+                        return out;
+                    }
+                };
+                for (req, (theta, k)) in spec.schedule(conn).into_iter().enumerate() {
+                    let q0 = Instant::now();
+                    match client.run(opened.session, theta, k, None) {
+                        Ok(Response::Answer(body)) => {
+                            out.latencies_ms.push(protocol::duration_ms(q0.elapsed()));
+                            out.answers.push(LoadAnswer {
+                                conn,
+                                req,
+                                theta,
+                                k,
+                                body,
+                            });
+                        }
+                        Ok(other) => out.errors.push(format!("conn {conn} req {req}: {other:?}")),
+                        Err(e) => out.errors.push(format!("conn {conn} req {req}: {e}")),
+                    }
+                }
+                if let Err(e) = client.close(opened.session) {
+                    out.errors.push(format!("conn {conn} close: {e}"));
+                }
+                out
+            })
+            .map_err(|e| ServeError::new(format!("spawning load thread {conn}: {e}")))?;
+        handles.push(spawned);
+    }
+    let mut answers = Vec::new();
+    let mut errors = Vec::new();
+    let mut latencies_ms = Vec::new();
+    for h in handles {
+        match h.join() {
+            Ok(mut r) => {
+                answers.append(&mut r.answers);
+                errors.append(&mut r.errors);
+                latencies_ms.append(&mut r.latencies_ms);
+            }
+            Err(_) => errors.push("a load thread panicked".to_owned()),
+        }
+    }
+    answers.sort_by_key(|a| (a.conn, a.req));
+    Ok(LoadReport {
+        answers,
+        errors,
+        wall: t0.elapsed(),
+        latencies_ms,
+    })
+}
+
+/// Computes the offline ground truth for `spec` on an already-loaded
+/// dataset: one shared session per quantile, `QuerySession::run` per unique
+/// `(θ, k)`. Keys are `(θ.to_bits(), k)`.
+pub fn offline_reference(ds: &LoadedDataset, spec: &LoadSpec) -> HashMap<(u64, usize), AnswerSet> {
+    let session = ds
+        .index_arc()
+        .start_session_shared(ds.relevant_for(spec.quantile));
+    let mut map = HashMap::new();
+    for (theta, k) in spec.unique_queries() {
+        let (answer, _) = session.run(theta, k);
+        map.insert((theta.to_bits(), k), answer);
+    }
+    map
+}
+
+/// Loads the dataset at `dir` and computes [`offline_reference`] for it.
+pub fn offline_reference_from_dir(
+    dir: &Path,
+    spec: &LoadSpec,
+) -> Result<HashMap<(u64, usize), AnswerSet>, ServeError> {
+    let ds = LoadedDataset::open(&spec.dataset, dir, false)?;
+    Ok(offline_reference(&ds, spec))
+}
+
+/// Checks every served answer against the offline ground truth via the
+/// byte-level fingerprint. Returns how many answers were verified, or a
+/// description of the first mismatch.
+pub fn verify_against_offline(
+    report: &LoadReport,
+    reference: &HashMap<(u64, usize), AnswerSet>,
+) -> Result<usize, String> {
+    for a in &report.answers {
+        let Some(want) = reference.get(&(a.theta.to_bits(), a.k)) else {
+            return Err(format!(
+                "no offline reference for θ = {}, k = {}",
+                a.theta, a.k
+            ));
+        };
+        let got = a.body.fingerprint();
+        let want = format!("{want:?}");
+        if got != want {
+            return Err(format!(
+                "conn {} req {} (θ = {}, k = {}): server answered {got} but offline run gives {want}",
+                a.conn, a.req, a.theta, a.k
+            ));
+        }
+    }
+    Ok(report.answers.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> LoadSpec {
+        LoadSpec {
+            dataset: "d".into(),
+            connections: 3,
+            requests_per_conn: 8,
+            thetas: vec![3.0, 4.0, 5.0],
+            ks: vec![2, 4],
+            quantile: 0.75,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn schedules_are_deterministic_and_seeded() {
+        let s = spec();
+        assert_eq!(s.schedule(0), s.schedule(0));
+        assert_ne!(s.schedule(0), s.schedule(1), "connections must differ");
+        let mut other = spec();
+        other.seed = 43;
+        assert_ne!(s.schedule(0), other.schedule(0), "seed must matter");
+    }
+
+    #[test]
+    fn unique_queries_covers_the_schedule() {
+        let s = spec();
+        let uniq = s.unique_queries();
+        assert!(!uniq.is_empty());
+        assert!(uniq.len() <= s.thetas.len() * s.ks.len());
+        for conn in 0..s.connections {
+            for (theta, k) in s.schedule(conn) {
+                assert!(uniq
+                    .iter()
+                    .any(|&(t, kk)| t.to_bits() == theta.to_bits() && kk == k));
+            }
+        }
+    }
+
+    #[test]
+    fn report_quantiles() {
+        let r = LoadReport {
+            answers: vec![],
+            errors: vec![],
+            wall: Duration::from_secs(1),
+            latencies_ms: vec![5.0, 1.0, 9.0, 3.0],
+        };
+        assert_eq!(r.latency_quantile_ms(0.0), 1.0);
+        assert_eq!(r.latency_quantile_ms(1.0), 9.0);
+        assert_eq!(r.latency_quantile_ms(0.5), 5.0);
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
+//! `graphrep-serve` — the concurrent query-serving layer.
+//!
+//! Turns the core library's interactive query model (paper Sec 7: one
+//! initialization phase, many `(θ, k)` runs) into a long-lived,
+//! dependency-free TCP service:
+//!
+//! * [`registry`] — datasets and NB-Indexes warm-loaded once at startup
+//!   ([`graphrep_core::NbIndex::load_json`] when an `index.json` sits next
+//!   to the dataset, a fresh build otherwise) and `Arc`-shared everywhere;
+//! * [`sessions`] — `open_session` / `run` / `close_session` over the wire
+//!   with idle expiry;
+//! * [`server`] — a bounded worker pool with admission control (explicit
+//!   `overloaded` rejections instead of unbounded queueing), per-request
+//!   deadlines enforced cooperatively between search heap pops, live
+//!   metrics, and graceful drain-then-exit shutdown;
+//! * [`protocol`] — length-prefixed JSON frames (std::net + the vendored
+//!   `serde_json`; no external dependencies);
+//! * [`client`] — a blocking client plus the deterministic load harness
+//!   whose answers are verified byte-identical to offline
+//!   [`graphrep_core::QuerySession::run`].
+
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+pub mod sessions;
+
+pub use client::{
+    offline_reference, offline_reference_from_dir, run_load, verify_against_offline, Client,
+    LoadAnswer, LoadReport, LoadSpec,
+};
+pub use metrics::{Endpoint, EndpointCounters, LatencyHistogram, ServerMetrics};
+pub use protocol::{codes, AnswerBody, Request, Response, ServeError, StatsBody};
+pub use registry::{DatasetRegistry, LoadedDataset};
+pub use server::{start, start_in_memory, ServeConfig, ServerHandle};
+pub use sessions::{LiveSession, SessionManager};

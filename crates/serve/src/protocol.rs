@@ -1,0 +1,508 @@
+//! Wire protocol: length-prefixed JSON frames over TCP.
+//!
+//! Every message is one frame: a 4-byte big-endian payload length followed
+//! by that many bytes of JSON. Requests and responses are externally tagged
+//! enums (`{"Run": {...}}`, `"Pong"`), so a frame is self-describing and the
+//! protocol can grow new variants without a version bump. The vendored
+//! `serde_json` prints floats via their shortest round-trip representation,
+//! which is what makes server answers byte-comparable to offline answers.
+
+use graphrep_core::{AnswerSet, RunStats};
+use graphrep_graph::GraphId;
+use serde::{Deserialize, Serialize};
+use std::io::{ErrorKind, Read, Write};
+use std::time::{Duration, Instant};
+
+/// Hard ceiling on a single frame's JSON payload. A header announcing more
+/// than this is treated as a protocol violation, not an allocation request.
+pub const MAX_FRAME_BYTES: usize = 16 << 20;
+
+/// Machine-readable error codes carried by [`Response::Error`].
+pub mod codes {
+    /// Admission control rejected the request: the server queue is full.
+    pub const OVERLOADED: &str = "overloaded";
+    /// The request's deadline expired before (or while) it executed.
+    pub const DEADLINE_EXCEEDED: &str = "deadline_exceeded";
+    /// Unknown dataset or unknown/expired session id.
+    pub const NOT_FOUND: &str = "not_found";
+    /// The request was structurally valid JSON but semantically malformed.
+    pub const BAD_REQUEST: &str = "bad_request";
+    /// The server is draining and no longer admits new work.
+    pub const SHUTTING_DOWN: &str = "shutting_down";
+    /// A server-side invariant failed while handling the request.
+    pub const INTERNAL: &str = "internal";
+}
+
+/// One error type for the whole serving layer: framing, I/O, registry
+/// loading, and client-side verification failures all surface as a message.
+#[derive(Debug)]
+pub struct ServeError {
+    /// Human-readable description of what failed.
+    pub message: String,
+}
+
+impl ServeError {
+    /// Wraps a message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        Self::new(format!("io: {e}"))
+    }
+}
+
+impl From<serde_json::Error> for ServeError {
+    fn from(e: serde_json::Error) -> Self {
+        Self::new(format!("json: {e}"))
+    }
+}
+
+/// Body of [`Request::Open`]: start a session on a named dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpenBody {
+    /// Registry name of the dataset to query.
+    pub dataset: String,
+    /// Score quantile defining the relevant set (same default as the CLI).
+    pub quantile: f64,
+}
+
+/// Body of [`Request::Run`]: one `(θ, k)` run on an open session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunBody {
+    /// Session id returned by [`Response::Opened`].
+    pub session: u64,
+    /// Distance threshold θ.
+    pub theta: f64,
+    /// Answer-set size k.
+    pub k: usize,
+    /// Per-request deadline in milliseconds, measured from admission. `None`
+    /// falls back to the server's default (which may be unlimited).
+    pub deadline_ms: Option<u64>,
+}
+
+/// Body of [`Request::Close`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CloseBody {
+    /// Session id to discard.
+    pub session: u64,
+}
+
+/// Body of [`Request::Ping`]: a no-op that occupies a worker for `wait_ms`.
+/// Zero-cost liveness probe by default; with a wait it is the load/overload
+/// tests' deterministic stand-in for a slow query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PingBody {
+    /// Milliseconds the worker sleeps before replying.
+    pub wait_ms: u64,
+}
+
+/// A client request. `Open`/`Run`/`Ping` go through the bounded worker pool
+/// (and can be rejected by admission control); `Close`/`Stats`/`Shutdown`
+/// are answered inline on the connection thread.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Start a session (paper Sec 7 initialization phase).
+    Open(OpenBody),
+    /// Execute one `(θ, k)` search-and-update run.
+    Run(RunBody),
+    /// Discard a session.
+    Close(CloseBody),
+    /// Fetch live server metrics.
+    Stats,
+    /// Liveness probe / synthetic work item.
+    Ping(PingBody),
+    /// Begin graceful shutdown: drain queued work, then exit.
+    Shutdown,
+}
+
+/// Body of [`Response::Opened`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpenedBody {
+    /// Session id for subsequent [`Request::Run`]s.
+    pub session: u64,
+    /// Size of the relevant set `|L_q|`.
+    pub relevant: usize,
+    /// Wall time of the initialization phase in milliseconds.
+    pub init_ms: f64,
+}
+
+/// Body of [`Response::Answer`]: an [`AnswerSet`] plus run statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnswerBody {
+    /// Chosen graphs, in selection order.
+    pub ids: Vec<GraphId>,
+    /// Relevant graphs covered by the union of θ-neighborhoods.
+    pub covered: usize,
+    /// Size of the relevant set.
+    pub relevant: usize,
+    /// Representative power after each greedy iteration.
+    pub pi_trajectory: Vec<f64>,
+    /// Edit-distance engine calls made by this run.
+    pub distance_calls: u64,
+    /// Server-side wall time of the run in milliseconds.
+    pub wall_ms: f64,
+}
+
+impl AnswerBody {
+    /// Packs an offline run result for the wire.
+    pub fn from_run(answer: &AnswerSet, stats: &RunStats) -> Self {
+        Self {
+            ids: answer.ids.clone(),
+            covered: answer.covered,
+            relevant: answer.relevant,
+            pi_trajectory: answer.pi_trajectory.clone(),
+            distance_calls: stats.distance_calls,
+            wall_ms: duration_ms(stats.wall),
+        }
+    }
+
+    /// Reconstructs the [`AnswerSet`] (dropping the run statistics).
+    pub fn answer_set(&self) -> AnswerSet {
+        AnswerSet {
+            ids: self.ids.clone(),
+            covered: self.covered,
+            relevant: self.relevant,
+            pi_trajectory: self.pi_trajectory.clone(),
+        }
+    }
+
+    /// Canonical comparison form: the debug rendering of the answer set,
+    /// which covers ids, coverage, and the full π trajectory. Two answers
+    /// with equal fingerprints are byte-identical results.
+    pub fn fingerprint(&self) -> String {
+        format!("{:?}", self.answer_set())
+    }
+}
+
+/// Per-endpoint request counters and latency summary, as served by
+/// [`Response::Stats`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EndpointStats {
+    /// Endpoint name (`open`, `run`, `close`, `stats`, `ping`, `shutdown`).
+    pub endpoint: String,
+    /// Requests dispatched (including rejected ones).
+    pub requests: u64,
+    /// Requests answered successfully.
+    pub ok: u64,
+    /// Requests rejected by admission control.
+    pub overloaded: u64,
+    /// Requests aborted by their deadline.
+    pub deadline_exceeded: u64,
+    /// All other error responses.
+    pub errors: u64,
+    /// Latency median in milliseconds (bucket upper bound).
+    pub p50_ms: f64,
+    /// Latency 99th percentile in milliseconds (bucket upper bound).
+    pub p99_ms: f64,
+    /// Upper bound of the slowest occupied latency bucket, in milliseconds.
+    pub max_ms: f64,
+    /// Request counts per log₂ latency bucket: bucket `b` holds requests
+    /// that took `[2^b, 2^(b+1))` microseconds. Trailing zeros trimmed.
+    pub latency_buckets: Vec<u64>,
+}
+
+/// Distance-oracle counter deltas since server start, per dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OracleDelta {
+    /// Engine invocations that produced an exact distance.
+    pub distance_computations: u64,
+    /// "Outside τ" verdicts (engine or filter tier).
+    pub within_rejections: u64,
+    /// Requests answered from cache.
+    pub cache_hits: u64,
+    /// Upper-bound-certified accepts (no engine call).
+    pub ub_accepts: u64,
+    /// Raw edit-distance engine calls.
+    pub engine_calls: u64,
+    /// Rejections by the size lower bound.
+    pub size_rejects: u64,
+    /// Rejections by the label lower bound.
+    pub label_rejects: u64,
+    /// Rejections by the degree-sequence lower bound.
+    pub degree_rejects: u64,
+    /// Rejections by the vantage (Lipschitz) lower bound.
+    pub vantage_lb_rejects: u64,
+    /// Acceptances by the vantage (triangle) upper bound.
+    pub vantage_ub_accepts: u64,
+}
+
+/// Per-dataset registry statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Registry name.
+    pub name: String,
+    /// Number of graphs in the database.
+    pub graphs: usize,
+    /// Resident NB-Index memory (vantage orderings + tree) in bytes.
+    pub index_memory_bytes: usize,
+    /// How the index came to be: `loaded` (warm start from disk) or `built`.
+    pub index_source: String,
+    /// Oracle activity since the server started serving this dataset.
+    pub oracle: OracleDelta,
+}
+
+/// Body of [`Response::Stats`]: a full observability snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsBody {
+    /// Milliseconds since the server started.
+    pub uptime_ms: f64,
+    /// Worker-pool size (the in-flight bound).
+    pub workers: usize,
+    /// Admission-control queue capacity.
+    pub queue_limit: usize,
+    /// Requests currently waiting in the queue.
+    pub queue_len: usize,
+    /// Sessions currently open.
+    pub sessions_open: usize,
+    /// Sessions removed by idle expiry since start.
+    pub sessions_expired: u64,
+    /// Per-endpoint counters and latency histograms.
+    pub endpoints: Vec<EndpointStats>,
+    /// Per-dataset index and oracle statistics.
+    pub datasets: Vec<DatasetStats>,
+}
+
+/// Body of [`Response::Error`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorBody {
+    /// Machine-readable code from [`codes`].
+    pub code: String,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// A server response. Every request yields exactly one response frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Session created.
+    Opened(OpenedBody),
+    /// Run finished.
+    Answer(AnswerBody),
+    /// Session discarded.
+    Closed,
+    /// Metrics snapshot.
+    Stats(StatsBody),
+    /// Liveness reply.
+    Pong,
+    /// Shutdown acknowledged; the server drains and exits.
+    ShutdownAck,
+    /// The request failed; see the code for why.
+    Error(ErrorBody),
+}
+
+impl Response {
+    /// The error code if this is an error response.
+    pub fn error_code(&self) -> Option<&str> {
+        match self {
+            Response::Error(e) => Some(&e.code),
+            _ => None,
+        }
+    }
+}
+
+/// Converts a [`Duration`] to fractional milliseconds.
+pub fn duration_ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Writes one frame: 4-byte big-endian length, then the JSON payload.
+pub fn write_frame<T: Serialize>(w: &mut impl Write, msg: &T) -> Result<(), ServeError> {
+    let body = serde_json::to_string(msg)?;
+    if body.len() > MAX_FRAME_BYTES {
+        return Err(ServeError::new(format!(
+            "frame of {} bytes exceeds the {MAX_FRAME_BYTES}-byte limit",
+            body.len()
+        )));
+    }
+    w.write_all(&(body.len() as u32).to_be_bytes())?;
+    w.write_all(body.as_bytes())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Outcome of one [`read_frame`] attempt on a stream that may have a read
+/// timeout configured.
+#[derive(Debug)]
+pub enum FrameRead<T> {
+    /// A complete frame arrived.
+    Frame(T),
+    /// The read timed out before any byte of a new frame arrived. The caller
+    /// may poll its shutdown flag and retry.
+    Idle,
+    /// The peer closed the connection at a frame boundary.
+    Closed,
+}
+
+enum Fill {
+    Done,
+    Empty,
+    Eof,
+}
+
+/// Fills `buf` across read-timeout wakeups. With `idle_ok`, a timeout (or
+/// clean close) before the first byte is a non-event; without it — i.e. in
+/// the middle of a frame — the peer gets `stall_limit` to produce the rest
+/// before the read is declared failed.
+fn fill(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    stall_limit: Duration,
+    idle_ok: bool,
+) -> Result<Fill, ServeError> {
+    let mut filled = 0usize;
+    let mut stalled_since: Option<Instant> = None;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 && idle_ok {
+                    return Ok(Fill::Eof);
+                }
+                return Err(ServeError::new("peer closed mid-frame"));
+            }
+            Ok(n) => {
+                filled += n;
+                stalled_since = None;
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                ) =>
+            {
+                if filled == 0 && idle_ok {
+                    return Ok(Fill::Empty);
+                }
+                let since = *stalled_since.get_or_insert_with(Instant::now);
+                if since.elapsed() > stall_limit {
+                    return Err(ServeError::new("peer stalled mid-frame"));
+                }
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(Fill::Done)
+}
+
+/// Reads one frame. On a stream with a read timeout, returns
+/// [`FrameRead::Idle`] when no frame has started yet — the hook that keeps
+/// connection threads responsive to server shutdown without busy-waiting.
+pub fn read_frame<T: Deserialize>(
+    r: &mut impl Read,
+    stall_limit: Duration,
+) -> Result<FrameRead<T>, ServeError> {
+    let mut header = [0u8; 4];
+    match fill(r, &mut header, stall_limit, true)? {
+        Fill::Empty => return Ok(FrameRead::Idle),
+        Fill::Eof => return Ok(FrameRead::Closed),
+        Fill::Done => {}
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(ServeError::new(format!(
+            "peer announced a {len}-byte frame (limit {MAX_FRAME_BYTES})"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    match fill(r, &mut payload, stall_limit, false)? {
+        Fill::Done => {}
+        // Unreachable: idle_ok is false, so fill only returns Done or Err.
+        Fill::Empty | Fill::Eof => return Err(ServeError::new("truncated frame")),
+    }
+    let text = String::from_utf8(payload)
+        .map_err(|e| ServeError::new(format!("frame is not UTF-8: {e}")))?;
+    Ok(FrameRead::Frame(serde_json::from_str(&text)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(msg: &T) -> T {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, msg).unwrap();
+        match read_frame::<T>(&mut buf.as_slice(), Duration::from_secs(1)).unwrap() {
+            FrameRead::Frame(t) => t,
+            other => panic!("expected a frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn request_frames_round_trip() {
+        for req in [
+            Request::Open(OpenBody {
+                dataset: "dud".into(),
+                quantile: 0.75,
+            }),
+            Request::Run(RunBody {
+                session: 7,
+                theta: 3.5,
+                k: 4,
+                deadline_ms: Some(250),
+            }),
+            Request::Close(CloseBody { session: 7 }),
+            Request::Stats,
+            Request::Ping(PingBody { wait_ms: 0 }),
+            Request::Shutdown,
+        ] {
+            assert_eq!(round_trip(&req), req);
+        }
+    }
+
+    #[test]
+    fn answer_body_preserves_float_trajectories() {
+        let body = AnswerBody {
+            ids: vec![3, 1, 9],
+            covered: 17,
+            relevant: 23,
+            pi_trajectory: vec![0.1, 1.0 / 3.0, 0.7391304347826086],
+            distance_calls: 42,
+            wall_ms: 1.25,
+        };
+        let back = round_trip(&Response::Answer(body.clone()));
+        match back {
+            Response::Answer(b) => {
+                assert_eq!(b, body);
+                assert_eq!(b.fingerprint(), body.fingerprint());
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn closed_at_frame_boundary() {
+        let empty: &[u8] = &[];
+        match read_frame::<Request>(&mut { empty }, Duration::from_secs(1)).unwrap() {
+            FrameRead::Closed => {}
+            other => panic!("expected Closed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_header_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
+        let err = read_frame::<Request>(&mut buf.as_slice(), Duration::from_secs(1)).unwrap_err();
+        assert!(err.message.contains("limit"), "{err}");
+    }
+
+    #[test]
+    fn truncated_payload_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Request::Stats).unwrap();
+        buf.truncate(buf.len() - 1);
+        assert!(read_frame::<Request>(&mut buf.as_slice(), Duration::from_secs(1)).is_err());
+    }
+}

@@ -1,0 +1,236 @@
+//! The dataset registry: datasets and their NB-Indexes are loaded once at
+//! server start and shared (`Arc`) across every connection and worker.
+//!
+//! Warm start: if `<dir>/index.json` exists it is loaded through the
+//! persistence layer — the whole NP-hard build phase is skipped. Otherwise
+//! the index is built with the same defaults the CLI uses (so a CLI-built
+//! index and a server-built index are interchangeable) and, optionally,
+//! written back for the next start.
+
+use crate::protocol::{DatasetStats, OracleDelta, ServeError};
+use graphrep_core::{NbIndex, NbIndexConfig, RelevanceQuery, Scorer};
+use graphrep_datagen::{store, Dataset};
+use graphrep_ged::{DistanceOracle, GedConfig, OracleStats, TierStats};
+use graphrep_graph::GraphId;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Index-build parameters shared by the server and the CLI's implicit path:
+/// the library defaults plus the dataset's own threshold ladder.
+pub fn default_index_config(data: &Dataset) -> NbIndexConfig {
+    NbIndexConfig {
+        ladder: data.default_ladder.clone(),
+        ..NbIndexConfig::default()
+    }
+}
+
+/// One warm-loaded dataset: database, shared oracle, shared NB-Index, and
+/// the counter baselines for delta reporting.
+pub struct LoadedDataset {
+    name: String,
+    data: Dataset,
+    oracle: Arc<DistanceOracle>,
+    index: Arc<NbIndex>,
+    index_source: String,
+    base_oracle: OracleStats,
+    base_tiers: TierStats,
+    base_engine_calls: u64,
+}
+
+impl std::fmt::Debug for LoadedDataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LoadedDataset")
+            .field("name", &self.name)
+            .field("graphs", &self.data.db.len())
+            .field("index_source", &self.index_source)
+            .finish()
+    }
+}
+
+impl LoadedDataset {
+    /// Loads the dataset at `dir` and warms its index: `<dir>/index.json`
+    /// when present (falling back to a fresh build if it fails to load),
+    /// otherwise a build with [`default_index_config`]. With `persist_built`,
+    /// a freshly built index is written back to `<dir>/index.json` so the
+    /// next start is warm; write failures are ignored (read-only dataset
+    /// directories must not prevent serving).
+    pub fn open(name: &str, dir: &Path, persist_built: bool) -> Result<Self, ServeError> {
+        let data = store::load(dir)
+            .map_err(|e| ServeError::new(format!("loading {}: {e}", dir.display())))?;
+        let oracle = data.db.oracle(GedConfig::default());
+        let index_path = dir.join("index.json");
+        let (index, index_source) = match std::fs::read_to_string(&index_path) {
+            Ok(json) => match NbIndex::load_json(&json, Arc::clone(&oracle)) {
+                Ok(index) => (index, "loaded".to_owned()),
+                Err(e) => {
+                    let built = NbIndex::build(Arc::clone(&oracle), default_index_config(&data));
+                    (built, format!("built (stale index on disk: {e})"))
+                }
+            },
+            Err(_) => {
+                let built = NbIndex::build(Arc::clone(&oracle), default_index_config(&data));
+                if persist_built {
+                    let _ = std::fs::write(&index_path, built.save_json());
+                }
+                (built, "built".to_owned())
+            }
+        };
+        let base_oracle = oracle.stats();
+        let base_tiers = oracle.tier_stats();
+        let base_engine_calls = oracle.engine_calls();
+        Ok(Self {
+            name: name.to_owned(),
+            data,
+            oracle,
+            index: Arc::new(index),
+            index_source,
+            base_oracle,
+            base_tiers,
+            base_engine_calls,
+        })
+    }
+
+    /// Registry name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying dataset.
+    pub fn data(&self) -> &Dataset {
+        &self.data
+    }
+
+    /// A shared handle to the NB-Index.
+    pub fn index_arc(&self) -> Arc<NbIndex> {
+        Arc::clone(&self.index)
+    }
+
+    /// How the index was obtained (`loaded` vs `built`).
+    pub fn index_source(&self) -> &str {
+        &self.index_source
+    }
+
+    /// The default relevance function at `quantile` — identical to the CLI's
+    /// (mean of all feature dimensions, top quantile), so server sessions
+    /// answer exactly what an offline `query` invocation answers.
+    pub fn relevant_for(&self, quantile: f64) -> Vec<GraphId> {
+        let scorer = Scorer::MeanOfDims((0..self.data.db.dims().max(1)).collect());
+        RelevanceQuery::top_quantile(&self.data.db, scorer, quantile).relevant_set(&self.data.db)
+    }
+
+    /// Oracle activity since this dataset was loaded (serving-time deltas:
+    /// the warm-load/build work is excluded by the baselines).
+    pub fn oracle_delta(&self) -> OracleDelta {
+        let s = self.oracle.stats();
+        let t = self.oracle.tier_stats();
+        OracleDelta {
+            distance_computations: s
+                .distance_computations
+                .saturating_sub(self.base_oracle.distance_computations),
+            within_rejections: s
+                .within_rejections
+                .saturating_sub(self.base_oracle.within_rejections),
+            cache_hits: s.cache_hits.saturating_sub(self.base_oracle.cache_hits),
+            ub_accepts: s.ub_accepts.saturating_sub(self.base_oracle.ub_accepts),
+            engine_calls: self
+                .oracle
+                .engine_calls()
+                .saturating_sub(self.base_engine_calls),
+            size_rejects: t.size_rejects.saturating_sub(self.base_tiers.size_rejects),
+            label_rejects: t
+                .label_rejects
+                .saturating_sub(self.base_tiers.label_rejects),
+            degree_rejects: t
+                .degree_rejects
+                .saturating_sub(self.base_tiers.degree_rejects),
+            vantage_lb_rejects: t
+                .vantage_lb_rejects
+                .saturating_sub(self.base_tiers.vantage_lb_rejects),
+            vantage_ub_accepts: t
+                .vantage_ub_accepts
+                .saturating_sub(self.base_tiers.vantage_ub_accepts),
+        }
+    }
+
+    /// Serializable statistics for the `stats` endpoint.
+    pub fn stats(&self) -> DatasetStats {
+        DatasetStats {
+            name: self.name.clone(),
+            graphs: self.data.db.len(),
+            index_memory_bytes: self.index.memory_bytes(),
+            index_source: self.index_source.clone(),
+            oracle: self.oracle_delta(),
+        }
+    }
+}
+
+/// Name → dataset map, immutable once the server starts.
+#[derive(Debug, Default)]
+pub struct DatasetRegistry {
+    map: HashMap<String, Arc<LoadedDataset>>,
+}
+
+impl DatasetRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Loads and registers the dataset at `dir` under `name`.
+    pub fn load_dir(
+        &mut self,
+        name: &str,
+        dir: &Path,
+        persist_built: bool,
+    ) -> Result<(), ServeError> {
+        let ds = LoadedDataset::open(name, dir, persist_built)?;
+        self.map.insert(name.to_owned(), Arc::new(ds));
+        Ok(())
+    }
+
+    /// Registers an already-loaded dataset (used by in-process tests).
+    pub fn insert(&mut self, ds: LoadedDataset) {
+        self.map.insert(ds.name.clone(), Arc::new(ds));
+    }
+
+    /// Looks a dataset up by name.
+    pub fn get(&self, name: &str) -> Option<Arc<LoadedDataset>> {
+        self.map.get(name).cloned()
+    }
+
+    /// Registered dataset names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.map.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Per-dataset statistics, in name order.
+    pub fn stats(&self) -> Vec<DatasetStats> {
+        self.names()
+            .into_iter()
+            .filter_map(|n| self.map.get(&n).map(|d| d.stats()))
+            .collect()
+    }
+}
+
+/// Builds a [`LoadedDataset`] from an in-memory dataset (no directory, no
+/// persistence) — the shape in-process tests and benchmarks use.
+pub fn load_in_memory(name: &str, data: Dataset) -> LoadedDataset {
+    let oracle = data.db.oracle(GedConfig::default());
+    let index = NbIndex::build(Arc::clone(&oracle), default_index_config(&data));
+    let base_oracle = oracle.stats();
+    let base_tiers = oracle.tier_stats();
+    let base_engine_calls = oracle.engine_calls();
+    LoadedDataset {
+        name: name.to_owned(),
+        data,
+        oracle,
+        index: Arc::new(index),
+        index_source: "built".to_owned(),
+        base_oracle,
+        base_tiers,
+        base_engine_calls,
+    }
+}

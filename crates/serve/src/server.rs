@@ -1,0 +1,475 @@
+//! The TCP server: accept loop, connection handlers, bounded worker pool
+//! with admission control, per-request deadlines, and graceful shutdown.
+//!
+//! Threading model: one thread per connection reads frames and writes
+//! responses; query-bearing requests (`open`/`run`/`ping`) are handed to a
+//! fixed pool of worker threads through a bounded queue. The pool size caps
+//! in-flight query work; the queue caps waiting work — a request that finds
+//! the queue full is rejected immediately with `overloaded` rather than
+//! admitted into unbounded latency.
+//!
+//! Deadlines are measured from *admission* (the moment the request enters
+//! the queue): a request that waits out its budget in the queue aborts at
+//! the first cancellation poll instead of burning a worker, and a running
+//! query aborts between best-first-search heap pops via the core's
+//! [`CancelToken`]. Either way the client gets `deadline_exceeded` and the
+//! session remains fully usable.
+//!
+//! Graceful shutdown drains: the flag stops admission and the accept loop,
+//! workers finish the queued backlog, connection threads deliver the final
+//! responses, and every thread is joined before the handle returns.
+
+use crate::metrics::{Endpoint, ServerMetrics};
+use crate::protocol::{
+    codes, AnswerBody, ErrorBody, FrameRead, OpenBody, OpenedBody, PingBody, Request, Response,
+    RunBody, ServeError, StatsBody,
+};
+use crate::registry::DatasetRegistry;
+use crate::sessions::SessionManager;
+use crate::{protocol, registry};
+use graphrep_core::{CancelToken, QuerySession};
+use std::collections::VecDeque;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks a free port (see [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker-pool size — the bound on in-flight query work.
+    pub workers: usize,
+    /// Admission-control queue capacity: requests beyond the in-flight set
+    /// wait here; when full, new requests are rejected as `overloaded`.
+    pub max_queue: usize,
+    /// Default per-request deadline applied when a `run` request carries
+    /// none. `None` means unlimited.
+    pub default_deadline_ms: Option<u64>,
+    /// Idle TTL after which sessions expire.
+    pub idle_session_ttl: Duration,
+    /// How long a peer may stall mid-frame before the connection is dropped.
+    pub frame_stall: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 4,
+            max_queue: 64,
+            default_deadline_ms: None,
+            idle_session_ttl: Duration::from_secs(900),
+            frame_stall: Duration::from_secs(10),
+        }
+    }
+}
+
+enum Work {
+    Open(OpenBody),
+    Run(RunBody),
+    Ping(PingBody),
+}
+
+struct Job {
+    work: Work,
+    /// Admission time: deadlines and latency are measured from here.
+    arrived: Instant,
+    reply: mpsc::Sender<Response>,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    registry: DatasetRegistry,
+    sessions: SessionManager,
+    metrics: ServerMetrics,
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+    started: Instant,
+}
+
+/// Poison-proof lock: a panicking thread must not wedge the whole server,
+/// and the protected state (a job queue, a handle list) stays valid across
+/// any partial mutation the queue operations can perform.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn err(code: &str, message: impl Into<String>) -> Response {
+    Response::Error(ErrorBody {
+        code: code.to_owned(),
+        message: message.into(),
+    })
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        // Relaxed: the flag is an advisory signal polled at loop boundaries;
+        // no data is published through it.
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Admission control: rejects when draining or when the queue is full.
+    fn submit(&self, job: Job) -> Result<(), &'static str> {
+        let mut q = lock(&self.queue);
+        if self.shutting_down() {
+            return Err(codes::SHUTTING_DOWN);
+        }
+        if q.len() >= self.cfg.max_queue {
+            return Err(codes::OVERLOADED);
+        }
+        q.push_back(job);
+        drop(q);
+        self.queue_cv.notify_one();
+        Ok(())
+    }
+
+    fn begin_shutdown(&self) {
+        // Relaxed: advisory signal polled at loop boundaries; the queue and
+        // its condvar carry the actual work handoff.
+        self.shutdown.store(true, Ordering::Relaxed);
+        self.queue_cv.notify_all();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = lock(&shared.queue);
+            loop {
+                if let Some(j) = q.pop_front() {
+                    break Some(j);
+                }
+                if shared.shutting_down() {
+                    break None;
+                }
+                // Timed wait so a missed notification can never strand the
+                // worker past one tick of the shutdown poll.
+                let (guard, _) = shared
+                    .queue_cv
+                    .wait_timeout(q, Duration::from_millis(50))
+                    .unwrap_or_else(|p| p.into_inner());
+                q = guard;
+            }
+        };
+        // Drain semantics: jobs already admitted are executed even after the
+        // shutdown flag rises; the worker exits only on an empty queue.
+        let Some(job) = job else { return };
+        let resp = execute(shared, job.work, job.arrived);
+        // A vanished receiver means the connection died; nothing to do.
+        let _ = job.reply.send(resp);
+    }
+}
+
+fn execute(shared: &Shared, work: Work, arrived: Instant) -> Response {
+    match work {
+        Work::Ping(p) => {
+            if p.wait_ms > 0 {
+                thread::sleep(Duration::from_millis(p.wait_ms));
+            }
+            Response::Pong
+        }
+        Work::Open(o) => open_session(shared, o),
+        Work::Run(r) => run_query(shared, r, arrived),
+    }
+}
+
+fn open_session(shared: &Shared, o: OpenBody) -> Response {
+    let Some(ds) = shared.registry.get(&o.dataset) else {
+        return err(codes::NOT_FOUND, format!("unknown dataset `{}`", o.dataset));
+    };
+    if !(0.0..=1.0).contains(&o.quantile) {
+        return err(codes::BAD_REQUEST, "quantile must be in [0, 1]");
+    }
+    let t0 = Instant::now();
+    let session = QuerySession::shared(ds.index_arc(), ds.relevant_for(o.quantile));
+    let relevant = session.relevant().len();
+    let id = shared.sessions.insert(o.dataset, session);
+    Response::Opened(OpenedBody {
+        session: id,
+        relevant,
+        init_ms: protocol::duration_ms(t0.elapsed()),
+    })
+}
+
+fn run_query(shared: &Shared, r: RunBody, arrived: Instant) -> Response {
+    if !r.theta.is_finite() || r.theta < 0.0 {
+        return err(codes::BAD_REQUEST, "theta must be finite and non-negative");
+    }
+    let Some(live) = shared.sessions.get(r.session) else {
+        return err(
+            codes::NOT_FOUND,
+            format!(
+                "no session {} (unknown, closed, or idle-expired)",
+                r.session
+            ),
+        );
+    };
+    let deadline_ms = r.deadline_ms.or(shared.cfg.default_deadline_ms);
+    let cancel = match deadline_ms {
+        // Measured from admission: queue wait spends the same budget.
+        Some(ms) => CancelToken::with_deadline(arrived + Duration::from_millis(ms)),
+        None => CancelToken::never(),
+    };
+    match live.session().run_cancellable(r.theta, r.k, &cancel) {
+        Ok((answer, stats)) => Response::Answer(AnswerBody::from_run(&answer, &stats)),
+        Err(_) => err(
+            codes::DEADLINE_EXCEEDED,
+            format!(
+                "deadline of {} ms exceeded; the session remains usable",
+                deadline_ms.unwrap_or(0)
+            ),
+        ),
+    }
+}
+
+fn stats_body(shared: &Shared) -> StatsBody {
+    StatsBody {
+        uptime_ms: protocol::duration_ms(shared.started.elapsed()),
+        workers: shared.cfg.workers.max(1),
+        queue_limit: shared.cfg.max_queue,
+        queue_len: lock(&shared.queue).len(),
+        sessions_open: shared.sessions.len(),
+        sessions_expired: shared.sessions.expired_total(),
+        endpoints: shared.metrics.snapshot(),
+        datasets: shared.registry.stats(),
+    }
+}
+
+fn endpoint_of(req: &Request) -> Endpoint {
+    match req {
+        Request::Open(_) => Endpoint::Open,
+        Request::Run(_) => Endpoint::Run,
+        Request::Close(_) => Endpoint::Close,
+        Request::Stats => Endpoint::Stats,
+        Request::Ping(_) => Endpoint::Ping,
+        Request::Shutdown => Endpoint::Shutdown,
+    }
+}
+
+fn pooled(shared: &Shared, work: Work, arrived: Instant) -> Response {
+    let (tx, rx) = mpsc::channel();
+    match shared.submit(Job {
+        work,
+        arrived,
+        reply: tx,
+    }) {
+        Err(codes::OVERLOADED) => err(
+            codes::OVERLOADED,
+            format!(
+                "queue full ({} waiting, {} in flight); retry later",
+                shared.cfg.max_queue,
+                shared.cfg.workers.max(1)
+            ),
+        ),
+        Err(_) => err(codes::SHUTTING_DOWN, "server is draining"),
+        Ok(()) => match rx.recv() {
+            Ok(resp) => resp,
+            Err(_) => err(codes::INTERNAL, "worker dropped the reply channel"),
+        },
+    }
+}
+
+/// Full request dispatch: pooled endpoints go through admission control;
+/// `close`/`stats`/`shutdown` are served inline on the connection thread so
+/// they work even when the pool is saturated (`stats` under overload is
+/// exactly when observability matters).
+fn dispatch(shared: &Shared, req: Request) -> Response {
+    let ep = endpoint_of(&req);
+    let arrived = Instant::now();
+    let resp = match req {
+        Request::Open(b) => pooled(shared, Work::Open(b), arrived),
+        Request::Run(b) => pooled(shared, Work::Run(b), arrived),
+        Request::Ping(b) => pooled(shared, Work::Ping(b), arrived),
+        Request::Close(c) => {
+            if shared.sessions.remove(c.session) {
+                Response::Closed
+            } else {
+                err(codes::NOT_FOUND, format!("no session {}", c.session))
+            }
+        }
+        Request::Stats => Response::Stats(stats_body(shared)),
+        Request::Shutdown => {
+            shared.begin_shutdown();
+            Response::ShutdownAck
+        }
+    };
+    shared
+        .metrics
+        .endpoint(ep)
+        .observe(resp.error_code(), arrived.elapsed());
+    resp
+}
+
+fn handle_conn(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    // Short read timeout: the loop polls the shutdown flag between frames
+    // instead of blocking in `read` forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    loop {
+        match protocol::read_frame::<Request>(&mut stream, shared.cfg.frame_stall) {
+            Ok(FrameRead::Idle) => {
+                if shared.shutting_down() {
+                    return;
+                }
+            }
+            Ok(FrameRead::Closed) => return,
+            Ok(FrameRead::Frame(req)) => {
+                let is_shutdown = matches!(req, Request::Shutdown);
+                let resp = dispatch(shared, req);
+                if protocol::write_frame(&mut stream, &resp).is_err() || is_shutdown {
+                    return;
+                }
+            }
+            Err(e) => {
+                // One best-effort diagnosis, then drop the connection: after
+                // a framing error the stream offset is untrustworthy.
+                let _ = protocol::write_frame(&mut stream, &err(codes::BAD_REQUEST, e.message));
+                return;
+            }
+        }
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: TcpListener, conns: &Mutex<Vec<JoinHandle<()>>>) {
+    // Non-blocking accept + sleep keeps the loop responsive to shutdown
+    // without needing a wake-up connection.
+    let _ = listener.set_nonblocking(true);
+    loop {
+        if shared.shutting_down() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // The listener is non-blocking; the per-connection protocol
+                // expects a blocking stream with its own read timeout.
+                let _ = stream.set_nonblocking(false);
+                let s = Arc::clone(shared);
+                let spawned = thread::Builder::new()
+                    .name("graphrep-conn".to_owned())
+                    .spawn(move || handle_conn(&s, stream));
+                if let Ok(h) = spawned {
+                    lock(conns).push(h);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// A running server. Dropping the handle does **not** stop the server; call
+/// [`ServerHandle::shutdown`] (or send a wire `Shutdown`) and the handle's
+/// join methods to end it cleanly.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Initiates graceful shutdown and joins every server thread: queued
+    /// work is drained, in-flight responses are delivered, then the pool,
+    /// acceptor, and connection threads exit.
+    pub fn shutdown(self) {
+        self.shared.begin_shutdown();
+        self.join_all();
+    }
+
+    /// Blocks until the server shuts down (e.g. via a wire `Shutdown`
+    /// request), then joins every thread.
+    pub fn wait(self) {
+        self.join_all();
+    }
+
+    fn join_all(self) {
+        let _ = self.acceptor.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+        // No new connections can appear once the acceptor has exited.
+        let handles: Vec<JoinHandle<()>> = lock(&self.conns).drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Starts a server over `registry` with `cfg`, returning once the listener
+/// is bound and the worker pool is up.
+pub fn start(cfg: ServeConfig, registry: DatasetRegistry) -> Result<ServerHandle, ServeError> {
+    let listener = TcpListener::bind(&cfg.addr)
+        .map_err(|e| ServeError::new(format!("bind {}: {e}", cfg.addr)))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| ServeError::new(format!("local_addr: {e}")))?;
+    let shared = Arc::new(Shared {
+        sessions: SessionManager::new(cfg.idle_session_ttl),
+        metrics: ServerMetrics::new(),
+        registry,
+        queue: Mutex::new(VecDeque::new()),
+        queue_cv: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        started: Instant::now(),
+        cfg,
+    });
+    let mut workers = Vec::new();
+    for i in 0..shared.cfg.workers.max(1) {
+        let s = Arc::clone(&shared);
+        let h = thread::Builder::new()
+            .name(format!("graphrep-worker-{i}"))
+            .spawn(move || worker_loop(&s))
+            .map_err(|e| ServeError::new(format!("spawning worker {i}: {e}")))?;
+        workers.push(h);
+    }
+    let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let acceptor = {
+        let s = Arc::clone(&shared);
+        let c = Arc::clone(&conns);
+        thread::Builder::new()
+            .name("graphrep-accept".to_owned())
+            .spawn(move || accept_loop(&s, listener, &c))
+            .map_err(|e| ServeError::new(format!("spawning acceptor: {e}")))?
+    };
+    Ok(ServerHandle {
+        shared,
+        addr,
+        acceptor,
+        workers,
+        conns,
+    })
+}
+
+/// Convenience for tests and benchmarks: builds a registry holding the
+/// single in-memory dataset `data` under `name` and starts a server on it.
+pub fn start_in_memory(
+    cfg: ServeConfig,
+    name: &str,
+    data: graphrep_datagen::Dataset,
+) -> Result<ServerHandle, ServeError> {
+    let mut reg = DatasetRegistry::new();
+    reg.insert(registry::load_in_memory(name, data));
+    start(cfg, reg)
+}

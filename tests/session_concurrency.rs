@@ -1,0 +1,76 @@
+//! The shared-session contract: one `QuerySession` (paper Sec 7's
+//! interactive model — initialize once, then many `(θ, k)` runs) used from
+//! eight OS threads concurrently must return exactly what a single-threaded
+//! replay returns, for every query, and must stay consistent afterwards.
+
+use graphrep::core::{NbIndex, NbIndexConfig};
+use graphrep::datagen::{DatasetKind, DatasetSpec};
+use graphrep::ged::GedConfig;
+use std::sync::Arc;
+
+#[test]
+fn eight_threads_share_one_session_and_agree_with_single_threaded() {
+    let data = DatasetSpec::new(DatasetKind::DudLike, 80, 4242).generate();
+    let oracle = data.db.oracle(GedConfig::default());
+    let index = Arc::new(NbIndex::build(
+        oracle,
+        NbIndexConfig {
+            num_vps: 8,
+            ladder: data.default_ladder.clone(),
+            seed: 0xfeed,
+            ..NbIndexConfig::default()
+        },
+    ));
+    let relevant = data.default_query().relevant_set(&data.db);
+
+    // Mixed workload: 4 θ values × 2 k values = 8 distinct queries.
+    let mixes: Vec<(f64, usize)> = [0.8, 1.0, 1.2, 1.4]
+        .iter()
+        .flat_map(|&m| [2usize, 4].map(|k| (data.default_theta * m, k)))
+        .collect();
+
+    // Ground truth from a fresh session, strictly single-threaded.
+    let expected: Vec<String> = {
+        let session = Arc::clone(&index).start_session_shared(relevant.clone());
+        mixes
+            .iter()
+            .map(|&(t, k)| format!("{:?}", session.run(t, k).0))
+            .collect()
+    };
+
+    // Eight threads hammer ONE shared session; each walks the full mix in a
+    // different rotation so identical and distinct queries overlap in time.
+    let shared = Arc::new(Arc::clone(&index).start_session_shared(relevant));
+    let mut handles = Vec::new();
+    for offset in 0..8 {
+        let s = Arc::clone(&shared);
+        let mixes = mixes.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut got = Vec::new();
+            for i in 0..mixes.len() {
+                let idx = (offset + i) % mixes.len();
+                let (t, k) = mixes[idx];
+                got.push((idx, format!("{:?}", s.run(t, k).0)));
+            }
+            got
+        }));
+    }
+    for (thread, h) in handles.into_iter().enumerate() {
+        for (idx, got) in h.join().expect("worker thread panicked") {
+            assert_eq!(
+                got, expected[idx],
+                "thread {thread} diverged on query {idx} {:?}",
+                mixes[idx]
+            );
+        }
+    }
+
+    // After the concurrent storm, the same session still answers cleanly.
+    for (idx, &(t, k)) in mixes.iter().enumerate() {
+        assert_eq!(
+            format!("{:?}", shared.run(t, k).0),
+            expected[idx],
+            "post-storm rerun diverged on query {idx}"
+        );
+    }
+}
