@@ -8,6 +8,7 @@ pub mod build;
 pub mod distances;
 pub mod hybrid;
 pub mod motivation;
+pub mod mutate;
 pub mod quality;
 pub mod refinement;
 pub mod scalability;
@@ -42,6 +43,7 @@ pub const ALL: &[&str] = &[
     "threads",
     "ged_tiers",
     "serve_load",
+    "mutate_churn",
     "summary",
 ];
 
@@ -70,6 +72,7 @@ pub fn run(ctx: &Ctx, id: &str) -> bool {
         "threads" => threads::thread_scaling(ctx),
         "ged_tiers" => tiers::ged_tiers(ctx),
         "serve_load" => serve_load::serve_load(ctx),
+        "mutate_churn" => mutate::mutate_churn(ctx),
         "summary" => summary::summary(ctx),
         "all" => {
             for id in ALL {

@@ -25,6 +25,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
         "compare" => compare(cmd),
         "serve" => serve(cmd),
         "load" => load(cmd),
+        "mutate" => mutate_cmd(cmd),
         "help" | "--help" | "-h" => Ok(HELP.to_owned()),
         other => Err(CliError(format!(
             "unknown subcommand `{other}`; try `graphrep help`"
@@ -49,9 +50,16 @@ subcommands:
   load     --addr HOST:PORT [--name NAME] [--connections N] [--requests M]
            [--theta t1,t2,...] [--k k1,k2,...] [--quantile Q] [--seed S]
            [--verify-data DIR] [--shutdown true]
+  mutate   --data DIR [--insert N] [--remove id1,id2,...] [--seed S]
+           [--addr HOST:PORT [--name NAME]]
 
 `query`/`refine` reuse `<DIR>/index.json` automatically when present (and
 write it after building), so only the first invocation pays the build.
+
+`mutate` inserts N randomly perturbed copies of existing graphs and/or
+tombstones the listed ids. Without --addr it mutates the dataset directory
+in place (index + epoch sidecar re-persisted); with --addr the same ops go
+over the wire to a running server, which re-persists its own directory.
 
 every subcommand accepts --threads N to set the worker count for the
 parallel GED phases (0 or omitted = one worker per core); answers are
@@ -467,6 +475,145 @@ fn load(cmd: &Command) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// One human-readable receipt line shared by both mutate transports.
+fn receipt_line(
+    op: &str,
+    id: u32,
+    epoch: u64,
+    live: usize,
+    tombstones: usize,
+    rebuilt: bool,
+) -> String {
+    format!(
+        "{op} → graph {id} (epoch {epoch}, live {live}, tombstones {tombstones}{})",
+        if rebuilt { ", rebuilt" } else { "" }
+    )
+}
+
+/// The label alphabets actually present in the database, for generating
+/// insert candidates that stay inside the dataset's vocabulary.
+fn alphabets(db: &GraphDatabase) -> (Vec<u32>, Vec<u32>) {
+    let mut nodes = std::collections::BTreeSet::new();
+    let mut edges = std::collections::BTreeSet::new();
+    for g in db.graphs() {
+        nodes.extend(g.node_labels().iter().copied());
+        edges.extend(g.edges().iter().map(|e| e.label));
+    }
+    if nodes.is_empty() {
+        nodes.insert(0);
+    }
+    if edges.is_empty() {
+        edges.insert(0);
+    }
+    (nodes.into_iter().collect(), edges.into_iter().collect())
+}
+
+/// Online mutation driver (DESIGN.md §10): plans deterministic inserts
+/// (randomly perturbed copies of existing graphs, features copied from the
+/// source) and tombstone removes, then applies them either directly to the
+/// dataset directory or over the wire to a running server.
+fn mutate_cmd(cmd: &Command) -> Result<String, CliError> {
+    use graphrep_serve::registry::LoadedDataset;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let dir = cmd.req("data")?;
+    let data = load_dataset(cmd)?;
+    let n_insert: usize = cmd.parsed_or("insert", 0usize)?;
+    let removes: Vec<u32> = match cmd.opt("remove") {
+        Some(s) => s
+            .split(',')
+            .map(|p| {
+                p.trim()
+                    .parse()
+                    .map_err(|_| CliError(format!("--remove: bad id `{p}`")))
+            })
+            .collect::<Result<_, _>>()?,
+        None => Vec::new(),
+    };
+    if n_insert == 0 && removes.is_empty() {
+        return Err(CliError(
+            "nothing to do: pass --insert N and/or --remove id1,id2,...".into(),
+        ));
+    }
+    let seed: u64 = cmd.parsed_or("seed", 0xc0ffeeu64)?;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let (node_alpha, edge_alpha) = alphabets(&data.db);
+    let inserts: Vec<(graphrep_graph::Graph, Vec<f64>)> = (0..n_insert)
+        .map(|_| {
+            let src = rng.gen_range(0..data.db.len()) as u32;
+            let edits = 1 + rng.gen_range(0..3);
+            let g = graphrep_graph::generate::mutate(
+                &mut rng,
+                data.db.graph(src),
+                edits,
+                &node_alpha,
+                &edge_alpha,
+            );
+            (g, data.db.features(src).to_vec())
+        })
+        .collect();
+
+    let mut out = String::new();
+    match cmd.opt("addr") {
+        Some(addr) => {
+            use graphrep_serve::Client;
+            let name = cmd.opt("name").unwrap_or("default");
+            let mut client = Client::connect(addr).map_err(|e| CliError(e.to_string()))?;
+            for (g, f) in inserts {
+                let nodes = g.node_labels().to_vec();
+                let edges = g.edges().iter().map(|e| (e.u, e.v, e.label)).collect();
+                let r = client
+                    .insert(name, nodes, edges, f)
+                    .map_err(|e| CliError(e.to_string()))?;
+                let _ = writeln!(
+                    out,
+                    "{}",
+                    receipt_line("insert", r.id, r.epoch, r.live, r.tombstones, r.rebuilt)
+                );
+            }
+            for id in removes {
+                let r = client
+                    .remove(name, id)
+                    .map_err(|e| CliError(e.to_string()))?;
+                let _ = writeln!(
+                    out,
+                    "{}",
+                    receipt_line("remove", r.id, r.epoch, r.live, r.tombstones, r.rebuilt)
+                );
+            }
+        }
+        None => {
+            let ds = LoadedDataset::open("local", Path::new(dir), true)
+                .map_err(|e| CliError(e.to_string()))?;
+            for (g, f) in inserts {
+                let r = ds.insert_graph(g, f).map_err(|e| CliError(e.to_string()))?;
+                let _ = writeln!(
+                    out,
+                    "{}",
+                    receipt_line("insert", r.id, r.epoch, r.live, r.tombstones, r.rebuilt)
+                );
+            }
+            for id in removes {
+                let r = ds.remove_graph(id).map_err(|e| CliError(e.to_string()))?;
+                let _ = writeln!(
+                    out,
+                    "{}",
+                    receipt_line("remove", r.id, r.epoch, r.live, r.tombstones, r.rebuilt)
+                );
+            }
+            let index = ds.index_arc();
+            let _ = writeln!(
+                out,
+                "dataset {dir} now at epoch {}: {} live / {} total graphs",
+                index.epoch(),
+                index.tree().live_len(),
+                index.tree().len()
+            );
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -648,6 +795,84 @@ mod tests {
         assert!(out.contains("errors: 0"), "{out}");
         assert!(out.contains("verified: 12 answers"), "{out}");
         assert!(out.contains("shutdown requested"), "{out}");
+        handle.wait();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Offline `mutate` round-trip: the dataset directory absorbs the ops,
+    /// and a later warm `query` serves the mutated state.
+    #[test]
+    fn mutate_command_updates_the_dataset_in_place() {
+        let dir = tmp("mutate");
+        let _ = std::fs::remove_dir_all(&dir);
+        run_args(&[
+            "generate", "--kind", "dud", "--size", "40", "--seed", "9", "--out", &dir,
+        ])
+        .unwrap();
+        let out = run_args(&[
+            "mutate", "--data", &dir, "--insert", "2", "--remove", "5", "--seed", "1",
+        ])
+        .unwrap();
+        assert!(out.contains("insert → graph 40"), "{out}");
+        assert!(out.contains("insert → graph 41"), "{out}");
+        assert!(out.contains("remove → graph 5"), "{out}");
+        assert!(out.contains("now at epoch 3: 41 live / 42 total"), "{out}");
+        let epoch = std::fs::read_to_string(format!("{dir}/epoch.txt")).unwrap();
+        assert_eq!(epoch.trim(), "3");
+
+        // The warm query path picks the mutated index up and never returns
+        // the tombstoned graph.
+        let out = run_args(&["query", "--data", &dir, "--theta", "4", "--k", "5"]).unwrap();
+        assert!(out.contains("index: loaded"), "{out}");
+        assert!(!out.contains("graph     5 "), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Wire-mode `mutate` against an in-process server.
+    #[test]
+    fn mutate_command_over_the_wire() {
+        let dir = tmp("mutwire");
+        let _ = std::fs::remove_dir_all(&dir);
+        run_args(&[
+            "generate", "--kind", "dud", "--size", "30", "--seed", "13", "--out", &dir,
+        ])
+        .unwrap();
+        let mut registry = graphrep_serve::DatasetRegistry::new();
+        registry
+            .load_dir("default", std::path::Path::new(&dir), true)
+            .unwrap();
+        let handle = graphrep_serve::start(
+            graphrep_serve::ServeConfig {
+                workers: 2,
+                ..Default::default()
+            },
+            registry,
+        )
+        .unwrap();
+        let addr = handle.addr().to_string();
+        let out = run_args(&[
+            "mutate", "--data", &dir, "--addr", &addr, "--insert", "1", "--remove", "2,7",
+        ])
+        .unwrap();
+        assert!(out.contains("insert → graph 30"), "{out}");
+        assert!(out.contains("(epoch 3"), "{out}");
+        // The server re-persisted its directory: offline verification against
+        // the same dir must agree with the post-mutation server state.
+        let out = run_args(&[
+            "load",
+            "--addr",
+            &addr,
+            "--connections",
+            "2",
+            "--requests",
+            "3",
+            "--verify-data",
+            &dir,
+            "--shutdown",
+            "true",
+        ])
+        .unwrap();
+        assert!(out.contains("verified: 6 answers"), "{out}");
         handle.wait();
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -104,6 +104,28 @@ impl GraphDatabase {
         let ids: Vec<GraphId> = (0..n.min(self.len()) as GraphId).collect();
         self.subset(&ids)
     }
+
+    /// A new database with `graph` and its `features` appended as the next
+    /// id. Existing ids are unchanged — the dynamic-maintenance counterpart
+    /// of [`DistanceOracle::extended`].
+    ///
+    /// # Panics
+    /// If `features` does not match the database's dimensionality.
+    pub fn pushed(&self, graph: Graph, features: Vec<f64>) -> GraphDatabase {
+        assert!(
+            self.is_empty() || features.len() == self.dims(),
+            "feature vectors must share one dimensionality"
+        );
+        let mut graphs = self.graphs.as_ref().clone();
+        graphs.push(graph);
+        let mut feats = self.features.as_ref().clone();
+        feats.push(features);
+        GraphDatabase {
+            graphs: Arc::new(graphs),
+            features: Arc::new(feats),
+            labels: Arc::clone(&self.labels),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -170,6 +192,25 @@ mod tests {
         let db = tiny_db();
         assert_eq!(db.prefix(2).len(), 2);
         assert_eq!(db.prefix(99).len(), 4);
+    }
+
+    #[test]
+    fn pushed_appends_without_touching_original() {
+        let db = tiny_db();
+        let g = db.graph(0).clone();
+        let db2 = db.pushed(g, vec![9.0, 9.0]);
+        assert_eq!(db2.len(), 5);
+        assert_eq!(db.len(), 4);
+        assert_eq!(db2.features(4), &[9.0, 9.0]);
+        assert_eq!(db2.features(1), db.features(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality")]
+    fn pushed_rejects_wrong_dims() {
+        let db = tiny_db();
+        let g = db.graph(0).clone();
+        let _ = db.pushed(g, vec![1.0]);
     }
 
     #[test]

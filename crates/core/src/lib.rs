@@ -36,8 +36,10 @@ pub use cancel::{CancelToken, Cancelled};
 pub use celf::{lazy_greedy, lazy_greedy_cancellable, weighted_greedy, LazyStats, WeightedAnswer};
 pub use db::GraphDatabase;
 pub use greedy::{baseline_greedy, BruteForceProvider, NeighborhoodProvider};
-pub use nbindex::{BuildStats, NbIndex, NbIndexConfig};
-pub use nbtree::{NbTree, NbTreeConfig, TreeNode};
+pub use nbindex::{
+    BuildStats, MutateError, MutationOutcome, MutationPolicy, NbIndex, NbIndexConfig,
+};
+pub use nbtree::{InsertOutcome, NbTree, NbTreeConfig, TreeNode};
 pub use pihat::{PiHatVectors, ThresholdLadder};
 pub use relevance::{RelevanceQuery, Scorer};
 pub use session::{QuerySession, RunStats};

@@ -21,6 +21,8 @@ pub struct PersistedIndex {
     pub version: u32,
     /// Number of graphs the index was built over.
     pub graphs: usize,
+    /// Mutation epoch the snapshot describes (see [`NbIndex::epoch`]).
+    pub epoch: u64,
     vantage: VantageTable,
     tree: NbTree,
     ladder: ThresholdLadder,
@@ -40,6 +42,14 @@ pub enum PersistError {
     },
     /// Unsupported format version.
     Version(u32),
+    /// The snapshot's mutation epoch does not match the expected one — the
+    /// database has mutated since the snapshot was written.
+    EpochMismatch {
+        /// Epoch recorded in the persisted index.
+        snapshot: u64,
+        /// Epoch the caller knows the database to be at.
+        expected: u64,
+    },
 }
 
 impl std::fmt::Display for PersistError {
@@ -50,13 +60,20 @@ impl std::fmt::Display for PersistError {
                 write!(f, "index built over {expected} graphs, oracle has {got}")
             }
             PersistError::Version(v) => write!(f, "unsupported index version {v}"),
+            PersistError::EpochMismatch { snapshot, expected } => write!(
+                f,
+                "stale index snapshot: written at mutation epoch {snapshot}, database is at {expected}"
+            ),
         }
     }
 }
 
 impl std::error::Error for PersistError {}
 
-const VERSION: u32 = 1;
+/// Version 2 added the mutation `epoch` field plus the NB-Tree tombstone
+/// state; version-1 payloads are rejected (their trees predate liveness
+/// tracking), which every load site handles by rebuilding.
+const VERSION: u32 = 2;
 
 impl NbIndex {
     /// Serializes the index structure (not the oracle) to JSON.
@@ -64,6 +81,7 @@ impl NbIndex {
         let p = PersistedIndex {
             version: VERSION,
             graphs: self.tree().len(),
+            epoch: self.epoch(),
             vantage: self.vantage().clone(),
             tree: self.tree().clone(),
             ladder: self.ladder().clone(),
@@ -74,7 +92,30 @@ impl NbIndex {
 
     /// Restores an index from [`NbIndex::save_json`] output, attaching
     /// `oracle` (which must hold the same database, in the same order).
+    ///
+    /// Accepts the snapshot at whatever epoch it records; callers that track
+    /// the database's current epoch out of band should use
+    /// [`NbIndex::load_json_at_epoch`] so a stale snapshot cannot be served
+    /// silently.
     pub fn load_json(json: &str, oracle: Arc<DistanceOracle>) -> Result<Self, PersistError> {
+        Self::load_checked(json, oracle, None)
+    }
+
+    /// [`NbIndex::load_json`] that additionally rejects snapshots whose
+    /// recorded mutation epoch differs from `expected`.
+    pub fn load_json_at_epoch(
+        json: &str,
+        oracle: Arc<DistanceOracle>,
+        expected: u64,
+    ) -> Result<Self, PersistError> {
+        Self::load_checked(json, oracle, Some(expected))
+    }
+
+    fn load_checked(
+        json: &str,
+        oracle: Arc<DistanceOracle>,
+        expected_epoch: Option<u64>,
+    ) -> Result<Self, PersistError> {
         let p: PersistedIndex = serde_json::from_str(json).map_err(PersistError::Format)?;
         if p.version != VERSION {
             return Err(PersistError::Version(p.version));
@@ -85,12 +126,21 @@ impl NbIndex {
                 got: oracle.len(),
             });
         }
+        if let Some(expected) = expected_epoch {
+            if p.epoch != expected {
+                return Err(PersistError::EpochMismatch {
+                    snapshot: p.epoch,
+                    expected,
+                });
+            }
+        }
         Ok(Self::from_parts(
             oracle,
             p.vantage,
             p.tree,
             p.ladder,
             BuildStats::default(),
+            p.epoch,
         ))
     }
 
@@ -171,7 +221,7 @@ mod tests {
         let oracle = data.db.oracle(GedConfig::default());
         let index = NbIndex::build(oracle, NbIndexConfig::default());
         let json = index.save_json();
-        let bumped = json.replacen("\"version\":1", "\"version\":999", 1);
+        let bumped = json.replacen("\"version\":2", "\"version\":999", 1);
         assert_ne!(bumped, json, "fixture must actually bump the version");
         match NbIndex::load_json(&bumped, data.db.oracle(GedConfig::default())) {
             Err(PersistError::Version(v)) => assert_eq!(v, 999),
@@ -193,6 +243,43 @@ mod tests {
             }
             other => panic!("expected mismatch, got {other:?}"),
         }
+    }
+
+    /// The mutation epoch must round-trip through persistence, and
+    /// [`NbIndex::load_json_at_epoch`] must reject a snapshot recorded at a
+    /// different epoch with the typed error — the load-after-mutate
+    /// staleness guard.
+    #[test]
+    fn epoch_round_trips_and_stale_snapshot_rejected() {
+        let data = DatasetSpec::new(DatasetKind::DudLike, 30, 906).generate();
+        let oracle = data.db.oracle(GedConfig::default());
+        let mut index = NbIndex::build(
+            oracle,
+            NbIndexConfig {
+                num_vps: 4,
+                ladder: data.default_ladder.clone(),
+                ..Default::default()
+            },
+        );
+        index.remove(3).unwrap();
+        index.remove(7).unwrap();
+        assert_eq!(index.epoch(), 2);
+
+        let json = index.save_json();
+        let loaded =
+            NbIndex::load_json_at_epoch(&json, data.db.oracle(GedConfig::default()), 2).unwrap();
+        assert_eq!(loaded.epoch(), 2, "epoch must round-trip");
+        assert!(!loaded.tree().is_live(3) && !loaded.tree().is_live(7));
+
+        match NbIndex::load_json_at_epoch(&json, data.db.oracle(GedConfig::default()), 5) {
+            Err(PersistError::EpochMismatch { snapshot, expected }) => {
+                assert_eq!(snapshot, 2);
+                assert_eq!(expected, 5);
+            }
+            other => panic!("expected EpochMismatch, got {other:?}"),
+        }
+        // The unchecked loader still accepts the snapshot as-is.
+        assert!(NbIndex::load_json(&json, data.db.oracle(GedConfig::default())).is_ok());
     }
 
     #[test]

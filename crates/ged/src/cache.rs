@@ -181,6 +181,19 @@ impl Shard {
             *e = ub;
         }
     }
+
+    /// A copy of this shard sharing every memoized cell: pair keys encode
+    /// graph ids, which are stable under extension, so the new oracle's
+    /// shard answers exactly what this one would for the old id range.
+    fn transplanted(&self) -> Shard {
+        Shard {
+            exact: RwLock::new(self.exact.read().clone()),
+            lower: RwLock::new(self.lower.read().clone()),
+            upper: RwLock::new(self.upper.read().clone()),
+            within: RwLock::new(self.within.read().clone()),
+            verdict: RwLock::new(self.verdict.read().clone()),
+        }
+    }
 }
 
 /// Caching, counting distance oracle over a fixed graph collection.
@@ -250,6 +263,58 @@ impl DistanceOracle {
             tier_vlb: AtomicU64::new(0),
             #[cfg(feature = "invariant-audit")]
             requests: AtomicU64::new(0),
+        }
+    }
+
+    /// A new oracle over this oracle's graphs plus `graph` appended as the
+    /// next id.
+    ///
+    /// Graph ids are stable under extension, so every memoized distance,
+    /// bound, and verdict is transplanted into the new oracle and all
+    /// counter totals carry forward — callers holding delta baselines (the
+    /// serve registry) or relying on the conservation identity see one
+    /// continuous history across the swap. Metric hints are *not* carried:
+    /// the vantage table they wrap predates the new graph, so the caller
+    /// must re-install hints after extending its embedding.
+    pub fn extended(&self, graph: Graph) -> DistanceOracle {
+        let mut graphs: Vec<Graph> = self.graphs.as_ref().clone();
+        let mut profiles = self.profiles.clone();
+        profiles.push(GraphProfile::new(&graph));
+        graphs.push(graph);
+        self.clone_with(Arc::new(graphs), profiles)
+    }
+
+    /// A new oracle over the *same* graphs with every memoized result and
+    /// counter carried forward, but no metric hints installed.
+    ///
+    /// Used when an index rebuild swaps in a new embedding: installing the
+    /// rebuilt hints on a fork leaves sessions pinned to the old oracle (and
+    /// its old embedding) entirely undisturbed.
+    pub fn forked(&self) -> DistanceOracle {
+        self.clone_with(Arc::clone(&self.graphs), self.profiles.clone())
+    }
+
+    /// Shared tail of [`DistanceOracle::extended`]/[`DistanceOracle::forked`].
+    fn clone_with(&self, graphs: Arc<Vec<Graph>>, profiles: Vec<GraphProfile>) -> DistanceOracle {
+        Self {
+            graphs,
+            profiles,
+            engine: self.engine.fork(),
+            shards: std::array::from_fn(|i| self.shards[i].transplanted()),
+            hints: RwLock::new(None),
+            // Config-style flag, not synchronization.
+            tiers_enabled: AtomicBool::new(self.tiers_enabled.load(Ordering::Relaxed)),
+            // Counters are independent tallies copied at a quiescent point.
+            computations: AtomicU64::new(self.computations.load(Ordering::Relaxed)),
+            rejections: AtomicU64::new(self.rejections.load(Ordering::Relaxed)), // see above
+            hits: AtomicU64::new(self.hits.load(Ordering::Relaxed)),             // see above
+            ub_accepts: AtomicU64::new(self.ub_accepts.load(Ordering::Relaxed)), // see above
+            tier_size: AtomicU64::new(self.tier_size.load(Ordering::Relaxed)),   // see above
+            tier_label: AtomicU64::new(self.tier_label.load(Ordering::Relaxed)), // see above
+            tier_degree: AtomicU64::new(self.tier_degree.load(Ordering::Relaxed)), // see above
+            tier_vlb: AtomicU64::new(self.tier_vlb.load(Ordering::Relaxed)),     // see above
+            #[cfg(feature = "invariant-audit")]
+            requests: AtomicU64::new(self.requests.load(Ordering::Relaxed)), // see above
         }
     }
 

@@ -63,6 +63,20 @@ impl GedCounters {
         // Independent event tally; no cross-counter ordering is consumed.
         field.fetch_add(v, Ordering::Relaxed);
     }
+
+    /// Overwrites all counters with `snap` — used when forking an engine for
+    /// an extended oracle so accumulated totals (and the delta baselines
+    /// derived from them) carry forward across the swap.
+    pub fn restore(&self, snap: &CounterSnapshot) {
+        // Counters are independent tallies; restores happen at quiescent points.
+        self.exact_searches
+            .store(snap.exact_searches, Ordering::Relaxed); // see above
+        self.expansions.store(snap.expansions, Ordering::Relaxed); // see above
+        self.bp_calls.store(snap.bp_calls, Ordering::Relaxed); // see above
+        self.budget_fallbacks
+            .store(snap.budget_fallbacks, Ordering::Relaxed); // see above
+        self.lb_prunes.store(snap.lb_prunes, Ordering::Relaxed); // see above
+    }
 }
 
 impl CounterSnapshot {

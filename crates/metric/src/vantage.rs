@@ -120,6 +120,34 @@ impl VantageTable {
         }
     }
 
+    /// Appends one item to the embedding: `vp_dists[v]` is the distance from
+    /// VP index `v` to the new item, whose id becomes the previous
+    /// [`VantageTable::len`]. Each sorted order receives the id by binary
+    /// insertion *after* any equal coordinates — the new id is the largest,
+    /// so the orders stay exactly what a stable full re-sort would produce.
+    /// Returns the new item's id.
+    ///
+    /// # Panics
+    /// If `vp_dists.len()` differs from [`VantageTable::num_vps`].
+    pub fn push_item(&mut self, vp_dists: &[f64]) -> u32 {
+        assert_eq!(
+            vp_dists.len(),
+            self.num_vps(),
+            "push_item needs one distance per vantage point"
+        );
+        let id = self.n as u32;
+        for (v, &d) in vp_dists.iter().enumerate() {
+            let d = d as f32;
+            self.dists[v].push(d);
+            let col = &self.dists[v];
+            let at =
+                self.orders[v].partition_point(|&other| col[other as usize].total_cmp(&d).is_le());
+            self.orders[v].insert(at, id);
+        }
+        self.n += 1;
+        id
+    }
+
     /// Number of vantage points.
     pub fn num_vps(&self) -> usize {
         self.vp_ids.len()
@@ -389,6 +417,45 @@ mod tests {
         let t1 = line_table(100, 2, 3);
         let t2 = line_table(100, 8, 3);
         assert!(t2.memory_bytes() > t1.memory_bytes());
+    }
+
+    #[test]
+    fn push_item_matches_full_rebuild() {
+        let pos = |i: u32| i as f64 * 1.5;
+        let mut d = |a: u32, b: u32| (pos(a) - pos(b)).abs();
+        let mut t = VantageTable::build_with_vps(8, vec![0, 5], &mut d);
+        // Append items 8 and 9 one at a time …
+        for id in 8u32..10 {
+            let vp_dists: Vec<f64> = t.vp_ids().to_vec().iter().map(|&v| d(v, id)).collect();
+            assert_eq!(t.push_item(&vp_dists), id);
+        }
+        // … and the result must equal a table built over all 10 from scratch.
+        let full = VantageTable::build_with_vps(10, vec![0, 5], &mut d);
+        assert_eq!(t.len(), full.len());
+        for i in 0..10u32 {
+            for j in 0..10u32 {
+                assert_eq!(t.lower_bound(i, j), full.lower_bound(i, j));
+                assert_eq!(t.upper_bound(i, j), full.upper_bound(i, j));
+            }
+            assert_eq!(t.candidates(i, 2.0), full.candidates(i, 2.0));
+        }
+    }
+
+    #[test]
+    fn push_item_ties_go_after_equal_coordinates() {
+        // Items 1 and 2 are equidistant from the single VP; the appended
+        // item 3 shares that distance and must sort after both (stable-sort
+        // discipline: ties in ascending-id order).
+        let pos = [0.0_f64, 2.0, 2.0];
+        let mut d = |a: u32, b: u32| (pos[a as usize] - pos[b as usize]).abs();
+        let mut t = VantageTable::build_with_vps(3, vec![0], &mut d);
+        t.push_item(&[2.0]);
+        let full = VantageTable::build_with_vps(4, vec![0], &mut |a: u32, b: u32| {
+            let q = [0.0_f64, 2.0, 2.0, 2.0];
+            (q[a as usize] - q[b as usize]).abs()
+        });
+        assert_eq!(t.candidates(1, 0.5), full.candidates(1, 0.5));
+        assert_eq!(t.candidates(3, 0.0), full.candidates(3, 0.0));
     }
 
     #[test]

@@ -4,8 +4,8 @@
 //! to [`graphrep_core::QuerySession::run`].
 
 use crate::protocol::{
-    self, AnswerBody, CloseBody, FrameRead, OpenBody, OpenedBody, PingBody, Request, Response,
-    RunBody, ServeError, StatsBody,
+    self, AnswerBody, CloseBody, FrameRead, InsertBody, MutatedBody, OpenBody, OpenedBody,
+    PingBody, RemoveBody, Request, Response, RunBody, ServeError, StatsBody, WireEdge,
 };
 use crate::registry::LoadedDataset;
 use graphrep_core::AnswerSet;
@@ -108,6 +108,42 @@ impl Client {
         match self.request(&Request::Close(CloseBody { session }))? {
             Response::Closed => Ok(()),
             other => Err(unexpected("Closed", &other)),
+        }
+    }
+
+    /// Inserts a graph into `dataset` on the server. `nodes` are raw node
+    /// labels (index = node id), `edges` are `(u, v, label)` endpoint
+    /// triples, `features` must match the dataset's feature dimensionality.
+    pub fn insert(
+        &mut self,
+        dataset: &str,
+        nodes: Vec<u32>,
+        edges: Vec<(u16, u16, u32)>,
+        features: Vec<f64>,
+    ) -> Result<MutatedBody, ServeError> {
+        let edges = edges
+            .into_iter()
+            .map(|(u, v, label)| WireEdge { u, v, label })
+            .collect();
+        match self.request(&Request::Insert(InsertBody {
+            dataset: dataset.to_owned(),
+            nodes,
+            edges,
+            features,
+        }))? {
+            Response::Mutated(b) => Ok(b),
+            other => Err(unexpected("Mutated", &other)),
+        }
+    }
+
+    /// Tombstones graph `id` in `dataset` on the server.
+    pub fn remove(&mut self, dataset: &str, id: u32) -> Result<MutatedBody, ServeError> {
+        match self.request(&Request::Remove(RemoveBody {
+            dataset: dataset.to_owned(),
+            id,
+        }))? {
+            Response::Mutated(b) => Ok(b),
+            other => Err(unexpected("Mutated", &other)),
         }
     }
 

@@ -171,17 +171,23 @@ pub enum Endpoint {
     Stats,
     /// Liveness probes.
     Ping,
+    /// Graph inserts.
+    Insert,
+    /// Graph removals.
+    Remove,
     /// Shutdown requests.
     Shutdown,
 }
 
 /// All endpoints, in stats-report order.
-pub const ENDPOINTS: [Endpoint; 6] = [
+pub const ENDPOINTS: [Endpoint; 8] = [
     Endpoint::Open,
     Endpoint::Run,
     Endpoint::Close,
     Endpoint::Stats,
     Endpoint::Ping,
+    Endpoint::Insert,
+    Endpoint::Remove,
     Endpoint::Shutdown,
 ];
 
@@ -194,6 +200,8 @@ impl Endpoint {
             Endpoint::Close => "close",
             Endpoint::Stats => "stats",
             Endpoint::Ping => "ping",
+            Endpoint::Insert => "insert",
+            Endpoint::Remove => "remove",
             Endpoint::Shutdown => "shutdown",
         }
     }
@@ -205,7 +213,9 @@ impl Endpoint {
             Endpoint::Close => 2,
             Endpoint::Stats => 3,
             Endpoint::Ping => 4,
-            Endpoint::Shutdown => 5,
+            Endpoint::Insert => 5,
+            Endpoint::Remove => 6,
+            Endpoint::Shutdown => 7,
         }
     }
 }
@@ -213,7 +223,7 @@ impl Endpoint {
 /// All per-endpoint counters of one server.
 #[derive(Debug, Default)]
 pub struct ServerMetrics {
-    counters: [EndpointCounters; 6],
+    counters: [EndpointCounters; 8],
 }
 
 impl ServerMetrics {

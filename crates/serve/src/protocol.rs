@@ -109,9 +109,44 @@ pub struct PingBody {
     pub wait_ms: u64,
 }
 
-/// A client request. `Open`/`Run`/`Ping` go through the bounded worker pool
-/// (and can be rejected by admission control); `Close`/`Stats`/`Shutdown`
-/// are answered inline on the connection thread.
+/// One wire edge: `(u, v, label)` with raw label ids. The server rebuilds
+/// the graph through [`graphrep_graph::GraphBuilder`], so wire input cannot
+/// smuggle in a graph violating the structural invariants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireEdge {
+    /// One endpoint.
+    pub u: u16,
+    /// The other endpoint.
+    pub v: u16,
+    /// Edge label id.
+    pub label: u32,
+}
+
+/// Body of [`Request::Insert`]: add a graph to a dataset (DESIGN.md §10).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InsertBody {
+    /// Registry name of the dataset to mutate.
+    pub dataset: String,
+    /// Node labels; node `i` gets `nodes[i]`.
+    pub nodes: Vec<u32>,
+    /// Edges over those nodes.
+    pub edges: Vec<WireEdge>,
+    /// Feature vector (must match the dataset's dimensionality).
+    pub features: Vec<f64>,
+}
+
+/// Body of [`Request::Remove`]: tombstone a graph (DESIGN.md §10).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RemoveBody {
+    /// Registry name of the dataset to mutate.
+    pub dataset: String,
+    /// Graph id to remove.
+    pub id: GraphId,
+}
+
+/// A client request. `Open`/`Run`/`Ping`/`Insert`/`Remove` go through the
+/// bounded worker pool (and can be rejected by admission control);
+/// `Close`/`Stats`/`Shutdown` are answered inline on the connection thread.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Request {
     /// Start a session (paper Sec 7 initialization phase).
@@ -124,6 +159,10 @@ pub enum Request {
     Stats,
     /// Liveness probe / synthetic work item.
     Ping(PingBody),
+    /// Add a graph to a dataset.
+    Insert(InsertBody),
+    /// Tombstone a graph in a dataset.
+    Remove(RemoveBody),
     /// Begin graceful shutdown: drain queued work, then exit.
     Shutdown,
 }
@@ -191,7 +230,8 @@ impl AnswerBody {
 /// [`Response::Stats`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EndpointStats {
-    /// Endpoint name (`open`, `run`, `close`, `stats`, `ping`, `shutdown`).
+    /// Endpoint name (`open`, `run`, `close`, `stats`, `ping`, `insert`,
+    /// `remove`, `shutdown`).
     pub endpoint: String,
     /// Requests dispatched (including rejected ones).
     pub requests: u64,
@@ -275,6 +315,23 @@ pub struct StatsBody {
     pub datasets: Vec<DatasetStats>,
 }
 
+/// Body of [`Response::Mutated`]: receipt for an applied insert/remove.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MutatedBody {
+    /// Affected graph id (the new id for inserts).
+    pub id: GraphId,
+    /// Dataset mutation epoch after the operation.
+    pub epoch: u64,
+    /// Live (non-tombstoned) graphs after the operation.
+    pub live: usize,
+    /// Tombstoned graphs after the operation.
+    pub tombstones: usize,
+    /// Whether the operation tripped the rebuild policy.
+    pub rebuilt: bool,
+    /// Server-side wall time of the mutation in milliseconds.
+    pub wall_ms: f64,
+}
+
 /// Body of [`Response::Error`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ErrorBody {
@@ -297,6 +354,8 @@ pub enum Response {
     Stats(StatsBody),
     /// Liveness reply.
     Pong,
+    /// Mutation applied.
+    Mutated(MutatedBody),
     /// Shutdown acknowledged; the server drains and exits.
     ShutdownAck,
     /// The request failed; see the code for why.
@@ -504,5 +563,97 @@ mod tests {
         write_frame(&mut buf, &Request::Stats).unwrap();
         buf.truncate(buf.len() - 1);
         assert!(read_frame::<Request>(&mut buf.as_slice(), Duration::from_secs(1)).is_err());
+    }
+
+    #[test]
+    fn mutation_frames_round_trip() {
+        for req in [
+            Request::Insert(InsertBody {
+                dataset: "dud".into(),
+                nodes: vec![0, 1, 1],
+                edges: vec![
+                    WireEdge {
+                        u: 0,
+                        v: 1,
+                        label: 0,
+                    },
+                    WireEdge {
+                        u: 1,
+                        v: 2,
+                        label: 1,
+                    },
+                ],
+                features: vec![1.5, 2.0],
+            }),
+            Request::Remove(RemoveBody {
+                dataset: "dud".into(),
+                id: 17,
+            }),
+        ] {
+            assert_eq!(round_trip(&req), req);
+        }
+        let resp = Response::Mutated(MutatedBody {
+            id: 41,
+            epoch: 9,
+            live: 40,
+            tombstones: 2,
+            rebuilt: false,
+            wall_ms: 0.75,
+        });
+        assert_eq!(round_trip(&resp), resp);
+    }
+
+    /// A truncated header (fewer than 4 bytes, then EOF) must be a typed
+    /// error, not a hang or a panic.
+    #[test]
+    fn truncated_header_is_an_error() {
+        let partial: &[u8] = &[0, 0];
+        let err = read_frame::<Request>(&mut { partial }, Duration::from_secs(1)).unwrap_err();
+        assert!(err.message.contains("closed mid-frame"), "{err}");
+    }
+
+    /// Any announced length above [`MAX_FRAME_BYTES`] is rejected from the
+    /// header alone — no allocation of attacker-controlled size happens.
+    #[test]
+    fn length_just_over_cap_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&((MAX_FRAME_BYTES as u32) + 1).to_be_bytes());
+        buf.extend_from_slice(&[0u8; 16]);
+        let err = read_frame::<Request>(&mut buf.as_slice(), Duration::from_secs(1)).unwrap_err();
+        assert!(err.message.contains("limit"), "{err}");
+    }
+
+    /// A zero-length frame is a syntactically valid header whose empty
+    /// payload fails JSON parsing — typed error, no panic.
+    #[test]
+    fn zero_length_frame_is_an_error() {
+        let buf = 0u32.to_be_bytes();
+        assert!(read_frame::<Request>(&mut buf.as_slice(), Duration::from_secs(1)).is_err());
+    }
+
+    /// Non-UTF-8 payload bytes surface as the UTF-8 error, not a panic.
+    #[test]
+    fn non_utf8_payload_is_an_error() {
+        let payload = [0xff, 0xfe, 0x80, 0x81];
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        buf.extend_from_slice(&payload);
+        let err = read_frame::<Request>(&mut buf.as_slice(), Duration::from_secs(1)).unwrap_err();
+        assert!(err.message.contains("UTF-8"), "{err}");
+    }
+
+    /// Well-formed UTF-8 that is not valid JSON (or not a known variant)
+    /// surfaces as a JSON error.
+    #[test]
+    fn garbage_json_payload_is_an_error() {
+        for payload in ["{\"Nonsense\":1}", "]][[", "", "42"] {
+            let mut buf = Vec::new();
+            buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+            buf.extend_from_slice(payload.as_bytes());
+            assert!(
+                read_frame::<Request>(&mut buf.as_slice(), Duration::from_secs(1)).is_err(),
+                "payload {payload:?} must be rejected"
+            );
+        }
     }
 }

@@ -6,15 +6,30 @@
 //! the index is built with the same defaults the CLI uses (so a CLI-built
 //! index and a server-built index are interchangeable) and, optionally,
 //! written back for the next start.
+//!
+//! Mutations (DESIGN.md §10) go through [`LoadedDataset::insert_graph`] /
+//! [`LoadedDataset::remove_graph`]: the current index is forked, the fork is
+//! mutated, and the fork is swapped in under a write lock. Sessions opened
+//! earlier keep their pinned `Arc<NbIndex>` snapshot, so every query is
+//! consistent with one serializable order of the mutations. Dir-backed
+//! datasets are re-persisted after each mutation — the epoch sidecar
+//! (`epoch.txt`) is written *first*, so a failed or torn index write is
+//! detected as an epoch mismatch on the next open instead of silently
+//! serving a stale snapshot.
 
 use crate::protocol::{DatasetStats, OracleDelta, ServeError};
-use graphrep_core::{NbIndex, NbIndexConfig, RelevanceQuery, Scorer};
+use graphrep_core::{MutationOutcome, NbIndex, NbIndexConfig, RelevanceQuery, Scorer};
 use graphrep_datagen::{store, Dataset};
-use graphrep_ged::{DistanceOracle, GedConfig, OracleStats, TierStats};
-use graphrep_graph::GraphId;
+use graphrep_ged::{GedConfig, OracleStats, TierStats};
+use graphrep_graph::{Graph, GraphId};
 use std::collections::HashMap;
-use std::path::Path;
-use std::sync::Arc;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Family id recorded for graphs inserted from outside the generator: the
+/// generator's sanity checks skip them, and they can never collide with a
+/// real family.
+pub const EXTERNAL_FAMILY: u32 = u32::MAX;
 
 /// Index-build parameters shared by the server and the CLI's implicit path:
 /// the library defaults plus the dataset's own threshold ladder.
@@ -25,14 +40,37 @@ pub fn default_index_config(data: &Dataset) -> NbIndexConfig {
     }
 }
 
-/// One warm-loaded dataset: database, shared oracle, shared NB-Index, and
-/// the counter baselines for delta reporting.
-pub struct LoadedDataset {
-    name: String,
+/// Receipt returned by the registry's mutation methods.
+#[derive(Debug, Clone, Copy)]
+pub struct MutationReceipt {
+    /// Affected graph id (the new id for inserts).
+    pub id: GraphId,
+    /// Mutation epoch after the operation.
+    pub epoch: u64,
+    /// Live graphs after the operation.
+    pub live: usize,
+    /// Tombstoned graphs after the operation.
+    pub tombstones: usize,
+    /// Whether the operation tripped the rebuild policy.
+    pub rebuilt: bool,
+}
+
+/// The mutable half of a [`LoadedDataset`], swapped atomically under the
+/// write lock.
+struct DatasetState {
     data: Dataset,
-    oracle: Arc<DistanceOracle>,
     index: Arc<NbIndex>,
     index_source: String,
+}
+
+/// One warm-loaded dataset: database, shared NB-Index, and the counter
+/// baselines for delta reporting.
+pub struct LoadedDataset {
+    name: String,
+    /// Backing directory for re-persisting after mutations; `None` for
+    /// in-memory datasets.
+    dir: Option<PathBuf>,
+    state: RwLock<DatasetState>,
     base_oracle: OracleStats,
     base_tiers: TierStats,
     base_engine_calls: u64,
@@ -40,17 +78,40 @@ pub struct LoadedDataset {
 
 impl std::fmt::Debug for LoadedDataset {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.read();
         f.debug_struct("LoadedDataset")
             .field("name", &self.name)
-            .field("graphs", &self.data.db.len())
-            .field("index_source", &self.index_source)
+            .field("graphs", &st.data.db.len())
+            .field("epoch", &st.index.epoch())
+            .field("index_source", &st.index_source)
             .finish()
     }
 }
 
+/// Poison-proof read lock: a panicking mutation must not take every future
+/// query down with it (the state is swapped whole, so it is never torn).
+fn rlock(l: &RwLock<DatasetState>) -> RwLockReadGuard<'_, DatasetState> {
+    l.read().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Poison-proof write lock; see [`rlock`].
+fn wlock(l: &RwLock<DatasetState>) -> RwLockWriteGuard<'_, DatasetState> {
+    l.write().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Reads `<dir>/epoch.txt`; absent or unparsable means epoch 0 (pre-mutation
+/// datasets have no sidecar).
+fn read_epoch_sidecar(dir: &Path) -> u64 {
+    std::fs::read_to_string(dir.join("epoch.txt"))
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0)
+}
+
 impl LoadedDataset {
     /// Loads the dataset at `dir` and warms its index: `<dir>/index.json`
-    /// when present (falling back to a fresh build if it fails to load),
+    /// when present (falling back to a fresh build if it fails to load or
+    /// records a mutation epoch different from the `epoch.txt` sidecar),
     /// otherwise a build with [`default_index_config`]. With `persist_built`,
     /// a freshly built index is written back to `<dir>/index.json` so the
     /// next start is warm; write failures are ignored (read-only dataset
@@ -59,15 +120,19 @@ impl LoadedDataset {
         let data = store::load(dir)
             .map_err(|e| ServeError::new(format!("loading {}: {e}", dir.display())))?;
         let oracle = data.db.oracle(GedConfig::default());
+        let expected_epoch = read_epoch_sidecar(dir);
         let index_path = dir.join("index.json");
         let (index, index_source) = match std::fs::read_to_string(&index_path) {
-            Ok(json) => match NbIndex::load_json(&json, Arc::clone(&oracle)) {
-                Ok(index) => (index, "loaded".to_owned()),
-                Err(e) => {
-                    let built = NbIndex::build(Arc::clone(&oracle), default_index_config(&data));
-                    (built, format!("built (stale index on disk: {e})"))
+            Ok(json) => {
+                match NbIndex::load_json_at_epoch(&json, Arc::clone(&oracle), expected_epoch) {
+                    Ok(index) => (index, "loaded".to_owned()),
+                    Err(e) => {
+                        let built =
+                            NbIndex::build(Arc::clone(&oracle), default_index_config(&data));
+                        (built, format!("built (stale index on disk: {e})"))
+                    }
                 }
-            },
+            }
             Err(_) => {
                 let built = NbIndex::build(Arc::clone(&oracle), default_index_config(&data));
                 if persist_built {
@@ -76,19 +141,25 @@ impl LoadedDataset {
                 (built, "built".to_owned())
             }
         };
-        let base_oracle = oracle.stats();
-        let base_tiers = oracle.tier_stats();
-        let base_engine_calls = oracle.engine_calls();
+        let base_oracle = index.oracle().stats();
+        let base_tiers = index.oracle().tier_stats();
+        let base_engine_calls = index.oracle().engine_calls();
         Ok(Self {
             name: name.to_owned(),
-            data,
-            oracle,
-            index: Arc::new(index),
-            index_source,
+            dir: Some(dir.to_path_buf()),
+            state: RwLock::new(DatasetState {
+                data,
+                index: Arc::new(index),
+                index_source,
+            }),
             base_oracle,
             base_tiers,
             base_engine_calls,
         })
+    }
+
+    fn read(&self) -> RwLockReadGuard<'_, DatasetState> {
+        rlock(&self.state)
     }
 
     /// Registry name.
@@ -96,34 +167,112 @@ impl LoadedDataset {
         &self.name
     }
 
-    /// The underlying dataset.
-    pub fn data(&self) -> &Dataset {
-        &self.data
+    /// A clone-out snapshot of the database (cheap: `Arc`-backed fields).
+    pub fn db_snapshot(&self) -> graphrep_core::GraphDatabase {
+        self.read().data.db.clone()
     }
 
-    /// A shared handle to the NB-Index.
+    /// The dataset's default threshold θ.
+    pub fn default_theta(&self) -> f64 {
+        self.read().data.default_theta
+    }
+
+    /// A shared handle to the current NB-Index. Sessions pin the handle they
+    /// start with; mutations swap in a new one.
     pub fn index_arc(&self) -> Arc<NbIndex> {
-        Arc::clone(&self.index)
+        Arc::clone(&self.read().index)
     }
 
-    /// How the index was obtained (`loaded` vs `built`).
-    pub fn index_source(&self) -> &str {
-        &self.index_source
+    /// How the index was obtained (`loaded`, `built`, or `mutated (epoch N)`).
+    pub fn index_source(&self) -> String {
+        self.read().index_source.clone()
     }
 
     /// The default relevance function at `quantile` — identical to the CLI's
     /// (mean of all feature dimensions, top quantile), so server sessions
-    /// answer exactly what an offline `query` invocation answers.
+    /// answer exactly what an offline `query` invocation answers. Tombstoned
+    /// ids are filtered by the session layer.
     pub fn relevant_for(&self, quantile: f64) -> Vec<GraphId> {
-        let scorer = Scorer::MeanOfDims((0..self.data.db.dims().max(1)).collect());
-        RelevanceQuery::top_quantile(&self.data.db, scorer, quantile).relevant_set(&self.data.db)
+        let st = self.read();
+        let scorer = Scorer::MeanOfDims((0..st.data.db.dims().max(1)).collect());
+        RelevanceQuery::top_quantile(&st.data.db, scorer, quantile).relevant_set(&st.data.db)
+    }
+
+    /// Adds `graph` with `features` to the dataset and index (DESIGN.md
+    /// §10): fork-mutate-swap, so concurrent sessions keep their snapshot.
+    /// Dir-backed datasets are re-persisted (sidecar first; see module docs).
+    pub fn insert_graph(
+        &self,
+        graph: Graph,
+        features: Vec<f64>,
+    ) -> Result<MutationReceipt, ServeError> {
+        let mut st = wlock(&self.state);
+        if !st.data.db.is_empty() && features.len() != st.data.db.dims() {
+            return Err(ServeError::new(format!(
+                "feature vector has {} dims, dataset has {}",
+                features.len(),
+                st.data.db.dims()
+            )));
+        }
+        let mut index = st.index.fork();
+        let (id, outcome) = index
+            .insert(graph.clone())
+            .map_err(|e| ServeError::new(e.to_string()))?;
+        st.data.db = st.data.db.pushed(graph, features);
+        st.data.family.push(EXTERNAL_FAMILY);
+        let receipt = MutationReceipt {
+            id,
+            epoch: index.epoch(),
+            live: index.tree().live_len(),
+            tombstones: index.tree().tombstones(),
+            rebuilt: outcome == MutationOutcome::Rebuilt,
+        };
+        st.index_source = format!("mutated (epoch {})", index.epoch());
+        st.index = Arc::new(index);
+        self.persist_locked(&st);
+        Ok(receipt)
+    }
+
+    /// Tombstones graph `id` in the index (DESIGN.md §10). The database keeps
+    /// the graph so ids stay aligned with the oracle; sessions opened after
+    /// the call will never see it again.
+    pub fn remove_graph(&self, id: GraphId) -> Result<MutationReceipt, ServeError> {
+        let mut st = wlock(&self.state);
+        let mut index = st.index.fork();
+        let outcome = index
+            .remove(id)
+            .map_err(|e| ServeError::new(e.to_string()))?;
+        let receipt = MutationReceipt {
+            id,
+            epoch: index.epoch(),
+            live: index.tree().live_len(),
+            tombstones: index.tree().tombstones(),
+            rebuilt: outcome == MutationOutcome::Rebuilt,
+        };
+        st.index_source = format!("mutated (epoch {})", index.epoch());
+        st.index = Arc::new(index);
+        self.persist_locked(&st);
+        Ok(receipt)
+    }
+
+    /// Best-effort re-persist after a mutation. The epoch sidecar goes first:
+    /// if any later write fails, the next [`LoadedDataset::open`] sees an
+    /// epoch mismatch and rebuilds instead of serving the stale snapshot.
+    fn persist_locked(&self, st: &DatasetState) {
+        let Some(dir) = &self.dir else { return };
+        let _ = std::fs::write(dir.join("epoch.txt"), format!("{}\n", st.index.epoch()));
+        let _ = store::save(&st.data, dir);
+        let _ = std::fs::write(dir.join("index.json"), st.index.save_json());
     }
 
     /// Oracle activity since this dataset was loaded (serving-time deltas:
-    /// the warm-load/build work is excluded by the baselines).
+    /// the warm-load/build work is excluded by the baselines, and mutation-
+    /// swapped oracles carry their counters forward, so the baselines stay
+    /// comparable across mutations).
     pub fn oracle_delta(&self) -> OracleDelta {
-        let s = self.oracle.stats();
-        let t = self.oracle.tier_stats();
+        let oracle = self.read().index.oracle_arc();
+        let s = oracle.stats();
+        let t = oracle.tier_stats();
         OracleDelta {
             distance_computations: s
                 .distance_computations
@@ -133,10 +282,7 @@ impl LoadedDataset {
                 .saturating_sub(self.base_oracle.within_rejections),
             cache_hits: s.cache_hits.saturating_sub(self.base_oracle.cache_hits),
             ub_accepts: s.ub_accepts.saturating_sub(self.base_oracle.ub_accepts),
-            engine_calls: self
-                .oracle
-                .engine_calls()
-                .saturating_sub(self.base_engine_calls),
+            engine_calls: oracle.engine_calls().saturating_sub(self.base_engine_calls),
             size_rejects: t.size_rejects.saturating_sub(self.base_tiers.size_rejects),
             label_rejects: t
                 .label_rejects
@@ -155,17 +301,26 @@ impl LoadedDataset {
 
     /// Serializable statistics for the `stats` endpoint.
     pub fn stats(&self) -> DatasetStats {
+        let (graphs, memory, source) = {
+            let st = self.read();
+            (
+                st.data.db.len(),
+                st.index.memory_bytes(),
+                st.index_source.clone(),
+            )
+        };
         DatasetStats {
             name: self.name.clone(),
-            graphs: self.data.db.len(),
-            index_memory_bytes: self.index.memory_bytes(),
-            index_source: self.index_source.clone(),
+            graphs,
+            index_memory_bytes: memory,
+            index_source: source,
             oracle: self.oracle_delta(),
         }
     }
 }
 
-/// Name → dataset map, immutable once the server starts.
+/// Name → dataset map, immutable once the server starts (the datasets
+/// themselves mutate internally).
 #[derive(Debug, Default)]
 pub struct DatasetRegistry {
     map: HashMap<String, Arc<LoadedDataset>>,
@@ -225,10 +380,12 @@ pub fn load_in_memory(name: &str, data: Dataset) -> LoadedDataset {
     let base_engine_calls = oracle.engine_calls();
     LoadedDataset {
         name: name.to_owned(),
-        data,
-        oracle,
-        index: Arc::new(index),
-        index_source: "built".to_owned(),
+        dir: None,
+        state: RwLock::new(DatasetState {
+            data,
+            index: Arc::new(index),
+            index_source: "built".to_owned(),
+        }),
         base_oracle,
         base_tiers,
         base_engine_calls,

@@ -21,13 +21,13 @@
 
 use crate::metrics::{Endpoint, ServerMetrics};
 use crate::protocol::{
-    codes, AnswerBody, ErrorBody, FrameRead, OpenBody, OpenedBody, PingBody, Request, Response,
-    RunBody, ServeError, StatsBody,
+    codes, AnswerBody, ErrorBody, FrameRead, InsertBody, MutatedBody, OpenBody, OpenedBody,
+    PingBody, RemoveBody, Request, Response, RunBody, ServeError, StatsBody,
 };
 use crate::registry::DatasetRegistry;
 use crate::sessions::SessionManager;
 use crate::{protocol, registry};
-use graphrep_core::{CancelToken, QuerySession};
+use graphrep_core::CancelToken;
 use std::collections::VecDeque;
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -72,6 +72,8 @@ enum Work {
     Open(OpenBody),
     Run(RunBody),
     Ping(PingBody),
+    Insert(InsertBody),
+    Remove(RemoveBody),
 }
 
 struct Job {
@@ -175,6 +177,75 @@ fn execute(shared: &Shared, work: Work, arrived: Instant) -> Response {
         }
         Work::Open(o) => open_session(shared, o),
         Work::Run(r) => run_query(shared, r, arrived),
+        Work::Insert(b) => insert_graph(shared, b),
+        Work::Remove(b) => remove_graph(shared, b),
+    }
+}
+
+/// Rebuilds the wire graph through the safe builder, so malformed input
+/// (self loops, duplicate/parallel edges, out-of-range endpoints) surfaces
+/// as `bad_request` instead of an invariant-violating graph in the database.
+fn graph_from_wire(b: &InsertBody) -> Result<graphrep_graph::Graph, String> {
+    let mut builder = graphrep_graph::GraphBuilder::new();
+    for &label in &b.nodes {
+        builder.add_node(label);
+    }
+    for e in &b.edges {
+        if (e.u as usize) >= b.nodes.len() || (e.v as usize) >= b.nodes.len() {
+            return Err(format!(
+                "edge ({}, {}) references a node outside 0..{}",
+                e.u,
+                e.v,
+                b.nodes.len()
+            ));
+        }
+        builder
+            .add_edge(e.u, e.v, e.label)
+            .map_err(|err| format!("edge ({}, {}): {err}", e.u, e.v))?;
+    }
+    Ok(builder.build())
+}
+
+fn insert_graph(shared: &Shared, b: InsertBody) -> Response {
+    let Some(ds) = shared.registry.get(&b.dataset) else {
+        return err(codes::NOT_FOUND, format!("unknown dataset `{}`", b.dataset));
+    };
+    if b.nodes.is_empty() {
+        return err(codes::BAD_REQUEST, "graph must have at least one node");
+    }
+    let graph = match graph_from_wire(&b) {
+        Ok(g) => g,
+        Err(m) => return err(codes::BAD_REQUEST, m),
+    };
+    let t0 = Instant::now();
+    match ds.insert_graph(graph, b.features) {
+        Ok(r) => Response::Mutated(MutatedBody {
+            id: r.id,
+            epoch: r.epoch,
+            live: r.live,
+            tombstones: r.tombstones,
+            rebuilt: r.rebuilt,
+            wall_ms: protocol::duration_ms(t0.elapsed()),
+        }),
+        Err(e) => err(codes::BAD_REQUEST, e.message),
+    }
+}
+
+fn remove_graph(shared: &Shared, b: RemoveBody) -> Response {
+    let Some(ds) = shared.registry.get(&b.dataset) else {
+        return err(codes::NOT_FOUND, format!("unknown dataset `{}`", b.dataset));
+    };
+    let t0 = Instant::now();
+    match ds.remove_graph(b.id) {
+        Ok(r) => Response::Mutated(MutatedBody {
+            id: r.id,
+            epoch: r.epoch,
+            live: r.live,
+            tombstones: r.tombstones,
+            rebuilt: r.rebuilt,
+            wall_ms: protocol::duration_ms(t0.elapsed()),
+        }),
+        Err(e) => err(codes::BAD_REQUEST, e.message),
     }
 }
 
@@ -186,7 +257,10 @@ fn open_session(shared: &Shared, o: OpenBody) -> Response {
         return err(codes::BAD_REQUEST, "quantile must be in [0, 1]");
     }
     let t0 = Instant::now();
-    let session = QuerySession::shared(ds.index_arc(), ds.relevant_for(o.quantile));
+    // Through the index so tombstoned ids are filtered from the relevant set.
+    let session = ds
+        .index_arc()
+        .start_session_shared(ds.relevant_for(o.quantile));
     let relevant = session.relevant().len();
     let id = shared.sessions.insert(o.dataset, session);
     Response::Opened(OpenedBody {
@@ -247,6 +321,8 @@ fn endpoint_of(req: &Request) -> Endpoint {
         Request::Close(_) => Endpoint::Close,
         Request::Stats => Endpoint::Stats,
         Request::Ping(_) => Endpoint::Ping,
+        Request::Insert(_) => Endpoint::Insert,
+        Request::Remove(_) => Endpoint::Remove,
         Request::Shutdown => Endpoint::Shutdown,
     }
 }
@@ -285,6 +361,8 @@ fn dispatch(shared: &Shared, req: Request) -> Response {
         Request::Open(b) => pooled(shared, Work::Open(b), arrived),
         Request::Run(b) => pooled(shared, Work::Run(b), arrived),
         Request::Ping(b) => pooled(shared, Work::Ping(b), arrived),
+        Request::Insert(b) => pooled(shared, Work::Insert(b), arrived),
+        Request::Remove(b) => pooled(shared, Work::Remove(b), arrived),
         Request::Close(c) => {
             if shared.sessions.remove(c.session) {
                 Response::Closed

@@ -1,0 +1,257 @@
+//! Mutations racing live query traffic (DESIGN.md §10): eight client
+//! threads hammer the worker pool with open/run/refine/close while the main
+//! thread interleaves inserts and removes over the wire. The checks:
+//!
+//! * **no lost updates** — every mutation receipt carries the next epoch,
+//!   and the final index state reflects every op;
+//! * **serializability** — every answer pair a session produced matches the
+//!   offline reference at *some* mutation epoch (sessions pin an immutable
+//!   snapshot, so both answers of a pair must come from the same epoch);
+//! * **counter conservation** — oracle counters carry forward across the
+//!   fork/swap each mutation performs, so serving-time deltas never move
+//!   backwards.
+
+use graphrep_core::{NbIndex, NbIndexConfig, RelevanceQuery, Scorer};
+use graphrep_datagen::{DatasetKind, DatasetSpec};
+use graphrep_ged::{DistanceOracle, GedConfig, GedEngine};
+use graphrep_graph::{generate::mutate, Graph, GraphId};
+use graphrep_serve::protocol::OracleDelta;
+use graphrep_serve::registry::load_in_memory;
+use graphrep_serve::{start, Client, DatasetRegistry, ServeConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+const QUANTILE: f64 = 0.75;
+const BASE: usize = 30;
+const SEED: u64 = 909;
+
+fn wire_parts(g: &Graph) -> (Vec<u32>, Vec<(u16, u16, u32)>) {
+    let nodes = g.node_labels().to_vec();
+    let edges = g.edges().iter().map(|e| (e.u, e.v, e.label)).collect();
+    (nodes, edges)
+}
+
+/// The offline answer fingerprints for the state after `epoch` mutations,
+/// computed from scratch exactly like the server's offline verifier would.
+fn reference_pair(
+    base: &graphrep_core::GraphDatabase,
+    inserts: &[(Graph, Vec<f64>)],
+    removes: &[GraphId],
+    oracles: &[Arc<DistanceOracle>],
+    ladder: &[f64],
+    queries: &[(f64, usize)],
+    epoch: usize,
+) -> Vec<String> {
+    // Ops alternate insert, remove, insert, remove, …
+    let ins = epoch.div_ceil(2);
+    let rem = epoch / 2;
+    let mut db = base.clone();
+    for (g, f) in &inserts[..ins] {
+        db = db.pushed(g.clone(), f.clone());
+    }
+    let mut live = vec![true; db.len()];
+    for &victim in &removes[..rem] {
+        live[victim as usize] = false;
+    }
+    let index = NbIndex::build(
+        Arc::clone(&oracles[ins]),
+        NbIndexConfig {
+            num_vps: 4,
+            ladder: ladder.to_vec(),
+            ..Default::default()
+        },
+    );
+    // Mirrors `LoadedDataset::relevant_for`: the quantile is taken over the
+    // whole database (tombstoned ids included); liveness filtering happens
+    // at the session boundary.
+    let scorer = Scorer::MeanOfDims((0..db.dims()).collect());
+    let mut relevant = RelevanceQuery::top_quantile(&db, scorer, QUANTILE).relevant_set(&db);
+    relevant.retain(|&g| live[g as usize]);
+    let session = index.start_session(relevant);
+    queries
+        .iter()
+        .map(|&(theta, k)| format!("{:?}", session.run(theta, k).0))
+        .collect()
+}
+
+#[test]
+fn mutations_race_eight_query_threads() {
+    let data = DatasetSpec::new(DatasetKind::DudLike, BASE, SEED).generate();
+    let theta = data.default_theta;
+    let ladder = data.default_ladder.clone();
+    let base_db = data.db.clone();
+    let queries = [(theta, 3usize), (theta + 1.0, 2usize)];
+
+    // Pre-plan the mutation schedule so the offline replay is exact.
+    let mut rng = SmallRng::seed_from_u64(77);
+    let inserts: Vec<(Graph, Vec<f64>)> = (0..4)
+        .map(|i| {
+            let g = mutate(&mut rng, base_db.graph(i), 2, &[0, 1], &[0]);
+            (g, base_db.features(i).to_vec())
+        })
+        .collect();
+    let removes: Vec<GraphId> = vec![3, 11, 17, 23];
+
+    // Reference oracles per number-of-inserts, sharing one distance cache
+    // via `extended` (distances are deterministic, so caching cannot change
+    // any reference answer).
+    let mut oracles = vec![Arc::new(DistanceOracle::new(
+        base_db.graphs_arc(),
+        GedEngine::new(GedConfig::default()),
+    ))];
+    for (g, _) in &inserts {
+        let prev = oracles.last().expect("non-empty");
+        oracles.push(Arc::new(prev.extended(g.clone())));
+    }
+
+    let mut reg = DatasetRegistry::new();
+    reg.insert(load_in_memory("d", data));
+    let ds = reg.get("d").expect("registered");
+    let handle = start(
+        ServeConfig {
+            workers: 4,
+            ..Default::default()
+        },
+        reg,
+    )
+    .expect("server starts");
+    let addr = handle.addr().to_string();
+
+    // Eight query threads: open a session (pinning a snapshot), answer the
+    // fixed query pair inside it, close, repeat until told to stop.
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut threads = Vec::new();
+    for t in 0..8 {
+        let addr = addr.clone();
+        let stop = Arc::clone(&stop);
+        let h = thread::Builder::new()
+            .name(format!("mut-query-{t}"))
+            .spawn(move || -> Vec<Vec<String>> {
+                let mut client = Client::connect(&addr).expect("connect");
+                let mut pairs = Vec::new();
+                loop {
+                    let done = stop.load(Ordering::Relaxed);
+                    let opened = client.open("d", QUANTILE).expect("open");
+                    let pair = queries
+                        .iter()
+                        .map(|&(theta, k)| {
+                            client
+                                .run_answer(opened.session, theta, k)
+                                .expect("run")
+                                .fingerprint()
+                        })
+                        .collect();
+                    client.close(opened.session).expect("close");
+                    pairs.push(pair);
+                    if done {
+                        // One final pair after the stop flag guarantees the
+                        // post-churn state is observed too.
+                        return pairs;
+                    }
+                }
+            })
+            .expect("spawn");
+        threads.push(h);
+    }
+
+    // Interleave the mutations over the wire while the threads run.
+    let mut mclient = Client::connect(&addr).expect("connect mutator");
+    let warmup = mclient.stats().expect("stats");
+    let before = warmup.datasets[0].oracle.clone();
+    let mut expected_epoch = 0u64;
+    for i in 0..inserts.len() {
+        let (g, f) = &inserts[i];
+        let (nodes, edges) = wire_parts(g);
+        let receipt = mclient
+            .insert("d", nodes, edges, f.clone())
+            .expect("insert");
+        expected_epoch += 1;
+        assert_eq!(
+            receipt.epoch, expected_epoch,
+            "insert receipt must carry the next epoch (no lost updates)"
+        );
+        assert_eq!(receipt.id as usize, BASE + i);
+        thread::sleep(Duration::from_millis(15));
+
+        let receipt = mclient.remove("d", removes[i]).expect("remove");
+        expected_epoch += 1;
+        assert_eq!(
+            receipt.epoch, expected_epoch,
+            "remove receipt must carry the next epoch (no lost updates)"
+        );
+        thread::sleep(Duration::from_millis(15));
+    }
+    stop.store(true, Ordering::Relaxed);
+
+    let mut all_pairs: Vec<Vec<String>> = Vec::new();
+    for h in threads {
+        all_pairs.extend(h.join().expect("query thread must not panic"));
+    }
+
+    // No lost updates: the final index state reflects every op.
+    let final_index = ds.index_arc();
+    assert_eq!(final_index.epoch(), 8);
+    assert_eq!(final_index.tree().len(), BASE + inserts.len());
+    assert_eq!(final_index.tree().live_len(), BASE);
+    assert_eq!(final_index.tree().tombstones(), removes.len());
+
+    // Serializability: each observed pair must equal the offline reference
+    // at some epoch. Sessions pin one snapshot, so a pair mixing two epochs
+    // would be unmatchable.
+    let references: Vec<Vec<String>> = (0..=8)
+        .map(|e| reference_pair(&base_db, &inserts, &removes, &oracles, &ladder, &queries, e))
+        .collect();
+    assert!(!all_pairs.is_empty());
+    for (i, pair) in all_pairs.iter().enumerate() {
+        assert!(
+            references.contains(pair),
+            "pair {i} matches no mutation epoch: {pair:?}"
+        );
+    }
+    // The post-churn epoch must actually have been observed (each thread
+    // records one pair after the stop flag, and by then all 8 ops applied).
+    assert!(
+        all_pairs.contains(&references[8]),
+        "final state was never observed"
+    );
+
+    // Counter conservation: serving deltas never move backwards across the
+    // eight oracle swaps the mutations performed.
+    let after = mclient.stats().expect("stats").datasets[0].oracle.clone();
+    assert_monotone(&before, &after);
+    assert!(
+        after.distance_computations + after.cache_hits + after.ub_accepts + after.within_rejections
+            > 0,
+        "query traffic must have produced oracle activity"
+    );
+
+    handle.shutdown();
+}
+
+/// Delta monotonicity helper: every counter in `after` must be ≥ `before`.
+fn assert_monotone(before: &OracleDelta, after: &OracleDelta) {
+    let f = |d: &OracleDelta| {
+        [
+            d.distance_computations,
+            d.within_rejections,
+            d.cache_hits,
+            d.ub_accepts,
+            d.engine_calls,
+            d.size_rejects,
+            d.label_rejects,
+            d.degree_rejects,
+            d.vantage_lb_rejects,
+            d.vantage_ub_accepts,
+        ]
+    };
+    for (b, a) in f(before).into_iter().zip(f(after)) {
+        assert!(
+            a >= b,
+            "oracle delta moved backwards across a mutation swap: {before:?} -> {after:?}"
+        );
+    }
+}
