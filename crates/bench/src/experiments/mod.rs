@@ -12,6 +12,7 @@ pub mod mutate;
 pub mod quality;
 pub mod refinement;
 pub mod scalability;
+pub mod serve_cache;
 pub mod serve_load;
 pub mod summary;
 pub mod threads;
@@ -43,6 +44,7 @@ pub const ALL: &[&str] = &[
     "threads",
     "ged_tiers",
     "serve_load",
+    "serve_cache",
     "mutate_churn",
     "summary",
 ];
@@ -72,6 +74,7 @@ pub fn run(ctx: &Ctx, id: &str) -> bool {
         "threads" => threads::thread_scaling(ctx),
         "ged_tiers" => tiers::ged_tiers(ctx),
         "serve_load" => serve_load::serve_load(ctx),
+        "serve_cache" => serve_cache::serve_cache(ctx),
         "mutate_churn" => mutate::mutate_churn(ctx),
         "summary" => summary::summary(ctx),
         "all" => {

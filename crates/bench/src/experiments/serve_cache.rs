@@ -1,0 +1,203 @@
+//! Caching-layer experiment for `graphrep-serve`.
+//!
+//! Drives one warm dataset with a *skewed* (Zipf-like, exponent 1.2)
+//! deterministic workload at 1, 4, and 8 server workers, once with the
+//! two-level cache disabled (`capacity: 0`) and once with it enabled, and
+//! reports the latency/throughput deltas plus the cache hit rates. Three
+//! contracts are enforced on every run:
+//!
+//! * determinism — each served answer is byte-identical to an offline
+//!   [`graphrep_core::QuerySession::run`] replay, cached or not;
+//! * conservation — `lookups == hits + misses` and
+//!   `evictions <= insertions` on both cache tiers;
+//! * effectiveness — with `SERVE_CACHE_BUDGET` set (the CI smoke job,
+//!   `ci/serve_cache_budget.json`), the answer-cache hit rate on the
+//!   skewed workload must meet the checked-in floor.
+
+use crate::harness::{f, timed, Ctx, Row};
+use graphrep_core::CacheConfig;
+use graphrep_datagen::{DatasetKind, DatasetSpec};
+use graphrep_serve::{
+    offline_reference, registry, run_load, verify_against_offline, CacheTierStats, Client,
+    DatasetRegistry, LoadSpec,
+};
+
+/// Worker-pool sizes to sweep: cache correctness must hold from a fully
+/// serialized pool to a contended one.
+const WORKER_COUNTS: &[usize] = &[1, 4, 8];
+
+/// Answer-cache hit-rate floor enforced by the CI smoke job (see
+/// `ci/serve_cache_budget.json`): the skewed cache-on runs must hit at
+/// least this often.
+#[derive(Debug, serde::Deserialize)]
+struct Budget {
+    min_answer_hit_rate: f64,
+}
+
+fn hit_rate(t: &CacheTierStats) -> f64 {
+    if t.lookups == 0 {
+        0.0
+    } else {
+        t.hits as f64 / t.lookups as f64
+    }
+}
+
+fn conserve(tier: &str, t: &CacheTierStats) {
+    assert_eq!(
+        t.lookups,
+        t.hits + t.misses,
+        "{tier}: lookups != hits + misses ({t:?})"
+    );
+    assert!(
+        t.evictions <= t.insertions,
+        "{tier}: evictions exceed insertions ({t:?})"
+    );
+}
+
+/// Cache-on vs cache-off serving under a skewed workload at 1/4/8 workers.
+pub fn serve_cache(ctx: &Ctx) {
+    let size = ctx.base_size.clamp(80, 160);
+    // `Dataset` is not `Clone`; the spec is deterministic, so regenerating
+    // yields byte-identical data for the reference and every server start.
+    let gen = DatasetSpec::new(DatasetKind::DudLike, size, ctx.seed);
+    let data = gen.generate();
+    let spec = LoadSpec {
+        dataset: "cache".to_owned(),
+        connections: 4,
+        requests_per_conn: 25,
+        thetas: vec![
+            data.default_theta * 0.8,
+            data.default_theta,
+            data.default_theta * 1.2,
+        ],
+        ks: vec![3, 5],
+        quantile: 0.75,
+        seed: ctx.seed,
+        skew: 1.2,
+    };
+
+    // Ground truth once: the offline session replays every unique (θ, k).
+    let ds = registry::load_in_memory("cache", data);
+    let reference = offline_reference(&ds, &spec);
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut worst_answer_rate = f64::INFINITY;
+    for &workers in WORKER_COUNTS {
+        for cache_on in [false, true] {
+            let cache_cfg = if cache_on {
+                CacheConfig::default()
+            } else {
+                CacheConfig {
+                    capacity: 0,
+                    ..CacheConfig::default()
+                }
+            };
+            let mut reg = DatasetRegistry::new();
+            reg.insert(
+                registry::load_in_memory("cache", gen.generate()).with_cache_config(cache_cfg),
+            );
+            let cfg = graphrep_serve::ServeConfig {
+                workers,
+                ..graphrep_serve::ServeConfig::default()
+            };
+            let handle = graphrep_serve::start(cfg, reg)
+                .unwrap_or_else(|e| panic!("server failed to start at {workers} workers: {e}"));
+            let addr = handle.addr().to_string();
+            let (report, wall) = timed(|| {
+                run_load(&addr, &spec)
+                    .unwrap_or_else(|e| panic!("load run failed at {workers} workers: {e}"))
+            });
+            let stats = Client::connect(&addr)
+                .and_then(|mut c| c.stats())
+                .unwrap_or_else(|e| panic!("stats fetch failed at {workers} workers: {e}"));
+            handle.shutdown();
+
+            assert!(
+                report.errors.is_empty(),
+                "load errors at {workers} workers (cache_on={cache_on}): {:?}",
+                report.errors
+            );
+            let verified = verify_against_offline(&report, &reference).unwrap_or_else(|e| {
+                panic!("determinism violation at {workers} workers (cache_on={cache_on}): {e}")
+            });
+            assert_eq!(
+                verified,
+                spec.connections * spec.requests_per_conn,
+                "incomplete run at {workers} workers"
+            );
+
+            let dstat = stats
+                .datasets
+                .iter()
+                .find(|d| d.name == "cache")
+                .expect("dataset row in stats");
+            assert_eq!(dstat.cache_enabled, cache_on, "{dstat:?}");
+            conserve("answer_cache", &dstat.answer_cache);
+            conserve("view_store", &dstat.view_store);
+            if cache_on {
+                assert!(
+                    dstat.answer_cache.hits > 0,
+                    "skewed workload produced zero answer-cache hits: {:?}",
+                    dstat.answer_cache
+                );
+                worst_answer_rate = worst_answer_rate.min(hit_rate(&dstat.answer_cache));
+            } else {
+                assert_eq!(dstat.answer_cache.lookups, 0, "{dstat:?}");
+                assert_eq!(dstat.view_store.lookups, 0, "{dstat:?}");
+            }
+
+            rows.push(vec![
+                workers.to_string(),
+                if cache_on { "on" } else { "off" }.to_owned(),
+                (spec.connections * spec.requests_per_conn).to_string(),
+                f(wall),
+                f(report.throughput_rps()),
+                f(report.latency_quantile_ms(0.50)),
+                f(report.latency_quantile_ms(0.99)),
+                dstat.answer_cache.hits.to_string(),
+                dstat.answer_cache.lookups.to_string(),
+                f(hit_rate(&dstat.answer_cache)),
+                dstat.view_store.hits.to_string(),
+                dstat.view_store.lookups.to_string(),
+                "true".to_owned(),
+            ]);
+        }
+    }
+    ctx.emit(
+        "serve_cache",
+        &[
+            "workers",
+            "cache",
+            "requests",
+            "wall_s",
+            "rps",
+            "p50_ms",
+            "p99_ms",
+            "answer_hits",
+            "answer_lookups",
+            "answer_hit_rate",
+            "view_hits",
+            "view_lookups",
+            "answers_identical",
+        ],
+        &rows,
+    );
+
+    // CI smoke budget: the skewed cache-on runs must clear the checked-in
+    // answer-cache hit-rate floor at every pool size.
+    if let Ok(budget_path) = std::env::var("SERVE_CACHE_BUDGET") {
+        let text = std::fs::read_to_string(&budget_path)
+            .unwrap_or_else(|e| panic!("cannot read budget file {budget_path}: {e}"));
+        let budget: Budget = serde_json::from_str(&text)
+            .unwrap_or_else(|e| panic!("bad budget file {budget_path}: {e:?}"));
+        assert!(
+            worst_answer_rate >= budget.min_answer_hit_rate,
+            "answer-cache hit rate {worst_answer_rate:.4} below budget {} (from {budget_path})",
+            budget.min_answer_hit_rate
+        );
+        println!(
+            "# serve_cache: within budget ({worst_answer_rate:.4} >= {})",
+            budget.min_answer_hit_rate
+        );
+    }
+}

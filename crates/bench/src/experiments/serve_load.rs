@@ -35,6 +35,7 @@ pub fn serve_load(ctx: &Ctx) {
         ks: vec![3, 5],
         quantile: 0.75,
         seed: ctx.seed,
+        skew: 0.0,
     };
 
     // Ground truth once: the offline session replays every unique (θ, k).

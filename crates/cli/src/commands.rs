@@ -47,14 +47,21 @@ subcommands:
   compare  --data DIR --theta T --k K     (REP vs DIV vs DisC vs top-k)
   serve    --data DIR [--name NAME] [--addr HOST:PORT] [--workers N]
            [--max-queue N] [--deadline-ms MS] [--idle-secs S]
+           [--cache-capacity N] [--cache-ttl SECS]
   load     --addr HOST:PORT [--name NAME] [--connections N] [--requests M]
            [--theta t1,t2,...] [--k k1,k2,...] [--quantile Q] [--seed S]
-           [--verify-data DIR] [--shutdown true]
+           [--skew S] [--verify-data DIR] [--shutdown true]
   mutate   --data DIR [--insert N] [--remove id1,id2,...] [--seed S]
            [--addr HOST:PORT [--name NAME]]
 
 `query`/`refine` reuse `<DIR>/index.json` automatically when present (and
 write it after building), so only the first invocation pays the build.
+
+`serve` keeps a materialized θ-neighborhood view store and a cross-session
+answer cache per dataset (epoch-keyed, invalidated on mutation).
+--cache-capacity 0 disables both; --cache-ttl 0 (default) means no age
+expiry. `load --skew S` draws (θ, k) pairs Zipf-like with exponent S
+instead of uniformly (0 = the historical uniform schedule).
 
 `mutate` inserts N randomly perturbed copies of existing graphs and/or
 tombstones the listed ids. Without --addr it mutates the dataset directory
@@ -343,6 +350,7 @@ fn compare(cmd: &Command) -> Result<String, CliError> {
 /// wire `Shutdown` request arrives. The bound address is printed (and
 /// flushed) before blocking so scripts can scrape the chosen port.
 fn serve(cmd: &Command) -> Result<String, CliError> {
+    use graphrep_core::CacheConfig;
     use graphrep_serve::{DatasetRegistry, ServeConfig};
     let dir = cmd.req("data")?;
     let name = cmd.opt("name").unwrap_or("default").to_owned();
@@ -360,9 +368,17 @@ fn serve(cmd: &Command) -> Result<String, CliError> {
         idle_session_ttl: std::time::Duration::from_secs(cmd.parsed_or("idle-secs", 900u64)?),
         ..ServeConfig::default()
     };
+    // `--cache-capacity 0` disables the caching layer; `--cache-ttl 0`
+    // (the default) means entries never expire by age.
+    let cache_ttl_secs: u64 = cmd.parsed_or("cache-ttl", 0u64)?;
+    let cache = CacheConfig {
+        capacity: cmd.parsed_or("cache-capacity", CacheConfig::default().capacity)?,
+        ttl: (cache_ttl_secs > 0).then(|| std::time::Duration::from_secs(cache_ttl_secs)),
+        ..CacheConfig::default()
+    };
     let mut registry = DatasetRegistry::new();
     registry
-        .load_dir(&name, Path::new(dir), true)
+        .load_dir_with(&name, Path::new(dir), true, cache)
         .map_err(|e| CliError(e.to_string()))?;
     let handle = graphrep_serve::start(cfg, registry).map_err(|e| CliError(e.to_string()))?;
     let addr = handle.addr();
@@ -416,6 +432,7 @@ fn load(cmd: &Command) -> Result<String, CliError> {
         ks,
         quantile: cmd.parsed_or("quantile", 0.75f64)?,
         seed: cmd.parsed_or("seed", 42u64)?,
+        skew: cmd.parsed_or("skew", 0.0f64)?,
     };
     let report = run_load(addr, &spec).map_err(|e| CliError(e.to_string()))?;
     let mut out = format!(
@@ -449,6 +466,45 @@ fn load(cmd: &Command) -> Result<String, CliError> {
             out,
             "verified: {n} answers byte-identical to offline QuerySession::run"
         );
+    }
+    // Cache summary from the server's stats endpoint, for operators and the
+    // CI smoke job (which greps these lines for a nonzero hit count).
+    if let Ok(mut client) = Client::connect(addr) {
+        if let Ok(stats) = client.stats() {
+            for ds in stats
+                .datasets
+                .iter()
+                .filter(|d| d.name == spec.dataset && d.cache_enabled)
+            {
+                let pct = |hits: u64, lookups: u64| {
+                    if lookups == 0 {
+                        0.0
+                    } else {
+                        100.0 * hits as f64 / lookups as f64
+                    }
+                };
+                let a = &ds.answer_cache;
+                let v = &ds.view_store;
+                let _ = writeln!(
+                    out,
+                    "answer cache: {}/{} hits ({:.1}%), {} entries, {} bytes",
+                    a.hits,
+                    a.lookups,
+                    pct(a.hits, a.lookups),
+                    a.entries,
+                    a.memory_bytes
+                );
+                let _ = writeln!(
+                    out,
+                    "view store: {}/{} hits ({:.1}%), {} entries, {} bytes",
+                    v.hits,
+                    v.lookups,
+                    pct(v.hits, v.lookups),
+                    v.entries,
+                    v.memory_bytes
+                );
+            }
+        }
     }
     if cmd.opt("shutdown") == Some("true") {
         let mut client = Client::connect(addr).map_err(|e| CliError(e.to_string()))?;

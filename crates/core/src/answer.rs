@@ -4,7 +4,7 @@ use graphrep_graph::GraphId;
 use graphrep_metric::Bitset;
 
 /// The result of a top-k representative query.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct AnswerSet {
     /// Chosen graphs, in selection order.
     pub ids: Vec<GraphId>,

@@ -8,16 +8,10 @@
 //! brute force, C-tree, M-tree, a distance matrix — or the NB-Index.
 
 use crate::answer::AnswerSet;
+pub use crate::provider::NeighborhoodProvider;
 use graphrep_ged::DistanceOracle;
 use graphrep_graph::GraphId;
 use graphrep_metric::Bitset;
-
-/// Supplies θ-neighborhoods restricted to the relevant set.
-pub trait NeighborhoodProvider {
-    /// All *relevant* graphs within distance θ of `g`, including `g` itself
-    /// when relevant.
-    fn neighborhood(&self, g: GraphId, theta: f64) -> Vec<GraphId>;
-}
 
 /// Brute-force provider: one θ-membership test per relevant graph, routed
 /// through the oracle's tiered [`DistanceOracle::within_verdict`] ladder so
@@ -42,6 +36,19 @@ impl NeighborhoodProvider for BruteForceProvider<'_> {
             .copied()
             .filter(|&r| self.oracle.within_verdict(g, r, theta))
             .collect()
+    }
+
+    fn neighborhood_with_distances(
+        &self,
+        g: GraphId,
+        theta: f64,
+    ) -> (Vec<GraphId>, Vec<Option<f64>>) {
+        let members = self.neighborhood(g, theta);
+        let distances = members
+            .iter()
+            .map(|&m| self.oracle.cached_distance(g, m))
+            .collect();
+        (members, distances)
     }
 }
 

@@ -28,18 +28,25 @@ pub mod nbindex;
 pub mod nbtree;
 pub mod persist;
 pub mod pihat;
+pub mod provider;
 pub mod relevance;
 pub mod session;
+pub mod views;
 
 pub use answer::{evaluate_answer, AnswerSet};
 pub use cancel::{CancelToken, Cancelled};
 pub use celf::{lazy_greedy, lazy_greedy_cancellable, weighted_greedy, LazyStats, WeightedAnswer};
 pub use db::GraphDatabase;
-pub use greedy::{baseline_greedy, BruteForceProvider, NeighborhoodProvider};
+pub use greedy::{baseline_greedy, BruteForceProvider};
 pub use nbindex::{
     BuildStats, MutateError, MutationOutcome, MutationPolicy, NbIndex, NbIndexConfig,
 };
 pub use nbtree::{InsertOutcome, NbTree, NbTreeConfig, TreeNode};
 pub use pihat::{PiHatVectors, ThresholdLadder};
+pub use provider::{MaterializedProvider, NeighborhoodProvider};
 pub use relevance::{RelevanceQuery, Scorer};
 pub use session::{QuerySession, RunStats};
+pub use views::{
+    query_fingerprint, AnswerCache, AnswerKey, CacheConfig, CacheCounters, MaterializedView,
+    ViewScope, ViewStore,
+};

@@ -264,7 +264,11 @@ impl NbIndex {
 
     /// Mutation epoch: number of applied inserts/removes since the initial
     /// build. Persisted snapshots record it so a stale snapshot cannot be
-    /// silently served after the in-memory index has moved on.
+    /// silently served after the in-memory index has moved on, and the
+    /// caching layer ([`crate::ViewStore`] / [`crate::AnswerCache`]) keys
+    /// every entry on it — a fork-mutate-swap bumps the epoch, so cached
+    /// results can never cross a mutation boundary even before any explicit
+    /// invalidation runs.
     pub fn epoch(&self) -> u64 {
         self.epoch
     }

@@ -20,8 +20,11 @@ use crate::answer::AnswerSet;
 use crate::cancel::{CancelToken, Cancelled};
 use crate::nbindex::NbIndex;
 use crate::pihat::{PiHatVectors, ThresholdLadder};
+use crate::provider::{MaterializedProvider, NeighborhoodProvider};
+use crate::views::{query_fingerprint, AnswerCache, AnswerKey, ViewScope, ViewStore};
 use graphrep_graph::GraphId;
 use graphrep_metric::Bitset;
+use std::cell::Cell;
 use std::collections::BinaryHeap;
 use std::collections::HashMap;
 use std::ops::Deref;
@@ -65,6 +68,10 @@ pub struct QuerySession<I: Deref<Target = NbIndex> = Arc<NbIndex>> {
     rel_pos: Bitset,
     pihat: PiHatVectors,
     init_wall: Duration,
+    /// Canonical fingerprint of the relevant set (cache key component).
+    fingerprint: u64,
+    /// Materialized-view store, when the session participates in caching.
+    views: Option<Arc<ViewStore>>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -143,6 +150,7 @@ impl<I: Deref<Target = NbIndex> + Sync> QuerySession<I> {
             &relevant_by_id,
             index.ladder(),
         );
+        let fingerprint = query_fingerprint(&relevant);
         Self {
             index,
             relevant,
@@ -150,12 +158,34 @@ impl<I: Deref<Target = NbIndex> + Sync> QuerySession<I> {
             rel_pos,
             pihat,
             init_wall: t0.elapsed(),
+            fingerprint,
+            views: None,
         }
+    }
+
+    /// Attaches a materialized-view store: subsequent runs serve verified
+    /// θ-neighborhoods from it when possible and offer fresh verifications
+    /// back for materialization. Views are keyed by the index's mutation
+    /// epoch and this session's [`QuerySession::fingerprint`], so a shared
+    /// store is sound across sessions, epochs, and pinned snapshots.
+    pub fn with_views(mut self, views: Arc<ViewStore>) -> Self {
+        self.views = Some(views);
+        self
     }
 
     /// The relevant set `L_q`.
     pub fn relevant(&self) -> &[GraphId] {
         &self.relevant
+    }
+
+    /// Canonical [`query_fingerprint`] of this session's relevant set.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Mutation epoch of the index snapshot this session is pinned to.
+    pub fn epoch(&self) -> u64 {
+        self.index.epoch()
     }
 
     /// Wall time of the initialization phase.
@@ -194,6 +224,11 @@ impl<I: Deref<Target = NbIndex> + Sync> QuerySession<I> {
         // off-ladder π̂ initialization, which is the run's priciest
         // distance-free step.
         cancel.check()?;
+        if let Some(views) = &self.views {
+            // One arrival per run — the view store's promotion policy counts
+            // these, not per-graph lookups, so "hot" means repeated queries.
+            views.note_query(self.view_scope(), theta);
+        }
         let calls0 = self.index.oracle().engine_calls();
         let tree = self.index.tree();
         let n = tree.len();
@@ -297,21 +332,75 @@ impl<I: Deref<Target = NbIndex> + Sync> QuerySession<I> {
         ))
     }
 
+    /// [`Self::run`] memoized through a cross-session [`AnswerCache`]:
+    /// returns the answer, the run's stats, and whether it was served from
+    /// the cache. A hit returns the byte-identical [`AnswerSet`] the
+    /// uncached run would produce (the key covers epoch, exact θ bits, `k`,
+    /// and the query fingerprint) with near-zero [`RunStats`] — stats
+    /// describe work actually performed.
+    pub fn run_cached(
+        &self,
+        theta: f64,
+        k: usize,
+        cache: &AnswerCache,
+    ) -> (Arc<AnswerSet>, RunStats, bool) {
+        match self.run_cached_cancellable(theta, k, &CancelToken::never(), cache) {
+            Ok(r) => r,
+            // A never-token has no trigger; this arm cannot be reached.
+            Err(Cancelled) => unreachable!("CancelToken::never() fired"),
+        }
+    }
+
+    /// [`Self::run_cached`] with cooperative cancellation. The token is
+    /// checked *before* the cache lookup: a request whose deadline already
+    /// expired must report `deadline exceeded`, not be rescued by a hit —
+    /// caching must not change observable admission semantics.
+    pub fn run_cached_cancellable(
+        &self,
+        theta: f64,
+        k: usize,
+        cancel: &CancelToken,
+        cache: &AnswerCache,
+    ) -> Result<(Arc<AnswerSet>, RunStats, bool), Cancelled> {
+        let t0 = Instant::now();
+        cancel.check()?;
+        let key = AnswerKey {
+            epoch: self.index.epoch(),
+            theta_bits: theta.to_bits(),
+            k,
+            fingerprint: self.fingerprint,
+        };
+        if let Some(answer) = cache.get(&key) {
+            let stats = RunStats {
+                wall: t0.elapsed(),
+                ..RunStats::default()
+            };
+            return Ok((answer, stats, true));
+        }
+        let (answer, stats) = self.run_cancellable(theta, k, cancel)?;
+        let answer = Arc::new(answer);
+        cache.insert(key, Arc::clone(&answer));
+        Ok((answer, stats, false))
+    }
+
+    /// The view-store scope of this session: its pinned snapshot's epoch
+    /// plus the relevant-set fingerprint.
+    fn view_scope(&self) -> ViewScope {
+        ViewScope {
+            epoch: self.index.epoch(),
+            fingerprint: self.fingerprint,
+        }
+    }
+
     /// Exact θ-neighborhood of the graph at `pos` as a position bitset,
     /// memoized in `neigh`.
     ///
-    /// Verifying the `N̂_θ` candidate superset is the run's GED-dominated
-    /// step, so the per-candidate θ-membership tests fan out across rayon
-    /// workers, in ascending Lipschitz-lower-bound order: near candidates
-    /// (small lower bound) are the likeliest triangle-upper-bound accepts,
-    /// so their exact distances — the costliest ones the tier ladder might
-    /// otherwise compute — are attempted only after the cheap certificates
-    /// have had first refusal, and far candidates arrive with the strongest
-    /// evidence for a bound-only rejection. Each test is an independent pure
-    /// evaluation against the sharded oracle; the accepted candidates are
-    /// folded into the bitset as a set, so the result — and the tiered
-    /// oracle's verdicts — is identical at any thread count and with tiers
-    /// on or off.
+    /// The members come through the [`NeighborhoodProvider`] seam: an
+    /// [`IndexVerifier`] performs the actual candidate-superset verification,
+    /// and when a [`ViewStore`] is attached it is decorated with
+    /// [`MaterializedProvider`], so previously verified neighborhoods are
+    /// served as lookups. `stats.verified_graphs` counts only graphs the
+    /// verifier actually verified — a view hit does not increment it.
     fn neighborhood(
         &self,
         theta: f64,
@@ -319,42 +408,25 @@ impl<I: Deref<Target = NbIndex> + Sync> QuerySession<I> {
         neigh: &mut HashMap<u32, Bitset>,
         stats: &mut RunStats,
     ) -> Bitset {
-        use rayon::prelude::*;
         if let Some(nb) = neigh.get(&pos) {
             return nb.clone();
         }
         let tree = self.index.tree();
-        let vt = self.index.vantage();
-        let oracle = self.index.oracle();
         let g = tree.graph_at(pos);
-        let candidates = vt.candidates(g, theta);
-        self.audit_thm5(g, &candidates, theta);
-        let mut keyed: Vec<(f64, u32)> = candidates
-            .into_iter()
-            .filter(|&c| self.relevant_by_id.contains(c as usize))
-            .map(|c| (vt.lower_bound(g, c), c))
-            .collect();
-        keyed.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-        let verified: Vec<Option<u32>> = keyed
-            .par_iter()
-            .map(|&(_, c)| {
-                if oracle.within_verdict(g, c, theta) {
-                    // Upper-bound-certified accepts carry no exact distance;
-                    // the Thm 4 audit checks whichever pairs have one.
-                    if let Some(d) = oracle.cached_distance(g, c) {
-                        self.audit_thm4(g, c, d);
-                    }
-                    Some(c)
-                } else {
-                    None
-                }
-            })
-            .collect();
+        let verifier = IndexVerifier {
+            session: self,
+            verified: Cell::new(0),
+        };
+        let members = match &self.views {
+            Some(store) => MaterializedProvider::new(store, self.view_scope(), &verifier)
+                .neighborhood(g, theta),
+            None => verifier.neighborhood(g, theta),
+        };
+        stats.verified_graphs += verifier.verified.get();
         let mut nb = Bitset::new(tree.len());
-        for c in verified.into_iter().flatten() {
+        for c in members {
             nb.insert(tree.pos_of(c) as usize);
         }
-        stats.verified_graphs += 1;
         neigh.insert(pos, nb.clone());
         nb
     }
@@ -605,4 +677,74 @@ impl<I: Deref<Target = NbIndex> + Sync> QuerySession<I> {
     #[cfg(not(feature = "invariant-audit"))]
     #[inline(always)]
     fn audit_run_end(&self) {}
+}
+
+/// The index-backed [`NeighborhoodProvider`]: verifies the `N̂_θ` candidate
+/// superset against the tiered oracle. This is the expensive inner provider
+/// the session's [`MaterializedProvider`] decorates; `verified` counts how
+/// many neighborhoods it actually verified (view hits bypass it entirely).
+struct IndexVerifier<'s, I: Deref<Target = NbIndex>> {
+    session: &'s QuerySession<I>,
+    verified: Cell<u64>,
+}
+
+impl<I: Deref<Target = NbIndex> + Sync> NeighborhoodProvider for IndexVerifier<'_, I> {
+    fn neighborhood(&self, g: GraphId, theta: f64) -> Vec<GraphId> {
+        self.neighborhood_with_distances(g, theta).0
+    }
+
+    /// Verifying the `N̂_θ` candidate superset is the run's GED-dominated
+    /// step, so the per-candidate θ-membership tests fan out across rayon
+    /// workers, in ascending Lipschitz-lower-bound order: near candidates
+    /// (small lower bound) are the likeliest triangle-upper-bound accepts,
+    /// so their exact distances — the costliest ones the tier ladder might
+    /// otherwise compute — are attempted only after the cheap certificates
+    /// have had first refusal, and far candidates arrive with the strongest
+    /// evidence for a bound-only rejection. Each test is an independent pure
+    /// evaluation against the sharded oracle; the accepted candidates are
+    /// returned sorted by id, so the result — and the tiered oracle's
+    /// verdicts — is identical at any thread count and with tiers on or off.
+    /// Distances are whatever the oracle has exact values for afterwards
+    /// (upper-bound-certified accepts carry `None`).
+    fn neighborhood_with_distances(
+        &self,
+        g: GraphId,
+        theta: f64,
+    ) -> (Vec<GraphId>, Vec<Option<f64>>) {
+        use rayon::prelude::*;
+        let s = self.session;
+        let vt = s.index.vantage();
+        let oracle = s.index.oracle();
+        let candidates = vt.candidates(g, theta);
+        s.audit_thm5(g, &candidates, theta);
+        let mut keyed: Vec<(f64, u32)> = candidates
+            .into_iter()
+            .filter(|&c| s.relevant_by_id.contains(c as usize))
+            .map(|c| (vt.lower_bound(g, c), c))
+            .collect();
+        keyed.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let verified: Vec<Option<u32>> = keyed
+            .par_iter()
+            .map(|&(_, c)| {
+                if oracle.within_verdict(g, c, theta) {
+                    // Upper-bound-certified accepts carry no exact distance;
+                    // the Thm 4 audit checks whichever pairs have one.
+                    if let Some(d) = oracle.cached_distance(g, c) {
+                        s.audit_thm4(g, c, d);
+                    }
+                    Some(c)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let mut members: Vec<GraphId> = verified.into_iter().flatten().collect();
+        members.sort_unstable();
+        let distances = members
+            .iter()
+            .map(|&m| oracle.cached_distance(g, m))
+            .collect();
+        self.verified.set(self.verified.get() + 1);
+        (members, distances)
+    }
 }

@@ -1,0 +1,735 @@
+//! Materialized θ-neighborhood views and the cross-session answer cache
+//! (DESIGN.md §11).
+//!
+//! Production query traffic is heavily skewed: the same `(θ, k,
+//! query-family)` arrives over and over, yet every run re-verifies the same
+//! θ-neighborhoods — exactly the `N_θ` sets Alg 1's greedy consumes. The two
+//! stores here turn that repeat traffic into lookups:
+//!
+//! * [`ViewStore`] — records *verified* θ-neighborhoods (graph id → member
+//!   set + known exact distances), keyed by `(dataset epoch, exact θ bits,
+//!   query fingerprint, graph id)`. Entries are materialized on miss, but
+//!   only once a `(θ-band, fingerprint)` pair has been queried often enough
+//!   (a frequency promotion policy mined from the per-run
+//!   [`ViewStore::note_query`] stream), so one-shot queries never pollute
+//!   the store.
+//! * [`AnswerCache`] — memoizes whole [`crate::QuerySession::run`] results,
+//!   keyed by `(epoch, θ bits, k, fingerprint)`.
+//!
+//! ## Soundness
+//!
+//! Both stores key on the index **mutation epoch**: a mutation forks the
+//! index and bumps the epoch, so entries written against the old snapshot
+//! can never answer a query against the new one — even *without* any
+//! invalidation. [`ViewStore::invalidate_all`] / [`AnswerCache::invalidate_all`]
+//! exist to reclaim memory wholesale when the serving layer swaps indexes;
+//! sessions pinned to the pre-mutation snapshot simply miss afterwards and
+//! recompute from their pinned index, byte-identically.
+//!
+//! Member sets are keyed by the *exact* `θ.to_bits()`, never a band:
+//! θ-membership is an exact predicate, and upper-bound-certified accepts
+//! carry no exact distance, so a neighborhood verified at θ cannot be
+//! re-filtered for a nearby θ′. The coarser
+//! [`graphrep_metric::theta_band`] quantization is used only by the
+//! promotion policy, where pooling nearby thresholds is harmless — it
+//! decides *whether* to materialize, never *what* is served.
+//!
+//! ## Conservation
+//!
+//! Every counter lives under the store's mutex, so the identities are exact
+//! even under thread races: `lookups == hits + misses`, `evictions ≤
+//! insertions`, and all counters are monotone (invalidation drops entries,
+//! never history).
+
+use crate::answer::AnswerSet;
+use graphrep_graph::GraphId;
+use graphrep_metric::theta_band;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration shared by both cache tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Maximum resident entries per store; 0 disables the store entirely
+    /// (every lookup misses, nothing is ever inserted).
+    pub capacity: usize,
+    /// Optional time-to-live: entries older than this answer as misses and
+    /// are dropped. `None` (the default) keeps entries until evicted or
+    /// invalidated — the deterministic choice the differential tests use.
+    pub ttl: Option<Duration>,
+    /// Frequency-promotion threshold for the view store: a `(θ-band,
+    /// fingerprint)` pair must have been queried at least this many times
+    /// (see [`ViewStore::note_query`]) before its neighborhoods are
+    /// materialized. 0 and 1 both mean "materialize from the first query".
+    pub promote_after: u64,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 1024,
+            ttl: None,
+            promote_after: 2,
+        }
+    }
+}
+
+/// Monotone counters of one cache tier, snapshotted atomically (they are
+/// read under the same mutex that updates them, so the conservation
+/// identity `lookups == hits + misses` holds exactly in every snapshot).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookup requests served (hit or miss).
+    pub lookups: u64,
+    /// Lookups answered from the store.
+    pub hits: u64,
+    /// Lookups that found nothing usable.
+    pub misses: u64,
+    /// Entries written (including replacements of an existing key).
+    pub insertions: u64,
+    /// Entries dropped by capacity pressure, TTL expiry, or replacement.
+    pub evictions: u64,
+    /// Entries dropped wholesale by [`ViewStore::invalidate_all`] /
+    /// [`AnswerCache::invalidate_all`].
+    pub invalidated: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Approximate resident bytes of the stored values.
+    pub memory_bytes: usize,
+}
+
+impl CacheCounters {
+    /// Hit rate over all lookups so far, in `[0, 1]` (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+
+    /// Asserts the conservation identities (always-on in tests; under
+    /// `invariant-audit` they are also audited inside every snapshot).
+    fn conserve(&self) {
+        debug_assert_eq!(self.lookups, self.hits + self.misses);
+        debug_assert!(self.evictions <= self.insertions);
+        #[cfg(feature = "invariant-audit")]
+        {
+            graphrep_ged::audit_invariant!(
+                self.lookups == self.hits + self.misses,
+                "cache conservation: {} lookups != {} hits + {} misses",
+                self.lookups,
+                self.hits,
+                self.misses
+            );
+            graphrep_ged::audit_invariant!(
+                self.evictions <= self.insertions,
+                "cache conservation: {} evictions > {} insertions",
+                self.evictions,
+                self.insertions
+            );
+        }
+    }
+}
+
+/// One resident entry of the generic LRU below.
+struct Slot<V> {
+    value: V,
+    /// Recency stamp; also the key into the recency index.
+    stamp: u64,
+    /// Insertion time, for TTL expiry.
+    inserted: Instant,
+    /// Approximate bytes attributed to this entry.
+    bytes: usize,
+}
+
+/// A deterministic LRU map: `HashMap` for residency plus a
+/// `BTreeMap<stamp, key>` recency index (O(log n) touch/evict), with the
+/// counters kept inside the same structure so one mutex makes every
+/// conservation identity exact.
+struct Lru<K, V> {
+    entries: HashMap<K, Slot<V>>,
+    recency: BTreeMap<u64, K>,
+    next_stamp: u64,
+    bytes: usize,
+    lookups: u64,
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+    evictions: u64,
+    invalidated: u64,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Lru<K, V> {
+    fn new() -> Self {
+        Self {
+            entries: HashMap::new(),
+            recency: BTreeMap::new(),
+            next_stamp: 0,
+            bytes: 0,
+            lookups: 0,
+            hits: 0,
+            misses: 0,
+            insertions: 0,
+            evictions: 0,
+            invalidated: 0,
+        }
+    }
+
+    fn stamp(&mut self) -> u64 {
+        let s = self.next_stamp;
+        self.next_stamp += 1;
+        s
+    }
+
+    /// Looks `key` up, refreshing its recency. A TTL-expired entry is
+    /// dropped (counted as an eviction) and reported as a miss.
+    fn get(&mut self, key: &K, ttl: Option<Duration>) -> Option<V> {
+        self.lookups += 1;
+        let expired = match (self.entries.get(key), ttl) {
+            (Some(slot), Some(ttl)) => slot.inserted.elapsed() >= ttl,
+            _ => false,
+        };
+        if expired {
+            if let Some(slot) = self.entries.remove(key) {
+                self.recency.remove(&slot.stamp);
+                self.bytes -= slot.bytes;
+                self.evictions += 1;
+            }
+            self.misses += 1;
+            return None;
+        }
+        let next = self.stamp();
+        match self.entries.get_mut(key) {
+            Some(slot) => {
+                self.recency.remove(&slot.stamp);
+                slot.stamp = next;
+                self.recency.insert(next, key.clone());
+                self.hits += 1;
+                Some(slot.value.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) `key`, then evicts least-recently-used entries
+    /// until residency fits `capacity`. A replacement counts as one
+    /// insertion plus one eviction, keeping `evictions ≤ insertions` exact.
+    fn insert(&mut self, key: K, value: V, bytes: usize, capacity: usize) {
+        if capacity == 0 {
+            return;
+        }
+        if let Some(old) = self.entries.remove(&key) {
+            self.recency.remove(&old.stamp);
+            self.bytes -= old.bytes;
+            self.evictions += 1;
+        }
+        let stamp = self.stamp();
+        self.entries.insert(
+            key.clone(),
+            Slot {
+                value,
+                stamp,
+                inserted: Instant::now(),
+                bytes,
+            },
+        );
+        self.recency.insert(stamp, key);
+        self.bytes += bytes;
+        self.insertions += 1;
+        while self.entries.len() > capacity {
+            let Some((&stamp, _)) = self.recency.iter().next() else {
+                break;
+            };
+            let Some(victim) = self.recency.remove(&stamp) else {
+                break;
+            };
+            if let Some(slot) = self.entries.remove(&victim) {
+                self.bytes -= slot.bytes;
+            }
+            self.evictions += 1;
+        }
+    }
+
+    /// Drops every entry, counting them as invalidated. Returns how many.
+    fn invalidate_all(&mut self) -> u64 {
+        let dropped = self.entries.len() as u64;
+        self.entries.clear();
+        self.recency.clear();
+        self.bytes = 0;
+        self.invalidated += dropped;
+        dropped
+    }
+
+    fn counters(&self) -> CacheCounters {
+        let c = CacheCounters {
+            lookups: self.lookups,
+            hits: self.hits,
+            misses: self.misses,
+            insertions: self.insertions,
+            evictions: self.evictions,
+            invalidated: self.invalidated,
+            entries: self.entries.len(),
+            memory_bytes: self.bytes,
+        };
+        c.conserve();
+        c
+    }
+}
+
+/// Mixes one value into a SplitMix64 fold (same finalizer constants the
+/// serve-layer load harness uses).
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Canonical fingerprint of a relevance query: a SplitMix64 fold over the
+/// **sorted** relevant ids, so two sessions over the same relevant *set*
+/// share cache entries regardless of the order the ids arrived in (answers
+/// are set-determined: ties break by graph id on every search path).
+pub fn query_fingerprint(relevant: &[GraphId]) -> u64 {
+    let mut ids: Vec<GraphId> = relevant.to_vec();
+    ids.sort_unstable();
+    ids.dedup();
+    let mut h = mix(ids.len() as u64 ^ 0x5143_4F56_4945_5753); // "SCOVIEWS"
+    for id in ids {
+        h = mix(h ^ u64::from(id));
+    }
+    h
+}
+
+/// Scope of a view-store entry: which index snapshot and which relevance
+/// query the neighborhoods were verified against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ViewScope {
+    /// Mutation epoch of the index snapshot (see
+    /// [`crate::NbIndex::epoch`]) — the invalidation key.
+    pub epoch: u64,
+    /// [`query_fingerprint`] of the relevant set.
+    pub fingerprint: u64,
+}
+
+/// Key of one materialized neighborhood: scope + exact θ + the graph whose
+/// neighborhood it is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ViewKey {
+    epoch: u64,
+    theta_bits: u64,
+    fingerprint: u64,
+    graph: GraphId,
+}
+
+/// One materialized θ-neighborhood: the verified member ids plus whatever
+/// exact distances the verifying oracle had on hand (upper-bound-certified
+/// accepts carry `None` — no engine call ever produced their distance).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaterializedView {
+    /// Verified members of `N_θ(g)` restricted to the relevant set.
+    pub members: Arc<Vec<GraphId>>,
+    /// `distances[i]` is the exact distance to `members[i]` when known.
+    pub distances: Arc<Vec<Option<f64>>>,
+}
+
+impl MaterializedView {
+    fn bytes(&self) -> usize {
+        std::mem::size_of::<ViewKey>()
+            + std::mem::size_of::<Self>()
+            + self.members.len() * std::mem::size_of::<GraphId>()
+            + self.distances.len() * std::mem::size_of::<Option<f64>>()
+    }
+}
+
+struct ViewInner {
+    lru: Lru<ViewKey, MaterializedView>,
+    /// Query arrivals per `(θ-band, fingerprint)` — the promotion signal.
+    freq: HashMap<(u32, u64), u64>,
+}
+
+/// The materialized view store: a concurrent, frequency-promoted LRU of
+/// verified θ-neighborhoods. See the module docs for keying and soundness.
+pub struct ViewStore {
+    config: CacheConfig,
+    inner: Mutex<ViewInner>,
+}
+
+impl std::fmt::Debug for ViewStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ViewStore")
+            .field("config", &self.config)
+            .field("counters", &self.counters())
+            .finish()
+    }
+}
+
+impl ViewStore {
+    /// An empty store with the given configuration.
+    pub fn new(config: CacheConfig) -> Self {
+        Self {
+            config,
+            inner: Mutex::new(ViewInner {
+                lru: Lru::new(),
+                freq: HashMap::new(),
+            }),
+        }
+    }
+
+    /// The store's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Registers one query arrival for `(θ, scope)` — called once per
+    /// session run, *not* per neighborhood. The promotion policy counts
+    /// these arrivals pooled by [`theta_band`]: materialization starts only
+    /// once a band has proven hot, so a one-shot query costs no memory.
+    pub fn note_query(&self, scope: ViewScope, theta: f64) {
+        let mut inner = self.inner.lock();
+        *inner
+            .freq
+            .entry((theta_band(theta), scope.fingerprint))
+            .or_insert(0) += 1;
+    }
+
+    /// Whether the promotion policy currently allows materializing for
+    /// `(θ, scope)`.
+    fn promoted(inner: &ViewInner, cfg: &CacheConfig, scope: ViewScope, theta: f64) -> bool {
+        let seen = inner
+            .freq
+            .get(&(theta_band(theta), scope.fingerprint))
+            .copied()
+            .unwrap_or(0);
+        seen >= cfg.promote_after.max(1)
+    }
+
+    /// Looks up the materialized neighborhood of `graph` at exactly `θ`
+    /// under `scope`. Counts one lookup (hit or miss).
+    pub fn lookup(&self, scope: ViewScope, theta: f64, graph: GraphId) -> Option<MaterializedView> {
+        let key = ViewKey {
+            epoch: scope.epoch,
+            theta_bits: theta.to_bits(),
+            fingerprint: scope.fingerprint,
+            graph,
+        };
+        self.inner.lock().lru.get(&key, self.config.ttl)
+    }
+
+    /// Offers a freshly verified neighborhood for materialization; it is
+    /// stored only when the promotion policy has seen enough arrivals for
+    /// this `(θ-band, fingerprint)`. Returns whether it was stored.
+    pub fn record(
+        &self,
+        scope: ViewScope,
+        theta: f64,
+        graph: GraphId,
+        members: &[GraphId],
+        distances: &[Option<f64>],
+    ) -> bool {
+        debug_assert_eq!(members.len(), distances.len());
+        let mut inner = self.inner.lock();
+        if !Self::promoted(&inner, &self.config, scope, theta) {
+            return false;
+        }
+        let key = ViewKey {
+            epoch: scope.epoch,
+            theta_bits: theta.to_bits(),
+            fingerprint: scope.fingerprint,
+            graph,
+        };
+        let view = MaterializedView {
+            members: Arc::new(members.to_vec()),
+            distances: Arc::new(distances.to_vec()),
+        };
+        let bytes = view.bytes();
+        inner.lru.insert(key, view, bytes, self.config.capacity);
+        true
+    }
+
+    /// Drops every materialized view (the wholesale epoch-bump
+    /// invalidation); counters and promotion frequencies are kept — history
+    /// is monotone, and a hot query family stays hot across epochs. Returns
+    /// how many entries were dropped.
+    pub fn invalidate_all(&self) -> u64 {
+        self.inner.lock().lru.invalidate_all()
+    }
+
+    /// Atomic counter snapshot (conservation holds exactly; see
+    /// [`CacheCounters`]).
+    pub fn counters(&self) -> CacheCounters {
+        self.inner.lock().lru.counters()
+    }
+
+    /// Approximate resident bytes of the materialized views.
+    pub fn memory_bytes(&self) -> usize {
+        self.inner.lock().lru.bytes
+    }
+}
+
+/// Key of one memoized answer: snapshot epoch, exact `(θ, k)`, and the
+/// query fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AnswerKey {
+    /// Mutation epoch of the index snapshot the answer was computed on.
+    pub epoch: u64,
+    /// `θ.to_bits()` of the run.
+    pub theta_bits: u64,
+    /// Answer-set budget `k`.
+    pub k: usize,
+    /// [`query_fingerprint`] of the relevant set.
+    pub fingerprint: u64,
+}
+
+/// The cross-session answer cache: memoizes whole
+/// [`crate::QuerySession::run`] results. Epoch keying makes a stale serve
+/// impossible (see module docs); [`AnswerCache::invalidate_all`] reclaims
+/// the memory wholesale when the serving layer swaps in a mutated index.
+pub struct AnswerCache {
+    config: CacheConfig,
+    inner: Mutex<Lru<AnswerKey, Arc<AnswerSet>>>,
+}
+
+impl std::fmt::Debug for AnswerCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnswerCache")
+            .field("config", &self.config)
+            .field("counters", &self.counters())
+            .finish()
+    }
+}
+
+fn answer_bytes(a: &AnswerSet) -> usize {
+    std::mem::size_of::<AnswerKey>()
+        + std::mem::size_of::<AnswerSet>()
+        + a.ids.len() * std::mem::size_of::<GraphId>()
+        + a.pi_trajectory.len() * std::mem::size_of::<f64>()
+}
+
+impl AnswerCache {
+    /// An empty cache with the given configuration (`promote_after` is
+    /// ignored — answers are always worth one slot).
+    pub fn new(config: CacheConfig) -> Self {
+        Self {
+            config,
+            inner: Mutex::new(Lru::new()),
+        }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Looks a memoized answer up. Counts one lookup (hit or miss).
+    pub fn get(&self, key: &AnswerKey) -> Option<Arc<AnswerSet>> {
+        self.inner.lock().get(key, self.config.ttl)
+    }
+
+    /// Memoizes an answer under `key`.
+    pub fn insert(&self, key: AnswerKey, answer: Arc<AnswerSet>) {
+        let bytes = answer_bytes(&answer);
+        self.inner
+            .lock()
+            .insert(key, answer, bytes, self.config.capacity);
+    }
+
+    /// Drops every memoized answer (counters are kept — history is
+    /// monotone). Returns how many entries were dropped.
+    pub fn invalidate_all(&self) -> u64 {
+        self.inner.lock().invalidate_all()
+    }
+
+    /// Atomic counter snapshot (conservation holds exactly).
+    pub fn counters(&self) -> CacheCounters {
+        self.inner.lock().counters()
+    }
+
+    /// Approximate resident bytes of the memoized answers.
+    pub fn memory_bytes(&self) -> usize {
+        self.inner.lock().bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scope(epoch: u64) -> ViewScope {
+        ViewScope {
+            epoch,
+            fingerprint: query_fingerprint(&[1, 2, 3]),
+        }
+    }
+
+    fn eager() -> CacheConfig {
+        CacheConfig {
+            promote_after: 1,
+            ..CacheConfig::default()
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_order_insensitive_and_set_sensitive() {
+        assert_eq!(query_fingerprint(&[3, 1, 2]), query_fingerprint(&[1, 2, 3]));
+        assert_ne!(query_fingerprint(&[1, 2]), query_fingerprint(&[1, 2, 3]));
+        assert_ne!(query_fingerprint(&[]), query_fingerprint(&[0]));
+    }
+
+    #[test]
+    fn view_store_round_trip_and_conservation() {
+        let s = ViewStore::new(eager());
+        let sc = scope(0);
+        s.note_query(sc, 2.0);
+        assert!(s.lookup(sc, 2.0, 7).is_none());
+        assert!(s.record(sc, 2.0, 7, &[1, 3], &[Some(0.5), None]));
+        let v = s.lookup(sc, 2.0, 7).expect("recorded view must hit");
+        assert_eq!(*v.members, vec![1, 3]);
+        assert_eq!(*v.distances, vec![Some(0.5), None]);
+        // Exact-θ keying: a different θ in the same band misses.
+        assert!(s.lookup(sc, 2.0 + 1e-9, 7).is_none());
+        // Epoch keying: a different epoch misses.
+        assert!(s.lookup(scope(1), 2.0, 7).is_none());
+        let c = s.counters();
+        assert_eq!(c.lookups, c.hits + c.misses);
+        assert_eq!((c.lookups, c.hits), (4, 1));
+        assert!(c.memory_bytes > 0);
+    }
+
+    #[test]
+    fn promotion_policy_gates_materialization() {
+        let cfg = CacheConfig {
+            promote_after: 2,
+            ..CacheConfig::default()
+        };
+        let s = ViewStore::new(cfg);
+        let sc = scope(0);
+        s.note_query(sc, 2.0);
+        assert!(
+            !s.record(sc, 2.0, 7, &[1], &[None]),
+            "first arrival is cold"
+        );
+        assert!(s.lookup(sc, 2.0, 7).is_none());
+        s.note_query(sc, 2.0);
+        assert!(s.record(sc, 2.0, 7, &[1], &[None]), "second arrival is hot");
+        assert!(s.lookup(sc, 2.0, 7).is_some());
+        // Band pooling: a nearby θ in the same f32 band shares the heat.
+        assert!(s.record(sc, 2.0, 9, &[2], &[None]));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent_and_counts() {
+        let s = ViewStore::new(CacheConfig {
+            capacity: 2,
+            promote_after: 1,
+            ..CacheConfig::default()
+        });
+        let sc = scope(0);
+        s.note_query(sc, 1.0);
+        for g in 0..2u32 {
+            assert!(s.record(sc, 1.0, g, &[g], &[None]));
+        }
+        // Touch graph 0 so graph 1 is the LRU victim.
+        assert!(s.lookup(sc, 1.0, 0).is_some());
+        assert!(s.record(sc, 1.0, 2, &[2], &[None]));
+        assert!(s.lookup(sc, 1.0, 0).is_some());
+        assert!(s.lookup(sc, 1.0, 1).is_none(), "LRU victim must be gone");
+        assert!(s.lookup(sc, 1.0, 2).is_some());
+        let c = s.counters();
+        assert_eq!(c.entries, 2);
+        assert_eq!(c.insertions, 3);
+        assert_eq!(c.evictions, 1);
+        assert_eq!(c.lookups, c.hits + c.misses);
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_store() {
+        let s = ViewStore::new(CacheConfig {
+            capacity: 0,
+            promote_after: 1,
+            ..CacheConfig::default()
+        });
+        let sc = scope(0);
+        s.note_query(sc, 1.0);
+        assert!(s.record(sc, 1.0, 0, &[0], &[None]));
+        assert!(s.lookup(sc, 1.0, 0).is_none());
+        assert_eq!(s.counters().entries, 0);
+        assert_eq!(s.memory_bytes(), 0);
+    }
+
+    #[test]
+    fn ttl_expiry_counts_as_eviction_then_miss() {
+        let s = AnswerCache::new(CacheConfig {
+            ttl: Some(Duration::ZERO),
+            ..CacheConfig::default()
+        });
+        let key = AnswerKey {
+            epoch: 0,
+            theta_bits: 1.0f64.to_bits(),
+            k: 3,
+            fingerprint: 9,
+        };
+        s.insert(key, Arc::new(AnswerSet::default()));
+        assert!(s.get(&key).is_none(), "zero TTL must expire immediately");
+        let c = s.counters();
+        assert_eq!((c.evictions, c.misses, c.hits), (1, 1, 0));
+        assert_eq!(c.entries, 0);
+    }
+
+    #[test]
+    fn invalidate_all_drops_entries_keeps_history() {
+        let s = AnswerCache::new(CacheConfig::default());
+        for k in 0..5usize {
+            s.insert(
+                AnswerKey {
+                    epoch: 0,
+                    theta_bits: 0,
+                    k,
+                    fingerprint: 1,
+                },
+                Arc::new(AnswerSet::default()),
+            );
+        }
+        let before = s.counters();
+        assert_eq!(s.invalidate_all(), 5);
+        let after = s.counters();
+        assert_eq!(after.entries, 0);
+        assert_eq!(after.memory_bytes, 0);
+        assert_eq!(after.invalidated, 5);
+        assert_eq!(after.insertions, before.insertions, "history is monotone");
+        assert_eq!(s.invalidate_all(), 0, "second invalidate finds nothing");
+    }
+
+    #[test]
+    fn answer_cache_round_trip() {
+        let s = AnswerCache::new(CacheConfig::default());
+        let key = AnswerKey {
+            epoch: 3,
+            theta_bits: 2.0f64.to_bits(),
+            k: 4,
+            fingerprint: 11,
+        };
+        let ans = Arc::new(AnswerSet {
+            ids: vec![5, 9],
+            covered: 7,
+            relevant: 9,
+            pi_trajectory: vec![0.5, 0.77],
+        });
+        assert!(s.get(&key).is_none());
+        s.insert(key, Arc::clone(&ans));
+        let got = s.get(&key).expect("inserted answer must hit");
+        assert_eq!(format!("{got:?}"), format!("{ans:?}"));
+        // A different epoch, θ, k, or fingerprint all miss.
+        assert!(s.get(&AnswerKey { epoch: 4, ..key }).is_none());
+        assert!(s.get(&AnswerKey { k: 5, ..key }).is_none());
+        let c = s.counters();
+        assert_eq!(c.lookups, c.hits + c.misses);
+        assert!(c.memory_bytes > 0);
+    }
+}

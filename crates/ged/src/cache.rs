@@ -697,22 +697,37 @@ impl DistanceOracle {
     /// of `distance_computations` / `within_rejections` / `cache_hits` /
     /// `ub_accepts`, and the tier breakdown never exceeds the rejection total.
     ///
-    /// Only meaningful at a quiescent point (no concurrent oracle traffic).
-    /// Compiled only under the `invariant-audit` feature.
+    /// Sound under concurrent oracle traffic: a request ticks `requests`
+    /// before its outcome counter, so a snapshot can transiently observe
+    /// `outcomes < requests` while calls are in flight. A genuine leak (a
+    /// request that finished without an outcome) is *permanent*, so the
+    /// audit retries across short yields and only aborts when the imbalance
+    /// never clears. Compiled only under the `invariant-audit` feature.
     #[cfg(feature = "invariant-audit")]
     pub fn audit_counter_conservation(&self) {
-        let s = self.stats();
-        // Audit-only tally read at a quiescent point.
-        let q = self.requests.load(Ordering::Relaxed);
-        crate::audit_invariant!(
-            s.distance_computations + s.within_rejections + s.cache_hits + s.ub_accepts == q,
-            "oracle counter conservation: {} computations + {} rejections + {} hits + {} ub accepts != {} requests",
-            s.distance_computations,
-            s.within_rejections,
-            s.cache_hits,
-            s.ub_accepts,
-            q
-        );
+        const SAMPLES: usize = 64;
+        let mut s = self.stats();
+        for attempt in 1..=SAMPLES {
+            // Audit-only tally, read after the outcomes: any in-flight
+            // request missing from the outcome sums is still ticked here,
+            // so a clean snapshot shows exact equality.
+            let q = self.requests.load(Ordering::Relaxed);
+            if s.distance_computations + s.within_rejections + s.cache_hits + s.ub_accepts == q {
+                break;
+            }
+            crate::audit_invariant!(
+                attempt < SAMPLES,
+                "oracle counter conservation: {} computations + {} rejections + {} hits + {} ub accepts != {} requests (imbalance persisted across {} samples)",
+                s.distance_computations,
+                s.within_rejections,
+                s.cache_hits,
+                s.ub_accepts,
+                q,
+                SAMPLES
+            );
+            std::thread::yield_now();
+            s = self.stats();
+        }
         let t = self.tier_stats();
         crate::audit_invariant!(
             t.size_rejects + t.label_rejects + t.degree_rejects + t.vantage_lb_rejects

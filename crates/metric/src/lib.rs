@@ -20,4 +20,4 @@ pub mod vantage;
 pub use bitset::Bitset;
 pub use space::DistanceMatrix;
 pub use stats::DistanceDistribution;
-pub use vantage::VantageTable;
+pub use vantage::{theta_band, VantageTable};

@@ -192,6 +192,13 @@ pub struct LoadSpec {
     pub quantile: f64,
     /// Mixing seed.
     pub seed: u64,
+    /// Zipf-like skew exponent over the `θ × k` combination grid. `0.0`
+    /// (uniform) reproduces the historical schedule byte-exactly; larger
+    /// values concentrate traffic on the first combinations — combination
+    /// `i` (row-major over `thetas × ks`) is drawn with weight
+    /// `1 / (i + 1)^skew`, the shape cache experiments use to model
+    /// production key reuse.
+    pub skew: f64,
 }
 
 /// SplitMix64 finalizer: a cheap, high-quality deterministic mixer.
@@ -209,12 +216,47 @@ impl LoadSpec {
         if self.thetas.is_empty() || self.ks.is_empty() {
             return Vec::new();
         }
+        if self.skew > 0.0 {
+            return self.schedule_skewed(conn);
+        }
         (0..self.requests_per_conn)
             .map(|r| {
                 let h = mix(self.seed ^ ((conn as u64) << 32) ^ (r as u64));
                 let theta = self.thetas[(h % self.thetas.len().max(1) as u64) as usize];
                 let k = self.ks[((h >> 32) % self.ks.len().max(1) as u64) as usize];
                 (theta, k)
+            })
+            .collect()
+    }
+
+    /// Skewed schedule: the flattened `θ × k` grid is sampled with Zipf-like
+    /// weights `1 / (i + 1)^skew` via an inverse-CDF walk over the same
+    /// SplitMix64 stream the uniform path uses — still fully deterministic
+    /// in `(seed, conn, request)`.
+    fn schedule_skewed(&self, conn: usize) -> Vec<(f64, usize)> {
+        let combos: Vec<(f64, usize)> = self
+            .thetas
+            .iter()
+            .flat_map(|&t| self.ks.iter().map(move |&k| (t, k)))
+            .collect();
+        let weights: Vec<f64> = (0..combos.len())
+            .map(|i| 1.0 / ((i + 1) as f64).powf(self.skew))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        (0..self.requests_per_conn)
+            .map(|r| {
+                let h = mix(self.seed ^ ((conn as u64) << 32) ^ (r as u64));
+                let u = (h as f64 / u64::MAX as f64) * total;
+                let mut acc = 0.0;
+                for (i, w) in weights.iter().enumerate() {
+                    acc += w;
+                    if u <= acc {
+                        return combos[i];
+                    }
+                }
+                // Float-accumulation slack: u can exceed the running sum by
+                // an ulp; the last combination is the correct bucket then.
+                combos[combos.len() - 1]
             })
             .collect()
     }
@@ -437,7 +479,55 @@ mod tests {
             ks: vec![2, 4],
             quantile: 0.75,
             seed: 42,
+            skew: 0.0,
         }
+    }
+
+    #[test]
+    fn skewed_schedule_is_deterministic_and_concentrated() {
+        let mut s = spec();
+        s.skew = 1.2;
+        s.requests_per_conn = 100;
+        assert_eq!(s.schedule(0), s.schedule(0));
+        // The head combination must dominate a uniform share (100 / 6 ≈ 17).
+        let head = (s.thetas[0], s.ks[0]);
+        let head_hits = (0..s.connections)
+            .flat_map(|c| s.schedule(c))
+            .filter(|&(t, k)| t.to_bits() == head.0.to_bits() && k == head.1)
+            .count();
+        assert!(
+            head_hits > (s.connections * s.requests_per_conn) / s.thetas.len() / s.ks.len(),
+            "skew 1.2 must over-sample the head combination, got {head_hits}"
+        );
+        // Every drawn combination is from the grid, and unique_queries
+        // still covers the skewed schedule.
+        let uniq = s.unique_queries();
+        for conn in 0..s.connections {
+            for (theta, k) in s.schedule(conn) {
+                assert!(uniq
+                    .iter()
+                    .any(|&(t, kk)| t.to_bits() == theta.to_bits() && kk == k));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_skew_keeps_the_historical_uniform_schedule() {
+        // The uniform path must stay byte-exact so existing expectations
+        // (and cross-version replay comparisons) hold.
+        let s = spec();
+        let first: Vec<(u64, usize)> = s
+            .schedule(0)
+            .into_iter()
+            .map(|(t, k)| (t.to_bits(), k))
+            .collect();
+        let conn = 0u64;
+        let h = mix(s.seed ^ conn);
+        let want0 = (
+            s.thetas[(h % 3) as usize].to_bits(),
+            s.ks[((h >> 32) % 2) as usize],
+        );
+        assert_eq!(first[0], want0);
     }
 
     #[test]

@@ -35,7 +35,9 @@ pub use client::{
     LoadAnswer, LoadReport, LoadSpec,
 };
 pub use metrics::{Endpoint, EndpointCounters, LatencyHistogram, ServerMetrics};
-pub use protocol::{codes, AnswerBody, MutatedBody, Request, Response, ServeError, StatsBody};
-pub use registry::{DatasetRegistry, LoadedDataset, MutationReceipt};
+pub use protocol::{
+    codes, AnswerBody, CacheTierStats, MutatedBody, Request, Response, ServeError, StatsBody,
+};
+pub use registry::{DatasetCaches, DatasetRegistry, LoadedDataset, MutationReceipt};
 pub use server::{start, start_in_memory, ServeConfig, ServerHandle};
 pub use sessions::{LiveSession, SessionManager};

@@ -7,7 +7,7 @@
 //! `serde_json` prints floats via their shortest round-trip representation,
 //! which is what makes server answers byte-comparable to offline answers.
 
-use graphrep_core::{AnswerSet, RunStats};
+use graphrep_core::{AnswerSet, CacheCounters, RunStats};
 use graphrep_graph::GraphId;
 use serde::{Deserialize, Serialize};
 use std::io::{ErrorKind, Read, Write};
@@ -193,10 +193,15 @@ pub struct AnswerBody {
     pub distance_calls: u64,
     /// Server-side wall time of the run in milliseconds.
     pub wall_ms: f64,
+    /// Whether the answer was served from the cross-session answer cache.
+    /// Not part of [`AnswerBody::fingerprint`] — a hit is byte-identical to
+    /// the run it memoized; this flag only describes how it was obtained.
+    pub cached: bool,
 }
 
 impl AnswerBody {
-    /// Packs an offline run result for the wire.
+    /// Packs an offline run result for the wire (`cached: false`; the
+    /// server's cached path sets the flag on a hit).
     pub fn from_run(answer: &AnswerSet, stats: &RunStats) -> Self {
         Self {
             ids: answer.ids.clone(),
@@ -205,6 +210,7 @@ impl AnswerBody {
             pi_trajectory: answer.pi_trajectory.clone(),
             distance_calls: stats.distance_calls,
             wall_ms: duration_ms(stats.wall),
+            cached: false,
         }
     }
 
@@ -279,6 +285,44 @@ pub struct OracleDelta {
     pub vantage_ub_accepts: u64,
 }
 
+/// Counters of one cache tier (view store or answer cache), as served by
+/// [`Response::Stats`]. Conservation identities hold exactly in every
+/// snapshot: `lookups == hits + misses` and `evictions ≤ insertions`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheTierStats {
+    /// Lookup requests served (hit or miss).
+    pub lookups: u64,
+    /// Lookups answered from the store.
+    pub hits: u64,
+    /// Lookups that found nothing usable.
+    pub misses: u64,
+    /// Entries written (including replacements).
+    pub insertions: u64,
+    /// Entries dropped by capacity pressure, TTL expiry, or replacement.
+    pub evictions: u64,
+    /// Entries dropped by wholesale invalidation (mutation epoch bumps).
+    pub invalidated: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Approximate resident bytes of the stored values.
+    pub memory_bytes: usize,
+}
+
+impl From<CacheCounters> for CacheTierStats {
+    fn from(c: CacheCounters) -> Self {
+        Self {
+            lookups: c.lookups,
+            hits: c.hits,
+            misses: c.misses,
+            insertions: c.insertions,
+            evictions: c.evictions,
+            invalidated: c.invalidated,
+            entries: c.entries,
+            memory_bytes: c.memory_bytes,
+        }
+    }
+}
+
 /// Per-dataset registry statistics.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DatasetStats {
@@ -292,6 +336,12 @@ pub struct DatasetStats {
     pub index_source: String,
     /// Oracle activity since the server started serving this dataset.
     pub oracle: OracleDelta,
+    /// Whether the caching layer is on for this dataset.
+    pub cache_enabled: bool,
+    /// Materialized θ-neighborhood view-store counters and memory.
+    pub view_store: CacheTierStats,
+    /// Cross-session answer-cache counters and memory.
+    pub answer_cache: CacheTierStats,
 }
 
 /// Body of [`Response::Stats`]: a full observability snapshot.
@@ -529,12 +579,38 @@ mod tests {
             pi_trajectory: vec![0.1, 1.0 / 3.0, 0.7391304347826086],
             distance_calls: 42,
             wall_ms: 1.25,
+            cached: false,
         };
         let back = round_trip(&Response::Answer(body.clone()));
         match back {
             Response::Answer(b) => {
                 assert_eq!(b, body);
                 assert_eq!(b.fingerprint(), body.fingerprint());
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    /// The `cached` flag is transport metadata: it survives the wire but
+    /// never changes the answer fingerprint, so cache-on and cache-off
+    /// replays compare equal.
+    #[test]
+    fn cached_flag_round_trips_outside_the_fingerprint() {
+        let mut body = AnswerBody {
+            ids: vec![2, 4],
+            covered: 9,
+            relevant: 12,
+            pi_trajectory: vec![0.5, 0.75],
+            distance_calls: 0,
+            wall_ms: 0.01,
+            cached: false,
+        };
+        let fp = body.fingerprint();
+        body.cached = true;
+        match round_trip(&Response::Answer(body.clone())) {
+            Response::Answer(b) => {
+                assert!(b.cached);
+                assert_eq!(b.fingerprint(), fp);
             }
             other => panic!("wrong variant: {other:?}"),
         }

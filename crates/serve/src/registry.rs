@@ -18,7 +18,10 @@
 //! serving a stale snapshot.
 
 use crate::protocol::{DatasetStats, OracleDelta, ServeError};
-use graphrep_core::{MutationOutcome, NbIndex, NbIndexConfig, RelevanceQuery, Scorer};
+use graphrep_core::{
+    AnswerCache, CacheConfig, MutationOutcome, NbIndex, NbIndexConfig, RelevanceQuery, Scorer,
+    ViewStore,
+};
 use graphrep_datagen::{store, Dataset};
 use graphrep_ged::{GedConfig, OracleStats, TierStats};
 use graphrep_graph::{Graph, GraphId};
@@ -63,6 +66,54 @@ struct DatasetState {
     index_source: String,
 }
 
+/// The two cache tiers of one dataset (DESIGN.md §11): the materialized
+/// θ-neighborhood [`ViewStore`] and the cross-session [`AnswerCache`].
+///
+/// Both key every entry on the index's mutation epoch, so correctness never
+/// depends on invalidation; [`DatasetCaches::invalidate_all`] is the memory
+/// measure the mutation path applies after each fork-mutate-swap. Sessions
+/// pinned to the pre-mutation snapshot simply miss afterwards and recompute
+/// from their snapshot, byte-identically.
+#[derive(Debug)]
+pub struct DatasetCaches {
+    enabled: bool,
+    views: Arc<ViewStore>,
+    answers: Arc<AnswerCache>,
+}
+
+impl DatasetCaches {
+    /// Builds both tiers from one config; `capacity == 0` disables caching
+    /// entirely (sessions run the plain uncached path).
+    pub fn new(config: CacheConfig) -> Self {
+        Self {
+            enabled: config.capacity > 0,
+            views: Arc::new(ViewStore::new(config)),
+            answers: Arc::new(AnswerCache::new(config)),
+        }
+    }
+
+    /// Whether caching is on for this dataset.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The materialized view store.
+    pub fn views(&self) -> Arc<ViewStore> {
+        Arc::clone(&self.views)
+    }
+
+    /// The answer cache.
+    pub fn answers(&self) -> Arc<AnswerCache> {
+        Arc::clone(&self.answers)
+    }
+
+    /// Drops every entry in both tiers (counters are kept — monotone
+    /// history). Returns `(views dropped, answers dropped)`.
+    pub fn invalidate_all(&self) -> (u64, u64) {
+        (self.views.invalidate_all(), self.answers.invalidate_all())
+    }
+}
+
 /// One warm-loaded dataset: database, shared NB-Index, and the counter
 /// baselines for delta reporting.
 pub struct LoadedDataset {
@@ -71,6 +122,7 @@ pub struct LoadedDataset {
     /// in-memory datasets.
     dir: Option<PathBuf>,
     state: RwLock<DatasetState>,
+    caches: Arc<DatasetCaches>,
     base_oracle: OracleStats,
     base_tiers: TierStats,
     base_engine_calls: u64,
@@ -152,10 +204,23 @@ impl LoadedDataset {
                 index: Arc::new(index),
                 index_source,
             }),
+            caches: Arc::new(DatasetCaches::new(CacheConfig::default())),
             base_oracle,
             base_tiers,
             base_engine_calls,
         })
+    }
+
+    /// Replaces the cache configuration (consuming builder — call before the
+    /// dataset is registered and shared).
+    pub fn with_cache_config(mut self, config: CacheConfig) -> Self {
+        self.caches = Arc::new(DatasetCaches::new(config));
+        self
+    }
+
+    /// This dataset's cache tiers.
+    pub fn caches(&self) -> &Arc<DatasetCaches> {
+        &self.caches
     }
 
     fn read(&self) -> RwLockReadGuard<'_, DatasetState> {
@@ -229,6 +294,9 @@ impl LoadedDataset {
         };
         st.index_source = format!("mutated (epoch {})", index.epoch());
         st.index = Arc::new(index);
+        // Epoch keys already make the old entries unreachable for sessions
+        // on the new snapshot; dropping them wholesale reclaims the memory.
+        self.caches.invalidate_all();
         self.persist_locked(&st);
         Ok(receipt)
     }
@@ -251,6 +319,7 @@ impl LoadedDataset {
         };
         st.index_source = format!("mutated (epoch {})", index.epoch());
         st.index = Arc::new(index);
+        self.caches.invalidate_all();
         self.persist_locked(&st);
         Ok(receipt)
     }
@@ -315,6 +384,9 @@ impl LoadedDataset {
             index_memory_bytes: memory,
             index_source: source,
             oracle: self.oracle_delta(),
+            cache_enabled: self.caches.enabled(),
+            view_store: self.caches.views.counters().into(),
+            answer_cache: self.caches.answers.counters().into(),
         }
     }
 }
@@ -332,14 +404,27 @@ impl DatasetRegistry {
         Self::default()
     }
 
-    /// Loads and registers the dataset at `dir` under `name`.
+    /// Loads and registers the dataset at `dir` under `name`, with the
+    /// default cache configuration.
     pub fn load_dir(
         &mut self,
         name: &str,
         dir: &Path,
         persist_built: bool,
     ) -> Result<(), ServeError> {
-        let ds = LoadedDataset::open(name, dir, persist_built)?;
+        self.load_dir_with(name, dir, persist_built, CacheConfig::default())
+    }
+
+    /// [`DatasetRegistry::load_dir`] with an explicit cache configuration
+    /// (the `graphrep serve --cache-capacity/--cache-ttl` path).
+    pub fn load_dir_with(
+        &mut self,
+        name: &str,
+        dir: &Path,
+        persist_built: bool,
+        cache: CacheConfig,
+    ) -> Result<(), ServeError> {
+        let ds = LoadedDataset::open(name, dir, persist_built)?.with_cache_config(cache);
         self.map.insert(name.to_owned(), Arc::new(ds));
         Ok(())
     }
@@ -386,6 +471,7 @@ pub fn load_in_memory(name: &str, data: Dataset) -> LoadedDataset {
             index: Arc::new(index),
             index_source: "built".to_owned(),
         }),
+        caches: Arc::new(DatasetCaches::new(CacheConfig::default())),
         base_oracle,
         base_tiers,
         base_engine_calls,

@@ -258,9 +258,15 @@ fn open_session(shared: &Shared, o: OpenBody) -> Response {
     }
     let t0 = Instant::now();
     // Through the index so tombstoned ids are filtered from the relevant set.
-    let session = ds
+    let mut session = ds
         .index_arc()
         .start_session_shared(ds.relevant_for(o.quantile));
+    if ds.caches().enabled() {
+        // Runs on this session serve and materialize θ-neighborhood views;
+        // keys carry the pinned snapshot's epoch, so this stays sound even
+        // for sessions that outlive later mutations.
+        session = session.with_views(ds.caches().views());
+    }
     let relevant = session.relevant().len();
     let id = shared.sessions.insert(o.dataset, session);
     Response::Opened(OpenedBody {
@@ -289,8 +295,27 @@ fn run_query(shared: &Shared, r: RunBody, arrived: Instant) -> Response {
         Some(ms) => CancelToken::with_deadline(arrived + Duration::from_millis(ms)),
         None => CancelToken::never(),
     };
-    match live.session().run_cancellable(r.theta, r.k, &cancel) {
-        Ok((answer, stats)) => Response::Answer(AnswerBody::from_run(&answer, &stats)),
+    let caches = shared
+        .registry
+        .get(live.dataset())
+        .map(|ds| Arc::clone(ds.caches()))
+        .filter(|c| c.enabled());
+    let result = match &caches {
+        Some(c) => live
+            .session()
+            .run_cached_cancellable(r.theta, r.k, &cancel, &c.answers())
+            .map(|(answer, stats, cached)| {
+                let mut body = AnswerBody::from_run(&answer, &stats);
+                body.cached = cached;
+                body
+            }),
+        None => live
+            .session()
+            .run_cancellable(r.theta, r.k, &cancel)
+            .map(|(answer, stats)| AnswerBody::from_run(&answer, &stats)),
+    };
+    match result {
+        Ok(body) => Response::Answer(body),
         Err(_) => err(
             codes::DEADLINE_EXCEEDED,
             format!(

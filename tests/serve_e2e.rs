@@ -36,6 +36,7 @@ fn server_answers_match_offline_at_every_pool_size() {
         ks: vec![2, 4],
         quantile: 0.75,
         seed: 7,
+        skew: 0.0,
     };
     let reference = offline_reference(&registry::load_in_memory("e2e", data), &spec);
 
