@@ -40,6 +40,10 @@ pub struct Token {
     pub text: String,
     /// 1-based source line of the token's first character.
     pub line: usize,
+    /// Byte offset of the token's first character in the source.
+    pub lo: usize,
+    /// Byte offset one past the token's last character.
+    pub hi: usize,
 }
 
 /// One comment (line or block) with its line span.
@@ -68,6 +72,15 @@ pub struct Lexed {
 /// lexer never fails (a lint driver must degrade gracefully on odd input).
 pub fn lex(src: &str) -> Lexed {
     let b: Vec<char> = src.chars().collect();
+    // Byte offset of each char index (plus one-past-the-end), so tokens can
+    // carry exact byte spans while the scanner works in char indices.
+    let mut byte_of: Vec<usize> = Vec::with_capacity(b.len() + 1);
+    let mut acc = 0usize;
+    for &c in &b {
+        byte_of.push(acc);
+        acc += c.len_utf8();
+    }
+    byte_of.push(acc);
     let mut out = Lexed::default();
     let mut i = 0usize;
     let mut line = 1usize;
@@ -164,6 +177,8 @@ pub fn lex(src: &str) -> Lexed {
                     kind: TokenKind::Ident,
                     text: b[start..e].iter().collect(),
                     line,
+                    lo: byte_of[i],
+                    hi: byte_of[e],
                 });
                 i = e;
                 continue;
@@ -215,6 +230,8 @@ pub fn lex(src: &str) -> Lexed {
                     kind: TokenKind::Str,
                     text: String::new(),
                     line: tok_line,
+                    lo: byte_of[i],
+                    hi: byte_of[e.min(n)],
                 });
                 i = e;
                 continue;
@@ -224,6 +241,7 @@ pub fn lex(src: &str) -> Lexed {
         // String literals.
         if c == '"' {
             let tok_line = line;
+            let start = i;
             i += 1;
             while i < n {
                 if b[i] == '\\' {
@@ -243,6 +261,8 @@ pub fn lex(src: &str) -> Lexed {
                 kind: TokenKind::Str,
                 text: String::new(),
                 line: tok_line,
+                lo: byte_of[start],
+                hi: byte_of[i],
             });
             continue;
         }
@@ -256,6 +276,8 @@ pub fn lex(src: &str) -> Lexed {
                         kind: TokenKind::Char,
                         text: String::new(),
                         line,
+                        lo: byte_of[i],
+                        hi: byte_of[i + 3],
                     });
                     i += 3;
                     continue;
@@ -269,6 +291,8 @@ pub fn lex(src: &str) -> Lexed {
                     kind: TokenKind::Lifetime,
                     text: b[start..j].iter().collect(),
                     line,
+                    lo: byte_of[i],
+                    hi: byte_of[j],
                 });
                 i = j;
                 continue;
@@ -292,6 +316,8 @@ pub fn lex(src: &str) -> Lexed {
                 kind: TokenKind::Char,
                 text: String::new(),
                 line: tok_line,
+                lo: byte_of[i],
+                hi: byte_of[j.min(n)],
             });
             i = j;
             continue;
@@ -306,6 +332,8 @@ pub fn lex(src: &str) -> Lexed {
                 kind: TokenKind::Ident,
                 text: b[start..i].iter().collect(),
                 line,
+                lo: byte_of[start],
+                hi: byte_of[i],
             });
             continue;
         }
@@ -378,6 +406,8 @@ pub fn lex(src: &str) -> Lexed {
                 },
                 text: b[start..i].iter().collect(),
                 line,
+                lo: byte_of[start],
+                hi: byte_of[i],
             });
             continue;
         }
@@ -386,6 +416,8 @@ pub fn lex(src: &str) -> Lexed {
             kind: TokenKind::Punct(c),
             text: c.to_string(),
             line,
+            lo: byte_of[i],
+            hi: byte_of[i + 1],
         });
         i += 1;
     }

@@ -19,6 +19,8 @@
 #![warn(missing_docs)]
 
 pub mod lexer;
+pub mod lockgraph;
+pub mod parser;
 pub mod report;
 pub mod rules;
 
@@ -82,9 +84,17 @@ pub fn collect_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(out)
 }
 
-/// Runs the full lint pass over the workspace rooted at `root`.
+/// Runs the full lint pass over the workspace rooted at `root`: the lexical
+/// rules (G001–G007) per file, then the flow-aware lock analysis (G008/G009)
+/// across all non-test files, with allow-directives applied to both.
 pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+    lint_workspace_with(root, &lockgraph::SinkConfig::default())
+}
+
+/// [`lint_workspace`] with a caller-supplied blocking-sink configuration.
+pub fn lint_workspace_with(root: &Path, sinks: &lockgraph::SinkConfig) -> std::io::Result<Report> {
     let mut report = Report::default();
+    let mut lock_inputs: Vec<lockgraph::SourceFile> = Vec::new();
     for path in collect_sources(root)? {
         let rel = path
             .strip_prefix(root)
@@ -102,7 +112,31 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
         report.checked_files += 1;
         report.findings.extend(findings);
         report.suppressed.extend(suppressed);
+        lock_inputs.push(lockgraph::SourceFile {
+            rel,
+            crate_name: scope.crate_name,
+            src,
+        });
     }
+    let analysis = lockgraph::analyze(&lock_inputs, sinks);
+    // Group the lock findings per file and run them through that file's
+    // allow-directives, so G008/G009 use the same escape hatch as G001–G007.
+    let mut by_file: std::collections::BTreeMap<String, Vec<rules::Finding>> =
+        std::collections::BTreeMap::new();
+    for f in analysis.findings {
+        by_file.entry(f.file.clone()).or_default().push(f);
+    }
+    for (file, findings) in by_file {
+        let src = lock_inputs
+            .iter()
+            .find(|s| s.rel == file)
+            .map(|s| s.src.clone())
+            .unwrap_or_default();
+        let (kept, suppressed) = rules::apply_allows(&file, &src, findings);
+        report.findings.extend(kept);
+        report.suppressed.extend(suppressed);
+    }
+    report.lock_graph = Some(analysis.graph);
     report.normalize();
     Ok(report)
 }

@@ -2,29 +2,66 @@
 
 #![deny(unsafe_code)]
 
-use graphrep_check::{lint_workspace, workspace_root};
+use graphrep_check::lockgraph::SinkConfig;
+use graphrep_check::report::Report;
+use graphrep_check::{lint_workspace_with, workspace_root};
+use std::path::Path;
 use std::process::{Command, ExitCode};
 
-const USAGE: &str = "usage: graphrep-check <lint|audit|all> [--json]
+const USAGE: &str =
+    "usage: graphrep-check <lint|audit|all> [--json] [--sink NAME]... [--budget FILE]
 
-  lint    run the G001-G007 lint rules over all workspace sources
-  audit   run the invariant-audit test suite (cargo test --features invariant-audit)
-  all     lint, then audit
-  --json  (lint) emit the machine-readable JSON report instead of text
+  lint           run the G001-G009 lint rules over all workspace sources
+  audit          run the invariant-audit test suite (cargo test --features invariant-audit)
+  all            lint, then audit
+  --json         (lint) emit the machine-readable JSON report instead of text
+  --sink NAME    (lint) treat NAME as an additional G008 blocking sink; repeatable
+  --budget FILE  (lint) check the report against a flat JSON budget file with
+                 integer keys g008_max, g009_max, nodes_min, edges_exact
+                 (see ci/lock_analysis.json); any breach fails the run
 ";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
+    let mut sinks: Vec<String> = Vec::new();
+    let mut budget: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--sink" => match it.next() {
+                Some(v) => sinks.push(v.clone()),
+                None => {
+                    eprintln!("--sink needs a function name");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--budget" => match it.next() {
+                Some(v) => budget = Some(v.clone()),
+                None => {
+                    eprintln!("--budget needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            _ => {}
+        }
+    }
     let cmd = args
         .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(String::as_str);
+        .enumerate()
+        .find(|(i, a)| {
+            !a.starts_with("--")
+                && !matches!(
+                    i.checked_sub(1).map(|p| args[p].as_str()),
+                    Some("--sink") | Some("--budget")
+                )
+        })
+        .map(|(_, a)| a.as_str());
     match cmd {
-        Some("lint") => run_lint(json),
+        Some("lint") => run_lint(json, &sinks, budget.as_deref()),
         Some("audit") => run_audit(),
         Some("all") => {
-            let lint = run_lint(json);
+            let lint = run_lint(json, &sinks, budget.as_deref());
             let audit = run_audit();
             if lint == ExitCode::SUCCESS && audit == ExitCode::SUCCESS {
                 ExitCode::SUCCESS
@@ -39,16 +76,22 @@ fn main() -> ExitCode {
     }
 }
 
-fn run_lint(json: bool) -> ExitCode {
+fn run_lint(json: bool, extra_sinks: &[String], budget: Option<&str>) -> ExitCode {
     let root = workspace_root();
-    match lint_workspace(&root) {
+    let mut cfg = SinkConfig::default();
+    cfg.any_args.extend(extra_sinks.iter().cloned());
+    match lint_workspace_with(&root, &cfg) {
         Ok(report) => {
             if json {
                 print!("{}", report.to_json());
             } else {
                 print!("{}", report.to_text());
             }
-            if report.is_clean() {
+            let budget_ok = match budget {
+                Some(path) => check_budget(&report, Path::new(path)),
+                None => true,
+            };
+            if report.is_clean() && budget_ok {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::FAILURE
@@ -59,6 +102,107 @@ fn run_lint(json: bool) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Checks the lint report against the pinned lock-analysis budget.
+///
+/// The budget file is a flat JSON object of integer fields, so the parser
+/// below can stay a few lines of string splitting instead of a JSON library:
+/// `g008_max` / `g009_max` cap the finding counts for those rules,
+/// `nodes_min` is the least number of lock sites the workspace sweep must
+/// discover (a collapse here means the extractor silently lost coverage),
+/// and `edges_exact` pins the acquisition-edge count so any new lock-order
+/// edge shows up as an explicit budget update in review.
+fn check_budget(report: &Report, path: &Path) -> bool {
+    let raw = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("budget: cannot read {}: {e}", path.display());
+            return false;
+        }
+    };
+    let fields = match parse_flat_budget(&raw) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("budget: {}: {e}", path.display());
+            return false;
+        }
+    };
+    let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|&(_, v)| v);
+    let mut ok = true;
+    let count = |rule: &str| report.findings.iter().filter(|f| f.rule == rule).count();
+    for (key, rule) in [("g008_max", "G008"), ("g009_max", "G009")] {
+        if let Some(max) = get(key) {
+            let n = count(rule);
+            if n > max {
+                eprintln!("budget: {n} {rule} finding(s), budget allows {max}");
+                ok = false;
+            }
+        }
+    }
+    let (nodes, edges) = match &report.lock_graph {
+        Some(g) => (g.nodes.len(), g.edges.len()),
+        None => (0, 0),
+    };
+    if let Some(min) = get("nodes_min") {
+        if nodes < min {
+            eprintln!("budget: lock graph has {nodes} site(s), budget requires at least {min}");
+            ok = false;
+        }
+    }
+    if let Some(exact) = get("edges_exact") {
+        if edges != exact {
+            eprintln!(
+                "budget: lock graph has {edges} edge(s), budget pins exactly {exact} \
+                 (new lock-order edges must be reviewed and the budget updated)"
+            );
+            ok = false;
+        }
+    }
+    if ok {
+        eprintln!(
+            "budget: ok ({} site(s), {} edge(s), {} G008, {} G009)",
+            nodes,
+            edges,
+            count("G008"),
+            count("G009")
+        );
+    }
+    ok
+}
+
+/// Parses a flat `{"key": 123, ...}` object into (key, value) pairs.
+///
+/// Only the shape the budget file uses is accepted — string keys, unsigned
+/// integer values, no nesting — anything else is a hard error so a malformed
+/// budget cannot silently pass.
+fn parse_flat_budget(raw: &str) -> Result<Vec<(String, usize)>, String> {
+    let body = raw.trim();
+    let body = body
+        .strip_prefix('{')
+        .and_then(|b| b.strip_suffix('}'))
+        .ok_or("expected a single flat JSON object")?;
+    let mut out = Vec::new();
+    for part in body.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (key, val) = part
+            .split_once(':')
+            .ok_or_else(|| format!("expected \"key\": value, got `{part}`"))?;
+        let key = key
+            .trim()
+            .strip_prefix('"')
+            .and_then(|k| k.strip_suffix('"'))
+            .ok_or_else(|| format!("key is not a JSON string: `{part}`"))?;
+        let val: usize = val
+            .trim()
+            .parse()
+            .map_err(|_| format!("value for `{key}` is not an unsigned integer"))?;
+        out.push((key.to_string(), val));
+    }
+    Ok(out)
 }
 
 fn run_audit() -> ExitCode {

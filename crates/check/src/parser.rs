@@ -1,0 +1,1169 @@
+//! A lightweight recursive-descent parser over [`crate::lexer`].
+//!
+//! This is *not* a full Rust grammar: it recovers exactly the structure the
+//! flow-aware rules (G008/G009, see [`crate::lockgraph`]) need —
+//!
+//! * an **item tree** (structs with typed fields, enums, traits, impls with
+//!   their methods, free functions, inline modules) with token/byte spans,
+//! * **function bodies** as statement lists, where every statement records
+//!   its interleaved token runs and nested blocks in source order (blocks
+//!   inside closures, `if`/`match` arms, struct literals — anything brace
+//!   delimited — are parsed recursively), and
+//! * **`let`-binding names**, so lock-guard bindings (`let g = x.lock();`)
+//!   can be tracked to their drop or scope end.
+//!
+//! Everything the grammar does not model (macro bodies, patterns, generics)
+//! is consumed as balanced token runs, so the parser accepts every source
+//! file in the workspace and never panics: unknown constructs degrade to
+//! [`ItemKind::Other`] items or plain expression statements. Spans round-trip
+//! exactly to the lexer's token spans — each node's byte span equals the span
+//! from its first to its last token — which the parse sweep test asserts for
+//! every non-vendored file.
+
+use crate::lexer::{Lexed, Token, TokenKind};
+
+/// A half-open token-index range plus the byte range those tokens cover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// First token index.
+    pub lo: usize,
+    /// One past the last token index.
+    pub hi: usize,
+    /// Byte offset of the first token's first byte.
+    pub byte_lo: usize,
+    /// Byte offset one past the last token's last byte.
+    pub byte_hi: usize,
+}
+
+/// Item visibility, as far as the lint rules care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Vis {
+    /// No `pub`.
+    Private,
+    /// Plain `pub`.
+    Pub,
+    /// `pub(crate)`, `pub(super)`, `pub(in …)`.
+    Restricted,
+}
+
+/// One struct field: name and the raw text of its type.
+#[derive(Debug, Clone)]
+pub struct FieldDef {
+    /// Field name.
+    pub name: String,
+    /// Type text, tokens joined with spaces (e.g. `Arc < NbIndex >`).
+    pub ty: String,
+    /// Field span (name through type).
+    pub span: Span,
+}
+
+/// One function or method.
+#[derive(Debug)]
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// Visibility of the `fn` item.
+    pub vis: Vis,
+    /// Parameter list: (pattern name, type text). `self` params use "self".
+    pub params: Vec<(String, String)>,
+    /// Return type text ("" for unit).
+    pub ret: String,
+    /// Body, absent for trait-method signatures.
+    pub body: Option<Block>,
+    /// Span of the whole `fn` item (attributes included).
+    pub span: Span,
+}
+
+/// What kind of item a node is.
+#[derive(Debug)]
+pub enum ItemKind {
+    /// `struct Name { fields }` (unit and tuple structs have empty fields).
+    Struct {
+        /// Type name.
+        name: String,
+        /// Named fields, in declaration order.
+        fields: Vec<FieldDef>,
+    },
+    /// `enum Name { … }`.
+    Enum {
+        /// Type name.
+        name: String,
+    },
+    /// `trait Name { … }` (body not modelled).
+    Trait {
+        /// Trait name.
+        name: String,
+    },
+    /// `impl [Trait for] SelfTy { fns }`.
+    Impl {
+        /// Base identifier of the self type (`Foo` in `impl Foo<T>`).
+        self_ty: String,
+        /// Base identifier of the implemented trait, if any.
+        trait_name: Option<String>,
+        /// Methods and associated functions with bodies.
+        fns: Vec<FnDef>,
+    },
+    /// A free function.
+    Fn(FnDef),
+    /// `mod name;` or `mod name { items }`.
+    Mod {
+        /// Module name.
+        name: String,
+        /// Inline items, `None` for out-of-line `mod name;`.
+        items: Option<Vec<Item>>,
+    },
+    /// Anything else: `use`, `const`, `static`, `type`, macro definitions and
+    /// invocations, inner attributes — consumed as a balanced token run.
+    Other,
+}
+
+/// One item with its span.
+#[derive(Debug)]
+pub struct Item {
+    /// The item's kind and payload.
+    pub kind: ItemKind,
+    /// Span of the item, leading attributes included.
+    pub span: Span,
+}
+
+/// A brace-delimited region: a function body, a nested block, a `match`
+/// body, or a struct literal (the parser does not distinguish — all are
+/// statement soups with recursively parsed sub-blocks).
+#[derive(Debug)]
+pub struct Block {
+    /// Statements in source order.
+    pub stmts: Vec<Stmt>,
+    /// Span including the delimiting braces.
+    pub span: Span,
+}
+
+/// A statement part: a flat token run or a nested block, in source order.
+#[derive(Debug)]
+pub enum StmtPart {
+    /// Token-index range `[lo, hi)` of a flat run (no nested braces).
+    Tokens(usize, usize),
+    /// A nested brace-delimited region.
+    Block(Block),
+}
+
+/// Statement classification.
+#[derive(Debug)]
+pub enum StmtKind {
+    /// `let [mut] name … = …;` — `name` is `None` for destructuring patterns.
+    Let(Option<String>),
+    /// An expression statement (with or without trailing `;`).
+    Expr,
+    /// A nested item (fn, struct, `use`, …) in statement position.
+    Item(Box<Item>),
+}
+
+/// One statement.
+#[derive(Debug)]
+pub struct Stmt {
+    /// What kind of statement.
+    pub kind: StmtKind,
+    /// Span of the whole statement.
+    pub span: Span,
+    /// Interleaved token runs and nested blocks, in source order.
+    pub parts: Vec<StmtPart>,
+}
+
+/// A non-fatal parse diagnostic (the parser always produces a tree).
+#[derive(Debug, Clone)]
+pub struct ParseError {
+    /// 1-based line.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+/// The parsed file.
+#[derive(Debug, Default)]
+pub struct Ast {
+    /// Top-level items, tiling the token stream in order.
+    pub items: Vec<Item>,
+    /// Diagnostics (expected empty for every workspace file).
+    pub errors: Vec<ParseError>,
+}
+
+/// Parses a lexed file into an item/statement tree. Never fails: unknown
+/// constructs degrade to `Other` items and diagnostics in [`Ast::errors`].
+pub fn parse(lexed: &Lexed) -> Ast {
+    let mut p = Parser {
+        toks: &lexed.tokens,
+        pos: 0,
+        errors: Vec::new(),
+    };
+    let mut items = Vec::new();
+    while p.pos < p.toks.len() {
+        let before = p.pos;
+        items.push(p.parse_item());
+        if p.pos == before {
+            // Defensive: guarantee progress on any token stream.
+            p.error("parser made no progress; skipping token");
+            p.pos += 1;
+        }
+    }
+    Ast {
+        items,
+        errors: p.errors,
+    }
+}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+    errors: Vec<ParseError>,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&mut self, msg: &str) {
+        let line = self.toks.get(self.pos).map_or(0, |t| t.line);
+        self.errors.push(ParseError {
+            line,
+            msg: msg.to_string(),
+        });
+    }
+
+    fn at(&self, i: usize) -> Option<&Token> {
+        self.toks.get(i)
+    }
+
+    fn is_punct(&self, i: usize, c: char) -> bool {
+        self.at(i).is_some_and(|t| t.kind == TokenKind::Punct(c))
+    }
+
+    fn is_ident(&self, i: usize, s: &str) -> bool {
+        self.at(i)
+            .is_some_and(|t| t.kind == TokenKind::Ident && t.text == s)
+    }
+
+    fn ident_text(&self, i: usize) -> Option<&str> {
+        self.at(i).and_then(|t| {
+            if t.kind == TokenKind::Ident {
+                Some(t.text.as_str())
+            } else {
+                None
+            }
+        })
+    }
+
+    fn span_from(&self, lo: usize) -> Span {
+        let hi = self.pos.max(lo + 1).min(self.toks.len().max(lo + 1));
+        let byte_lo = self.toks.get(lo).map_or(0, |t| t.lo);
+        let byte_hi = self
+            .toks
+            .get(hi.saturating_sub(1))
+            .map_or(byte_lo, |t| t.hi);
+        Span {
+            lo,
+            hi,
+            byte_lo,
+            byte_hi,
+        }
+    }
+
+    /// Skips a balanced `open … close` group; assumes `pos` is at `open`.
+    fn skip_balanced(&mut self, open: char, close: char) {
+        let mut depth = 0usize;
+        while self.pos < self.toks.len() {
+            if self.is_punct(self.pos, open) {
+                depth += 1;
+            } else if self.is_punct(self.pos, close) {
+                depth -= 1;
+                if depth == 0 {
+                    self.pos += 1;
+                    return;
+                }
+            }
+            self.pos += 1;
+        }
+        self.error("unbalanced delimiter at end of file");
+    }
+
+    /// Skips `<…>` generics if present (balanced on angle tokens).
+    fn skip_generics(&mut self) {
+        if !self.is_punct(self.pos, '<') {
+            return;
+        }
+        let mut depth = 0usize;
+        while self.pos < self.toks.len() {
+            if self.is_punct(self.pos, '<') {
+                depth += 1;
+            } else if self.is_punct(self.pos, '>') {
+                depth -= 1;
+                if depth == 0 {
+                    self.pos += 1;
+                    return;
+                }
+            } else if self.is_punct(self.pos, '-') && self.is_punct(self.pos + 1, '>') {
+                // `->` inside `Fn(..) -> T` bounds: the `>` is not a closer.
+                self.pos += 2;
+                continue;
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Consumes one `#[…]` or `#![…]` attribute; assumes `pos` is at `#`.
+    fn skip_attr(&mut self) {
+        self.pos += 1; // '#'
+        if self.is_punct(self.pos, '!') {
+            self.pos += 1;
+        }
+        if self.is_punct(self.pos, '[') {
+            self.skip_balanced('[', ']');
+        }
+    }
+
+    fn at_attr(&self, i: usize) -> bool {
+        self.is_punct(i, '#') && (self.is_punct(i + 1, '[') || self.is_punct(i + 2, '['))
+    }
+
+    /// Parses one item starting at `pos` (attributes included).
+    fn parse_item(&mut self) -> Item {
+        let lo = self.pos;
+        // Inner attributes `#![…]` stand alone (they scope the enclosing
+        // module, not the next item).
+        if self.is_punct(self.pos, '#') && self.is_punct(self.pos + 1, '!') {
+            self.skip_attr();
+            return Item {
+                kind: ItemKind::Other,
+                span: self.span_from(lo),
+            };
+        }
+        while self.at_attr(self.pos) {
+            self.skip_attr();
+        }
+        let vis = self.parse_vis();
+        // Qualifiers before `fn`.
+        let mut q = self.pos;
+        while self
+            .ident_text(q)
+            .is_some_and(|t| matches!(t, "const" | "async" | "unsafe" | "extern"))
+            || self.at(q).is_some_and(|t| t.kind == TokenKind::Str)
+        {
+            q += 1;
+        }
+        if self.is_ident(q, "fn") {
+            self.pos = q;
+            let f = self.parse_fn(lo, vis);
+            let span = f.span;
+            return Item {
+                kind: ItemKind::Fn(f),
+                span,
+            };
+        }
+        match self.ident_text(self.pos) {
+            Some("struct") => self.parse_struct(lo),
+            Some("enum") | Some("union") => {
+                let is_enum = self.ident_text(self.pos) == Some("enum");
+                self.pos += 1;
+                let name = self.take_ident().unwrap_or_default();
+                self.skip_generics();
+                self.skip_to_item_end();
+                let kind = if is_enum {
+                    ItemKind::Enum { name }
+                } else {
+                    ItemKind::Other
+                };
+                Item {
+                    kind,
+                    span: self.span_from(lo),
+                }
+            }
+            Some("trait") => {
+                self.pos += 1;
+                let name = self.take_ident().unwrap_or_default();
+                self.skip_to_item_end();
+                Item {
+                    kind: ItemKind::Trait { name },
+                    span: self.span_from(lo),
+                }
+            }
+            Some("impl") => self.parse_impl(lo),
+            Some("mod") => {
+                self.pos += 1;
+                let name = self.take_ident().unwrap_or_default();
+                if self.is_punct(self.pos, ';') {
+                    self.pos += 1;
+                    return Item {
+                        kind: ItemKind::Mod { name, items: None },
+                        span: self.span_from(lo),
+                    };
+                }
+                if self.is_punct(self.pos, '{') {
+                    let end = self.matching_brace(self.pos);
+                    self.pos += 1; // '{'
+                    let mut items = Vec::new();
+                    while self.pos < end {
+                        let before = self.pos;
+                        items.push(self.parse_item());
+                        if self.pos == before {
+                            self.pos += 1;
+                        }
+                    }
+                    self.pos = (end + 1).min(self.toks.len());
+                    return Item {
+                        kind: ItemKind::Mod {
+                            name,
+                            items: Some(items),
+                        },
+                        span: self.span_from(lo),
+                    };
+                }
+                self.skip_to_item_end();
+                Item {
+                    kind: ItemKind::Mod { name, items: None },
+                    span: self.span_from(lo),
+                }
+            }
+            _ => {
+                // use, extern crate, const, static, type, macro_rules!,
+                // top-level macro invocations, stray tokens.
+                self.skip_to_item_end();
+                Item {
+                    kind: ItemKind::Other,
+                    span: self.span_from(lo),
+                }
+            }
+        }
+    }
+
+    fn parse_vis(&mut self) -> Vis {
+        if !self.is_ident(self.pos, "pub") {
+            return Vis::Private;
+        }
+        self.pos += 1;
+        if self.is_punct(self.pos, '(') {
+            self.skip_balanced('(', ')');
+            return Vis::Restricted;
+        }
+        Vis::Pub
+    }
+
+    fn take_ident(&mut self) -> Option<String> {
+        let t = self.ident_text(self.pos).map(str::to_string);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Token index of the `}` matching the `{` at `open` (or EOF).
+    fn matching_brace(&self, open: usize) -> usize {
+        let mut depth = 0usize;
+        let mut i = open;
+        while i < self.toks.len() {
+            if self.is_punct(i, '{') {
+                depth += 1;
+            } else if self.is_punct(i, '}') {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            i += 1;
+        }
+        self.toks.len()
+    }
+
+    /// Consumes to the end of a non-structured item: a `;` at depth 0, or a
+    /// balanced `{…}` body (whichever comes first).
+    fn skip_to_item_end(&mut self) {
+        let mut pdepth = 0usize;
+        while self.pos < self.toks.len() {
+            if self.is_punct(self.pos, '(') || self.is_punct(self.pos, '[') {
+                pdepth += 1;
+            } else if self.is_punct(self.pos, ')') || self.is_punct(self.pos, ']') {
+                pdepth = pdepth.saturating_sub(1);
+            } else if pdepth == 0 && self.is_punct(self.pos, ';') {
+                self.pos += 1;
+                return;
+            } else if pdepth == 0 && self.is_punct(self.pos, '{') {
+                self.skip_balanced('{', '}');
+                // `macro_rules! m { … }` and item bodies end here; a trailing
+                // `;` (e.g. `type F = fn() {…};` never occurs) is separate.
+                return;
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn parse_struct(&mut self, lo: usize) -> Item {
+        self.pos += 1; // 'struct'
+        let name = self.take_ident().unwrap_or_default();
+        self.skip_generics();
+        // where clause (rare before braces).
+        while self.pos < self.toks.len()
+            && !self.is_punct(self.pos, '{')
+            && !self.is_punct(self.pos, ';')
+            && !self.is_punct(self.pos, '(')
+        {
+            self.pos += 1;
+        }
+        let mut fields = Vec::new();
+        if self.is_punct(self.pos, '(') {
+            // Tuple struct: consume `(…)` then the `;`.
+            self.skip_balanced('(', ')');
+            while self.pos < self.toks.len() && !self.is_punct(self.pos, ';') {
+                self.pos += 1;
+            }
+            self.pos = (self.pos + 1).min(self.toks.len());
+        } else if self.is_punct(self.pos, ';') {
+            self.pos += 1;
+        } else if self.is_punct(self.pos, '{') {
+            let end = self.matching_brace(self.pos);
+            self.pos += 1;
+            while self.pos < end {
+                while self.pos < end && self.at_attr(self.pos) {
+                    self.skip_attr();
+                }
+                let _ = self.parse_vis();
+                let flo = self.pos;
+                let Some(fname) = self.take_ident() else {
+                    self.pos += 1;
+                    continue;
+                };
+                if !self.is_punct(self.pos, ':') {
+                    continue;
+                }
+                self.pos += 1;
+                // Type runs to the next comma at depth 0 (angles included).
+                let mut ty = String::new();
+                let mut adepth = 0isize;
+                let mut ddepth = 0usize;
+                while self.pos < end {
+                    let t = &self.toks[self.pos];
+                    match t.kind {
+                        TokenKind::Punct('<') => adepth += 1,
+                        TokenKind::Punct('>') => adepth -= 1,
+                        TokenKind::Punct('(') | TokenKind::Punct('[') => ddepth += 1,
+                        TokenKind::Punct(')') | TokenKind::Punct(']') => {
+                            ddepth = ddepth.saturating_sub(1)
+                        }
+                        TokenKind::Punct(',') if adepth <= 0 && ddepth == 0 => break,
+                        _ => {}
+                    }
+                    if !ty.is_empty() {
+                        ty.push(' ');
+                    }
+                    ty.push_str(&t.text);
+                    self.pos += 1;
+                }
+                let fspan = self.span_from(flo);
+                fields.push(FieldDef {
+                    name: fname,
+                    ty,
+                    span: fspan,
+                });
+                if self.is_punct(self.pos, ',') {
+                    self.pos += 1;
+                }
+            }
+            self.pos = (end + 1).min(self.toks.len());
+        }
+        Item {
+            kind: ItemKind::Struct { name, fields },
+            span: self.span_from(lo),
+        }
+    }
+
+    fn parse_impl(&mut self, lo: usize) -> Item {
+        self.pos += 1; // 'impl'
+        self.skip_generics();
+        // Collect the head up to `{`, splitting on `for`.
+        let head_start = self.pos;
+        let mut for_at = None;
+        while self.pos < self.toks.len() && !self.is_punct(self.pos, '{') {
+            if self.is_ident(self.pos, "for") && for_at.is_none() {
+                for_at = Some(self.pos);
+            }
+            if self.is_ident(self.pos, "where") {
+                break;
+            }
+            self.pos += 1;
+        }
+        // Skip where clause.
+        while self.pos < self.toks.len() && !self.is_punct(self.pos, '{') {
+            self.pos += 1;
+        }
+        let base_ident = |toks: &[Token], lo: usize, hi: usize| -> String {
+            toks[lo..hi.min(toks.len())]
+                .iter()
+                .find(|t| {
+                    t.kind == TokenKind::Ident && !matches!(t.text.as_str(), "dyn" | "mut" | "r")
+                })
+                .map(|t| t.text.clone())
+                .unwrap_or_default()
+        };
+        let (trait_name, self_ty) = match for_at {
+            Some(f) => (
+                Some(base_ident(self.toks, head_start, f)),
+                base_ident(self.toks, f + 1, self.pos),
+            ),
+            None => (None, base_ident(self.toks, head_start, self.pos)),
+        };
+        let mut fns = Vec::new();
+        if self.is_punct(self.pos, '{') {
+            let end = self.matching_brace(self.pos);
+            self.pos += 1;
+            while self.pos < end {
+                let ilo = self.pos;
+                while self.pos < end && self.at_attr(self.pos) {
+                    self.skip_attr();
+                }
+                let vis = self.parse_vis();
+                let mut q = self.pos;
+                while self
+                    .ident_text(q)
+                    .is_some_and(|t| matches!(t, "const" | "async" | "unsafe" | "extern"))
+                    || self.at(q).is_some_and(|t| t.kind == TokenKind::Str)
+                {
+                    q += 1;
+                }
+                if self.is_ident(q, "fn") {
+                    self.pos = q;
+                    fns.push(self.parse_fn(ilo, vis));
+                } else {
+                    // Associated const/type, macro call, stray token.
+                    let before = self.pos;
+                    self.skip_to_item_end();
+                    if self.pos == before {
+                        self.pos += 1;
+                    }
+                }
+            }
+            self.pos = (end + 1).min(self.toks.len());
+        }
+        Item {
+            kind: ItemKind::Impl {
+                self_ty,
+                trait_name,
+                fns,
+            },
+            span: self.span_from(lo),
+        }
+    }
+
+    /// Parses a `fn` item; `pos` is at the `fn` keyword (qualifiers already
+    /// consumed), `lo` is the item start (attributes included).
+    fn parse_fn(&mut self, lo: usize, vis: Vis) -> FnDef {
+        self.pos += 1; // 'fn'
+        let name = self.take_ident().unwrap_or_default();
+        self.skip_generics();
+        // Parameters.
+        let mut params = Vec::new();
+        if self.is_punct(self.pos, '(') {
+            let pstart = self.pos + 1;
+            let pend = {
+                // Find matching ')'.
+                let mut depth = 0usize;
+                let mut i = self.pos;
+                loop {
+                    if i >= self.toks.len() {
+                        break i;
+                    }
+                    if self.is_punct(i, '(') {
+                        depth += 1;
+                    } else if self.is_punct(i, ')') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break i;
+                        }
+                    }
+                    i += 1;
+                }
+            };
+            params = self.parse_params(pstart, pend);
+            self.pos = (pend + 1).min(self.toks.len());
+        }
+        // Return type.
+        let mut ret = String::new();
+        if self.is_punct(self.pos, '-') && self.is_punct(self.pos + 1, '>') {
+            self.pos += 2;
+            let mut adepth = 0isize;
+            while self.pos < self.toks.len() {
+                let t = &self.toks[self.pos];
+                match t.kind {
+                    TokenKind::Punct('<') => adepth += 1,
+                    TokenKind::Punct('>') => adepth -= 1,
+                    TokenKind::Punct('{') | TokenKind::Punct(';') if adepth <= 0 => break,
+                    TokenKind::Ident if t.text == "where" && adepth <= 0 => break,
+                    _ => {}
+                }
+                if !ret.is_empty() {
+                    ret.push(' ');
+                }
+                ret.push_str(&t.text);
+                self.pos += 1;
+            }
+        }
+        // Where clause.
+        while self.pos < self.toks.len()
+            && !self.is_punct(self.pos, '{')
+            && !self.is_punct(self.pos, ';')
+        {
+            self.pos += 1;
+        }
+        let body = if self.is_punct(self.pos, '{') {
+            Some(self.parse_block())
+        } else {
+            if self.is_punct(self.pos, ';') {
+                self.pos += 1;
+            }
+            None
+        };
+        FnDef {
+            name,
+            vis,
+            params,
+            ret,
+            body,
+            span: self.span_from(lo),
+        }
+    }
+
+    /// Extracts `(name, type)` pairs from the token range of a param list.
+    fn parse_params(&self, lo: usize, hi: usize) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        let mut i = lo;
+        while i < hi {
+            // One parameter: up to a comma at depth 0.
+            let start = i;
+            let mut adepth = 0isize;
+            let mut ddepth = 0usize;
+            let mut colon = None;
+            while i < hi {
+                match self.toks[i].kind {
+                    TokenKind::Punct('<') => adepth += 1,
+                    TokenKind::Punct('>') => adepth -= 1,
+                    TokenKind::Punct('(') | TokenKind::Punct('[') => ddepth += 1,
+                    TokenKind::Punct(')') | TokenKind::Punct(']') => {
+                        ddepth = ddepth.saturating_sub(1)
+                    }
+                    TokenKind::Punct(',') if adepth <= 0 && ddepth == 0 => break,
+                    // `::` is a path separator, not the param colon.
+                    TokenKind::Punct(':')
+                        if adepth <= 0
+                            && ddepth == 0
+                            && colon.is_none()
+                            && i + 1 < hi
+                            && !self.is_punct(i + 1, ':')
+                            && !(i > start && self.is_punct(i - 1, ':')) =>
+                    {
+                        colon = Some(i);
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+            let seg_end = i;
+            i += 1; // skip ','
+            match colon {
+                Some(c) => {
+                    // Pattern name: last ident before the colon.
+                    let pname = self.toks[start..c]
+                        .iter()
+                        .rev()
+                        .find(|t| t.kind == TokenKind::Ident && t.text != "mut")
+                        .map(|t| t.text.clone())
+                        .unwrap_or_default();
+                    let ty = self.toks[c + 1..seg_end]
+                        .iter()
+                        .map(|t| t.text.as_str())
+                        .collect::<Vec<_>>()
+                        .join(" ");
+                    out.push((pname, ty));
+                }
+                None => {
+                    // `self`, `&self`, `&mut self`, `mut self`.
+                    if self.toks[start..seg_end]
+                        .iter()
+                        .any(|t| t.kind == TokenKind::Ident && t.text == "self")
+                    {
+                        out.push(("self".to_string(), "Self".to_string()));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses a brace-delimited region; `pos` is at `{`.
+    fn parse_block(&mut self) -> Block {
+        let lo = self.pos;
+        let end = self.matching_brace(self.pos);
+        self.pos += 1; // '{'
+        let mut stmts = Vec::new();
+        while self.pos < end {
+            let before = self.pos;
+            stmts.push(self.parse_stmt(end));
+            if self.pos == before {
+                self.pos += 1;
+            }
+        }
+        self.pos = (end + 1).min(self.toks.len());
+        Block {
+            stmts,
+            span: self.span_from(lo),
+        }
+    }
+
+    /// True when the tokens at `i` begin a nested item.
+    fn stmt_is_item(&self, i: usize, end: usize) -> bool {
+        let mut j = i;
+        while j < end && self.at_attr(j) {
+            // Skip one attribute group.
+            let mut depth = 0usize;
+            j += 1; // '#'
+            if self.is_punct(j, '!') {
+                j += 1;
+            }
+            while j < end {
+                if self.is_punct(j, '[') {
+                    depth += 1;
+                } else if self.is_punct(j, ']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        if self.is_ident(j, "pub") {
+            j += 1;
+            if self.is_punct(j, '(') {
+                let mut depth = 0usize;
+                while j < end {
+                    if self.is_punct(j, '(') {
+                        depth += 1;
+                    } else if self.is_punct(j, ')') {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+            }
+        }
+        match self.ident_text(j) {
+            Some("fn") | Some("struct") | Some("enum") | Some("trait") | Some("impl")
+            | Some("mod") | Some("use") | Some("static") | Some("type") => true,
+            Some("const") => {
+                // `const FOO: T = …;` or `const fn` — both items; a `const`
+                // expression (`const { … }`) is not.
+                self.ident_text(j + 1).is_some() || self.is_ident(j + 1, "fn")
+            }
+            Some("macro_rules") => true,
+            Some("extern") => self.is_ident(j + 1, "crate") || self.at(j + 1).is_some(),
+            _ => false,
+        }
+    }
+
+    /// Parses one statement inside a block ending (exclusive) at `end`.
+    fn parse_stmt(&mut self, end: usize) -> Stmt {
+        let lo = self.pos;
+        // Bare semicolons.
+        if self.is_punct(self.pos, ';') {
+            self.pos += 1;
+            return Stmt {
+                kind: StmtKind::Expr,
+                span: self.span_from(lo),
+                parts: vec![StmtPart::Tokens(lo, self.pos)],
+            };
+        }
+        if self.stmt_is_item(self.pos, end) {
+            let item = self.parse_item();
+            let span = self.span_from(lo);
+            return Stmt {
+                kind: StmtKind::Item(Box::new(item)),
+                span,
+                parts: Vec::new(),
+            };
+        }
+        let is_let = self.is_ident(self.pos, "let");
+        let mut let_name = None;
+        if is_let {
+            // `let [mut] ident (: ty)? = …` — capture simple binding names.
+            let mut j = self.pos + 1;
+            if self.is_ident(j, "mut") {
+                j += 1;
+            }
+            if let Some(name) = self.ident_text(j) {
+                if self.is_punct(j + 1, '=')
+                    || self.is_punct(j + 1, ':')
+                    || self.is_ident(j + 1, "else")
+                {
+                    let_name = Some(name.to_string());
+                }
+            }
+        }
+        // Scan to the statement end, collecting flat runs and nested blocks.
+        let mut parts = Vec::new();
+        let mut run_start = self.pos;
+        let mut pdepth = 0usize;
+        let block_leading = matches!(
+            self.ident_text(self.pos),
+            Some("if")
+                | Some("match")
+                | Some("while")
+                | Some("loop")
+                | Some("for")
+                | Some("unsafe")
+        ) || self.is_punct(self.pos, '{');
+        while self.pos < end {
+            if self.is_punct(self.pos, '(') || self.is_punct(self.pos, '[') {
+                pdepth += 1;
+                self.pos += 1;
+                continue;
+            }
+            if self.is_punct(self.pos, ')') || self.is_punct(self.pos, ']') {
+                pdepth = pdepth.saturating_sub(1);
+                self.pos += 1;
+                continue;
+            }
+            if self.is_punct(self.pos, '{') {
+                if run_start < self.pos {
+                    parts.push(StmtPart::Tokens(run_start, self.pos));
+                }
+                let blk = self.parse_block();
+                parts.push(StmtPart::Block(blk));
+                run_start = self.pos;
+                // A block at paren depth 0 ends a block-leading statement,
+                // unless the expression visibly continues.
+                if pdepth == 0 && !is_let && block_leading {
+                    let cont = self.is_ident(self.pos, "else")
+                        || self.is_punct(self.pos, '.')
+                        || self.is_punct(self.pos, '?');
+                    if !cont {
+                        if self.is_punct(self.pos, ';') {
+                            self.pos += 1;
+                        }
+                        break;
+                    }
+                }
+                continue;
+            }
+            if pdepth == 0 && self.is_punct(self.pos, ';') {
+                self.pos += 1;
+                break;
+            }
+            self.pos += 1;
+        }
+        if run_start < self.pos {
+            parts.push(StmtPart::Tokens(run_start, self.pos));
+        }
+        Stmt {
+            kind: if is_let {
+                StmtKind::Let(let_name)
+            } else {
+                StmtKind::Expr
+            },
+            span: self.span_from(lo),
+            parts,
+        }
+    }
+}
+
+/// Walks every span in the tree, calling `f` with (kind-name, span).
+pub fn visit_spans(ast: &Ast, f: &mut dyn FnMut(&'static str, Span)) {
+    fn item(it: &Item, f: &mut dyn FnMut(&'static str, Span)) {
+        f("item", it.span);
+        match &it.kind {
+            ItemKind::Struct { fields, .. } => {
+                for fd in fields {
+                    f("field", fd.span);
+                }
+            }
+            ItemKind::Impl { fns, .. } => {
+                for fd in fns {
+                    f("fn", fd.span);
+                    if let Some(b) = &fd.body {
+                        block(b, f);
+                    }
+                }
+            }
+            ItemKind::Fn(fd) => {
+                f("fn", fd.span);
+                if let Some(b) = &fd.body {
+                    block(b, f);
+                }
+            }
+            ItemKind::Mod {
+                items: Some(items), ..
+            } => {
+                for it in items {
+                    item(it, f);
+                }
+            }
+            _ => {}
+        }
+    }
+    fn block(b: &Block, f: &mut dyn FnMut(&'static str, Span)) {
+        f("block", b.span);
+        for s in &b.stmts {
+            f("stmt", s.span);
+            match &s.kind {
+                StmtKind::Item(it) => item(it, f),
+                _ => {
+                    for p in &s.parts {
+                        if let StmtPart::Block(nb) = p {
+                            block(nb, f);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for it in &ast.items {
+        item(it, f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Ast {
+        parse(&lex(src))
+    }
+
+    #[test]
+    fn items_tile_the_token_stream() {
+        let src = "use std::fmt;\n\nstruct S { a: u32, b: Vec<String> }\n\nimpl S {\n    fn get(&self) -> u32 { self.a }\n}\n\nfn free() {}\n";
+        let ast = parse_src(src);
+        assert!(ast.errors.is_empty(), "{:?}", ast.errors);
+        let n = lex(src).tokens.len();
+        assert_eq!(ast.items.first().unwrap().span.lo, 0);
+        for w in ast.items.windows(2) {
+            assert_eq!(w[0].span.hi, w[1].span.lo);
+        }
+        assert_eq!(ast.items.last().unwrap().span.hi, n);
+    }
+
+    #[test]
+    fn struct_fields_with_types() {
+        let ast = parse_src("pub struct Shard { exact: RwLock<HashMap<u64, f64>>, n: usize }");
+        let ItemKind::Struct { name, fields } = &ast.items[0].kind else {
+            panic!("not a struct: {:?}", ast.items[0].kind);
+        };
+        assert_eq!(name, "Shard");
+        assert_eq!(fields.len(), 2);
+        assert_eq!(fields[0].name, "exact");
+        assert!(fields[0].ty.contains("RwLock"));
+        assert_eq!(fields[1].name, "n");
+        assert_eq!(fields[1].ty, "usize");
+    }
+
+    #[test]
+    fn impl_methods_and_trait_impls() {
+        let src = "impl<T: Clone> Store<T> {\n    pub fn read(&self) -> Guard<'_, T> { self.state.read() }\n}\nimpl Drop for Store<u32> { fn drop(&mut self) {} }\n";
+        let ast = parse_src(src);
+        let ItemKind::Impl {
+            self_ty,
+            trait_name,
+            fns,
+        } = &ast.items[0].kind
+        else {
+            panic!("not an impl");
+        };
+        assert_eq!(self_ty, "Store");
+        assert!(trait_name.is_none());
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "read");
+        assert_eq!(fns[0].vis, Vis::Pub);
+        assert!(fns[0].ret.contains("Guard"));
+        let ItemKind::Impl {
+            self_ty,
+            trait_name,
+            ..
+        } = &ast.items[1].kind
+        else {
+            panic!("not an impl");
+        };
+        assert_eq!(self_ty, "Store");
+        assert_eq!(trait_name.as_deref(), Some("Drop"));
+    }
+
+    #[test]
+    fn let_bindings_and_nested_blocks() {
+        let src = "fn f() {\n    let g = m.lock();\n    let (a, b) = pair();\n    if cond { inner(); } else { other(); }\n    g.push(1);\n}\n";
+        let ast = parse_src(src);
+        let ItemKind::Fn(fd) = &ast.items[0].kind else {
+            panic!()
+        };
+        let body = fd.body.as_ref().unwrap();
+        assert_eq!(body.stmts.len(), 4);
+        assert!(matches!(&body.stmts[0].kind, StmtKind::Let(Some(n)) if n == "g"));
+        assert!(matches!(&body.stmts[1].kind, StmtKind::Let(None)));
+        // The if/else statement carries two nested blocks.
+        let blocks = body.stmts[2]
+            .parts
+            .iter()
+            .filter(|p| matches!(p, StmtPart::Block(_)))
+            .count();
+        assert_eq!(blocks, 2);
+        assert!(matches!(&body.stmts[3].kind, StmtKind::Expr));
+    }
+
+    #[test]
+    fn match_and_struct_literals_become_blocks() {
+        let src = "fn f() -> S {\n    match x { A => 1, B => { two() } };\n    S { a: m.lock().len(), b: 2 }\n}\n";
+        let ast = parse_src(src);
+        let ItemKind::Fn(fd) = &ast.items[0].kind else {
+            panic!()
+        };
+        let body = fd.body.as_ref().unwrap();
+        assert_eq!(body.stmts.len(), 2);
+        for s in &body.stmts {
+            assert!(s.parts.iter().any(|p| matches!(p, StmtPart::Block(_))));
+        }
+    }
+
+    #[test]
+    fn spans_round_trip_to_token_spans() {
+        let src = "struct S { a: u32 }\nimpl S { fn f(&self) -> u32 { let x = 1; x } }\n";
+        let lexed = lex(src);
+        let ast = parse(&lexed);
+        assert!(ast.errors.is_empty());
+        let mut count = 0usize;
+        visit_spans(&ast, &mut |_kind, sp| {
+            count += 1;
+            assert!(sp.lo < sp.hi, "empty span");
+            assert_eq!(sp.byte_lo, lexed.tokens[sp.lo].lo);
+            assert_eq!(sp.byte_hi, lexed.tokens[sp.hi - 1].hi);
+        });
+        assert!(count >= 7, "visited only {count} spans");
+    }
+
+    #[test]
+    fn params_extracted() {
+        let ast = parse_src("fn f(a: u32, m: &Mutex<Vec<u8>>, (x, y): (u8, u8)) {}");
+        let ItemKind::Fn(fd) = &ast.items[0].kind else {
+            panic!()
+        };
+        assert_eq!(fd.params[0], ("a".to_string(), "u32".to_string()));
+        assert_eq!(fd.params[1].0, "m");
+        assert!(fd.params[1].1.contains("Mutex"));
+    }
+
+    #[test]
+    fn mods_recursive_and_macros_opaque() {
+        let src = "mod inner {\n    pub fn f() {}\n}\nmacro_rules! m { ($x:expr) => { $x } }\nthread_local! { static T: u32 = 0; }\n";
+        let ast = parse_src(src);
+        assert!(ast.errors.is_empty(), "{:?}", ast.errors);
+        let ItemKind::Mod {
+            items: Some(items), ..
+        } = &ast.items[0].kind
+        else {
+            panic!("not an inline mod");
+        };
+        assert!(matches!(items[0].kind, ItemKind::Fn(_)));
+    }
+}

@@ -4,6 +4,7 @@
 //! so the check crate stays dependency-free and safe to run before the rest
 //! of the workspace even compiles.
 
+use crate::lockgraph::LockGraph;
 use crate::rules::{Finding, Suppressed};
 
 /// Aggregated lint results over the walked workspace files.
@@ -15,6 +16,9 @@ pub struct Report {
     pub findings: Vec<Finding>,
     /// Directive-suppressed violations, for auditability.
     pub suppressed: Vec<Suppressed>,
+    /// The workspace lock-acquisition graph (None when the lock analysis
+    /// did not run, e.g. single-file lints).
+    pub lock_graph: Option<LockGraph>,
 }
 
 impl Report {
@@ -34,7 +38,7 @@ impl Report {
     /// Machine-readable report for CI.
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(256 + self.findings.len() * 128);
-        s.push_str("{\n  \"version\": 1,\n  \"checked_files\": ");
+        s.push_str("{\n  \"version\": 2,\n  \"checked_files\": ");
         s.push_str(&self.checked_files.to_string());
         s.push_str(",\n  \"findings\": [");
         for (i, f) in self.findings.iter().enumerate() {
@@ -72,7 +76,45 @@ impl Report {
         if !self.suppressed.is_empty() {
             s.push_str("\n  ");
         }
-        s.push_str("]\n}\n");
+        s.push(']');
+        if let Some(g) = &self.lock_graph {
+            s.push_str(",\n  \"lock_graph\": {\n    \"nodes\": [");
+            for (i, n) in g.nodes.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str("\n      {\"name\": ");
+                json_str(&mut s, &n.name);
+                s.push_str(", \"file\": ");
+                json_str(&mut s, &n.file);
+                s.push_str(", \"line\": ");
+                s.push_str(&n.line.to_string());
+                s.push('}');
+            }
+            if !g.nodes.is_empty() {
+                s.push_str("\n    ");
+            }
+            s.push_str("],\n    \"edges\": [");
+            for (i, e) in g.edges.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str("\n      {\"from\": ");
+                json_str(&mut s, &e.from);
+                s.push_str(", \"to\": ");
+                json_str(&mut s, &e.to);
+                s.push_str(", \"file\": ");
+                json_str(&mut s, &e.file);
+                s.push_str(", \"line\": ");
+                s.push_str(&e.line.to_string());
+                s.push('}');
+            }
+            if !g.edges.is_empty() {
+                s.push_str("\n    ");
+            }
+            s.push_str("]\n  }");
+        }
+        s.push_str("\n}\n");
         s
     }
 
@@ -83,6 +125,13 @@ impl Report {
             s.push_str(&format!(
                 "{}:{}: [{}] {}\n",
                 f.file, f.line, f.rule, f.message
+            ));
+        }
+        if let Some(g) = &self.lock_graph {
+            s.push_str(&format!(
+                "lock graph: {} site(s), {} edge(s)\n",
+                g.nodes.len(),
+                g.edges.len()
             ));
         }
         s.push_str(&format!(
@@ -126,6 +175,7 @@ mod tests {
                 message: "say \"no\"".into(),
             }],
             suppressed: vec![],
+            lock_graph: None,
         };
         r.normalize();
         let j = r.to_json();

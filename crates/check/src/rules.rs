@@ -12,6 +12,7 @@
 //! with an empty reason is itself reported (rule `G000`).
 
 use crate::lexer::{lex, Comment, Token, TokenKind};
+use std::collections::BTreeMap;
 
 /// Where a source file sits in the workspace, which decides rule applicability.
 #[derive(Debug, Clone)]
@@ -127,6 +128,37 @@ pub fn lint_source(file: &str, src: &str, scope: &Scope) -> (Vec<Finding>, Vec<S
     (kept, suppressed)
 }
 
+/// Applies this file's allow directives to findings produced
+/// by an out-of-band analysis (the workspace-wide lock rules G008/G009, which
+/// run outside [`lint_source`]). Malformed-directive findings are NOT
+/// re-reported here — [`lint_source`] already owns those.
+pub fn apply_allows(
+    file: &str,
+    src: &str,
+    findings: Vec<Finding>,
+) -> (Vec<Finding>, Vec<Suppressed>) {
+    let lexed = lex(src);
+    let (allows, _g000) = parse_allow_directives(file, &lexed.comments);
+    let mut kept = Vec::new();
+    let mut suppressed = Vec::new();
+    for f in findings {
+        let hit = allows
+            .iter()
+            .find(|a| a.rule == f.rule && a.line <= f.line && f.line <= a.last_covered);
+        match hit {
+            Some(a) => suppressed.push(Suppressed {
+                rule: f.rule,
+                file: f.file,
+                line: f.line,
+                reason: a.reason.clone(),
+            }),
+            None => kept.push(f),
+        }
+    }
+    kept.sort_by_key(|f| (f.line, f.rule));
+    (kept, suppressed)
+}
+
 fn parse_allow_directives(file: &str, comments: &[Comment]) -> (Vec<AllowDirective>, Vec<Finding>) {
     let mut allows = Vec::new();
     let mut findings = Vec::new();
@@ -175,7 +207,7 @@ fn parse_allow_directives(file: &str, comments: &[Comment]) -> (Vec<AllowDirecti
 /// Recognised shape: `#` `[` … `cfg` … `test` … `]`, followed by optional
 /// further attributes, then an item whose body is the next brace-matched
 /// block (or nothing, if a `;` comes first).
-fn test_regions(toks: &[Token]) -> Vec<(usize, usize)> {
+pub(crate) fn test_regions(toks: &[Token]) -> Vec<(usize, usize)> {
     let mut regions = Vec::new();
     let mut i = 0;
     while i + 1 < toks.len() {
@@ -294,8 +326,15 @@ fn rule_g001(file: &str, toks: &[Token], in_test: &dyn Fn(usize) -> bool, out: &
     }
 }
 
-/// G002: atomic `Ordering::X` uses need a justification comment on the same
-/// line or the line directly above.
+/// G002: atomic `Ordering::X` uses need a justification comment — on the same
+/// line, on the line directly above, or carried down from the previous line of
+/// a contiguous run of atomic accesses.
+///
+/// The carry rule exists so a batch of related counters reads as one justified
+/// block: one real comment above the first access covers the consecutive lines
+/// that follow, instead of forcing a filler comment (`// see above`) per line.
+/// Any non-atomic line breaks the run, so the justification can never drift
+/// far from the accesses it explains.
 fn rule_g002(
     file: &str,
     toks: &[Token],
@@ -303,6 +342,10 @@ fn rule_g002(
     in_test: &dyn Fn(usize) -> bool,
     out: &mut Vec<Finding>,
 ) {
+    // First pass: every line with a qualified `Ordering::X` use, and the
+    // ordering name on it (for the message). Requiring the `Ordering::`
+    // qualifier keeps bare idents named `Release` etc. out of the rule.
+    let mut ordering_lines: BTreeMap<usize, &str> = BTreeMap::new();
     for (i, t) in toks.iter().enumerate() {
         if t.kind != TokenKind::Ident
             || !ATOMIC_ORDERINGS.contains(&t.text.as_str())
@@ -310,26 +353,32 @@ fn rule_g002(
         {
             continue;
         }
-        // Require the `Ordering::` qualifier so bare idents named `Release`
-        // etc. in unrelated code do not trip the rule.
         let qualified = i >= 3
             && is_punct(&toks[i - 1], ':')
             && is_punct(&toks[i - 2], ':')
             && toks[i - 3].text == "Ordering";
-        if !qualified {
-            continue;
+        if qualified {
+            ordering_lines.entry(t.line).or_insert(&t.text);
         }
-        let justified = comments
+    }
+    // Second pass in line order: a line is justified directly by a comment, or
+    // transitively when the line immediately above is a justified atomic line.
+    let mut prev: Option<(usize, bool)> = None;
+    for (&line, &name) in &ordering_lines {
+        let direct = comments
             .iter()
-            .any(|c| !c.text.trim().is_empty() && (c.line == t.line || c.end_line + 1 == t.line));
+            .any(|c| !c.text.trim().is_empty() && (c.line == line || c.end_line + 1 == line));
+        let carried = matches!(prev, Some((p, true)) if p + 1 == line);
+        let justified = direct || carried;
+        prev = Some((line, justified));
         if !justified {
             out.push(Finding {
                 rule: "G002",
                 file: file.to_string(),
-                line: t.line,
+                line,
                 message: format!(
-                    "`Ordering::{}` without a justification comment on this or the previous line",
-                    t.text
+                    "`Ordering::{name}` without a justification comment on this line, the line \
+                     above, or carried down a contiguous run of atomic accesses"
                 ),
             });
         }
@@ -395,7 +444,8 @@ fn rule_g004(file: &str, toks: &[Token], in_test: &dyn Fn(usize) -> bool, out: &
     }
 }
 
-/// G005: every plain `pub fn` in core/ged carries a doc comment.
+/// G005: every plain `pub fn` / `pub struct` / `pub enum` / `pub trait` in
+/// the G005 crates carries a doc comment.
 fn rule_g005(
     file: &str,
     toks: &[Token],
@@ -411,7 +461,8 @@ fn rule_g005(
         if toks.get(i + 1).is_some_and(|n| is_punct(n, '(')) {
             continue;
         }
-        // Skip qualifiers between `pub` and `fn`: const/async/unsafe/extern "C".
+        // Skip qualifiers between `pub` and the item keyword:
+        // const/async/unsafe fn, unsafe trait, extern "C" fn.
         let mut j = i + 1;
         while toks.get(j).is_some_and(|n| {
             matches!(n.text.as_str(), "const" | "async" | "unsafe" | "extern")
@@ -419,10 +470,11 @@ fn rule_g005(
         }) {
             j += 1;
         }
-        if toks.get(j).is_none_or(|n| n.text != "fn") {
-            continue;
-        }
-        let fn_name = toks.get(j + 1).map(|n| n.text.clone()).unwrap_or_default();
+        let kind = match toks.get(j).map(|n| n.text.as_str()) {
+            Some(k @ ("fn" | "struct" | "enum" | "trait")) => k.to_string(),
+            _ => continue,
+        };
+        let item_name = toks.get(j + 1).map(|n| n.text.clone()).unwrap_or_default();
         // Walk backwards over any attributes to find the last token of the
         // previous item; a doc comment anywhere between that and `pub`
         // (attributes included) satisfies the rule, as does a `#[doc…]` attr.
@@ -465,7 +517,7 @@ fn rule_g005(
                 rule: "G005",
                 file: file.to_string(),
                 line: t.line,
-                message: format!("`pub fn {fn_name}` is missing a doc comment"),
+                message: format!("`pub {kind} {item_name}` is missing a doc comment"),
             });
         }
     }
@@ -642,6 +694,42 @@ mod tests {
     }
 
     #[test]
+    fn g002_justification_carries_down_contiguous_runs() {
+        // One comment above the first access covers the consecutive lines.
+        let run = "fn f() {\n\
+                   // counters are independent monotonic tallies\n\
+                   a.fetch_add(1, Ordering::Relaxed);\n\
+                   b.fetch_add(1, Ordering::Relaxed);\n\
+                   c.load(Ordering::Relaxed);\n\
+                   }";
+        assert_eq!(rules_of(run), Vec::<&str>::new());
+        // A non-atomic line breaks the run: the access after the gap needs
+        // its own comment again.
+        let gap = "fn f() {\n\
+                   // counters are independent\n\
+                   a.fetch_add(1, Ordering::Relaxed);\n\
+                   other_work();\n\
+                   b.load(Ordering::Relaxed);\n\
+                   }";
+        assert_eq!(rules_of(gap), vec!["G002"]);
+        // The carry starts at a justified line: an unjustified first access
+        // does not launder the ones below it.
+        let unjustified = "fn f() {\n\
+                           a.fetch_add(1, Ordering::Relaxed);\n\
+                           b.load(Ordering::Relaxed);\n\
+                           }";
+        assert_eq!(rules_of(unjustified), vec!["G002", "G002"]);
+        // A comment mid-run covers the tail below it.
+        let mid = "fn f() {\n\
+                   a.fetch_add(1, Ordering::Relaxed);\n\
+                   // publish after init (pairs with the Acquire load)\n\
+                   b.store(1, Ordering::Release);\n\
+                   c.load(Ordering::Acquire);\n\
+                   }";
+        assert_eq!(rules_of(mid), vec!["G002"]);
+    }
+
+    #[test]
     fn g004_flags_float_literal_compares() {
         assert_eq!(rules_of("fn f() { if x == 0.0 {} }"), vec!["G004"]);
         assert_eq!(rules_of("fn f() { if 1.5 != y {} }"), vec!["G004"]);
@@ -659,6 +747,21 @@ mod tests {
             Vec::<&str>::new()
         );
         assert_eq!(rules_of("pub(crate) fn f() {}"), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn g005_covers_pub_types() {
+        assert_eq!(rules_of("pub struct S;"), vec!["G005"]);
+        assert_eq!(rules_of("pub enum E { A }"), vec!["G005"]);
+        assert_eq!(rules_of("pub trait T {}"), vec!["G005"]);
+        assert_eq!(rules_of("pub unsafe trait T {}"), vec!["G005"]);
+        assert_eq!(rules_of("/// Docs.\npub struct S;"), Vec::<&str>::new());
+        assert_eq!(rules_of("/// Docs.\npub enum E { A }"), Vec::<&str>::new());
+        assert_eq!(rules_of("/// Docs.\npub trait T {}"), Vec::<&str>::new());
+        assert_eq!(rules_of("pub(crate) struct S;"), Vec::<&str>::new());
+        // Private types and `pub use` re-exports are out of scope.
+        assert_eq!(rules_of("struct S;"), Vec::<&str>::new());
+        assert_eq!(rules_of("pub use other::Thing;"), Vec::<&str>::new());
     }
 
     #[test]

@@ -1,0 +1,61 @@
+//! Parse fixture: nested blocks, matches, loops, closures, struct literals.
+
+pub struct Acc {
+    total: u64,
+    hits: usize,
+}
+
+pub fn classify(x: i64) -> &'static str {
+    match x {
+        0 => "zero",
+        n if n < 0 => "negative",
+        1..=9 => "small",
+        _ => {
+            let digits = x.to_string().len();
+            if digits > 3 {
+                "huge"
+            } else {
+                "large"
+            }
+        }
+    }
+}
+
+pub fn fold(values: &[u64]) -> Acc {
+    let mut acc = Acc { total: 0, hits: 0 };
+    for (i, v) in values.iter().enumerate() {
+        if *v == 0 {
+            continue;
+        }
+        acc.total += v;
+        acc.hits += 1;
+        let _ = i;
+    }
+    'outer: loop {
+        let mut k = 0usize;
+        while k < values.len() {
+            if values[k] > acc.total {
+                break 'outer;
+            }
+            k += 1;
+        }
+        break;
+    }
+    acc
+}
+
+pub fn chained(values: &[u64]) -> Vec<u64> {
+    values
+        .iter()
+        .filter(|v| **v > 1)
+        .map(|v| {
+            let doubled = v * 2;
+            doubled + 1
+        })
+        .collect()
+}
+
+pub fn fallible(s: &str) -> Result<u64, std::num::ParseIntError> {
+    let n = s.trim().parse::<u64>()?;
+    Ok(if n > 10 { n } else { n + 10 })
+}

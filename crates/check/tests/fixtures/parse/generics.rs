@@ -1,0 +1,44 @@
+//! Parse fixture: generics, lifetimes, where clauses, turbofish.
+
+use std::fmt::Debug;
+
+pub struct Wrapper<T> {
+    inner: Vec<T>,
+}
+
+pub struct Ref<'a, T: Clone> {
+    slot: &'a T,
+}
+
+impl<T: Clone + Debug> Wrapper<T> {
+    pub fn push(&mut self, v: T) {
+        self.inner.push(v);
+    }
+
+    pub fn first(&self) -> Option<&T> {
+        self.inner.first()
+    }
+}
+
+pub fn collect_sorted<I>(it: I) -> Vec<u64>
+where
+    I: Iterator<Item = u64>,
+{
+    let mut v = it.collect::<Vec<u64>>();
+    v.sort_unstable();
+    v
+}
+
+pub fn nested(m: Vec<Vec<Option<u32>>>) -> usize {
+    m.iter().map(|row| row.len()).sum::<usize>()
+}
+
+pub fn shift(x: u64) -> u64 {
+    (x >> 2) << 1
+}
+
+impl<'a, T: Clone> Ref<'a, T> {
+    pub fn get(&self) -> T {
+        self.slot.clone()
+    }
+}

@@ -1,0 +1,74 @@
+//! Parse fixture: one of every item kind the parser models.
+
+use std::collections::HashMap;
+
+const LIMIT: usize = 8;
+
+/// A struct with named fields.
+pub struct Config {
+    pub name: String,
+    threshold: f64,
+    pub(crate) retries: usize,
+}
+
+/// A unit struct.
+pub struct Marker;
+
+/// A tuple struct.
+pub struct Pair(u32, u32);
+
+/// An enum with mixed variants.
+pub enum Verdict {
+    Accept,
+    Reject { reason: String },
+    Defer(u64),
+}
+
+/// A trait with a provided and a required method.
+pub trait Score {
+    fn score(&self) -> f64;
+    fn passes(&self) -> bool {
+        self.score() > 0.5
+    }
+}
+
+impl Config {
+    pub fn new(name: &str) -> Config {
+        Config {
+            name: name.to_string(),
+            threshold: 0.5,
+            retries: LIMIT,
+        }
+    }
+
+    fn bump(&mut self) {
+        self.retries += 1;
+    }
+}
+
+impl Score for Config {
+    fn score(&self) -> f64 {
+        self.threshold
+    }
+}
+
+/// A free function.
+pub fn lookup(map: &HashMap<String, u64>, key: &str) -> Option<u64> {
+    map.get(key).copied()
+}
+
+mod inner {
+    pub fn helper(x: u32) -> u32 {
+        x * 2
+    }
+
+    pub struct Hidden {
+        pub value: i64,
+    }
+}
+
+mod declared;
+
+type Alias = Vec<(String, u64)>;
+
+static GLOBAL: &str = "fixture";

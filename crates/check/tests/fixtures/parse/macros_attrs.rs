@@ -1,0 +1,55 @@
+//! Parse fixture: macro invocations, attributes, cfg-gated items.
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    pub kind: u8,
+    pub payload: Vec<u8>,
+}
+
+#[derive(Debug, Default)]
+pub struct Log {
+    events: Vec<Event>,
+}
+
+impl Log {
+    #[inline]
+    pub fn record(&mut self, kind: u8) {
+        self.events.push(Event {
+            kind,
+            payload: vec![0u8; 4],
+        });
+    }
+
+    #[allow(dead_code)]
+    fn summary(&self) -> String {
+        format!("{} event(s)", self.events.len())
+    }
+}
+
+#[cfg(feature = "extra")]
+pub fn gated() -> bool {
+    matches!(1 + 1, 2)
+}
+
+macro_rules! twice {
+    ($e:expr) => {
+        $e + $e
+    };
+}
+
+pub fn uses_macro() -> u32 {
+    twice!(21)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records() {
+        let mut log = Log::default();
+        log.record(3);
+        assert_eq!(log.events.len(), 1);
+        assert!(log.summary().starts_with('1'));
+    }
+}

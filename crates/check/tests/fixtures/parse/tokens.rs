@@ -1,0 +1,28 @@
+//! Parse fixture: literal and token shapes the lexer must carry through.
+
+pub const RAW: &str = r#"quoted "inner" text"#;
+pub const ESCAPED: &str = "line\nbreak\tand \"quotes\"";
+pub const BYTES: &[u8] = b"raw bytes";
+pub const CH: char = '\'';
+pub const HEX: u64 = 0xdead_beef;
+pub const FLOATY: f64 = 1.5e-3;
+
+pub fn ranges(v: &[u8]) -> usize {
+    let head = &v[..v.len() / 2];
+    let tail = &v[v.len() / 2..];
+    head.len() + tail.len()
+}
+
+pub fn ops(a: u32, b: u32) -> u32 {
+    let mut x = a ^ b;
+    x |= a & !b;
+    x %= b.max(1);
+    x
+}
+
+pub fn closures_capture() -> u32 {
+    let base = 10u32;
+    let add = move |x: u32| -> u32 { x + base };
+    let twice = |f: &dyn Fn(u32) -> u32, x| f(f(x));
+    twice(&add, 1)
+}

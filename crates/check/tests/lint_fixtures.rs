@@ -45,6 +45,7 @@ fn assert_violation(name: &str, rule: &str, line: usize) {
         checked_files: 1,
         findings,
         suppressed: vec![],
+        lock_graph: None,
     };
     report.normalize();
     let json = report.to_json();

@@ -1,0 +1,207 @@
+//! Fixture-driven parser tests over `tests/fixtures/parse/`.
+//!
+//! The workspace sweep (`parse_sweep.rs`) proves the parser handles whatever
+//! the tree happens to contain today; these fixtures pin down the grammar
+//! shapes it must keep handling even if the workspace stops using them —
+//! every item kind, generics and turbofish, nested control flow, macros and
+//! attributes, and the hairier literal forms. Each fixture must parse with
+//! zero diagnostics, tile the token stream, round-trip its spans, and match
+//! the structural expectations asserted per file.
+
+use graphrep_check::lexer::lex;
+use graphrep_check::parser::{parse, visit_spans, Ast, ItemKind};
+use std::path::Path;
+
+fn parse_fixture(name: &str) -> Ast {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/parse")
+        .join(name);
+    let src =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name} unreadable: {e}"));
+    let lexed = lex(&src);
+    let ast = parse(&lexed);
+    assert!(
+        ast.errors.is_empty(),
+        "{name}: parse diagnostics: {:?}",
+        ast.errors
+    );
+    // Same invariants the workspace sweep enforces: items tile the token
+    // stream and every span round-trips to the lexer's byte ranges.
+    if let Some(first) = ast.items.first() {
+        assert_eq!(first.span.lo, 0, "{name}: first item does not start at 0");
+        for w in ast.items.windows(2) {
+            assert_eq!(w[0].span.hi, w[1].span.lo, "{name}: gap between items");
+        }
+        assert_eq!(
+            ast.items.last().unwrap().span.hi,
+            lexed.tokens.len(),
+            "{name}: last item does not end at EOF"
+        );
+    }
+    visit_spans(&ast, &mut |kind, sp| {
+        assert!(sp.lo < sp.hi, "{name}: empty {kind} span");
+        assert_eq!(sp.byte_lo, lexed.tokens[sp.lo].lo, "{name}: {kind} byte_lo");
+        assert_eq!(
+            sp.byte_hi,
+            lexed.tokens[sp.hi - 1].hi,
+            "{name}: {kind} byte_hi"
+        );
+    });
+    ast
+}
+
+/// Flattens an item tree into (kind-tag, name) pairs for easy assertions.
+fn inventory(ast: &Ast) -> Vec<(String, String)> {
+    fn walk(items: &[graphrep_check::parser::Item], out: &mut Vec<(String, String)>) {
+        for item in items {
+            match &item.kind {
+                ItemKind::Struct { name, .. } => out.push(("struct".into(), name.clone())),
+                ItemKind::Enum { name } => out.push(("enum".into(), name.clone())),
+                ItemKind::Trait { name } => out.push(("trait".into(), name.clone())),
+                ItemKind::Impl { self_ty, fns, .. } => {
+                    out.push(("impl".into(), self_ty.clone()));
+                    for f in fns {
+                        out.push(("method".into(), f.name.clone()));
+                    }
+                }
+                ItemKind::Fn(f) => out.push(("fn".into(), f.name.clone())),
+                ItemKind::Mod { name, items } => {
+                    out.push(("mod".into(), name.clone()));
+                    if let Some(inner) = items {
+                        walk(inner, out);
+                    }
+                }
+                ItemKind::Other => {}
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(&ast.items, &mut out);
+    out
+}
+
+fn has(inv: &[(String, String)], kind: &str, name: &str) -> bool {
+    inv.iter().any(|(k, n)| k == kind && n == name)
+}
+
+#[test]
+fn items_fixture_covers_every_item_kind() {
+    let ast = parse_fixture("items.rs");
+    let inv = inventory(&ast);
+    for (kind, name) in [
+        ("struct", "Config"),
+        ("struct", "Marker"),
+        ("struct", "Pair"),
+        ("enum", "Verdict"),
+        ("trait", "Score"),
+        ("impl", "Config"),
+        ("method", "new"),
+        ("method", "bump"),
+        ("method", "score"),
+        ("fn", "lookup"),
+        ("mod", "inner"),
+        ("fn", "helper"),
+        ("struct", "Hidden"),
+        ("mod", "declared"),
+    ] {
+        assert!(has(&inv, kind, name), "missing {kind} {name} in {inv:?}");
+    }
+    // The named-field struct records its fields in order.
+    let config_fields: Vec<&str> = ast
+        .items
+        .iter()
+        .find_map(|i| match &i.kind {
+            ItemKind::Struct { name, fields } if name == "Config" => {
+                Some(fields.iter().map(|f| f.name.as_str()).collect())
+            }
+            _ => None,
+        })
+        .expect("Config struct parsed");
+    assert_eq!(config_fields, ["name", "threshold", "retries"]);
+    // The trait-impl carries its trait name.
+    assert!(ast.items.iter().any(|i| matches!(
+        &i.kind,
+        ItemKind::Impl { self_ty, trait_name: Some(t), .. }
+            if self_ty == "Config" && t == "Score"
+    )));
+}
+
+#[test]
+fn generics_fixture_parses_bounds_and_turbofish() {
+    let ast = parse_fixture("generics.rs");
+    let inv = inventory(&ast);
+    for (kind, name) in [
+        ("struct", "Wrapper"),
+        ("struct", "Ref"),
+        ("impl", "Wrapper"),
+        ("method", "push"),
+        ("method", "first"),
+        ("fn", "collect_sorted"),
+        ("fn", "nested"),
+        ("fn", "shift"),
+        ("impl", "Ref"),
+        ("method", "get"),
+    ] {
+        assert!(has(&inv, kind, name), "missing {kind} {name} in {inv:?}");
+    }
+}
+
+#[test]
+fn control_flow_fixture_nests_blocks() {
+    let ast = parse_fixture("control_flow.rs");
+    let inv = inventory(&ast);
+    for name in ["classify", "fold", "chained", "fallible"] {
+        assert!(has(&inv, "fn", name), "missing fn {name} in {inv:?}");
+    }
+    // `fold` contains nested blocks (for / loop / while bodies); the parser
+    // must model them as sub-blocks rather than flat token runs.
+    let fold = ast
+        .items
+        .iter()
+        .find_map(|i| match &i.kind {
+            ItemKind::Fn(f) if f.name == "fold" => f.body.as_ref(),
+            _ => None,
+        })
+        .expect("fold has a body");
+    let nested_blocks: usize = fold
+        .stmts
+        .iter()
+        .map(|s| {
+            s.parts
+                .iter()
+                .filter(|p| matches!(p, graphrep_check::parser::StmtPart::Block(_)))
+                .count()
+        })
+        .sum();
+    assert!(
+        nested_blocks >= 2,
+        "fold should contain nested loop/for blocks, found {nested_blocks}"
+    );
+}
+
+#[test]
+fn macros_and_attributes_fixture() {
+    let ast = parse_fixture("macros_attrs.rs");
+    let inv = inventory(&ast);
+    for (kind, name) in [
+        ("struct", "Event"),
+        ("struct", "Log"),
+        ("impl", "Log"),
+        ("method", "record"),
+        ("method", "summary"),
+        ("fn", "gated"),
+        ("fn", "uses_macro"),
+        ("mod", "tests"),
+    ] {
+        assert!(has(&inv, kind, name), "missing {kind} {name} in {inv:?}");
+    }
+}
+
+#[test]
+fn token_shapes_fixture() {
+    let ast = parse_fixture("tokens.rs");
+    let inv = inventory(&ast);
+    for name in ["ranges", "ops", "closures_capture"] {
+        assert!(has(&inv, "fn", name), "missing fn {name} in {inv:?}");
+    }
+}

@@ -1,0 +1,75 @@
+//! Workspace parse sweep: every non-vendored `.rs` file must parse with zero
+//! diagnostics, every AST span must round-trip exactly to the lexer's token
+//! spans, and top-level items must tile the token stream.
+
+use graphrep_check::lexer::lex;
+use graphrep_check::parser::{parse, visit_spans};
+use graphrep_check::{collect_sources, workspace_root};
+
+#[test]
+fn every_workspace_file_parses_cleanly() {
+    let root = workspace_root();
+    let sources = collect_sources(&root).expect("walk workspace");
+    assert!(
+        sources.len() >= 20,
+        "suspiciously few sources: {}",
+        sources.len()
+    );
+    let mut parsed = 0usize;
+    for path in sources {
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&path).expect("read source");
+        let lexed = lex(&src);
+        let ast = parse(&lexed);
+        assert!(
+            ast.errors.is_empty(),
+            "{rel}: parse diagnostics: {:?}",
+            ast.errors
+        );
+        // Top-level items tile the token stream.
+        if let Some(first) = ast.items.first() {
+            assert_eq!(first.span.lo, 0, "{rel}: first item does not start at 0");
+            for w in ast.items.windows(2) {
+                assert_eq!(
+                    w[0].span.hi, w[1].span.lo,
+                    "{rel}: gap between items at token {}",
+                    w[0].span.hi
+                );
+            }
+            assert_eq!(
+                ast.items.last().unwrap().span.hi,
+                lexed.tokens.len(),
+                "{rel}: last item does not end at EOF"
+            );
+        } else {
+            assert!(lexed.tokens.is_empty(), "{rel}: tokens but no items");
+        }
+        // Every span's byte range equals the range spanned by its tokens.
+        visit_spans(&ast, &mut |kind, sp| {
+            assert!(sp.lo < sp.hi, "{rel}: empty {kind} span at token {}", sp.lo);
+            assert!(
+                sp.hi <= lexed.tokens.len(),
+                "{rel}: {kind} span past EOF ({} > {})",
+                sp.hi,
+                lexed.tokens.len()
+            );
+            assert_eq!(
+                sp.byte_lo, lexed.tokens[sp.lo].lo,
+                "{rel}: {kind} byte_lo mismatch at token {}",
+                sp.lo
+            );
+            assert_eq!(
+                sp.byte_hi,
+                lexed.tokens[sp.hi - 1].hi,
+                "{rel}: {kind} byte_hi mismatch at token {}",
+                sp.hi - 1
+            );
+        });
+        parsed += 1;
+    }
+    assert!(parsed >= 20, "swept only {parsed} files");
+}

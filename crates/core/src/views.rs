@@ -43,8 +43,8 @@
 
 use crate::answer::AnswerSet;
 use graphrep_graph::GraphId;
+use graphrep_lockaudit::TrackedMutex;
 use graphrep_metric::theta_band;
-use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 use std::hash::Hash;
 use std::sync::Arc;
@@ -358,7 +358,7 @@ struct ViewInner {
 /// verified θ-neighborhoods. See the module docs for keying and soundness.
 pub struct ViewStore {
     config: CacheConfig,
-    inner: Mutex<ViewInner>,
+    inner: TrackedMutex<ViewInner>,
 }
 
 impl std::fmt::Debug for ViewStore {
@@ -375,10 +375,13 @@ impl ViewStore {
     pub fn new(config: CacheConfig) -> Self {
         Self {
             config,
-            inner: Mutex::new(ViewInner {
-                lru: Lru::new(),
-                freq: HashMap::new(),
-            }),
+            inner: TrackedMutex::new(
+                "core.views.ViewStore.inner",
+                ViewInner {
+                    lru: Lru::new(),
+                    freq: HashMap::new(),
+                },
+            ),
         }
     }
 
@@ -493,7 +496,7 @@ pub struct AnswerKey {
 /// the memory wholesale when the serving layer swaps in a mutated index.
 pub struct AnswerCache {
     config: CacheConfig,
-    inner: Mutex<Lru<AnswerKey, Arc<AnswerSet>>>,
+    inner: TrackedMutex<Lru<AnswerKey, Arc<AnswerSet>>>,
 }
 
 impl std::fmt::Debug for AnswerCache {
@@ -518,7 +521,7 @@ impl AnswerCache {
     pub fn new(config: CacheConfig) -> Self {
         Self {
             config,
-            inner: Mutex::new(Lru::new()),
+            inner: TrackedMutex::new("core.views.AnswerCache.inner", Lru::new()),
         }
     }
 

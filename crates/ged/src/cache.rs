@@ -26,7 +26,7 @@ use crate::bounds::{degree_sequence_bound, label_lower_bound_profiled, size_lowe
 use crate::engine::{GedEngine, GedMode};
 use crate::profile::{profiles_for, GraphProfile};
 use graphrep_graph::{Graph, GraphId};
-use parking_lot::RwLock;
+use graphrep_lockaudit::TrackedRwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -110,26 +110,39 @@ type WithinCell = Arc<OnceLock<Option<f64>>>;
 type VerdictCell = Arc<OnceLock<bool>>;
 
 /// One cache shard: exact distances plus known strict lower bounds.
-#[derive(Default)]
 struct Shard {
     /// Exact distances. Each pair owns a [`OnceLock`] cell so that racing
     /// threads agree on a single engine computation.
-    exact: RwLock<HashMap<u64, Arc<OnceLock<f64>>>>,
+    exact: TrackedRwLock<HashMap<u64, Arc<OnceLock<f64>>>>,
     /// Known strict lower bounds: `d(i, j) > lower[key]`.
-    lower: RwLock<HashMap<u64, f64>>,
+    lower: TrackedRwLock<HashMap<u64, f64>>,
     /// Known upper bounds: `d(i, j) ≤ upper[key]`, from hint-certified
     /// accepts that never produced an exact distance.
-    upper: RwLock<HashMap<u64, f64>>,
+    upper: TrackedRwLock<HashMap<u64, f64>>,
     /// `within` verdicts keyed by `(pair, τ bits)`. Threads racing the same
     /// uncached threshold test rendezvous here so only one runs the engine;
     /// `Some(d)` means `d(i, j) = d ≤ τ`, `None` means `d(i, j) > τ`.
-    within: RwLock<HashMap<(u64, u64), WithinCell>>,
+    within: TrackedRwLock<HashMap<(u64, u64), WithinCell>>,
     /// Boolean verdicts of the tiered `within_verdict` path, keyed the same
     /// way; the winner evaluates the tier ladder exactly once per `(pair, τ)`.
-    verdict: RwLock<HashMap<(u64, u64), VerdictCell>>,
+    verdict: TrackedRwLock<HashMap<(u64, u64), VerdictCell>>,
 }
 
 impl Shard {
+    /// An empty shard. Site names identify the *field* across all
+    /// [`NUM_SHARDS`] instances — the static lock graph cannot distinguish
+    /// instances, and the runtime witness mirrors that (same-site pairs are
+    /// self-edges and skipped).
+    fn new() -> Shard {
+        Shard {
+            exact: TrackedRwLock::new("ged.cache.Shard.exact", HashMap::new()),
+            lower: TrackedRwLock::new("ged.cache.Shard.lower", HashMap::new()),
+            upper: TrackedRwLock::new("ged.cache.Shard.upper", HashMap::new()),
+            within: TrackedRwLock::new("ged.cache.Shard.within", HashMap::new()),
+            verdict: TrackedRwLock::new("ged.cache.Shard.verdict", HashMap::new()),
+        }
+    }
+
     /// The pair's exact-distance cell, creating an empty one if absent.
     fn cell(&self, key: u64) -> Arc<OnceLock<f64>> {
         if let Some(cell) = self.exact.read().get(&key) {
@@ -187,11 +200,11 @@ impl Shard {
     /// shard answers exactly what this one would for the old id range.
     fn transplanted(&self) -> Shard {
         Shard {
-            exact: RwLock::new(self.exact.read().clone()),
-            lower: RwLock::new(self.lower.read().clone()),
-            upper: RwLock::new(self.upper.read().clone()),
-            within: RwLock::new(self.within.read().clone()),
-            verdict: RwLock::new(self.verdict.read().clone()),
+            exact: TrackedRwLock::new("ged.cache.Shard.exact", self.exact.read().clone()),
+            lower: TrackedRwLock::new("ged.cache.Shard.lower", self.lower.read().clone()),
+            upper: TrackedRwLock::new("ged.cache.Shard.upper", self.upper.read().clone()),
+            within: TrackedRwLock::new("ged.cache.Shard.within", self.within.read().clone()),
+            verdict: TrackedRwLock::new("ged.cache.Shard.verdict", self.verdict.read().clone()),
         }
     }
 }
@@ -206,7 +219,7 @@ pub struct DistanceOracle {
     shards: [Shard; NUM_SHARDS],
     /// Index-supplied metric bounds (Lipschitz embedding); installed after
     /// the vantage table is built, absent before.
-    hints: RwLock<Option<Arc<dyn MetricHints>>>,
+    hints: TrackedRwLock<Option<Arc<dyn MetricHints>>>,
     /// Whether `within_verdict` may use the cheap filter tiers at all;
     /// disabled only for baseline comparison runs.
     tiers_enabled: AtomicBool,
@@ -250,8 +263,8 @@ impl DistanceOracle {
             graphs,
             profiles,
             engine,
-            shards: std::array::from_fn(|_| Shard::default()),
-            hints: RwLock::new(None),
+            shards: std::array::from_fn(|_| Shard::new()),
+            hints: TrackedRwLock::new("ged.cache.DistanceOracle.hints", None),
             tiers_enabled: AtomicBool::new(true),
             computations: AtomicU64::new(0),
             rejections: AtomicU64::new(0),
@@ -301,20 +314,21 @@ impl DistanceOracle {
             profiles,
             engine: self.engine.fork(),
             shards: std::array::from_fn(|i| self.shards[i].transplanted()),
-            hints: RwLock::new(None),
+            hints: TrackedRwLock::new("ged.cache.DistanceOracle.hints", None),
             // Config-style flag, not synchronization.
             tiers_enabled: AtomicBool::new(self.tiers_enabled.load(Ordering::Relaxed)),
             // Counters are independent tallies copied at a quiescent point.
             computations: AtomicU64::new(self.computations.load(Ordering::Relaxed)),
-            rejections: AtomicU64::new(self.rejections.load(Ordering::Relaxed)), // see above
-            hits: AtomicU64::new(self.hits.load(Ordering::Relaxed)),             // see above
-            ub_accepts: AtomicU64::new(self.ub_accepts.load(Ordering::Relaxed)), // see above
-            tier_size: AtomicU64::new(self.tier_size.load(Ordering::Relaxed)),   // see above
-            tier_label: AtomicU64::new(self.tier_label.load(Ordering::Relaxed)), // see above
-            tier_degree: AtomicU64::new(self.tier_degree.load(Ordering::Relaxed)), // see above
-            tier_vlb: AtomicU64::new(self.tier_vlb.load(Ordering::Relaxed)),     // see above
+            rejections: AtomicU64::new(self.rejections.load(Ordering::Relaxed)),
+            hits: AtomicU64::new(self.hits.load(Ordering::Relaxed)),
+            ub_accepts: AtomicU64::new(self.ub_accepts.load(Ordering::Relaxed)),
+            tier_size: AtomicU64::new(self.tier_size.load(Ordering::Relaxed)),
+            tier_label: AtomicU64::new(self.tier_label.load(Ordering::Relaxed)),
+            tier_degree: AtomicU64::new(self.tier_degree.load(Ordering::Relaxed)),
+            tier_vlb: AtomicU64::new(self.tier_vlb.load(Ordering::Relaxed)),
             #[cfg(feature = "invariant-audit")]
-            requests: AtomicU64::new(self.requests.load(Ordering::Relaxed)), // see above
+            // Quiescent-point tally copy, same as the counters above.
+            requests: AtomicU64::new(self.requests.load(Ordering::Relaxed)),
         }
     }
 
@@ -505,7 +519,7 @@ impl DistanceOracle {
                     counted = true;
                     // Independent event tallies; the verdict cell publishes.
                     self.rejections.fetch_add(1, Ordering::Relaxed);
-                    self.tier_size.fetch_add(1, Ordering::Relaxed); // see above
+                    self.tier_size.fetch_add(1, Ordering::Relaxed);
                     shard.note_lower(k, tau);
                     return false;
                 }
@@ -513,7 +527,7 @@ impl DistanceOracle {
                     counted = true;
                     // Independent event tallies; the verdict cell publishes.
                     self.rejections.fetch_add(1, Ordering::Relaxed);
-                    self.tier_label.fetch_add(1, Ordering::Relaxed); // see above
+                    self.tier_label.fetch_add(1, Ordering::Relaxed);
                     shard.note_lower(k, tau);
                     return false;
                 }
@@ -521,7 +535,7 @@ impl DistanceOracle {
                     counted = true;
                     // Independent event tallies; the verdict cell publishes.
                     self.rejections.fetch_add(1, Ordering::Relaxed);
-                    self.tier_degree.fetch_add(1, Ordering::Relaxed); // see above
+                    self.tier_degree.fetch_add(1, Ordering::Relaxed);
                     shard.note_lower(k, tau);
                     return false;
                 }
@@ -543,7 +557,7 @@ impl DistanceOracle {
                             // Independent event tallies; the verdict cell
                             // publishes.
                             self.rejections.fetch_add(1, Ordering::Relaxed);
-                            self.tier_vlb.fetch_add(1, Ordering::Relaxed); // see above
+                            self.tier_vlb.fetch_add(1, Ordering::Relaxed);
                             shard.note_lower(k, tau);
                             return false;
                         }
@@ -621,10 +635,10 @@ impl DistanceOracle {
         TierStats {
             // Counters are independent tallies read at quiescent points.
             size_rejects: self.tier_size.load(Ordering::Relaxed),
-            label_rejects: self.tier_label.load(Ordering::Relaxed), // see above
-            degree_rejects: self.tier_degree.load(Ordering::Relaxed), // see above
-            vantage_lb_rejects: self.tier_vlb.load(Ordering::Relaxed), // see above
-            vantage_ub_accepts: self.ub_accepts.load(Ordering::Relaxed), // see above
+            label_rejects: self.tier_label.load(Ordering::Relaxed),
+            degree_rejects: self.tier_degree.load(Ordering::Relaxed),
+            vantage_lb_rejects: self.tier_vlb.load(Ordering::Relaxed),
+            vantage_ub_accepts: self.ub_accepts.load(Ordering::Relaxed),
         }
     }
 
@@ -633,9 +647,9 @@ impl DistanceOracle {
         OracleStats {
             // Counters are independent tallies read at quiescent points.
             distance_computations: self.computations.load(Ordering::Relaxed),
-            within_rejections: self.rejections.load(Ordering::Relaxed), // see above
-            cache_hits: self.hits.load(Ordering::Relaxed),              // see above
-            ub_accepts: self.ub_accepts.load(Ordering::Relaxed),        // see above
+            within_rejections: self.rejections.load(Ordering::Relaxed),
+            cache_hits: self.hits.load(Ordering::Relaxed),
+            ub_accepts: self.ub_accepts.load(Ordering::Relaxed),
         }
     }
 
@@ -649,13 +663,13 @@ impl DistanceOracle {
     pub fn reset_stats(&self) {
         // Counters are independent tallies; resets happen at quiescent points.
         self.computations.store(0, Ordering::Relaxed);
-        self.rejections.store(0, Ordering::Relaxed); // see above
-        self.hits.store(0, Ordering::Relaxed); // see above
-        self.ub_accepts.store(0, Ordering::Relaxed); // see above
-        self.tier_size.store(0, Ordering::Relaxed); // see above
-        self.tier_label.store(0, Ordering::Relaxed); // see above
-        self.tier_degree.store(0, Ordering::Relaxed); // see above
-        self.tier_vlb.store(0, Ordering::Relaxed); // see above
+        self.rejections.store(0, Ordering::Relaxed);
+        self.hits.store(0, Ordering::Relaxed);
+        self.ub_accepts.store(0, Ordering::Relaxed);
+        self.tier_size.store(0, Ordering::Relaxed);
+        self.tier_label.store(0, Ordering::Relaxed);
+        self.tier_degree.store(0, Ordering::Relaxed);
+        self.tier_vlb.store(0, Ordering::Relaxed);
         self.reset_request_tally();
     }
 

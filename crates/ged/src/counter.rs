@@ -42,10 +42,10 @@ impl GedCounters {
         CounterSnapshot {
             // Counters are independent tallies read at quiescent points.
             exact_searches: self.exact_searches.load(Ordering::Relaxed),
-            expansions: self.expansions.load(Ordering::Relaxed), // see above
-            bp_calls: self.bp_calls.load(Ordering::Relaxed),     // see above
-            budget_fallbacks: self.budget_fallbacks.load(Ordering::Relaxed), // see above
-            lb_prunes: self.lb_prunes.load(Ordering::Relaxed),   // see above
+            expansions: self.expansions.load(Ordering::Relaxed),
+            bp_calls: self.bp_calls.load(Ordering::Relaxed),
+            budget_fallbacks: self.budget_fallbacks.load(Ordering::Relaxed),
+            lb_prunes: self.lb_prunes.load(Ordering::Relaxed),
         }
     }
 
@@ -53,10 +53,10 @@ impl GedCounters {
     pub fn reset(&self) {
         // Counters are independent tallies; resets happen at quiescent points.
         self.exact_searches.store(0, Ordering::Relaxed);
-        self.expansions.store(0, Ordering::Relaxed); // see above
-        self.bp_calls.store(0, Ordering::Relaxed); // see above
-        self.budget_fallbacks.store(0, Ordering::Relaxed); // see above
-        self.lb_prunes.store(0, Ordering::Relaxed); // see above
+        self.expansions.store(0, Ordering::Relaxed);
+        self.bp_calls.store(0, Ordering::Relaxed);
+        self.budget_fallbacks.store(0, Ordering::Relaxed);
+        self.lb_prunes.store(0, Ordering::Relaxed);
     }
 
     pub(crate) fn add(&self, field: &AtomicU64, v: u64) {
@@ -68,14 +68,18 @@ impl GedCounters {
     /// an extended oracle so accumulated totals (and the delta baselines
     /// derived from them) carry forward across the swap.
     pub fn restore(&self, snap: &CounterSnapshot) {
-        // Counters are independent tallies; restores happen at quiescent points.
-        self.exact_searches
-            .store(snap.exact_searches, Ordering::Relaxed); // see above
-        self.expansions.store(snap.expansions, Ordering::Relaxed); // see above
-        self.bp_calls.store(snap.bp_calls, Ordering::Relaxed); // see above
-        self.budget_fallbacks
-            .store(snap.budget_fallbacks, Ordering::Relaxed); // see above
-        self.lb_prunes.store(snap.lb_prunes, Ordering::Relaxed); // see above
+        let fields = [
+            (&self.exact_searches, snap.exact_searches),
+            (&self.expansions, snap.expansions),
+            (&self.bp_calls, snap.bp_calls),
+            (&self.budget_fallbacks, snap.budget_fallbacks),
+            (&self.lb_prunes, snap.lb_prunes),
+        ];
+        for (field, v) in fields {
+            // Counters are independent tallies; restores happen at quiescent
+            // points.
+            field.store(v, Ordering::Relaxed);
+        }
     }
 }
 

@@ -25,9 +25,10 @@ use graphrep_core::{
 use graphrep_datagen::{store, Dataset};
 use graphrep_ged::{GedConfig, OracleStats, TierStats};
 use graphrep_graph::{Graph, GraphId};
+use graphrep_lockaudit::{TrackedReadGuard, TrackedRwLock};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::Arc;
 
 /// Family id recorded for graphs inserted from outside the generator: the
 /// generator's sanity checks skip them, and they can never collide with a
@@ -121,7 +122,7 @@ pub struct LoadedDataset {
     /// Backing directory for re-persisting after mutations; `None` for
     /// in-memory datasets.
     dir: Option<PathBuf>,
-    state: RwLock<DatasetState>,
+    state: TrackedRwLock<DatasetState>,
     caches: Arc<DatasetCaches>,
     base_oracle: OracleStats,
     base_tiers: TierStats,
@@ -138,17 +139,6 @@ impl std::fmt::Debug for LoadedDataset {
             .field("index_source", &st.index_source)
             .finish()
     }
-}
-
-/// Poison-proof read lock: a panicking mutation must not take every future
-/// query down with it (the state is swapped whole, so it is never torn).
-fn rlock(l: &RwLock<DatasetState>) -> RwLockReadGuard<'_, DatasetState> {
-    l.read().unwrap_or_else(|p| p.into_inner())
-}
-
-/// Poison-proof write lock; see [`rlock`].
-fn wlock(l: &RwLock<DatasetState>) -> RwLockWriteGuard<'_, DatasetState> {
-    l.write().unwrap_or_else(|p| p.into_inner())
 }
 
 /// Reads `<dir>/epoch.txt`; absent or unparsable means epoch 0 (pre-mutation
@@ -199,11 +189,14 @@ impl LoadedDataset {
         Ok(Self {
             name: name.to_owned(),
             dir: Some(dir.to_path_buf()),
-            state: RwLock::new(DatasetState {
-                data,
-                index: Arc::new(index),
-                index_source,
-            }),
+            state: TrackedRwLock::new(
+                "serve.registry.LoadedDataset.state",
+                DatasetState {
+                    data,
+                    index: Arc::new(index),
+                    index_source,
+                },
+            ),
             caches: Arc::new(DatasetCaches::new(CacheConfig::default())),
             base_oracle,
             base_tiers,
@@ -223,8 +216,11 @@ impl LoadedDataset {
         &self.caches
     }
 
-    fn read(&self) -> RwLockReadGuard<'_, DatasetState> {
-        rlock(&self.state)
+    /// Poison-proof read lock (the tracked wrapper recovers poisoned std
+    /// guards): a panicking mutation must not take every future query down
+    /// with it — the state is swapped whole, so it is never torn.
+    fn read(&self) -> TrackedReadGuard<'_, DatasetState> {
+        self.state.read()
     }
 
     /// Registry name.
@@ -271,7 +267,7 @@ impl LoadedDataset {
         graph: Graph,
         features: Vec<f64>,
     ) -> Result<MutationReceipt, ServeError> {
-        let mut st = wlock(&self.state);
+        let mut st = self.state.write();
         if !st.data.db.is_empty() && features.len() != st.data.db.dims() {
             return Err(ServeError::new(format!(
                 "feature vector has {} dims, dataset has {}",
@@ -281,6 +277,7 @@ impl LoadedDataset {
         }
         let mut index = st.index.fork();
         let (id, outcome) = index
+            // graphrep: allow(G008, mutations serialize on the state write lock by design -- the NP-hard insert runs on a private fork while readers keep their pinned Arc snapshot, so only competing mutations and new session opens wait)
             .insert(graph.clone())
             .map_err(|e| ServeError::new(e.to_string()))?;
         st.data.db = st.data.db.pushed(graph, features);
@@ -305,9 +302,10 @@ impl LoadedDataset {
     /// the graph so ids stay aligned with the oracle; sessions opened after
     /// the call will never see it again.
     pub fn remove_graph(&self, id: GraphId) -> Result<MutationReceipt, ServeError> {
-        let mut st = wlock(&self.state);
+        let mut st = self.state.write();
         let mut index = st.index.fork();
         let outcome = index
+            // graphrep: allow(G008, same serialization as insert_graph -- the tombstone and any rebuild it trips run on a private fork under the state write lock; readers keep their pinned Arc snapshot)
             .remove(id)
             .map_err(|e| ServeError::new(e.to_string()))?;
         let receipt = MutationReceipt {
@@ -466,11 +464,14 @@ pub fn load_in_memory(name: &str, data: Dataset) -> LoadedDataset {
     LoadedDataset {
         name: name.to_owned(),
         dir: None,
-        state: RwLock::new(DatasetState {
-            data,
-            index: Arc::new(index),
-            index_source: "built".to_owned(),
-        }),
+        state: TrackedRwLock::new(
+            "serve.registry.LoadedDataset.state",
+            DatasetState {
+                data,
+                index: Arc::new(index),
+                index_source: "built".to_owned(),
+            },
+        ),
         caches: Arc::new(DatasetCaches::new(CacheConfig::default())),
         base_oracle,
         base_tiers,

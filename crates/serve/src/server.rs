@@ -28,11 +28,12 @@ use crate::registry::DatasetRegistry;
 use crate::sessions::SessionManager;
 use crate::{protocol, registry};
 use graphrep_core::CancelToken;
+use graphrep_lockaudit::{TrackedCondvar, TrackedMutex};
 use std::collections::VecDeque;
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{mpsc, Arc};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -88,17 +89,10 @@ struct Shared {
     registry: DatasetRegistry,
     sessions: SessionManager,
     metrics: ServerMetrics,
-    queue: Mutex<VecDeque<Job>>,
-    queue_cv: Condvar,
+    queue: TrackedMutex<VecDeque<Job>>,
+    queue_cv: TrackedCondvar,
     shutdown: AtomicBool,
     started: Instant,
-}
-
-/// Poison-proof lock: a panicking thread must not wedge the whole server,
-/// and the protected state (a job queue, a handle list) stays valid across
-/// any partial mutation the queue operations can perform.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|p| p.into_inner())
 }
 
 fn err(code: &str, message: impl Into<String>) -> Response {
@@ -117,7 +111,7 @@ impl Shared {
 
     /// Admission control: rejects when draining or when the queue is full.
     fn submit(&self, job: Job) -> Result<(), &'static str> {
-        let mut q = lock(&self.queue);
+        let mut q = self.queue.lock();
         if self.shutting_down() {
             return Err(codes::SHUTTING_DOWN);
         }
@@ -141,7 +135,7 @@ impl Shared {
 fn worker_loop(shared: &Shared) {
     loop {
         let job = {
-            let mut q = lock(&shared.queue);
+            let mut q = shared.queue.lock();
             loop {
                 if let Some(j) = q.pop_front() {
                     break Some(j);
@@ -151,10 +145,7 @@ fn worker_loop(shared: &Shared) {
                 }
                 // Timed wait so a missed notification can never strand the
                 // worker past one tick of the shutdown poll.
-                let (guard, _) = shared
-                    .queue_cv
-                    .wait_timeout(q, Duration::from_millis(50))
-                    .unwrap_or_else(|p| p.into_inner());
+                let (guard, _) = shared.queue_cv.wait_timeout(q, Duration::from_millis(50));
                 q = guard;
             }
         };
@@ -327,11 +318,15 @@ fn run_query(shared: &Shared, r: RunBody, arrived: Instant) -> Response {
 }
 
 fn stats_body(shared: &Shared) -> StatsBody {
+    // Snapshot the queue length in its own statement: all temporaries in a
+    // struct literal overlap, and the admission path (which needs this lock)
+    // must never wait behind the per-dataset stats walk below.
+    let queue_len = shared.queue.lock().len();
     StatsBody {
         uptime_ms: protocol::duration_ms(shared.started.elapsed()),
         workers: shared.cfg.workers.max(1),
         queue_limit: shared.cfg.max_queue,
-        queue_len: lock(&shared.queue).len(),
+        queue_len,
         sessions_open: shared.sessions.len(),
         sessions_expired: shared.sessions.expired_total(),
         endpoints: shared.metrics.snapshot(),
@@ -438,7 +433,11 @@ fn handle_conn(shared: &Shared, mut stream: TcpStream) {
     }
 }
 
-fn accept_loop(shared: &Arc<Shared>, listener: TcpListener, conns: &Mutex<Vec<JoinHandle<()>>>) {
+fn accept_loop(
+    shared: &Arc<Shared>,
+    listener: TcpListener,
+    conns: &TrackedMutex<Vec<JoinHandle<()>>>,
+) {
     // Non-blocking accept + sleep keeps the loop responsive to shutdown
     // without needing a wake-up connection.
     let _ = listener.set_nonblocking(true);
@@ -456,7 +455,7 @@ fn accept_loop(shared: &Arc<Shared>, listener: TcpListener, conns: &Mutex<Vec<Jo
                     .name("graphrep-conn".to_owned())
                     .spawn(move || handle_conn(&s, stream));
                 if let Ok(h) = spawned {
-                    lock(conns).push(h);
+                    conns.lock().push(h);
                 }
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
@@ -475,7 +474,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     acceptor: JoinHandle<()>,
     workers: Vec<JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    conns: Arc<TrackedMutex<Vec<JoinHandle<()>>>>,
 }
 
 impl std::fmt::Debug for ServerHandle {
@@ -513,7 +512,7 @@ impl ServerHandle {
             let _ = w.join();
         }
         // No new connections can appear once the acceptor has exited.
-        let handles: Vec<JoinHandle<()>> = lock(&self.conns).drain(..).collect();
+        let handles: Vec<JoinHandle<()>> = self.conns.lock().drain(..).collect();
         for h in handles {
             let _ = h.join();
         }
@@ -532,8 +531,8 @@ pub fn start(cfg: ServeConfig, registry: DatasetRegistry) -> Result<ServerHandle
         sessions: SessionManager::new(cfg.idle_session_ttl),
         metrics: ServerMetrics::new(),
         registry,
-        queue: Mutex::new(VecDeque::new()),
-        queue_cv: Condvar::new(),
+        queue: TrackedMutex::new("serve.server.Shared.queue", VecDeque::new()),
+        queue_cv: TrackedCondvar::new(),
         shutdown: AtomicBool::new(false),
         started: Instant::now(),
         cfg,
@@ -547,7 +546,10 @@ pub fn start(cfg: ServeConfig, registry: DatasetRegistry) -> Result<ServerHandle
             .map_err(|e| ServeError::new(format!("spawning worker {i}: {e}")))?;
         workers.push(h);
     }
-    let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let conns: Arc<TrackedMutex<Vec<JoinHandle<()>>>> = Arc::new(TrackedMutex::new(
+        "serve.server.ServerHandle.conns",
+        Vec::new(),
+    ));
     let acceptor = {
         let s = Arc::clone(&shared);
         let c = Arc::clone(&conns);

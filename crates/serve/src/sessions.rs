@@ -8,7 +8,7 @@
 //! background reaper thread is needed.
 
 use graphrep_core::QuerySession;
-use parking_lot::{Mutex, RwLock};
+use graphrep_lockaudit::{TrackedMutex, TrackedRwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -19,7 +19,7 @@ pub struct LiveSession {
     id: u64,
     dataset: String,
     session: QuerySession,
-    last_used: Mutex<Instant>,
+    last_used: TrackedMutex<Instant>,
 }
 
 impl std::fmt::Debug for LiveSession {
@@ -64,7 +64,7 @@ pub struct SessionManager {
     next_id: AtomicU64,
     ttl: Duration,
     expired: AtomicU64,
-    map: RwLock<HashMap<u64, Arc<LiveSession>>>,
+    map: TrackedRwLock<HashMap<u64, Arc<LiveSession>>>,
 }
 
 impl SessionManager {
@@ -74,7 +74,7 @@ impl SessionManager {
             next_id: AtomicU64::new(1),
             ttl,
             expired: AtomicU64::new(0),
-            map: RwLock::new(HashMap::new()),
+            map: TrackedRwLock::new("serve.sessions.SessionManager.map", HashMap::new()),
         }
     }
 
@@ -88,7 +88,7 @@ impl SessionManager {
             id,
             dataset,
             session,
-            last_used: Mutex::new(Instant::now()),
+            last_used: TrackedMutex::new("serve.sessions.LiveSession.last_used", Instant::now()),
         });
         self.map.write().insert(id, live);
         id
