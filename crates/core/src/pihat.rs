@@ -100,8 +100,9 @@ impl PiHatVectors {
     ///
     /// The per-graph π̂ rows are independent pure functions of the vantage
     /// orderings, so the batch update over `L_q` fans out across rayon
-    /// workers; rows are written back in relevant-set order, making the
-    /// vectors identical at any thread count.
+    /// workers once `L_q` is large enough to amortize the dispatch; rows are
+    /// written back in relevant-set order, making the vectors identical at
+    /// any thread count.
     pub fn initialize(
         vt: &VantageTable,
         tree: &NbTree,
@@ -114,25 +115,47 @@ impl PiHatVectors {
         let n = tree.len();
         let mut graph_counts = vec![0u32; n * slots];
         let theta_max = ladder.thetas().last().copied().unwrap_or(0.0);
-        let rows: Vec<(usize, Vec<u32>)> = relevant
-            .par_iter()
-            .map(|&g| {
+        let small = relevant.len() <= 16;
+        let one_row = |g: GraphId| {
+            // π̂ needs lower bounds to *relevant* candidates only (Thm 5
+            // within `L_q`). For small `L_q` the membership test is applied
+            // pair-by-pair — O(|L_q|·|V|) — instead of enumerating the full
+            // θ-band of the database; `passes_all_bands` is exactly the
+            // predicate `candidates_into` filters by, so both paths produce
+            // the same band multiset.
+            let mut band: Vec<f64> = if small {
+                relevant
+                    .iter()
+                    .filter(|&&c| vt.passes_all_bands(g, c, theta_max))
+                    .map(|&c| vt.lower_bound(g, c))
+                    .collect()
+            } else {
                 let mut cand_buf = Vec::new();
                 vt.candidates_into(g, theta_max, &mut cand_buf);
-                let mut band: Vec<f64> = cand_buf
+                cand_buf
                     .iter()
                     .filter(|&&c| relevant_by_id.contains(c as usize))
                     .map(|&c| vt.lower_bound(g, c))
-                    .collect();
-                band.sort_by(f64::total_cmp);
-                let row = ladder
-                    .thetas()
-                    .iter()
-                    .map(|&t| band.partition_point(|&d| d <= t + EPS) as u32)
-                    .collect();
-                (tree.pos_of(g) as usize, row)
-            })
-            .collect();
+                    .collect()
+            };
+            band.sort_by(f64::total_cmp);
+            let row = ladder
+                .thetas()
+                .iter()
+                .map(|&t| band.partition_point(|&d| d <= t + EPS) as u32)
+                .collect();
+            (tree.pos_of(g) as usize, row)
+        };
+        // Tiny relevant sets (serve liveness probes, cold-start first answers)
+        // are dominated by rayon's dispatch latency, not by the row math, so
+        // they stay on the calling thread. Either way rows are written back
+        // in relevant-set order, so the vectors are identical at any thread
+        // count.
+        let rows: Vec<(usize, Vec<u32>)> = if small {
+            relevant.iter().map(|&g| one_row(g)).collect()
+        } else {
+            relevant.par_iter().map(|&g| one_row(g)).collect()
+        };
         for (pos, row) in rows {
             graph_counts[pos * slots..pos * slots + slots].copy_from_slice(&row);
         }

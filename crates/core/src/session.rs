@@ -715,29 +715,54 @@ impl<I: Deref<Target = NbIndex> + Sync> NeighborhoodProvider for IndexVerifier<'
         let s = self.session;
         let vt = s.index.vantage();
         let oracle = s.index.oracle();
-        let candidates = vt.candidates(g, theta);
-        s.audit_thm5(g, &candidates, theta);
-        let mut keyed: Vec<(f64, u32)> = candidates
-            .into_iter()
-            .filter(|&c| s.relevant_by_id.contains(c as usize))
-            .map(|c| (vt.lower_bound(g, c), c))
-            .collect();
+        // Only relevant candidates matter here, so a small `L_q` applies the
+        // Thm 5 membership test pair-by-pair — O(|L_q|·|V|) — instead of
+        // enumerating the database-wide θ-band; `passes_all_bands` is
+        // exactly the predicate `candidates` filters by, so both paths
+        // produce the same relevant-candidate set (and the Thm 5 audit runs
+        // against whichever set was built).
+        let mut keyed: Vec<(f64, u32)> = if s.relevant.len() <= 16 {
+            let members: Vec<GraphId> = s
+                .relevant
+                .iter()
+                .copied()
+                .filter(|&c| vt.passes_all_bands(g, c, theta))
+                .collect();
+            s.audit_thm5(g, &members, theta);
+            members
+                .into_iter()
+                .map(|c| (vt.lower_bound(g, c), c))
+                .collect()
+        } else {
+            let candidates = vt.candidates(g, theta);
+            s.audit_thm5(g, &candidates, theta);
+            candidates
+                .into_iter()
+                .filter(|&c| s.relevant_by_id.contains(c as usize))
+                .map(|c| (vt.lower_bound(g, c), c))
+                .collect()
+        };
         keyed.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-        let verified: Vec<Option<u32>> = keyed
-            .par_iter()
-            .map(|&(_, c)| {
-                if oracle.within_verdict(g, c, theta) {
-                    // Upper-bound-certified accepts carry no exact distance;
-                    // the Thm 4 audit checks whichever pairs have one.
-                    if let Some(d) = oracle.cached_distance(g, c) {
-                        s.audit_thm4(g, c, d);
-                    }
-                    Some(c)
-                } else {
-                    None
+        let verify = |&(_, c): &(f64, u32)| {
+            if oracle.within_verdict(g, c, theta) {
+                // Upper-bound-certified accepts carry no exact distance;
+                // the Thm 4 audit checks whichever pairs have one.
+                if let Some(d) = oracle.cached_distance(g, c) {
+                    s.audit_thm4(g, c, d);
                 }
-            })
-            .collect();
+                Some(c)
+            } else {
+                None
+            }
+        };
+        // Tiny candidate lists stay on the calling thread — rayon's dispatch
+        // latency would dominate a handful of verdicts. Each test is an
+        // independent pure evaluation, so the result is identical either way.
+        let verified: Vec<Option<u32>> = if keyed.len() <= 16 {
+            keyed.iter().map(verify).collect()
+        } else {
+            keyed.par_iter().map(verify).collect()
+        };
         let mut members: Vec<GraphId> = verified.into_iter().flatten().collect();
         members.sort_unstable();
         let distances = members

@@ -1,0 +1,137 @@
+//! Differential persistence: the binary round-trip, the JSON round-trip, and
+//! the in-memory index must be indistinguishable — across dataset kinds and
+//! a randomized insert/remove mutation script, with answers and re-encoded
+//! bytes compared at every mutation epoch.
+
+use graphrep_core::{NbIndex, NbIndexConfig};
+use graphrep_datagen::{DatasetKind, DatasetSpec};
+use graphrep_ged::GedConfig;
+use graphrep_graph::generate::mutate;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Queries all three views of the same epoch (in-memory, JSON-reloaded,
+/// binary-reloaded) and asserts byte-identical answers plus cross-format
+/// re-encode stability.
+fn assert_formats_agree(
+    index: &NbIndex,
+    relevant: &[u32],
+    theta: f64,
+    k: usize,
+) -> Result<(), TestCaseError> {
+    let json = index.save_json();
+    let bin = index.save_bin();
+    let from_json =
+        NbIndex::load_json_at_epoch(&json, index.oracle_arc(), index.epoch()).expect("json load");
+    let from_bin =
+        NbIndex::load_bin_at_epoch(&bin, index.oracle_arc(), index.epoch()).expect("bin load");
+
+    // Re-encoding from either loaded form reproduces the exact bytes of
+    // both formats — the persisted state is format-independent.
+    prop_assert_eq!(
+        from_bin.save_json(),
+        json.clone(),
+        "bin→json re-encode drifted"
+    );
+    prop_assert_eq!(
+        from_json.save_bin(),
+        bin.clone(),
+        "json→bin re-encode drifted"
+    );
+    prop_assert_eq!(from_bin.save_bin(), bin, "bin→bin re-encode drifted");
+    prop_assert_eq!(from_json.save_json(), json, "json→json re-encode drifted");
+
+    if relevant.is_empty() {
+        return Ok(());
+    }
+    let (want, _) = index.query(relevant.to_vec(), theta, k);
+    let (via_json, _) = from_json.query(relevant.to_vec(), theta, k);
+    let (via_bin, _) = from_bin.query(relevant.to_vec(), theta, k);
+    let want = format!("{want:?}");
+    prop_assert_eq!(
+        format!("{via_json:?}"),
+        want.clone(),
+        "JSON-loaded answers differ"
+    );
+    prop_assert_eq!(format!("{via_bin:?}"), want, "binary-loaded answers differ");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn binary_json_and_memory_agree_at_every_epoch(
+        seed in 0u64..10_000,
+        kind_pick in 0usize..3,
+        script in proptest::collection::vec(0u8..3, 1..5),
+        k in 1usize..6,
+    ) {
+        let kind =
+            [DatasetKind::DudLike, DatasetKind::DblpLike, DatasetKind::AmazonLike][kind_pick];
+        let data = DatasetSpec::new(kind, 40, seed).generate();
+        let theta = data.default_theta;
+        let oracle = data.db.oracle(GedConfig::default());
+        let mut index = NbIndex::build(
+            oracle,
+            NbIndexConfig {
+                num_vps: 4,
+                ladder: data.default_ladder.clone(),
+                ..Default::default()
+            },
+        );
+        let base_relevant = data.default_query().relevant_set(&data.db);
+        prop_assume!(!base_relevant.is_empty());
+
+        // Label alphabets for the insert op, drawn from the dataset itself.
+        let mut node_alphabet: Vec<u32> = data.db.graph(0).node_labels().to_vec();
+        node_alphabet.sort_unstable();
+        node_alphabet.dedup();
+        let mut edge_alphabet: Vec<u32> =
+            data.db.graph(0).edges().iter().map(|e| e.label).collect();
+        edge_alphabet.sort_unstable();
+        edge_alphabet.dedup();
+        if edge_alphabet.is_empty() {
+            edge_alphabet.push(0);
+        }
+
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xD1FF);
+        let live_relevant = |index: &NbIndex| -> Vec<u32> {
+            base_relevant
+                .iter()
+                .copied()
+                .filter(|&g| index.tree().is_live(g))
+                .collect()
+        };
+
+        // Epoch 0 (fresh build), then after every mutation.
+        assert_formats_agree(&index, &live_relevant(&index), theta, k)?;
+        for op in script {
+            match op {
+                // Two insert variants (different perturbation depths) and
+                // one remove, so scripts mix epochs of both kinds.
+                0 | 1 => {
+                    let src = rng.gen_range(0..data.db.len());
+                    let g = mutate(
+                        &mut rng,
+                        data.db.graph(src as u32),
+                        1 + usize::from(op),
+                        &node_alphabet,
+                        &edge_alphabet,
+                    );
+                    index.insert(g).expect("insert");
+                }
+                _ => {
+                    let live: Vec<u32> = (0..index.tree().len() as u32)
+                        .filter(|&g| index.tree().is_live(g))
+                        .collect();
+                    prop_assume!(!live.is_empty());
+                    let victim = live[rng.gen_range(0..live.len())];
+                    index.remove(victim).expect("remove");
+                }
+            }
+            assert_formats_agree(&index, &live_relevant(&index), theta, k)?;
+        }
+    }
+}

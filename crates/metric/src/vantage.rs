@@ -6,10 +6,31 @@
 //! coordinate a band filter; Theorem 5 makes their intersection `N̂_θ(g)` a
 //! superset of the true θ-neighborhood, computable with binary searches and
 //! O(|V|) float comparisons per candidate — no edit distances.
+//!
+//! # Memory layout (structure of arrays)
+//!
+//! The table keeps three contiguous views of the same `|V| × n` coordinate
+//! matrix, each shaped for one hot loop:
+//!
+//! * `rows` — one item-major slab (`rows[i·|V| + v]`): the per-pair tests
+//!   ([`VantageTable::passes_all_bands`], [`VantageTable::hint_bounds`],
+//!   the Lipschitz/triangle bounds) compare two contiguous `|V|`-length
+//!   slices, an auto-vectorizable zip with no per-VP pointer chasing.
+//! * `sorted[v]` — the VP-`v` coordinates in ascending order, aligned with
+//!   `orders[v]`: band edges resolve with `partition_point` over one
+//!   contiguous `f32` run instead of gathering `dists[id]` through the
+//!   permutation on every probe.
+//! * `orders[v]` — the item ids sorted by distance to VP `v` (stable: ties
+//!   in ascending-id order), scanned to enumerate a band's members.
+//!
+//! The sort permutation is a pure function of the coordinates (stable
+//! argsort), an invariant every mutation path preserves — which is why the
+//! binary persistence format stores only the raw columns and rebuilds
+//! `orders`/`sorted`/`rows` on load.
 
 use rand::seq::SliceRandom;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 const EPS: f64 = 1e-6;
 
@@ -43,13 +64,17 @@ pub fn theta_band(theta: f64) -> u32 {
     (theta as f32).to_bits()
 }
 
-/// The vantage orderings of a database: per-VP distances and sorted orders.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// The vantage orderings of a database: per-VP distances and sorted orders,
+/// held in the SoA layout described at the [module level](self).
+#[derive(Debug, Clone)]
 pub struct VantageTable {
     n: usize,
     vp_ids: Vec<u32>,
-    /// `dists[v][i]` = distance from VP `v` to item `i`.
-    dists: Vec<Vec<f32>>,
+    /// Item-major coordinate slab: `rows[i * num_vps + v]` = d(VP v, item i).
+    rows: Vec<f32>,
+    /// `sorted[v][k]` = distance from VP `v` to the item `orders[v][k]` —
+    /// the VP-`v` coordinates in ascending order.
+    sorted: Vec<Vec<f32>>,
     /// `orders[v]` = item ids sorted by distance to VP `v`.
     orders: Vec<Vec<u32>>,
 }
@@ -113,20 +138,161 @@ impl VantageTable {
         Self::from_dists(n, vp_ids, dists)
     }
 
-    /// Shared tail of the builders: derives the per-VP sorted orders.
+    /// Shared tail of the builders: derives the stable sort orders and the
+    /// item-major/sorted slabs from the raw per-VP coordinate columns.
     fn from_dists(n: usize, vp_ids: Vec<u32>, dists: Vec<Vec<f32>>) -> Self {
-        let orders = dists
+        let num_vps = vp_ids.len();
+        let orders: Vec<Vec<u32>> = dists.iter().map(|d| stable_argsort(n, d)).collect();
+        let sorted = dists
             .iter()
-            .map(|d| {
-                let mut ord: Vec<u32> = (0..n as u32).collect();
-                ord.sort_by(|&a, &b| d[a as usize].total_cmp(&d[b as usize]));
-                ord
-            })
+            .zip(&orders)
+            .map(|(d, ord)| ord.iter().map(|&id| d[id as usize]).collect())
             .collect();
+        let mut rows = vec![0.0f32; n * num_vps];
+        for (v, d) in dists.iter().enumerate() {
+            for (i, &x) in d.iter().enumerate() {
+                rows[i * num_vps + v] = x;
+            }
+        }
         Self {
             n,
             vp_ids,
-            dists,
+            rows,
+            sorted,
+            orders,
+        }
+    }
+
+    /// Reassembles a table from raw per-VP coordinate columns (`cols[v][i]` =
+    /// d(VP v, item i)) — the binary persistence decode path. The sort
+    /// orders are *derived* (stable argsort), which is exact because every
+    /// construction and mutation path maintains `orders` as precisely that
+    /// argsort (see the module docs); nothing else needs to be stored.
+    pub fn from_columns(n: usize, vp_ids: Vec<u32>, cols: Vec<Vec<f32>>) -> Result<Self, String> {
+        if cols.len() != vp_ids.len() {
+            return Err(format!(
+                "vantage table has {} vp ids but {} coordinate columns",
+                vp_ids.len(),
+                cols.len()
+            ));
+        }
+        if let Some(bad) = cols.iter().find(|c| c.len() != n) {
+            return Err(format!(
+                "vantage column has {} coordinates, table has {n} items",
+                bad.len()
+            ));
+        }
+        Ok(Self::from_dists(n, vp_ids, cols))
+    }
+
+    /// Reassembles a table from coordinate columns plus externally supplied
+    /// sort orders — the cold-start fast path, where a decoder can derive
+    /// each order in O(n) (e.g. by counting sort over a value dictionary)
+    /// instead of paying a comparison sort per column. Every order is
+    /// validated to be an in-range, distance-non-decreasing arrangement of
+    /// the column before it is trusted; shape mismatches and violations are
+    /// reported as errors, never panics.
+    pub fn from_parts(
+        n: usize,
+        vp_ids: Vec<u32>,
+        cols: Vec<Vec<f32>>,
+        orders: Vec<Vec<u32>>,
+    ) -> Result<Self, String> {
+        if cols.len() != vp_ids.len() || orders.len() != vp_ids.len() {
+            return Err(format!(
+                "vantage table with {} vp ids has {} dist and {} order columns",
+                vp_ids.len(),
+                cols.len(),
+                orders.len()
+            ));
+        }
+        for (v, (d, ord)) in cols.iter().zip(&orders).enumerate() {
+            if d.len() != n || ord.len() != n {
+                return Err(format!(
+                    "vantage column {v} has {} dists / {} order entries, table has {n} items",
+                    d.len(),
+                    ord.len()
+                ));
+            }
+            let mut prev = f32::NEG_INFINITY;
+            for &id in ord {
+                let coord = *d
+                    .get(id as usize)
+                    .ok_or_else(|| format!("order entry {id} out of range 0..{n}"))?;
+                if coord < prev {
+                    return Err(format!(
+                        "vantage order {v} is not sorted by distance at item {id}"
+                    ));
+                }
+                prev = coord;
+            }
+        }
+        Ok(Self::assemble(n, vp_ids, cols, orders))
+    }
+
+    /// Wraps pre-assembled SoA slabs directly — the binary decoder's
+    /// zero-intermediate path, where the row-major transpose, the sorted
+    /// coordinate arrays, and the orders are all produced in the decoder's
+    /// single pass over each column. Only shapes are validated; the caller
+    /// guarantees the slabs are mutually consistent (it derived every one of
+    /// them itself from the same decoded values — never hand this externally
+    /// sourced orders).
+    pub fn from_raw_soa(
+        n: usize,
+        vp_ids: Vec<u32>,
+        rows: Vec<f32>,
+        sorted: Vec<Vec<f32>>,
+        orders: Vec<Vec<u32>>,
+    ) -> Result<Self, String> {
+        let num_vps = vp_ids.len();
+        if sorted.len() != num_vps || orders.len() != num_vps {
+            return Err(format!(
+                "vantage table with {num_vps} vp ids has {} sorted and {} order columns",
+                sorted.len(),
+                orders.len()
+            ));
+        }
+        if rows.len() != n * num_vps {
+            return Err(format!(
+                "vantage row slab has {} entries, table needs {n} x {num_vps}",
+                rows.len()
+            ));
+        }
+        for (v, (s, ord)) in sorted.iter().zip(&orders).enumerate() {
+            if s.len() != n || ord.len() != n {
+                return Err(format!(
+                    "vantage column {v} has {} sorted / {} order entries, table has {n} items",
+                    s.len(),
+                    ord.len()
+                ));
+            }
+        }
+        Ok(Self {
+            n,
+            vp_ids,
+            rows,
+            sorted,
+            orders,
+        })
+    }
+
+    /// Shared tail of the `from_parts*` constructors: builds the sorted
+    /// gather and the row-major transpose from already-validated parts.
+    fn assemble(n: usize, vp_ids: Vec<u32>, cols: Vec<Vec<f32>>, orders: Vec<Vec<u32>>) -> Self {
+        let num_vps = vp_ids.len();
+        let mut rows = vec![0.0f32; n * num_vps];
+        let mut sorted = Vec::with_capacity(num_vps);
+        for (v, (d, ord)) in cols.iter().zip(&orders).enumerate() {
+            sorted.push(ord.iter().map(|&id| d[id as usize]).collect());
+            for (i, &x) in d.iter().enumerate() {
+                rows[i * num_vps + v] = x;
+            }
+        }
+        Self {
+            n,
+            vp_ids,
+            rows,
+            sorted,
             orders,
         }
     }
@@ -149,10 +315,9 @@ impl VantageTable {
         let id = self.n as u32;
         for (v, &d) in vp_dists.iter().enumerate() {
             let d = d as f32;
-            self.dists[v].push(d);
-            let col = &self.dists[v];
-            let at =
-                self.orders[v].partition_point(|&other| col[other as usize].total_cmp(&d).is_le());
+            self.rows.push(d);
+            let at = self.sorted[v].partition_point(|&other| other.total_cmp(&d).is_le());
+            self.sorted[v].insert(at, d);
             self.orders[v].insert(at, id);
         }
         self.n += 1;
@@ -182,42 +347,63 @@ impl VantageTable {
     /// Distance from VP index `v` (not id) to item `i`.
     #[inline]
     pub fn vp_dist(&self, v: usize, i: u32) -> f64 {
-        self.dists[v][i as usize] as f64
+        self.rows[i as usize * self.num_vps() + v] as f64
+    }
+
+    /// The item-major coordinate row of item `i` (one f32 per VP).
+    #[inline]
+    fn row(&self, i: u32) -> &[f32] {
+        let v = self.num_vps();
+        &self.rows[i as usize * v..(i as usize + 1) * v]
+    }
+
+    /// The raw coordinate column of VP index `v`, in item-id order —
+    /// `column(v)[i]` = d(VP v, item i). Gathered from the item-major slab;
+    /// used by persistence, not by any hot loop.
+    pub fn column(&self, v: usize) -> Vec<f32> {
+        let num = self.num_vps();
+        (0..self.n).map(|i| self.rows[i * num + v]).collect()
     }
 
     /// Lipschitz lower bound `max_v |d(v,i) − d(v,j)| ≤ d(i,j)`.
     pub fn lower_bound(&self, i: u32, j: u32) -> f64 {
-        self.dists
+        self.row(i)
             .iter()
-            .map(|d| (d[i as usize] - d[j as usize]).abs() as f64)
+            .zip(self.row(j))
+            .map(|(&a, &b)| (a - b).abs() as f64)
             .fold(0.0, f64::max)
     }
 
     /// Triangle upper bound `min_v (d(v,i) + d(v,j)) ≥ d(i,j)`.
     pub fn upper_bound(&self, i: u32, j: u32) -> f64 {
-        self.dists
+        self.row(i)
             .iter()
-            .map(|d| (d[i as usize] + d[j as usize]) as f64)
+            .zip(self.row(j))
+            .map(|(&a, &b)| (a + b) as f64)
             .fold(f64::INFINITY, f64::min)
     }
 
-    /// Whether `d_v(i, j) ≤ θ` for every VP (the Thm 5 candidate test).
+    /// Whether `d_v(i, j) ≤ θ` for every VP (the Thm 5 candidate test). The
+    /// two coordinate rows are contiguous slices, so the loop is a branch-
+    /// free zip over `|V|` lanes.
     #[inline]
     pub fn passes_all_bands(&self, i: u32, j: u32, theta: f64) -> bool {
-        self.dists
+        self.row(i)
             .iter()
-            .all(|d| band_pass(d[i as usize], d[j as usize], theta))
+            .zip(self.row(j))
+            .all(|(&a, &b)| band_pass(a, b, theta))
     }
 
     /// Index range (into `orders[v]`) of items whose VP-distance lies within
     /// `[d(v,i) − θ, d(v,i) + θ]`. Uses [`band_edges`], whose widened f32
     /// edges guarantee the range covers every item [`band_pass`] accepts.
+    /// Binary searches run directly over the contiguous ascending `sorted[v]`
+    /// slab — no gather through the permutation.
     fn band_range(&self, v: usize, i: u32, theta: f64) -> (usize, usize) {
-        let (lo, hi) = band_edges(self.dists[v][i as usize], theta);
-        let ord = &self.orders[v];
-        let d = &self.dists[v];
-        let start = ord.partition_point(|&id| d[id as usize] < lo);
-        let end = ord.partition_point(|&id| d[id as usize] <= hi);
+        let (lo, hi) = band_edges(self.rows[i as usize * self.num_vps() + v], theta);
+        let s = &self.sorted[v];
+        let start = s.partition_point(|&d| d < lo);
+        let end = s.partition_point(|&d| d <= hi);
         (start, end)
     }
 
@@ -232,8 +418,8 @@ impl VantageTable {
     pub fn hint_bounds(&self, i: u32, j: u32) -> (f64, f64) {
         let mut lb = 0.0_f64;
         let mut ub = f64::INFINITY;
-        for d in &self.dists {
-            let (di, dj) = (f64::from(d[i as usize]), f64::from(d[j as usize]));
+        for (&a, &b) in self.row(i).iter().zip(self.row(j)) {
+            let (di, dj) = (f64::from(a), f64::from(b));
             lb = lb.max((di - dj).abs() - EPS * (di + dj));
             ub = ub.min((di + dj) * (1.0 + EPS));
         }
@@ -275,11 +461,53 @@ impl VantageTable {
         v
     }
 
-    /// Approximate heap footprint in bytes.
+    /// Approximate heap footprint in bytes (all three SoA views).
     pub fn memory_bytes(&self) -> usize {
         self.vp_ids.len() * 4
-            + self.dists.iter().map(|d| d.len() * 4).sum::<usize>()
+            + self.rows.len() * 4
+            + self.sorted.iter().map(|s| s.len() * 4).sum::<usize>()
             + self.orders.iter().map(|o| o.len() * 4).sum::<usize>()
+    }
+}
+
+/// Item ids `0..n` stably sorted by the coordinates in `d` — the canonical
+/// order every table construction path produces and every mutation path
+/// preserves.
+fn stable_argsort(n: usize, d: &[f32]) -> Vec<u32> {
+    let mut ord: Vec<u32> = (0..n as u32).collect();
+    ord.sort_by(|&a, &b| d[a as usize].total_cmp(&d[b as usize]));
+    ord
+}
+
+// The JSON representation predates the SoA layout and is kept byte-stable as
+// the fallback/migration format: the same `{n, vp_ids, dists, orders}` shape
+// the old `Vec<Vec<f32>>`-backed derive produced, with `dists[v][i]` the raw
+// coordinate columns. Serialization gathers the columns out of the item-major
+// slab; deserialization honors the *stored* orders (defensively validated)
+// rather than re-deriving them, so any historical file round-trips
+// byte-identically.
+impl Serialize for VantageTable {
+    fn to_value(&self) -> Value {
+        let dists: Vec<Vec<f32>> = (0..self.num_vps()).map(|v| self.column(v)).collect();
+        Value::Obj(vec![
+            ("n".to_owned(), self.n.to_value()),
+            ("vp_ids".to_owned(), self.vp_ids.to_value()),
+            ("dists".to_owned(), dists.to_value()),
+            ("orders".to_owned(), self.orders.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for VantageTable {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let obj = v
+            .as_obj()
+            .ok_or_else(|| DeError::expected("object", v.kind()))?;
+        let n = usize::from_value(serde::field(obj, "n", "VantageTable")?)?;
+        let vp_ids = Vec::<u32>::from_value(serde::field(obj, "vp_ids", "VantageTable")?)?;
+        let dists = Vec::<Vec<f32>>::from_value(serde::field(obj, "dists", "VantageTable")?)?;
+        let orders = Vec::<Vec<u32>>::from_value(serde::field(obj, "orders", "VantageTable")?)?;
+        Self::from_parts(n, vp_ids, dists, orders).map_err(DeError)
     }
 }
 
@@ -336,6 +564,30 @@ mod tests {
                 }
             }
             assert!(cands.contains(&i));
+        }
+    }
+
+    #[test]
+    fn candidates_equal_pairwise_band_test() {
+        // `candidates_into` (best-band scan + all-bands filter) must accept
+        // exactly the items `passes_all_bands` accepts pair-by-pair: the
+        // π̂ initialization's small-relevant fast path applies the pairwise
+        // predicate directly and relies on this equivalence.
+        let mut d = |a: u32, b: u32| {
+            let (ax, ay) = ((a % 9) as f64, (a / 9) as f64);
+            let (bx, by) = ((b % 9) as f64, (b / 9) as f64);
+            (ax - bx).abs() + (ay - by).abs()
+        };
+        let t = VantageTable::build_with_vps(81, vec![0, 8, 72, 40], &mut d);
+        for i in (0..81u32).step_by(7) {
+            for theta in [0.0, 1.0, 2.5, 6.0] {
+                let mut got = t.candidates(i, theta);
+                got.sort_unstable();
+                let want: Vec<u32> = (0..81u32)
+                    .filter(|&c| t.passes_all_bands(i, c, theta))
+                    .collect();
+                assert_eq!(got, want, "i={i} theta={theta}");
+            }
         }
     }
 
@@ -485,5 +737,53 @@ mod tests {
         let back: VantageTable = serde_json::from_str(&json).unwrap();
         assert_eq!(back.num_vps(), t.num_vps());
         assert_eq!(back.candidates(5, 2.0), t.candidates(5, 2.0));
+        // Schema compatibility: re-serializing reproduces the bytes.
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+
+    /// The binary decode path: raw columns alone must reassemble the exact
+    /// table — orders, sorted slabs, and item-major rows all rederived.
+    #[test]
+    fn from_columns_reassembles_exactly() {
+        let mut t = line_table(30, 4, 9);
+        // Mix in appended items so ties exercise the stable-argsort claim.
+        t.push_item(&[3.0, 7.0, 1.0, 4.0]);
+        t.push_item(&[3.0, 7.0, 1.0, 4.0]);
+        let cols: Vec<Vec<f32>> = (0..t.num_vps()).map(|v| t.column(v)).collect();
+        let back = VantageTable::from_columns(t.len(), t.vp_ids().to_vec(), cols).unwrap();
+        assert_eq!(back.len(), t.len());
+        for i in 0..t.len() as u32 {
+            assert_eq!(back.candidates(i, 2.0), t.candidates(i, 2.0));
+            for j in 0..t.len() as u32 {
+                assert_eq!(back.lower_bound(i, j), t.lower_bound(i, j));
+                assert_eq!(back.hint_bounds(i, j), t.hint_bounds(i, j));
+            }
+        }
+        // And the JSON forms agree byte-for-byte (same derived orders).
+        assert_eq!(
+            serde_json::to_string(&back).unwrap(),
+            serde_json::to_string(&t).unwrap()
+        );
+    }
+
+    #[test]
+    fn from_columns_rejects_mismatched_shapes() {
+        assert!(VantageTable::from_columns(3, vec![0, 1], vec![vec![0.0; 3]]).is_err());
+        assert!(VantageTable::from_columns(3, vec![0], vec![vec![0.0; 2]]).is_err());
+    }
+
+    /// Corrupt JSON (orders not sorted by distance) is a typed error, not a
+    /// silently broken table.
+    #[test]
+    fn deserialize_rejects_unsorted_orders() {
+        let t = VantageTable::build_with_vps(5, vec![0], &mut |a: u32, b: u32| {
+            (a as f64 - b as f64).abs()
+        });
+        let json = serde_json::to_string(&t).unwrap();
+        // The identity order [0,1,2,3,4] is ascending on a line from VP 0 —
+        // swapping two entries makes it unsorted by distance.
+        let broken = json.replacen("[0,1,2", "[1,0,2", 1);
+        assert_ne!(broken, json);
+        assert!(serde_json::from_str::<VantageTable>(&broken).is_err());
     }
 }

@@ -1,11 +1,14 @@
 //! The dataset registry: datasets and their NB-Indexes are loaded once at
 //! server start and shared (`Arc`) across every connection and worker.
 //!
-//! Warm start: if `<dir>/index.json` exists it is loaded through the
-//! persistence layer — the whole NP-hard build phase is skipped. Otherwise
-//! the index is built with the same defaults the CLI uses (so a CLI-built
-//! index and a server-built index are interchangeable) and, optionally,
-//! written back for the next start.
+//! Warm start: if `<dir>/index.bin` (the succinct binary format) or
+//! `<dir>/index.json` (the legacy/fallback format) exists it is loaded
+//! through the persistence layer — the whole NP-hard build phase is skipped.
+//! Otherwise the index is built with the same defaults the CLI uses (so a
+//! CLI-built index and a server-built index are interchangeable) and,
+//! optionally, written back for the next start. Re-persists after mutations
+//! always write `index.bin`, which migrates JSON-era directories to the
+//! binary format on their first mutation.
 //!
 //! Mutations (DESIGN.md §10) go through [`LoadedDataset::insert_graph`] /
 //! [`LoadedDataset::remove_graph`]: the current index is forked, the fork is
@@ -151,36 +154,51 @@ fn read_epoch_sidecar(dir: &Path) -> u64 {
 }
 
 impl LoadedDataset {
-    /// Loads the dataset at `dir` and warms its index: `<dir>/index.json`
-    /// when present (falling back to a fresh build if it fails to load or
-    /// records a mutation epoch different from the `epoch.txt` sidecar),
-    /// otherwise a build with [`default_index_config`]. With `persist_built`,
-    /// a freshly built index is written back to `<dir>/index.json` so the
-    /// next start is warm; write failures are ignored (read-only dataset
-    /// directories must not prevent serving).
+    /// Loads the dataset at `dir` and warms its index: `<dir>/index.bin`
+    /// when present, then `<dir>/index.json` (the legacy/fallback format),
+    /// falling back to a fresh build if neither loads cleanly at the
+    /// `epoch.txt` sidecar's mutation epoch — a corrupt or stale file is
+    /// answered with a rebuild whose provenance records what was wrong,
+    /// never a silently wrong snapshot. With `persist_built`, a freshly
+    /// built index is written back to `<dir>/index.bin` so the next start
+    /// is warm; write failures are ignored (read-only dataset directories
+    /// must not prevent serving).
     pub fn open(name: &str, dir: &Path, persist_built: bool) -> Result<Self, ServeError> {
         let data = store::load(dir)
             .map_err(|e| ServeError::new(format!("loading {}: {e}", dir.display())))?;
         let oracle = data.db.oracle(GedConfig::default());
         let expected_epoch = read_epoch_sidecar(dir);
-        let index_path = dir.join("index.json");
-        let (index, index_source) = match std::fs::read_to_string(&index_path) {
-            Ok(json) => {
+        let mut load_errors: Vec<String> = Vec::new();
+        let mut loaded: Option<NbIndex> = None;
+        if let Ok(bytes) = std::fs::read(dir.join("index.bin")) {
+            match NbIndex::load_bin_at_epoch(&bytes, Arc::clone(&oracle), expected_epoch) {
+                Ok(index) => loaded = Some(index),
+                Err(e) => load_errors.push(format!("index.bin: {e}")),
+            }
+        }
+        if loaded.is_none() {
+            if let Ok(json) = std::fs::read_to_string(dir.join("index.json")) {
                 match NbIndex::load_json_at_epoch(&json, Arc::clone(&oracle), expected_epoch) {
-                    Ok(index) => (index, "loaded".to_owned()),
-                    Err(e) => {
-                        let built =
-                            NbIndex::build(Arc::clone(&oracle), default_index_config(&data));
-                        (built, format!("built (stale index on disk: {e})"))
-                    }
+                    Ok(index) => loaded = Some(index),
+                    Err(e) => load_errors.push(format!("index.json: {e}")),
                 }
             }
-            Err(_) => {
+        }
+        let (index, index_source) = match loaded {
+            Some(index) => (index, "loaded".to_owned()),
+            None => {
                 let built = NbIndex::build(Arc::clone(&oracle), default_index_config(&data));
-                if persist_built {
-                    let _ = std::fs::write(&index_path, built.save_json());
+                if load_errors.is_empty() {
+                    if persist_built {
+                        let _ = std::fs::write(dir.join("index.bin"), built.save_bin());
+                    }
+                    (built, "built".to_owned())
+                } else {
+                    (
+                        built,
+                        format!("built (stale index on disk: {})", load_errors.join("; ")),
+                    )
                 }
-                (built, "built".to_owned())
             }
         };
         let base_oracle = index.oracle().stats();
@@ -329,7 +347,10 @@ impl LoadedDataset {
         let Some(dir) = &self.dir else { return };
         let _ = std::fs::write(dir.join("epoch.txt"), format!("{}\n", st.index.epoch()));
         let _ = store::save(&st.data, dir);
-        let _ = std::fs::write(dir.join("index.json"), st.index.save_json());
+        // The binary format is the one written going forward; a JSON-era
+        // `index.json` left behind now records an older epoch, so the next
+        // open skips it (the sidecar guard) and uses this file.
+        let _ = std::fs::write(dir.join("index.bin"), st.index.save_bin());
     }
 
     /// Oracle activity since this dataset was loaded (serving-time deltas:
