@@ -15,6 +15,7 @@ pub mod refinement;
 pub mod scalability;
 pub mod serve_cache;
 pub mod serve_load;
+pub mod shard_scale;
 pub mod summary;
 pub mod threads;
 pub mod tiers;
@@ -48,6 +49,7 @@ pub const ALL: &[&str] = &[
     "serve_load",
     "serve_cache",
     "mutate_churn",
+    "shard_scale",
     "summary",
 ];
 
@@ -79,6 +81,7 @@ pub fn run(ctx: &Ctx, id: &str) -> bool {
         "serve_load" => serve_load::serve_load(ctx),
         "serve_cache" => serve_cache::serve_cache(ctx),
         "mutate_churn" => mutate::mutate_churn(ctx),
+        "shard_scale" => shard_scale::shard_scale(ctx),
         "summary" => summary::summary(ctx),
         "all" => {
             for id in ALL {

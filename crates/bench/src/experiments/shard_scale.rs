@@ -1,0 +1,201 @@
+//! Shard scaling experiment (`shard_scale`).
+//!
+//! Runs the default top-k query through the scatter-gather coordinator at
+//! S ∈ {1, 2, 4, 8} shards over a DudLike database and proves the two
+//! contracts of DESIGN.md §14 in-line: the distributed answer is
+//! byte-identical (`format!("{answer:?}")`) to the single-NbIndex reference
+//! at every S, and the per-shard π̂ bound aggregation actually prunes —
+//! a nonzero fraction of (pick, shard) pairs finish without any fresh
+//! verification work once S > 1.
+//!
+//! When the `SHARD_BUDGET` environment variable points at a budget file
+//! (see `ci/shard_budget.json`), the prune rate at the largest S must stay
+//! above the checked-in floor.
+//!
+//! Mirrors a CSV to `results/shard_scale.csv` and a machine-readable
+//! summary to `results/BENCH_shard_scale.json`.
+
+use crate::harness::{f, timed, Ctx, Row};
+use graphrep_datagen::{DatasetKind, DatasetSpec};
+use graphrep_ged::GedConfig;
+use graphrep_shard::{CoordConfig, Coordinator};
+use std::fmt::Write as _;
+
+/// Shard-pruning budget enforced by the CI smoke job (see
+/// `ci/shard_budget.json`).
+#[derive(Debug, serde::Deserialize)]
+struct Budget {
+    /// Floor on the mean fraction of shards pruned per pick at the largest
+    /// shard count in the sweep.
+    min_prune_rate: f64,
+}
+
+struct ShardOut {
+    shards: usize,
+    build_s: f64,
+    init_s: f64,
+    run_s: f64,
+    picks: u64,
+    verified: u64,
+    prune_rate: f64,
+    engine_entries: Vec<u64>,
+}
+
+impl ShardOut {
+    fn engine_total(&self) -> u64 {
+        self.engine_entries.iter().sum()
+    }
+}
+
+fn row(r: &ShardOut) -> Row {
+    vec![
+        r.shards.to_string(),
+        f(r.build_s),
+        format!("{:.6}", r.init_s),
+        format!("{:.6}", r.run_s),
+        r.picks.to_string(),
+        r.verified.to_string(),
+        f(r.prune_rate),
+        r.engine_total().to_string(),
+    ]
+}
+
+/// Distributed greedy at S ∈ {1, 2, 4, 8}: byte-identity against the
+/// single-index reference, per-pick shard pruning, per-shard engine work.
+pub fn shard_scale(ctx: &Ctx) {
+    let size = ctx.base_size.max(160);
+    let data = DatasetSpec::new(DatasetKind::DudLike, size, ctx.seed).generate();
+    let relevant = data.default_query().relevant_set(&data.db);
+    let theta = data.default_theta;
+    let k = 8;
+
+    // The exactness reference: one NB-Index over the whole database,
+    // answered through the same session machinery the serve layer uses.
+    let oracle = ctx.oracle(&data.db);
+    let (index, ref_build_s) = timed(|| ctx.nb_index(&data, oracle));
+    let ((want_answer, ref_stats), ref_run_s) = timed(|| index.query(relevant.clone(), theta, k));
+    let want = format!("{want_answer:?}");
+    println!(
+        "# shard_scale: single-index reference built in {ref_build_s:.2}s, answered in {:.2}ms ({} edit distances)",
+        1e3 * ref_run_s,
+        ref_stats.distance_calls
+    );
+
+    let mut outs: Vec<ShardOut> = Vec::new();
+    for &shards in &[1usize, 2, 4, 8] {
+        let cfg = CoordConfig {
+            shards,
+            seed: ctx.seed ^ 0x5eed,
+            ladder: data.default_ladder.clone(),
+        };
+        let (coord, build_s) = timed(|| Coordinator::build(&data.db, GedConfig::default(), &cfg));
+        let (session, init_s) = timed(|| coord.session(relevant.clone()));
+        let ((answer, stats), run_s) = timed(|| session.run(theta, k));
+        assert_eq!(
+            format!("{answer:?}"),
+            want,
+            "S={shards}: distributed answer diverges from the single-index reference"
+        );
+        outs.push(ShardOut {
+            shards: coord.shard_count(),
+            build_s,
+            init_s,
+            run_s,
+            picks: stats.picks,
+            verified: stats.verified_candidates,
+            prune_rate: stats.prune_rate(),
+            engine_entries: stats.engine_entries,
+        });
+    }
+
+    for r in &outs {
+        println!(
+            "# shard_scale[S={}]: {} picks, prune rate {:.1}%, {} engine entries {:?}, run {:.2}ms",
+            r.shards,
+            r.picks,
+            100.0 * r.prune_rate,
+            r.engine_total(),
+            r.engine_entries,
+            1e3 * r.run_s
+        );
+        // Accounting identity: every pick classifies every shard exactly
+        // once as pruned or touched.
+        assert!(
+            r.prune_rate >= 0.0 && r.prune_rate <= 1.0,
+            "S={}: prune rate {} out of range",
+            r.shards,
+            r.prune_rate
+        );
+    }
+    let multi_pruned = outs
+        .iter()
+        .filter(|r| r.shards > 1)
+        .any(|r| r.prune_rate > 0.0);
+    assert!(
+        multi_pruned,
+        "bound aggregation never pruned a single shard-pick pair at any S > 1"
+    );
+
+    ctx.emit(
+        "shard_scale",
+        &[
+            "shards",
+            "build_s",
+            "init_s",
+            "run_s",
+            "picks",
+            "verified_candidates",
+            "prune_rate",
+            "engine_entries",
+        ],
+        &outs.iter().map(row).collect::<Vec<_>>(),
+    );
+
+    let mut json = String::from("{\n  \"sweep\": [\n");
+    for (i, r) in outs.iter().enumerate() {
+        let sep = if i + 1 < outs.len() { "," } else { "" };
+        let entries = r
+            .engine_entries
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        let _ = writeln!(
+            json,
+            "    {{\"shards\":{},\"build_s\":{:.4},\"init_s\":{:.6},\"run_s\":{:.6},\"picks\":{},\"verified_candidates\":{},\"prune_rate\":{:.4},\"engine_entries\":[{entries}]}}{sep}",
+            r.shards, r.build_s, r.init_s, r.run_s, r.picks, r.verified, r.prune_rate
+        );
+    }
+    let max_s = outs.last().expect("nonempty sweep");
+    let _ = writeln!(
+        json,
+        "  ],\n  \"reference_run_s\": {ref_run_s:.6},\n  \"max_shards\": {},\n  \"max_shards_prune_rate\": {:.4},\n  \"byte_identical\": true\n}}",
+        max_s.shards,
+        max_s.prune_rate
+    );
+    let _ = std::fs::create_dir_all(&ctx.out_dir);
+    let path = ctx.out_dir.join("BENCH_shard_scale.json");
+    if std::fs::write(&path, &json).is_err() {
+        eprintln!("warning: could not write {}", path.display());
+    }
+
+    // CI smoke budget: the bound aggregation must keep pruning at the
+    // largest shard count, or the scatter-gather degenerates to broadcast.
+    if let Ok(budget_path) = std::env::var("SHARD_BUDGET") {
+        let text = std::fs::read_to_string(&budget_path)
+            .unwrap_or_else(|e| panic!("cannot read budget file {budget_path}: {e}"));
+        let budget: Budget = serde_json::from_str(&text)
+            .unwrap_or_else(|e| panic!("bad budget file {budget_path}: {e:?}"));
+        assert!(
+            max_s.prune_rate >= budget.min_prune_rate,
+            "S={}: prune rate {:.4} below budget floor {} (from {budget_path})",
+            max_s.shards,
+            max_s.prune_rate,
+            budget.min_prune_rate
+        );
+        println!(
+            "# shard_scale: within budget (prune rate {:.3} >= {} at S={})",
+            max_s.prune_rate, budget.min_prune_rate, max_s.shards
+        );
+    }
+}

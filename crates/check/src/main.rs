@@ -17,7 +17,8 @@ const USAGE: &str =
   --json         (lint) emit the machine-readable JSON report instead of text
   --sink NAME    (lint) treat NAME as an additional G008 blocking sink; repeatable
   --budget FILE  (lint) check the report against a flat JSON budget file with
-                 integer keys g008_max, g009_max, g010_max, nodes_min, edges_exact
+                 integer keys g008_max, g009_max, g010_max, g011_max, nodes_min,
+                 edges_exact
                  (see ci/lock_analysis.json); any breach fails the run
 ";
 
@@ -108,7 +109,7 @@ fn run_lint(json: bool, extra_sinks: &[String], budget: Option<&str>) -> ExitCod
 ///
 /// The budget file is a flat JSON object of integer fields, so the parser
 /// below can stay a few lines of string splitting instead of a JSON library:
-/// `g008_max` / `g009_max` / `g010_max` cap the finding counts for those
+/// `g008_max` / `g009_max` / `g010_max` / `g011_max` cap the finding counts for those
 /// rules,
 /// `nodes_min` is the least number of lock sites the workspace sweep must
 /// discover (a collapse here means the extractor silently lost coverage),
@@ -136,6 +137,7 @@ fn check_budget(report: &Report, path: &Path) -> bool {
         ("g008_max", "G008"),
         ("g009_max", "G009"),
         ("g010_max", "G010"),
+        ("g011_max", "G011"),
     ] {
         if let Some(max) = get(key) {
             let n = count(rule);
@@ -166,12 +168,13 @@ fn check_budget(report: &Report, path: &Path) -> bool {
     }
     if ok {
         eprintln!(
-            "budget: ok ({} site(s), {} edge(s), {} G008, {} G009, {} G010)",
+            "budget: ok ({} site(s), {} edge(s), {} G008, {} G009, {} G010, {} G011)",
             nodes,
             edges,
             count("G008"),
             count("G009"),
-            count("G010")
+            count("G010"),
+            count("G011")
         );
     }
     ok

@@ -1,4 +1,4 @@
-//! The token-stream project lint rules (G001–G007 and G010; the
+//! The token-stream project lint rules (G001–G007, G010, and G011; the
 //! workspace-wide lock rules G008/G009 live in `lockorder`).
 //!
 //! Rules are purely lexical: no type information, no macro expansion. That is
@@ -68,6 +68,18 @@ const G007_EXEMPT: &[&str] = &["serve", "cli"];
 /// index data plane must stay format-agnostic, so `serde_json` may appear
 /// only in `persist.rs` (and tests).
 const G010_CRATES: &[&str] = &["core", "metric"];
+/// Distance-work idents G011 bans from the shard coordinator: the engine
+/// and oracle types themselves, plus their verification entry points when
+/// invoked as methods.
+const G011_TYPES: &[&str] = &["GedEngine", "DistanceOracle"];
+const G011_METHODS: &[&str] = &[
+    "distance",
+    "within",
+    "within_verdict",
+    "distance_within",
+    "distance_profiled",
+    "distance_within_profiled",
+];
 /// Atomic memory orderings that G002 requires a justification comment for.
 /// Restricting to these avoids flagging `std::cmp::Ordering::{Less,…}`.
 const ATOMIC_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
@@ -112,6 +124,9 @@ pub fn lint_source(file: &str, src: &str, scope: &Scope) -> (Vec<Finding>, Vec<S
     }
     if G010_CRATES.iter().any(|c| c == &scope.crate_name) && !file.ends_with("persist.rs") {
         rule_g010(file, toks, &in_test, &mut findings);
+    }
+    if scope.crate_name == "shard" && file.ends_with("coordinator.rs") {
+        rule_g011(file, toks, &in_test, &mut findings);
     }
 
     // Apply allow-directives: a finding survives unless a directive with the
@@ -674,6 +689,51 @@ fn rule_g010(file: &str, toks: &[Token], in_test: &dyn Fn(usize) -> bool, out: &
     }
 }
 
+/// G011: the shard coordinator never does distance work itself.
+///
+/// The scatter-gather design (DESIGN.md §14) keeps every GED computation
+/// shard-side, behind `ShardState` methods — that is what makes per-shard
+/// pruning measurable and a future remote shard transport possible. So
+/// `crates/shard/src/coordinator.rs` must not name the engine or oracle
+/// types (`GedEngine`, `DistanceOracle`) nor invoke their verification
+/// entry points as methods (`.distance(…)`, `.within(…)`,
+/// `.within_verdict(…)`, `.distance_within(…)`, or profiled variants).
+/// Wrapper methods with other names (`center_distance`, `home_members`)
+/// are the sanctioned surface.
+fn rule_g011(file: &str, toks: &[Token], in_test: &dyn Fn(usize) -> bool, out: &mut Vec<Finding>) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident || in_test(t.line) {
+            continue;
+        }
+        let flagged = if G011_TYPES.iter().any(|ty| t.text == *ty) {
+            Some(format!(
+                "`{}` in the shard coordinator: distance state lives shard-side",
+                t.text
+            ))
+        } else if G011_METHODS.iter().any(|m| t.text == *m)
+            && i > 0
+            && is_punct(&toks[i - 1], '.')
+            && toks.get(i + 1).is_some_and(|n| is_punct(n, '('))
+        {
+            Some(format!(
+                "`.{}(…)` in the shard coordinator: route verification through \
+                 shard-side methods instead",
+                t.text
+            ))
+        } else {
+            None
+        };
+        if let Some(message) = flagged {
+            out.push(Finding {
+                rule: "G011",
+                file: file.to_string(),
+                line: t.line,
+                message,
+            });
+        }
+    }
+}
+
 fn is_punct(t: &Token, c: char) -> bool {
     t.kind == TokenKind::Punct(c)
 }
@@ -924,6 +984,89 @@ mod tests {
         assert!(f.is_empty());
         assert_eq!(s.len(), 1);
         assert_eq!(s[0].rule, "G010");
+    }
+
+    fn shard_coord(src: &str) -> Vec<&'static str> {
+        let scope = Scope {
+            crate_name: "shard".into(),
+            is_test_file: false,
+        };
+        let (f, _) = lint_source("crates/shard/src/coordinator.rs", src, &scope);
+        f.into_iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn g011_flags_distance_work_in_coordinator() {
+        assert_eq!(
+            shard_coord("use graphrep_ged::GedEngine;\nfn f() {}"),
+            vec!["G011"]
+        );
+        assert_eq!(shard_coord("fn f(o: &DistanceOracle) {}"), vec!["G011"]);
+        assert_eq!(
+            shard_coord("fn f() { let d = oracle.distance(a, b); }"),
+            vec!["G011"]
+        );
+        assert_eq!(
+            shard_coord("fn f() { let v = o.within_verdict(a, b, t); }"),
+            vec!["G011"]
+        );
+        assert_eq!(
+            shard_coord("fn f() { o.distance_within(a, b, t); }"),
+            vec!["G011"]
+        );
+    }
+
+    #[test]
+    fn g011_permits_wrappers_other_files_and_other_crates() {
+        // The sanctioned shard-side surface has distinct method names.
+        assert_eq!(
+            shard_coord("fn f() { let d = snap.center_distance(&g); }"),
+            Vec::<&str>::new()
+        );
+        assert_eq!(
+            shard_coord("fn f() { let c = snap.engine_calls(); }"),
+            Vec::<&str>::new()
+        );
+        // A bare `distance` ident that is not a method call is fine.
+        assert_eq!(
+            shard_coord("fn f() { let distance = 3; }"),
+            Vec::<&str>::new()
+        );
+        // shard.rs is where the distance work belongs.
+        let scope = Scope {
+            crate_name: "shard".into(),
+            is_test_file: false,
+        };
+        let (f, _) = lint_source(
+            "crates/shard/src/shard.rs",
+            "use graphrep_ged::GedEngine;\nfn f() {}",
+            &scope,
+        );
+        assert!(f.is_empty(), "{f:?}");
+        // A coordinator.rs in another crate is out of scope.
+        let scope = Scope {
+            crate_name: "serve".into(),
+            is_test_file: false,
+        };
+        let (f, _) = lint_source(
+            "crates/serve/src/coordinator.rs",
+            "fn f(e: &GedEngine) {}",
+            &scope,
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn g011_suppressed_by_allow_directive() {
+        let src = "// graphrep: allow(G011, measurement-only probe behind a bench gate)\nfn f() { o.distance(a, b); }";
+        let scope = Scope {
+            crate_name: "shard".into(),
+            is_test_file: false,
+        };
+        let (f, s) = lint_source("crates/shard/src/coordinator.rs", src, &scope);
+        assert!(f.is_empty());
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].rule, "G011");
     }
 
     #[test]

@@ -1,0 +1,6 @@
+//! Fixture: suppressed coordinator-side distance call with a recorded
+//! reason.
+fn probe(snap: &crate::ShardState, g: u32, c: u32) -> f64 {
+    // graphrep: allow(G011, fixture: one-off calibration probe behind a bench-only gate)
+    snap.oracle().distance(g, c)
+}

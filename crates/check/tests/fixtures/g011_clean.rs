@@ -1,0 +1,5 @@
+//! Fixture: clean rewrite — the coordinator asks the shard to verify and
+//! only aggregates the returned members.
+fn refine(snap: &crate::ShardState, cand: u32, locals: &[u32], theta: f64) -> Vec<u32> {
+    snap.home_members(cand, locals, theta)
+}

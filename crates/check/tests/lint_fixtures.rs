@@ -138,6 +138,75 @@ fn g010_fixtures() {
     assert_suppressed("g010_allow.rs", "G010", 4);
 }
 
+/// G011 is doubly scoped — crate `shard`, file `coordinator.rs` — so its
+/// fixtures are linted under that path explicitly.
+fn lint_shard_coordinator(name: &str) -> (Vec<Finding>, Vec<Suppressed>) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name} unreadable: {e}"));
+    let scope = Scope {
+        crate_name: "shard".into(),
+        is_test_file: false,
+    };
+    lint_source("crates/shard/src/coordinator.rs", &src, &scope)
+}
+
+#[test]
+fn g011_fixtures() {
+    let (findings, suppressed) = lint_shard_coordinator("g011_violation.rs");
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, "G011");
+    assert_eq!(findings[0].line, 4);
+    assert!(suppressed.is_empty());
+    let mut report = Report {
+        checked_files: 1,
+        findings,
+        suppressed: vec![],
+        lock_graph: None,
+    };
+    report.normalize();
+    assert!(
+        report.to_json().contains(
+            "{\"rule\": \"G011\", \"file\": \"crates/shard/src/coordinator.rs\", \"line\": 4,"
+        ),
+        "JSON report missing the G011 entry:\n{}",
+        report.to_json()
+    );
+
+    let (findings, suppressed) = lint_shard_coordinator("g011_clean.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+    assert!(suppressed.is_empty());
+
+    let (findings, suppressed) = lint_shard_coordinator("g011_allow.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+    assert_eq!(suppressed.len(), 1, "{suppressed:?}");
+    assert_eq!(suppressed[0].rule, "G011");
+    assert_eq!(suppressed[0].line, 5);
+    assert!(suppressed[0].reason.starts_with("fixture:"));
+}
+
+/// G011 stays silent everywhere but the coordinator file: the same fixture
+/// under a shard-side path (or another crate entirely) produces nothing.
+#[test]
+fn g011_scoped_to_the_coordinator_file() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/g011_violation.rs");
+    let src = std::fs::read_to_string(path).unwrap();
+    let shard = Scope {
+        crate_name: "shard".into(),
+        is_test_file: false,
+    };
+    let (findings, _) = lint_source("crates/shard/src/shard.rs", &src, &shard);
+    assert!(findings.is_empty(), "{findings:?}");
+    let serve = Scope {
+        crate_name: "serve".into(),
+        is_test_file: false,
+    };
+    let (findings, _) = lint_source("crates/serve/src/coordinator.rs", &src, &serve);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
 /// G010 exempts the persistence seam itself: the same fixture linted under
 /// a `persist.rs` path produces nothing.
 #[test]

@@ -26,6 +26,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
         "serve" => serve(cmd),
         "load" => load(cmd),
         "mutate" => mutate_cmd(cmd),
+        "shard-build" => shard_build(cmd),
         "help" | "--help" | "-h" => Ok(HELP.to_owned()),
         other => Err(CliError(format!(
             "unknown subcommand `{other}`; try `graphrep help`"
@@ -43,17 +44,20 @@ subcommands:
   index    --data DIR [--vps N] [--branching B] [--ladder a,b,c] [--out FILE]
            [--format bin|json]
   query    --data DIR --theta T --k K [--index FILE] [--quantile Q] [--hybrid MAXN]
+           [--shards S]
   refine   --data DIR --theta T --k K --steps t1,t2,... [--index FILE]
   topk     --data DIR --k K
   compare  --data DIR --theta T --k K     (REP vs DIV vs DisC vs top-k)
   serve    --data DIR [--name NAME] [--addr HOST:PORT] [--workers N]
            [--max-queue N] [--deadline-ms MS] [--idle-secs S]
            [--cache-capacity N] [--cache-ttl SECS]
+           [--shards S [--shard-seed SEED]]
   load     --addr HOST:PORT [--name NAME] [--connections N] [--requests M]
            [--theta t1,t2,...] [--k k1,k2,...] [--quantile Q] [--seed S]
            [--skew S] [--verify-data DIR] [--shutdown true]
   mutate   --data DIR [--insert N] [--remove id1,id2,...] [--seed S]
-           [--addr HOST:PORT [--name NAME]]
+           [--addr HOST:PORT [--name NAME]] [--shards S [--shard-seed SEED]]
+  shard-build --data DIR [--shards S] [--seed S] [--ladder a,b,c]
 
 `query`/`refine` reuse `<DIR>/index.bin` (or the legacy `<DIR>/index.json`)
 automatically when present, and persist the index after building — in the
@@ -66,6 +70,14 @@ answer cache per dataset (epoch-keyed, invalidated on mutation).
 --cache-capacity 0 disables both; --cache-ttl 0 (default) means no age
 expiry. `load --skew S` draws (θ, k) pairs Zipf-like with exponent S
 instead of uniformly (0 = the historical uniform schedule).
+
+`shard-build` partitions the dataset into S metric-space shards
+(farthest-point centers) and persists one NB-Index per shard plus the
+shard manifest under `<DIR>/shards/`. `query --shards S`,
+`serve --shards S` and `mutate --shards S` then run scatter-gather
+distributed greedy over that layout (rebuilding it if absent, torn, or
+built for a different S): answers are byte-identical to the single-index
+path, and mutations route to the owning shard, bumping only its epoch.
 
 `mutate` inserts N randomly perturbed copies of existing graphs and/or
 tombstones the listed ids. Without --addr it mutates the dataset directory
@@ -268,6 +280,9 @@ fn index(cmd: &Command) -> Result<String, CliError> {
 }
 
 fn query(cmd: &Command) -> Result<String, CliError> {
+    if cmd.opt("shards").is_some() {
+        return query_sharded(cmd);
+    }
     let data = load_dataset(cmd)?;
     let theta: f64 = cmd.parsed("theta")?;
     let k: usize = cmd.parsed("k")?;
@@ -303,6 +318,137 @@ fn query(cmd: &Command) -> Result<String, CliError> {
         answer.pi(),
         answer.compression_ratio()
     );
+    Ok(out)
+}
+
+/// Opens (or rebuilds) the shard layout under `<data>/shards/` for the
+/// requested shard count, mirroring the serve layer's fallback discipline:
+/// absent/torn manifests and a persisted layout built for a different `S`
+/// both trigger a rebuild that is re-persisted.
+fn open_shard_layout(
+    cmd: &Command,
+    data: &Dataset,
+    shards: usize,
+    seed: u64,
+) -> Result<(graphrep_shard::Coordinator, String), CliError> {
+    use graphrep_shard::{CoordConfig, Coordinator, RestoreSource};
+    let shard_dir = Path::new(cmd.req("data")?).join("shards");
+    let cfg = CoordConfig {
+        shards,
+        seed,
+        ladder: cmd
+            .float_list("ladder")?
+            .unwrap_or_else(|| data.default_ladder.clone()),
+    };
+    let (mut coord, source) =
+        Coordinator::open_or_rebuild(&shard_dir, &data.db, GedConfig::default(), &cfg)
+            .map_err(|e| CliError(format!("shard layout {}: {e}", shard_dir.display())))?;
+    let mut provenance = match source {
+        RestoreSource::Loaded => "loaded".to_owned(),
+        RestoreSource::Rebuilt(reason) => format!("rebuilt ({reason})"),
+    };
+    let want = shards.clamp(1, data.db.len().max(1));
+    if coord.shard_count() != want {
+        coord = Coordinator::build(&data.db, GedConfig::default(), &cfg);
+        coord
+            .save(&shard_dir)
+            .map_err(|e| CliError(format!("writing {}: {e}", shard_dir.display())))?;
+        provenance = "rebuilt (shard count changed)".to_owned();
+    }
+    Ok((
+        coord,
+        format!(
+            "shards: {provenance} {} ({} shards)\n",
+            shard_dir.display(),
+            want
+        ),
+    ))
+}
+
+/// `query --shards S`: the same one-shot query answered by scatter-gather
+/// distributed greedy over the persisted shard layout. Byte-identical
+/// answers to the single-index path, plus per-pick shard-pruning stats.
+fn query_sharded(cmd: &Command) -> Result<String, CliError> {
+    let data = load_dataset(cmd)?;
+    let theta: f64 = cmd.parsed("theta")?;
+    let k: usize = cmd.parsed("k")?;
+    let shards: usize = cmd.parsed("shards")?;
+    let seed: u64 = cmd.parsed_or("seed", 0x5eedu64)?;
+    let (coord, provenance) = open_shard_layout(cmd, &data, shards, seed)?;
+    let rq = default_query(cmd, &data)?;
+    let relevant = rq.relevant_set(&data.db);
+    let session = coord.session(relevant.clone());
+    let (answer, stats) = session.run(theta, k);
+    let mut out = provenance;
+    let _ = writeln!(
+        out,
+        "|L_q| = {}, θ = {theta}, k = {k} → {} answers in {:.2?} ({} engine entries)",
+        relevant.len(),
+        answer.len(),
+        stats.wall,
+        stats.engine_entries.iter().sum::<u64>(),
+    );
+    for (i, &g) in answer.ids.iter().enumerate() {
+        let graph = data.db.graph(g);
+        let _ = writeln!(
+            out,
+            "  {:>2}. graph {g:>5}  {} nodes / {} edges  score {:.3}  π so far {:.3}",
+            i + 1,
+            graph.node_count(),
+            graph.edge_count(),
+            rq.score(&data.db, g),
+            answer.pi_trajectory[i]
+        );
+    }
+    let _ = writeln!(
+        out,
+        "π(A) = {:.3}, compression ratio = {:.1}",
+        answer.pi(),
+        answer.compression_ratio()
+    );
+    let _ = writeln!(
+        out,
+        "scatter-gather: {} picks over {} shards, {:.1}% of shard-pick pairs pruned",
+        stats.picks,
+        stats.shard_count,
+        100.0 * stats.prune_rate()
+    );
+    Ok(out)
+}
+
+/// `shard-build`: partition the dataset into metric-space shards and
+/// persist per-shard NB-Indexes plus the manifest under `<DIR>/shards/`.
+fn shard_build(cmd: &Command) -> Result<String, CliError> {
+    use graphrep_shard::{CoordConfig, Coordinator};
+    let dir = cmd.req("data")?;
+    let data = load_dataset(cmd)?;
+    let cfg = CoordConfig {
+        shards: cmd.parsed_or("shards", 4usize)?,
+        seed: cmd.parsed_or("seed", 0x5eedu64)?,
+        ladder: cmd
+            .float_list("ladder")?
+            .unwrap_or_else(|| data.default_ladder.clone()),
+    };
+    let start = std::time::Instant::now();
+    let coord = Coordinator::build(&data.db, GedConfig::default(), &cfg);
+    let shard_dir = Path::new(dir).join("shards");
+    coord
+        .save(&shard_dir)
+        .map_err(|e| CliError(format!("writing {}: {e}", shard_dir.display())))?;
+    let mut out = format!(
+        "built {} shards over {} graphs in {:.2?} → {}\n",
+        coord.shard_count(),
+        data.db.len(),
+        start.elapsed(),
+        shard_dir.display()
+    );
+    for s in coord.overview() {
+        let _ = writeln!(
+            out,
+            "  shard {:>2}: {:>5} live graphs, radius {:>6.2}, epoch {}, {} index bytes",
+            s.shard, s.live, s.radius, s.epoch, s.index_memory_bytes
+        );
+    }
     Ok(out)
 }
 
@@ -425,12 +571,22 @@ fn serve(cmd: &Command) -> Result<String, CliError> {
         ..CacheConfig::default()
     };
     let mut registry = DatasetRegistry::new();
-    registry
-        .load_dir_with(&name, Path::new(dir), true, cache)
-        .map_err(|e| CliError(e.to_string()))?;
+    let shards: usize = cmd.parsed_or("shards", 0usize)?;
+    let shard_note = if shards > 0 {
+        let seed: u64 = cmd.parsed_or("shard-seed", 0x5eedu64)?;
+        registry
+            .load_dir_sharded(&name, Path::new(dir), shards, seed)
+            .map_err(|e| CliError(e.to_string()))?;
+        format!(", {shards} shards")
+    } else {
+        registry
+            .load_dir_with(&name, Path::new(dir), true, cache)
+            .map_err(|e| CliError(e.to_string()))?;
+        String::new()
+    };
     let handle = graphrep_serve::start(cfg, registry).map_err(|e| CliError(e.to_string()))?;
     let addr = handle.addr();
-    println!("graphrep-serve listening on {addr} (dataset `{name}`)");
+    println!("graphrep-serve listening on {addr} (dataset `{name}`{shard_note})");
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     handle.wait();
@@ -685,6 +841,44 @@ fn mutate_cmd(cmd: &Command) -> Result<String, CliError> {
                     receipt_line("remove", r.id, r.epoch, r.live, r.tombstones, r.rebuilt)
                 );
             }
+        }
+        None if cmd.opt("shards").is_some() => {
+            // Sharded local path: mutations route to the owning shard and
+            // bump only that shard's epoch; the receipt carries the full
+            // epoch vector.
+            use graphrep_serve::ShardedDataset;
+            let shards: usize = cmd.parsed("shards")?;
+            let shard_seed: u64 = cmd.parsed_or("shard-seed", 0x5eedu64)?;
+            let ds = ShardedDataset::open("local", Path::new(dir), shards, shard_seed)
+                .map_err(|e| CliError(e.to_string()))?;
+            for (g, f) in inserts {
+                let r = ds.insert_graph(g, f).map_err(|e| CliError(e.to_string()))?;
+                let _ = writeln!(
+                    out,
+                    "{} [shard {}, epochs {:?}]",
+                    receipt_line("insert", r.id, r.epoch, r.live, r.tombstones, r.rebuilt),
+                    r.shard,
+                    r.epochs
+                );
+            }
+            for id in removes {
+                let r = ds.remove_graph(id).map_err(|e| CliError(e.to_string()))?;
+                let _ = writeln!(
+                    out,
+                    "{} [shard {}, epochs {:?}]",
+                    receipt_line("remove", r.id, r.epoch, r.live, r.tombstones, r.rebuilt),
+                    r.shard,
+                    r.epochs
+                );
+            }
+            let coord = ds.coordinator();
+            let _ = writeln!(
+                out,
+                "dataset {dir} now at epochs {:?}: {} live / {} total graphs",
+                coord.epochs(),
+                coord.live_len(),
+                coord.len()
+            );
         }
         None => {
             let ds = LoadedDataset::open("local", Path::new(dir), true)
@@ -1027,6 +1221,141 @@ mod tests {
         ])
         .unwrap();
         assert!(out.contains("verified: 6 answers"), "{out}");
+        handle.wait();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// `shard-build` persists the layout; `query --shards S` loads it and
+    /// answers byte-identically to the single-index path.
+    #[test]
+    fn sharded_query_matches_single_index_answers() {
+        let dir = tmp("shardq");
+        let _ = std::fs::remove_dir_all(&dir);
+        run_args(&[
+            "generate", "--kind", "dud", "--size", "50", "--seed", "17", "--out", &dir,
+        ])
+        .unwrap();
+        let out = run_args(&["shard-build", "--data", &dir, "--shards", "4"]).unwrap();
+        assert!(out.contains("built 4 shards over 50 graphs"), "{out}");
+        assert!(
+            std::path::Path::new(&format!("{dir}/shards/manifest.json")).exists()
+                || std::path::Path::new(&format!("{dir}/shards")).exists(),
+            "shard-build must persist the layout"
+        );
+        let answers = |out: &str| -> Vec<String> {
+            out.lines()
+                .filter(|l| l.contains(". graph") || l.contains("π(A)"))
+                .map(str::to_owned)
+                .collect()
+        };
+        let sharded = run_args(&[
+            "query", "--data", &dir, "--theta", "4", "--k", "5", "--shards", "4",
+        ])
+        .unwrap();
+        assert!(sharded.contains("shards: loaded"), "{sharded}");
+        assert!(sharded.contains("scatter-gather:"), "{sharded}");
+        let single = run_args(&["query", "--data", &dir, "--theta", "4", "--k", "5"]).unwrap();
+        assert_eq!(answers(&sharded), answers(&single));
+        // A different S rebuilds the layout rather than serving a stale one.
+        let resharded = run_args(&[
+            "query", "--data", &dir, "--theta", "4", "--k", "5", "--shards", "2",
+        ])
+        .unwrap();
+        assert!(
+            resharded.contains("rebuilt (shard count changed)"),
+            "{resharded}"
+        );
+        assert_eq!(answers(&resharded), answers(&single));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Sharded local `mutate`: receipts carry the owning shard and the full
+    /// epoch vector, and only the owning shard's epoch moves per op.
+    #[test]
+    fn sharded_mutate_routes_to_owning_shard() {
+        let dir = tmp("shardmut");
+        let _ = std::fs::remove_dir_all(&dir);
+        run_args(&[
+            "generate", "--kind", "dud", "--size", "30", "--seed", "5", "--out", &dir,
+        ])
+        .unwrap();
+        let out = run_args(&[
+            "mutate", "--data", &dir, "--shards", "2", "--insert", "1", "--remove", "3", "--seed",
+            "1",
+        ])
+        .unwrap();
+        assert!(out.contains("insert → graph 30"), "{out}");
+        assert!(out.contains("[shard "), "{out}");
+        assert!(out.contains("epochs ["), "{out}");
+        assert!(out.contains("now at epochs"), "{out}");
+        assert!(out.contains("30 live / 31 total"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Wire-level proof of sharded/single equivalence: `load --verify-data`
+    /// checks a *sharded* server's answers byte-for-byte against the offline
+    /// single-index `QuerySession::run` reference.
+    #[test]
+    fn load_verifies_sharded_server_against_single_index_reference() {
+        let dir = tmp("shardserve");
+        let _ = std::fs::remove_dir_all(&dir);
+        run_args(&[
+            "generate", "--kind", "dud", "--size", "40", "--seed", "23", "--out", &dir,
+        ])
+        .unwrap();
+        let mut registry = graphrep_serve::DatasetRegistry::new();
+        registry
+            .load_dir_sharded("default", std::path::Path::new(&dir), 3, 0x5eed)
+            .unwrap();
+        let handle = graphrep_serve::start(
+            graphrep_serve::ServeConfig {
+                workers: 2,
+                ..Default::default()
+            },
+            registry,
+        )
+        .unwrap();
+        let addr = handle.addr().to_string();
+        let out = run_args(&[
+            "load",
+            "--addr",
+            &addr,
+            "--connections",
+            "2",
+            "--requests",
+            "4",
+            "--verify-data",
+            &dir,
+        ])
+        .unwrap();
+        assert!(out.contains("errors: 0"), "{out}");
+        assert!(out.contains("verified: 8 answers"), "{out}");
+
+        // A wire mutation routes through the sharded backend and persists;
+        // the replayed load must verify against the *mutated* state (the
+        // offline reference replays the shard layout's tombstones).
+        let out = run_args(&[
+            "mutate", "--data", &dir, "--addr", &addr, "--insert", "1", "--remove", "2",
+        ])
+        .unwrap();
+        assert!(out.contains("insert → graph 40"), "{out}");
+        assert!(out.contains("remove → graph 2"), "{out}");
+        let out = run_args(&[
+            "load",
+            "--addr",
+            &addr,
+            "--connections",
+            "2",
+            "--requests",
+            "4",
+            "--verify-data",
+            &dir,
+            "--shutdown",
+            "true",
+        ])
+        .unwrap();
+        assert!(out.contains("errors: 0"), "{out}");
+        assert!(out.contains("verified: 8 answers"), "{out}");
         handle.wait();
         let _ = std::fs::remove_dir_all(&dir);
     }

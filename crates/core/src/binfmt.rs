@@ -417,7 +417,7 @@ fn decode_f32_column(
             // dictionary is bits-ascending, so checking its last entry
             // covers them all. Distances are non-negative, so in practice
             // this path always fires.
-            if !dict.last().is_some_and(|f| !f.is_sign_negative()) {
+            if dict.last().is_none_or(|f| f.is_sign_negative()) {
                 let col: Vec<f32> = indices.iter().map(|&ix| dict[ix as usize]).collect();
                 return Ok(sorted_by_comparison(&col));
             }
@@ -542,7 +542,7 @@ impl Writer {
                 acc = 0;
             }
         }
-        if bits.len() % 8 != 0 {
+        if !bits.len().is_multiple_of(8) {
             self.buf.push(acc);
         }
     }

@@ -432,12 +432,44 @@ pub fn offline_reference(ds: &LoadedDataset, spec: &LoadSpec) -> HashMap<(u64, u
 }
 
 /// Loads the dataset at `dir` and computes [`offline_reference`] for it.
+///
+/// A sharded layout (a `<dir>/shards/` manifest) persists liveness inside
+/// the per-shard indexes rather than a single `index.bin`, so its
+/// tombstones are replayed onto the freshly built reference index first —
+/// the ground truth stays a single-index `QuerySession::run`, answering
+/// over exactly the live set the scatter-gather server serves.
 pub fn offline_reference_from_dir(
     dir: &Path,
     spec: &LoadSpec,
 ) -> Result<HashMap<(u64, usize), AnswerSet>, ServeError> {
     let ds = LoadedDataset::open(&spec.dataset, dir, false)?;
-    Ok(offline_reference(&ds, spec))
+    let shard_dir = dir.join("shards");
+    if !shard_dir.is_dir() {
+        return Ok(offline_reference(&ds, spec));
+    }
+    let coord =
+        graphrep_shard::Coordinator::load(&shard_dir, graphrep_ged::GedConfig::default())
+            .map_err(|e| ServeError::new(format!("shard layout {}: {e}", shard_dir.display())))?;
+    let live: std::collections::HashSet<u32> = coord.live_ids().into_iter().collect();
+    let index = ds.index_arc();
+    let dead: Vec<u32> = (0..index.tree().len() as u32)
+        .filter(|g| index.tree().is_live(*g) && !live.contains(g))
+        .collect();
+    if dead.is_empty() {
+        return Ok(offline_reference(&ds, spec));
+    }
+    let mut fork = index.fork();
+    for g in dead {
+        fork.remove(g)
+            .map_err(|e| ServeError::new(format!("replaying shard tombstone {g}: {e}")))?;
+    }
+    let session = std::sync::Arc::new(fork).start_session_shared(ds.relevant_for(spec.quantile));
+    let mut map = HashMap::new();
+    for (theta, k) in spec.unique_queries() {
+        let (answer, _) = session.run(theta, k);
+        map.insert((theta.to_bits(), k), answer);
+    }
+    Ok(map)
 }
 
 /// Checks every served answer against the offline ground truth via the

@@ -38,6 +38,9 @@ pub use metrics::{Endpoint, EndpointCounters, LatencyHistogram, ServerMetrics};
 pub use protocol::{
     codes, AnswerBody, CacheTierStats, MutatedBody, Request, Response, ServeError, StatsBody,
 };
-pub use registry::{DatasetCaches, DatasetRegistry, LoadedDataset, MutationReceipt};
+pub use registry::{
+    DatasetCaches, DatasetEntry, DatasetRegistry, LoadedDataset, MutationReceipt, ShardedDataset,
+    ShardedMutationReceipt,
+};
 pub use server::{start, start_in_memory, ServeConfig, ServerHandle};
-pub use sessions::{LiveSession, SessionManager};
+pub use sessions::{LiveSession, SessionBackend, SessionManager};

@@ -197,6 +197,17 @@ pub struct AnswerBody {
     /// Not part of [`AnswerBody::fingerprint`] — a hit is byte-identical to
     /// the run it memoized; this flag only describes how it was obtained.
     pub cached: bool,
+    /// Number of shards the dataset is split over; `0` means the run went
+    /// through a single NB-Index (no scatter-gather).
+    pub shard_count: usize,
+    /// Greedy picks for which the bound aggregation skipped at least the
+    /// pruned shards (sharded runs only; see `shards_pruned`).
+    pub picks: u64,
+    /// Total shard visits the coordinator skipped across all picks because
+    /// the shard's aggregated bound could not beat the current best.
+    pub shards_pruned: u64,
+    /// Total shard visits that did refine candidates (verification work).
+    pub shards_touched: u64,
 }
 
 impl AnswerBody {
@@ -211,6 +222,28 @@ impl AnswerBody {
             distance_calls: stats.distance_calls,
             wall_ms: duration_ms(stats.wall),
             cached: false,
+            shard_count: 0,
+            picks: 0,
+            shards_pruned: 0,
+            shards_touched: 0,
+        }
+    }
+
+    /// Packs a scatter-gather run result for the wire: identical answer
+    /// fields, plus the coordinator's per-pick shard pruning statistics.
+    pub fn from_sharded_run(answer: &AnswerSet, stats: &graphrep_shard::CoordRunStats) -> Self {
+        Self {
+            ids: answer.ids.clone(),
+            covered: answer.covered,
+            relevant: answer.relevant,
+            pi_trajectory: answer.pi_trajectory.clone(),
+            distance_calls: stats.engine_entries.iter().sum(),
+            wall_ms: duration_ms(stats.wall),
+            cached: false,
+            shard_count: stats.shard_count,
+            picks: stats.picks,
+            shards_pruned: stats.pruned_shard_picks,
+            shards_touched: stats.touched_shard_picks,
         }
     }
 
@@ -323,6 +356,25 @@ impl From<CacheCounters> for CacheTierStats {
     }
 }
 
+/// One shard of a sharded dataset, as served by [`Response::Stats`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Shard mutation epoch.
+    pub epoch: u64,
+    /// Live members.
+    pub live: usize,
+    /// Member slots (live + tombstoned).
+    pub len: usize,
+    /// Edit-distance engine calls through the shard's own oracle.
+    pub engine_calls: u64,
+    /// Engine calls served for foreign (cross-shard) probes.
+    pub foreign_calls: u64,
+    /// Resident bytes of the shard's NB-Index.
+    pub index_memory_bytes: usize,
+}
+
 /// Per-dataset registry statistics.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DatasetStats {
@@ -342,6 +394,9 @@ pub struct DatasetStats {
     pub view_store: CacheTierStats,
     /// Cross-session answer-cache counters and memory.
     pub answer_cache: CacheTierStats,
+    /// Per-shard breakdown for sharded datasets; empty when the dataset is
+    /// served by a single NB-Index.
+    pub shards: Vec<ShardStats>,
 }
 
 /// Body of [`Response::Stats`]: a full observability snapshot.
@@ -380,6 +435,10 @@ pub struct MutatedBody {
     pub rebuilt: bool,
     /// Server-side wall time of the mutation in milliseconds.
     pub wall_ms: f64,
+    /// Full per-shard epoch vector after the mutation (sharded datasets
+    /// only; empty for single-index datasets). For sharded datasets the
+    /// `epoch` field above is the owning shard's epoch.
+    pub shard_epochs: Vec<u64>,
 }
 
 /// Body of [`Response::Error`].
@@ -580,6 +639,10 @@ mod tests {
             distance_calls: 42,
             wall_ms: 1.25,
             cached: false,
+            shard_count: 0,
+            picks: 0,
+            shards_pruned: 0,
+            shards_touched: 0,
         };
         let back = round_trip(&Response::Answer(body.clone()));
         match back {
@@ -604,6 +667,10 @@ mod tests {
             distance_calls: 0,
             wall_ms: 0.01,
             cached: false,
+            shard_count: 0,
+            picks: 0,
+            shards_pruned: 0,
+            shards_touched: 0,
         };
         let fp = body.fingerprint();
         body.cached = true;
@@ -675,6 +742,7 @@ mod tests {
             tombstones: 2,
             rebuilt: false,
             wall_ms: 0.75,
+            shard_epochs: vec![3, 6],
         });
         assert_eq!(round_trip(&resp), resp);
     }

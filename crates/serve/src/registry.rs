@@ -20,7 +20,7 @@
 //! detected as an epoch mismatch on the next open instead of silently
 //! serving a stale snapshot.
 
-use crate::protocol::{DatasetStats, OracleDelta, ServeError};
+use crate::protocol::{DatasetStats, OracleDelta, ServeError, ShardStats};
 use graphrep_core::{
     AnswerCache, CacheConfig, MutationOutcome, NbIndex, NbIndexConfig, RelevanceQuery, Scorer,
     ViewStore,
@@ -29,6 +29,7 @@ use graphrep_datagen::{store, Dataset};
 use graphrep_ged::{GedConfig, OracleStats, TierStats};
 use graphrep_graph::{Graph, GraphId};
 use graphrep_lockaudit::{TrackedReadGuard, TrackedRwLock};
+use graphrep_shard::{CoordConfig, CoordSession, Coordinator, RestoreSource};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -406,6 +407,364 @@ impl LoadedDataset {
             cache_enabled: self.caches.enabled(),
             view_store: self.caches.views.counters().into(),
             answer_cache: self.caches.answers.counters().into(),
+            shards: Vec::new(),
+        }
+    }
+}
+
+/// Receipt returned by [`ShardedDataset`] mutations: the single-dataset
+/// [`MutationReceipt`] fields plus the full per-shard epoch vector.
+#[derive(Debug, Clone)]
+pub struct ShardedMutationReceipt {
+    /// Affected graph id (the new id for inserts).
+    pub id: GraphId,
+    /// Owning shard index — the only shard whose epoch moved.
+    pub shard: usize,
+    /// The owning shard's epoch after the operation.
+    pub epoch: u64,
+    /// Full per-shard epoch vector after the operation.
+    pub epochs: Vec<u64>,
+    /// Live graphs across all shards after the operation.
+    pub live: usize,
+    /// Tombstoned graphs across all shards after the operation.
+    pub tombstones: usize,
+    /// Whether the owning shard's index tripped its rebuild policy.
+    pub rebuilt: bool,
+}
+
+/// One dataset served by a shard [`Coordinator`] instead of a single
+/// NB-Index (DESIGN.md §14): queries scatter-gather across per-shard
+/// indexes, mutations route to the owning shard, and the shard manifest
+/// under `<dir>/shards/` is the persistence commit record.
+///
+/// The coordinator serializes mutations on its own per-shard handle locks;
+/// the dataset lock here only guards the feature store used for relevance
+/// scoring, and the two are never held together.
+pub struct ShardedDataset {
+    name: String,
+    /// Backing directory; the coordinator persists under `<dir>/shards/`.
+    dir: Option<PathBuf>,
+    data: TrackedRwLock<Dataset>,
+    coord: Arc<Coordinator>,
+    /// How the coordinator came to be (`loaded` or `rebuilt (reason)`).
+    source: String,
+    base_oracle: OracleStats,
+    base_tiers: TierStats,
+    base_engine_calls: u64,
+    base_shard_calls: Vec<(u64, u64)>,
+}
+
+impl std::fmt::Debug for ShardedDataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedDataset")
+            .field("name", &self.name)
+            .field("shards", &self.coord.shard_count())
+            .field("epochs", &self.coord.epochs())
+            .finish()
+    }
+}
+
+/// Sums the per-shard oracle counters of `coord` into workspace-wide totals
+/// (plus raw engine calls), for delta reporting against a load baseline.
+fn sharded_oracle_totals(coord: &Coordinator) -> (OracleStats, TierStats, u64) {
+    let mut stats = OracleStats::default();
+    let mut tiers = TierStats::default();
+    let mut engine = 0u64;
+    for snap in coord.snapshots() {
+        let s = snap.oracle_stats();
+        stats.distance_computations += s.distance_computations;
+        stats.within_rejections += s.within_rejections;
+        stats.cache_hits += s.cache_hits;
+        stats.ub_accepts += s.ub_accepts;
+        let t = snap.oracle_tier_stats();
+        tiers.size_rejects += t.size_rejects;
+        tiers.label_rejects += t.label_rejects;
+        tiers.degree_rejects += t.degree_rejects;
+        tiers.vantage_lb_rejects += t.vantage_lb_rejects;
+        tiers.vantage_ub_accepts += t.vantage_ub_accepts;
+        engine += snap.engine_calls() + snap.foreign_calls();
+    }
+    (stats, tiers, engine)
+}
+
+impl ShardedDataset {
+    fn from_parts(
+        name: &str,
+        dir: Option<PathBuf>,
+        data: Dataset,
+        coord: Coordinator,
+        source: String,
+    ) -> Self {
+        let (base_oracle, base_tiers, base_engine_calls) = sharded_oracle_totals(&coord);
+        let base_shard_calls = coord
+            .snapshots()
+            .iter()
+            .map(|s| (s.engine_calls(), s.foreign_calls()))
+            .collect();
+        Self {
+            name: name.to_owned(),
+            dir,
+            data: TrackedRwLock::new("serve.registry.ShardedDataset.data", data),
+            coord: Arc::new(coord),
+            source,
+            base_oracle,
+            base_tiers,
+            base_engine_calls,
+            base_shard_calls,
+        }
+    }
+
+    /// Opens the dataset at `dir` sharded `shards` ways. A persisted shard
+    /// manifest under `<dir>/shards/` is loaded at its recorded epochs when
+    /// intact *and* its shard count matches; otherwise the coordinator is
+    /// rebuilt from the dataset and re-persisted (a torn manifest is
+    /// detected, never silently served — same discipline as `epoch.txt`).
+    pub fn open(name: &str, dir: &Path, shards: usize, seed: u64) -> Result<Self, ServeError> {
+        let data = store::load(dir)
+            .map_err(|e| ServeError::new(format!("loading {}: {e}", dir.display())))?;
+        let cfg = CoordConfig {
+            shards,
+            seed,
+            ladder: data.default_ladder.clone(),
+        };
+        let sdir = dir.join("shards");
+        let (coord, source) =
+            Coordinator::open_or_rebuild(&sdir, &data.db, GedConfig::default(), &cfg).map_err(
+                |e| ServeError::new(format!("opening shards at {}: {e:?}", sdir.display())),
+            )?;
+        let (coord, source) = if coord.shard_count() != shards.clamp(1, data.db.len().max(1)) {
+            let rebuilt = Coordinator::build(&data.db, GedConfig::default(), &cfg);
+            let _ = rebuilt.save(&sdir);
+            (
+                rebuilt,
+                format!("rebuilt (shard count changed to {shards})"),
+            )
+        } else {
+            let label = match source {
+                RestoreSource::Loaded => "loaded".to_owned(),
+                RestoreSource::Rebuilt(reason) => format!("rebuilt ({reason})"),
+            };
+            (coord, label)
+        };
+        Ok(Self::from_parts(
+            name,
+            Some(dir.to_path_buf()),
+            data,
+            coord,
+            source,
+        ))
+    }
+
+    /// Builds a sharded dataset from an in-memory dataset (no persistence)
+    /// — the shape in-process tests and benchmarks use.
+    pub fn in_memory(name: &str, data: Dataset, shards: usize, seed: u64) -> Self {
+        let cfg = CoordConfig {
+            shards,
+            seed,
+            ladder: data.default_ladder.clone(),
+        };
+        let coord = Coordinator::build(&data.db, GedConfig::default(), &cfg);
+        Self::from_parts(name, None, data, coord, "built".to_owned())
+    }
+
+    /// Registry name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The scatter-gather coordinator.
+    pub fn coordinator(&self) -> &Arc<Coordinator> {
+        &self.coord
+    }
+
+    /// The dataset's default threshold θ.
+    pub fn default_theta(&self) -> f64 {
+        self.data.read().default_theta
+    }
+
+    /// Same relevance function as [`LoadedDataset::relevant_for`], so a
+    /// sharded server answers exactly what the single-index server answers.
+    pub fn relevant_for(&self, quantile: f64) -> Vec<GraphId> {
+        let data = self.data.read();
+        let scorer = Scorer::MeanOfDims((0..data.db.dims().max(1)).collect());
+        RelevanceQuery::top_quantile(&data.db, scorer, quantile).relevant_set(&data.db)
+    }
+
+    /// Opens a scatter-gather session pinned to the current epoch vector.
+    pub fn open_session(&self, quantile: f64) -> CoordSession {
+        self.coord.session(self.relevant_for(quantile))
+    }
+
+    /// Inserts `graph` with `features`: the coordinator routes it to the
+    /// owning shard (bumping only that shard's epoch), then the feature
+    /// store follows. The locks are taken strictly one after the other.
+    pub fn insert_graph(
+        &self,
+        graph: Graph,
+        features: Vec<f64>,
+    ) -> Result<ShardedMutationReceipt, ServeError> {
+        {
+            let data = self.data.read();
+            if !data.db.is_empty() && features.len() != data.db.dims() {
+                return Err(ServeError::new(format!(
+                    "feature vector has {} dims, dataset has {}",
+                    features.len(),
+                    data.db.dims()
+                )));
+            }
+        }
+        let receipt = self
+            .coord
+            .insert(graph.clone())
+            .map_err(|e| ServeError::new(e.to_string()))?;
+        {
+            let mut data = self.data.write();
+            data.db = data.db.pushed(graph, features);
+            data.family.push(EXTERNAL_FAMILY);
+        }
+        self.persist();
+        Ok(self.receipt(receipt))
+    }
+
+    /// Tombstones graph `id` on its owning shard. The feature store keeps
+    /// the row so global ids stay aligned, mirroring the single-index path.
+    pub fn remove_graph(&self, id: GraphId) -> Result<ShardedMutationReceipt, ServeError> {
+        let receipt = self
+            .coord
+            .remove(id)
+            .map_err(|e| ServeError::new(e.to_string()))?;
+        self.persist();
+        Ok(self.receipt(receipt))
+    }
+
+    fn receipt(&self, r: graphrep_shard::CoordReceipt) -> ShardedMutationReceipt {
+        ShardedMutationReceipt {
+            id: r.id,
+            shard: r.shard,
+            epoch: r.epochs.get(r.shard).copied().unwrap_or(0),
+            live: r.live,
+            tombstones: self.coord.len().saturating_sub(r.live),
+            rebuilt: r.outcome == MutationOutcome::Rebuilt,
+            epochs: r.epochs,
+        }
+    }
+
+    /// Best-effort re-persist after a mutation: the feature store first,
+    /// then every shard payload, then the manifest — last, as the commit
+    /// record, so a torn save is detected on the next open.
+    fn persist(&self) {
+        let Some(dir) = &self.dir else { return };
+        {
+            let data = self.data.read();
+            let _ = store::save(&data, dir);
+        }
+        let _ = self.coord.save(&dir.join("shards"));
+    }
+
+    /// Serializable statistics: aggregate oracle deltas plus the per-shard
+    /// breakdown (epochs, engine/foreign calls, index memory).
+    pub fn stats(&self) -> DatasetStats {
+        let (stats, tiers, engine) = sharded_oracle_totals(&self.coord);
+        let shards = self
+            .coord
+            .overview()
+            .into_iter()
+            .map(|o| {
+                let (base_eng, base_foreign) = self
+                    .base_shard_calls
+                    .get(o.shard)
+                    .copied()
+                    .unwrap_or((0, 0));
+                ShardStats {
+                    shard: o.shard,
+                    epoch: o.epoch,
+                    live: o.live,
+                    len: o.len,
+                    engine_calls: o.engine_calls.saturating_sub(base_eng),
+                    foreign_calls: o.foreign_calls.saturating_sub(base_foreign),
+                    index_memory_bytes: o.index_memory_bytes,
+                }
+            })
+            .collect::<Vec<_>>();
+        DatasetStats {
+            name: self.name.clone(),
+            graphs: self.data.read().db.len(),
+            index_memory_bytes: shards.iter().map(|s| s.index_memory_bytes).sum(),
+            index_source: format!("sharded x{} ({})", self.coord.shard_count(), self.source),
+            oracle: OracleDelta {
+                distance_computations: stats
+                    .distance_computations
+                    .saturating_sub(self.base_oracle.distance_computations),
+                within_rejections: stats
+                    .within_rejections
+                    .saturating_sub(self.base_oracle.within_rejections),
+                cache_hits: stats.cache_hits.saturating_sub(self.base_oracle.cache_hits),
+                ub_accepts: stats.ub_accepts.saturating_sub(self.base_oracle.ub_accepts),
+                engine_calls: engine.saturating_sub(self.base_engine_calls),
+                size_rejects: tiers
+                    .size_rejects
+                    .saturating_sub(self.base_tiers.size_rejects),
+                label_rejects: tiers
+                    .label_rejects
+                    .saturating_sub(self.base_tiers.label_rejects),
+                degree_rejects: tiers
+                    .degree_rejects
+                    .saturating_sub(self.base_tiers.degree_rejects),
+                vantage_lb_rejects: tiers
+                    .vantage_lb_rejects
+                    .saturating_sub(self.base_tiers.vantage_lb_rejects),
+                vantage_ub_accepts: tiers
+                    .vantage_ub_accepts
+                    .saturating_sub(self.base_tiers.vantage_ub_accepts),
+            },
+            cache_enabled: false,
+            view_store: Default::default(),
+            answer_cache: Default::default(),
+            shards,
+        }
+    }
+}
+
+/// One registry entry: a dataset served by a single NB-Index or by a shard
+/// coordinator. Cloning is cheap (`Arc`s).
+#[derive(Debug, Clone)]
+pub enum DatasetEntry {
+    /// Single-index dataset (the default deployment).
+    Single(Arc<LoadedDataset>),
+    /// Scatter-gather dataset split over shards.
+    Sharded(Arc<ShardedDataset>),
+}
+
+impl DatasetEntry {
+    /// Registry name.
+    pub fn name(&self) -> &str {
+        match self {
+            DatasetEntry::Single(ds) => ds.name(),
+            DatasetEntry::Sharded(ds) => ds.name(),
+        }
+    }
+
+    /// Per-dataset statistics for the `stats` endpoint.
+    pub fn stats(&self) -> DatasetStats {
+        match self {
+            DatasetEntry::Single(ds) => ds.stats(),
+            DatasetEntry::Sharded(ds) => ds.stats(),
+        }
+    }
+
+    /// The single-index dataset behind this entry, if it is not sharded.
+    pub fn as_single(&self) -> Option<&Arc<LoadedDataset>> {
+        match self {
+            DatasetEntry::Single(ds) => Some(ds),
+            DatasetEntry::Sharded(_) => None,
+        }
+    }
+
+    /// The sharded dataset behind this entry, if it is sharded.
+    pub fn as_sharded(&self) -> Option<&Arc<ShardedDataset>> {
+        match self {
+            DatasetEntry::Single(_) => None,
+            DatasetEntry::Sharded(ds) => Some(ds),
         }
     }
 }
@@ -414,7 +773,7 @@ impl LoadedDataset {
 /// themselves mutate internally).
 #[derive(Debug, Default)]
 pub struct DatasetRegistry {
-    map: HashMap<String, Arc<LoadedDataset>>,
+    map: HashMap<String, DatasetEntry>,
 }
 
 impl DatasetRegistry {
@@ -444,17 +803,38 @@ impl DatasetRegistry {
         cache: CacheConfig,
     ) -> Result<(), ServeError> {
         let ds = LoadedDataset::open(name, dir, persist_built)?.with_cache_config(cache);
-        self.map.insert(name.to_owned(), Arc::new(ds));
+        self.insert(ds);
         Ok(())
     }
 
-    /// Registers an already-loaded dataset (used by in-process tests).
+    /// Loads and registers the dataset at `dir` sharded `shards` ways (the
+    /// `graphrep serve --shards S` path; see [`ShardedDataset::open`]).
+    pub fn load_dir_sharded(
+        &mut self,
+        name: &str,
+        dir: &Path,
+        shards: usize,
+        seed: u64,
+    ) -> Result<(), ServeError> {
+        let ds = ShardedDataset::open(name, dir, shards, seed)?;
+        self.insert_sharded(ds);
+        Ok(())
+    }
+
+    /// Registers an already-loaded single-index dataset.
     pub fn insert(&mut self, ds: LoadedDataset) {
-        self.map.insert(ds.name.clone(), Arc::new(ds));
+        self.map
+            .insert(ds.name.clone(), DatasetEntry::Single(Arc::new(ds)));
+    }
+
+    /// Registers an already-built sharded dataset.
+    pub fn insert_sharded(&mut self, ds: ShardedDataset) {
+        self.map
+            .insert(ds.name.clone(), DatasetEntry::Sharded(Arc::new(ds)));
     }
 
     /// Looks a dataset up by name.
-    pub fn get(&self, name: &str) -> Option<Arc<LoadedDataset>> {
+    pub fn get(&self, name: &str) -> Option<DatasetEntry> {
         self.map.get(name).cloned()
     }
 

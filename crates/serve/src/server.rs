@@ -24,8 +24,8 @@ use crate::protocol::{
     codes, AnswerBody, ErrorBody, FrameRead, InsertBody, MutatedBody, OpenBody, OpenedBody,
     PingBody, RemoveBody, Request, Response, RunBody, ServeError, StatsBody,
 };
-use crate::registry::DatasetRegistry;
-use crate::sessions::SessionManager;
+use crate::registry::{DatasetEntry, DatasetRegistry};
+use crate::sessions::{SessionBackend, SessionManager};
 use crate::{protocol, registry};
 use graphrep_core::CancelToken;
 use graphrep_lockaudit::{TrackedCondvar, TrackedMutex};
@@ -198,7 +198,7 @@ fn graph_from_wire(b: &InsertBody) -> Result<graphrep_graph::Graph, String> {
 }
 
 fn insert_graph(shared: &Shared, b: InsertBody) -> Response {
-    let Some(ds) = shared.registry.get(&b.dataset) else {
+    let Some(entry) = shared.registry.get(&b.dataset) else {
         return err(codes::NOT_FOUND, format!("unknown dataset `{}`", b.dataset));
     };
     if b.nodes.is_empty() {
@@ -209,57 +209,96 @@ fn insert_graph(shared: &Shared, b: InsertBody) -> Response {
         Err(m) => return err(codes::BAD_REQUEST, m),
     };
     let t0 = Instant::now();
-    match ds.insert_graph(graph, b.features) {
-        Ok(r) => Response::Mutated(MutatedBody {
-            id: r.id,
-            epoch: r.epoch,
-            live: r.live,
-            tombstones: r.tombstones,
-            rebuilt: r.rebuilt,
-            wall_ms: protocol::duration_ms(t0.elapsed()),
-        }),
-        Err(e) => err(codes::BAD_REQUEST, e.message),
+    match entry {
+        DatasetEntry::Single(ds) => match ds.insert_graph(graph, b.features) {
+            Ok(r) => Response::Mutated(MutatedBody {
+                id: r.id,
+                epoch: r.epoch,
+                live: r.live,
+                tombstones: r.tombstones,
+                rebuilt: r.rebuilt,
+                wall_ms: protocol::duration_ms(t0.elapsed()),
+                shard_epochs: Vec::new(),
+            }),
+            Err(e) => err(codes::BAD_REQUEST, e.message),
+        },
+        DatasetEntry::Sharded(ds) => match ds.insert_graph(graph, b.features) {
+            Ok(r) => Response::Mutated(MutatedBody {
+                id: r.id,
+                epoch: r.epoch,
+                live: r.live,
+                tombstones: r.tombstones,
+                rebuilt: r.rebuilt,
+                wall_ms: protocol::duration_ms(t0.elapsed()),
+                shard_epochs: r.epochs,
+            }),
+            Err(e) => err(codes::BAD_REQUEST, e.message),
+        },
     }
 }
 
 fn remove_graph(shared: &Shared, b: RemoveBody) -> Response {
-    let Some(ds) = shared.registry.get(&b.dataset) else {
+    let Some(entry) = shared.registry.get(&b.dataset) else {
         return err(codes::NOT_FOUND, format!("unknown dataset `{}`", b.dataset));
     };
     let t0 = Instant::now();
-    match ds.remove_graph(b.id) {
-        Ok(r) => Response::Mutated(MutatedBody {
-            id: r.id,
-            epoch: r.epoch,
-            live: r.live,
-            tombstones: r.tombstones,
-            rebuilt: r.rebuilt,
-            wall_ms: protocol::duration_ms(t0.elapsed()),
-        }),
-        Err(e) => err(codes::BAD_REQUEST, e.message),
+    match entry {
+        DatasetEntry::Single(ds) => match ds.remove_graph(b.id) {
+            Ok(r) => Response::Mutated(MutatedBody {
+                id: r.id,
+                epoch: r.epoch,
+                live: r.live,
+                tombstones: r.tombstones,
+                rebuilt: r.rebuilt,
+                wall_ms: protocol::duration_ms(t0.elapsed()),
+                shard_epochs: Vec::new(),
+            }),
+            Err(e) => err(codes::BAD_REQUEST, e.message),
+        },
+        DatasetEntry::Sharded(ds) => match ds.remove_graph(b.id) {
+            Ok(r) => Response::Mutated(MutatedBody {
+                id: r.id,
+                epoch: r.epoch,
+                live: r.live,
+                tombstones: r.tombstones,
+                rebuilt: r.rebuilt,
+                wall_ms: protocol::duration_ms(t0.elapsed()),
+                shard_epochs: r.epochs,
+            }),
+            Err(e) => err(codes::BAD_REQUEST, e.message),
+        },
     }
 }
 
 fn open_session(shared: &Shared, o: OpenBody) -> Response {
-    let Some(ds) = shared.registry.get(&o.dataset) else {
+    let Some(entry) = shared.registry.get(&o.dataset) else {
         return err(codes::NOT_FOUND, format!("unknown dataset `{}`", o.dataset));
     };
     if !(0.0..=1.0).contains(&o.quantile) {
         return err(codes::BAD_REQUEST, "quantile must be in [0, 1]");
     }
     let t0 = Instant::now();
-    // Through the index so tombstoned ids are filtered from the relevant set.
-    let mut session = ds
-        .index_arc()
-        .start_session_shared(ds.relevant_for(o.quantile));
-    if ds.caches().enabled() {
-        // Runs on this session serve and materialize θ-neighborhood views;
-        // keys carry the pinned snapshot's epoch, so this stays sound even
-        // for sessions that outlive later mutations.
-        session = session.with_views(ds.caches().views());
-    }
-    let relevant = session.relevant().len();
-    let id = shared.sessions.insert(o.dataset, session);
+    let backend = match entry {
+        DatasetEntry::Single(ds) => {
+            // Through the index so tombstoned ids are filtered from the
+            // relevant set.
+            let mut session = ds
+                .index_arc()
+                .start_session_shared(ds.relevant_for(o.quantile));
+            if ds.caches().enabled() {
+                // Runs on this session serve and materialize θ-neighborhood
+                // views; keys carry the pinned snapshot's epoch, so this
+                // stays sound even for sessions that outlive later mutations.
+                session = session.with_views(ds.caches().views());
+            }
+            SessionBackend::Single(session)
+        }
+        // Scatter-gather sessions pin the full per-shard epoch vector; the
+        // coordinator drops tombstoned ids under the same admission rule.
+        DatasetEntry::Sharded(ds) => SessionBackend::Sharded(ds.open_session(o.quantile)),
+    };
+    let relevant = backend.relevant_len();
+    let id = shared.sessions.insert(o.dataset, backend);
     Response::Opened(OpenedBody {
         session: id,
         relevant,
@@ -281,6 +320,15 @@ fn run_query(shared: &Shared, r: RunBody, arrived: Instant) -> Response {
         );
     };
     let deadline_ms = r.deadline_ms.or(shared.cfg.default_deadline_ms);
+    let session = match live.backend() {
+        SessionBackend::Single(session) => session,
+        SessionBackend::Sharded(session) => {
+            // Scatter-gather runs are not cancellable mid-pick yet; the
+            // deadline budget still bounds queue wait via admission time.
+            let (answer, stats) = session.run(r.theta, r.k);
+            return Response::Answer(AnswerBody::from_sharded_run(&answer, &stats));
+        }
+    };
     let cancel = match deadline_ms {
         // Measured from admission: queue wait spends the same budget.
         Some(ms) => CancelToken::with_deadline(arrived + Duration::from_millis(ms)),
@@ -289,19 +337,20 @@ fn run_query(shared: &Shared, r: RunBody, arrived: Instant) -> Response {
     let caches = shared
         .registry
         .get(live.dataset())
-        .map(|ds| Arc::clone(ds.caches()))
+        .and_then(|entry| match entry {
+            DatasetEntry::Single(ds) => Some(Arc::clone(ds.caches())),
+            DatasetEntry::Sharded(_) => None,
+        })
         .filter(|c| c.enabled());
     let result = match &caches {
-        Some(c) => live
-            .session()
+        Some(c) => session
             .run_cached_cancellable(r.theta, r.k, &cancel, &c.answers())
             .map(|(answer, stats, cached)| {
                 let mut body = AnswerBody::from_run(&answer, &stats);
                 body.cached = cached;
                 body
             }),
-        None => live
-            .session()
+        None => session
             .run_cancellable(r.theta, r.k, &cancel)
             .map(|(answer, stats)| AnswerBody::from_run(&answer, &stats)),
     };

@@ -9,16 +9,52 @@
 
 use graphrep_core::QuerySession;
 use graphrep_lockaudit::{TrackedMutex, TrackedRwLock};
+use graphrep_shard::CoordSession;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// One open session: the shared-index query session plus bookkeeping.
+/// The query engine behind one open session: a single shared-index session
+/// or a scatter-gather session over a shard coordinator. Both pin their
+/// snapshot (index `Arc` / per-shard epoch vector) at open time.
+pub enum SessionBackend {
+    /// Session over one shared NB-Index.
+    Single(QuerySession),
+    /// Scatter-gather session over a shard coordinator.
+    Sharded(CoordSession),
+}
+
+impl std::fmt::Debug for SessionBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionBackend::Single(_) => f
+                .debug_struct("SessionBackend::Single")
+                .field("relevant", &self.relevant_len())
+                .finish(),
+            SessionBackend::Sharded(_) => f
+                .debug_struct("SessionBackend::Sharded")
+                .field("relevant", &self.relevant_len())
+                .finish(),
+        }
+    }
+}
+
+impl SessionBackend {
+    /// Size of the pinned relevant set `|L_q|`.
+    pub fn relevant_len(&self) -> usize {
+        match self {
+            SessionBackend::Single(s) => s.relevant().len(),
+            SessionBackend::Sharded(s) => s.relevant().len(),
+        }
+    }
+}
+
+/// One open session: the query backend plus bookkeeping.
 pub struct LiveSession {
     id: u64,
     dataset: String,
-    session: QuerySession,
+    backend: SessionBackend,
     last_used: TrackedMutex<Instant>,
 }
 
@@ -27,7 +63,7 @@ impl std::fmt::Debug for LiveSession {
         f.debug_struct("LiveSession")
             .field("id", &self.id)
             .field("dataset", &self.dataset)
-            .field("relevant", &self.session.relevant().len())
+            .field("relevant", &self.backend.relevant_len())
             .finish()
     }
 }
@@ -43,10 +79,10 @@ impl LiveSession {
         &self.dataset
     }
 
-    /// The underlying query session. `run`/`run_cancellable` take `&self`,
+    /// The underlying query backend. Runs take `&self` on both variants,
     /// so concurrent runs on one session are safe.
-    pub fn session(&self) -> &QuerySession {
-        &self.session
+    pub fn backend(&self) -> &SessionBackend {
+        &self.backend
     }
 
     fn touch(&self) {
@@ -80,14 +116,14 @@ impl SessionManager {
 
     /// Registers a session, returning its id. Expired sessions are swept as
     /// a side effect, bounding the table by the live working set.
-    pub fn insert(&self, dataset: String, session: QuerySession) -> u64 {
+    pub fn insert(&self, dataset: String, backend: SessionBackend) -> u64 {
         self.sweep();
         // Relaxed: the id only needs uniqueness, not ordering with the map.
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let live = Arc::new(LiveSession {
             id,
             dataset,
-            session,
+            backend,
             last_used: TrackedMutex::new("serve.sessions.LiveSession.last_used", Instant::now()),
         });
         self.map.write().insert(id, live);
@@ -167,11 +203,11 @@ mod tests {
     use graphrep_datagen::{DatasetKind, DatasetSpec};
     use graphrep_ged::GedConfig;
 
-    fn tiny_session() -> QuerySession {
+    fn tiny_session() -> SessionBackend {
         let data = DatasetSpec::new(DatasetKind::DudLike, 12, 7).generate();
         let oracle = data.db.oracle(GedConfig::default());
         let index = Arc::new(NbIndex::build(oracle, NbIndexConfig::default()));
-        index.start_session_shared(vec![0, 1, 2, 3])
+        SessionBackend::Single(index.start_session_shared(vec![0, 1, 2, 3]))
     }
 
     #[test]
@@ -181,7 +217,7 @@ mod tests {
         assert_eq!(m.len(), 1);
         let live = m.get(id).expect("session should be live");
         assert_eq!(live.dataset(), "d");
-        assert_eq!(live.session().relevant().len(), 4);
+        assert_eq!(live.backend().relevant_len(), 4);
         assert!(m.remove(id));
         assert!(!m.remove(id));
         assert!(m.get(id).is_none());

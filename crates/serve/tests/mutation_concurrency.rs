@@ -193,7 +193,7 @@ fn mutations_race_eight_query_threads() {
     }
 
     // No lost updates: the final index state reflects every op.
-    let final_index = ds.index_arc();
+    let final_index = ds.as_single().expect("single-index dataset").index_arc();
     assert_eq!(final_index.epoch(), 8);
     assert_eq!(final_index.tree().len(), BASE + inserts.len());
     assert_eq!(final_index.tree().live_len(), BASE);

@@ -1,0 +1,750 @@
+//! The scatter-gather coordinator: distributed greedy/CELF over shards.
+//!
+//! The coordinator never performs distance work itself (enforced by lint
+//! G011): it aggregates per-shard π̂ upper bounds into one global best-first
+//! frontier and asks a shard to refine — verify a candidate's exact
+//! θ-neighborhood, paying GED — only while that candidate's bound can still
+//! beat the best verified pick. Shards whose geometry proves they cannot
+//! contribute members (center-distance triangle test, DESIGN.md §14) are
+//! never contacted at all; the per-pick fraction of such silent shards is
+//! the subsystem's headline pruning metric.
+//!
+//! Exactness: every accepted pick has a *verified* marginal gain at least
+//! every bound left in the frontier, with ties toward the smaller global
+//! id — the same acceptance rule as [`graphrep_core::QuerySession`], so a
+//! sharded answer is byte-identical to the single-index answer.
+//!
+//! Consistency: mutations route to the owning shard, run fork-mutate-swap
+//! under that shard's handle lock, and bump only that shard's epoch. A
+//! session snapshots every shard's `Arc` once at creation — an epoch
+//! *vector* — so its answers are serializable against one global state.
+
+use crate::manifest::{Manifest, ManifestError};
+use crate::partition::{partition, PartitionConfig};
+use crate::shard::{ShardIoError, ShardState};
+use graphrep_core::{AnswerSet, GraphDatabase, MutateError, MutationOutcome};
+use graphrep_ged::GedConfig;
+use graphrep_graph::{Graph, GraphId};
+use graphrep_lockaudit::TrackedRwLock;
+use graphrep_metric::Bitset;
+use std::collections::{BinaryHeap, HashMap};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Triangle-prune slop, matching the oracle's θ-membership boundary
+/// (`d ≤ θ + 1e-9` is inside, so only `bound > θ + 1e-9` may prune).
+const THETA_EPS: f64 = 1e-9;
+
+/// Coordinator build parameters.
+#[derive(Debug, Clone)]
+pub struct CoordConfig {
+    /// Requested shard count `S`.
+    pub shards: usize,
+    /// Partitioner seed (center selection).
+    pub seed: u64,
+    /// π̂ threshold ladder for the per-shard indexes.
+    pub ladder: Vec<f64>,
+}
+
+impl Default for CoordConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            seed: 0x5eed,
+            ladder: vec![],
+        }
+    }
+}
+
+/// One shard's slot in the coordinator: the current snapshot behind a
+/// tracked lock, swapped whole on mutation.
+#[derive(Debug)]
+struct ShardHandle {
+    state: TrackedRwLock<Arc<ShardState>>,
+}
+
+/// Receipt for a routed mutation: which shard absorbed it and the full
+/// per-shard epoch vector afterwards.
+#[derive(Debug, Clone)]
+pub struct CoordReceipt {
+    /// Global id inserted or removed.
+    pub id: GraphId,
+    /// Owning shard the mutation landed on.
+    pub shard: usize,
+    /// How the owning shard absorbed it.
+    pub outcome: MutationOutcome,
+    /// Epoch of every shard after the mutation (only `shard`'s moved).
+    pub epochs: Vec<u64>,
+    /// Total live graphs across shards.
+    pub live: usize,
+}
+
+/// How [`Coordinator::open_or_rebuild`] obtained its state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestoreSource {
+    /// Every shard loaded from disk at its manifest epoch.
+    Loaded,
+    /// Persisted state was absent, torn, or inconsistent; shards were
+    /// rebuilt from the source dataset (reason attached).
+    Rebuilt(String),
+}
+
+/// Why a persisted coordinator failed to load.
+#[derive(Debug)]
+pub enum CoordError {
+    /// Manifest missing, torn, or malformed.
+    Manifest(ManifestError),
+    /// A shard directory failed to restore.
+    Shard(usize, ShardIoError),
+}
+
+impl std::fmt::Display for CoordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoordError::Manifest(e) => write!(f, "{e}"),
+            CoordError::Shard(s, e) => write!(f, "shard {s}: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoordError {}
+
+/// The sharded deployment: partition geometry plus one handle per shard.
+#[derive(Debug)]
+pub struct Coordinator {
+    shards: Vec<ShardHandle>,
+    seed: u64,
+    /// Global center ids, fixed at partition time.
+    centers: Vec<GraphId>,
+    /// Dense `S×S` center-to-center distances, row-major.
+    center_dist: Vec<f64>,
+    ladder: Vec<f64>,
+    /// Next global id an insert will claim — monotone, tracking exactly the
+    /// id a single-index deployment would assign (`oracle.len()`).
+    next_id: AtomicU64,
+}
+
+impl Coordinator {
+    /// Partitions `db` and builds every shard's index.
+    pub fn build(db: &GraphDatabase, ged: GedConfig, cfg: &CoordConfig) -> Coordinator {
+        let part = partition(
+            db,
+            ged,
+            &PartitionConfig {
+                shards: cfg.shards,
+                seed: cfg.seed,
+            },
+        );
+        let shards = part
+            .members
+            .iter()
+            .enumerate()
+            .map(|(s, members)| ShardHandle {
+                state: TrackedRwLock::new(
+                    "shard.coordinator.ShardHandle.state",
+                    Arc::new(ShardState::build(
+                        db,
+                        ged,
+                        members.clone(),
+                        part.to_center[s].clone(),
+                        part.centers[s],
+                        part.radius[s],
+                        &cfg.ladder,
+                    )),
+                ),
+            })
+            .collect();
+        Coordinator {
+            shards,
+            seed: cfg.seed,
+            centers: part.centers,
+            center_dist: part.center_dist,
+            ladder: cfg.ladder.clone(),
+            next_id: AtomicU64::new(db.len() as u64),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Current snapshot of shard `s`.
+    fn snap(&self, s: usize) -> Arc<ShardState> {
+        self.shards[s].state.read().clone()
+    }
+
+    /// Current snapshots of every shard — one consistent epoch vector per
+    /// individual read, pinned for as long as the caller holds the `Arc`s.
+    fn snap_all(&self) -> Vec<Arc<ShardState>> {
+        (0..self.shards.len()).map(|s| self.snap(s)).collect()
+    }
+
+    /// Current snapshots of every shard, for observability layers that
+    /// aggregate per-shard counters themselves. Each entry pins that
+    /// shard's state at its own epoch, exactly like a session would.
+    pub fn snapshots(&self) -> Vec<Arc<ShardState>> {
+        self.snap_all()
+    }
+
+    /// Per-shard mutation epochs right now.
+    pub fn epochs(&self) -> Vec<u64> {
+        self.snap_all().iter().map(|s| s.epoch()).collect()
+    }
+
+    /// Total live graphs across shards.
+    pub fn live_len(&self) -> usize {
+        self.snap_all().iter().map(|s| s.live_len()).sum()
+    }
+
+    /// Total member slots across shards (live + tombstoned).
+    pub fn len(&self) -> usize {
+        self.snap_all().iter().map(|s| s.len()).sum()
+    }
+
+    /// Global ids of every live member, ascending. Lets a single-index
+    /// reference replay this layout's tombstones, since liveness is
+    /// persisted per shard rather than in one `index.bin`.
+    pub fn live_ids(&self) -> Vec<GraphId> {
+        let mut ids: Vec<GraphId> = Vec::with_capacity(self.live_len());
+        for s in self.snap_all() {
+            ids.extend(
+                (0..s.len() as GraphId)
+                    .filter(|&l| s.is_live(l))
+                    .map(|l| s.global_of(l)),
+            );
+        }
+        ids.sort_unstable();
+        ids
+    }
+
+    /// True when no shard holds any member slot.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Opens a query session pinned to the current epoch vector. Tombstoned
+    /// ids in `relevant` are dropped, preserving order — the same admission
+    /// rule as [`graphrep_core::NbIndex::start_session`].
+    pub fn session(&self, relevant: Vec<GraphId>) -> CoordSession {
+        CoordSession::new(
+            self.snap_all(),
+            self.center_dist.clone(),
+            relevant,
+            // SeqCst: the id-space bound must not be observed behind a
+            // concurrently completed insert's snapshot.
+            self.next_id.load(Ordering::SeqCst) as usize,
+        )
+    }
+
+    /// Inserts `graph`, routing it to the shard with the nearest center
+    /// (ties toward the smaller shard index) and assigning the next global
+    /// id — exactly the id a single-index deployment would assign.
+    pub fn insert(&self, graph: Graph) -> Result<CoordReceipt, MutateError> {
+        // Routing distances probe fixed center graphs: no lock is held and
+        // no later mutation can change the owner.
+        let snaps = self.snap_all();
+        let mut owner = (f64::INFINITY, 0usize);
+        for (s, snap) in snaps.iter().enumerate() {
+            let d = snap.center_distance(&graph);
+            if d < owner.0 {
+                owner = (d, s);
+            }
+        }
+        let (d_center, s) = owner;
+        // SeqCst: global ids must form one total order across all shards so
+        // they match what a single-index deployment would assign.
+        let global = self.next_id.fetch_add(1, Ordering::SeqCst) as GraphId;
+        let outcome = {
+            let mut guard = self.shards[s].state.write();
+            let (next, outcome) = guard
+                // graphrep: allow(G008, mutations serialize on the owning shard's handle lock by design -- the NP-hard insert runs on a private fork while readers and sessions keep their pinned Arc snapshots; only competing mutations of the same shard wait)
+                .with_insert(graph, global, d_center)?;
+            *guard = Arc::new(next);
+            outcome
+        };
+        Ok(self.receipt(global, s, outcome))
+    }
+
+    /// Tombstones global id `g` on its owning shard.
+    pub fn remove(&self, g: GraphId) -> Result<CoordReceipt, MutateError> {
+        let snaps = self.snap_all();
+        let Some(s) = snaps.iter().position(|snap| snap.local_of(g).is_some()) else {
+            return Err(MutateError(format!("graph {g} is not owned by any shard")));
+        };
+        let outcome = {
+            let mut guard = self.shards[s].state.write();
+            let (next, outcome) = guard
+                // graphrep: allow(G008, same serialization as insert -- the tombstone and any rebuild it trips run on a private fork under the owning shard's handle lock)
+                .with_remove(g)?;
+            *guard = Arc::new(next);
+            outcome
+        };
+        Ok(self.receipt(g, s, outcome))
+    }
+
+    fn receipt(&self, id: GraphId, shard: usize, outcome: MutationOutcome) -> CoordReceipt {
+        let snaps = self.snap_all();
+        CoordReceipt {
+            id,
+            shard,
+            outcome,
+            epochs: snaps.iter().map(|s| s.epoch()).collect(),
+            live: snaps.iter().map(|s| s.live_len()).sum(),
+        }
+    }
+
+    /// Cumulative per-shard engine entries: oracle-mediated calls plus
+    /// foreign-probe calls, one entry per shard.
+    pub fn engine_entries(&self) -> Vec<u64> {
+        self.snap_all()
+            .iter()
+            .map(|s| s.engine_calls() + s.foreign_calls())
+            .collect()
+    }
+
+    /// Point-in-time per-shard overview for observability endpoints (one
+    /// consistent snapshot per shard, like [`Coordinator::epochs`]).
+    pub fn overview(&self) -> Vec<ShardOverview> {
+        self.snap_all()
+            .iter()
+            .enumerate()
+            .map(|(shard, s)| ShardOverview {
+                shard,
+                epoch: s.epoch(),
+                len: s.len(),
+                live: s.live_len(),
+                radius: s.radius(),
+                engine_calls: s.engine_calls(),
+                foreign_calls: s.foreign_calls(),
+                index_memory_bytes: s.index_memory_bytes(),
+            })
+            .collect()
+    }
+
+    /// Persists every shard (its `graphs.txt` + `index.bin`) and then the
+    /// manifest — last, as the commit record: a torn save leaves a missing
+    /// or unterminated manifest, which [`Coordinator::load`] detects.
+    pub fn save(&self, dir: &Path) -> std::io::Result<()> {
+        let snaps = self.snap_all();
+        std::fs::create_dir_all(dir)?;
+        for (s, snap) in snaps.iter().enumerate() {
+            snap.save_dir(&dir.join(format!("shard{s}")))?;
+        }
+        let manifest = Manifest {
+            seed: self.seed,
+            // SeqCst: the persisted watermark must cover every id already
+            // handed out, or a restart could re-issue one.
+            next_id: self.next_id.load(Ordering::SeqCst),
+            ladder: self.ladder.clone(),
+            centers: self.centers.clone(),
+            center_dist: self.center_dist.clone(),
+            shards: snaps.iter().map(|s| s.record()).collect(),
+        };
+        std::fs::write(dir.join("manifest.txt"), manifest.encode())
+    }
+
+    /// Restores a coordinator from [`Coordinator::save`] output, verifying
+    /// each shard loads at its recorded epoch.
+    pub fn load(dir: &Path, ged: GedConfig) -> Result<Coordinator, CoordError> {
+        let text = std::fs::read_to_string(dir.join("manifest.txt"))
+            .map_err(|e| CoordError::Manifest(ManifestError::Io(e)))?;
+        let manifest = Manifest::decode(&text).map_err(CoordError::Manifest)?;
+        let mut shards = Vec::with_capacity(manifest.shards.len());
+        for (s, rec) in manifest.shards.iter().enumerate() {
+            let state = ShardState::load_dir(
+                &dir.join(format!("shard{s}")),
+                ged,
+                rec,
+                manifest.centers[s],
+            )
+            .map_err(|e| CoordError::Shard(s, e))?;
+            shards.push(ShardHandle {
+                state: TrackedRwLock::new("shard.coordinator.ShardHandle.state", Arc::new(state)),
+            });
+        }
+        Ok(Coordinator {
+            shards,
+            seed: manifest.seed,
+            centers: manifest.centers,
+            center_dist: manifest.center_dist,
+            ladder: manifest.ladder,
+            next_id: AtomicU64::new(manifest.next_id),
+        })
+    }
+
+    /// [`Coordinator::load`], falling back to a fresh build from `db` (which
+    /// is then saved to `dir`) when the persisted state is absent, torn, or
+    /// inconsistent — mirroring the serve layer's `epoch.txt` discipline.
+    pub fn open_or_rebuild(
+        dir: &Path,
+        db: &GraphDatabase,
+        ged: GedConfig,
+        cfg: &CoordConfig,
+    ) -> std::io::Result<(Coordinator, RestoreSource)> {
+        match Coordinator::load(dir, ged) {
+            Ok(c) => Ok((c, RestoreSource::Loaded)),
+            Err(e) => {
+                let coord = Coordinator::build(db, ged, cfg);
+                coord.save(dir)?;
+                Ok((coord, RestoreSource::Rebuilt(e.to_string())))
+            }
+        }
+    }
+}
+
+/// One shard's slice of a [`Coordinator::overview`] snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardOverview {
+    /// Shard index.
+    pub shard: usize,
+    /// Mutation epoch.
+    pub epoch: u64,
+    /// Member slots (live + tombstoned).
+    pub len: usize,
+    /// Live members.
+    pub live: usize,
+    /// Covering radius around the shard center.
+    pub radius: f64,
+    /// Edit-distance engine calls through the shard's oracle.
+    pub engine_calls: u64,
+    /// Engine calls served for foreign (cross-shard) probes.
+    pub foreign_calls: u64,
+    /// Resident bytes of the shard's NB-Index.
+    pub index_memory_bytes: usize,
+}
+
+/// Statistics of one distributed run.
+#[derive(Debug, Clone, Default)]
+pub struct CoordRunStats {
+    /// Greedy picks completed.
+    pub picks: u64,
+    /// Shard count of the session.
+    pub shard_count: usize,
+    /// Over all picks, shards that performed *no* fresh verification work
+    /// (geometry-pruned, empty slice, or every needed neighborhood already
+    /// memoized).
+    pub pruned_shard_picks: u64,
+    /// Complement of `pruned_shard_picks`: shard-pick pairs that did work.
+    pub touched_shard_picks: u64,
+    /// Candidates whose exact neighborhood was verified.
+    pub verified_candidates: u64,
+    /// Per-shard engine entries (oracle + foreign) spent by this run.
+    pub engine_entries: Vec<u64>,
+    /// Wall time of the run.
+    pub wall: Duration,
+}
+
+impl CoordRunStats {
+    /// Mean fraction of shards pruned per pick, in `[0, 1]`.
+    pub fn prune_rate(&self) -> f64 {
+        let total = self.pruned_shard_picks + self.touched_shard_picks;
+        if total == 0 {
+            0.0
+        } else {
+            self.pruned_shard_picks as f64 / total as f64
+        }
+    }
+}
+
+/// A unique candidate: a live relevant graph, addressed both globally and
+/// on its owning shard.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    id: GraphId,
+    shard: usize,
+    local: GraphId,
+}
+
+/// Frontier entry, mirroring the single-index session's heap order exactly:
+/// larger bound first, then verified entries before unverified at the same
+/// bound, then the smaller global id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    bound: i64,
+    tie: u64,
+    cand: u32,
+    verified: bool,
+}
+
+impl Entry {
+    fn new(bound: i64, cand: u32, id: GraphId, verified: bool) -> Self {
+        let v = if verified { 0u64 } else { 1 << 32 };
+        Entry {
+            bound,
+            tie: v | id as u64,
+            cand,
+            verified,
+        }
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.bound
+            .cmp(&other.bound)
+            .then_with(|| other.tie.cmp(&self.tie))
+    }
+}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A query session pinned to one epoch vector: the shard snapshots taken at
+/// creation are immutable, so every run answers against the same global
+/// state no matter what mutations land concurrently.
+#[derive(Debug)]
+pub struct CoordSession {
+    snaps: Vec<Arc<ShardState>>,
+    center_dist: Vec<f64>,
+    /// Live relevant ids in caller order (duplicates preserved, like
+    /// `start_session`): `|L_q|` and the π denominator.
+    relevant: Vec<GraphId>,
+    /// Unique candidates, grouped by shard, ascending local id.
+    cand: Vec<Candidate>,
+    /// Ascending unique live relevant locals per shard.
+    locals: Vec<Vec<GraphId>>,
+    /// Global-id bitset capacity.
+    id_space: usize,
+}
+
+impl CoordSession {
+    fn new(
+        snaps: Vec<Arc<ShardState>>,
+        center_dist: Vec<f64>,
+        mut relevant: Vec<GraphId>,
+        id_space: usize,
+    ) -> CoordSession {
+        let owner = |g: GraphId| {
+            snaps
+                .iter()
+                .enumerate()
+                .find_map(|(s, snap)| snap.local_of(g).map(|l| (s, l)))
+        };
+        relevant.retain(|&g| owner(g).is_some_and(|(s, l)| snaps[s].is_live(l)));
+        let mut locals: Vec<Vec<GraphId>> = vec![Vec::new(); snaps.len()];
+        for &g in &relevant {
+            // graphrep: allow(G001, retain above kept only ids with a live owner)
+            let (s, l) = owner(g).expect("relevant id lost its owner");
+            locals[s].push(l);
+        }
+        let mut cand = Vec::new();
+        for (s, ls) in locals.iter_mut().enumerate() {
+            ls.sort_unstable();
+            ls.dedup();
+            for &l in ls.iter() {
+                cand.push(Candidate {
+                    id: snaps[s].global_of(l),
+                    shard: s,
+                    local: l,
+                });
+            }
+        }
+        CoordSession {
+            snaps,
+            center_dist,
+            relevant,
+            cand,
+            locals,
+            id_space,
+        }
+    }
+
+    /// The live relevant set `L_q` this session answers for.
+    pub fn relevant(&self) -> &[GraphId] {
+        &self.relevant
+    }
+
+    /// The epoch vector this session is pinned to.
+    pub fn epochs(&self) -> Vec<u64> {
+        self.snaps.iter().map(|s| s.epoch()).collect()
+    }
+
+    /// Whether shard `t` provably contributes no θ-member for `cand`:
+    /// `d(c_home, c_t) − d(cand, c_home) − radius_t > θ` implies every
+    /// member of `t` is farther than θ from `cand` (triangle inequality,
+    /// twice) — pure coordinator-side arithmetic, no shard contact.
+    fn geometry_prunes(&self, cand: &Candidate, t: usize, theta: f64) -> bool {
+        let s_count = self.snaps.len();
+        let cc = self.center_dist[cand.shard * s_count + t];
+        let to_center = self.snaps[cand.shard].member_center_distance(cand.local);
+        cc - to_center - self.snaps[t].radius() > theta + THETA_EPS
+    }
+
+    /// Exact θ-neighborhood of `cand` over the whole relevant set, as a
+    /// global-id bitset. Home members come from the shard's own tiered
+    /// oracle; foreign shards are contacted only when the center-distance
+    /// geometry cannot rule them out. Marks every shard that did fresh work
+    /// in `touched`.
+    fn neighborhood(
+        &self,
+        ci: u32,
+        theta: f64,
+        memo: &mut HashMap<u32, Bitset>,
+        touched: &mut [bool],
+        stats: &mut CoordRunStats,
+    ) -> Bitset {
+        if let Some(nb) = memo.get(&ci) {
+            return nb.clone();
+        }
+        let cand = self.cand[ci as usize];
+        let home = cand.shard;
+        touched[home] = true;
+        stats.verified_candidates += 1;
+        let mut members = self.snaps[home].home_members(cand.local, &self.locals[home], theta);
+        let probe = self.snaps[home].graph(cand.local);
+        for (t, snap) in self.snaps.iter().enumerate() {
+            if t == home || self.locals[t].is_empty() || self.geometry_prunes(&cand, t, theta) {
+                continue;
+            }
+            touched[t] = true;
+            let d_center = snap.center_distance(probe);
+            members.extend(snap.foreign_members(probe, d_center, &self.locals[t], theta));
+        }
+        let mut nb = Bitset::new(self.id_space);
+        for m in members {
+            nb.insert(m as usize);
+        }
+        memo.insert(ci, nb.clone());
+        nb
+    }
+
+    /// Distance-free initial upper bounds: per candidate, the home shard's
+    /// π̂ count plus, for every foreign shard the geometry cannot prune, the
+    /// full size of that shard's relevant slice. Both parts dominate the
+    /// true contribution, so the aggregate is admissible (DESIGN.md §14).
+    fn initial_bounds(&self, theta: f64) -> Vec<i64> {
+        let mut bound = vec![0i64; self.cand.len()];
+        let mut ci = 0usize;
+        for (s, ls) in self.locals.iter().enumerate() {
+            if ls.is_empty() {
+                continue;
+            }
+            let home = self.snaps[s].pihat_bounds(ls, theta);
+            for (j, _) in ls.iter().enumerate() {
+                let cand = self.cand[ci + j];
+                let mut b = home[j];
+                for (t, tl) in self.locals.iter().enumerate() {
+                    if t == s || tl.is_empty() || self.geometry_prunes(&cand, t, theta) {
+                        continue;
+                    }
+                    b += tl.len() as i64;
+                }
+                bound[ci + j] = b;
+            }
+            ci += ls.len();
+        }
+        bound
+    }
+
+    /// Executes the distributed search for one `(θ, k)`: returns the greedy
+    /// answer — byte-identical to the single-index session's — plus
+    /// per-shard work statistics.
+    pub fn run(&self, theta: f64, k: usize) -> (AnswerSet, CoordRunStats) {
+        let t0 = Instant::now();
+        let s_count = self.snaps.len();
+        let entries0: Vec<u64> = self
+            .snaps
+            .iter()
+            .map(|s| s.engine_calls() + s.foreign_calls())
+            .collect();
+        let mut stats = CoordRunStats {
+            shard_count: s_count,
+            ..CoordRunStats::default()
+        };
+        let mut bound = self.initial_bounds(theta);
+        let mut covered = Bitset::new(self.id_space);
+        let mut in_answer = vec![false; self.cand.len()];
+        let mut memo: HashMap<u32, Bitset> = HashMap::new();
+        let mut ids = Vec::new();
+        let mut pi_trajectory = Vec::new();
+        let budget = k.min(self.relevant.len());
+        for _ in 0..budget {
+            let mut touched = vec![false; s_count];
+            let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
+            for (ci, c) in self.cand.iter().enumerate() {
+                if !in_answer[ci] {
+                    heap.push(Entry::new(bound[ci], ci as u32, c.id, false));
+                }
+            }
+            let mut best: Option<(i64, GraphId, u32)> = None;
+            while let Some(e) = heap.pop() {
+                if let Some((bg, _, _)) = best {
+                    if e.bound < bg {
+                        break;
+                    }
+                }
+                let ci = e.cand;
+                let id = self.cand[ci as usize].id;
+                if !e.verified {
+                    let cur = bound[ci as usize];
+                    if e.bound > cur {
+                        heap.push(Entry::new(cur, ci, id, false));
+                        continue;
+                    }
+                    let nb = self.neighborhood(ci, theta, &mut memo, &mut touched, &mut stats);
+                    let gain = nb.difference_count(&covered) as i64;
+                    debug_assert!(
+                        gain <= e.bound,
+                        "verified gain must not exceed its upper bound"
+                    );
+                    bound[ci as usize] = gain;
+                    heap.push(Entry::new(gain, ci, id, true));
+                } else {
+                    let better = match best {
+                        None => true,
+                        Some((bg, bid, _)) => e.bound > bg || (e.bound == bg && id < bid),
+                    };
+                    if better {
+                        best = Some((e.bound, id, ci));
+                    }
+                }
+            }
+            let Some((gain, id, ci)) = best else {
+                break;
+            };
+            stats.picks += 1;
+            let touched_count = touched.iter().filter(|&&t| t).count() as u64;
+            stats.touched_shard_picks += touched_count;
+            stats.pruned_shard_picks += s_count as u64 - touched_count;
+            if gain == 0 {
+                // Verified zero marginal gain: coverage is saturated (same
+                // early-stop rule as the single-index search).
+                break;
+            }
+            ids.push(id);
+            in_answer[ci as usize] = true;
+            let nb = memo
+                .get(&ci)
+                // graphrep: allow(G001, search contract: best is only set from verified entries, which are memoized)
+                .expect("selected candidate was verified")
+                .clone();
+            covered.union_with(&nb);
+            pi_trajectory.push(if self.relevant.is_empty() {
+                0.0
+            } else {
+                covered.count() as f64 / self.relevant.len() as f64
+            });
+        }
+        stats.engine_entries = self
+            .snaps
+            .iter()
+            .zip(&entries0)
+            .map(|(s, &e0)| s.engine_calls() + s.foreign_calls() - e0)
+            .collect();
+        stats.wall = t0.elapsed();
+        (
+            AnswerSet {
+                ids,
+                covered: covered.count(),
+                relevant: self.relevant.len(),
+                pi_trajectory,
+            },
+            stats,
+        )
+    }
+}

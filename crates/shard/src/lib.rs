@@ -1,0 +1,24 @@
+//! Horizontal sharding for graphrep (DESIGN.md §14).
+//!
+//! The paper's admissible-bound machinery (Thm 4/5 vantage bounds, the Sec
+//! 7.1 π̂-vectors) lifts one level up: a metric-space [`partition`] assigns
+//! graphs to shards by farthest-point clustering, each shard owns an
+//! independent [`graphrep_core::NbIndex`] over its slice, and the
+//! [`Coordinator`] runs distributed greedy/CELF — aggregating per-shard π̂
+//! upper bounds into one global best-first frontier and paying GED on a
+//! shard only while its bound can still beat the current pick. Answers are
+//! byte-identical to a single-index deployment; the payoff is the fraction
+//! of shards each pick never touches.
+
+pub mod coordinator;
+pub mod manifest;
+pub mod partition;
+pub mod shard;
+
+pub use coordinator::{
+    CoordConfig, CoordError, CoordReceipt, CoordRunStats, CoordSession, Coordinator, RestoreSource,
+    ShardOverview,
+};
+pub use manifest::{Manifest, ManifestError, ShardRecord};
+pub use partition::{partition, Partition, PartitionConfig};
+pub use shard::{ShardIoError, ShardState};

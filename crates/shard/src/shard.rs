@@ -1,0 +1,379 @@
+//! Per-shard state: each shard owns its [`NbIndex`] (and through it its
+//! [`DistanceOracle`]), its member list mapping local ids to global ids,
+//! and its partition geometry (center, covering radius, member-to-center
+//! distances).
+//!
+//! All distance work lives here, behind shard-side methods — the
+//! coordinator aggregates bounds and routes refinement requests but never
+//! touches the GED engine or oracle verification paths itself (lint G011).
+//!
+//! A `ShardState` is an immutable snapshot: mutations build a successor via
+//! fork-mutate and the coordinator swaps it in under its handle lock, so a
+//! session holding `Arc<ShardState>`s is pinned to one epoch vector.
+
+use crate::manifest::ShardRecord;
+use graphrep_core::{
+    GraphDatabase, MutateError, MutationOutcome, NbIndex, NbIndexConfig, PersistError,
+    PiHatVectors, ThresholdLadder,
+};
+use graphrep_ged::{DistanceOracle, GedConfig, GedEngine};
+use graphrep_graph::{io as gio, Graph, GraphId};
+use graphrep_metric::Bitset;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Accept/reject slop on θ-membership, matching the tiered oracle's
+/// boundary arithmetic (`d ≤ θ + 1e-9` is inside).
+const THETA_EPS: f64 = 1e-9;
+
+/// One shard's immutable snapshot.
+#[derive(Debug)]
+pub struct ShardState {
+    index: Arc<NbIndex>,
+    /// Global id of each local graph, ascending (tombstones included —
+    /// local ids are oracle positions and never move).
+    members: Vec<GraphId>,
+    /// Distance of each member to the shard center, parallel to `members`.
+    to_center: Vec<f64>,
+    /// Local id of the shard center.
+    center_local: GraphId,
+    /// Covering radius: max member-to-center distance ever admitted.
+    radius: f64,
+    /// Edit-distance computations served for foreign probes (candidates
+    /// owned by other shards), outside the oracle's own counters.
+    foreign_calls: AtomicU64,
+}
+
+impl ShardState {
+    /// Builds a shard over `db`'s graphs `members` (global ids, ascending),
+    /// centered on `center` (which must be a member).
+    pub fn build(
+        db: &GraphDatabase,
+        ged: GedConfig,
+        members: Vec<GraphId>,
+        to_center: Vec<f64>,
+        center: GraphId,
+        radius: f64,
+        ladder: &[f64],
+    ) -> ShardState {
+        let graphs: Vec<Graph> = members.iter().map(|&g| db.graph(g).clone()).collect();
+        let oracle = Arc::new(DistanceOracle::new(Arc::new(graphs), GedEngine::new(ged)));
+        let config = NbIndexConfig {
+            ladder: ladder.to_vec(),
+            ..NbIndexConfig::default()
+        };
+        let index = Arc::new(NbIndex::build(oracle, config));
+        let center_local = local_position(&members, center)
+            // graphrep: allow(G001, partitioner assigns every center to its own shard)
+            .expect("shard center must be a member");
+        ShardState {
+            index,
+            members,
+            to_center,
+            center_local,
+            radius,
+            foreign_calls: AtomicU64::new(0),
+        }
+    }
+
+    /// Restores a shard from `dir` (its `graphs.txt` + `index.bin`) at the
+    /// epoch recorded in `rec`. Any failure — unreadable files, a snapshot
+    /// at the wrong epoch — is an error; the caller decides whether to fall
+    /// back to a full rebuild from the source dataset.
+    pub fn load_dir(
+        dir: &Path,
+        ged: GedConfig,
+        rec: &ShardRecord,
+        center: GraphId,
+    ) -> Result<ShardState, ShardIoError> {
+        let text = std::fs::read_to_string(dir.join("graphs.txt")).map_err(ShardIoError::Io)?;
+        let graphs = gio::read_graphs(&text).map_err(|e| ShardIoError::Graphs(e.to_string()))?;
+        if graphs.len() != rec.members.len() {
+            return Err(ShardIoError::Graphs(format!(
+                "graphs.txt holds {} graphs but the manifest records {} members",
+                graphs.len(),
+                rec.members.len()
+            )));
+        }
+        let oracle = Arc::new(DistanceOracle::new(Arc::new(graphs), GedEngine::new(ged)));
+        let bytes = std::fs::read(dir.join("index.bin")).map_err(ShardIoError::Io)?;
+        let index =
+            NbIndex::load_bin_at_epoch(&bytes, oracle, rec.epoch).map_err(ShardIoError::Persist)?;
+        let center_local = local_position(&rec.members, center).ok_or_else(|| {
+            ShardIoError::Graphs(format!("manifest center {center} is not a shard member"))
+        })?;
+        Ok(ShardState {
+            index: Arc::new(index),
+            members: rec.members.clone(),
+            to_center: rec.to_center.clone(),
+            center_local,
+            radius: rec.radius,
+            foreign_calls: AtomicU64::new(0),
+        })
+    }
+
+    /// Writes this shard's `graphs.txt` and succinct `index.bin` into `dir`.
+    pub fn save_dir(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let text = gio::write_graphs(self.index.oracle().graphs());
+        std::fs::write(dir.join("graphs.txt"), text)?;
+        std::fs::write(dir.join("index.bin"), self.index.save_bin())
+    }
+
+    /// The manifest record describing this snapshot.
+    pub fn record(&self) -> ShardRecord {
+        ShardRecord {
+            epoch: self.epoch(),
+            radius: self.radius,
+            members: self.members.clone(),
+            to_center: self.to_center.clone(),
+        }
+    }
+
+    /// Mutation epoch of this shard's index.
+    pub fn epoch(&self) -> u64 {
+        self.index.epoch()
+    }
+
+    /// Total member slots (live + tombstoned).
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the shard holds no member slots at all.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Live member count.
+    pub fn live_len(&self) -> usize {
+        self.index.tree().live_len()
+    }
+
+    /// Global id of the graph at `local`.
+    pub fn global_of(&self, local: GraphId) -> GraphId {
+        self.members[local as usize]
+    }
+
+    /// Local id owning global id `g`, if this shard holds it.
+    pub fn local_of(&self, g: GraphId) -> Option<GraphId> {
+        local_position(&self.members, g)
+    }
+
+    /// Whether local graph `local` is live (not tombstoned).
+    pub fn is_live(&self, local: GraphId) -> bool {
+        self.index.tree().is_live(local)
+    }
+
+    /// Covering radius around the shard center.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Stored distance from local member `local` to the shard center.
+    pub fn member_center_distance(&self, local: GraphId) -> f64 {
+        self.to_center[local as usize]
+    }
+
+    /// Global id of the shard center (fixed at partition time; the center
+    /// graph stays resident even if tombstoned).
+    pub fn center_global(&self) -> GraphId {
+        self.members[self.center_local as usize]
+    }
+
+    /// Exact distance from an out-of-shard probe graph to the shard center.
+    pub fn center_distance(&self, probe: &Graph) -> f64 {
+        // Relaxed: a monotone stats counter, never used for synchronization.
+        self.foreign_calls.fetch_add(1, Ordering::Relaxed);
+        let center = &self.index.oracle().graphs()[self.center_local as usize];
+        self.index.oracle().engine().distance(probe, center)
+    }
+
+    /// The graph owned at `local` (for cross-shard probes).
+    pub fn graph(&self, local: GraphId) -> &Graph {
+        &self.index.oracle().graphs()[local as usize]
+    }
+
+    /// Edit-distance engine calls made through this shard's oracle.
+    pub fn engine_calls(&self) -> u64 {
+        self.index.oracle().engine_calls()
+    }
+
+    /// Resident bytes of this shard's NB-Index.
+    pub fn index_memory_bytes(&self) -> usize {
+        self.index.memory_bytes()
+    }
+
+    /// Cumulative distance-oracle counters for this shard.
+    pub fn oracle_stats(&self) -> graphrep_ged::OracleStats {
+        self.index.oracle().stats()
+    }
+
+    /// Cumulative filter-tier counters for this shard's oracle.
+    pub fn oracle_tier_stats(&self) -> graphrep_ged::TierStats {
+        self.index.oracle().tier_stats()
+    }
+
+    /// Edit-distance computations served for foreign probes.
+    pub fn foreign_calls(&self) -> u64 {
+        // Relaxed: a monotone stats counter, never used for synchronization.
+        self.foreign_calls.load(Ordering::Relaxed)
+    }
+
+    /// Distance-free π̂ upper bounds at θ for the given local candidates
+    /// (paper Sec 7.1, computed over this shard's vantage orderings alone):
+    /// entry `i` bounds `|N_θ(locals[i]) ∩ L_shard|` from above.
+    pub fn pihat_bounds(&self, locals: &[GraphId], theta: f64) -> Vec<i64> {
+        let tree = self.index.tree();
+        let by_id = Bitset::from_indices(tree.len(), locals.iter().map(|&l| l as usize));
+        let pihat = PiHatVectors::initialize(
+            self.index.vantage(),
+            tree,
+            locals,
+            &by_id,
+            &ThresholdLadder::new(vec![theta]),
+        );
+        locals
+            .iter()
+            .map(|&l| pihat.graph_count(tree.pos_of(l), 0) as i64)
+            .collect()
+    }
+
+    /// Exact θ-neighborhood of home candidate `cand` within this shard's
+    /// slice of the relevant set, as ascending *global* ids. `locals` must
+    /// be ascending, deduplicated, live local ids.
+    pub fn home_members(&self, cand: GraphId, locals: &[GraphId], theta: f64) -> Vec<GraphId> {
+        let vt = self.index.vantage();
+        let oracle = self.index.oracle();
+        locals
+            .iter()
+            .copied()
+            .filter(|&c| {
+                vt.passes_all_bands(cand, c, theta) && oracle.within_verdict(cand, c, theta)
+            })
+            .map(|c| self.global_of(c))
+            .collect()
+    }
+
+    /// Exact θ-neighborhood of a *foreign* probe graph within this shard's
+    /// slice of the relevant set, as ascending global ids.
+    ///
+    /// `d_center` is the probe's exact distance to this shard's center (one
+    /// engine call, typically amortized across picks); each member is then
+    /// triangle-prescreened through its stored center distance —
+    /// `|d_center − to_center| > θ` rejects, `d_center + to_center ≤ θ`
+    /// accepts — and only the undecided remainder pays an edit distance.
+    /// The verdict arbiter is the same `distance_within` the home oracle
+    /// bottoms out in, so membership is byte-identical across paths.
+    pub fn foreign_members(
+        &self,
+        probe: &Graph,
+        d_center: f64,
+        locals: &[GraphId],
+        theta: f64,
+    ) -> Vec<GraphId> {
+        let engine = self.index.oracle().engine();
+        let graphs = self.index.oracle().graphs();
+        let mut out = Vec::new();
+        for &c in locals {
+            let dc = self.to_center[c as usize];
+            if (d_center - dc).abs() > theta + THETA_EPS {
+                continue; // triangle lower bound: d ≥ |d_center − dc| > θ
+            }
+            let inside = if d_center + dc <= theta + THETA_EPS {
+                true // triangle upper bound certifies membership
+            } else {
+                // Relaxed: a monotone stats counter, never synchronization.
+                self.foreign_calls.fetch_add(1, Ordering::Relaxed);
+                engine
+                    .distance_within(probe, &graphs[c as usize], theta)
+                    .is_some()
+            };
+            if inside {
+                out.push(self.global_of(c));
+            }
+        }
+        out
+    }
+
+    /// Successor snapshot with `graph` inserted as global id `global`
+    /// (`d_center` its distance to this shard's center). Local id = next
+    /// oracle position; the member list stays ascending because the
+    /// coordinator assigns global ids monotonically.
+    pub fn with_insert(
+        &self,
+        graph: Graph,
+        global: GraphId,
+        d_center: f64,
+    ) -> Result<(ShardState, MutationOutcome), MutateError> {
+        let mut forked = self.index.fork();
+        let (local, outcome) = forked.insert(graph)?;
+        debug_assert_eq!(local as usize, self.members.len());
+        let mut members = self.members.clone();
+        members.push(global);
+        let mut to_center = self.to_center.clone();
+        to_center.push(d_center);
+        Ok((
+            ShardState {
+                index: Arc::new(forked),
+                members,
+                to_center,
+                center_local: self.center_local,
+                radius: self.radius.max(d_center),
+                foreign_calls: AtomicU64::new(self.foreign_calls()),
+            },
+            outcome,
+        ))
+    }
+
+    /// Successor snapshot with global id `g` tombstoned.
+    pub fn with_remove(&self, g: GraphId) -> Result<(ShardState, MutationOutcome), MutateError> {
+        let local = self
+            .local_of(g)
+            .ok_or_else(|| MutateError(format!("graph {g} is not owned by this shard")))?;
+        let mut forked = self.index.fork();
+        let outcome = forked.remove(local)?;
+        Ok((
+            ShardState {
+                index: Arc::new(forked),
+                members: self.members.clone(),
+                to_center: self.to_center.clone(),
+                center_local: self.center_local,
+                // The radius is kept: a looser covering radius only costs
+                // pruning opportunities, never admissibility.
+                radius: self.radius,
+                foreign_calls: AtomicU64::new(self.foreign_calls()),
+            },
+            outcome,
+        ))
+    }
+}
+
+/// Why a shard failed to load from disk.
+#[derive(Debug)]
+pub enum ShardIoError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Unreadable or inconsistent `graphs.txt`.
+    Graphs(String),
+    /// `index.bin` rejected (format, version, or epoch mismatch).
+    Persist(PersistError),
+}
+
+impl std::fmt::Display for ShardIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardIoError::Io(e) => write!(f, "shard io: {e}"),
+            ShardIoError::Graphs(m) => write!(f, "shard graphs: {m}"),
+            ShardIoError::Persist(e) => write!(f, "shard index: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardIoError {}
+
+/// Index of `g` in the ascending `members` list.
+fn local_position(members: &[GraphId], g: GraphId) -> Option<GraphId> {
+    members.binary_search(&g).ok().map(|i| i as GraphId)
+}
