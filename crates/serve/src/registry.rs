@@ -438,8 +438,11 @@ pub struct ShardedMutationReceipt {
 /// under `<dir>/shards/` is the persistence commit record.
 ///
 /// The coordinator serializes mutations on its own per-shard handle locks;
-/// the dataset lock here only guards the feature store used for relevance
-/// scoring, and the two are never held together.
+/// the dataset lock here guards the feature store used for relevance
+/// scoring. Inserts hold the dataset lock *across* the routed shard insert
+/// (lock order: `data` → shard handle, acyclic — the shard crate never
+/// takes serve locks) so the assigned global id and the appended feature
+/// row can never interleave with a concurrent insert.
 pub struct ShardedDataset {
     name: String,
     /// Backing directory; the coordinator persists under `<dir>/shards/`.
@@ -596,15 +599,18 @@ impl ShardedDataset {
     }
 
     /// Inserts `graph` with `features`: the coordinator routes it to the
-    /// owning shard (bumping only that shard's epoch), then the feature
-    /// store follows. The locks are taken strictly one after the other.
+    /// owning shard (bumping only that shard's epoch), and the feature
+    /// store follows under the *same* `data` write guard — id assignment
+    /// and feature-row append must be atomic, or concurrent inserts could
+    /// interleave and permanently misalign db row index vs global id
+    /// (mirroring [`LoadedDataset::insert_graph`]'s single-lock discipline).
     pub fn insert_graph(
         &self,
         graph: Graph,
         features: Vec<f64>,
     ) -> Result<ShardedMutationReceipt, ServeError> {
-        {
-            let data = self.data.read();
+        let receipt = {
+            let mut data = self.data.write();
             if !data.db.is_empty() && features.len() != data.db.dims() {
                 return Err(ServeError::new(format!(
                     "feature vector has {} dims, dataset has {}",
@@ -612,16 +618,15 @@ impl ShardedDataset {
                     data.db.dims()
                 )));
             }
-        }
-        let receipt = self
-            .coord
-            .insert(graph.clone())
-            .map_err(|e| ServeError::new(e.to_string()))?;
-        {
-            let mut data = self.data.write();
+            let receipt = self
+                .coord
+                // graphrep: allow(G008, the data guard must span the routed insert so the feature row lands at exactly the assigned global id -- readers keep their snapshots and only competing mutations of this dataset wait, same serialization as LoadedDataset::insert_graph)
+                .insert(graph.clone())
+                .map_err(|e| ServeError::new(e.to_string()))?;
             data.db = data.db.pushed(graph, features);
             data.family.push(EXTERNAL_FAMILY);
-        }
+            receipt
+        };
         self.persist();
         Ok(self.receipt(receipt))
     }
@@ -643,7 +648,9 @@ impl ShardedDataset {
             shard: r.shard,
             epoch: r.epochs.get(r.shard).copied().unwrap_or(0),
             live: r.live,
-            tombstones: self.coord.len().saturating_sub(r.live),
+            // From the receipt's own snapshot — re-reading the coordinator
+            // here could pair this with a concurrent mutation's live count.
+            tombstones: r.len.saturating_sub(r.live),
             rebuilt: r.outcome == MutationOutcome::Rebuilt,
             epochs: r.epochs,
         }

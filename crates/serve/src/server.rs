@@ -320,19 +320,31 @@ fn run_query(shared: &Shared, r: RunBody, arrived: Instant) -> Response {
         );
     };
     let deadline_ms = r.deadline_ms.or(shared.cfg.default_deadline_ms);
-    let session = match live.backend() {
-        SessionBackend::Single(session) => session,
-        SessionBackend::Sharded(session) => {
-            // Scatter-gather runs are not cancellable mid-pick yet; the
-            // deadline budget still bounds queue wait via admission time.
-            let (answer, stats) = session.run(r.theta, r.k);
-            return Response::Answer(AnswerBody::from_sharded_run(&answer, &stats));
-        }
-    };
     let cancel = match deadline_ms {
         // Measured from admission: queue wait spends the same budget.
         Some(ms) => CancelToken::with_deadline(arrived + Duration::from_millis(ms)),
         None => CancelToken::never(),
+    };
+    let session = match live.backend() {
+        SessionBackend::Single(session) => session,
+        SessionBackend::Sharded(session) => {
+            // Scatter-gather runs poll the same admission-time token at
+            // every frontier pop, so a request that expired in the queue
+            // stops immediately and a long run cannot hold a pooled worker
+            // past its budget — same discipline as the single-index path.
+            return match session.run_cancellable(r.theta, r.k, &cancel) {
+                Ok((answer, stats)) => {
+                    Response::Answer(AnswerBody::from_sharded_run(&answer, &stats))
+                }
+                Err(_) => err(
+                    codes::DEADLINE_EXCEEDED,
+                    format!(
+                        "deadline of {} ms exceeded; the session remains usable",
+                        deadline_ms.unwrap_or(0)
+                    ),
+                ),
+            };
+        }
     };
     let caches = shared
         .registry

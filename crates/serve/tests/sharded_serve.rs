@@ -107,6 +107,56 @@ fn sharded_server_matches_single_index_server() {
     sharded.wait();
 }
 
+/// A ~0 deadline aborts the scatter-gather run with `deadline_exceeded` —
+/// sharded sessions poll the same admission-time token as the single-index
+/// path — and the session survives: its next run still answers.
+#[test]
+fn sharded_zero_deadline_aborts_but_session_survives() {
+    let handle = sharded_server(40, 11, 3);
+    let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+
+    let open = client.open("d", 0.75).expect("open");
+    let resp = client
+        .run(open.session, 4.0, 5, Some(0))
+        .expect("transport");
+    assert_eq!(
+        resp.error_code(),
+        Some(graphrep_serve::codes::DEADLINE_EXCEEDED),
+        "{resp:?}"
+    );
+
+    // The aborted session answers normally afterwards, identically to a
+    // fresh session over the same (unmutated) epoch vector.
+    let after = match client.run(open.session, 4.0, 5, None).expect("rerun") {
+        Response::Answer(a) => a,
+        other => panic!("expected Answer, got {other:?}"),
+    };
+    let fresh_open = client.open("d", 0.75).expect("open fresh");
+    let fresh = match client
+        .run(fresh_open.session, 4.0, 5, None)
+        .expect("fresh run")
+    {
+        Response::Answer(a) => a,
+        other => panic!("expected Answer, got {other:?}"),
+    };
+    assert_eq!(
+        after.fingerprint(),
+        fresh.fingerprint(),
+        "session corrupted by the abort"
+    );
+
+    let stats = client.stats().expect("stats");
+    let run = stats
+        .endpoints
+        .iter()
+        .find(|e| e.endpoint == "run")
+        .expect("run endpoint row");
+    assert_eq!(run.deadline_exceeded, 1, "{run:?}");
+    assert_eq!(run.ok, 2, "{run:?}");
+    client.shutdown().expect("shutdown");
+    handle.wait();
+}
+
 /// Wire mutations against a sharded dataset route to one owning shard:
 /// the receipt's epoch vector moves in exactly one slot per operation.
 #[test]

@@ -22,7 +22,9 @@
 use crate::manifest::{Manifest, ManifestError};
 use crate::partition::{partition, PartitionConfig};
 use crate::shard::{ShardIoError, ShardState};
-use graphrep_core::{AnswerSet, GraphDatabase, MutateError, MutationOutcome};
+use graphrep_core::{
+    AnswerSet, CancelToken, Cancelled, GraphDatabase, MutateError, MutationOutcome,
+};
 use graphrep_ged::GedConfig;
 use graphrep_graph::{Graph, GraphId};
 use graphrep_lockaudit::TrackedRwLock;
@@ -77,6 +79,9 @@ pub struct CoordReceipt {
     pub outcome: MutationOutcome,
     /// Epoch of every shard after the mutation (only `shard`'s moved).
     pub epochs: Vec<u64>,
+    /// Total member slots across shards (live + tombstoned), from the same
+    /// snapshot as `live` — so `len - live` is a consistent tombstone count.
+    pub len: usize,
     /// Total live graphs across shards.
     pub live: usize,
 }
@@ -254,16 +259,20 @@ impl Coordinator {
             }
         }
         let (d_center, s) = owner;
-        // SeqCst: global ids must form one total order across all shards so
-        // they match what a single-index deployment would assign.
-        let global = self.next_id.fetch_add(1, Ordering::SeqCst) as GraphId;
-        let outcome = {
+        let (global, outcome) = {
             let mut guard = self.shards[s].state.write();
+            // The id is claimed *under* the owning shard's write lock: ids
+            // handed out by the same shard are then monotone in append
+            // order, keeping `members` ascending (its binary-search
+            // invariant) even when concurrent inserts race to one shard.
+            // SeqCst: global ids must still form one total order across all
+            // shards so they match what a single-index deployment assigns.
+            let global = self.next_id.fetch_add(1, Ordering::SeqCst) as GraphId;
             let (next, outcome) = guard
                 // graphrep: allow(G008, mutations serialize on the owning shard's handle lock by design -- the NP-hard insert runs on a private fork while readers and sessions keep their pinned Arc snapshots; only competing mutations of the same shard wait)
                 .with_insert(graph, global, d_center)?;
             *guard = Arc::new(next);
-            outcome
+            (global, outcome)
         };
         Ok(self.receipt(global, s, outcome))
     }
@@ -292,6 +301,7 @@ impl Coordinator {
             shard,
             outcome,
             epochs: snaps.iter().map(|s| s.epoch()).collect(),
+            len: snaps.iter().map(|s| s.len()).sum(),
             live: snaps.iter().map(|s| s.live_len()).sum(),
         }
     }
@@ -645,6 +655,23 @@ impl CoordSession {
     /// answer — byte-identical to the single-index session's — plus
     /// per-shard work statistics.
     pub fn run(&self, theta: f64, k: usize) -> (AnswerSet, CoordRunStats) {
+        match self.run_cancellable(theta, k, &CancelToken::never()) {
+            Ok(r) => r,
+            // graphrep: allow(G001, a never-token cannot fire)
+            Err(Cancelled) => unreachable!("CancelToken::never never cancels"),
+        }
+    }
+
+    /// [`CoordSession::run`], polling `cancel` between frontier pops — the
+    /// same cooperative boundary as the single-index session, so one NP-hard
+    /// refinement is the atomic unit of work. A cancelled run discards its
+    /// partial answer; the session stays pinned and fully usable.
+    pub fn run_cancellable(
+        &self,
+        theta: f64,
+        k: usize,
+        cancel: &CancelToken,
+    ) -> Result<(AnswerSet, CoordRunStats), Cancelled> {
         let t0 = Instant::now();
         let s_count = self.snaps.len();
         let entries0: Vec<u64> = self
@@ -673,6 +700,7 @@ impl CoordSession {
             }
             let mut best: Option<(i64, GraphId, u32)> = None;
             while let Some(e) = heap.pop() {
+                cancel.check()?;
                 if let Some((bg, _, _)) = best {
                     if e.bound < bg {
                         break;
@@ -707,15 +735,18 @@ impl CoordSession {
             let Some((gain, id, ci)) = best else {
                 break;
             };
+            if gain == 0 {
+                // Verified zero marginal gain: coverage is saturated (same
+                // early-stop rule as the single-index search). Not an
+                // accepted pick, so it contributes nothing to the pick or
+                // shard-prune counters — the single-index path counts no
+                // equivalent iteration either.
+                break;
+            }
             stats.picks += 1;
             let touched_count = touched.iter().filter(|&&t| t).count() as u64;
             stats.touched_shard_picks += touched_count;
             stats.pruned_shard_picks += s_count as u64 - touched_count;
-            if gain == 0 {
-                // Verified zero marginal gain: coverage is saturated (same
-                // early-stop rule as the single-index search).
-                break;
-            }
             ids.push(id);
             in_answer[ci as usize] = true;
             let nb = memo
@@ -737,7 +768,7 @@ impl CoordSession {
             .map(|(s, &e0)| s.engine_calls() + s.foreign_calls() - e0)
             .collect();
         stats.wall = t0.elapsed();
-        (
+        Ok((
             AnswerSet {
                 ids,
                 covered: covered.count(),
@@ -745,6 +776,6 @@ impl CoordSession {
                 pi_trajectory,
             },
             stats,
-        )
+        ))
     }
 }

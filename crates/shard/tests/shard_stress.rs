@@ -58,8 +58,18 @@ fn concurrent_queries_and_mutations_stay_consistent() {
                 seen.lock().expect("collector lock").push(receipt.id);
                 if i % 3 == 2 {
                     // Remove something we inserted ourselves to keep the
-                    // original dataset intact for the readers.
-                    let _ = coord.remove(receipt.id);
+                    // original dataset intact for the readers. This must
+                    // succeed: it proves the concurrent insert landed in
+                    // the owning shard's ascending member order (routing
+                    // resolves ids by binary search).
+                    let removed = coord
+                        .remove(receipt.id)
+                        .expect("freshly inserted id must route to its owning shard");
+                    assert_eq!(removed.id, receipt.id);
+                    assert_eq!(
+                        removed.shard, receipt.shard,
+                        "remove routes to the inserting shard"
+                    );
                 }
             }
         }));
