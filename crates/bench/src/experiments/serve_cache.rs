@@ -19,7 +19,7 @@ use graphrep_core::CacheConfig;
 use graphrep_datagen::{DatasetKind, DatasetSpec};
 use graphrep_serve::{
     offline_reference, registry, run_load, verify_against_offline, CacheTierStats, Client,
-    DatasetRegistry, LoadSpec,
+    DatasetRegistry, LoadMode, LoadSpec,
 };
 
 /// Worker-pool sizes to sweep: cache correctness must hold from a fully
@@ -74,6 +74,7 @@ pub fn serve_cache(ctx: &Ctx) {
         quantile: 0.75,
         seed: ctx.seed,
         skew: 1.2,
+        mode: LoadMode::Blocking,
     };
 
     // Ground truth once: the offline session replays every unique (θ, k).

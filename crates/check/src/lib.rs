@@ -46,9 +46,13 @@ pub fn scope_for(rel_path: &str) -> Option<Scope> {
         Some(rest) => rest.split('/').next().unwrap_or("root").to_string(),
         None => "root".to_string(),
     };
+    // `src/**/tests.rs` is cargo's out-of-line unit-test module convention
+    // (`#[cfg(test)] mod tests;` in the parent): compiled only under test,
+    // so it gets the same full skip as `tests/` directories.
     let is_test_file = norm
         .split('/')
-        .any(|seg| matches!(seg, "tests" | "benches" | "examples"));
+        .any(|seg| matches!(seg, "tests" | "benches" | "examples"))
+        || norm.ends_with("/tests.rs");
     Some(Scope {
         crate_name,
         is_test_file,
@@ -165,6 +169,12 @@ mod tests {
         assert!(s.is_test_file);
         let s = scope_for("crates/ged/tests/parallel.rs").unwrap();
         assert!(s.is_test_file);
+        // Out-of-line unit-test modules under src/ are test files too…
+        let s = scope_for("crates/serve/src/reactor/tests.rs").unwrap();
+        assert!(s.is_test_file);
+        // …but only the exact `tests.rs` filename qualifies.
+        let s = scope_for("crates/serve/src/reactor/conn.rs").unwrap();
+        assert!(!s.is_test_file);
     }
 
     #[test]

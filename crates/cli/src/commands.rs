@@ -49,12 +49,14 @@ subcommands:
   topk     --data DIR --k K
   compare  --data DIR --theta T --k K     (REP vs DIV vs DisC vs top-k)
   serve    --data DIR [--name NAME] [--addr HOST:PORT] [--workers N]
+           [--io blocking|async] [--write-queue-cap BYTES]
            [--max-queue N] [--deadline-ms MS] [--idle-secs S]
            [--cache-capacity N] [--cache-ttl SECS]
            [--shards S [--shard-seed SEED]]
   load     --addr HOST:PORT [--name NAME] [--connections N] [--requests M]
            [--theta t1,t2,...] [--k k1,k2,...] [--quantile Q] [--seed S]
-           [--skew S] [--verify-data DIR] [--shutdown true]
+           [--skew S] [--stream true | --pipeline DEPTH]
+           [--verify-data DIR] [--shutdown true]
   mutate   --data DIR [--insert N] [--remove id1,id2,...] [--seed S]
            [--addr HOST:PORT [--name NAME]] [--shards S [--shard-seed SEED]]
   shard-build --data DIR [--shards S] [--seed S] [--ladder a,b,c]
@@ -70,6 +72,14 @@ answer cache per dataset (epoch-keyed, invalidated on mutation).
 --cache-capacity 0 disables both; --cache-ttl 0 (default) means no age
 expiry. `load --skew S` draws (θ, k) pairs Zipf-like with exponent S
 instead of uniformly (0 = the historical uniform schedule).
+
+`serve --io async` swaps the thread-per-connection accept path for the
+epoll reactor (Linux only): thousands of idle connections per core, v2
+protocol negotiation (pipelined tagged requests), and streamed runs whose
+picks go out frame-by-frame. `load --stream true` issues `run_stream`
+requests one at a time; `load --pipeline DEPTH` keeps DEPTH streamed runs
+in flight per connection (requires an async server). Both verify every
+stream against its terminal summary and report time-to-first-pick.
 
 `shard-build` partitions the dataset into S metric-space shards
 (farthest-point centers) and persists one NB-Index per shard plus the
@@ -545,12 +555,22 @@ fn compare(cmd: &Command) -> Result<String, CliError> {
 /// flushed) before blocking so scripts can scrape the chosen port.
 fn serve(cmd: &Command) -> Result<String, CliError> {
     use graphrep_core::CacheConfig;
-    use graphrep_serve::{DatasetRegistry, ServeConfig};
+    use graphrep_serve::{DatasetRegistry, IoMode, ServeConfig};
     let dir = cmd.req("data")?;
     let name = cmd.opt("name").unwrap_or("default").to_owned();
+    // No `--io` flag falls back to `ServeConfig::default()`, which honors
+    // `GRAPHREP_SERVE_IO` — CI flips whole smoke jobs between I/O modes
+    // through the environment without touching each invocation.
+    let io: IoMode = match cmd.opt("io") {
+        Some(s) => s.parse().map_err(|e| CliError(format!("--io: {e}")))?,
+        None => ServeConfig::default().io,
+    };
     let cfg = ServeConfig {
         addr: cmd.opt("addr").unwrap_or("127.0.0.1:0").to_owned(),
         workers: cmd.parsed_or("workers", 4usize)?,
+        io,
+        write_queue_cap: cmd
+            .parsed_or("write-queue-cap", ServeConfig::default().write_queue_cap)?,
         max_queue: cmd.parsed_or("max-queue", 64usize)?,
         default_deadline_ms: match cmd.opt("deadline-ms") {
             Some(ms) => Some(
@@ -586,7 +606,10 @@ fn serve(cmd: &Command) -> Result<String, CliError> {
     };
     let handle = graphrep_serve::start(cfg, registry).map_err(|e| CliError(e.to_string()))?;
     let addr = handle.addr();
-    println!("graphrep-serve listening on {addr} (dataset `{name}`{shard_note})");
+    println!(
+        "graphrep-serve listening on {addr} (dataset `{name}`{shard_note}, io {})",
+        io.name()
+    );
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     handle.wait();
@@ -598,7 +621,7 @@ fn serve(cmd: &Command) -> Result<String, CliError> {
 /// `QuerySession::run` on the same dataset.
 fn load(cmd: &Command) -> Result<String, CliError> {
     use graphrep_serve::{
-        offline_reference_from_dir, run_load, verify_against_offline, Client, LoadSpec,
+        offline_reference_from_dir, run_load, verify_against_offline, Client, LoadMode, LoadSpec,
     };
     let addr = cmd.req("addr")?;
     let verify_dir = cmd.opt("verify-data");
@@ -628,6 +651,25 @@ fn load(cmd: &Command) -> Result<String, CliError> {
             .collect::<Result<_, _>>()?,
         None => vec![3, 5],
     };
+    let mode = match (cmd.opt("stream"), cmd.opt("pipeline")) {
+        (None, None) => LoadMode::Blocking,
+        (Some("true"), None) => LoadMode::Streamed,
+        (None, Some(depth)) => LoadMode::Pipelined {
+            depth: depth
+                .parse()
+                .map_err(|_| CliError(format!("--pipeline: bad depth `{depth}`")))?,
+        },
+        (Some(_), Some(_)) => {
+            return Err(CliError(
+                "--stream and --pipeline are mutually exclusive".into(),
+            ))
+        }
+        (Some(other), None) => {
+            return Err(CliError(format!(
+                "--stream: expected `true`, got `{other}`"
+            )))
+        }
+    };
     let spec = LoadSpec {
         dataset: cmd.opt("name").unwrap_or("default").to_owned(),
         connections: cmd.parsed_or("connections", 4usize)?,
@@ -637,6 +679,7 @@ fn load(cmd: &Command) -> Result<String, CliError> {
         quantile: cmd.parsed_or("quantile", 0.75f64)?,
         seed: cmd.parsed_or("seed", 42u64)?,
         skew: cmd.parsed_or("skew", 0.0f64)?,
+        mode,
     };
     let report = run_load(addr, &spec).map_err(|e| CliError(e.to_string()))?;
     let mut out = format!(
@@ -657,6 +700,15 @@ fn load(cmd: &Command) -> Result<String, CliError> {
         report.latency_quantile_ms(0.50),
         report.latency_quantile_ms(0.99),
     );
+    if !report.ttfp_ms.is_empty() {
+        let _ = writeln!(
+            out,
+            "time-to-first-pick: p50 {:.2} ms, p99 {:.2} ms ({} streamed runs)",
+            report.ttfp_quantile_ms(0.50),
+            report.ttfp_quantile_ms(0.99),
+            report.ttfp_ms.len(),
+        );
+    }
     let verification = match verify_dir {
         Some(dir) => {
             let reference = offline_reference_from_dir(Path::new(dir), &spec)

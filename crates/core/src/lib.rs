@@ -47,7 +47,7 @@ pub use persist::{is_binary_index, PersistError, PersistedIndex};
 pub use pihat::{PiHatVectors, ThresholdLadder};
 pub use provider::{MaterializedProvider, NeighborhoodProvider};
 pub use relevance::{RelevanceQuery, Scorer};
-pub use session::{QuerySession, RunStats};
+pub use session::{PickEvent, QuerySession, RunStats};
 pub use views::{
     query_fingerprint, AnswerCache, AnswerKey, CacheConfig, CacheCounters, MaterializedView,
     ViewScope, ViewStore,

@@ -48,6 +48,27 @@ pub struct RunStats {
     pub wall: Duration,
 }
 
+/// One accepted greedy pick, emitted mid-run by
+/// [`QuerySession::run_streaming_cancellable`] as CELF commits it.
+///
+/// Events carry exactly the state the final [`AnswerSet`] records for the
+/// pick: the `seq`-th entry of `ids` and of `pi_trajectory`, plus the
+/// coverage counts behind the ratio. Concatenating the events of a completed
+/// run therefore reconstructs the answer byte-for-byte.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PickEvent {
+    /// Zero-based pick index within the run (`0` = first representative).
+    pub seq: usize,
+    /// The representative graph just accepted.
+    pub id: GraphId,
+    /// Relevant graphs covered after this pick.
+    pub covered: usize,
+    /// Size of the relevant set `L_q`.
+    pub relevant: usize,
+    /// Coverage ratio π after this pick (the `seq`-th trajectory entry).
+    pub pi: f64,
+}
+
 /// A per-query-function session: initialization phase output plus a handle
 /// to the index.
 ///
@@ -218,6 +239,25 @@ impl<I: Deref<Target = NbIndex> + Sync> QuerySession<I> {
         k: usize,
         cancel: &CancelToken,
     ) -> Result<(AnswerSet, RunStats), Cancelled> {
+        self.run_streaming_cancellable(theta, k, cancel, &mut |_| true)
+    }
+
+    /// [`Self::run_cancellable`] with a per-pick observer: `on_pick` is
+    /// invoked once for every accepted representative, in pick order,
+    /// *after* the pick has been committed to the answer under
+    /// construction. The callback never influences the computation — a run
+    /// that completes returns the byte-identical answer `run` would — but
+    /// returning `false` aborts the run exactly like a fired cancel token
+    /// (the partial answer is discarded, the session stays usable). This is
+    /// the seam a streaming server uses to ship each pick as its own frame
+    /// and to stop paying for picks nobody is listening to.
+    pub fn run_streaming_cancellable(
+        &self,
+        theta: f64,
+        k: usize,
+        cancel: &CancelToken,
+        on_pick: &mut dyn FnMut(PickEvent) -> bool,
+    ) -> Result<(AnswerSet, RunStats), Cancelled> {
         let t0 = Instant::now();
         // Checked up front so an already-expired deadline (e.g. a request
         // that waited out its budget in a server queue) aborts before the
@@ -317,6 +357,16 @@ impl<I: Deref<Target = NbIndex> + Sync> QuerySession<I> {
             } else {
                 covered.count() as f64 / self.relevant.len() as f64
             });
+            let keep_going = on_pick(PickEvent {
+                seq: ids.len() - 1,
+                id: ids[ids.len() - 1],
+                covered: covered.count(),
+                relevant: self.relevant.len(),
+                pi: pi_trajectory[pi_trajectory.len() - 1],
+            });
+            if !keep_going {
+                return Err(Cancelled);
+            }
         }
         self.audit_run_end();
         stats.distance_calls = self.index.oracle().engine_calls() - calls0;

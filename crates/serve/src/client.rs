@@ -4,8 +4,9 @@
 //! to [`graphrep_core::QuerySession::run`].
 
 use crate::protocol::{
-    self, AnswerBody, CloseBody, FrameRead, InsertBody, MutatedBody, OpenBody, OpenedBody,
-    PingBody, RemoveBody, Request, Response, RunBody, ServeError, StatsBody, WireEdge,
+    self, AnswerBody, CloseBody, FrameRead, HelloAckBody, HelloBody, InsertBody, MutatedBody,
+    OpenBody, OpenedBody, PickBody, PingBody, RemoveBody, Request, Response, RunBody, ServeError,
+    StatsBody, TaggedRequest, TaggedResponse, WireEdge, PROTOCOL_MAX, PROTOCOL_V1, PROTOCOL_V2,
 };
 use crate::registry::LoadedDataset;
 use graphrep_core::AnswerSet;
@@ -16,11 +17,20 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 /// A blocking protocol client over one TCP connection.
+///
+/// Fresh connections speak [`PROTOCOL_V1`] (bare frames, strict
+/// request/response order). Call [`Client::hello`] to negotiate
+/// [`PROTOCOL_V2`]; when the server grants it, every later frame is a
+/// tagged envelope and [`Client::run_pipelined`] becomes available.
 #[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
     /// Upper bound on waiting for any single response.
     reply_timeout: Duration,
+    /// Negotiated protocol version.
+    version: u32,
+    /// Next v2 correlation id.
+    next_id: u64,
 }
 
 impl Client {
@@ -35,6 +45,8 @@ impl Client {
         Ok(Self {
             stream,
             reply_timeout: Duration::from_secs(120),
+            version: PROTOCOL_V1,
+            next_id: 1,
         })
     }
 
@@ -43,13 +55,23 @@ impl Client {
         self.reply_timeout = t;
     }
 
-    /// Sends one request and waits for its response.
-    pub fn request(&mut self, req: &Request) -> Result<Response, ServeError> {
-        protocol::write_frame(&mut self.stream, req)?;
-        let deadline = Instant::now() + self.reply_timeout;
+    /// The protocol version this connection speaks right now.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Reads one frame of type `T`, retrying short read timeouts until
+    /// `deadline`.
+    fn read_one<T: serde::Deserialize>(&mut self, deadline: Instant) -> Result<T, ServeError> {
         loop {
-            match protocol::read_frame::<Response>(&mut self.stream, Duration::from_secs(10))? {
-                FrameRead::Frame(resp) => return Ok(resp),
+            match protocol::read_frame::<T>(&mut self.stream, Duration::from_secs(10))? {
+                FrameRead::Frame(msg) => return Ok(msg),
                 FrameRead::Closed => {
                     return Err(ServeError::new("server closed the connection mid-request"))
                 }
@@ -60,6 +82,54 @@ impl Client {
                 }
             }
         }
+    }
+
+    /// Negotiates the protocol version: offers [`PROTOCOL_MAX`], adopts
+    /// whatever the server grants (a blocking-mode server grants v1, so the
+    /// connection simply stays on bare frames). Must be the first exchange
+    /// on the connection.
+    pub fn hello(&mut self) -> Result<HelloAckBody, ServeError> {
+        // Sent in the connection's *current* framing — negotiation itself is
+        // always a bare v1 exchange.
+        protocol::write_frame(
+            &mut self.stream,
+            &Request::Hello(HelloBody {
+                version: PROTOCOL_MAX,
+            }),
+        )?;
+        let deadline = Instant::now() + self.reply_timeout;
+        match self.read_one::<Response>(deadline)? {
+            Response::HelloAck(ack) => {
+                self.version = ack.version;
+                Ok(ack)
+            }
+            other => Err(unexpected("HelloAck", &other)),
+        }
+    }
+
+    /// Sends one request and waits for its response.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ServeError> {
+        let deadline = Instant::now() + self.reply_timeout;
+        if self.version >= PROTOCOL_V2 {
+            let id = self.fresh_id();
+            protocol::write_frame(
+                &mut self.stream,
+                &TaggedRequest {
+                    id,
+                    req: req.clone(),
+                },
+            )?;
+            let tr = self.read_one::<TaggedResponse>(deadline)?;
+            if tr.id != id {
+                return Err(ServeError::new(format!(
+                    "response for request id {} while awaiting {id}",
+                    tr.id
+                )));
+            }
+            return Ok(tr.resp);
+        }
+        protocol::write_frame(&mut self.stream, req)?;
+        self.read_one::<Response>(deadline)
     }
 
     /// Opens a session on `dataset` with the given relevance quantile.
@@ -101,6 +171,164 @@ impl Client {
             Response::Answer(b) => Ok(b),
             other => Err(unexpected("Answer", &other)),
         }
+    }
+
+    /// Executes one `(θ, k)` run with streamed picks: one [`PickBody`] per
+    /// representative as the greedy loop accepts it, then the terminal
+    /// frame. Works on both protocol versions (v1 interleaves nothing, so
+    /// bare streamed frames stay unambiguous).
+    pub fn run_streaming(
+        &mut self,
+        session: u64,
+        theta: f64,
+        k: usize,
+        deadline_ms: Option<u64>,
+    ) -> Result<StreamedRun, ServeError> {
+        let req = Request::RunStream(RunBody {
+            session,
+            theta,
+            k,
+            deadline_ms,
+        });
+        let t0 = Instant::now();
+        let deadline = t0 + self.reply_timeout;
+        let mut picks = Vec::new();
+        let mut ttfp = None;
+        if self.version >= PROTOCOL_V2 {
+            let id = self.fresh_id();
+            protocol::write_frame(&mut self.stream, &TaggedRequest { id, req })?;
+            loop {
+                let tr = self.read_one::<TaggedResponse>(deadline)?;
+                if tr.id != id {
+                    return Err(ServeError::new(format!(
+                        "response for request id {} mid-stream of {id}",
+                        tr.id
+                    )));
+                }
+                match tr.resp {
+                    Response::Pick(p) => {
+                        ttfp.get_or_insert_with(|| t0.elapsed());
+                        picks.push(p);
+                    }
+                    terminal => {
+                        return Ok(StreamedRun {
+                            picks,
+                            terminal,
+                            ttfp,
+                            total: t0.elapsed(),
+                        })
+                    }
+                }
+            }
+        }
+        protocol::write_frame(&mut self.stream, &req)?;
+        loop {
+            match self.read_one::<Response>(deadline)? {
+                Response::Pick(p) => {
+                    ttfp.get_or_insert_with(|| t0.elapsed());
+                    picks.push(p);
+                }
+                terminal => {
+                    return Ok(StreamedRun {
+                        picks,
+                        terminal,
+                        ttfp,
+                        total: t0.elapsed(),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Like [`Client::run_streaming`] but demands a successful answer and
+    /// checks the pick stream is consistent with it (same ids, same order,
+    /// same trajectory).
+    pub fn run_streaming_answer(
+        &mut self,
+        session: u64,
+        theta: f64,
+        k: usize,
+    ) -> Result<(Vec<PickBody>, AnswerBody), ServeError> {
+        let run = self.run_streaming(session, theta, k, None)?;
+        let body = match run.terminal {
+            Response::AnswerEnd(b) => b,
+            other => return Err(unexpected("AnswerEnd", &other)),
+        };
+        verify_stream_consistency(&run.picks, &body).map_err(ServeError::new)?;
+        Ok((run.picks, body))
+    }
+
+    /// Issues every query as its own in-flight tagged request on this one
+    /// connection — true wire pipelining — then collects the out-of-order
+    /// completions. Requires a negotiated v2 connection ([`Client::hello`]
+    /// first); `streamed` selects [`Request::RunStream`] per query instead
+    /// of [`Request::Run`]. Results come back indexed like `queries`.
+    pub fn run_pipelined(
+        &mut self,
+        session: u64,
+        queries: &[(f64, usize)],
+        streamed: bool,
+    ) -> Result<Vec<StreamedRun>, ServeError> {
+        if self.version < PROTOCOL_V2 {
+            return Err(ServeError::new(
+                "pipelining needs protocol v2; call hello() against an async-mode server first",
+            ));
+        }
+        let t0 = Instant::now();
+        let deadline = t0 + self.reply_timeout;
+        let mut by_id: HashMap<u64, usize> = HashMap::new();
+        let mut out: Vec<StreamedRun> = Vec::new();
+        for &(theta, k) in queries {
+            let body = RunBody {
+                session,
+                theta,
+                k,
+                deadline_ms: None,
+            };
+            let req = if streamed {
+                Request::RunStream(body)
+            } else {
+                Request::Run(body)
+            };
+            let id = self.fresh_id();
+            protocol::write_frame(&mut self.stream, &TaggedRequest { id, req })?;
+            by_id.insert(id, out.len());
+            out.push(StreamedRun {
+                picks: Vec::new(),
+                terminal: Response::Closed,
+                ttfp: None,
+                total: Duration::ZERO,
+            });
+        }
+        let mut open = by_id.len();
+        while open > 0 {
+            let tr = self.read_one::<TaggedResponse>(deadline)?;
+            let Some(&slot) = by_id.get(&tr.id) else {
+                return Err(ServeError::new(format!(
+                    "response for unknown request id {}",
+                    tr.id
+                )));
+            };
+            let run = &mut out[slot];
+            match tr.resp {
+                Response::Pick(p) => {
+                    run.ttfp.get_or_insert_with(|| t0.elapsed());
+                    run.picks.push(p);
+                }
+                terminal => {
+                    if run.total != Duration::ZERO {
+                        return Err(ServeError::new(format!(
+                            "two terminal frames for request id {}",
+                            tr.id
+                        )));
+                    }
+                    run.terminal = terminal;
+                    run.total = t0.elapsed();
+                    open -= 1;
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// Closes a session.
@@ -173,6 +401,67 @@ fn unexpected(wanted: &str, got: &Response) -> ServeError {
     ServeError::new(format!("expected {wanted}, got {got:?}"))
 }
 
+/// One streamed (or pipelined) run as observed by the client.
+#[derive(Debug, Clone)]
+pub struct StreamedRun {
+    /// Streamed picks in emission order (empty for a non-streamed
+    /// pipelined request).
+    pub picks: Vec<PickBody>,
+    /// The terminal frame: [`Response::AnswerEnd`] on success (or
+    /// [`Response::Answer`] for a non-streamed pipelined request), an error
+    /// frame otherwise.
+    pub terminal: Response,
+    /// Time from issuing the request to the first streamed pick.
+    pub ttfp: Option<Duration>,
+    /// Time from issuing the request to its terminal frame.
+    pub total: Duration,
+}
+
+/// Checks that a streamed pick sequence is exactly the prefix view of its
+/// terminal answer: same ids in the same order, bit-identical π trajectory,
+/// and a final coverage that matches the summary.
+pub fn verify_stream_consistency(picks: &[PickBody], body: &AnswerBody) -> Result<(), String> {
+    if picks.len() != body.ids.len() {
+        return Err(format!(
+            "{} streamed picks but the answer has {} ids",
+            picks.len(),
+            body.ids.len()
+        ));
+    }
+    for (i, p) in picks.iter().enumerate() {
+        if p.seq != i {
+            return Err(format!("pick {i} carries seq {}", p.seq));
+        }
+        if p.id != body.ids[i] {
+            return Err(format!(
+                "pick {i} chose graph {:?} but the answer has {:?}",
+                p.id, body.ids[i]
+            ));
+        }
+        if p.pi.to_bits() != body.pi_trajectory[i].to_bits() {
+            return Err(format!(
+                "pick {i} π = {} but the answer trajectory has {}",
+                p.pi, body.pi_trajectory[i]
+            ));
+        }
+        if p.relevant != body.relevant {
+            return Err(format!(
+                "pick {i} relevant = {} but the answer has {}",
+                p.relevant, body.relevant
+            ));
+        }
+    }
+    if let Some(last) = picks.last() {
+        if last.covered != body.covered {
+            return Err(format!(
+                "final pick covers {} but the answer covers {}",
+                last.covered, body.covered
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// A deterministic load profile: every `(connection, request)` slot maps to
 /// a fixed `(θ, k)` via seed mixing, so two executions of the same spec —
 /// or an offline replay — exercise exactly the same queries.
@@ -199,6 +488,27 @@ pub struct LoadSpec {
     /// `1 / (i + 1)^skew`, the shape cache experiments use to model
     /// production key reuse.
     pub skew: f64,
+    /// How each connection issues its schedule over the wire.
+    pub mode: LoadMode,
+}
+
+/// Wire discipline of a load-harness connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LoadMode {
+    /// v1 request/response, one in flight — the historical harness.
+    #[default]
+    Blocking,
+    /// One streamed run at a time ([`Request::RunStream`]); picks are
+    /// checked against the terminal answer and time-to-first-pick is
+    /// recorded. Negotiates v2 when the server offers it, falls back to
+    /// bare v1 streaming otherwise.
+    Streamed,
+    /// `depth` tagged streamed runs in flight per connection (true
+    /// pipelining; requires an async-mode server granting v2).
+    Pipelined {
+        /// In-flight requests per connection (clamped to at least 1).
+        depth: usize,
+    },
 }
 
 /// SplitMix64 finalizer: a cheap, high-quality deterministic mixer.
@@ -302,6 +612,9 @@ pub struct LoadReport {
     pub wall: Duration,
     /// Client-observed per-request latencies in milliseconds.
     pub latencies_ms: Vec<f64>,
+    /// Client-observed time-to-first-pick in milliseconds (streamed and
+    /// pipelined modes only; empty under [`LoadMode::Blocking`]).
+    pub ttfp_ms: Vec<f64>,
 }
 
 impl LoadReport {
@@ -322,14 +635,24 @@ impl LoadReport {
 
     /// Latency quantile `p` in `[0, 1]` (exact over the recorded samples).
     pub fn latency_quantile_ms(&self, p: f64) -> f64 {
-        if self.latencies_ms.is_empty() {
-            return 0.0;
-        }
-        let mut v = self.latencies_ms.clone();
-        v.sort_by(|a, b| a.total_cmp(b));
-        let idx = ((p.clamp(0.0, 1.0) * (v.len() - 1) as f64).round()) as usize;
-        v[idx.min(v.len() - 1)]
+        quantile(&self.latencies_ms, p)
     }
+
+    /// Time-to-first-pick quantile `p` in `[0, 1]` over the recorded
+    /// samples (0.0 when the mode streamed nothing).
+    pub fn ttfp_quantile_ms(&self, p: f64) -> f64 {
+        quantile(&self.ttfp_ms, p)
+    }
+}
+
+fn quantile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut v = samples.to_vec();
+    v.sort_by(|a, b| a.total_cmp(b));
+    let idx = ((p.clamp(0.0, 1.0) * (v.len() - 1) as f64).round()) as usize;
+    v[idx.min(v.len() - 1)]
 }
 
 /// Runs the load profile against a live server: each connection opens its
@@ -337,11 +660,48 @@ impl LoadReport {
 /// by `(conn, req)` regardless of interleaving, so the report itself is
 /// deterministic when the server is.
 pub fn run_load(addr: &str, spec: &LoadSpec) -> Result<LoadReport, ServeError> {
+    #[derive(Default)]
     struct ConnResult {
         answers: Vec<LoadAnswer>,
         errors: Vec<String>,
         latencies_ms: Vec<f64>,
+        ttfp_ms: Vec<f64>,
     }
+
+    /// Records one streamed/pipelined completion into the result.
+    fn record_streamed(
+        out: &mut ConnResult,
+        conn: usize,
+        req: usize,
+        theta: f64,
+        k: usize,
+        run: StreamedRun,
+    ) {
+        let body = match run.terminal {
+            Response::AnswerEnd(b) | Response::Answer(b) => b,
+            other => {
+                out.errors.push(format!("conn {conn} req {req}: {other:?}"));
+                return;
+            }
+        };
+        if let Err(e) = verify_stream_consistency(&run.picks, &body) {
+            out.errors
+                .push(format!("conn {conn} req {req} stream mismatch: {e}"));
+            return;
+        }
+        out.latencies_ms.push(protocol::duration_ms(run.total));
+        if let Some(t) = run.ttfp {
+            out.ttfp_ms.push(protocol::duration_ms(t));
+        }
+        out.answers.push(LoadAnswer {
+            conn,
+            req,
+            theta,
+            k,
+            body,
+        });
+    }
+
     let t0 = Instant::now();
     let mut handles = Vec::new();
     for conn in 0..spec.connections {
@@ -350,11 +710,7 @@ pub fn run_load(addr: &str, spec: &LoadSpec) -> Result<LoadReport, ServeError> {
         let spawned = thread::Builder::new()
             .name(format!("graphrep-load-{conn}"))
             .spawn(move || -> ConnResult {
-                let mut out = ConnResult {
-                    answers: Vec::new(),
-                    errors: Vec::new(),
-                    latencies_ms: Vec::new(),
-                };
+                let mut out = ConnResult::default();
                 let mut client = match Client::connect(&addr) {
                     Ok(c) => c,
                     Err(e) => {
@@ -362,6 +718,12 @@ pub fn run_load(addr: &str, spec: &LoadSpec) -> Result<LoadReport, ServeError> {
                         return out;
                     }
                 };
+                if spec.mode != LoadMode::Blocking {
+                    if let Err(e) = client.hello() {
+                        out.errors.push(format!("conn {conn} hello: {e}"));
+                        return out;
+                    }
+                }
                 let opened = match client.open(&spec.dataset, spec.quantile) {
                     Ok(o) => o,
                     Err(e) => {
@@ -369,21 +731,55 @@ pub fn run_load(addr: &str, spec: &LoadSpec) -> Result<LoadReport, ServeError> {
                         return out;
                     }
                 };
-                for (req, (theta, k)) in spec.schedule(conn).into_iter().enumerate() {
-                    let q0 = Instant::now();
-                    match client.run(opened.session, theta, k, None) {
-                        Ok(Response::Answer(body)) => {
-                            out.latencies_ms.push(protocol::duration_ms(q0.elapsed()));
-                            out.answers.push(LoadAnswer {
-                                conn,
-                                req,
-                                theta,
-                                k,
-                                body,
-                            });
+                let schedule = spec.schedule(conn);
+                match spec.mode {
+                    LoadMode::Blocking => {
+                        for (req, (theta, k)) in schedule.into_iter().enumerate() {
+                            let q0 = Instant::now();
+                            match client.run(opened.session, theta, k, None) {
+                                Ok(Response::Answer(body)) => {
+                                    out.latencies_ms.push(protocol::duration_ms(q0.elapsed()));
+                                    out.answers.push(LoadAnswer {
+                                        conn,
+                                        req,
+                                        theta,
+                                        k,
+                                        body,
+                                    });
+                                }
+                                Ok(other) => {
+                                    out.errors.push(format!("conn {conn} req {req}: {other:?}"))
+                                }
+                                Err(e) => out.errors.push(format!("conn {conn} req {req}: {e}")),
+                            }
                         }
-                        Ok(other) => out.errors.push(format!("conn {conn} req {req}: {other:?}")),
-                        Err(e) => out.errors.push(format!("conn {conn} req {req}: {e}")),
+                    }
+                    LoadMode::Streamed => {
+                        for (req, (theta, k)) in schedule.into_iter().enumerate() {
+                            match client.run_streaming(opened.session, theta, k, None) {
+                                Ok(run) => record_streamed(&mut out, conn, req, theta, k, run),
+                                Err(e) => out.errors.push(format!("conn {conn} req {req}: {e}")),
+                            }
+                        }
+                    }
+                    LoadMode::Pipelined { depth } => {
+                        let depth = depth.max(1);
+                        let mut req = 0usize;
+                        for chunk in schedule.chunks(depth) {
+                            match client.run_pipelined(opened.session, chunk, true) {
+                                Ok(runs) => {
+                                    for (i, run) in runs.into_iter().enumerate() {
+                                        let (theta, k) = chunk[i];
+                                        record_streamed(&mut out, conn, req + i, theta, k, run);
+                                    }
+                                }
+                                Err(e) => {
+                                    out.errors.push(format!("conn {conn} batch at {req}: {e}"));
+                                    return out;
+                                }
+                            }
+                            req += chunk.len();
+                        }
                     }
                 }
                 if let Err(e) = client.close(opened.session) {
@@ -397,12 +793,14 @@ pub fn run_load(addr: &str, spec: &LoadSpec) -> Result<LoadReport, ServeError> {
     let mut answers = Vec::new();
     let mut errors = Vec::new();
     let mut latencies_ms = Vec::new();
+    let mut ttfp_ms = Vec::new();
     for h in handles {
         match h.join() {
             Ok(mut r) => {
                 answers.append(&mut r.answers);
                 errors.append(&mut r.errors);
                 latencies_ms.append(&mut r.latencies_ms);
+                ttfp_ms.append(&mut r.ttfp_ms);
             }
             Err(_) => errors.push("a load thread panicked".to_owned()),
         }
@@ -413,6 +811,7 @@ pub fn run_load(addr: &str, spec: &LoadSpec) -> Result<LoadReport, ServeError> {
         errors,
         wall: t0.elapsed(),
         latencies_ms,
+        ttfp_ms,
     })
 }
 
@@ -512,6 +911,7 @@ mod tests {
             quantile: 0.75,
             seed: 42,
             skew: 0.0,
+            mode: LoadMode::Blocking,
         }
     }
 
@@ -594,6 +994,7 @@ mod tests {
             errors: vec![],
             wall: Duration::from_secs(1),
             latencies_ms: vec![5.0, 1.0, 9.0, 3.0],
+            ttfp_ms: vec![2.0, 0.5],
         };
         assert_eq!(r.latency_quantile_ms(0.0), 1.0);
         assert_eq!(r.latency_quantile_ms(1.0), 9.0);

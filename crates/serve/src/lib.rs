@@ -26,21 +26,24 @@
 pub mod client;
 pub mod metrics;
 pub mod protocol;
+pub mod reactor;
 pub mod registry;
 pub mod server;
 pub mod sessions;
 
 pub use client::{
-    offline_reference, offline_reference_from_dir, run_load, verify_against_offline, Client,
-    LoadAnswer, LoadReport, LoadSpec,
+    offline_reference, offline_reference_from_dir, run_load, verify_against_offline,
+    verify_stream_consistency, Client, LoadAnswer, LoadMode, LoadReport, LoadSpec, StreamedRun,
 };
 pub use metrics::{Endpoint, EndpointCounters, LatencyHistogram, ServerMetrics};
 pub use protocol::{
-    codes, AnswerBody, CacheTierStats, MutatedBody, Request, Response, ServeError, StatsBody,
+    codes, AnswerBody, CacheTierStats, DecodeError, FrameDecoder, MutatedBody, PickBody, Request,
+    Response, ServeError, StatsBody, TaggedRequest, TaggedResponse, PROTOCOL_MAX, PROTOCOL_V1,
+    PROTOCOL_V2,
 };
 pub use registry::{
     DatasetCaches, DatasetEntry, DatasetRegistry, LoadedDataset, MutationReceipt, ShardedDataset,
     ShardedMutationReceipt,
 };
-pub use server::{start, start_in_memory, ServeConfig, ServerHandle};
+pub use server::{start, start_in_memory, IoMode, ServeConfig, ServerHandle};
 pub use sessions::{LiveSession, SessionBackend, SessionManager};

@@ -177,10 +177,15 @@ pub enum Endpoint {
     Remove,
     /// Shutdown requests.
     Shutdown,
+    /// Streamed `(θ, k)` runs (`run_stream`).
+    RunStream,
+    /// Protocol-version negotiation.
+    Hello,
 }
 
-/// All endpoints, in stats-report order.
-pub const ENDPOINTS: [Endpoint; 8] = [
+/// All endpoints, in stats-report order. New endpoints append so existing
+/// stats-row indices stay stable.
+pub const ENDPOINTS: [Endpoint; 10] = [
     Endpoint::Open,
     Endpoint::Run,
     Endpoint::Close,
@@ -189,6 +194,8 @@ pub const ENDPOINTS: [Endpoint; 8] = [
     Endpoint::Insert,
     Endpoint::Remove,
     Endpoint::Shutdown,
+    Endpoint::RunStream,
+    Endpoint::Hello,
 ];
 
 impl Endpoint {
@@ -203,6 +210,8 @@ impl Endpoint {
             Endpoint::Insert => "insert",
             Endpoint::Remove => "remove",
             Endpoint::Shutdown => "shutdown",
+            Endpoint::RunStream => "run_stream",
+            Endpoint::Hello => "hello",
         }
     }
 
@@ -216,6 +225,8 @@ impl Endpoint {
             Endpoint::Insert => 5,
             Endpoint::Remove => 6,
             Endpoint::Shutdown => 7,
+            Endpoint::RunStream => 8,
+            Endpoint::Hello => 9,
         }
     }
 }
@@ -223,7 +234,7 @@ impl Endpoint {
 /// All per-endpoint counters of one server.
 #[derive(Debug, Default)]
 pub struct ServerMetrics {
-    counters: [EndpointCounters; 8],
+    counters: [EndpointCounters; 10],
 }
 
 impl ServerMetrics {

@@ -31,7 +31,22 @@ pub mod codes {
     pub const SHUTTING_DOWN: &str = "shutting_down";
     /// A server-side invariant failed while handling the request.
     pub const INTERNAL: &str = "internal";
+    /// A streaming consumer read too slowly: its connection write queue hit
+    /// the configured cap and the in-flight run was cancelled.
+    pub const SLOW_CONSUMER: &str = "slow_consumer";
 }
+
+/// Protocol version 1: the original blocking protocol — untagged frames,
+/// strict FIFO request/response pairing, whole answers in one frame.
+pub const PROTOCOL_V1: u32 = 1;
+
+/// Protocol version 2: adds [`TaggedRequest`]/[`TaggedResponse`] envelopes
+/// (client-chosen request ids, out-of-order completion) and streamed runs
+/// ([`Request::RunStream`] → [`Response::Pick`]* [`Response::AnswerEnd`]).
+pub const PROTOCOL_V2: u32 = 2;
+
+/// Highest protocol version this build speaks.
+pub const PROTOCOL_MAX: u32 = PROTOCOL_V2;
 
 /// One error type for the whole serving layer: framing, I/O, registry
 /// loading, and client-side verification failures all surface as a message.
@@ -144,9 +159,33 @@ pub struct RemoveBody {
     pub id: GraphId,
 }
 
-/// A client request. `Open`/`Run`/`Ping`/`Insert`/`Remove` go through the
-/// bounded worker pool (and can be rejected by admission control);
-/// `Close`/`Stats`/`Shutdown` are answered inline on the connection thread.
+/// Body of [`Request::Hello`]: protocol-version negotiation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HelloBody {
+    /// The highest protocol version the client wants to speak.
+    pub version: u32,
+}
+
+/// Body of [`Response::HelloAck`]: the negotiated protocol version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HelloAckBody {
+    /// The version this connection will speak from the next frame on:
+    /// `min(client requested, server max)`.
+    pub version: u32,
+    /// The highest version the server supports, for diagnostics.
+    pub max: u32,
+}
+
+/// A client request. `Open`/`Run`/`RunStream`/`Ping`/`Insert`/`Remove` go
+/// through the bounded worker pool (and can be rejected by admission
+/// control); `Hello`/`Close`/`Stats`/`Shutdown` are answered inline.
+///
+/// Clients that never send [`Request::Hello`] speak [`PROTOCOL_V1`]: bare
+/// `Request` frames answered strictly in order by bare `Response` frames —
+/// exactly the pre-v2 wire format, so old blocking clients keep working
+/// against new servers byte-for-byte. After a `Hello` negotiating
+/// [`PROTOCOL_V2`], every subsequent frame on the connection is a
+/// [`TaggedRequest`] / [`TaggedResponse`] envelope.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Request {
     /// Start a session (paper Sec 7 initialization phase).
@@ -165,6 +204,34 @@ pub enum Request {
     Remove(RemoveBody),
     /// Begin graceful shutdown: drain queued work, then exit.
     Shutdown,
+    /// Negotiate the protocol version (must be the first frame if sent).
+    Hello(HelloBody),
+    /// Execute one `(θ, k)` run, streaming each accepted pick as its own
+    /// [`Response::Pick`] frame before the terminal [`Response::AnswerEnd`].
+    RunStream(RunBody),
+}
+
+/// A v2 request envelope: a client-chosen id echoed on every response frame
+/// the request produces, which is what lets responses complete out of order
+/// on a pipelined connection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaggedRequest {
+    /// Client-chosen correlation id. Must be unique among the connection's
+    /// in-flight requests; reusing a live id is a [`codes::BAD_REQUEST`].
+    pub id: u64,
+    /// The request proper.
+    pub req: Request,
+}
+
+/// A v2 response envelope carrying the originating request's id. A streamed
+/// run emits many envelopes with the same id (picks, then the terminal
+/// answer); every other request emits exactly one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaggedResponse {
+    /// The id of the request this frame answers.
+    pub id: u64,
+    /// The response proper.
+    pub resp: Response,
 }
 
 /// Body of [`Response::Opened`].
@@ -418,6 +485,11 @@ pub struct StatsBody {
     pub endpoints: Vec<EndpointStats>,
     /// Per-dataset index and oracle statistics.
     pub datasets: Vec<DatasetStats>,
+    /// Connection I/O mode (`blocking` or `async`). Appended after v1; old
+    /// clients ignore unknown fields.
+    pub io_mode: String,
+    /// Connections currently open (accepted and not yet torn down).
+    pub connections_open: usize,
 }
 
 /// Body of [`Response::Mutated`]: receipt for an applied insert/remove.
@@ -441,6 +513,37 @@ pub struct MutatedBody {
     pub shard_epochs: Vec<u64>,
 }
 
+/// Body of [`Response::Pick`]: one streamed greedy pick, emitted as
+/// CELF/the shard coordinator commits it. The fields mirror one entry of
+/// the final answer: `id` is `ids[seq]` and `pi` is `pi_trajectory[seq]`,
+/// so concatenating a run's picks reconstructs the answer prefix exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PickBody {
+    /// Zero-based pick index within the run.
+    pub seq: usize,
+    /// The representative graph just accepted.
+    pub id: GraphId,
+    /// Relevant graphs covered after this pick.
+    pub covered: usize,
+    /// Size of the relevant set `|L_q|`.
+    pub relevant: usize,
+    /// Coverage ratio π after this pick.
+    pub pi: f64,
+}
+
+impl PickBody {
+    /// Packs a core pick event for the wire.
+    pub fn from_event(e: &graphrep_core::PickEvent) -> Self {
+        Self {
+            seq: e.seq,
+            id: e.id,
+            covered: e.covered,
+            relevant: e.relevant,
+            pi: e.pi,
+        }
+    }
+}
+
 /// Body of [`Response::Error`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ErrorBody {
@@ -450,7 +553,10 @@ pub struct ErrorBody {
     pub message: String,
 }
 
-/// A server response. Every request yields exactly one response frame.
+/// A server response. Every request yields exactly one response frame,
+/// except [`Request::RunStream`], which yields zero or more
+/// [`Response::Pick`] frames followed by exactly one terminal frame
+/// ([`Response::AnswerEnd`] on success, [`Response::Error`] otherwise).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Response {
     /// Session created.
@@ -469,6 +575,14 @@ pub enum Response {
     ShutdownAck,
     /// The request failed; see the code for why.
     Error(ErrorBody),
+    /// Protocol version negotiated.
+    HelloAck(HelloAckBody),
+    /// One streamed greedy pick of an in-flight [`Request::RunStream`].
+    Pick(PickBody),
+    /// Terminal frame of a streamed run: the full answer + stats, with a
+    /// fingerprint byte-identical to the [`Response::Answer`] the blocking
+    /// `Run` of the same `(θ, k)` would have returned.
+    AnswerEnd(AnswerBody),
 }
 
 impl Response {
@@ -484,6 +598,22 @@ impl Response {
 /// Converts a [`Duration`] to fractional milliseconds.
 pub fn duration_ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1e3
+}
+
+/// Encodes one frame (4-byte big-endian length + JSON payload) into an
+/// owned buffer — the form worker threads hand to a connection write queue.
+pub fn encode_frame<T: Serialize>(msg: &T) -> Result<Vec<u8>, ServeError> {
+    let body = serde_json::to_string(msg)?;
+    if body.len() > MAX_FRAME_BYTES {
+        return Err(ServeError::new(format!(
+            "frame of {} bytes exceeds the {MAX_FRAME_BYTES}-byte limit",
+            body.len()
+        )));
+    }
+    let mut frame = Vec::with_capacity(4 + body.len());
+    frame.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    frame.extend_from_slice(body.as_bytes());
+    Ok(frame)
 }
 
 /// Writes one frame: 4-byte big-endian length, then the JSON payload.
@@ -592,6 +722,126 @@ pub fn read_frame<T: Deserialize>(
     let text = String::from_utf8(payload)
         .map_err(|e| ServeError::new(format!("frame is not UTF-8: {e}")))?;
     Ok(FrameRead::Frame(serde_json::from_str(&text)?))
+}
+
+/// Typed, fatal decode failures of the incremental [`FrameDecoder`]. Every
+/// variant poisons the stream: framing has lost sync, so the only safe
+/// recovery is closing the connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// A frame header announced more than [`MAX_FRAME_BYTES`].
+    Oversized {
+        /// The announced payload length.
+        announced: usize,
+    },
+    /// A complete payload was not valid UTF-8.
+    Utf8 {
+        /// Decoder detail.
+        detail: String,
+    },
+    /// A complete payload was not valid JSON for the expected type.
+    Json {
+        /// Parser detail.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Oversized { announced } => write!(
+                f,
+                "peer announced a {announced}-byte frame (limit {MAX_FRAME_BYTES})"
+            ),
+            DecodeError::Utf8 { detail } => write!(f, "frame is not UTF-8: {detail}"),
+            DecodeError::Json { detail } => write!(f, "frame is not valid JSON: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl From<DecodeError> for ServeError {
+    fn from(e: DecodeError) -> Self {
+        ServeError::new(e.to_string())
+    }
+}
+
+/// Incremental frame decoder for readiness-driven (non-blocking) reads:
+/// [`FrameDecoder::feed`] accepts whatever bytes the socket produced —
+/// including partial headers and payloads split at arbitrary boundaries —
+/// and [`FrameDecoder::next_payload`] yields complete frames as they become
+/// available. Malformed input surfaces as a typed [`DecodeError`]; the
+/// decoder itself never panics and never reads past a frame boundary, so a
+/// well-formed frame following a complete frame is always decoded intact.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by returned frames. Compacted
+    /// opportunistically so the buffer does not grow without bound.
+    start: usize,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw bytes read from the transport.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Compact before growing: everything before `start` is dead.
+        if self.start > 0 && (self.start >= self.buf.len() || self.start > 64 * 1024) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet returned as frames (partial frame data).
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Returns the next complete frame's payload as validated UTF-8, `None`
+    /// when more bytes are needed. Errors are fatal for the stream.
+    pub fn next_payload(&mut self) -> Result<Option<String>, DecodeError> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
+        if len > MAX_FRAME_BYTES {
+            return Err(DecodeError::Oversized { announced: len });
+        }
+        if avail.len() < 4 + len {
+            return Ok(None);
+        }
+        let payload = avail[4..4 + len].to_vec();
+        // Consume the frame before validating the payload: the framing layer
+        // stays in sync even when the payload itself is garbage.
+        self.start += 4 + len;
+        match String::from_utf8(payload) {
+            Ok(text) => Ok(Some(text)),
+            Err(e) => Err(DecodeError::Utf8 {
+                detail: e.to_string(),
+            }),
+        }
+    }
+
+    /// Decodes the next complete frame into `T`, `None` when more bytes are
+    /// needed.
+    pub fn next_message<T: Deserialize>(&mut self) -> Result<Option<T>, DecodeError> {
+        match self.next_payload()? {
+            None => Ok(None),
+            Some(text) => match serde_json::from_str(&text) {
+                Ok(v) => Ok(Some(v)),
+                Err(e) => Err(DecodeError::Json {
+                    detail: e.to_string(),
+                }),
+            },
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,586 @@
+//! The event-driven I/O core of the async serve mode: one reactor thread
+//! multiplexes every connection over a level-triggered [`poll::Poll`]
+//! (epoll in production, a scripted mock in tests), decodes frames
+//! incrementally, and hands query work to the existing bounded worker pool.
+//! Compute stays threaded; only I/O is readiness-driven.
+//!
+//! Layering, bottom up:
+//!
+//! * [`sys`] — the unsafe epoll/rlimit FFI (Linux only);
+//! * [`poll`] — the readiness seam: [`poll::Poll`], [`poll::MockPoll`];
+//! * [`waker`] — worker→reactor wake channel (socketpair + dirty list);
+//! * [`conn`] — per-connection write queue with backpressure and the
+//!   transport-agnostic read/write state machine;
+//! * this module — the slab of live connections (generation-tagged tokens,
+//!   so stale readiness events for recycled slots are ignored), the accept
+//!   path, dispatch glue, and graceful drain.
+
+pub mod conn;
+pub mod poll;
+pub mod sys;
+#[cfg(test)]
+mod tests;
+pub mod waker;
+
+use crate::protocol::{
+    self, codes, ErrorBody, HelloAckBody, HelloBody, Request, Response, TaggedRequest,
+    TaggedResponse, PROTOCOL_MAX, PROTOCOL_V1,
+};
+use conn::{ConnFsm, ConnQueue};
+use poll::{Event, Interest, Poll};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::Arc;
+use std::time::Duration;
+use waker::Waker;
+
+/// Token of the wake-channel read end.
+pub const WAKE_TOKEN: u64 = u64::MAX;
+/// Token of the listening socket.
+pub const LISTEN_TOKEN: u64 = u64::MAX - 1;
+
+/// A byte stream the reactor can drive: nonblocking reads/writes plus the
+/// raw fd to register. Object-safe so tests can substitute scripted
+/// in-memory transports for TCP sockets.
+pub trait Transport: Read + Write + Send {
+    /// The fd registered with the poller (an opaque key under a mock).
+    fn raw_fd(&self) -> i32;
+}
+
+impl Transport for TcpStream {
+    fn raw_fd(&self) -> i32 {
+        self.as_raw_fd()
+    }
+}
+
+impl Transport for UnixStream {
+    fn raw_fd(&self) -> i32 {
+        self.as_raw_fd()
+    }
+}
+
+/// A connection source the reactor polls for accept readiness.
+pub trait Acceptor: Send {
+    /// The listener fd to register.
+    fn raw_fd(&self) -> i32;
+    /// Accepts one pending connection, `Ok(None)` when none is waiting.
+    fn accept_one(&mut self) -> std::io::Result<Option<Box<dyn Transport>>>;
+}
+
+/// Nonblocking TCP accept source.
+pub struct TcpAcceptor {
+    listener: TcpListener,
+}
+
+impl std::fmt::Debug for TcpAcceptor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpAcceptor")
+            .field("fd", &self.listener.as_raw_fd())
+            .finish()
+    }
+}
+
+impl TcpAcceptor {
+    /// Wraps a bound listener, switching it to nonblocking mode.
+    pub fn new(listener: TcpListener) -> std::io::Result<Self> {
+        listener.set_nonblocking(true)?;
+        Ok(Self { listener })
+    }
+}
+
+impl Acceptor for TcpAcceptor {
+    fn raw_fd(&self) -> i32 {
+        self.listener.as_raw_fd()
+    }
+
+    fn accept_one(&mut self) -> std::io::Result<Option<Box<dyn Transport>>> {
+        match self.listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(true)?;
+                let _ = stream.set_nodelay(true);
+                Ok(Some(Box::new(stream)))
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// The server-side hooks the reactor drives: request dispatch (inline or
+/// pooled — the implementation decides and enqueues responses through the
+/// connection's [`ConnQueue`]), the drain flag, and connection accounting.
+pub trait AsyncDispatch: Send + Sync {
+    /// Handles one decoded request from a connection. `tag` is the v2
+    /// request id (`None` on v1 connections); every request must eventually
+    /// produce exactly one terminal frame through `queue`.
+    fn dispatch(&self, req: Request, tag: Option<u64>, queue: &Arc<ConnQueue>);
+    /// Whether graceful drain has begun.
+    fn shutting_down(&self) -> bool;
+    /// A connection was accepted.
+    fn conn_opened(&self);
+    /// A connection was torn down.
+    fn conn_closed(&self);
+}
+
+struct ConnEntry {
+    transport: Box<dyn Transport>,
+    fsm: ConnFsm,
+    /// Interest currently registered with the poller, to elide no-op
+    /// `modify` calls.
+    registered: Interest,
+}
+
+struct Slot {
+    conn: Option<ConnEntry>,
+    gen: u32,
+}
+
+/// Connection storage with generation-tagged tokens: a token addresses
+/// (slot, generation), so a readiness event that raced a teardown — its
+/// token's slot since recycled — resolves to nothing instead of a stranger.
+#[derive(Default)]
+pub struct Slab {
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    live: usize,
+}
+
+impl std::fmt::Debug for Slab {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Slab")
+            .field("slots", &self.slots.len())
+            .field("live", &self.live)
+            .finish()
+    }
+}
+
+impl Slab {
+    fn token_of(idx: usize, gen: u32) -> u64 {
+        ((gen as u64) << 32) | idx as u64
+    }
+
+    /// Inserts a connection built from its assigned token.
+    fn insert_with(&mut self, make: impl FnOnce(u64) -> ConnEntry) -> u64 {
+        let idx = match self.free.pop() {
+            Some(i) => i,
+            None => {
+                self.slots.push(Slot { conn: None, gen: 0 });
+                self.slots.len() - 1
+            }
+        };
+        let gen = self.slots[idx].gen;
+        let token = Self::token_of(idx, gen);
+        self.slots[idx].conn = Some(make(token));
+        self.live += 1;
+        token
+    }
+
+    fn get_mut(&mut self, token: u64) -> Option<&mut ConnEntry> {
+        let idx = (token & 0xffff_ffff) as usize;
+        let gen = (token >> 32) as u32;
+        let slot = self.slots.get_mut(idx)?;
+        if slot.gen != gen {
+            return None;
+        }
+        slot.conn.as_mut()
+    }
+
+    fn remove(&mut self, token: u64) -> Option<ConnEntry> {
+        let idx = (token & 0xffff_ffff) as usize;
+        let gen = (token >> 32) as u32;
+        let slot = self.slots.get_mut(idx)?;
+        if slot.gen != gen {
+            return None;
+        }
+        let conn = slot.conn.take()?;
+        // Recycle the slot under a fresh generation; stale tokens go dead.
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(idx);
+        self.live -= 1;
+        Some(conn)
+    }
+
+    /// Tokens of all live connections.
+    fn tokens(&self) -> Vec<u64> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.conn.is_some())
+            .map(|(i, s)| Self::token_of(i, s.gen))
+            .collect()
+    }
+
+    /// Number of live connections.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no connection is live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+}
+
+/// The reactor: owns the poller, the accept source, the wake channel, and
+/// every connection. Generic over [`Poll`] so the event loop runs under the
+/// scripted [`poll::MockPoll`] in unit tests.
+pub struct Reactor<P: Poll> {
+    poll: P,
+    acceptor: Option<Box<dyn Acceptor>>,
+    wake_rx: UnixStream,
+    waker: Arc<Waker>,
+    dispatch: Arc<dyn AsyncDispatch>,
+    conns: Slab,
+    write_cap: usize,
+}
+
+impl<P: Poll> std::fmt::Debug for Reactor<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Reactor")
+            .field("conns", &self.conns.len())
+            .field("write_cap", &self.write_cap)
+            .finish()
+    }
+}
+
+impl<P: Poll> Reactor<P> {
+    /// Builds a reactor and registers the listener and wake channel.
+    pub fn new(
+        mut poll: P,
+        acceptor: Box<dyn Acceptor>,
+        waker: Arc<Waker>,
+        wake_rx: UnixStream,
+        dispatch: Arc<dyn AsyncDispatch>,
+        write_cap: usize,
+    ) -> std::io::Result<Self> {
+        poll.register(
+            acceptor.raw_fd(),
+            LISTEN_TOKEN,
+            Interest {
+                readable: true,
+                writable: false,
+            },
+        )?;
+        poll.register(
+            wake_rx.as_raw_fd(),
+            WAKE_TOKEN,
+            Interest {
+                readable: true,
+                writable: false,
+            },
+        )?;
+        Ok(Self {
+            poll,
+            acceptor: Some(acceptor),
+            wake_rx,
+            waker,
+            dispatch,
+            conns: Slab::default(),
+            write_cap,
+        })
+    }
+
+    /// Runs the event loop until graceful drain completes: shutdown flag
+    /// up, accept source closed, every connection's in-flight work answered
+    /// and flushed, every connection closed.
+    pub fn run(mut self) {
+        let mut draining = false;
+        while !self.turn(&mut draining) {}
+    }
+
+    /// One iteration of the event loop — one bounded `wait` (so the
+    /// shutdown flag is polled even if no event ever arrives), event
+    /// handling, dirty-connection flushes, drain bookkeeping. Returns
+    /// `true` once graceful drain completed. Split out of [`Reactor::run`]
+    /// so the mock-poll unit tests can single-step the loop.
+    fn turn(&mut self, draining: &mut bool) -> bool {
+        let mut events: Vec<Event> = Vec::new();
+        let _ = self.poll.wait(&mut events, Some(Duration::from_millis(50)));
+        for ev in events {
+            match ev.token {
+                WAKE_TOKEN => Waker::drain_wake_bytes(&mut self.wake_rx),
+                LISTEN_TOKEN => self.accept_ready(*draining),
+                token => self.conn_event(token, ev),
+            }
+        }
+        for token in self.waker.take_dirty() {
+            self.flush_conn(token);
+        }
+        if self.dispatch.shutting_down() {
+            if !*draining {
+                *draining = true;
+                if let Some(a) = self.acceptor.take() {
+                    let _ = self.poll.deregister(a.raw_fd());
+                }
+            }
+            // Close connections with nothing left in flight or queued.
+            for token in self.conns.tokens() {
+                let done = match self.conns.get_mut(token) {
+                    Some(c) => c.fsm.out.drained() && !c.fsm.wants_write(),
+                    None => false,
+                };
+                if done {
+                    self.teardown(token);
+                }
+            }
+            if self.conns.is_empty() {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn accept_ready(&mut self, draining: bool) {
+        if draining {
+            return;
+        }
+        loop {
+            let accepted = match self.acceptor.as_mut() {
+                Some(a) => a.accept_one(),
+                None => return,
+            };
+            match accepted {
+                Ok(Some(transport)) => {
+                    let waker = Arc::clone(&self.waker);
+                    let cap = self.write_cap;
+                    let fd = transport.raw_fd();
+                    let token = self.conns.insert_with(|token| {
+                        let queue = Arc::new(ConnQueue::new(cap, waker, token));
+                        ConnEntry {
+                            transport,
+                            fsm: ConnFsm::new(queue),
+                            registered: Interest {
+                                readable: true,
+                                writable: false,
+                            },
+                        }
+                    });
+                    self.dispatch.conn_opened();
+                    if self
+                        .poll
+                        .register(
+                            fd,
+                            token,
+                            Interest {
+                                readable: true,
+                                writable: false,
+                            },
+                        )
+                        .is_err()
+                    {
+                        self.teardown(token);
+                    }
+                }
+                Ok(None) => return,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn conn_event(&mut self, token: u64, ev: Event) {
+        // Stale-token events (slot recycled since the event was queued)
+        // resolve to None and are ignored.
+        if self.conns.get_mut(token).is_none() {
+            return;
+        }
+        if ev.readable {
+            self.read_ready(token);
+        }
+        if ev.writable {
+            self.flush_conn(token);
+        }
+        if ev.hangup {
+            // Drain any final inbound bytes were already attempted above if
+            // readable; the peer is gone either way.
+            if let Some(c) = self.conns.get_mut(token) {
+                // One last flush attempt delivers what fits, then close.
+                let _ = c.fsm.on_writable(&mut c.transport);
+                self.teardown(token);
+            }
+        }
+    }
+
+    fn read_ready(&mut self, token: u64) {
+        let Some(c) = self.conns.get_mut(token) else {
+            return;
+        };
+        if c.fsm.read_paused || c.fsm.closing {
+            return;
+        }
+        let outcome = c.fsm.on_readable(&mut c.transport);
+        let queue = Arc::clone(&c.fsm.out);
+        for payload in outcome.payloads {
+            self.handle_payload(token, &payload, &queue);
+        }
+        if let Some(e) = outcome.error {
+            // Framing lost sync: one typed diagnostic, then close once it
+            // (and everything before it) flushes. Tagged with the sentinel
+            // id on v2 connections — the true id is unknowable.
+            let (tag, closing) = match self.conns.get_mut(token) {
+                Some(c) => {
+                    c.fsm.closing = true;
+                    ((c.fsm.version > PROTOCOL_V1).then_some(u64::MAX), true)
+                }
+                None => (None, false),
+            };
+            if closing {
+                let resp = Response::Error(ErrorBody {
+                    code: codes::BAD_REQUEST.to_owned(),
+                    message: e.to_string(),
+                });
+                push_response(&queue, tag, &resp);
+            }
+        }
+        if outcome.eof {
+            // EOF covers both clean close and half-open peers (write side
+            // shut): either way no more requests can arrive, so the
+            // connection — and any streamed run feeding it — is torn down.
+            self.teardown(token);
+            return;
+        }
+        self.flush_conn(token);
+    }
+
+    fn handle_payload(&mut self, token: u64, payload: &str, queue: &Arc<ConnQueue>) {
+        let version = match self.conns.get_mut(token) {
+            // A poisoned connection processes nothing after the bad frame.
+            Some(c) if !c.fsm.closing => c.fsm.version,
+            _ => return,
+        };
+        let (tag, req) = if version > PROTOCOL_V1 {
+            match serde_json::from_str::<TaggedRequest>(payload) {
+                Ok(t) => (Some(t.id), t.req),
+                Err(e) => {
+                    self.poison(token, queue, format!("expected a tagged request: {e}"));
+                    return;
+                }
+            }
+        } else {
+            match serde_json::from_str::<Request>(payload) {
+                Ok(r) => (None, r),
+                Err(e) => {
+                    self.poison(token, queue, format!("bad request frame: {e}"));
+                    return;
+                }
+            }
+        };
+        // Hello is a framing concern, so the reactor owns it: the ack is
+        // sent in the *current* framing, then the connection switches.
+        if let Request::Hello(HelloBody { version: want }) = req {
+            let granted = want.clamp(PROTOCOL_V1, PROTOCOL_MAX);
+            let ack = Response::HelloAck(HelloAckBody {
+                version: granted,
+                max: PROTOCOL_MAX,
+            });
+            push_response(queue, tag, &ack);
+            if let Some(c) = self.conns.get_mut(token) {
+                c.fsm.version = granted;
+            }
+            return;
+        }
+        // Duplicate live request ids cannot be answered unambiguously;
+        // reject without executing.
+        if !queue.note_dispatch(tag) {
+            let resp = Response::Error(ErrorBody {
+                code: codes::BAD_REQUEST.to_owned(),
+                message: format!(
+                    "request id {} is already in flight on this connection",
+                    tag.unwrap_or(0)
+                ),
+            });
+            push_response(queue, tag, &resp);
+            return;
+        }
+        self.dispatch.dispatch(req, tag, queue);
+    }
+
+    /// Marks a connection poisoned after an unparseable frame: one
+    /// diagnostic, then close-on-drain. The v1 blocking server does the
+    /// same (one best-effort error, then drop).
+    fn poison(&mut self, token: u64, queue: &Arc<ConnQueue>, message: String) {
+        let tag = match self.conns.get_mut(token) {
+            Some(c) => {
+                c.fsm.closing = true;
+                (c.fsm.version > PROTOCOL_V1).then_some(u64::MAX)
+            }
+            None => return,
+        };
+        let resp = Response::Error(ErrorBody {
+            code: codes::BAD_REQUEST.to_owned(),
+            message,
+        });
+        push_response(queue, tag, &resp);
+    }
+
+    /// Flushes a connection's write queue and re-evaluates its interest
+    /// set and read-pause state.
+    fn flush_conn(&mut self, token: u64) {
+        let Some(c) = self.conns.get_mut(token) else {
+            return;
+        };
+        match c.fsm.on_writable(&mut c.transport) {
+            Ok(_drained) => {
+                c.fsm.update_read_pause();
+                if c.fsm.closing && !c.fsm.wants_write() {
+                    self.teardown(token);
+                    return;
+                }
+                self.update_interest(token);
+            }
+            Err(_) => self.teardown(token),
+        }
+    }
+
+    fn update_interest(&mut self, token: u64) {
+        let Some(c) = self.conns.get_mut(token) else {
+            return;
+        };
+        let want = c.fsm.interest();
+        if want != c.registered {
+            let fd = c.transport.raw_fd();
+            if self.poll.modify(fd, token, want).is_ok() {
+                if let Some(c) = self.conns.get_mut(token) {
+                    c.registered = want;
+                }
+            }
+        }
+    }
+
+    fn teardown(&mut self, token: u64) {
+        let Some(c) = self.conns.remove(token) else {
+            return;
+        };
+        // Closing the queue is what aborts any in-flight streamed run
+        // feeding this connection: its next pick push fails.
+        c.fsm.out.mark_closed();
+        let _ = self.poll.deregister(c.transport.raw_fd());
+        self.dispatch.conn_closed();
+    }
+
+    /// Number of live connections (test hook).
+    pub fn connections(&self) -> usize {
+        self.conns.len()
+    }
+}
+
+/// Encodes `resp` (tagged when `tag` is set) into one wire frame.
+pub fn encode_response(tag: Option<u64>, resp: &Response) -> Result<Vec<u8>, crate::ServeError> {
+    match tag {
+        Some(id) => protocol::encode_frame(&TaggedResponse {
+            id,
+            resp: resp.clone(),
+        }),
+        None => protocol::encode_frame(resp),
+    }
+}
+
+/// Enqueues a response that answers no tracked request (hello acks,
+/// duplicate-id rejections, poison diagnostics) — the connection's
+/// in-flight set is left untouched.
+pub fn push_response(queue: &Arc<ConnQueue>, tag: Option<u64>, resp: &Response) {
+    if let Ok(frame) = encode_response(tag, resp) {
+        queue.push_notice(frame);
+    }
+}

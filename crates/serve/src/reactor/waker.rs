@@ -1,0 +1,69 @@
+//! Worker→reactor wake channel: a nonblocking socketpair plus a dirty-token
+//! list. Workers that enqueue outbound frames push the connection's token
+//! and write one byte; the reactor wakes from `epoll_wait`, drains the
+//! byte(s), and flushes exactly the dirty connections.
+//!
+//! Built on `UnixStream::pair()` — a safe std API — so the only unsafe in
+//! the reactor stays confined to the epoll syscalls themselves.
+
+use graphrep_lockaudit::TrackedMutex;
+use std::io::{Read, Write};
+use std::os::unix::net::UnixStream;
+
+/// The worker-side half of the wake channel (cheaply cloneable via `Arc`).
+pub struct Waker {
+    dirty: TrackedMutex<Vec<u64>>,
+    tx: UnixStream,
+}
+
+impl std::fmt::Debug for Waker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Waker").finish()
+    }
+}
+
+impl Waker {
+    /// Builds the channel; returns the waker and the reactor-side read end
+    /// (to be registered for read readiness).
+    pub fn new() -> std::io::Result<(Self, UnixStream)> {
+        let (tx, rx) = UnixStream::pair()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        Ok((
+            Self {
+                dirty: TrackedMutex::new("serve.reactor.Waker.dirty", Vec::new()),
+                tx,
+            },
+            rx,
+        ))
+    }
+
+    /// Marks `token`'s connection dirty and nudges the reactor. A full pipe
+    /// is fine — a wake is already pending and the reactor drains the dirty
+    /// list wholesale.
+    pub fn wake(&self, token: u64) {
+        {
+            let mut d = self.dirty.lock();
+            d.push(token);
+        }
+        // Nonblocking write outside the lock; WouldBlock means the reactor
+        // already has an unconsumed wake byte.
+        let _ = (&self.tx).write(&[1u8]);
+    }
+
+    /// Takes the dirty tokens accumulated since the last call (reactor
+    /// side). Order preserved, duplicates possible — the reactor's flush is
+    /// idempotent.
+    pub fn take_dirty(&self) -> Vec<u64> {
+        std::mem::take(&mut *self.dirty.lock())
+    }
+
+    /// Drains the wake bytes from the read end (reactor side, after a
+    /// readable event on it). Not named `drain`: the static lock analysis
+    /// resolves bare method calls by unique name, and a collection's
+    /// `.drain(..)` anywhere in the workspace would alias into this fn.
+    pub fn drain_wake_bytes(rx: &mut UnixStream) {
+        let mut buf = [0u8; 256];
+        while matches!(rx.read(&mut buf), Ok(n) if n > 0) {}
+    }
+}

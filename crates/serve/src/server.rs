@@ -21,9 +21,12 @@
 
 use crate::metrics::{Endpoint, ServerMetrics};
 use crate::protocol::{
-    codes, AnswerBody, ErrorBody, FrameRead, InsertBody, MutatedBody, OpenBody, OpenedBody,
-    PingBody, RemoveBody, Request, Response, RunBody, ServeError, StatsBody,
+    codes, AnswerBody, ErrorBody, FrameRead, HelloAckBody, InsertBody, MutatedBody, OpenBody,
+    OpenedBody, PickBody, PingBody, RemoveBody, Request, Response, RunBody, ServeError, StatsBody,
+    PROTOCOL_V1,
 };
+use crate::reactor::conn::{ConnQueue, StreamSend};
+use crate::reactor::{self, AsyncDispatch};
 use crate::registry::{DatasetEntry, DatasetRegistry};
 use crate::sessions::{SessionBackend, SessionManager};
 use crate::{protocol, registry};
@@ -32,10 +35,44 @@ use graphrep_lockaudit::{TrackedCondvar, TrackedMutex};
 use std::collections::VecDeque;
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
+
+/// How the server performs connection I/O. Query compute is pooled worker
+/// threads either way; the mode only decides who moves bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoMode {
+    /// One blocking thread per connection (the classic mode).
+    #[default]
+    Blocking,
+    /// One epoll reactor thread multiplexing every connection
+    /// (nonblocking sockets, pipelining, thousands of idle connections).
+    Async,
+}
+
+impl IoMode {
+    /// Wire/CLI name of the mode.
+    pub fn name(self) -> &'static str {
+        match self {
+            IoMode::Blocking => "blocking",
+            IoMode::Async => "async",
+        }
+    }
+}
+
+impl std::str::FromStr for IoMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "blocking" => Ok(IoMode::Blocking),
+            "async" => Ok(IoMode::Async),
+            other => Err(format!("unknown io mode `{other}` (blocking|async)")),
+        }
+    }
+}
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -54,10 +91,24 @@ pub struct ServeConfig {
     pub idle_session_ttl: Duration,
     /// How long a peer may stall mid-frame before the connection is dropped.
     pub frame_stall: Duration,
+    /// Connection I/O mode (see [`IoMode`]).
+    pub io: IoMode,
+    /// Async mode: per-connection outbound byte cap. A streamed run whose
+    /// consumer lets the queue exceed this is cancelled as `slow_consumer`;
+    /// reads from the peer pause until the queue drains below it.
+    pub write_queue_cap: usize,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
+        // `GRAPHREP_SERVE_IO=async` flips every default-configured server —
+        // including whole test suites — onto the reactor path, so CI runs
+        // the same suites in both I/O modes without per-test plumbing.
+        // Unset or unrecognized values keep the blocking default.
+        let io = std::env::var("GRAPHREP_SERVE_IO")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(IoMode::Blocking);
         Self {
             addr: "127.0.0.1:0".to_owned(),
             workers: 4,
@@ -65,6 +116,8 @@ impl Default for ServeConfig {
             default_deadline_ms: None,
             idle_session_ttl: Duration::from_secs(900),
             frame_stall: Duration::from_secs(10),
+            io,
+            write_queue_cap: 4 << 20,
         }
     }
 }
@@ -72,16 +125,85 @@ impl Default for ServeConfig {
 enum Work {
     Open(OpenBody),
     Run(RunBody),
+    RunStream(RunBody),
     Ping(PingBody),
     Insert(InsertBody),
     Remove(RemoveBody),
+}
+
+fn endpoint_of_work(w: &Work) -> Endpoint {
+    match w {
+        Work::Open(_) => Endpoint::Open,
+        Work::Run(_) => Endpoint::Run,
+        Work::RunStream(_) => Endpoint::RunStream,
+        Work::Ping(_) => Endpoint::Ping,
+        Work::Insert(_) => Endpoint::Insert,
+        Work::Remove(_) => Endpoint::Remove,
+    }
+}
+
+/// Where a worker delivers response frames.
+enum Reply {
+    /// Blocking mode: the connection thread waits on this channel (and, for
+    /// streamed runs, forwards every frame until the terminal one).
+    Oneshot(mpsc::Sender<Response>),
+    /// Async mode: frames are encoded (tagged when the connection
+    /// negotiated v2) onto the connection's write queue; the reactor is
+    /// woken to flush them.
+    Queue {
+        queue: Arc<ConnQueue>,
+        tag: Option<u64>,
+    },
+}
+
+impl Reply {
+    /// Sends a non-terminal streamed frame, reporting how it went so the
+    /// producer can abort a stream nobody is consuming (or consuming too
+    /// slowly).
+    fn send_stream(&self, resp: Response) -> StreamSend {
+        match self {
+            Reply::Oneshot(tx) => {
+                if tx.send(resp).is_ok() {
+                    StreamSend::Sent
+                } else {
+                    StreamSend::Closed
+                }
+            }
+            Reply::Queue { queue, tag } => match reactor::encode_response(*tag, &resp) {
+                Ok(frame) => queue.push_stream(frame),
+                Err(_) => StreamSend::Closed,
+            },
+        }
+    }
+
+    /// Delivers the request's terminal frame (always enqueued while the
+    /// connection lives; retires the request id on v2 connections).
+    fn send_final(&self, resp: Response) {
+        match self {
+            Reply::Oneshot(tx) => {
+                // A vanished receiver means the connection died; nothing to do.
+                let _ = tx.send(resp);
+            }
+            Reply::Queue { queue, tag } => {
+                let frame = reactor::encode_response(*tag, &resp).or_else(|_| {
+                    reactor::encode_response(
+                        *tag,
+                        &err(codes::INTERNAL, "response failed to encode"),
+                    )
+                });
+                if let Ok(frame) = frame {
+                    queue.push_final(*tag, frame);
+                }
+            }
+        }
+    }
 }
 
 struct Job {
     work: Work,
     /// Admission time: deadlines and latency are measured from here.
     arrived: Instant,
-    reply: mpsc::Sender<Response>,
+    reply: Reply,
 }
 
 struct Shared {
@@ -93,6 +215,8 @@ struct Shared {
     queue_cv: TrackedCondvar,
     shutdown: AtomicBool,
     started: Instant,
+    /// Live connections, both io modes.
+    connections_open: AtomicUsize,
 }
 
 fn err(code: &str, message: impl Into<String>) -> Response {
@@ -152,13 +276,25 @@ fn worker_loop(shared: &Shared) {
         // Drain semantics: jobs already admitted are executed even after the
         // shutdown flag rises; the worker exits only on an empty queue.
         let Some(job) = job else { return };
-        let resp = execute(shared, job.work, job.arrived);
-        // A vanished receiver means the connection died; nothing to do.
-        let _ = job.reply.send(resp);
+        let ep = endpoint_of_work(&job.work);
+        let resp = execute(shared, job.work, job.arrived, &job.reply);
+        // Queue replies come from the reactor, which never sees response
+        // values — the worker is the last to hold one, so it observes the
+        // metrics here. Oneshot replies are observed by the connection
+        // thread's dispatch (or its streaming loop), as before.
+        if matches!(job.reply, Reply::Queue { .. }) {
+            shared
+                .metrics
+                .endpoint(ep)
+                .observe(resp.error_code(), job.arrived.elapsed());
+        }
+        job.reply.send_final(resp);
     }
 }
 
-fn execute(shared: &Shared, work: Work, arrived: Instant) -> Response {
+/// Executes one job, streaming intermediate frames through `reply` for
+/// [`Work::RunStream`], and returns the terminal response.
+fn execute(shared: &Shared, work: Work, arrived: Instant, reply: &Reply) -> Response {
     match work {
         Work::Ping(p) => {
             if p.wait_ms > 0 {
@@ -168,6 +304,7 @@ fn execute(shared: &Shared, work: Work, arrived: Instant) -> Response {
         }
         Work::Open(o) => open_session(shared, o),
         Work::Run(r) => run_query(shared, r, arrived),
+        Work::RunStream(r) => run_stream_query(shared, r, arrived, reply),
         Work::Insert(b) => insert_graph(shared, b),
         Work::Remove(b) => remove_graph(shared, b),
     }
@@ -378,6 +515,80 @@ fn run_query(shared: &Shared, r: RunBody, arrived: Instant) -> Response {
     }
 }
 
+/// Executes a streamed `(θ, k)` run: each accepted pick goes out as its own
+/// frame through `reply` the moment CELF (or the shard coordinator) commits
+/// it, and the returned terminal response carries the full answer — byte-
+/// identical to what the blocking `run` of the same request would produce.
+///
+/// Streamed runs always execute (the answer cache is bypassed): a cache hit
+/// has no pick sequence to stream. They still produce cache-*compatible*
+/// answers, but do not populate the cache either — population stays the
+/// blocking path's job, keeping cached/uncached accounting honest.
+///
+/// Abort cases, all terminal:
+/// * deadline fired → `deadline_exceeded` (session stays usable);
+/// * consumer over its write-queue cap → `slow_consumer` (connection stays
+///   open — only the run is cancelled);
+/// * consumer gone → an `internal` terminal frame that retires the request
+///   id server-side; nobody is left to read it.
+fn run_stream_query(shared: &Shared, r: RunBody, arrived: Instant, reply: &Reply) -> Response {
+    if !r.theta.is_finite() || r.theta < 0.0 {
+        return err(codes::BAD_REQUEST, "theta must be finite and non-negative");
+    }
+    let Some(live) = shared.sessions.get(r.session) else {
+        return err(
+            codes::NOT_FOUND,
+            format!(
+                "no session {} (unknown, closed, or idle-expired)",
+                r.session
+            ),
+        );
+    };
+    let deadline_ms = r.deadline_ms.or(shared.cfg.default_deadline_ms);
+    let cancel = match deadline_ms {
+        Some(ms) => CancelToken::with_deadline(arrived + Duration::from_millis(ms)),
+        None => CancelToken::never(),
+    };
+    let mut stream_fail: Option<StreamSend> = None;
+    let result = {
+        let mut on_pick = |e: graphrep_core::PickEvent| match reply
+            .send_stream(Response::Pick(PickBody::from_event(&e)))
+        {
+            StreamSend::Sent => true,
+            outcome => {
+                stream_fail = Some(outcome);
+                false
+            }
+        };
+        match live.backend() {
+            SessionBackend::Single(session) => session
+                .run_streaming_cancellable(r.theta, r.k, &cancel, &mut on_pick)
+                .map(|(answer, stats)| AnswerBody::from_run(&answer, &stats)),
+            SessionBackend::Sharded(session) => session
+                .run_streaming_cancellable(r.theta, r.k, &cancel, &mut on_pick)
+                .map(|(answer, stats)| AnswerBody::from_sharded_run(&answer, &stats)),
+        }
+    };
+    match (result, stream_fail) {
+        (Ok(body), _) => Response::AnswerEnd(body),
+        (Err(_), Some(StreamSend::OverCap)) => err(
+            codes::SLOW_CONSUMER,
+            format!(
+                "write queue exceeded {} bytes; the run was cancelled and the session remains usable",
+                shared.cfg.write_queue_cap
+            ),
+        ),
+        (Err(_), Some(_)) => err(codes::INTERNAL, "client disconnected mid-stream"),
+        (Err(_), None) => err(
+            codes::DEADLINE_EXCEEDED,
+            format!(
+                "deadline of {} ms exceeded; the session remains usable",
+                deadline_ms.unwrap_or(0)
+            ),
+        ),
+    }
+}
+
 fn stats_body(shared: &Shared) -> StatsBody {
     // Snapshot the queue length in its own statement: all temporaries in a
     // struct literal overlap, and the admission path (which needs this lock)
@@ -392,6 +603,9 @@ fn stats_body(shared: &Shared) -> StatsBody {
         sessions_expired: shared.sessions.expired_total(),
         endpoints: shared.metrics.snapshot(),
         datasets: shared.registry.stats(),
+        io_mode: shared.cfg.io.name().to_owned(),
+        // Relaxed: monotone-ish gauge for observability only.
+        connections_open: shared.connections_open.load(Ordering::Relaxed),
     }
 }
 
@@ -405,6 +619,8 @@ fn endpoint_of(req: &Request) -> Endpoint {
         Request::Insert(_) => Endpoint::Insert,
         Request::Remove(_) => Endpoint::Remove,
         Request::Shutdown => Endpoint::Shutdown,
+        Request::RunStream(_) => Endpoint::RunStream,
+        Request::Hello(_) => Endpoint::Hello,
     }
 }
 
@@ -413,7 +629,7 @@ fn pooled(shared: &Shared, work: Work, arrived: Instant) -> Response {
     match shared.submit(Job {
         work,
         arrived,
-        reply: tx,
+        reply: Reply::Oneshot(tx),
     }) {
         Err(codes::OVERLOADED) => err(
             codes::OVERLOADED,
@@ -456,6 +672,18 @@ fn dispatch(shared: &Shared, req: Request) -> Response {
             shared.begin_shutdown();
             Response::ShutdownAck
         }
+        // Blocking connections stay on v1 framing: the ack says so, and old
+        // clients that never send Hello are untouched either way.
+        Request::Hello(_) => Response::HelloAck(HelloAckBody {
+            version: PROTOCOL_V1,
+            max: PROTOCOL_V1,
+        }),
+        // Streamed runs are multi-frame; the connection loop intercepts
+        // them before dispatch. Reaching here is a caller bug.
+        Request::RunStream(_) => err(
+            codes::BAD_REQUEST,
+            "run_stream must be handled by the connection layer",
+        ),
     };
     shared
         .metrics
@@ -464,7 +692,63 @@ fn dispatch(shared: &Shared, req: Request) -> Response {
     resp
 }
 
+/// Blocking-mode streamed run: submits the job, then forwards every frame
+/// the worker produces — picks first, then exactly one terminal frame — to
+/// the socket in order. Dropping the receiver on a write failure is what
+/// cancels the in-flight run (the worker's next pick send fails).
+fn serve_stream_blocking(shared: &Shared, stream: &mut TcpStream, body: RunBody) -> bool {
+    let arrived = Instant::now();
+    let (tx, rx) = mpsc::channel();
+    let submitted = shared.submit(Job {
+        work: Work::RunStream(body),
+        arrived,
+        reply: Reply::Oneshot(tx),
+    });
+    let terminal = match submitted {
+        Err(codes::OVERLOADED) => err(
+            codes::OVERLOADED,
+            format!(
+                "queue full ({} waiting, {} in flight); retry later",
+                shared.cfg.max_queue,
+                shared.cfg.workers.max(1)
+            ),
+        ),
+        Err(_) => err(codes::SHUTTING_DOWN, "server is draining"),
+        Ok(()) => loop {
+            match rx.recv() {
+                Ok(Response::Pick(p)) => {
+                    if protocol::write_frame(stream, &Response::Pick(p)).is_err() {
+                        // Receiver drops here; the worker's next send fails
+                        // and the run aborts. The connection is done.
+                        return false;
+                    }
+                }
+                Ok(terminal) => break terminal,
+                Err(_) => break err(codes::INTERNAL, "worker dropped the reply channel"),
+            }
+        },
+    };
+    shared
+        .metrics
+        .endpoint(Endpoint::RunStream)
+        .observe(terminal.error_code(), arrived.elapsed());
+    protocol::write_frame(stream, &terminal).is_ok()
+}
+
+/// Decrements the connection gauge on every exit path of `handle_conn`.
+struct ConnGauge<'a>(&'a AtomicUsize);
+
+impl Drop for ConnGauge<'_> {
+    fn drop(&mut self) {
+        // Relaxed: observability gauge only.
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 fn handle_conn(shared: &Shared, mut stream: TcpStream) {
+    // Relaxed: observability gauge only.
+    shared.connections_open.fetch_add(1, Ordering::Relaxed);
+    let _gauge = ConnGauge(&shared.connections_open);
     let _ = stream.set_nodelay(true);
     // Short read timeout: the loop polls the shutdown flag between frames
     // instead of blocking in `read` forever.
@@ -477,6 +761,11 @@ fn handle_conn(shared: &Shared, mut stream: TcpStream) {
                 }
             }
             Ok(FrameRead::Closed) => return,
+            Ok(FrameRead::Frame(Request::RunStream(body))) => {
+                if !serve_stream_blocking(shared, &mut stream, body) {
+                    return;
+                }
+            }
             Ok(FrameRead::Frame(req)) => {
                 let is_shutdown = matches!(req, Request::Shutdown);
                 let resp = dispatch(shared, req);
@@ -491,6 +780,101 @@ fn handle_conn(shared: &Shared, mut stream: TcpStream) {
                 return;
             }
         }
+    }
+}
+
+/// The reactor-facing face of the server: inline endpoints answered on the
+/// reactor thread (cheap, lock-only — the same set the blocking mode
+/// answers on connection threads), pooled endpoints submitted through the
+/// identical admission control, with responses routed back through the
+/// connection's write queue.
+impl AsyncDispatch for Shared {
+    fn dispatch(&self, req: Request, tag: Option<u64>, queue: &Arc<ConnQueue>) {
+        let arrived = Instant::now();
+        let ep = endpoint_of(&req);
+        let work = match req {
+            Request::Open(b) => Work::Open(b),
+            Request::Run(b) => Work::Run(b),
+            Request::RunStream(b) => Work::RunStream(b),
+            Request::Ping(b) => Work::Ping(b),
+            Request::Insert(b) => Work::Insert(b),
+            Request::Remove(b) => Work::Remove(b),
+            inline => {
+                let resp = match inline {
+                    Request::Close(c) => {
+                        if self.sessions.remove(c.session) {
+                            Response::Closed
+                        } else {
+                            err(codes::NOT_FOUND, format!("no session {}", c.session))
+                        }
+                    }
+                    Request::Stats => Response::Stats(stats_body(self)),
+                    Request::Shutdown => {
+                        self.begin_shutdown();
+                        Response::ShutdownAck
+                    }
+                    // The reactor answers Hello itself; a defensive ack
+                    // keeps the connection coherent if one slips through.
+                    Request::Hello(h) => Response::HelloAck(HelloAckBody {
+                        version: h.version.clamp(PROTOCOL_V1, protocol::PROTOCOL_MAX),
+                        max: protocol::PROTOCOL_MAX,
+                    }),
+                    // All pooled variants were peeled off above.
+                    _ => err(codes::INTERNAL, "unroutable request"),
+                };
+                self.metrics
+                    .endpoint(ep)
+                    .observe(resp.error_code(), arrived.elapsed());
+                Reply::Queue {
+                    queue: Arc::clone(queue),
+                    tag,
+                }
+                .send_final(resp);
+                return;
+            }
+        };
+        let reply = Reply::Queue {
+            queue: Arc::clone(queue),
+            tag,
+        };
+        if let Err(code) = self.submit(Job {
+            work,
+            arrived,
+            reply: Reply::Queue {
+                queue: Arc::clone(queue),
+                tag,
+            },
+        }) {
+            let resp = match code {
+                codes::OVERLOADED => err(
+                    codes::OVERLOADED,
+                    format!(
+                        "queue full ({} waiting, {} in flight); retry later",
+                        self.cfg.max_queue,
+                        self.cfg.workers.max(1)
+                    ),
+                ),
+                _ => err(codes::SHUTTING_DOWN, "server is draining"),
+            };
+            self.metrics
+                .endpoint(ep)
+                .observe(resp.error_code(), arrived.elapsed());
+            reply.send_final(resp);
+        }
+    }
+
+    fn shutting_down(&self) -> bool {
+        Shared::shutting_down(self)
+    }
+
+    fn conn_opened(&self) {
+        // Relaxed: observability gauge only.
+        self.connections_open.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn conn_closed(&self) {
+        // Relaxed: observability gauge only.
+        self.connections_open.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -572,8 +956,13 @@ impl ServerHandle {
         for w in self.workers {
             let _ = w.join();
         }
-        // No new connections can appear once the acceptor has exited.
-        let handles: Vec<JoinHandle<()>> = self.conns.lock().drain(..).collect();
+        // No new connections can appear once the acceptor has exited. The
+        // guard is scoped so no lock is held while joining — connection
+        // threads take dataset locks on their way out.
+        let handles: Vec<JoinHandle<()>> = {
+            let mut conns = self.conns.lock();
+            conns.drain(..).collect()
+        };
         for h in handles {
             let _ = h.join();
         }
@@ -596,6 +985,7 @@ pub fn start(cfg: ServeConfig, registry: DatasetRegistry) -> Result<ServerHandle
         queue_cv: TrackedCondvar::new(),
         shutdown: AtomicBool::new(false),
         started: Instant::now(),
+        connections_open: AtomicUsize::new(0),
         cfg,
     });
     let mut workers = Vec::new();
@@ -611,13 +1001,16 @@ pub fn start(cfg: ServeConfig, registry: DatasetRegistry) -> Result<ServerHandle
         "serve.server.ServerHandle.conns",
         Vec::new(),
     ));
-    let acceptor = {
-        let s = Arc::clone(&shared);
-        let c = Arc::clone(&conns);
-        thread::Builder::new()
-            .name("graphrep-accept".to_owned())
-            .spawn(move || accept_loop(&s, listener, &c))
-            .map_err(|e| ServeError::new(format!("spawning acceptor: {e}")))?
+    let acceptor = match shared.cfg.io {
+        IoMode::Blocking => {
+            let s = Arc::clone(&shared);
+            let c = Arc::clone(&conns);
+            thread::Builder::new()
+                .name("graphrep-accept".to_owned())
+                .spawn(move || accept_loop(&s, listener, &c))
+                .map_err(|e| ServeError::new(format!("spawning acceptor: {e}")))?
+        }
+        IoMode::Async => spawn_reactor(Arc::clone(&shared), listener)?,
     };
     Ok(ServerHandle {
         shared,
@@ -626,6 +1019,46 @@ pub fn start(cfg: ServeConfig, registry: DatasetRegistry) -> Result<ServerHandle
         workers,
         conns,
     })
+}
+
+/// Builds the epoll reactor for async mode and spawns its event-loop
+/// thread. Both the acceptor and every connection live on this one thread;
+/// [`ServerHandle::join_all`] joins it through the `acceptor` slot.
+#[cfg(target_os = "linux")]
+fn spawn_reactor(shared: Arc<Shared>, listener: TcpListener) -> Result<JoinHandle<()>, ServeError> {
+    let (waker, wake_rx) = crate::reactor::waker::Waker::new()
+        .map_err(|e| ServeError::new(format!("wake channel: {e}")))?;
+    let waker = Arc::new(waker);
+    let acceptor = crate::reactor::TcpAcceptor::new(listener)
+        .map_err(|e| ServeError::new(format!("nonblocking listener: {e}")))?;
+    let poll = crate::reactor::sys::EpollPoll::new()
+        .map_err(|e| ServeError::new(format!("epoll_create1: {e}")))?;
+    let write_cap = shared.cfg.write_queue_cap;
+    let dispatch: Arc<dyn AsyncDispatch> = shared;
+    let reactor = crate::reactor::Reactor::new(
+        poll,
+        Box::new(acceptor),
+        waker,
+        wake_rx,
+        dispatch,
+        write_cap,
+    )
+    .map_err(|e| ServeError::new(format!("reactor setup: {e}")))?;
+    thread::Builder::new()
+        .name("graphrep-reactor".to_owned())
+        .spawn(move || reactor.run())
+        .map_err(|e| ServeError::new(format!("spawning reactor: {e}")))
+}
+
+/// Async mode is epoll-backed and therefore Linux-only.
+#[cfg(not(target_os = "linux"))]
+fn spawn_reactor(
+    _shared: Arc<Shared>,
+    _listener: TcpListener,
+) -> Result<JoinHandle<()>, ServeError> {
+    Err(ServeError::new(
+        "io mode `async` requires Linux (epoll); use `blocking`",
+    ))
 }
 
 /// Convenience for tests and benchmarks: builds a registry holding the

@@ -12,8 +12,8 @@ use graphrep_datagen::{Dataset, DatasetKind, DatasetSpec};
 use graphrep_serve::protocol::DatasetStats;
 use graphrep_serve::registry::load_in_memory;
 use graphrep_serve::{
-    offline_reference, run_load, verify_against_offline, Client, DatasetRegistry, LoadSpec,
-    ServeConfig, ServerHandle,
+    offline_reference, run_load, verify_against_offline, Client, DatasetRegistry, LoadMode,
+    LoadSpec, ServeConfig, ServerHandle,
 };
 
 const SEED: u64 = 20140622;
@@ -36,6 +36,7 @@ fn spec_for(data: &Dataset) -> LoadSpec {
         quantile: 0.75,
         seed: 7,
         skew: 1.2,
+        mode: LoadMode::Blocking,
     }
 }
 

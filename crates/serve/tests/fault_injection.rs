@@ -1,0 +1,342 @@
+//! Connection fault injection against the async reactor: peers that vanish
+//! mid-stream, half-open sockets, and storms of misbehaving connections.
+//! The invariants, asserted through the `stats` endpoint before and after:
+//! every dispatched request is accounted for exactly once (requests ==
+//! ok + overloaded + deadline_exceeded + errors), the connection gauge
+//! returns to baseline (no leaked slots), the worker queue drains to zero
+//! (no leaked workers), and the server keeps serving clean clients
+//! throughout.
+
+use graphrep_datagen::{DatasetKind, DatasetSpec};
+use graphrep_serve::registry::load_in_memory;
+use graphrep_serve::{
+    protocol, start, Client, DatasetRegistry, IoMode, Response, ServeConfig, StatsBody,
+    TaggedRequest, TaggedResponse,
+};
+use std::io::Write;
+use std::net::{Shutdown, TcpStream};
+use std::time::{Duration, Instant};
+
+fn async_server(workers: usize) -> graphrep_serve::ServerHandle {
+    let data = DatasetSpec::new(DatasetKind::DudLike, 60, 20140622).generate();
+    let mut reg = DatasetRegistry::new();
+    reg.insert(load_in_memory("f", data));
+    start(
+        ServeConfig {
+            workers,
+            io: IoMode::Async,
+            ..Default::default()
+        },
+        reg,
+    )
+    .expect("async server start")
+}
+
+/// Every dispatched request ended in exactly one of the four outcome
+/// buckets — a cancelled or discarded run still gets its terminal observed.
+fn assert_conserved(stats: &StatsBody) {
+    for ep in &stats.endpoints {
+        assert_eq!(
+            ep.requests,
+            ep.ok + ep.overloaded + ep.deadline_exceeded + ep.errors,
+            "endpoint `{}` leaked a request: {ep:?}",
+            ep.endpoint
+        );
+    }
+}
+
+fn endpoint<'a>(stats: &'a StatsBody, name: &str) -> &'a graphrep_serve::protocol::EndpointStats {
+    stats
+        .endpoints
+        .iter()
+        .find(|e| e.endpoint == name)
+        .unwrap_or_else(|| panic!("no `{name}` endpoint in stats"))
+}
+
+/// Polls `stats` until `pred` holds or ~10 s pass; returns the last snapshot.
+fn await_stats(observer: &mut Client, pred: impl Fn(&StatsBody) -> bool) -> StatsBody {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let s = observer.stats().expect("stats");
+        if pred(&s) || Instant::now() > deadline {
+            return s;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn tagged(id: u64, req: protocol::Request) -> Vec<u8> {
+    protocol::encode_frame(&TaggedRequest { id, req }).expect("encode")
+}
+
+/// Raw v2 handshake (mirrors the torture suite's helper).
+fn raw_v2(addr: &str) -> TcpStream {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_millis(100)))
+        .expect("timeout");
+    protocol::write_frame(
+        &mut s,
+        &protocol::Request::Hello(protocol::HelloBody {
+            version: protocol::PROTOCOL_V2,
+        }),
+    )
+    .expect("hello");
+    match read_bare(&mut s) {
+        Response::HelloAck(a) => assert_eq!(a.version, protocol::PROTOCOL_V2),
+        other => panic!("expected HelloAck, got {other:?}"),
+    }
+    s
+}
+
+fn read_bare(stream: &mut TcpStream) -> Response {
+    for _ in 0..100 {
+        match protocol::read_frame::<Response>(stream, Duration::from_secs(10)).expect("frame") {
+            protocol::FrameRead::Frame(r) => return r,
+            protocol::FrameRead::Closed => panic!("server closed the connection"),
+            protocol::FrameRead::Idle => {}
+        }
+    }
+    panic!("timed out waiting for a frame");
+}
+
+fn read_tagged(stream: &mut TcpStream) -> TaggedResponse {
+    for _ in 0..100 {
+        match protocol::read_frame::<TaggedResponse>(stream, Duration::from_secs(10))
+            .expect("tagged frame")
+        {
+            protocol::FrameRead::Frame(r) => return r,
+            protocol::FrameRead::Closed => panic!("server closed the connection"),
+            protocol::FrameRead::Idle => {}
+        }
+    }
+    panic!("timed out waiting for a tagged frame");
+}
+
+fn run_stream_req(session: u64, theta: f64, k: usize) -> protocol::Request {
+    protocol::Request::RunStream(protocol::RunBody {
+        session,
+        theta,
+        k,
+        deadline_ms: None,
+    })
+}
+
+/// A peer that disconnects with a streamed run still in flight: the run is
+/// cancelled (its terminal lands in the `errors` bucket — nobody is left to
+/// read it), the connection slot is reclaimed, the worker survives to serve
+/// the next request, and the orphaned session stays usable from elsewhere.
+#[test]
+fn mid_stream_disconnect_cancels_the_run_and_reclaims_the_connection() {
+    let handle = async_server(1);
+    let addr = handle.addr().to_string();
+    let mut observer = Client::connect(&addr).expect("connect observer");
+    let baseline = observer.stats().expect("baseline stats");
+    assert_eq!(
+        baseline.connections_open, 1,
+        "only the observer is connected"
+    );
+
+    let mut victim = raw_v2(&addr);
+    victim
+        .write_all(&tagged(
+            1,
+            protocol::Request::Open(protocol::OpenBody {
+                dataset: "f".into(),
+                quantile: 0.75,
+            }),
+        ))
+        .expect("open");
+    let session = match read_tagged(&mut victim) {
+        TaggedResponse {
+            id: 1,
+            resp: Response::Opened(o),
+        } => o.session,
+        other => panic!("expected Opened, got {other:?}"),
+    };
+
+    // Park the only worker, queue the stream behind it, then vanish: the
+    // run starts strictly after the teardown and must abort on first pick.
+    let mut burst = tagged(
+        2,
+        protocol::Request::Ping(protocol::PingBody { wait_ms: 300 }),
+    );
+    burst.extend(tagged(3, run_stream_req(session, 3.0, 4)));
+    victim.write_all(&burst).expect("burst");
+    drop(victim);
+
+    let settled = await_stats(&mut observer, |s| {
+        let rs = endpoint(s, "run_stream");
+        s.connections_open == 1 && s.queue_len == 0 && rs.requests == 1 && rs.errors == 1
+    });
+    assert_eq!(
+        settled.connections_open, 1,
+        "victim's slot was not reclaimed"
+    );
+    assert_eq!(settled.queue_len, 0, "work stuck in the queue");
+    let rs = endpoint(&settled, "run_stream");
+    assert_eq!(
+        (rs.requests, rs.errors),
+        (1, 1),
+        "cancelled run not accounted: {rs:?}"
+    );
+    assert_conserved(&settled);
+
+    // The single worker is alive (a leaked worker would strand this ping
+    // forever on a 1-worker pool), and the orphaned session still answers.
+    assert!(observer.ping(0).is_ok(), "worker leaked");
+    let answer = observer
+        .run_answer(session, 3.0, 2)
+        .expect("orphaned session run");
+    assert!(!answer.ids.is_empty());
+    handle.shutdown();
+}
+
+/// A half-open peer (write side shut, read side still open) is torn down
+/// promptly: a query connection that can no longer send requests is useless,
+/// and keeping it would leak its slot and pin its streamed runs forever.
+#[test]
+fn half_open_sockets_are_torn_down_not_leaked() {
+    let handle = async_server(2);
+    let addr = handle.addr().to_string();
+    let mut observer = Client::connect(&addr).expect("connect observer");
+
+    let mut s = TcpStream::connect(&addr).expect("connect half-open");
+    s.set_read_timeout(Some(Duration::from_millis(200)))
+        .expect("timeout");
+    protocol::write_frame(
+        &mut s,
+        &protocol::Request::Ping(protocol::PingBody { wait_ms: 0 }),
+    )
+    .expect("ping");
+    assert!(matches!(read_bare(&mut s), Response::Pong));
+    let with_victim = await_stats(&mut observer, |st| st.connections_open == 2);
+    assert_eq!(with_victim.connections_open, 2);
+
+    s.shutdown(Shutdown::Write).expect("half-close");
+
+    // The server must notice the EOF and drop the whole connection even
+    // though our read side would happily accept more frames.
+    let settled = await_stats(&mut observer, |st| st.connections_open == 1);
+    assert_eq!(settled.connections_open, 1, "half-open connection leaked");
+    let mut eof = false;
+    for _ in 0..50 {
+        match protocol::read_frame::<Response>(&mut s, Duration::from_secs(5)) {
+            Ok(protocol::FrameRead::Closed) | Err(_) => {
+                eof = true;
+                break;
+            }
+            Ok(protocol::FrameRead::Idle) => {}
+            Ok(protocol::FrameRead::Frame(f)) => panic!("frame on a dead connection: {f:?}"),
+        }
+    }
+    assert!(eof, "server kept its write side open to a half-open peer");
+    assert_conserved(&observer.stats().expect("final stats"));
+    handle.shutdown();
+}
+
+/// A storm of misbehaving connections — silent drops, truncated headers,
+/// mid-stream disconnects, poison frames, half-closes — interleaved with
+/// clean clients. Afterwards: gauge at baseline, queue empty, every counter
+/// conserved, and the server still streams correct answers.
+#[test]
+fn fault_storm_conserves_counters_and_keeps_serving() {
+    let handle = async_server(2);
+    let addr = handle.addr().to_string();
+    let mut observer = Client::connect(&addr).expect("connect observer");
+
+    // One long-lived clean session the storm must not disturb.
+    let clean_session = observer.open("f", 0.75).expect("open clean").session;
+    let want = observer
+        .run_answer(clean_session, 3.0, 3)
+        .expect("clean reference")
+        .fingerprint();
+
+    for round in 0..24u64 {
+        match round % 6 {
+            // Connect and say nothing.
+            0 => drop(TcpStream::connect(&addr).expect("connect mute")),
+            // Truncated frame header, then gone.
+            1 => {
+                let mut s = TcpStream::connect(&addr).expect("connect trunc");
+                s.write_all(&[0x00, 0x00]).expect("half a header");
+                drop(s);
+            }
+            // Disconnect with a stream in flight, one pick in.
+            2 => {
+                let mut s = raw_v2(&addr);
+                s.write_all(&tagged(
+                    1,
+                    protocol::Request::Open(protocol::OpenBody {
+                        dataset: "f".into(),
+                        quantile: 0.75,
+                    }),
+                ))
+                .expect("open");
+                let session = match read_tagged(&mut s) {
+                    TaggedResponse {
+                        resp: Response::Opened(o),
+                        ..
+                    } => o.session,
+                    other => panic!("expected Opened, got {other:?}"),
+                };
+                s.write_all(&tagged(2, run_stream_req(session, 3.0, 4)))
+                    .expect("stream");
+                // Read at most one frame, then vanish mid-stream.
+                let _ = protocol::read_frame::<TaggedResponse>(&mut s, Duration::from_secs(2));
+                drop(s);
+            }
+            // Poison frame; the server answers with a diagnostic and closes.
+            3 => {
+                let mut s = TcpStream::connect(&addr).expect("connect poison");
+                s.set_read_timeout(Some(Duration::from_millis(100)))
+                    .expect("timeout");
+                let mut junk = 9u32.to_be_bytes().to_vec();
+                junk.extend_from_slice(b"not json!");
+                s.write_all(&junk).expect("junk");
+                match read_bare(&mut s) {
+                    Response::Error(e) => assert_eq!(e.code, protocol::codes::BAD_REQUEST),
+                    other => panic!("poison round: {other:?}"),
+                }
+                drop(s);
+            }
+            // Half-close after a clean exchange.
+            4 => {
+                let mut s = TcpStream::connect(&addr).expect("connect half");
+                s.set_read_timeout(Some(Duration::from_millis(200)))
+                    .expect("timeout");
+                protocol::write_frame(
+                    &mut s,
+                    &protocol::Request::Ping(protocol::PingBody { wait_ms: 0 }),
+                )
+                .expect("ping");
+                assert!(matches!(read_bare(&mut s), Response::Pong));
+                s.shutdown(Shutdown::Write).expect("half-close");
+                drop(s);
+            }
+            // A fully clean v1 client, mid-storm.
+            _ => {
+                let mut c = Client::connect(&addr).expect("connect clean");
+                let o = c.open("f", 0.75).expect("open");
+                let a = c.run_answer(o.session, 3.0, 3).expect("run");
+                assert_eq!(a.fingerprint(), want, "storm corrupted a clean client");
+            }
+        }
+    }
+
+    let settled = await_stats(&mut observer, |s| {
+        s.connections_open == 1 && s.queue_len == 0
+    });
+    assert_eq!(settled.connections_open, 1, "storm leaked connection slots");
+    assert_eq!(settled.queue_len, 0, "storm left work queued");
+    assert_conserved(&settled);
+    // Both workers still serve, and streaming still matches the reference.
+    assert!(observer.ping(0).is_ok() && observer.ping(0).is_ok());
+    let mut c = Client::connect(&addr).expect("connect verifier");
+    c.hello().expect("hello");
+    let (picks, body) = c
+        .run_streaming_answer(clean_session, 3.0, 3)
+        .expect("post-storm stream");
+    assert_eq!(body.fingerprint(), want, "post-storm stream diverged");
+    assert_eq!(picks.len(), body.ids.len());
+    handle.shutdown();
+}

@@ -23,7 +23,7 @@ use crate::manifest::{Manifest, ManifestError};
 use crate::partition::{partition, PartitionConfig};
 use crate::shard::{ShardIoError, ShardState};
 use graphrep_core::{
-    AnswerSet, CancelToken, Cancelled, GraphDatabase, MutateError, MutationOutcome,
+    AnswerSet, CancelToken, Cancelled, GraphDatabase, MutateError, MutationOutcome, PickEvent,
 };
 use graphrep_ged::GedConfig;
 use graphrep_graph::{Graph, GraphId};
@@ -672,6 +672,22 @@ impl CoordSession {
         k: usize,
         cancel: &CancelToken,
     ) -> Result<(AnswerSet, CoordRunStats), Cancelled> {
+        self.run_streaming_cancellable(theta, k, cancel, &mut |_| true)
+    }
+
+    /// [`CoordSession::run_cancellable`] with a per-pick observer, the
+    /// sharded twin of `QuerySession::run_streaming_cancellable`: `on_pick`
+    /// fires once per accepted representative after it is committed, never
+    /// alters the computation, and aborts the run like a fired cancel token
+    /// when it returns `false`. A completed streamed run returns the
+    /// byte-identical answer the blocking run would.
+    pub fn run_streaming_cancellable(
+        &self,
+        theta: f64,
+        k: usize,
+        cancel: &CancelToken,
+        on_pick: &mut dyn FnMut(PickEvent) -> bool,
+    ) -> Result<(AnswerSet, CoordRunStats), Cancelled> {
         let t0 = Instant::now();
         let s_count = self.snaps.len();
         let entries0: Vec<u64> = self
@@ -760,6 +776,16 @@ impl CoordSession {
             } else {
                 covered.count() as f64 / self.relevant.len() as f64
             });
+            let keep_going = on_pick(PickEvent {
+                seq: ids.len() - 1,
+                id,
+                covered: covered.count(),
+                relevant: self.relevant.len(),
+                pi: pi_trajectory[pi_trajectory.len() - 1],
+            });
+            if !keep_going {
+                return Err(Cancelled);
+            }
         }
         stats.engine_entries = self
             .snaps

@@ -6,8 +6,8 @@
 
 use graphrep::datagen::{DatasetKind, DatasetSpec};
 use graphrep_serve::{
-    codes, offline_reference, registry, run_load, verify_against_offline, Client, LoadSpec,
-    Response, ServeConfig,
+    codes, offline_reference, registry, run_load, verify_against_offline, Client, LoadMode,
+    LoadSpec, Response, ServeConfig,
 };
 use std::time::Duration;
 
@@ -37,6 +37,7 @@ fn server_answers_match_offline_at_every_pool_size() {
         quantile: 0.75,
         seed: 7,
         skew: 0.0,
+        mode: LoadMode::Blocking,
     };
     let reference = offline_reference(&registry::load_in_memory("e2e", data), &spec);
 
